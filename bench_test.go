@@ -1,0 +1,203 @@
+package inaudible_test
+
+// The benchmark harness regenerates every experiment table/figure series
+// (E1-E13, DESIGN.md §4) under the testing.B clock, plus micro-benchmarks
+// for the hot signal-processing kernels. Experiment benches run the Quick
+// grids; run `go run ./cmd/experiments -all` for the full-size tables.
+
+import (
+	"io"
+	"testing"
+
+	"inaudible"
+	"inaudible/internal/attack"
+	"inaudible/internal/audio"
+	"inaudible/internal/core"
+	"inaudible/internal/defense"
+	"inaudible/internal/dsp"
+	"inaudible/internal/experiment"
+	"inaudible/internal/mic"
+	"inaudible/internal/speaker"
+	"inaudible/internal/voice"
+)
+
+// benchSuite is shared across the experiment benchmarks so the expensive
+// fixtures (recogniser templates, defense corpus) are built once, exactly
+// as `cmd/experiments -all` amortises them. The first benchmark touching
+// a fixture pays its construction cost.
+var benchSuite = experiment.NewSuite(experiment.Options{Quick: true, Seed: 1})
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := benchSuite.Run(id, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1DemoPipeline(b *testing.B)       { benchExperiment(b, "E1") }
+func BenchmarkE2LeakageVsPower(b *testing.B)     { benchExperiment(b, "E2") }
+func BenchmarkE3LeakageVsSpeakers(b *testing.B)  { benchExperiment(b, "E3") }
+func BenchmarkE4AccuracyVsDistance(b *testing.B) { benchExperiment(b, "E4") }
+func BenchmarkE5SuccessVsDistance(b *testing.B)  { benchExperiment(b, "E5") }
+func BenchmarkE6RangeVsPower(b *testing.B)       { benchExperiment(b, "E6") }
+func BenchmarkE7FixedRangeSuccess(b *testing.B)  { benchExperiment(b, "E7") }
+func BenchmarkE8Ablation(b *testing.B)           { benchExperiment(b, "E8") }
+func BenchmarkE9Sub50Power(b *testing.B)         { benchExperiment(b, "E9") }
+func BenchmarkE10Correlation(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE11Classifier(b *testing.B)        { benchExperiment(b, "E11") }
+func BenchmarkE12Robustness(b *testing.B)        { benchExperiment(b, "E12") }
+func BenchmarkE13Adaptive(b *testing.B)          { benchExperiment(b, "E13") }
+
+// ---- pipeline-stage benchmarks ----
+
+func BenchmarkVoiceSynthesis(b *testing.B) {
+	p := voice.DefaultVoice()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		voice.MustSynthesize("ok google, take a picture", p, 48000)
+	}
+}
+
+func BenchmarkBaselineAttackDesign(b *testing.B) {
+	cmd := inaudible.MustSynthesize("ok google, take a picture")
+	o := attack.DefaultBaselineOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := attack.Baseline(cmd, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLongRangePlanDesign(b *testing.B) {
+	cmd := inaudible.MustSynthesize("ok google, take a picture")
+	o := attack.DefaultLongRangeOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := attack.LongRange(cmd, 20, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpeakerEmit(b *testing.B) {
+	cmd := inaudible.MustSynthesize("alexa, play music")
+	atk, err := attack.Baseline(cmd, attack.DefaultBaselineOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := speaker.FostexTweeter()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Emit(atk, 18.7)
+	}
+}
+
+func BenchmarkMicRecord(b *testing.B) {
+	cmd := inaudible.MustSynthesize("alexa, play music")
+	atk, err := attack.Baseline(cmd, attack.DefaultBaselineOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	field := speaker.FostexTweeter().Emit(atk, 18.7)
+	dev := mic.AndroidPhone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.Record(field, nil)
+	}
+}
+
+func BenchmarkEndToEndDelivery(b *testing.B) {
+	cmd := inaudible.MustSynthesize("alexa, play music")
+	s := core.DefaultScenario()
+	e, _, err := s.Simulate(cmd, core.KindBaseline, 18.7, 3, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Deliver(e, 3, int64(i))
+	}
+}
+
+func BenchmarkDefenseExtract(b *testing.B) {
+	cmd := inaudible.MustSynthesize("alexa, play music")
+	s := core.DefaultScenario()
+	_, run, err := s.Simulate(cmd, core.KindBaseline, 18.7, 3, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		defense.Extract(run.Recording)
+	}
+}
+
+// ---- kernel micro-benchmarks ----
+
+func BenchmarkFFT4096(b *testing.B) {
+	x := make([]complex128, 4096)
+	for i := range x {
+		x[i] = complex(float64(i%17)-8, 0)
+	}
+	buf := make([]complex128, len(x))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		dsp.FFT(buf)
+	}
+}
+
+func BenchmarkFFT524288(b *testing.B) {
+	x := make([]complex128, 1<<19)
+	for i := range x {
+		x[i] = complex(float64(i%31)-15, 0)
+	}
+	buf := make([]complex128, len(x))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		dsp.FFT(buf)
+	}
+}
+
+func BenchmarkFIRApply(b *testing.B) {
+	lp := dsp.LowPassFIR(511, 0.1)
+	x := audio.Tone(192000, 5000, 1, 1).Samples
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lp.Apply(x)
+	}
+}
+
+func BenchmarkResample48to192(b *testing.B) {
+	x := audio.Tone(48000, 5000, 1, 1).Samples
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dsp.Resample(x, 48000, 192000)
+	}
+}
+
+func BenchmarkWelchPSD(b *testing.B) {
+	x := audio.Tone(48000, 1000, 1, 2).Samples
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dsp.Welch(x, 8192)
+	}
+}
+
+func BenchmarkMFCC(b *testing.B) {
+	sig := inaudible.MustSynthesize("alexa, play music")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchMFCC(sig)
+	}
+}
+
+func benchMFCC(sig *audio.Signal) int {
+	f := asrMFCC(sig)
+	return len(f)
+}

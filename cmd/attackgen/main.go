@@ -1,0 +1,119 @@
+// Command attackgen synthesises a voice command and converts it into
+// inaudible attack waveforms, written as WAV files: the single-speaker
+// baseline waveform and, optionally, the per-element drives of the
+// long-range multi-speaker plan.
+//
+// Usage:
+//
+//	attackgen -command photo -out attack.wav
+//	attackgen -command milk -longrange -segments 60 -outdir plan/
+//	attackgen -text "alexa, play music" -carrier 32000 -out atk.wav
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"inaudible/internal/attack"
+	"inaudible/internal/audio"
+	"inaudible/internal/voice"
+)
+
+func main() {
+	var (
+		cmdID     = flag.String("command", "photo", "vocabulary command id (see -listcmds)")
+		text      = flag.String("text", "", "free text to synthesise instead of -command (lexicon words only)")
+		carrier   = flag.Float64("carrier", 30000, "carrier frequency, Hz")
+		depth     = flag.Float64("depth", 0.8, "AM modulation depth (baseline)")
+		rate      = flag.Float64("rate", 192000, "output sample rate, Hz")
+		longrange = flag.Bool("longrange", false, "emit the multi-speaker plan instead of the baseline waveform")
+		segments  = flag.Int("segments", 60, "spectrum slices for -longrange")
+		power     = flag.Float64("power", 20, "total power (W) for the long-range power split")
+		out       = flag.String("out", "attack.wav", "output WAV (baseline)")
+		outdir    = flag.String("outdir", "plan", "output directory (long-range)")
+		listCmds  = flag.Bool("listcmds", false, "list the command vocabulary")
+		voiceName = flag.String("voice", "male-1", "talker profile name")
+	)
+	flag.Parse()
+
+	if *listCmds {
+		for _, c := range voice.Vocabulary() {
+			fmt.Printf("%-10s %q\n", c.ID, c.Text)
+		}
+		return
+	}
+
+	profile := voice.DefaultVoice()
+	for _, p := range voice.Profiles() {
+		if p.Name == *voiceName {
+			profile = p
+		}
+	}
+
+	cmdText := *text
+	if cmdText == "" {
+		c, ok := voice.FindCommand(*cmdID)
+		if !ok {
+			fatal("unknown command id %q (try -listcmds)", *cmdID)
+		}
+		cmdText = c.Text
+	}
+	sig, err := voice.Synthesize(cmdText, profile, 48000)
+	if err != nil {
+		fatal("synthesis: %v", err)
+	}
+
+	if !*longrange {
+		o := attack.DefaultBaselineOptions()
+		o.CarrierHz = *carrier
+		o.Depth = *depth
+		o.Rate = *rate
+		atk, err := attack.Baseline(sig, o)
+		if err != nil {
+			fatal("attack design: %v", err)
+		}
+		if err := audio.WriteWAVFile(*out, atk); err != nil {
+			fatal("writing %s: %v", *out, err)
+		}
+		fmt.Printf("wrote %s: %v, spectrum %g-%g Hz\n",
+			*out, atk, o.CarrierHz-o.LowPassHz, o.CarrierHz+o.LowPassHz)
+		return
+	}
+
+	o := attack.DefaultLongRangeOptions()
+	o.CarrierHz = *carrier
+	o.Rate = *rate
+	o.NumSegments = *segments
+	plan, err := attack.LongRange(sig, *power, o)
+	if err != nil {
+		fatal("long-range plan: %v", err)
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fatal("mkdir: %v", err)
+	}
+	written := 0
+	for i, seg := range plan.Segments {
+		if seg == nil {
+			continue
+		}
+		path := filepath.Join(*outdir, fmt.Sprintf("segment_%03d.wav", i))
+		norm := seg.Clone().Normalize(0.9)
+		if err := audio.WriteWAVFile(path, norm); err != nil {
+			fatal("writing %s: %v", path, err)
+		}
+		written++
+	}
+	carrierPath := filepath.Join(*outdir, "carrier.wav")
+	if err := audio.WriteWAVFile(carrierPath, plan.Carrier.Clone().Normalize(0.9)); err != nil {
+		fatal("writing %s: %v", carrierPath, err)
+	}
+	fmt.Printf("wrote %d segment drives + carrier to %s (slice width %.1f Hz, carrier %.1f W of %.1f W)\n",
+		written, *outdir, o.SliceWidthHz(), plan.CarrierPowerW, plan.TotalPowerW())
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "attackgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command defend classifies a recording (WAV file) as a legitimate voice
+// command or an ultrasound-injected one, using the non-linearity trace
+// features and a classifier trained on a freshly simulated corpus.
+//
+// Usage:
+//
+//	defend recording.wav [more.wav ...]
+//	defend -features-only recording.wav
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"inaudible/internal/core"
+	"inaudible/internal/defense"
+	"inaudible/internal/experiment"
+
+	"inaudible/internal/audio"
+)
+
+func main() {
+	var (
+		featuresOnly = flag.Bool("features-only", false, "print features without classifying")
+		seed         = flag.Int64("seed", 1, "corpus seed")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: defend [-features-only] file.wav ...")
+		os.Exit(2)
+	}
+
+	var svm *defense.LinearSVM
+	if !*featuresOnly {
+		fmt.Fprintln(os.Stderr, "defend: training detector on simulated corpus (one-time, ~minutes)...")
+		sc := core.DefaultScenario()
+		sc.Seed = *seed
+		cfg := experiment.DefaultCorpusConfig(sc)
+		legit, err := experiment.BuildLegit(cfg)
+		if err != nil {
+			fatal("building corpus: %v", err)
+		}
+		attacks, err := experiment.BuildAttacks(cfg)
+		if err != nil {
+			fatal("building corpus: %v", err)
+		}
+		var samples []defense.Sample
+		for _, r := range append(legit, attacks...) {
+			samples = append(samples, defense.Sample{
+				X:      defense.Extract(r.Signal).Vector(),
+				Attack: r.Attack,
+			})
+		}
+		svm, err = defense.TrainSVM(samples, 0.01, 60, *seed)
+		if err != nil {
+			fatal("training: %v", err)
+		}
+	}
+
+	for _, path := range flag.Args() {
+		sig, err := audio.ReadWAVFile(path)
+		if err != nil {
+			fatal("reading %s: %v", path, err)
+		}
+		f := defense.Extract(sig)
+		if *featuresOnly {
+			fmt.Printf("%s: %v\n", path, f)
+			continue
+		}
+		score := svm.Score(f.Vector())
+		verdict := "LEGITIMATE"
+		if score > 0 {
+			verdict = "ATTACK"
+		}
+		fmt.Printf("%s: %s (margin %+.2f)  %v\n", path, verdict, score, f)
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "defend: "+format+"\n", args...)
+	os.Exit(1)
+}

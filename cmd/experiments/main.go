@@ -1,0 +1,59 @@
+// Command experiments regenerates every table and figure series of the
+// paper's evaluation (experiment ids E1-E13, see DESIGN.md).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -id E6
+//	experiments -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"inaudible/internal/experiment"
+)
+
+func main() {
+	var (
+		id    = flag.String("id", "", "run a single experiment (E1..E13)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "smaller grids and trial counts")
+		list  = flag.Bool("list", false, "list experiment ids")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, eid := range experiment.IDs() {
+			fmt.Printf("%-4s %s\n", eid, experiment.Describe(eid))
+		}
+		return
+	}
+
+	s := experiment.NewSuite(experiment.Options{Quick: *quick, Seed: *seed})
+	run := func(eid string) {
+		start := time.Now()
+		fmt.Printf("\n######## %s — %s\n", eid, experiment.Describe(eid))
+		if err := s.Run(eid, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", eid, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %.1fs)\n", eid, time.Since(start).Seconds())
+	}
+
+	switch {
+	case *all:
+		for _, eid := range experiment.IDs() {
+			run(eid)
+		}
+	case *id != "":
+		run(*id)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,102 @@
+// Command simulate runs one end-to-end attack through the full physical
+// chain — attack design, speaker(s), air, victim microphone — and reports
+// what the voice assistant heard, whether it acted, and whether a
+// bystander would have noticed.
+//
+// Usage:
+//
+//	simulate -command photo -kind baseline -power 18.7 -distance 3
+//	simulate -command milk -device echo -kind longrange -power 300 -distance 7.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/core"
+	"inaudible/internal/defense"
+	"inaudible/internal/mic"
+	"inaudible/internal/voice"
+)
+
+func main() {
+	var (
+		cmdID    = flag.String("command", "photo", "vocabulary command id")
+		kind     = flag.String("kind", "baseline", "attack kind: baseline | longrange")
+		device   = flag.String("device", "phone", "victim device: phone | echo | reference")
+		power    = flag.Float64("power", 18.7, "electrical power, W (total for longrange)")
+		distance = flag.Float64("distance", 3, "attacker-to-device distance, m")
+		ambient  = flag.Float64("ambient", 40, "room noise, dB SPL")
+		seed     = flag.Int64("seed", 1, "noise seed")
+		saveWAV  = flag.String("save", "", "save the victim recording to this WAV path")
+	)
+	flag.Parse()
+
+	cmd, ok := voice.FindCommand(*cmdID)
+	if !ok {
+		fatal("unknown command %q", *cmdID)
+	}
+	sig := voice.MustSynthesize(cmd.Text, voice.DefaultVoice(), 48000)
+
+	s := core.DefaultScenario()
+	s.AmbientSPL = *ambient
+	s.Seed = *seed
+	switch *device {
+	case "phone":
+		s.Device = mic.AndroidPhone()
+	case "echo":
+		s.Device = mic.AmazonEcho()
+	case "reference":
+		s.Device = mic.ReferenceMic()
+	default:
+		fatal("unknown device %q", *device)
+	}
+
+	var k core.AttackKind
+	switch *kind {
+	case "baseline":
+		k = core.KindBaseline
+	case "longrange":
+		k = core.KindLongRange
+	default:
+		fatal("unknown kind %q", *kind)
+	}
+
+	fmt.Printf("command: %q  device: %s  attack: %s  power: %.1f W  distance: %.2f m\n",
+		cmd.Text, s.Device.Name, k, *power, *distance)
+	e, run, err := s.Simulate(sig, k, *power, *distance, 1)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("attacker rig: %d element(s), %.1f W total\n", e.Elements, e.TotalPowerW)
+	fmt.Printf("bystander @ %.1f m: leakage %.1f dB SPL(A), audible=%v (margin %+.1f dB)\n",
+		s.BystanderDistance, e.LeakageSPL, e.LeakageAudible, e.LeakageMargin)
+	fmt.Printf("at device: %.1f dB SPL, recording RMS %.5f\n", run.SPLAtDevice, run.Recording.RMS())
+
+	rec := core.NewRecognizer(voice.DefaultVoice())
+	res := rec.Recognize(run.Recording)
+	fmt.Printf("ASR: best=%q distance=%.2f accepted=%v (runner-up %q at %.2f)\n",
+		res.CommandID, res.Distance, res.Accepted, res.Runner, res.RunnerUp)
+	fmt.Printf("injection success: %v\n", res.Accepted && res.CommandID == cmd.ID)
+	wacc := rec.WordAccuracy(run.Recording, cmd.ID)
+	fmt.Printf("word accuracy: %.2f\n", wacc)
+
+	f := defense.Extract(run.Recording)
+	fmt.Printf("defense features: %v\n", f)
+
+	if *saveWAV != "" {
+		norm := run.Recording.Clone().Normalize(0.9)
+		if err := audio.WriteWAVFile(*saveWAV, norm); err != nil {
+			fatal("saving %s: %v", *saveWAV, err)
+		}
+		fmt.Printf("recording saved to %s\n", *saveWAV)
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "simulate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Long-range attack walkthrough: why the single-speaker attack cannot go
+// far, and how splitting the spectrum across an ultrasonic array removes
+// the audibility cap — the NSDI 2018 paper's offensive contribution.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"inaudible"
+)
+
+func main() {
+	cmd := inaudible.MustSynthesize("ok google, turn on airplane mode")
+	scenario := inaudible.NewScenario()
+	rec := inaudible.NewRecognizer()
+
+	fmt.Println("--- single speaker: the range/audibility dilemma ---")
+	for _, powerW := range []float64{0.5, 18.7} {
+		e, _, err := scenario.Simulate(cmd, inaudible.KindBaseline, powerW, 3, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ok := rec.InjectionSuccess(scenario.Deliver(e, 3, 1).Recording, "airplane")
+		fmt.Printf("%5.1f W: works@3m=%-5v audible-to-bystander=%v (margin %+.1f dB)\n",
+			powerW, ok, e.LeakageAudible, e.LeakageMargin)
+	}
+	fmt.Println("-> quiet enough to hide OR strong enough to work. Never both.")
+
+	fmt.Println()
+	fmt.Println("--- the long-range design: spectrum slices on separate elements ---")
+	plan, err := inaudible.LongRangeAttack(cmd, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %d driven elements, slice width %.1f Hz, carrier %.1f of %.1f W\n",
+		plan.ElementCount(), plan.Options.SliceWidthHz(), plan.CarrierPowerW, plan.TotalPowerW())
+
+	e, _, err := scenario.Simulate(cmd, inaudible.KindLongRange, 300, 7.6, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rig: %d elements at %.0f W total — leakage %.1f dB SPL(A), audible=%v\n",
+		e.Elements, e.TotalPowerW, e.LeakageSPL, e.LeakageAudible)
+
+	for _, d := range []float64{3, 5, 7.6} {
+		r := scenario.Deliver(e, d, 1)
+		ok := rec.InjectionSuccess(r.Recording, "airplane")
+		fmt.Printf("  at %.1f m: injection success=%v (ASR distance %.2f)\n",
+			d, ok, rec.Recognize(r.Recording).Distance)
+	}
+	fmt.Println("-> 16x the power of the audible baseline, inaudible, 25 ft of range.")
+}

@@ -1,0 +1,85 @@
+package inaudible_test
+
+import (
+	"testing"
+
+	"inaudible"
+	"inaudible/internal/asr"
+	"inaudible/internal/audio"
+)
+
+// asrMFCC adapts the internal MFCC for the benchmark file.
+func asrMFCC(sig *audio.Signal) [][]float64 { return asr.MFCC(sig) }
+
+func TestFacadeSynthesize(t *testing.T) {
+	s, err := inaudible.Synthesize("alexa, play music")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rate != 48000 || s.Len() == 0 {
+		t.Fatalf("facade synthesis: %v", s)
+	}
+	if _, err := inaudible.Synthesize("gibberishword"); err == nil {
+		t.Fatal("expected lexicon error")
+	}
+}
+
+func TestFacadeVocabulary(t *testing.T) {
+	v := inaudible.Vocabulary()
+	if len(v) < 8 {
+		t.Fatalf("vocabulary size %d", len(v))
+	}
+}
+
+func TestFacadeAttackDesign(t *testing.T) {
+	cmd := inaudible.MustSynthesize("alexa, play music")
+	atk, err := inaudible.BaselineAttack(cmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if atk.Rate != 192000 {
+		t.Fatalf("attack rate %v", atk.Rate)
+	}
+	plan, err := inaudible.LongRangeAttack(cmd, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ElementCount() < 5 {
+		t.Fatalf("plan elements %d", plan.ElementCount())
+	}
+}
+
+func TestFacadeDevices(t *testing.T) {
+	if inaudible.AndroidPhone().Name != "android-phone" {
+		t.Fatal("phone profile")
+	}
+	if inaudible.AmazonEcho().ADCRate != 44100 {
+		t.Fatal("echo profile")
+	}
+	if inaudible.ReferenceMic().NL.Order() != 1 {
+		t.Fatal("reference mic should be linear")
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	cmd := inaudible.MustSynthesize("alexa, play music")
+	s := inaudible.NewScenario()
+	e, run, err := s.Simulate(cmd, inaudible.KindBaseline, 18.7, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Elements != 1 {
+		t.Fatalf("elements %d", e.Elements)
+	}
+	f := inaudible.ExtractFeatures(run.Recording)
+	if f.TraceSNR <= -6 && f.HighSNR <= -6 {
+		t.Fatalf("no traces in attack recording: %v", f)
+	}
+	rec := inaudible.NewRecognizer()
+	if !rec.InjectionSuccess(run.Recording, "music") {
+		t.Fatalf("injection failed: %+v", rec.Recognize(run.Recording))
+	}
+}

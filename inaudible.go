@@ -1,0 +1,123 @@
+// Package inaudible is the public facade of the repository: a faithful
+// reimplementation of "Inaudible Voice Commands: The Long-Range Attack and
+// Defense" (NSDI 2018) over a fully simulated physical substrate (see
+// DESIGN.md for the paper-to-module mapping and the mismatch note about
+// the supplied paper text).
+//
+// The library covers both sides of the paper:
+//
+//   - Attack: converting a voice command into ultrasound that a victim
+//     microphone's non-linearity demodulates back into voice — the
+//     single-speaker baseline (range-capped by audible self-leakage) and
+//     the multi-speaker long-range design (spectrum slices on separate
+//     elements, leakage confined below the hearing threshold).
+//   - Defense: trace features of non-linear demodulation (infra-voice
+//     band energy, squared-envelope correlation, super-voice band energy)
+//     and classifiers that detect injected commands.
+//
+// Quick start:
+//
+//	cmd := inaudible.MustSynthesize("ok google, take a picture")
+//	scenario := inaudible.NewScenario()
+//	emission, run, err := scenario.Simulate(cmd, inaudible.KindBaseline, 18.7, 3, 1)
+//	rec := inaudible.NewRecognizer()
+//	fmt.Println(rec.InjectionSuccess(run.Recording, "photo"), emission.LeakageAudible)
+//
+// The deeper layers are importable directly for research use:
+// internal/dsp (kernels), internal/acoustics (propagation), internal/mic
+// and internal/speaker (transducer chains), internal/attack and
+// internal/defense (the paper's contribution), internal/core (end-to-end
+// engine) and internal/experiment (the evaluation harness).
+package inaudible
+
+import (
+	"inaudible/internal/asr"
+	"inaudible/internal/attack"
+	"inaudible/internal/audio"
+	"inaudible/internal/core"
+	"inaudible/internal/defense"
+	"inaudible/internal/mic"
+	"inaudible/internal/speaker"
+	"inaudible/internal/voice"
+)
+
+// Re-exported core types. The aliases keep one import path for typical
+// use while the internal packages stay the source of truth.
+type (
+	// Signal is a mono sampled waveform (see internal/audio).
+	Signal = audio.Signal
+	// Command is one entry of the closed command vocabulary.
+	Command = voice.Command
+	// Profile describes a synthetic talker.
+	Profile = voice.Profile
+	// Scenario fixes a victim device and environment.
+	Scenario = core.Scenario
+	// Emission is a cached attacker output with audibility metadata.
+	Emission = core.Emission
+	// RunResult is one delivery of an emission to the victim.
+	RunResult = core.RunResult
+	// AttackKind selects baseline or long-range.
+	AttackKind = core.AttackKind
+	// Recognizer is the template ASR substrate.
+	Recognizer = asr.Recognizer
+	// Features is the defense feature vector.
+	Features = defense.Features
+	// BaselineOptions parameterises the single-speaker attack.
+	BaselineOptions = attack.BaselineOptions
+	// LongRangeOptions parameterises the multi-speaker attack.
+	LongRangeOptions = attack.LongRangeOptions
+	// Device is a victim microphone profile.
+	Device = mic.Device
+	// Speaker is an emitting element profile.
+	Speaker = speaker.Speaker
+)
+
+// Attack kinds.
+const (
+	KindBaseline  = core.KindBaseline
+	KindLongRange = core.KindLongRange
+)
+
+// Vocabulary returns the supported command set.
+func Vocabulary() []Command { return voice.Vocabulary() }
+
+// Synthesize renders a command text with the default voice at 48 kHz.
+func Synthesize(text string) (*Signal, error) {
+	return voice.Synthesize(text, voice.DefaultVoice(), 48000)
+}
+
+// MustSynthesize is Synthesize for known-good vocabulary text.
+func MustSynthesize(text string) *Signal {
+	return voice.MustSynthesize(text, voice.DefaultVoice(), 48000)
+}
+
+// NewScenario returns the paper's default setup: Android phone victim in
+// a quiet meeting room, bystander at 1.5 m from the rig.
+func NewScenario() *Scenario { return core.DefaultScenario() }
+
+// NewRecognizer returns the experiment recogniser (vocabulary templates
+// with demodulation-channel augmentation).
+func NewRecognizer() *Recognizer { return core.NewRecognizer(voice.DefaultVoice()) }
+
+// BaselineAttack designs the single-speaker attack waveform with the
+// paper's published parameters (192 kHz, fc = 30 kHz, 8 kHz baseband).
+func BaselineAttack(cmd *Signal) (*Signal, error) {
+	return attack.Baseline(cmd, attack.DefaultBaselineOptions())
+}
+
+// LongRangeAttack builds the multi-speaker plan at the given total power.
+func LongRangeAttack(cmd *Signal, totalPowerW float64) (*attack.Plan, error) {
+	return attack.LongRange(cmd, totalPowerW, attack.DefaultLongRangeOptions())
+}
+
+// ExtractFeatures computes the defense features of a recording.
+func ExtractFeatures(rec *Signal) Features { return defense.Extract(rec) }
+
+// AndroidPhone, AmazonEcho and ReferenceMic re-export the device profiles.
+func AndroidPhone() *Device { return mic.AndroidPhone() }
+
+// AmazonEcho returns the Echo device profile.
+func AmazonEcho() *Device { return mic.AmazonEcho() }
+
+// ReferenceMic returns the perfectly linear control microphone.
+func ReferenceMic() *Device { return mic.ReferenceMic() }

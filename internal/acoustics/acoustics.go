@@ -1,0 +1,229 @@
+// Package acoustics models sound propagation from attacker speakers to the
+// victim device and to bystander listeners: spherical spreading,
+// frequency-dependent atmospheric absorption (ISO 9613-1), propagation
+// delay, ambient room noise and first-order room reflections.
+//
+// Physical convention: signals in this package are instantaneous sound
+// pressure in pascals. A source is characterised by the pressure waveform
+// it produces at the 1 m reference distance; Propagate transforms that
+// reference waveform into the waveform at distance r.
+//
+// The frequency dependence of absorption is what gives the paper's design
+// space its shape: at 30-60 kHz air absorbs sound an order of magnitude
+// faster than in the voice band, so carrier choice trades inaudibility
+// against range.
+package acoustics
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+)
+
+// ReferencePressure is the standard reference for dB SPL, 20 µPa.
+const ReferencePressure = 20e-6
+
+// SPL converts an RMS pressure in pascals to dB SPL.
+func SPL(rmsPascal float64) float64 {
+	if rmsPascal <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(rmsPascal/ReferencePressure)
+}
+
+// PressureFromSPL converts dB SPL to RMS pressure in pascals.
+func PressureFromSPL(db float64) float64 {
+	return ReferencePressure * math.Pow(10, db/20)
+}
+
+// SpeedOfSound returns the speed of sound in air (m/s) at temperature
+// tempC in degrees Celsius.
+func SpeedOfSound(tempC float64) float64 {
+	return 331.3 * math.Sqrt(1+tempC/273.15)
+}
+
+// Air describes the atmospheric conditions used for absorption and delay.
+type Air struct {
+	TempC       float64 // temperature, degrees Celsius
+	RelHumidity float64 // relative humidity, percent (0-100)
+	PressureKPa float64 // ambient pressure, kPa
+}
+
+// DefaultAir is a typical indoor atmosphere: 20 C, 50% RH, 101.325 kPa.
+func DefaultAir() Air { return Air{TempC: 20, RelHumidity: 50, PressureKPa: 101.325} }
+
+// AbsorptionDBPerMeter returns the pure-tone atmospheric attenuation
+// coefficient at frequency f (Hz) in dB per metre, following ISO 9613-1.
+func (a Air) AbsorptionDBPerMeter(f float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	const (
+		T0  = 293.15 // reference temperature, K
+		T01 = 273.16 // triple point, K
+		pr  = 101.325
+	)
+	T := a.TempC + 273.15
+	pa := a.PressureKPa
+	// Molar concentration of water vapour (%).
+	psatRatio := math.Pow(10, -6.8346*math.Pow(T01/T, 1.261)+4.6151)
+	h := a.RelHumidity * psatRatio * (pr / pa)
+	// Oxygen and nitrogen relaxation frequencies (Hz).
+	frO := (pa / pr) * (24 + 4.04e4*h*(0.02+h)/(0.391+h))
+	frN := (pa / pr) * math.Pow(T/T0, -0.5) *
+		(9 + 280*h*math.Exp(-4.17*(math.Pow(T/T0, -1.0/3)-1)))
+	f2 := f * f
+	alpha := 8.686 * f2 * ((1.84e-11 * (pr / pa) * math.Sqrt(T/T0)) +
+		math.Pow(T/T0, -2.5)*(0.01275*math.Exp(-2239.1/T)/(frO+f2/frO)+
+			0.1068*math.Exp(-3352.0/T)/(frN+f2/frN)))
+	return alpha
+}
+
+// Path describes one propagation path from a source to a receiver.
+type Path struct {
+	Distance float64 // metres; must be >= a small positive bound
+	Air      Air
+	// IncludeDelay applies the physical propagation delay as a linear
+	// phase. Experiments that align signals for comparison can disable it.
+	IncludeDelay bool
+}
+
+// Propagate transforms the source's 1 m reference pressure waveform into
+// the pressure waveform at the path's distance: 1/r spherical spreading,
+// ISO 9613-1 absorption applied per frequency bin, and (optionally) the
+// propagation delay. The input is not modified.
+func (p Path) Propagate(src *audio.Signal) *audio.Signal {
+	if p.Distance <= 0 {
+		panic(fmt.Sprintf("acoustics: non-positive distance %v", p.Distance))
+	}
+	r := p.Distance
+	if r < 0.1 {
+		r = 0.1 // clamp: the point-source model diverges at r -> 0
+	}
+	n := len(src.Samples)
+	if n == 0 {
+		return src.Clone()
+	}
+	size := dsp.NextPowerOfTwo(n + 1)
+	spec := make([]complex128, size)
+	for i, v := range src.Samples {
+		spec[i] = complex(v, 0)
+	}
+	dsp.FFT(spec)
+
+	c := SpeedOfSound(p.Air.TempC)
+	delay := r / c
+	spread := 1 / r
+	half := size / 2
+	for k := 0; k <= half; k++ {
+		f := dsp.BinFrequency(k, size, src.Rate)
+		att := spread * math.Pow(10, -p.Air.AbsorptionDBPerMeter(f)*r/20)
+		h := complex(att, 0)
+		if p.IncludeDelay {
+			phase := -2 * math.Pi * f * delay
+			h *= complex(math.Cos(phase), math.Sin(phase))
+		}
+		spec[k] *= h
+		if k != 0 && k != half {
+			// Maintain conjugate symmetry for a real output.
+			idx := size - k
+			re, im := real(h), imag(h)
+			spec[idx] *= complex(re, -im)
+		}
+	}
+	dsp.IFFT(spec)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = real(spec[i])
+	}
+	return &audio.Signal{Rate: src.Rate, Samples: out}
+}
+
+// Attenuation returns the total pressure-amplitude attenuation factor
+// (spreading + absorption) for a pure tone at frequency f over the path.
+func (p Path) Attenuation(f float64) float64 {
+	r := p.Distance
+	if r < 0.1 {
+		r = 0.1
+	}
+	return (1 / r) * math.Pow(10, -p.Air.AbsorptionDBPerMeter(f)*r/20)
+}
+
+// AmbientNoise generates pink room noise at the given overall SPL (dB),
+// in pascals, using the supplied RNG.
+func AmbientNoise(rng *rand.Rand, rate, seconds, spl float64) *audio.Signal {
+	rms := PressureFromSPL(spl)
+	return audio.PinkNoise(rng, rate, rms, seconds)
+}
+
+// Room is a rectangular (shoebox) room for first-order image-source
+// reflections. Dimensions in metres; Reflection is the pressure reflection
+// coefficient of the surfaces (0 = anechoic, 1 = perfect mirror).
+type Room struct {
+	Lx, Ly, Lz float64
+	Reflection float64
+	Air        Air
+}
+
+// MeetingRoom returns the paper's experiment room: 6.5 m x 4 m x 2.5 m,
+// with moderately absorptive surfaces.
+func MeetingRoom() Room {
+	return Room{Lx: 6.5, Ly: 4, Lz: 2.5, Reflection: 0.35, Air: DefaultAir()}
+}
+
+// Position is a 3-D point in room coordinates (metres).
+type Position struct{ X, Y, Z float64 }
+
+// Distance returns the Euclidean distance between two positions.
+func (p Position) Distance(q Position) float64 {
+	dx, dy, dz := p.X-q.X, p.Y-q.Y, p.Z-q.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// ImagePaths returns the direct path plus the six first-order reflection
+// paths between src and dst, as (distance, gain) pairs where gain includes
+// the reflection loss but not spreading/absorption (Propagate handles
+// those). Out-of-room positions are not validated.
+func (r Room) ImagePaths(src, dst Position) []struct {
+	Distance float64
+	Gain     float64
+} {
+	type dg = struct {
+		Distance float64
+		Gain     float64
+	}
+	out := []dg{{src.Distance(dst), 1}}
+	if r.Reflection <= 0 {
+		return out
+	}
+	images := []Position{
+		{-src.X, src.Y, src.Z},         // x=0 wall
+		{2*r.Lx - src.X, src.Y, src.Z}, // x=Lx wall
+		{src.X, -src.Y, src.Z},         // y=0 wall
+		{src.X, 2*r.Ly - src.Y, src.Z}, // y=Ly wall
+		{src.X, src.Y, -src.Z},         // floor
+		{src.X, src.Y, 2*r.Lz - src.Z}, // ceiling
+	}
+	for _, img := range images {
+		out = append(out, dg{img.Distance(dst), r.Reflection})
+	}
+	return out
+}
+
+// PropagateInRoom combines the direct path and first-order reflections:
+// each image contributes a delayed, attenuated copy. The output length
+// matches the input.
+func (r Room) PropagateInRoom(src *audio.Signal, from, to Position) *audio.Signal {
+	paths := r.ImagePaths(from, to)
+	out := audio.New(src.Rate, src.Duration())
+	for _, pg := range paths {
+		p := Path{Distance: pg.Distance, Air: r.Air, IncludeDelay: true}
+		contrib := p.Propagate(src)
+		contrib.Gain(pg.Gain)
+		dsp.Add(out.Samples, contrib.Samples)
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package acoustics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+)
+
+func TestSPLConversions(t *testing.T) {
+	// 1 Pa RMS is ~94 dB SPL.
+	if got := SPL(1); math.Abs(got-93.979) > 0.01 {
+		t.Errorf("SPL(1 Pa)=%v", got)
+	}
+	if got := SPL(ReferencePressure); math.Abs(got) > 1e-9 {
+		t.Errorf("SPL(p0)=%v, want 0", got)
+	}
+	if !math.IsInf(SPL(0), -1) {
+		t.Error("SPL(0) should be -Inf")
+	}
+	// Round trip.
+	for _, db := range []float64{0, 40, 94, 120} {
+		if got := SPL(PressureFromSPL(db)); math.Abs(got-db) > 1e-9 {
+			t.Errorf("round trip %v -> %v", db, got)
+		}
+	}
+}
+
+func TestSpeedOfSound(t *testing.T) {
+	if got := SpeedOfSound(20); math.Abs(got-343.2) > 0.5 {
+		t.Errorf("c(20C)=%v", got)
+	}
+	if got := SpeedOfSound(0); math.Abs(got-331.3) > 0.1 {
+		t.Errorf("c(0C)=%v", got)
+	}
+	if SpeedOfSound(30) <= SpeedOfSound(10) {
+		t.Error("speed of sound must increase with temperature")
+	}
+}
+
+func TestAbsorptionISO9613ReferenceValues(t *testing.T) {
+	// Spot-check against published ISO 9613-1 style values for
+	// 20 C / 50% RH / 1 atm (tolerances generous: table roundings vary).
+	air := DefaultAir()
+	cases := []struct {
+		f        float64
+		wantDBkm float64 // dB per kilometre
+		tol      float64
+	}{
+		{1000, 4.7, 2},
+		{4000, 25, 10},
+		{10000, 160, 60},
+	}
+	for _, c := range cases {
+		got := air.AbsorptionDBPerMeter(c.f) * 1000
+		if math.Abs(got-c.wantDBkm) > c.tol {
+			t.Errorf("alpha(%v Hz)=%v dB/km, want ~%v", c.f, got, c.wantDBkm)
+		}
+	}
+}
+
+func TestAbsorptionMonotoneInFrequency(t *testing.T) {
+	// Ultrasound must attenuate faster than voice band — the physical fact
+	// that penalises high carriers (DESIGN.md E8).
+	air := DefaultAir()
+	prev := 0.0
+	for _, f := range []float64{100, 1000, 5000, 10000, 20000, 30000, 40000, 60000} {
+		a := air.AbsorptionDBPerMeter(f)
+		if a < prev {
+			t.Fatalf("absorption not monotone at %v Hz: %v < %v", f, a, prev)
+		}
+		prev = a
+	}
+	if air.AbsorptionDBPerMeter(0) != 0 {
+		t.Error("alpha(0) should be 0")
+	}
+	// At 30 kHz absorption should be on the order of 0.1 dB/m or more.
+	if a := air.AbsorptionDBPerMeter(30000); a < 0.05 {
+		t.Errorf("alpha(30 kHz)=%v dB/m suspiciously low", a)
+	}
+}
+
+func TestPropagateSpreadingLoss(t *testing.T) {
+	// Low frequency, short range: absorption negligible, so amplitude
+	// should scale as 1/r.
+	src := audio.Tone(48000, 100, 1, 0.5)
+	for _, r := range []float64{1.0, 2.0, 4.0} {
+		p := Path{Distance: r, Air: DefaultAir()}
+		out := p.Propagate(src)
+		mid := out.Slice(0.1, 0.4)
+		want := (1 / math.Sqrt2) / r
+		if got := mid.RMS(); math.Abs(got-want)/want > 0.02 {
+			t.Errorf("r=%v: RMS %v want %v", r, got, want)
+		}
+	}
+}
+
+func TestPropagateUltrasoundDecaysFaster(t *testing.T) {
+	const rate = 192000.0
+	dist := 10.0
+	voice := audio.Tone(rate, 1000, 1, 0.25)
+	ultra := audio.Tone(rate, 40000, 1, 0.25)
+	p := Path{Distance: dist, Air: DefaultAir()}
+	voiceOut := p.Propagate(voice).Slice(0.05, 0.2).RMS()
+	ultraOut := p.Propagate(ultra).Slice(0.05, 0.2).RMS()
+	// Both suffer the same spreading; ultrasound additionally absorbs.
+	if ultraOut >= voiceOut {
+		t.Fatalf("ultrasound should decay faster: voice %v ultra %v", voiceOut, ultraOut)
+	}
+}
+
+func TestPropagateDelay(t *testing.T) {
+	const rate = 48000.0
+	// An impulse at t=0.1 s propagated over 3.43 m should arrive ~10 ms later.
+	src := audio.New(rate, 0.5)
+	src.Samples[4800] = 1
+	c := SpeedOfSound(20)
+	dist := c * 0.010
+	p := Path{Distance: dist, Air: DefaultAir(), IncludeDelay: true}
+	out := p.Propagate(src)
+	argmax := 0
+	for i, v := range out.Samples {
+		if math.Abs(v) > math.Abs(out.Samples[argmax]) {
+			argmax = i
+		}
+	}
+	wantIdx := 4800 + int(0.010*rate)
+	if int(math.Abs(float64(argmax-wantIdx))) > 3 {
+		t.Fatalf("impulse arrived at %d, want ~%d", argmax, wantIdx)
+	}
+}
+
+func TestPropagatePanicsOnBadDistance(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Path{Distance: 0}.Propagate(audio.Tone(48000, 100, 1, 0.1))
+}
+
+func TestAttenuationMatchesPropagate(t *testing.T) {
+	const rate, f = 192000.0, 30000.0
+	src := audio.Tone(rate, f, 1, 0.25)
+	for _, r := range []float64{1, 3, 7} {
+		p := Path{Distance: r, Air: DefaultAir()}
+		got := p.Propagate(src).Slice(0.05, 0.2).RMS() * math.Sqrt2
+		want := p.Attenuation(f)
+		if math.Abs(got-want)/want > 0.03 {
+			t.Errorf("r=%v: measured %v predicted %v", r, got, want)
+		}
+	}
+}
+
+func TestAttenuationMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		freq := 100 + rng.Float64()*50000
+		r1 := 0.5 + rng.Float64()*5
+		r2 := r1 + 0.5 + rng.Float64()*10
+		p1 := Path{Distance: r1, Air: DefaultAir()}
+		p2 := Path{Distance: r2, Air: DefaultAir()}
+		return p2.Attenuation(freq) < p1.Attenuation(freq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAmbientNoiseLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := AmbientNoise(rng, 48000, 2, 40)
+	if got := SPL(n.RMS()); math.Abs(got-40) > 1 {
+		t.Fatalf("ambient noise at %v dB SPL, want 40", got)
+	}
+}
+
+func TestPositionDistance(t *testing.T) {
+	a := Position{0, 0, 0}
+	b := Position{3, 4, 0}
+	if d := a.Distance(b); d != 5 {
+		t.Fatalf("distance %v", d)
+	}
+}
+
+func TestImagePathsCount(t *testing.T) {
+	room := MeetingRoom()
+	src := Position{1, 1, 1}
+	dst := Position{4, 2, 1.2}
+	paths := room.ImagePaths(src, dst)
+	if len(paths) != 7 {
+		t.Fatalf("got %d paths, want 7 (direct + 6 walls)", len(paths))
+	}
+	if paths[0].Gain != 1 {
+		t.Fatal("direct path gain must be 1")
+	}
+	// All reflections are longer than the direct path.
+	for i, pg := range paths[1:] {
+		if pg.Distance <= paths[0].Distance {
+			t.Fatalf("reflection %d shorter than direct: %v <= %v", i, pg.Distance, paths[0].Distance)
+		}
+		if pg.Gain != room.Reflection {
+			t.Fatalf("reflection gain %v", pg.Gain)
+		}
+	}
+	// Anechoic room: only the direct path.
+	room.Reflection = 0
+	if got := len(room.ImagePaths(src, dst)); got != 1 {
+		t.Fatalf("anechoic paths %d", got)
+	}
+}
+
+func TestPropagateInRoomAddsReverb(t *testing.T) {
+	room := MeetingRoom()
+	src := audio.Tone(48000, 1000, 1, 0.3)
+	from := Position{1, 2, 1.2}
+	to := Position{4, 2, 1.2}
+	wet := room.PropagateInRoom(src, from, to)
+	room.Reflection = 0
+	dry := room.PropagateInRoom(src, from, to)
+	if wet.Len() != src.Len() || dry.Len() != src.Len() {
+		t.Fatal("length mismatch")
+	}
+	// Reverberant field carries more energy than the direct path alone.
+	if wet.RMS() <= dry.RMS()*1.0001 {
+		t.Fatalf("reflections added no energy: wet %v dry %v", wet.RMS(), dry.RMS())
+	}
+}
+
+func TestWelchPressureCalibration(t *testing.T) {
+	// A 0.1 Pa-amplitude tone is ~71 dB SPL; check the PSD-based SPL path
+	// used by the psycho package agrees with the time-domain RMS.
+	s := audio.Tone(48000, 1000, 0.1, 1)
+	psd := dsp.Welch(s.Samples, 4096)
+	p := dsp.BandPower(psd, 48000, 4096, 800, 1200)
+	splFromPSD := SPL(math.Sqrt(p))
+	splFromRMS := SPL(s.RMS())
+	if math.Abs(splFromPSD-splFromRMS) > 0.5 {
+		t.Fatalf("PSD SPL %v vs RMS SPL %v", splFromPSD, splFromRMS)
+	}
+}

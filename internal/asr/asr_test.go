@@ -1,0 +1,210 @@
+package asr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/voice"
+)
+
+func TestMFCCShape(t *testing.T) {
+	s := voice.MustSynthesize("alexa, play music", voice.DefaultVoice(), 48000)
+	f := MFCC(s)
+	if len(f) == 0 {
+		t.Fatal("no frames")
+	}
+	for _, row := range f {
+		if len(row) != NumCoeffs {
+			t.Fatalf("frame width %d", len(row))
+		}
+	}
+	// CMN: every coefficient's temporal mean is ~0.
+	for c := 0; c < NumCoeffs; c++ {
+		var m float64
+		for _, row := range f {
+			m += row[c]
+		}
+		m /= float64(len(f))
+		if math.Abs(m) > 1e-9 {
+			t.Fatalf("coeff %d mean %v after CMN", c, m)
+		}
+	}
+}
+
+func TestMFCCShortSignal(t *testing.T) {
+	if f := MFCC(audio.Silence(16000, 0.01)); f != nil {
+		t.Fatal("sub-frame signal should yield nil")
+	}
+}
+
+func TestMFCCRateInvariance(t *testing.T) {
+	// The same utterance at 44.1 kHz and 48 kHz must produce similar
+	// features (both resampled to 16 kHz internally).
+	s48 := voice.MustSynthesize("alexa, what time is it", voice.DefaultVoice(), 48000)
+	s44 := s48.Resampled(44100)
+	d := DTW(MFCC(s48), MFCC(s44))
+	if d > 1.0 {
+		t.Fatalf("rate-variant features: DTW distance %v", d)
+	}
+}
+
+func TestDTWIdentityAndSymmetryish(t *testing.T) {
+	s := voice.MustSynthesize("alexa, play music", voice.DefaultVoice(), 48000)
+	f := MFCC(s)
+	if d := DTW(f, f); d > 1e-9 {
+		t.Fatalf("self distance %v", d)
+	}
+	if !math.IsInf(DTW(nil, f), 1) || !math.IsInf(DTW(f, nil), 1) {
+		t.Fatal("empty input must give +Inf")
+	}
+}
+
+func TestDTWTimeWarpTolerance(t *testing.T) {
+	// The same text spoken 20% faster must remain far closer to its own
+	// template than a different command is.
+	p := voice.DefaultVoice()
+	fast := p
+	fast.RateScale = 0.8
+	a := MFCC(voice.MustSynthesize("ok google, take a picture", p, 48000))
+	b := MFCC(voice.MustSynthesize("ok google, take a picture", fast, 48000))
+	c := MFCC(voice.MustSynthesize("alexa, add milk to my shopping list", p, 48000))
+	same := DTW(a, b)
+	diff := DTW(a, c)
+	if same >= diff {
+		t.Fatalf("warped self %v >= other command %v", same, diff)
+	}
+}
+
+func TestSubsequenceDTWFindsEmbeddedWord(t *testing.T) {
+	p := voice.DefaultVoice()
+	word := MFCC(voice.TrimSilence(voice.MustSynthesize("picture", p, 48000), 35))
+	sent := MFCC(voice.MustSynthesize("ok google, take a picture", p, 48000))
+	dIn, end := SubsequenceDTW(word, sent)
+	if end < 0 {
+		t.Fatal("no match position")
+	}
+	other := MFCC(voice.MustSynthesize("alexa, play music", p, 48000))
+	dOut, _ := SubsequenceDTW(word, other)
+	if dIn >= dOut {
+		t.Fatalf("embedded word not closer: in %v out %v", dIn, dOut)
+	}
+}
+
+func newTestRecognizer() *Recognizer {
+	return NewRecognizer(voice.Vocabulary(), voice.DefaultVoice())
+}
+
+func TestRecognizerCleanCommands(t *testing.T) {
+	r := newTestRecognizer()
+	p := voice.DefaultVoice()
+	for _, c := range voice.Vocabulary() {
+		rec := voice.MustSynthesize(c.Text, p, 48000)
+		res := r.Recognize(rec)
+		if !res.Accepted || res.CommandID != c.ID {
+			t.Errorf("command %q: got %+v", c.ID, res)
+		}
+		if res.Distance > 1.0 {
+			t.Errorf("command %q: clean self-distance %v suspiciously high", c.ID, res.Distance)
+		}
+	}
+}
+
+func TestRecognizerSeparation(t *testing.T) {
+	// The margin between the correct command and the runner-up must be
+	// comfortably wide on clean audio.
+	r := newTestRecognizer()
+	p := voice.DefaultVoice()
+	for _, c := range voice.Vocabulary() {
+		rec := voice.MustSynthesize(c.Text, p, 48000)
+		res := r.Recognize(rec)
+		if res.RunnerUp < res.Distance+0.5 {
+			t.Errorf("command %q: runner-up %q at %v vs %v — weak separation",
+				c.ID, res.Runner, res.RunnerUp, res.Distance)
+		}
+	}
+}
+
+func TestRecognizerRejectsNoise(t *testing.T) {
+	r := newTestRecognizer()
+	rng := rand.New(rand.NewSource(9))
+	noise := audio.WhiteNoise(rng, 48000, 0.3, 2)
+	res := r.Recognize(noise)
+	if res.Accepted {
+		t.Fatalf("noise accepted as %q (d=%v)", res.CommandID, res.Distance)
+	}
+}
+
+func TestRecognizerRejectsSilence(t *testing.T) {
+	r := newTestRecognizer()
+	res := r.Recognize(audio.Silence(48000, 1))
+	if res.Accepted {
+		t.Fatal("silence accepted")
+	}
+}
+
+func TestInjectionSuccess(t *testing.T) {
+	r := newTestRecognizer()
+	p := voice.DefaultVoice()
+	rec := voice.MustSynthesize("alexa, play music", p, 48000)
+	if !r.InjectionSuccess(rec, "music") {
+		t.Fatal("clean injection should succeed")
+	}
+	if r.InjectionSuccess(rec, "photo") {
+		t.Fatal("wrong target should fail")
+	}
+}
+
+func TestWakeDetection(t *testing.T) {
+	r := newTestRecognizer()
+	p := voice.DefaultVoice()
+	rec := voice.MustSynthesize("alexa, add milk to my shopping list", p, 48000)
+	ok, err := r.WakeDetected(rec, "alexa")
+	if err != nil || !ok {
+		t.Fatalf("wake not detected: %v %v", ok, err)
+	}
+	if _, err := r.WakeDetected(rec, "computer"); err == nil {
+		t.Fatal("unknown wake should error")
+	}
+	// A command without the wake word must not trigger it... all our
+	// commands have wakes, so test against a different wake.
+	ok, err = r.WakeDetected(rec, "ok google")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("'ok google' spotted inside an alexa command")
+	}
+}
+
+func TestWordAccuracyCleanIsHigh(t *testing.T) {
+	r := newTestRecognizer()
+	p := voice.DefaultVoice()
+	rec := voice.MustSynthesize("ok google, turn on airplane mode", p, 48000)
+	if acc := r.WordAccuracy(rec, "airplane"); acc < 0.8 {
+		t.Fatalf("clean word accuracy %v", acc)
+	}
+	if acc := r.WordAccuracy(audio.Silence(48000, 1), "airplane"); acc != 0 {
+		t.Fatalf("silence word accuracy %v", acc)
+	}
+	if acc := r.WordAccuracy(rec, "not-a-command"); acc != 0 {
+		t.Fatalf("unknown command word accuracy %v", acc)
+	}
+}
+
+func TestWordAccuracyDegradesWithNoise(t *testing.T) {
+	r := newTestRecognizer()
+	p := voice.DefaultVoice()
+	clean := voice.MustSynthesize("ok google, turn on airplane mode", p, 48000)
+	rng := rand.New(rand.NewSource(4))
+	noisy := clean.Clone()
+	// Drown it: SNR ~ -12 dB.
+	noise := audio.WhiteNoise(rng, 48000, clean.RMS()*4, noisy.Duration())
+	noisy.MixInto(noise, 0)
+	accClean := r.WordAccuracy(clean, "airplane")
+	accNoisy := r.WordAccuracy(noisy, "airplane")
+	if accNoisy >= accClean {
+		t.Fatalf("accuracy did not degrade: clean %v noisy %v", accClean, accNoisy)
+	}
+}

@@ -1,0 +1,107 @@
+package asr
+
+import "math"
+
+// euclidean returns the Euclidean distance between two feature vectors.
+func euclidean(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// DTW computes the dynamic-time-warping distance between two feature
+// sequences, normalised by the warping path length, with the standard
+// (diagonal, up, left) step pattern. Empty inputs return +Inf.
+func DTW(a, b [][]float64) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return math.Inf(1)
+	}
+	inf := math.Inf(1)
+	// Rolling two-row DP over cost and path length.
+	prevC := make([]float64, m+1)
+	curC := make([]float64, m+1)
+	prevL := make([]int, m+1)
+	curL := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prevC[j] = inf
+	}
+	prevC[0] = 0
+	for i := 1; i <= n; i++ {
+		curC[0] = inf
+		for j := 1; j <= m; j++ {
+			d := euclidean(a[i-1], b[j-1])
+			// Choose the cheapest predecessor.
+			bc, bl := prevC[j-1], prevL[j-1] // diagonal
+			if prevC[j] < bc {
+				bc, bl = prevC[j], prevL[j] // up
+			}
+			if curC[j-1] < bc {
+				bc, bl = curC[j-1], curL[j-1] // left
+			}
+			curC[j] = bc + d
+			curL[j] = bl + 1
+		}
+		prevC, curC = curC, prevC
+		prevL, curL = curL, prevL
+		curC[0] = inf
+	}
+	if math.IsInf(prevC[m], 1) {
+		return inf
+	}
+	return prevC[m] / float64(prevL[m])
+}
+
+// SubsequenceDTW finds the best match of the (short) query inside the
+// (long) reference, allowing the alignment to start and end anywhere in
+// the reference. It returns the path-normalised distance of the best
+// match and the reference frame at which it ends. Used for keyword
+// spotting (wake words, per-word accuracy).
+func SubsequenceDTW(query, ref [][]float64) (dist float64, endFrame int) {
+	n, m := len(query), len(ref)
+	if n == 0 || m == 0 {
+		return math.Inf(1), -1
+	}
+	inf := math.Inf(1)
+	prevC := make([]float64, m+1)
+	curC := make([]float64, m+1)
+	prevL := make([]int, m+1)
+	curL := make([]int, m+1)
+	// Free start: row 0 costs nothing anywhere in the reference.
+	for j := 0; j <= m; j++ {
+		prevC[j] = 0
+		prevL[j] = 0
+	}
+	for i := 1; i <= n; i++ {
+		curC[0] = inf
+		curL[0] = 0
+		for j := 1; j <= m; j++ {
+			d := euclidean(query[i-1], ref[j-1])
+			bc, bl := prevC[j-1], prevL[j-1]
+			if prevC[j] < bc {
+				bc, bl = prevC[j], prevL[j]
+			}
+			if curC[j-1] < bc {
+				bc, bl = curC[j-1], curL[j-1]
+			}
+			curC[j] = bc + d
+			curL[j] = bl + 1
+		}
+		prevC, curC = curC, prevC
+		prevL, curL = curL, prevL
+	}
+	best, bestJ := inf, -1
+	for j := 1; j <= m; j++ {
+		if prevL[j] == 0 {
+			continue
+		}
+		nd := prevC[j] / float64(prevL[j])
+		if nd < best {
+			best, bestJ = nd, j
+		}
+	}
+	return best, bestJ
+}

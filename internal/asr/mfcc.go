@@ -1,0 +1,187 @@
+// Package asr is the speech-recognition substrate standing in for the
+// paper's Google/Alexa recognisers: an MFCC front-end with cepstral mean
+// normalisation and a DTW template matcher over the closed command
+// vocabulary. Attack success in every experiment is defined through this
+// package: the attack works iff the demodulated recording is recognised
+// as the intended command.
+package asr
+
+import (
+	"math"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+)
+
+// Feature extraction parameters (fixed across the repository so templates
+// and probes are always comparable).
+const (
+	// FeatureRate is the canonical analysis sample rate; inputs are
+	// resampled to it first.
+	FeatureRate = 16000.0
+	frameLen    = 400 // 25 ms at 16 kHz
+	frameHop    = 160 // 10 ms at 16 kHz
+	fftSize     = 512
+	numFilters  = 26
+	// NumCoeffs is the number of cepstral coefficients per frame (c1..c13).
+	NumCoeffs = 13
+	melLowHz  = 60.0
+	melHighHz = 7600.0
+)
+
+// MFCC computes the cepstral feature matrix (frames x NumCoeffs) of a
+// signal, with pre-emphasis, Hann windowing, a mel filter bank, log
+// compression, DCT-II and cepstral mean normalisation. Signals shorter
+// than one frame yield nil.
+func MFCC(s *audio.Signal) [][]float64 {
+	x := s.Samples
+	if s.Rate != FeatureRate {
+		x = dsp.Resample(s.Samples, s.Rate, FeatureRate)
+	}
+	if len(x) < frameLen {
+		return nil
+	}
+	// Pre-emphasis boosts formant-carrying high frequencies.
+	pre := make([]float64, len(x))
+	pre[0] = x[0]
+	for i := 1; i < len(x); i++ {
+		pre[i] = x[i] - 0.97*x[i-1]
+	}
+
+	bank := melBank()
+	win := dsp.Hann(frameLen)
+	nFrames := 1 + (len(pre)-frameLen)/frameHop
+	mel := make([][]float64, nFrames)
+	buf := make([]complex128, fftSize)
+	maxE := 0.0
+	for f := 0; f < nFrames; f++ {
+		off := f * frameHop
+		for i := 0; i < fftSize; i++ {
+			if i < frameLen {
+				buf[i] = complex(pre[off+i]*win[i], 0)
+			} else {
+				buf[i] = 0
+			}
+		}
+		dsp.FFT(buf)
+		power := make([]float64, fftSize/2+1)
+		for k := range power {
+			re, im := real(buf[k]), imag(buf[k])
+			power[k] = re*re + im*im
+		}
+		row := make([]float64, numFilters)
+		for m, filt := range bank {
+			var e float64
+			for _, tap := range filt {
+				e += power[tap.bin] * tap.w
+			}
+			row[m] = e
+			if e > maxE {
+				maxE = e
+			}
+		}
+		mel[f] = row
+	}
+	// Dynamic-range flooring: energies more than dynamicRangeDB below the
+	// utterance's loudest mel energy are compressed to a common floor.
+	// This keeps silence/closure frames and low-level ambient noise from
+	// dominating the cepstral distance — the robustness a commercial
+	// recogniser gets from training data, expressed as a front-end prior.
+	floor := maxE * math.Pow(10, -dynamicRangeDB/10)
+	if floor <= 0 {
+		floor = 1e-12
+	}
+	feats := make([][]float64, nFrames)
+	for f, row := range mel {
+		logMel := make([]float64, numFilters)
+		for m, e := range row {
+			logMel[m] = math.Log(e + floor)
+		}
+		feats[f] = dct2(logMel, NumCoeffs)
+	}
+	cepstralMeanNormalize(feats)
+	return feats
+}
+
+// dynamicRangeDB is the mel-energy dynamic range kept below the utterance
+// peak before log compression.
+const dynamicRangeDB = 45.0
+
+// melTap is one weighted FFT bin of a mel filter.
+type melTap struct {
+	bin int
+	w   float64
+}
+
+func hzToMel(f float64) float64 { return 2595 * math.Log10(1+f/700) }
+func melToHz(m float64) float64 { return 700 * (math.Pow(10, m/2595) - 1) }
+
+// melBank builds the triangular mel filter bank as sparse bin/weight
+// lists.
+func melBank() [][]melTap {
+	lo, hi := hzToMel(melLowHz), hzToMel(melHighHz)
+	centers := make([]float64, numFilters+2)
+	for i := range centers {
+		centers[i] = melToHz(lo + (hi-lo)*float64(i)/float64(numFilters+1))
+	}
+	binHz := FeatureRate / fftSize
+	bank := make([][]melTap, numFilters)
+	for m := 0; m < numFilters; m++ {
+		fl, fc, fr := centers[m], centers[m+1], centers[m+2]
+		var taps []melTap
+		for k := 0; k <= fftSize/2; k++ {
+			f := float64(k) * binHz
+			var w float64
+			switch {
+			case f <= fl || f >= fr:
+				continue
+			case f <= fc:
+				w = (f - fl) / (fc - fl)
+			default:
+				w = (fr - f) / (fr - fc)
+			}
+			if w > 0 {
+				taps = append(taps, melTap{bin: k, w: w})
+			}
+		}
+		bank[m] = taps
+	}
+	return bank
+}
+
+// dct2 computes the first n coefficients (skipping c0) of the DCT-II of x.
+func dct2(x []float64, n int) []float64 {
+	out := make([]float64, n)
+	den := float64(len(x))
+	for k := 1; k <= n; k++ {
+		var s float64
+		for i, v := range x {
+			s += v * math.Cos(math.Pi*float64(k)*(float64(i)+0.5)/den)
+		}
+		out[k-1] = s * math.Sqrt(2/den)
+	}
+	return out
+}
+
+// cepstralMeanNormalize subtracts each coefficient's temporal mean,
+// removing convolutional channel effects (spectral tilt through speakers,
+// air and the demodulating microphone).
+func cepstralMeanNormalize(feats [][]float64) {
+	if len(feats) == 0 {
+		return
+	}
+	mean := make([]float64, len(feats[0]))
+	for _, f := range feats {
+		for i, v := range f {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(len(feats))
+	}
+	for _, f := range feats {
+		for i := range f {
+			f[i] -= mean[i]
+		}
+	}
+}

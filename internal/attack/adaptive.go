@@ -1,0 +1,123 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+)
+
+// ExtractBand returns the content of x inside [lo, hi] Hz using an
+// FFT-domain brick-wall mask (zero phase, exact partition). Used for
+// spectrum slicing and for isolating the defense's trace band.
+func ExtractBand(x []float64, rate, lo, hi float64) []float64 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	size := dsp.NextPowerOfTwo(n)
+	spec := make([]complex128, size)
+	for i, v := range x {
+		spec[i] = complex(v, 0)
+	}
+	dsp.FFT(spec)
+	half := size / 2
+	k0 := int(math.Ceil(lo * float64(size) / rate))
+	k1 := int(math.Floor(hi * float64(size) / rate))
+	for k := 0; k <= half; k++ {
+		if k >= k0 && k <= k1 {
+			continue
+		}
+		spec[k] = 0
+		if k != 0 && k != half {
+			spec[size-k] = 0
+		}
+	}
+	dsp.IFFT(spec)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = real(spec[i])
+	}
+	return out
+}
+
+// AdaptiveOptions parameterises the trace-cancelling attacker of the
+// paper's counter-defense analysis.
+type AdaptiveOptions struct {
+	Baseline BaselineOptions
+	// EstimationError is the attacker's relative error in estimating the
+	// end-to-end gain of the compensation path (0 = oracle knowledge of
+	// the victim's non-linearity and channel; realistic attackers sit at
+	// 0.1-0.5). The cancelled trace leaves a residue proportional to it.
+	EstimationError float64
+	// TraceLo and TraceHi bound the band the attacker tries to clean
+	// (default 20-50 Hz, matching the defense's primary feature).
+	TraceLo, TraceHi float64
+}
+
+// DefaultAdaptiveOptions returns an oracle-grade adaptive attacker.
+func DefaultAdaptiveOptions() AdaptiveOptions {
+	return AdaptiveOptions{
+		Baseline: DefaultBaselineOptions(),
+		TraceLo:  16,
+		TraceHi:  60,
+	}
+}
+
+// AdaptiveBaseline builds a single-speaker attack waveform whose baseband
+// is pre-distorted to cancel the sub-50 Hz non-linearity trace the
+// defense looks for.
+//
+// The victim records (1 + d*m)^2 ~ 2d*m + d^2*m^2; the trace is the
+// [TraceLo, TraceHi] part of d^2*m^2. The attacker injects its negation
+// through the *linear* demodulation term by sending
+//
+//	m' = m - (1-err) * (d/2) * Band(m^2)
+//
+// so the linear copy of the compensation cancels the quadratic trace.
+// Cancellation is inherently imperfect: (a) any estimation error leaves a
+// proportional residue, and (b) the m^2 spectrum extends far beyond the
+// trace band (up to 2*LowPassHz) — cleaning all of it would require the
+// compensation itself to carry wide-band power whose own quadratic
+// products regenerate traces. The defense's high-band feature therefore
+// survives even an oracle attacker.
+func AdaptiveBaseline(cmd *audio.Signal, o AdaptiveOptions) (*audio.Signal, error) {
+	b := o.Baseline
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	if o.EstimationError < 0 {
+		return nil, fmt.Errorf("attack: negative estimation error %v", o.EstimationError)
+	}
+	if o.TraceLo <= 0 || o.TraceHi <= o.TraceLo {
+		return nil, fmt.Errorf("attack: bad trace band [%v, %v]", o.TraceLo, o.TraceHi)
+	}
+	if cmd.Len() == 0 {
+		return nil, fmt.Errorf("attack: empty command signal")
+	}
+	// Conditioned baseband at the command's own rate (cheaper filters).
+	base := cmd.Clone()
+	cut := b.LowPassHz / base.Rate
+	if cut < 0.5 {
+		lp := dsp.LowPassFIR(511, cut)
+		base.Samples = lp.Apply(base.Samples)
+	}
+	base.Normalize(1)
+
+	// Predicted quadratic trace and its compensation.
+	sq := make([]float64, base.Len())
+	for i, v := range base.Samples {
+		sq[i] = v * v
+	}
+	trace := ExtractBand(sq, base.Rate, o.TraceLo, o.TraceHi)
+	gain := (1 - o.EstimationError) * b.Depth / 2
+	comp := base.Clone()
+	for i := range comp.Samples {
+		comp.Samples[i] -= gain * trace[i]
+	}
+
+	// Hand the pre-distorted baseband to the standard pipeline. Its own
+	// 8 kHz low-pass leaves the (sub-50 Hz) compensation intact.
+	return Baseline(comp, b)
+}

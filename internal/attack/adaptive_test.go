@@ -1,0 +1,185 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+)
+
+func TestExtractBandIsolatesTone(t *testing.T) {
+	const rate = 48000.0
+	mix := audio.MultiTone(rate, 1, 1, 100, 1000, 5000)
+	band := ExtractBand(mix.Samples, rate, 800, 1200)
+	if a := dsp.ToneAmplitude(band, 1000, rate); a < 0.2 {
+		t.Fatalf("in-band tone lost: %v", a)
+	}
+	if a := dsp.ToneAmplitude(band, 100, rate); a > 0.005 {
+		t.Fatalf("out-of-band tone leaked: %v", a)
+	}
+	if a := dsp.ToneAmplitude(band, 5000, rate); a > 0.005 {
+		t.Fatalf("out-of-band tone leaked: %v", a)
+	}
+}
+
+func TestExtractBandEmpty(t *testing.T) {
+	if out := ExtractBand(nil, 48000, 10, 100); out != nil {
+		t.Fatal("nil input should return nil")
+	}
+}
+
+func TestExtractBandPartition(t *testing.T) {
+	// Two adjacent bands partition their union: sum equals the original
+	// content of the union band.
+	const rate = 48000.0
+	sig := audio.Chirp(rate, 200, 4000, 1, 0.5)
+	lo := ExtractBand(sig.Samples, rate, 100, 2000)
+	hi := ExtractBand(sig.Samples, rate, 2000, 5000)
+	all := ExtractBand(sig.Samples, rate, 100, 5000)
+	for i := range all {
+		if math.Abs(lo[i]+hi[i]-all[i]) > 1e-9 {
+			t.Fatalf("partition violated at %d", i)
+		}
+	}
+}
+
+func TestAdaptiveBaselineValidation(t *testing.T) {
+	cmd := testCommand(t)
+	o := DefaultAdaptiveOptions()
+	o.EstimationError = -1
+	if _, err := AdaptiveBaseline(cmd, o); err == nil {
+		t.Error("negative error should fail")
+	}
+	o = DefaultAdaptiveOptions()
+	o.TraceLo, o.TraceHi = 50, 20
+	if _, err := AdaptiveBaseline(cmd, o); err == nil {
+		t.Error("inverted trace band should fail")
+	}
+	o = DefaultAdaptiveOptions()
+	if _, err := AdaptiveBaseline(audio.New(48000, 0), o); err == nil {
+		t.Error("empty command should fail")
+	}
+}
+
+func TestAdaptiveBaselineStillUltrasonic(t *testing.T) {
+	cmd := testCommand(t)
+	o := DefaultAdaptiveOptions()
+	atk, err := AdaptiveBaseline(cmd, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac := bandFraction(atk, 0, 20000); frac > 1e-5 {
+		t.Fatalf("adaptive attack leaks audible energy: %v", frac)
+	}
+}
+
+// traceSub50 measures the trace-band power fraction of the ideal
+// demodulation of an attack waveform.
+func traceSub50(atk *audio.Signal) float64 {
+	rec := IdealDemodulate(atk, 8000, 48000)
+	psd := dsp.Welch(rec.Samples, 16384)
+	low := dsp.BandPower(psd, 48000, 16384, 16, 60)
+	voice := dsp.BandPower(psd, 48000, 16384, 60, 8000)
+	return low / voice
+}
+
+func TestAdaptiveCancellationReducesTrace(t *testing.T) {
+	cmd := testCommand(t)
+	std, err := Baseline(cmd, DefaultBaselineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := DefaultAdaptiveOptions()
+	adaptive, err := AdaptiveBaseline(cmd, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := traceSub50(std)
+	after := traceSub50(adaptive)
+	if after >= before {
+		t.Fatalf("oracle cancellation did not reduce the trace: %v -> %v", before, after)
+	}
+	// Meaningful reduction expected from an oracle attacker.
+	if after > before*0.7 {
+		t.Fatalf("oracle cancellation too weak: %v -> %v", before, after)
+	}
+}
+
+func TestAdaptiveResidueScalesWithError(t *testing.T) {
+	cmd := testCommand(t)
+	var prev float64
+	for i, eps := range []float64{0, 0.3, 1.0} {
+		o := DefaultAdaptiveOptions()
+		o.EstimationError = eps
+		atk, err := AdaptiveBaseline(cmd, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := traceSub50(atk)
+		if i > 0 && tr <= prev {
+			t.Fatalf("residual trace not increasing with error: eps=%v trace=%v prev=%v",
+				eps, tr, prev)
+		}
+		prev = tr
+	}
+}
+
+func TestAdaptiveCannotCleanHighBand(t *testing.T) {
+	// The m^2 residue above the speech band survives oracle cancellation
+	// of the low band — the defense's trump card (E13).
+	cmd := testCommand(t)
+	std, _ := Baseline(cmd, DefaultBaselineOptions())
+	adaptive, err := AdaptiveBaseline(cmd, DefaultAdaptiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	highOf := func(atk *audio.Signal) float64 {
+		rec := IdealDemodulate(atk, 16000, 48000)
+		psd := dsp.Welch(rec.Samples, 16384)
+		return dsp.BandPower(psd, 48000, 16384, 8500, 16000) /
+			dsp.BandPower(psd, 48000, 16384, 60, 8000)
+	}
+	a, b := highOf(std), highOf(adaptive)
+	if b < a*0.5 {
+		t.Fatalf("high-band residue dropped too much: %v -> %v", a, b)
+	}
+}
+
+func TestAdaptiveStillRecognizable(t *testing.T) {
+	// Cancellation must not destroy the attack itself: the demodulated
+	// envelope still tracks the command.
+	cmd := testCommand(t)
+	adaptive, err := AdaptiveBaseline(cmd, DefaultAdaptiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := IdealDemodulate(adaptive, 8000, 48000)
+	if c := interiorEnvelopeCorr(cmd, rec); c < 0.9 {
+		t.Fatalf("adaptive attack degraded the command: envelope corr %v", c)
+	}
+}
+
+func TestFadeShape(t *testing.T) {
+	s := audio.Tone(48000, 1000, 1, 1)
+	Fade(s, 0.1)
+	if s.Samples[0] != 0 {
+		t.Fatal("fade-in must start at zero")
+	}
+	if math.Abs(s.Samples[s.Len()-1]) > 1e-12 {
+		t.Fatal("fade-out must end at zero")
+	}
+	mid := s.Slice(0.4, 0.6)
+	if mid.Peak() < 0.99 {
+		t.Fatal("fade must not touch the middle")
+	}
+	// Degenerate: fade longer than the signal is a no-op.
+	short := audio.Tone(48000, 1000, 1, 0.05)
+	before := short.Clone()
+	Fade(short, 0.1)
+	for i := range short.Samples {
+		if short.Samples[i] != before.Samples[i] {
+			t.Fatal("oversized fade should be a no-op")
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package attack implements the paper's offensive pipelines.
+//
+// Baseline (single speaker — the Song–Mittal / DolphinAttack design the
+// NSDI paper starts from, §3.2 of the supplied text):
+//
+//	voice -> LPF 8 kHz -> upsample to 192 kHz -> AM at fc -> + carrier
+//
+// played from one tweeter. Its range is capped: raising power makes the
+// *speaker's* own quadratic term demodulate the signal into the audible
+// band right next to the attacker (self-leakage).
+//
+// Long range (the NSDI 2018 contribution): the modulated spectrum is cut
+// into N narrow contiguous slices, each assigned to its own ultrasonic
+// array element, with the carrier on a dedicated element. Every element's
+// self-intermodulation now falls inside [0, sliceWidth] — below 50 Hz for
+// large N — while the victim microphone, where all slices and the carrier
+// recombine, still demodulates the complete command.
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+)
+
+// BaselineOptions parameterises the single-speaker attack signal chain.
+type BaselineOptions struct {
+	// CarrierHz is the AM carrier (paper: 30 kHz; must be >= LowPassHz +
+	// 20 kHz so the lower sideband stays ultrasonic).
+	CarrierHz float64
+	// Rate is the DAC rate of the attack waveform (paper: 192 kHz).
+	Rate float64
+	// LowPassHz bounds the voice baseband before modulation (paper: 8 kHz).
+	LowPassHz float64
+	// Depth is the AM modulation depth in (0, 1].
+	Depth float64
+}
+
+// DefaultBaselineOptions returns the paper's published parameters.
+func DefaultBaselineOptions() BaselineOptions {
+	return BaselineOptions{CarrierHz: 30000, Rate: 192000, LowPassHz: 8000, Depth: 0.8}
+}
+
+// Validate checks the option invariants from §3.2.
+func (o BaselineOptions) Validate() error {
+	if o.Rate <= 0 || o.CarrierHz <= 0 || o.LowPassHz <= 0 {
+		return fmt.Errorf("attack: non-positive parameter in %+v", o)
+	}
+	if o.Depth <= 0 || o.Depth > 1 {
+		return fmt.Errorf("attack: modulation depth %v outside (0,1]", o.Depth)
+	}
+	if o.CarrierHz-o.LowPassHz < 20000 {
+		return fmt.Errorf("attack: carrier %v Hz leaves sideband below 20 kHz (audible)", o.CarrierHz)
+	}
+	if o.CarrierHz+o.LowPassHz >= o.Rate/2 {
+		return fmt.Errorf("attack: carrier %v Hz + sideband exceeds Nyquist of %v Hz", o.CarrierHz, o.Rate)
+	}
+	return nil
+}
+
+// Baseline converts a voice command waveform into the single-speaker
+// attack drive waveform (peak-normalised; the speaker model applies
+// power). The returned signal is entirely ultrasonic: spectrum in
+// [CarrierHz-LowPassHz, CarrierHz+LowPassHz].
+func Baseline(cmd *audio.Signal, o BaselineOptions) (*audio.Signal, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if cmd.Len() == 0 {
+		return nil, fmt.Errorf("attack: empty command signal")
+	}
+	// Step 1 — low-pass filter the normal signal at 8 kHz.
+	base := cmd.Clone()
+	cut := o.LowPassHz / base.Rate
+	if cut < 0.5 {
+		lp := dsp.LowPassFIR(511, cut)
+		base.Samples = lp.Apply(base.Samples)
+	}
+	// Step 2 — upsample so ultrasound fits under Nyquist.
+	if base.Rate != o.Rate {
+		base = base.Resampled(o.Rate)
+	}
+	base.Normalize(1)
+	// Steps 3+4 — amplitude modulation plus carrier wave addition:
+	// s(t) = (1 + depth*m(t)) * cos(2*pi*fc*t), normalised.
+	out := audio.New(o.Rate, base.Duration())
+	w := 2 * math.Pi * o.CarrierHz / o.Rate
+	for i := range out.Samples {
+		out.Samples[i] = (1 + o.Depth*base.Samples[i]) * math.Cos(w*float64(i))
+	}
+	Fade(out, 0.1)
+	out.Normalize(1)
+	return out, nil
+}
+
+// Fade applies a raised-cosine fade-in/out of the given duration to both
+// ends of the signal, in place. Attack waveforms must ramp: an abrupt
+// carrier onset is a broadband "pop" that is both audible and a give-away
+// low-frequency transient in the victim's recording.
+func Fade(s *audio.Signal, seconds float64) {
+	n := int(seconds * s.Rate)
+	if n <= 0 || 2*n >= s.Len() {
+		return
+	}
+	for i := 0; i < n; i++ {
+		g := 0.5 - 0.5*math.Cos(math.Pi*float64(i)/float64(n))
+		s.Samples[i] *= g
+		s.Samples[s.Len()-1-i] *= g
+	}
+}
+
+// IdealDemodulate is the reference receiver used by tests and analysis: it
+// applies a pure quadratic, low-pass filters at cutHz and resamples to
+// outRate — exactly what the victim microphone's non-linearity does, minus
+// device imperfections.
+func IdealDemodulate(ultra *audio.Signal, cutHz, outRate float64) *audio.Signal {
+	sq := ultra.Clone()
+	for i, v := range sq.Samples {
+		sq.Samples[i] = v * v
+	}
+	lp := dsp.LowPassFIR(511, cutHz/sq.Rate)
+	sq.Samples = lp.Apply(sq.Samples)
+	// AC coupling, as in a real microphone amplifier: removes the DC
+	// pedestal the squared carrier introduces (including its slow ramp
+	// under the attack waveform's fade-in/out).
+	dsp.DCBlock(sq.Samples, 15, sq.Rate)
+	out := sq.Resampled(outRate)
+	out.Normalize(0.9)
+	return out
+}

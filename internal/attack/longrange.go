@@ -1,0 +1,243 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+)
+
+// LongRangeOptions parameterises the multi-speaker spectrum-splitting
+// attack.
+type LongRangeOptions struct {
+	// CarrierHz, Rate, LowPassHz, Depth as in BaselineOptions.
+	CarrierHz float64
+	Rate      float64
+	LowPassHz float64
+	Depth     float64
+	// NumSegments is the number of sideband slices, i.e. array elements
+	// minus the dedicated carrier element (paper rig: 60 + 1).
+	NumSegments int
+	// CarrierPowerFraction is the share of total electrical power given
+	// to the carrier element. Zero (the default) derives the split from
+	// the AM signal's own carrier/sideband energy ratio — the same
+	// relative scaling the single-speaker baseline transmits — which
+	// keeps the wanted carrier-x-sideband demodulation product far above
+	// the distorting sideband self-products (m(t)^2). Non-zero values
+	// override it for ablation studies.
+	CarrierPowerFraction float64
+}
+
+// DefaultLongRangeOptions returns the published rig: 61 elements
+// (60 slices + carrier) at 30 kHz.
+func DefaultLongRangeOptions() LongRangeOptions {
+	return LongRangeOptions{
+		CarrierHz:            30000,
+		Rate:                 192000,
+		LowPassHz:            8000,
+		Depth:                1.0,
+		NumSegments:          60,
+		CarrierPowerFraction: 0, // auto: match the AM carrier/sideband ratio
+	}
+}
+
+// Validate checks the option invariants.
+func (o LongRangeOptions) Validate() error {
+	b := BaselineOptions{CarrierHz: o.CarrierHz, Rate: o.Rate, LowPassHz: o.LowPassHz, Depth: math.Min(o.Depth, 1)}
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if o.NumSegments < 1 {
+		return fmt.Errorf("attack: need >= 1 segment, got %d", o.NumSegments)
+	}
+	if o.CarrierPowerFraction < 0 || o.CarrierPowerFraction >= 1 {
+		return fmt.Errorf("attack: carrier power fraction %v outside [0,1)", o.CarrierPowerFraction)
+	}
+	return nil
+}
+
+// SliceWidthHz returns the bandwidth each element is responsible for. The
+// long-range attack slices the double-sideband AM spectrum, which spans
+// [CarrierHz-LowPassHz, CarrierHz+LowPassHz].
+func (o LongRangeOptions) SliceWidthHz() float64 {
+	return 2 * o.LowPassHz / float64(o.NumSegments)
+}
+
+// Plan is a fully assembled long-range attack: per-element drive waveforms
+// and the power split. Element i plays Segments[i] at SegmentPowerW[i];
+// one extra element plays Carrier at CarrierPowerW.
+type Plan struct {
+	Segments      []*audio.Signal // nil entries carry no energy
+	SegmentPowerW []float64
+	Carrier       *audio.Signal
+	CarrierPowerW float64
+	Options       LongRangeOptions
+}
+
+// ElementCount returns the number of driven elements (non-empty segments
+// plus the carrier).
+func (p *Plan) ElementCount() int {
+	n := 1
+	for _, s := range p.Segments {
+		if s != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// TotalPowerW returns the electrical power of the whole plan.
+func (p *Plan) TotalPowerW() float64 {
+	t := p.CarrierPowerW
+	for _, w := range p.SegmentPowerW {
+		t += w
+	}
+	return t
+}
+
+// LongRange builds the multi-speaker attack plan for a voice command at
+// the given total electrical power. The command is low-pass filtered,
+// upsampled and AM-modulated (suppressed carrier) onto CarrierHz, exactly
+// as the baseline does; the modulated double-sideband spectrum
+// [fc-LowPassHz, fc+LowPassHz] is then partitioned into NumSegments
+// contiguous slices (FFT-domain brick-wall masks, so the slices sum
+// exactly to the modulated signal). Per-slice power is allocated
+// proportionally to slice energy, preserving the voice's spectral shape
+// at the victim. The carrier is played by a dedicated extra element —
+// this separation is what removes the per-element audible leakage: no
+// single element carries both a sideband and the carrier, and each
+// slice's self-intermodulation is confined to [0, SliceWidthHz].
+func LongRange(cmd *audio.Signal, totalPowerW float64, o LongRangeOptions) (*Plan, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if totalPowerW <= 0 {
+		return nil, fmt.Errorf("attack: total power %v W", totalPowerW)
+	}
+	if cmd.Len() == 0 {
+		return nil, fmt.Errorf("attack: empty command signal")
+	}
+
+	// Baseband conditioning (identical to the baseline front end).
+	base := cmd.Clone()
+	cut := o.LowPassHz / base.Rate
+	if cut < 0.5 {
+		lp := dsp.LowPassFIR(511, cut)
+		base.Samples = lp.Apply(base.Samples)
+	}
+	if base.Rate != o.Rate {
+		base = base.Resampled(o.Rate)
+	}
+	base.Normalize(1)
+
+	// Suppressed-carrier AM: mod(t) = depth * m(t) * cos(wc t).
+	mod := audio.New(o.Rate, base.Duration())
+	wc := 2 * math.Pi * o.CarrierHz / o.Rate
+	for i := range mod.Samples {
+		mod.Samples[i] = o.Depth * base.Samples[i] * math.Cos(wc*float64(i))
+	}
+
+	// Partition [fc-LowPassHz, fc+LowPassHz] into brick-wall slices.
+	n := len(mod.Samples)
+	size := dsp.NextPowerOfTwo(n)
+	spec := make([]complex128, size)
+	for i, v := range mod.Samples {
+		spec[i] = complex(v, 0)
+	}
+	dsp.FFT(spec)
+
+	width := o.SliceWidthHz()
+	plan := &Plan{
+		Segments:      make([]*audio.Signal, o.NumSegments),
+		SegmentPowerW: make([]float64, o.NumSegments),
+		Options:       o,
+	}
+	energies := make([]float64, o.NumSegments)
+	var totalEnergy float64
+	half := size / 2
+	sliceSpec := make([]complex128, size)
+	for seg := 0; seg < o.NumSegments; seg++ {
+		lo := o.CarrierHz - o.LowPassHz + float64(seg)*width
+		hi := lo + width
+		k0 := int(math.Ceil(lo * float64(size) / o.Rate))
+		k1 := int(math.Ceil(hi*float64(size)/o.Rate)) - 1
+		if k1 >= half {
+			k1 = half - 1
+		}
+		for i := range sliceSpec {
+			sliceSpec[i] = 0
+		}
+		for k := k0; k <= k1; k++ {
+			sliceSpec[k] = spec[k]
+			sliceSpec[size-k] = spec[size-k]
+		}
+		tmp := make([]complex128, size)
+		copy(tmp, sliceSpec)
+		dsp.IFFT(tmp)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = real(tmp[i])
+		}
+		sl := &audio.Signal{Rate: o.Rate, Samples: samples}
+		Fade(sl, 0.1)
+		e := dsp.Energy(sl.Samples)
+		if e < 1e-12 {
+			continue
+		}
+		energies[seg] = e
+		totalEnergy += e
+		plan.Segments[seg] = sl
+	}
+	if totalEnergy == 0 {
+		return nil, fmt.Errorf("attack: command has no energy in the modulated band")
+	}
+
+	cf := o.CarrierPowerFraction
+	if cf == 0 {
+		// Natural AM split: mean carrier power (unit-amplitude cosine) vs
+		// mean sideband power of the modulated signal.
+		pMod := dsp.Energy(mod.Samples) / float64(len(mod.Samples))
+		cf = 0.5 / (0.5 + pMod)
+	}
+	sidebandPower := totalPowerW * (1 - cf)
+	for seg := range plan.Segments {
+		if plan.Segments[seg] == nil {
+			continue
+		}
+		plan.SegmentPowerW[seg] = sidebandPower * energies[seg] / totalEnergy
+	}
+	plan.Carrier = audio.ToneAt(o.Rate, o.CarrierHz, 1, 0, base.Duration())
+	Fade(plan.Carrier, 0.1)
+	plan.CarrierPowerW = totalPowerW * cf
+	return plan, nil
+}
+
+// CombinedUltrasound sums all plan waveforms with their power weighting
+// applied — the field an ideal colocated array would create. Used by
+// analysis and tests; the full simulation drives real speaker models
+// instead.
+func (p *Plan) CombinedUltrasound() *audio.Signal {
+	out := audio.New(p.Options.Rate, p.Carrier.Duration())
+	add := func(s *audio.Signal, powerW float64) {
+		if s == nil || powerW <= 0 {
+			return
+		}
+		rms := s.RMS()
+		if rms == 0 {
+			return
+		}
+		g := math.Sqrt(powerW) / rms
+		for i, v := range s.Samples {
+			if i >= len(out.Samples) {
+				break
+			}
+			out.Samples[i] += v * g
+		}
+	}
+	for i, s := range p.Segments {
+		add(s, p.SegmentPowerW[i])
+	}
+	add(p.Carrier, p.CarrierPowerW)
+	return out
+}

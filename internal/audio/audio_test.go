@@ -1,0 +1,312 @@
+package audio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"inaudible/internal/dsp"
+)
+
+func TestNewAndDuration(t *testing.T) {
+	s := New(48000, 1.5)
+	if s.Len() != 72000 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	if math.Abs(s.Duration()-1.5) > 1e-12 {
+		t.Fatalf("Duration=%v", s.Duration())
+	}
+}
+
+func TestFromSamplesPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSamples(0, nil)
+}
+
+func TestToneProperties(t *testing.T) {
+	s := Tone(48000, 1000, 0.5, 1)
+	if math.Abs(s.Peak()-0.5) > 1e-6 {
+		t.Errorf("peak %v", s.Peak())
+	}
+	want := 0.5 / math.Sqrt2
+	if math.Abs(s.RMS()-want)/want > 1e-3 {
+		t.Errorf("rms %v want %v", s.RMS(), want)
+	}
+	if got := dsp.ToneAmplitude(s.Samples, 1000, 48000); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("tone amplitude %v", got)
+	}
+}
+
+func TestMultiToneFrequencies(t *testing.T) {
+	// The paper's two-tone probe: 25 kHz + 30 kHz at 192 kHz rate.
+	s := MultiTone(192000, 1, 0.5, 25000, 30000)
+	a1 := dsp.ToneAmplitude(s.Samples, 25000, 192000)
+	a2 := dsp.ToneAmplitude(s.Samples, 30000, 192000)
+	if a1 < 0.3 || a2 < 0.3 {
+		t.Fatalf("tones missing: %v %v", a1, a2)
+	}
+	if s.Peak() > 1+1e-9 {
+		t.Fatalf("peak %v > 1", s.Peak())
+	}
+}
+
+func TestChirpSweeps(t *testing.T) {
+	s := Chirp(48000, 100, 10000, 1, 2)
+	// Early window should be low frequency, late window high.
+	early := s.Slice(0.1, 0.3)
+	late := s.Slice(1.7, 1.9)
+	fEarly := dominantFreq(early)
+	fLate := dominantFreq(late)
+	if fEarly > 3000 || fLate < 7000 {
+		t.Fatalf("chirp endpoints: early %v Hz late %v Hz", fEarly, fLate)
+	}
+}
+
+func dominantFreq(s *Signal) float64 {
+	n := dsp.NextPowerOfTwo(s.Len())
+	buf := make([]complex128, n)
+	for i, v := range s.Samples {
+		buf[i] = complex(v, 0)
+	}
+	dsp.FFT(buf)
+	best, bestK := 0.0, 0
+	for k := 1; k < n/2; k++ {
+		p := real(buf[k])*real(buf[k]) + imag(buf[k])*imag(buf[k])
+		if p > best {
+			best, bestK = p, k
+		}
+	}
+	return dsp.BinFrequency(bestK, n, s.Rate)
+}
+
+func TestWhiteNoiseRMS(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := WhiteNoise(rng, 48000, 0.1, 2)
+	if math.Abs(s.RMS()-0.1)/0.1 > 0.05 {
+		t.Fatalf("white noise RMS %v", s.RMS())
+	}
+}
+
+func TestPinkNoiseSpectralTilt(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := PinkNoise(rng, 48000, 0.1, 4)
+	psd := dsp.Welch(s.Samples, 4096)
+	low := dsp.BandPower(psd, 48000, 4096, 100, 500)
+	high := dsp.BandPower(psd, 48000, 4096, 8000, 8400)
+	if low <= high {
+		t.Fatalf("pink noise should tilt down: low=%v high=%v", low, high)
+	}
+}
+
+func TestGainAndNormalize(t *testing.T) {
+	s := Tone(8000, 100, 0.5, 0.5)
+	s.Gain(2)
+	if math.Abs(s.Peak()-1) > 1e-6 {
+		t.Errorf("after gain peak %v", s.Peak())
+	}
+	s.Normalize(0.25)
+	if math.Abs(s.Peak()-0.25) > 1e-9 {
+		t.Errorf("after normalize peak %v", s.Peak())
+	}
+	s.GainDB(20)
+	if math.Abs(s.Peak()-2.5) > 1e-9 {
+		t.Errorf("after +20 dB peak %v", s.Peak())
+	}
+	s.NormalizeRMS(0.1)
+	if math.Abs(s.RMS()-0.1) > 1e-9 {
+		t.Errorf("after NormalizeRMS rms %v", s.RMS())
+	}
+}
+
+func TestMixAndMixInto(t *testing.T) {
+	a := Tone(48000, 100, 0.25, 1)
+	b := Tone(48000, 200, 0.25, 0.5)
+	m := Mix(a, b)
+	if m.Len() != a.Len() {
+		t.Fatalf("mix length %d", m.Len())
+	}
+	if m.Samples[0] != a.Samples[0]+b.Samples[0] {
+		t.Fatal("mix sample mismatch")
+	}
+
+	c := New(48000, 1)
+	c.MixInto(b, 0.25)
+	// Sample just before the offset must be zero; at the offset non-trivial.
+	if c.Samples[11999] != 0 {
+		t.Fatal("MixInto wrote before offset")
+	}
+	seg := c.Slice(0.3, 0.6)
+	if seg.RMS() == 0 {
+		t.Fatal("MixInto wrote nothing")
+	}
+}
+
+func TestMixResamples(t *testing.T) {
+	a := Tone(48000, 1000, 0.5, 0.5)
+	b := Tone(44100, 1000, 0.5, 0.5)
+	m := Mix(a, b)
+	if m.Rate != 48000 {
+		t.Fatalf("rate %v", m.Rate)
+	}
+	// Two coherent-ish tones: amplitude roughly doubles somewhere.
+	if m.Peak() < 0.7 {
+		t.Fatalf("mix peak %v", m.Peak())
+	}
+}
+
+func TestSliceClampsAndShares(t *testing.T) {
+	s := Tone(1000, 10, 1, 1)
+	v := s.Slice(-5, 99)
+	if v.Len() != s.Len() {
+		t.Fatalf("clamped slice length %d", v.Len())
+	}
+	v.Samples[0] = 42
+	if s.Samples[0] != 42 {
+		t.Fatal("Slice must share storage")
+	}
+	empty := s.Slice(0.9, 0.1)
+	if empty.Len() != 0 {
+		t.Fatal("inverted slice should be empty")
+	}
+}
+
+func TestPadToAndClip(t *testing.T) {
+	s := Tone(1000, 10, 2, 0.5)
+	s.PadTo(1)
+	if s.Len() != 1000 {
+		t.Fatalf("pad length %d", s.Len())
+	}
+	if s.Samples[999] != 0 {
+		t.Fatal("padding must be silence")
+	}
+	s.Clip(1)
+	if s.Peak() > 1 {
+		t.Fatalf("clip failed, peak %v", s.Peak())
+	}
+}
+
+func TestResampled(t *testing.T) {
+	s := Tone(48000, 4000, 1, 0.5)
+	r := s.Resampled(192000)
+	if r.Rate != 192000 || r.Len() != 4*s.Len() {
+		t.Fatalf("resampled %v", r)
+	}
+}
+
+func TestWAVRoundTrip(t *testing.T) {
+	s := Tone(48000, 440, 0.8, 0.25)
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rate != 48000 || back.Len() != s.Len() {
+		t.Fatalf("round trip shape: %v", back)
+	}
+	for i := range s.Samples {
+		if math.Abs(back.Samples[i]-s.Samples[i]) > 1.0/32000 {
+			t.Fatalf("sample %d: %v vs %v", i, back.Samples[i], s.Samples[i])
+		}
+	}
+}
+
+func TestWAVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tone.wav")
+	s := Chirp(44100, 100, 5000, 0.9, 0.2)
+	if err := WriteWAVFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWAVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rate != 44100 || back.Len() != s.Len() {
+		t.Fatalf("file round trip: %v", back)
+	}
+}
+
+func TestReadWAVRejectsGarbage(t *testing.T) {
+	if _, err := ReadWAV(bytes.NewReader([]byte("not a wav file at all......"))); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestWAVClipsOutOfRange(t *testing.T) {
+	s := FromSamples(8000, []float64{2, -2, 0.5})
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Samples[0] < 0.99 || back.Samples[1] > -0.99 {
+		t.Fatalf("clipping failed: %v", back.Samples)
+	}
+}
+
+func TestWAVRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + int(rng.Int31n(400))
+		s := New(16000, float64(n)/16000)
+		for i := range s.Samples {
+			s.Samples[i] = rng.Float64()*2 - 1
+		}
+		var buf bytes.Buffer
+		if err := WriteWAV(&buf, s); err != nil {
+			return false
+		}
+		back, err := ReadWAV(&buf)
+		if err != nil || back.Len() != s.Len() {
+			return false
+		}
+		for i := range s.Samples {
+			if math.Abs(back.Samples[i]-s.Samples[i]) > 1.0/16000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAMSignalSidebands(t *testing.T) {
+	// AM of a 2 kHz tone on a 30 kHz carrier puts sidebands at 28/32 kHz.
+	base := Tone(192000, 2000, 1, 0.5)
+	am := AMSignal(base, 30000, 0.8)
+	carrier := dsp.ToneAmplitude(am.Samples, 30000, 192000)
+	lower := dsp.ToneAmplitude(am.Samples, 28000, 192000)
+	upper := dsp.ToneAmplitude(am.Samples, 32000, 192000)
+	if carrier < 0.4 {
+		t.Fatalf("carrier amplitude %v", carrier)
+	}
+	if lower < 0.1 || upper < 0.1 {
+		t.Fatalf("sidebands %v %v", lower, upper)
+	}
+	// Baseband must be absent before demodulation.
+	if base2 := dsp.ToneAmplitude(am.Samples, 2000, 192000); base2 > 0.01 {
+		t.Fatalf("baseband leaked into AM signal: %v", base2)
+	}
+}
+
+func TestSignalString(t *testing.T) {
+	s := Tone(48000, 440, 1, 0.1)
+	if str := s.String(); len(str) == 0 {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,109 @@
+package audio
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Tone generates amplitude*sin(2*pi*freq*t + phase) for the given duration.
+func Tone(rate, freq, amplitude, seconds float64) *Signal {
+	s := New(rate, seconds)
+	w := 2 * math.Pi * freq / rate
+	for i := range s.Samples {
+		s.Samples[i] = amplitude * math.Sin(w*float64(i))
+	}
+	return s
+}
+
+// ToneAt generates a cosine with an explicit starting phase; used to build
+// carriers whose phase must line up across array elements.
+func ToneAt(rate, freq, amplitude, phase, seconds float64) *Signal {
+	s := New(rate, seconds)
+	w := 2 * math.Pi * freq / rate
+	for i := range s.Samples {
+		s.Samples[i] = amplitude * math.Cos(w*float64(i)+phase)
+	}
+	return s
+}
+
+// MultiTone sums equal-amplitude sinusoids at the given frequencies; the
+// peak is normalised to amplitude. The classic two-tone intermodulation
+// probe (paper Eq. 2) is MultiTone(rate, amp, secs, f1, f2).
+func MultiTone(rate, amplitude, seconds float64, freqs ...float64) *Signal {
+	s := New(rate, seconds)
+	for _, f := range freqs {
+		w := 2 * math.Pi * f / rate
+		for i := range s.Samples {
+			s.Samples[i] += math.Sin(w * float64(i))
+		}
+	}
+	s.Normalize(amplitude)
+	return s
+}
+
+// Chirp generates a linear frequency sweep from f0 to f1 Hz over the
+// duration, with the given amplitude.
+func Chirp(rate, f0, f1, amplitude, seconds float64) *Signal {
+	s := New(rate, seconds)
+	n := len(s.Samples)
+	if n == 0 {
+		return s
+	}
+	k := (f1 - f0) / seconds
+	for i := range s.Samples {
+		t := float64(i) / rate
+		phase := 2 * math.Pi * (f0*t + k*t*t/2)
+		s.Samples[i] = amplitude * math.Sin(phase)
+	}
+	return s
+}
+
+// WhiteNoise generates Gaussian white noise with the given RMS level using
+// the supplied RNG (deterministic experiments must pass a seeded source).
+func WhiteNoise(rng *rand.Rand, rate, rms, seconds float64) *Signal {
+	s := New(rate, seconds)
+	for i := range s.Samples {
+		s.Samples[i] = rng.NormFloat64() * rms
+	}
+	return s
+}
+
+// PinkNoise generates approximately 1/f noise with the given RMS using the
+// Voss–McCartney style filter cascade (Paul Kellet's economy coefficients).
+// Ambient room noise in the simulator is pink: it concentrates energy at
+// low frequencies like real rooms do, which stresses the defense's
+// low-band features.
+func PinkNoise(rng *rand.Rand, rate, rms, seconds float64) *Signal {
+	s := New(rate, seconds)
+	var b0, b1, b2, b3, b4, b5, b6 float64
+	for i := range s.Samples {
+		white := rng.NormFloat64()
+		b0 = 0.99886*b0 + white*0.0555179
+		b1 = 0.99332*b1 + white*0.0750759
+		b2 = 0.96900*b2 + white*0.1538520
+		b3 = 0.86650*b3 + white*0.3104856
+		b4 = 0.55000*b4 + white*0.5329522
+		b5 = -0.7616*b5 - white*0.0168980
+		pink := b0 + b1 + b2 + b3 + b4 + b5 + b6 + white*0.5362
+		b6 = white * 0.115926
+		s.Samples[i] = pink
+	}
+	s.NormalizeRMS(rms)
+	return s
+}
+
+// Silence generates a zero signal of the given duration.
+func Silence(rate, seconds float64) *Signal { return New(rate, seconds) }
+
+// AMSignal amplitude-modulates baseband onto a carrier at fc with
+// modulation depth m: out(t) = (1 + m*base(t)) * cos(2*pi*fc*t), scaled so
+// the peak is <= 1. The baseband is assumed normalised to peak 1.
+func AMSignal(base *Signal, fc, m float64) *Signal {
+	out := New(base.Rate, base.Duration())
+	w := 2 * math.Pi * fc / base.Rate
+	for i := range out.Samples {
+		out.Samples[i] = (1 + m*base.Samples[i]) * math.Cos(w*float64(i))
+	}
+	out.Normalize(1)
+	return out
+}

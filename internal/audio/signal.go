@@ -1,0 +1,184 @@
+// Package audio defines the Signal type shared by every stage of the
+// attack/defense pipeline, together with WAV file I/O, deterministic test
+// signal generators and basic amplitude operations.
+//
+// A Signal is a mono stream of float64 samples at an explicit sample rate.
+// Samples are nominally in [-1, 1] when they describe digital audio, and in
+// pascals when they describe a physical sound field (the acoustics package
+// documents the conversion).
+package audio
+
+import (
+	"fmt"
+	"math"
+
+	"inaudible/internal/dsp"
+)
+
+// Signal is a mono sampled waveform. The zero value is an empty signal;
+// most constructors come from Generate*, FromSamples, or package voice.
+type Signal struct {
+	Rate    float64   // sample rate in Hz
+	Samples []float64 // sample values
+}
+
+// FromSamples wraps samples (not copied) at the given rate.
+func FromSamples(rate float64, samples []float64) *Signal {
+	if rate <= 0 {
+		panic(fmt.Sprintf("audio: sample rate must be positive, got %v", rate))
+	}
+	return &Signal{Rate: rate, Samples: samples}
+}
+
+// New allocates a silent signal of the given duration.
+func New(rate, seconds float64) *Signal {
+	if rate <= 0 || seconds < 0 {
+		panic(fmt.Sprintf("audio: invalid New(%v, %v)", rate, seconds))
+	}
+	return &Signal{Rate: rate, Samples: make([]float64, int(math.Round(rate*seconds)))}
+}
+
+// Clone returns a deep copy.
+func (s *Signal) Clone() *Signal {
+	out := &Signal{Rate: s.Rate, Samples: make([]float64, len(s.Samples))}
+	copy(out.Samples, s.Samples)
+	return out
+}
+
+// Len returns the number of samples.
+func (s *Signal) Len() int { return len(s.Samples) }
+
+// Duration returns the signal length in seconds.
+func (s *Signal) Duration() float64 {
+	if s.Rate == 0 {
+		return 0
+	}
+	return float64(len(s.Samples)) / s.Rate
+}
+
+// RMS returns the root-mean-square sample value.
+func (s *Signal) RMS() float64 { return dsp.RMS(s.Samples) }
+
+// Peak returns the maximum absolute sample value.
+func (s *Signal) Peak() float64 { return dsp.MaxAbs(s.Samples) }
+
+// Power returns the mean squared sample value.
+func (s *Signal) Power() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	return dsp.Energy(s.Samples) / float64(len(s.Samples))
+}
+
+// Gain scales all samples by g in place and returns s for chaining.
+func (s *Signal) Gain(g float64) *Signal {
+	dsp.Scale(s.Samples, g)
+	return s
+}
+
+// GainDB scales all samples by db decibels (amplitude) in place.
+func (s *Signal) GainDB(db float64) *Signal {
+	return s.Gain(dsp.AmplitudeFromDB(db))
+}
+
+// Normalize rescales the signal in place to the given peak amplitude.
+func (s *Signal) Normalize(peak float64) *Signal {
+	dsp.Normalize(s.Samples, peak)
+	return s
+}
+
+// NormalizeRMS rescales the signal in place to the given RMS level
+// (no-op on silence).
+func (s *Signal) NormalizeRMS(rms float64) *Signal {
+	cur := s.RMS()
+	if cur == 0 {
+		return s
+	}
+	return s.Gain(rms / cur)
+}
+
+// MixInto adds other into s starting at the given offset in seconds,
+// resampling other first if the rates differ. Samples beyond the end of s
+// are dropped. Returns s.
+func (s *Signal) MixInto(other *Signal, offsetSeconds float64) *Signal {
+	src := other.Samples
+	if other.Rate != s.Rate {
+		src = dsp.Resample(other.Samples, other.Rate, s.Rate)
+	}
+	start := int(math.Round(offsetSeconds * s.Rate))
+	for i, v := range src {
+		j := start + i
+		if j < 0 {
+			continue
+		}
+		if j >= len(s.Samples) {
+			break
+		}
+		s.Samples[j] += v
+	}
+	return s
+}
+
+// Mix returns a new signal that is the sum of a and b (b resampled to a's
+// rate if needed), with length max(len(a), len(b')).
+func Mix(a, b *Signal) *Signal {
+	bs := b.Samples
+	if b.Rate != a.Rate {
+		bs = dsp.Resample(b.Samples, b.Rate, a.Rate)
+	}
+	n := len(a.Samples)
+	if len(bs) > n {
+		n = len(bs)
+	}
+	out := make([]float64, n)
+	copy(out, a.Samples)
+	for i, v := range bs {
+		out[i] += v
+	}
+	return &Signal{Rate: a.Rate, Samples: out}
+}
+
+// Slice returns a view of the signal between from and to seconds
+// (clamped to the valid range). The samples are shared, not copied.
+func (s *Signal) Slice(from, to float64) *Signal {
+	i0 := int(math.Round(from * s.Rate))
+	i1 := int(math.Round(to * s.Rate))
+	if i0 < 0 {
+		i0 = 0
+	}
+	if i1 > len(s.Samples) {
+		i1 = len(s.Samples)
+	}
+	if i1 < i0 {
+		i1 = i0
+	}
+	return &Signal{Rate: s.Rate, Samples: s.Samples[i0:i1]}
+}
+
+// Resampled returns a copy of the signal converted to the target rate.
+func (s *Signal) Resampled(rate float64) *Signal {
+	return &Signal{Rate: rate, Samples: dsp.Resample(s.Samples, s.Rate, rate)}
+}
+
+// PadTo extends the signal with trailing silence to at least seconds long.
+func (s *Signal) PadTo(seconds float64) *Signal {
+	want := int(math.Round(seconds * s.Rate))
+	for len(s.Samples) < want {
+		s.Samples = append(s.Samples, 0)
+	}
+	return s
+}
+
+// Clip hard-limits all samples into [-limit, limit] in place.
+func (s *Signal) Clip(limit float64) *Signal {
+	for i, v := range s.Samples {
+		s.Samples[i] = dsp.Clamp(v, -limit, limit)
+	}
+	return s
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (s *Signal) String() string {
+	return fmt.Sprintf("Signal(%.0f Hz, %d samples, %.3f s, peak %.3g)",
+		s.Rate, len(s.Samples), s.Duration(), s.Peak())
+}

@@ -1,0 +1,150 @@
+package audio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// WAV I/O for mono 16-bit PCM files — enough to exchange attack waveforms
+// and recordings with external tools. Samples are mapped between float64
+// [-1, 1] and int16 full scale.
+
+var (
+	// ErrWAVFormat is returned when a file is not a mono 16-bit PCM WAV.
+	ErrWAVFormat = errors.New("audio: unsupported WAV format (need mono 16-bit PCM)")
+)
+
+// WriteWAV encodes the signal as a mono 16-bit PCM WAV stream. Samples are
+// clipped to [-1, 1].
+func WriteWAV(w io.Writer, s *Signal) error {
+	n := len(s.Samples)
+	dataLen := uint32(2 * n)
+	rate := uint32(math.Round(s.Rate))
+
+	var hdr [44]byte
+	copy(hdr[0:4], "RIFF")
+	binary.LittleEndian.PutUint32(hdr[4:8], 36+dataLen)
+	copy(hdr[8:12], "WAVE")
+	copy(hdr[12:16], "fmt ")
+	binary.LittleEndian.PutUint32(hdr[16:20], 16)     // fmt chunk size
+	binary.LittleEndian.PutUint16(hdr[20:22], 1)      // PCM
+	binary.LittleEndian.PutUint16(hdr[22:24], 1)      // mono
+	binary.LittleEndian.PutUint32(hdr[24:28], rate)   // sample rate
+	binary.LittleEndian.PutUint32(hdr[28:32], 2*rate) // byte rate
+	binary.LittleEndian.PutUint16(hdr[32:34], 2)      // block align
+	binary.LittleEndian.PutUint16(hdr[34:36], 16)     // bits/sample
+	copy(hdr[36:40], "data")
+	binary.LittleEndian.PutUint32(hdr[40:44], dataLen)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("audio: writing WAV header: %w", err)
+	}
+
+	buf := make([]byte, 2*n)
+	for i, v := range s.Samples {
+		if v > 1 {
+			v = 1
+		} else if v < -1 {
+			v = -1
+		}
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(int16(math.Round(v*32767))))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("audio: writing WAV data: %w", err)
+	}
+	return nil
+}
+
+// WriteWAVFile writes the signal to path as a mono 16-bit PCM WAV file.
+func WriteWAVFile(path string, s *Signal) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("audio: creating %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := WriteWAV(f, s); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadWAV decodes a mono 16-bit PCM WAV stream.
+func ReadWAV(r io.Reader) (*Signal, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("audio: reading RIFF header: %w", err)
+	}
+	if string(hdr[0:4]) != "RIFF" || string(hdr[8:12]) != "WAVE" {
+		return nil, ErrWAVFormat
+	}
+	var (
+		rate     uint32
+		channels uint16
+		bits     uint16
+		gotFmt   bool
+	)
+	for {
+		var chunk [8]byte
+		if _, err := io.ReadFull(r, chunk[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil, fmt.Errorf("audio: no data chunk: %w", ErrWAVFormat)
+			}
+			return nil, fmt.Errorf("audio: reading chunk header: %w", err)
+		}
+		id := string(chunk[0:4])
+		size := binary.LittleEndian.Uint32(chunk[4:8])
+		switch id {
+		case "fmt ":
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, fmt.Errorf("audio: reading fmt chunk: %w", err)
+			}
+			if len(body) < 16 {
+				return nil, ErrWAVFormat
+			}
+			format := binary.LittleEndian.Uint16(body[0:2])
+			channels = binary.LittleEndian.Uint16(body[2:4])
+			rate = binary.LittleEndian.Uint32(body[4:8])
+			bits = binary.LittleEndian.Uint16(body[14:16])
+			if format != 1 {
+				return nil, ErrWAVFormat
+			}
+			gotFmt = true
+		case "data":
+			if !gotFmt {
+				return nil, ErrWAVFormat
+			}
+			if channels != 1 || bits != 16 {
+				return nil, ErrWAVFormat
+			}
+			body := make([]byte, size)
+			if _, err := io.ReadFull(r, body); err != nil {
+				return nil, fmt.Errorf("audio: reading data chunk: %w", err)
+			}
+			n := int(size) / 2
+			samples := make([]float64, n)
+			for i := 0; i < n; i++ {
+				samples[i] = float64(int16(binary.LittleEndian.Uint16(body[2*i:]))) / 32767
+			}
+			return &Signal{Rate: float64(rate), Samples: samples}, nil
+		default:
+			// Skip unknown chunks (LIST, fact, ...).
+			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
+				return nil, fmt.Errorf("audio: skipping %q chunk: %w", id, err)
+			}
+		}
+	}
+}
+
+// ReadWAVFile reads a mono 16-bit PCM WAV file from path.
+func ReadWAVFile(path string) (*Signal, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("audio: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	return ReadWAV(f)
+}

@@ -1,0 +1,229 @@
+// Package core is the end-to-end engine behind every experiment: it wires
+// the attack planners (internal/attack) through the emitting hardware
+// (internal/speaker), the air (internal/acoustics) and the victim device
+// (internal/mic), and hands the resulting recording to the recogniser
+// (internal/asr) and the defense (internal/defense).
+//
+// The flow mirrors the paper's test rig:
+//
+//	command -> attack waveform(s) -> speaker/array -> room -> mic -> ASR
+//	                                      |                    |
+//	                                  bystander             defense
+//	                                 audibility             features
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"inaudible/internal/acoustics"
+	"inaudible/internal/attack"
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+	"inaudible/internal/mic"
+	"inaudible/internal/psycho"
+	"inaudible/internal/speaker"
+)
+
+// Scenario fixes the environment of a set of runs: the victim device, the
+// atmosphere, ambient noise, and where the nearest human bystander stands
+// (leakage is judged at that position).
+type Scenario struct {
+	Device *mic.Device
+	Air    acoustics.Air
+	// AmbientSPL is the room's pink-noise level in dB SPL (quiet office
+	// ~40 dB). Zero disables ambient noise.
+	AmbientSPL float64
+	// BystanderDistance is how far the nearest human is from the
+	// attacker's rig, in metres.
+	BystanderDistance float64
+	// Seed makes all randomness (ambient noise, mic self-noise)
+	// reproducible; trial indices derive sub-seeds from it.
+	Seed int64
+}
+
+// DefaultScenario returns the paper's meeting-room setup against an
+// Android phone: quiet room, bystander 1.5 m from the rig.
+func DefaultScenario() *Scenario {
+	return &Scenario{
+		Device:            mic.AndroidPhone(),
+		Air:               acoustics.DefaultAir(),
+		AmbientSPL:        40,
+		BystanderDistance: 1.5,
+		Seed:              1,
+	}
+}
+
+// Emission is a cached attacker output: the combined 1 m reference
+// pressure field of every driven element, plus the audibility verdict a
+// bystander would reach. Building an Emission is expensive (per-element
+// speaker physics); delivering it to different distances/trials is cheap.
+type Emission struct {
+	// Field is the summed 1 m-reference pressure waveform (pascals).
+	Field *audio.Signal
+	// TotalPowerW is the electrical power across all elements.
+	TotalPowerW float64
+	// Elements is the number of driven speakers.
+	Elements int
+	// LeakageSPL is the A-weighted audible-band SPL a bystander at
+	// BystanderDistance hears from the rig.
+	LeakageSPL float64
+	// LeakageAudible and LeakageMargin report the threshold-of-hearing
+	// test at the bystander position.
+	LeakageAudible bool
+	LeakageMargin  float64
+}
+
+// EmitBaseline renders the single-speaker attack: the full AM waveform
+// driven into one tweeter at powerW.
+func (s *Scenario) EmitBaseline(cmd *audio.Signal, powerW float64, o attack.BaselineOptions, sp *speaker.Speaker) (*Emission, error) {
+	drive, err := attack.Baseline(cmd, o)
+	if err != nil {
+		return nil, err
+	}
+	field := sp.Emit(drive, powerW)
+	return s.finishEmission(field, powerW, 1), nil
+}
+
+// EmitLongRange renders the multi-speaker attack: every spectrum slice on
+// its own element (built from proto) plus the dedicated carrier element.
+// Element placement uses the colocated-array approximation: the grid
+// pitch (centimetres) is negligible against attack distances (metres), so
+// per-element fields are summed at the 1 m reference before propagation.
+// Per-element *physics* — each speaker's own non-linearity acting on its
+// narrowband drive — is fully retained.
+func (s *Scenario) EmitLongRange(cmd *audio.Signal, totalPowerW float64, o attack.LongRangeOptions, proto func() *speaker.Speaker) (*Emission, error) {
+	plan, err := attack.LongRange(cmd, totalPowerW, o)
+	if err != nil {
+		return nil, err
+	}
+	var field *audio.Signal
+	elements := 0
+	addEmission := func(drive *audio.Signal, powerW float64) {
+		if drive == nil || powerW <= 0 {
+			return
+		}
+		em := proto().Emit(drive, powerW)
+		if field == nil {
+			field = em
+		} else {
+			dsp.Add(field.Samples, em.Samples)
+		}
+		elements++
+	}
+	for i, seg := range plan.Segments {
+		addEmission(seg, plan.SegmentPowerW[i])
+	}
+	// The carrier holds most of the plan's power — far more than one small
+	// element's rating. Spread it over as many dedicated carrier elements
+	// as needed; each still plays a single pure tone, so per-element
+	// intermodulation stays zero. This is why the paper's rig is a *dense
+	// array*: most of its 61 transducers carry the carrier.
+	carrierElems := 1
+	if max := proto().MaxPowerW; max > 0 && plan.CarrierPowerW > max {
+		carrierElems = int(math.Ceil(plan.CarrierPowerW / max))
+	}
+	for i := 0; i < carrierElems; i++ {
+		addEmission(plan.Carrier, plan.CarrierPowerW/float64(carrierElems))
+	}
+	if field == nil {
+		return nil, fmt.Errorf("core: long-range plan drove no elements")
+	}
+	return s.finishEmission(field, plan.TotalPowerW(), elements), nil
+}
+
+// EmitVoice renders a legitimate talker: the voice waveform scaled to
+// splAt1m (dB SPL at the 1 m reference) with no ultrasound involved.
+func (s *Scenario) EmitVoice(cmd *audio.Signal, splAt1m float64) *Emission {
+	field := cmd.Clone()
+	field.NormalizeRMS(acoustics.PressureFromSPL(splAt1m))
+	return s.finishEmission(field, 0, 0)
+}
+
+func (s *Scenario) finishEmission(field *audio.Signal, powerW float64, elements int) *Emission {
+	e := &Emission{Field: field, TotalPowerW: powerW, Elements: elements}
+	by := acoustics.Path{Distance: s.BystanderDistance, Air: s.Air}
+	e.LeakageSPL, e.LeakageAudible, e.LeakageMargin = leakageOf(by.Propagate(field))
+	return e
+}
+
+// leakageOf scores a pressure waveform at a listener position: A-weighted
+// audible-band SPL plus the threshold-of-hearing verdict.
+func leakageOf(at *audio.Signal) (spl float64, audible bool, margin float64) {
+	spl = psycho.LeakageSPL(at)
+	a := psycho.AnalyzeAudibility(at)
+	return spl, a.Audible(), a.MaxMargin
+}
+
+// RunResult is one delivery of an emission to the victim.
+type RunResult struct {
+	// Recording is the digital signal the voice assistant receives.
+	Recording *audio.Signal
+	// SPLAtDevice is the total sound level reaching the microphone.
+	SPLAtDevice float64
+	// Distance echoes the delivery distance in metres.
+	Distance float64
+}
+
+// Deliver propagates the emission over distance metres, adds ambient
+// noise, and records it with the scenario's device. trial varies the
+// noise realisation deterministically.
+func (s *Scenario) Deliver(e *Emission, distance float64, trial int64) *RunResult {
+	p := acoustics.Path{Distance: distance, Air: s.Air}
+	at := p.Propagate(e.Field)
+	rng := rand.New(rand.NewSource(s.Seed*1_000_003 + trial))
+	if s.AmbientSPL > 0 {
+		noise := acoustics.AmbientNoise(rng, at.Rate, at.Duration(), s.AmbientSPL)
+		dsp.Add(at.Samples, noise.Samples)
+	}
+	rec := s.Device.Record(at, rng)
+	return &RunResult{
+		Recording:   rec,
+		SPLAtDevice: acoustics.SPL(at.RMS()),
+		Distance:    distance,
+	}
+}
+
+// AttackKind selects a pipeline in the one-shot helper.
+type AttackKind int
+
+// Attack kinds.
+const (
+	KindBaseline AttackKind = iota
+	KindLongRange
+)
+
+// String implements fmt.Stringer.
+func (k AttackKind) String() string {
+	switch k {
+	case KindBaseline:
+		return "baseline"
+	case KindLongRange:
+		return "long-range"
+	default:
+		return fmt.Sprintf("AttackKind(%d)", int(k))
+	}
+}
+
+// Simulate is the one-shot convenience: build the attack for cmd, play it
+// at powerW from distance metres, and return both the emission metadata
+// and the recording.
+func (s *Scenario) Simulate(cmd *audio.Signal, kind AttackKind, powerW, distance float64, trial int64) (*Emission, *RunResult, error) {
+	var (
+		e   *Emission
+		err error
+	)
+	switch kind {
+	case KindBaseline:
+		e, err = s.EmitBaseline(cmd, powerW, attack.DefaultBaselineOptions(), speaker.FostexTweeter())
+	case KindLongRange:
+		e, err = s.EmitLongRange(cmd, powerW, attack.DefaultLongRangeOptions(), speaker.UltrasonicElement)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown attack kind %v", kind)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return e, s.Deliver(e, distance, trial), nil
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"inaudible/internal/asr"
+	"inaudible/internal/attack"
+	"inaudible/internal/audio"
+	"inaudible/internal/voice"
+)
+
+// DemodChannelAugmenter returns an asr.Augmenter that passes a clean
+// utterance through the ideal non-linear demodulation channel
+// (AM-modulate, square, low-pass): the distortion signature every
+// ultrasound-injected command carries. Enrolling this variant alongside
+// the clean one models the channel robustness of commercial recognisers,
+// which the paper's end-to-end success rates depend on.
+func DemodChannelAugmenter(o attack.BaselineOptions) asr.Augmenter {
+	return func(sig *audio.Signal) *audio.Signal {
+		ultra, err := attack.Baseline(sig, o)
+		if err != nil {
+			return nil
+		}
+		return attack.IdealDemodulate(ultra, o.LowPassHz, sig.Rate)
+	}
+}
+
+// NewRecognizer builds the standard experiment recogniser: the command
+// vocabulary enrolled with the given talker, clean plus
+// demodulation-channel variants.
+func NewRecognizer(p voice.Profile) *asr.Recognizer {
+	return asr.NewRecognizer(voice.Vocabulary(), p,
+		DemodChannelAugmenter(attack.DefaultBaselineOptions()))
+}

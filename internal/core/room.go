@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math/rand"
+
+	"inaudible/internal/acoustics"
+	"inaudible/internal/dsp"
+)
+
+// RoomScenario extends Scenario with explicit geometry: attacker rig,
+// victim device and bystander are placed inside a reverberant shoebox
+// room, and deliveries include first-order wall reflections. It answers
+// the "does reverberation break the attack or the defense?" question the
+// free-field Scenario cannot.
+type RoomScenario struct {
+	*Scenario
+	Room      acoustics.Room
+	Attacker  acoustics.Position
+	Victim    acoustics.Position
+	Bystander acoustics.Position
+}
+
+// DefaultRoomScenario places the rig and the phone along the long axis of
+// the paper's 6.5 m x 4 m x 2.5 m meeting room, 3 m apart, with the
+// bystander 1.5 m to the side of the rig.
+func DefaultRoomScenario() *RoomScenario {
+	base := DefaultScenario()
+	return &RoomScenario{
+		Scenario:  base,
+		Room:      acoustics.MeetingRoom(),
+		Attacker:  acoustics.Position{X: 1.0, Y: 2.0, Z: 1.2},
+		Victim:    acoustics.Position{X: 4.0, Y: 2.0, Z: 0.8},
+		Bystander: acoustics.Position{X: 1.0, Y: 3.5, Z: 1.5},
+	}
+}
+
+// DeliverInRoom propagates an emission from the attacker position to the
+// victim through the direct path plus first-order reflections, adds
+// ambient noise, and records with the scenario's device.
+func (rs *RoomScenario) DeliverInRoom(e *Emission, trial int64) *RunResult {
+	at := rs.Room.PropagateInRoom(e.Field, rs.Attacker, rs.Victim)
+	rng := rand.New(rand.NewSource(rs.Seed*1_000_003 + trial))
+	if rs.AmbientSPL > 0 {
+		noise := acoustics.AmbientNoise(rng, at.Rate, at.Duration(), rs.AmbientSPL)
+		dsp.Add(at.Samples, noise.Samples)
+	}
+	rec := rs.Device.Record(at, rng)
+	return &RunResult{
+		Recording:   rec,
+		SPLAtDevice: acoustics.SPL(at.RMS()),
+		Distance:    rs.Attacker.Distance(rs.Victim),
+	}
+}
+
+// BystanderLeakage re-evaluates the emission's audibility at the
+// bystander position including room reflections. It returns the same
+// triple as the free-field Emission metadata.
+func (rs *RoomScenario) BystanderLeakage(e *Emission) (spl float64, audible bool, margin float64) {
+	at := rs.Room.PropagateInRoom(e.Field, rs.Attacker, rs.Bystander)
+	return leakageOf(at)
+}

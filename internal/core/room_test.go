@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"inaudible/internal/defense"
+)
+
+func TestRoomScenarioDelivery(t *testing.T) {
+	fixtures(t)
+	rs := DefaultRoomScenario()
+	r := rs.DeliverInRoom(fixBaseline, 1)
+	if r.Recording.RMS() == 0 {
+		t.Fatal("empty room recording")
+	}
+	// Reverberation must not break the attack at the paper's range: the
+	// direct distance here is 3 m.
+	if !fixRec.InjectionSuccess(r.Recording, "photo") {
+		res := fixRec.Recognize(r.Recording)
+		t.Fatalf("room delivery failed recognition: %+v", res)
+	}
+	if r.Distance < 2.9 || r.Distance > 3.2 {
+		t.Fatalf("direct distance %v", r.Distance)
+	}
+}
+
+func TestRoomReverbAddsEnergyVsAnechoic(t *testing.T) {
+	fixtures(t)
+	rs := DefaultRoomScenario()
+	rs.AmbientSPL = 0
+	wet := rs.DeliverInRoom(fixBaseline, 1)
+	rs2 := DefaultRoomScenario()
+	rs2.AmbientSPL = 0
+	rs2.Room.Reflection = 0
+	dry := rs2.DeliverInRoom(fixBaseline, 1)
+	if wet.SPLAtDevice <= dry.SPLAtDevice {
+		t.Fatalf("reflections lost energy: wet %v dry %v", wet.SPLAtDevice, dry.SPLAtDevice)
+	}
+}
+
+func TestRoomBystanderLeakage(t *testing.T) {
+	fixtures(t)
+	rs := DefaultRoomScenario()
+	spl, audible, margin := rs.BystanderLeakage(fixBaseline)
+	if !audible || margin < 5 {
+		t.Fatalf("baseline attack should stay audible in the room: %v dB margin %v", spl, margin)
+	}
+	_, audibleLR, _ := rs.BystanderLeakage(fixLongRange)
+	if audibleLR {
+		t.Fatal("long-range attack should stay inaudible even with reflections")
+	}
+}
+
+func TestRoomDefenseStillDetects(t *testing.T) {
+	fixtures(t)
+	rs := DefaultRoomScenario()
+	r := rs.DeliverInRoom(fixBaseline, 2)
+	// The trace features must survive reverberation (the m^2 residue is
+	// generated at the microphone, after the room).
+	f := defense.Extract(r.Recording)
+	if f.TraceSNR <= -4.5 && f.HighSNR <= -4.5 {
+		t.Fatalf("room delivery erased the non-linearity traces: %v", f)
+	}
+}

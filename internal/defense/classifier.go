@@ -1,0 +1,283 @@
+package defense
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Sample is one labelled feature vector.
+type Sample struct {
+	X      []float64
+	Attack bool
+}
+
+// standardizer holds per-feature mean/std for z-scoring.
+type standardizer struct {
+	Mean, Std []float64
+}
+
+func fitStandardizer(samples []Sample) standardizer {
+	if len(samples) == 0 {
+		return standardizer{}
+	}
+	d := len(samples[0].X)
+	s := standardizer{Mean: make([]float64, d), Std: make([]float64, d)}
+	for _, sm := range samples {
+		for i, v := range sm.X {
+			s.Mean[i] += v
+		}
+	}
+	for i := range s.Mean {
+		s.Mean[i] /= float64(len(samples))
+	}
+	for _, sm := range samples {
+		for i, v := range sm.X {
+			d := v - s.Mean[i]
+			s.Std[i] += d * d
+		}
+	}
+	for i := range s.Std {
+		s.Std[i] = math.Sqrt(s.Std[i] / float64(len(samples)))
+		if s.Std[i] < 1e-9 {
+			s.Std[i] = 1
+		}
+	}
+	return s
+}
+
+func (s standardizer) apply(x []float64) []float64 {
+	if len(s.Mean) == 0 {
+		return x
+	}
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = (v - s.Mean[i]) / s.Std[i]
+	}
+	return out
+}
+
+// LinearSVM is a from-scratch linear support vector machine trained with
+// stochastic sub-gradient descent on the hinge loss (Pegasos-style).
+type LinearSVM struct {
+	W     []float64
+	B     float64
+	std   standardizer
+	Dim   int
+	Seed  int64
+	Iters int
+}
+
+// TrainSVM fits a linear SVM. lambda is the L2 regularisation strength;
+// epochs the number of passes over the data.
+func TrainSVM(samples []Sample, lambda float64, epochs int, seed int64) (*LinearSVM, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("defense: no training samples")
+	}
+	d := len(samples[0].X)
+	for _, s := range samples {
+		if len(s.X) != d {
+			return nil, fmt.Errorf("defense: inconsistent feature dimension")
+		}
+	}
+	svm := &LinearSVM{W: make([]float64, d), Dim: d, Seed: seed}
+	svm.std = fitStandardizer(samples)
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(len(samples))
+	t := 1
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			s := samples[idx]
+			x := svm.std.apply(s.X)
+			y := -1.0
+			if s.Attack {
+				y = 1.0
+			}
+			eta := 1 / (lambda * float64(t))
+			t++
+			margin := y * (dot(svm.W, x) + svm.B)
+			for i := range svm.W {
+				svm.W[i] *= 1 - eta*lambda
+			}
+			if margin < 1 {
+				for i := range svm.W {
+					svm.W[i] += eta * y * x[i]
+				}
+				svm.B += eta * y * 0.1
+			}
+		}
+	}
+	svm.Iters = epochs
+	return svm, nil
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Score returns the signed margin: positive means "attack".
+func (s *LinearSVM) Score(x []float64) float64 {
+	return dot(s.W, s.std.apply(x)) + s.B
+}
+
+// Predict reports whether x is classified as an attack.
+func (s *LinearSVM) Predict(x []float64) bool { return s.Score(x) > 0 }
+
+// LogisticRegression is a from-scratch binary logistic regression trained
+// with batch gradient descent; it provides calibrated attack
+// probabilities where the SVM provides margins.
+type LogisticRegression struct {
+	W   []float64
+	B   float64
+	std standardizer
+}
+
+// TrainLogistic fits the model with the given learning rate and epochs.
+func TrainLogistic(samples []Sample, lr float64, epochs int) (*LogisticRegression, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("defense: no training samples")
+	}
+	d := len(samples[0].X)
+	m := &LogisticRegression{W: make([]float64, d)}
+	m.std = fitStandardizer(samples)
+	xs := make([][]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = m.std.apply(s.X)
+		if s.Attack {
+			ys[i] = 1
+		}
+	}
+	for e := 0; e < epochs; e++ {
+		gw := make([]float64, d)
+		gb := 0.0
+		for i, x := range xs {
+			p := sigmoid(dot(m.W, x) + m.B)
+			err := p - ys[i]
+			for j := range gw {
+				gw[j] += err * x[j]
+			}
+			gb += err
+		}
+		n := float64(len(xs))
+		for j := range m.W {
+			m.W[j] -= lr * gw[j] / n
+		}
+		m.B -= lr * gb / n
+	}
+	return m, nil
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// Probability returns P(attack | x).
+func (m *LogisticRegression) Probability(x []float64) float64 {
+	return sigmoid(dot(m.W, m.std.apply(x)) + m.B)
+}
+
+// Predict reports whether x is classified as an attack (p > 0.5).
+func (m *LogisticRegression) Predict(x []float64) bool { return m.Probability(x) > 0.5 }
+
+// Metrics summarises binary classification quality.
+type Metrics struct {
+	Accuracy  float64
+	Precision float64
+	Recall    float64
+	F1        float64
+	TP        int
+	FP        int
+	TN        int
+	FN        int
+}
+
+// Evaluate computes Metrics for predictions against ground truth.
+func Evaluate(pred []bool, truth []bool) Metrics {
+	var m Metrics
+	for i := range pred {
+		switch {
+		case pred[i] && truth[i]:
+			m.TP++
+		case pred[i] && !truth[i]:
+			m.FP++
+		case !pred[i] && truth[i]:
+			m.FN++
+		default:
+			m.TN++
+		}
+	}
+	total := float64(len(pred))
+	if total > 0 {
+		m.Accuracy = float64(m.TP+m.TN) / total
+	}
+	if m.TP+m.FP > 0 {
+		m.Precision = float64(m.TP) / float64(m.TP+m.FP)
+	}
+	if m.TP+m.FN > 0 {
+		m.Recall = float64(m.TP) / float64(m.TP+m.FN)
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	return m
+}
+
+// ROCPoint is one operating point of the receiver operating
+// characteristic.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64 // true positive (detection) rate
+	FPR       float64 // false positive rate
+}
+
+// ROC sweeps a decision threshold over the scores and returns the curve,
+// sorted by increasing FPR. scores higher = more attack-like.
+func ROC(scores []float64, truth []bool) []ROCPoint {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	var pos, neg int
+	for _, t := range truth {
+		if t {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	var curve []ROCPoint
+	tp, fp := 0, 0
+	curve = append(curve, ROCPoint{Threshold: math.Inf(1)})
+	for _, i := range idx {
+		if truth[i] {
+			tp++
+		} else {
+			fp++
+		}
+		pt := ROCPoint{Threshold: scores[i]}
+		if pos > 0 {
+			pt.TPR = float64(tp) / float64(pos)
+		}
+		if neg > 0 {
+			pt.FPR = float64(fp) / float64(neg)
+		}
+		curve = append(curve, pt)
+	}
+	return curve
+}
+
+// AUC integrates the ROC curve by the trapezoid rule.
+func AUC(curve []ROCPoint) float64 {
+	var area float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}

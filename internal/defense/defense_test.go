@@ -1,0 +1,250 @@
+package defense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+	"inaudible/internal/voice"
+)
+
+// synthRecording fabricates a recording through a fast surrogate channel:
+// legitimate = voice + stationary noise; attacked = voice + beta*voice^2
+// (the quadratic demodulation residue) + the same noise. This isolates the
+// feature logic from the expensive full simulation, which the experiment
+// harness exercises end to end.
+func synthRecording(t testing.TB, attacked bool, beta, noiseRMS float64, seed int64) *audio.Signal {
+	t.Helper()
+	v := voice.MustSynthesize("ok google, take a picture", voice.DefaultVoice(), 48000)
+	v.NormalizeRMS(0.02)
+	out := v.Clone()
+	if attacked {
+		sq := make([]float64, v.Len())
+		for i, s := range v.Samples {
+			sq[i] = s * s
+		}
+		// The quadratic residue spans [0, 16 kHz]; scale it the way the
+		// mic's second-order term does relative to the linear copy.
+		scale := beta / dsp.RMS(sq) * dsp.RMS(v.Samples)
+		for i := range out.Samples {
+			out.Samples[i] += sq[i] * scale
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	noise := audio.PinkNoise(rng, 48000, noiseRMS, out.Duration())
+	dsp.Add(out.Samples, noise.Samples)
+	// Leading/trailing context like a real always-on recording.
+	full := audio.Silence(48000, out.Duration()+1.0)
+	full.MixInto(out, 0.5)
+	noise2 := audio.PinkNoise(rng, 48000, noiseRMS, full.Duration())
+	_ = noise2
+	return full
+}
+
+func TestFeatureSeparationSurrogate(t *testing.T) {
+	legit := Extract(synthRecording(t, false, 0, 0.002, 1))
+	attacked := Extract(synthRecording(t, true, 0.15, 0.002, 1))
+	if attacked.TraceSNR <= legit.TraceSNR {
+		t.Errorf("TraceSNR: attack %v <= legit %v", attacked.TraceSNR, legit.TraceSNR)
+	}
+	if attacked.HighSNR <= legit.HighSNR {
+		t.Errorf("HighSNR: attack %v <= legit %v", attacked.HighSNR, legit.HighSNR)
+	}
+	if attacked.LowEnvCorr <= legit.LowEnvCorr {
+		t.Errorf("LowEnvCorr: attack %v <= legit %v", attacked.LowEnvCorr, legit.LowEnvCorr)
+	}
+}
+
+func TestExtractDegenerateInputs(t *testing.T) {
+	f := Extract(audio.Silence(48000, 1))
+	if f.TraceSNR != -6 || f.HighSNR != -6 {
+		t.Errorf("silence features %v", f)
+	}
+	f = Extract(&audio.Signal{Rate: 48000})
+	if f.TraceSNR != -6 {
+		t.Errorf("empty features %v", f)
+	}
+	// Very short signal: no frames, floors everywhere, no panic.
+	f = Extract(audio.Tone(48000, 1000, 0.1, 0.05))
+	if math.IsNaN(f.TraceSNR) || math.IsNaN(f.LowEnvCorr) {
+		t.Errorf("NaN features on short input: %v", f)
+	}
+}
+
+func TestFeatureVectorShape(t *testing.T) {
+	f := Features{TraceSNR: 1, HighSNR: 2, LowEnvCorr: 3, Sub50LogRatio: 4, HighLogRatio: 5}
+	v := f.Vector()
+	want := []float64{1, 2, 3, 4, 5}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Vector order mismatch at %d", i)
+		}
+	}
+	if len(FeatureNames()) != len(v) {
+		t.Fatal("FeatureNames length mismatch")
+	}
+	if f.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+// gaussianCloud builds two linearly separable classes for classifier
+// tests.
+func gaussianCloud(n int, seed int64, sep float64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Sample
+	for i := 0; i < n; i++ {
+		attack := i%2 == 0
+		base := 0.0
+		if attack {
+			base = sep
+		}
+		x := []float64{
+			base + rng.NormFloat64(),
+			base/2 + rng.NormFloat64(),
+			rng.NormFloat64(), // uninformative dimension
+		}
+		out = append(out, Sample{X: x, Attack: attack})
+	}
+	return out
+}
+
+func TestSVMSeparatesClouds(t *testing.T) {
+	train := gaussianCloud(400, 1, 4)
+	test := gaussianCloud(200, 2, 4)
+	svm, err := TrainSVM(train, 0.01, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred, truth []bool
+	for _, s := range test {
+		pred = append(pred, svm.Predict(s.X))
+		truth = append(truth, s.Attack)
+	}
+	m := Evaluate(pred, truth)
+	if m.Accuracy < 0.95 {
+		t.Fatalf("SVM accuracy %v", m.Accuracy)
+	}
+}
+
+func TestLogisticSeparatesClouds(t *testing.T) {
+	train := gaussianCloud(400, 3, 4)
+	test := gaussianCloud(200, 4, 4)
+	lr, err := TrainLogistic(train, 0.5, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred, truth []bool
+	correctProb := 0
+	for _, s := range test {
+		pred = append(pred, lr.Predict(s.X))
+		truth = append(truth, s.Attack)
+		p := lr.Probability(s.X)
+		if (p > 0.5) == s.Attack {
+			correctProb++
+		}
+	}
+	m := Evaluate(pred, truth)
+	if m.Accuracy < 0.95 {
+		t.Fatalf("logistic accuracy %v", m.Accuracy)
+	}
+	if p := lr.Probability(test[0].X); p < 0 || p > 1 {
+		t.Fatalf("probability %v out of range", p)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := TrainSVM(nil, 0.01, 5, 1); err == nil {
+		t.Error("empty SVM training should fail")
+	}
+	if _, err := TrainLogistic(nil, 0.1, 5); err == nil {
+		t.Error("empty logistic training should fail")
+	}
+	bad := []Sample{{X: []float64{1, 2}}, {X: []float64{1}}}
+	if _, err := TrainSVM(bad, 0.01, 5, 1); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestEvaluateCounts(t *testing.T) {
+	pred := []bool{true, true, false, false}
+	truth := []bool{true, false, true, false}
+	m := Evaluate(pred, truth)
+	if m.TP != 1 || m.FP != 1 || m.FN != 1 || m.TN != 1 {
+		t.Fatalf("%+v", m)
+	}
+	if m.Accuracy != 0.5 || m.Precision != 0.5 || m.Recall != 0.5 || m.F1 != 0.5 {
+		t.Fatalf("%+v", m)
+	}
+}
+
+func TestROCAndAUC(t *testing.T) {
+	// Perfectly separable scores: AUC = 1.
+	scores := []float64{0.9, 0.8, 0.7, 0.2, 0.1, 0.0}
+	truth := []bool{true, true, true, false, false, false}
+	curve := ROC(scores, truth)
+	if auc := AUC(curve); math.Abs(auc-1) > 1e-9 {
+		t.Fatalf("separable AUC %v", auc)
+	}
+	// Anti-separable: AUC = 0.
+	truthInv := []bool{false, false, false, true, true, true}
+	if auc := AUC(ROC(scores, truthInv)); math.Abs(auc) > 1e-9 {
+		t.Fatalf("inverted AUC %v", auc)
+	}
+	// Random-ish: AUC near 0.5.
+	rng := rand.New(rand.NewSource(5))
+	var s []float64
+	var tr []bool
+	for i := 0; i < 2000; i++ {
+		s = append(s, rng.Float64())
+		tr = append(tr, rng.Float64() < 0.5)
+	}
+	if auc := AUC(ROC(s, tr)); math.Abs(auc-0.5) > 0.05 {
+		t.Fatalf("random AUC %v", auc)
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s []float64
+		var tr []bool
+		for i := 0; i < 50; i++ {
+			s = append(s, rng.NormFloat64())
+			tr = append(tr, rng.Float64() < 0.4)
+		}
+		curve := ROC(s, tr)
+		for i := 1; i < len(curve); i++ {
+			if curve[i].FPR < curve[i-1].FPR-1e-12 || curve[i].TPR < curve[i-1].TPR-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStandardizerZeroStd(t *testing.T) {
+	samples := []Sample{
+		{X: []float64{1, 5}, Attack: true},
+		{X: []float64{1, -5}, Attack: false},
+		{X: []float64{1, 5.1}, Attack: true},
+		{X: []float64{1, -5.1}, Attack: false},
+	}
+	svm, err := TrainSVM(samples, 0.01, 50, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant feature must not produce NaNs.
+	if math.IsNaN(svm.Score([]float64{1, 5})) {
+		t.Fatal("NaN score with constant feature")
+	}
+	if !svm.Predict([]float64{1, 5}) || svm.Predict([]float64{1, -5}) {
+		t.Fatal("classifier failed on the informative feature")
+	}
+}

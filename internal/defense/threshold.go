@@ -1,0 +1,108 @@
+package defense
+
+import (
+	"fmt"
+	"math"
+)
+
+// ThresholdDetector is the paper's simplest defense: a per-feature
+// decision threshold, calibrated from labelled data, that fires when ANY
+// cleanly separating feature crosses into attack territory. Unlike a
+// trained linear boundary it cannot trade one feature against another —
+// which is exactly what defeats the adaptive attacker: cancelling the
+// trace-band feature does not buy back the high-band residue.
+type ThresholdDetector struct {
+	// Thresholds[i] is the decision value for feature i (midpoint between
+	// the benign and attack class extremes).
+	Thresholds []float64
+	// AttackHigh[i] reports whether attacks lie above the threshold.
+	AttackHigh []bool
+	// Valid[i] reports whether feature i separated the classes cleanly in
+	// calibration; invalid features never fire.
+	Valid []bool
+}
+
+// CalibrateThresholds builds a ThresholdDetector from labelled samples: a
+// feature is used only if its class ranges do not overlap, with the
+// threshold at the midpoint of the gap.
+func CalibrateThresholds(samples []Sample) (*ThresholdDetector, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("defense: no calibration samples")
+	}
+	d := len(samples[0].X)
+	det := &ThresholdDetector{
+		Thresholds: make([]float64, d),
+		AttackHigh: make([]bool, d),
+		Valid:      make([]bool, d),
+	}
+	var haveLegit, haveAttack bool
+	for i := 0; i < d; i++ {
+		legitMin, legitMax := math.Inf(1), math.Inf(-1)
+		atkMin, atkMax := math.Inf(1), math.Inf(-1)
+		for _, s := range samples {
+			if len(s.X) != d {
+				return nil, fmt.Errorf("defense: inconsistent feature dimension")
+			}
+			v := s.X[i]
+			if s.Attack {
+				haveAttack = true
+				atkMin = math.Min(atkMin, v)
+				atkMax = math.Max(atkMax, v)
+			} else {
+				haveLegit = true
+				legitMin = math.Min(legitMin, v)
+				legitMax = math.Max(legitMax, v)
+			}
+		}
+		switch {
+		case atkMin > legitMax:
+			det.Valid[i] = true
+			det.AttackHigh[i] = true
+			det.Thresholds[i] = (atkMin + legitMax) / 2
+		case atkMax < legitMin:
+			det.Valid[i] = true
+			det.AttackHigh[i] = false
+			det.Thresholds[i] = (atkMax + legitMin) / 2
+		}
+	}
+	if !haveLegit || !haveAttack {
+		return nil, fmt.Errorf("defense: calibration needs both classes")
+	}
+	any := false
+	for _, v := range det.Valid {
+		any = any || v
+	}
+	if !any {
+		return nil, fmt.Errorf("defense: no feature separates the classes cleanly")
+	}
+	return det, nil
+}
+
+// Predict reports whether x is classified as an attack: any valid feature
+// on the attack side of its threshold fires.
+func (t *ThresholdDetector) Predict(x []float64) bool {
+	for i, v := range x {
+		if i >= len(t.Valid) || !t.Valid[i] {
+			continue
+		}
+		if t.AttackHigh[i] {
+			if v > t.Thresholds[i] {
+				return true
+			}
+		} else if v < t.Thresholds[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidFeatures returns the indices of features used by the detector.
+func (t *ThresholdDetector) ValidFeatures() []int {
+	var out []int
+	for i, v := range t.Valid {
+		if v {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package defense
+
+import "testing"
+
+func thresholdFixture() []Sample {
+	// Feature 0 separates (attack high), feature 1 separates (attack
+	// low), feature 2 overlaps.
+	return []Sample{
+		{X: []float64{-4.0, 1.0, 0.5}, Attack: false},
+		{X: []float64{-3.8, 0.9, 0.1}, Attack: false},
+		{X: []float64{-2.5, 0.2, 0.4}, Attack: true},
+		{X: []float64{-2.0, 0.1, 0.2}, Attack: true},
+	}
+}
+
+func TestCalibrateThresholds(t *testing.T) {
+	det, err := CalibrateThresholds(thresholdFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Valid[0] || !det.AttackHigh[0] {
+		t.Fatalf("feature 0 calibration: %+v", det)
+	}
+	if !det.Valid[1] || det.AttackHigh[1] {
+		t.Fatalf("feature 1 calibration: %+v", det)
+	}
+	if det.Valid[2] {
+		t.Fatal("overlapping feature must be invalid")
+	}
+	if got := det.ValidFeatures(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("ValidFeatures %v", got)
+	}
+	// Midpoints: feature 0 between -3.8 and -2.5 = -3.15.
+	if det.Thresholds[0] != (-3.8-2.5)/2 {
+		t.Fatalf("threshold 0 = %v", det.Thresholds[0])
+	}
+}
+
+func TestThresholdPredict(t *testing.T) {
+	det, err := CalibrateThresholds(thresholdFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Predict([]float64{-2.2, 0.95, 0}) {
+		t.Fatal("attack-high feature should fire alone")
+	}
+	if !det.Predict([]float64{-3.9, 0.15, 0}) {
+		t.Fatal("attack-low feature should fire alone")
+	}
+	if det.Predict([]float64{-3.9, 0.95, 0.9}) {
+		t.Fatal("benign point misclassified")
+	}
+}
+
+func TestCalibrateThresholdErrors(t *testing.T) {
+	if _, err := CalibrateThresholds(nil); err == nil {
+		t.Error("empty calibration should fail")
+	}
+	oneClass := []Sample{{X: []float64{1}, Attack: true}}
+	if _, err := CalibrateThresholds(oneClass); err == nil {
+		t.Error("single-class calibration should fail")
+	}
+	overlap := []Sample{
+		{X: []float64{0}, Attack: false},
+		{X: []float64{1}, Attack: false},
+		{X: []float64{0.5}, Attack: true},
+	}
+	if _, err := CalibrateThresholds(overlap); err == nil {
+		t.Error("no-separating-feature calibration should fail")
+	}
+	bad := []Sample{
+		{X: []float64{0, 1}, Attack: false},
+		{X: []float64{1}, Attack: true},
+	}
+	if _, err := CalibrateThresholds(bad); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestThresholdOnSurrogateRecordings(t *testing.T) {
+	var samples []Sample
+	for i := int64(0); i < 3; i++ {
+		legit := Extract(synthRecording(t, false, 0, 0.002, i))
+		atk := Extract(synthRecording(t, true, 0.15, 0.002, i))
+		samples = append(samples,
+			Sample{X: legit.Vector(), Attack: false},
+			Sample{X: atk.Vector(), Attack: true})
+	}
+	det, err := CalibrateThresholds(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Held-out surrogates.
+	legit := Extract(synthRecording(t, false, 0, 0.002, 99))
+	atk := Extract(synthRecording(t, true, 0.15, 0.002, 99))
+	if det.Predict(legit.Vector()) {
+		t.Fatal("legit surrogate flagged")
+	}
+	if !det.Predict(atk.Vector()) {
+		t.Fatal("attack surrogate missed")
+	}
+}

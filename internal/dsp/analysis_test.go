@@ -1,0 +1,291 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSTFTTonePlacement(t *testing.T) {
+	const rate = 48000.0
+	x := makeTone(6000, rate, 48000)
+	sg := STFT(x, rate, 1024, 512)
+	if sg.Frames() == 0 {
+		t.Fatal("no frames")
+	}
+	// The strongest bin of every frame must sit at ~6 kHz.
+	for f, row := range sg.Power {
+		best := 0
+		for k := range row {
+			if row[k] > row[best] {
+				best = k
+			}
+		}
+		if got := sg.BinHz(best); math.Abs(got-6000) > rate/1024 {
+			t.Fatalf("frame %d peak at %v Hz", f, got)
+		}
+	}
+}
+
+func TestSTFTBandEnergySeparation(t *testing.T) {
+	const rate = 48000.0
+	x := makeTone(2000, rate, 48000)
+	sg := STFT(x, rate, 2048, 1024)
+	in := sg.BandEnergy(1500, 2500)
+	out := sg.BandEnergy(8000, 20000)
+	if in <= 0 {
+		t.Fatal("no in-band energy")
+	}
+	if out/in > 1e-6 {
+		t.Fatalf("out-of-band/in-band energy ratio %v too high", out/in)
+	}
+}
+
+func TestWelchToneLevel(t *testing.T) {
+	// A unit-amplitude tone has power 0.5; the integrated PSD around the
+	// tone must recover that.
+	const rate = 48000.0
+	x := makeTone(3000, rate, 96000)
+	psd := Welch(x, 4096)
+	p := BandPower(psd, rate, 4096, 2800, 3200)
+	if math.Abs(p-0.5)/0.5 > 0.05 {
+		t.Fatalf("tone band power %v, want ~0.5", p)
+	}
+}
+
+func TestWelchShortSignal(t *testing.T) {
+	// Shorter than one frame: must still return a usable estimate.
+	x := makeTone(1000, 48000, 1000)
+	psd := Welch(x, 4096)
+	if len(psd) != 2049 {
+		t.Fatalf("psd length %d", len(psd))
+	}
+	var total float64
+	for _, v := range psd {
+		total += v
+	}
+	if total <= 0 {
+		t.Fatal("empty PSD for short signal")
+	}
+}
+
+func TestEnvelopeOfAMTone(t *testing.T) {
+	// envelope of (1 + 0.5 cos(2π·5t)) · cos(2π·1000t) ≈ 1 + 0.5 cos(2π·5t).
+	const rate = 8000.0
+	n := 8000
+	x := make([]float64, n)
+	for i := range x {
+		tt := float64(i) / rate
+		x[i] = (1 + 0.5*math.Cos(2*math.Pi*5*tt)) * math.Cos(2*math.Pi*1000*tt)
+	}
+	env := Envelope(x)
+	for i := n / 4; i < 3*n/4; i++ {
+		tt := float64(i) / rate
+		want := 1 + 0.5*math.Cos(2*math.Pi*5*tt)
+		if math.Abs(env[i]-want) > 0.03 {
+			t.Fatalf("envelope[%d]=%v want %v", i, env[i], want)
+		}
+	}
+}
+
+func TestEnvelopeConstantTone(t *testing.T) {
+	x := makeTone(440, 48000, 9600)
+	env := Envelope(x)
+	for i := len(env) / 4; i < 3*len(env)/4; i++ {
+		if math.Abs(env[i]-1) > 0.02 {
+			t.Fatalf("envelope of pure tone deviates: %v at %d", env[i], i)
+		}
+	}
+}
+
+func TestSmoothedEnvelopeRejectsPitchRipple(t *testing.T) {
+	const rate = 48000.0
+	n := 48000
+	x := make([]float64, n)
+	for i := range x {
+		tt := float64(i) / rate
+		// 3 Hz syllabic modulation on a 150 Hz "pitch" carrier.
+		x[i] = (1 + 0.8*math.Sin(2*math.Pi*3*tt)) * math.Sin(2*math.Pi*150*tt)
+	}
+	env := SmoothedEnvelope(x, rate, 20)
+	// The smoothed envelope should vary at 3 Hz: check it correlates with
+	// the known modulator.
+	mod := make([]float64, n)
+	for i := range mod {
+		tt := float64(i) / rate
+		mod[i] = 1 + 0.8*math.Sin(2*math.Pi*3*tt)
+	}
+	if c := PearsonCorrelation(env[n/8:7*n/8], mod[n/8:7*n/8]); c < 0.98 {
+		t.Fatalf("smoothed envelope correlation %v, want > 0.98", c)
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if c := PearsonCorrelation(x, y); math.Abs(c-1) > eps {
+		t.Errorf("perfect positive: got %v", c)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if c := PearsonCorrelation(x, neg); math.Abs(c+1) > eps {
+		t.Errorf("perfect negative: got %v", c)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if c := PearsonCorrelation(x, flat); c != 0 {
+		t.Errorf("zero-variance input: got %v, want 0", c)
+	}
+	if c := PearsonCorrelation(nil, nil); c != 0 {
+		t.Errorf("empty input: got %v", c)
+	}
+}
+
+func TestMaxCorrelationLagFindsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 2000
+	base := make([]float64, n)
+	for i := range base {
+		base[i] = rng.NormFloat64()
+	}
+	shift := 37
+	shifted := make([]float64, n)
+	copy(shifted[shift:], base[:n-shift])
+	c, lag := MaxCorrelationLag(base, shifted, 100)
+	if lag != shift {
+		t.Fatalf("found lag %d, want %d", lag, shift)
+	}
+	if c < 0.95 {
+		t.Fatalf("correlation at best lag %v, want > 0.95", c)
+	}
+}
+
+func TestGoertzelMatchesFFT(t *testing.T) {
+	const rate = 48000.0
+	x := makeTone(1234.5, rate, 9600)
+	amp := ToneAmplitude(x, 1234.5, rate)
+	if math.Abs(amp-1) > 0.02 {
+		t.Fatalf("tone amplitude estimate %v, want 1", amp)
+	}
+	// Energy probe away from the tone must be tiny.
+	if off := ToneAmplitude(x, 7000, rate); off > 0.02 {
+		t.Fatalf("off-tone amplitude %v", off)
+	}
+}
+
+func TestCrossCorrelatePeak(t *testing.T) {
+	x := []float64{0, 0, 1, 0, 0}
+	y := []float64{0, 0, 0, 1, 0}
+	r := CrossCorrelate(x, y, 2)
+	// Peak should occur at lag +1 (y shifted right by one).
+	best := 0
+	for i, v := range r {
+		if v > r[best] {
+			best = i
+		}
+	}
+	if best-2 != 1 {
+		t.Fatalf("peak at lag %d, want 1", best-2)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if m := Mean(x); m != 2.5 {
+		t.Errorf("Mean=%v", m)
+	}
+	if v := Variance(x); math.Abs(v-1.25) > eps {
+		t.Errorf("Variance=%v", v)
+	}
+	if s := StdDev(x); math.Abs(s-math.Sqrt(1.25)) > eps {
+		t.Errorf("StdDev=%v", s)
+	}
+	if RMS(nil) != 0 || Mean(nil) != 0 {
+		t.Error("empty-slice stats should be 0")
+	}
+}
+
+func TestUtilHelpers(t *testing.T) {
+	if DB(100) != 20 {
+		t.Errorf("DB(100)=%v", DB(100))
+	}
+	if !math.IsInf(DB(0), -1) {
+		t.Error("DB(0) should be -Inf")
+	}
+	if AmplitudeDB(10) != 20 {
+		t.Errorf("AmplitudeDB(10)=%v", AmplitudeDB(10))
+	}
+	if math.Abs(FromDB(3)-1.9952623149688795) > 1e-12 {
+		t.Errorf("FromDB(3)=%v", FromDB(3))
+	}
+	if math.Abs(AmplitudeFromDB(6)-1.9952623149688795) > 1e-12 {
+		t.Errorf("AmplitudeFromDB(6)=%v", AmplitudeFromDB(6))
+	}
+	if MaxAbs([]float64{1, -3, 2}) != 3 {
+		t.Error("MaxAbs")
+	}
+	x := Normalize([]float64{0.5, -0.25}, 1)
+	if x[0] != 1 || x[1] != -0.5 {
+		t.Errorf("Normalize got %v", x)
+	}
+	z := Normalize([]float64{0, 0}, 1)
+	if z[0] != 0 {
+		t.Error("Normalize of silence must be a no-op")
+	}
+	s := Add([]float64{1, 2, 3}, []float64{10, 20})
+	if s[0] != 11 || s[1] != 22 || s[2] != 3 {
+		t.Errorf("Add got %v", s)
+	}
+	ls := Linspace(0, 1, 5)
+	if len(ls) != 5 || ls[0] != 0 || ls[4] != 1 || ls[2] != 0.5 {
+		t.Errorf("Linspace got %v", ls)
+	}
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp")
+	}
+	if Energy([]float64{3, 4}) != 25 {
+		t.Error("Energy")
+	}
+}
+
+func TestWindows(t *testing.T) {
+	for name, fn := range map[string]WindowFunc{
+		"rect": Rectangular, "hann": Hann, "hannSym": HannSymmetric,
+		"hamming": Hamming, "blackman": Blackman, "bh": BlackmanHarris,
+	} {
+		w := fn(64)
+		if len(w) != 64 {
+			t.Errorf("%s: wrong length", name)
+		}
+		for i, v := range w {
+			if v < -1e-12 || v > 1+1e-12 {
+				t.Errorf("%s[%d]=%v outside [0,1]", name, i, v)
+			}
+		}
+		one := fn(1)
+		if len(one) != 1 || one[0] != 1 {
+			t.Errorf("%s: n=1 should be [1]", name)
+		}
+	}
+	// Symmetric windows must be symmetric.
+	w := HannSymmetric(65)
+	for i := 0; i < len(w)/2; i++ {
+		if math.Abs(w[i]-w[len(w)-1-i]) > 1e-12 {
+			t.Fatalf("HannSymmetric asymmetry at %d", i)
+		}
+	}
+	k := Kaiser(65, 8.6)
+	if math.Abs(k[32]-1) > 1e-12 {
+		t.Errorf("Kaiser centre %v, want 1", k[32])
+	}
+	if k[0] > 0.01 {
+		t.Errorf("Kaiser edge %v, want near 0", k[0])
+	}
+}
+
+func TestApplyWindowPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ApplyWindow(make([]float64, 3), make([]float64, 4))
+}

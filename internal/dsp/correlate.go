@@ -1,0 +1,111 @@
+package dsp
+
+import "math"
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the population variance of x.
+func Variance(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// StdDev returns the population standard deviation of x.
+func StdDev(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// PearsonCorrelation returns the Pearson correlation coefficient of x and y
+// over their common length. It returns 0 when either input has zero
+// variance (a degenerate but well-defined fallback used by the defense
+// features on silent recordings).
+func PearsonCorrelation(x, y []float64) float64 {
+	n := len(x)
+	if len(y) < n {
+		n = len(y)
+	}
+	if n == 0 {
+		return 0
+	}
+	x = x[:n]
+	y = y[:n]
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx <= 0 || syy <= 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// MaxCorrelationLag computes the Pearson correlation of x and y over lags
+// in [-maxLag, maxLag] (y shifted relative to x) and returns the maximum
+// correlation and the lag at which it occurs. It tolerates small
+// misalignments between a demodulated trace and the envelope it should
+// track (group delay through filters).
+func MaxCorrelationLag(x, y []float64, maxLag int) (best float64, bestLag int) {
+	best = math.Inf(-1)
+	for lag := -maxLag; lag <= maxLag; lag++ {
+		var xs, ys []float64
+		if lag >= 0 {
+			if lag >= len(y) {
+				continue
+			}
+			xs, ys = x, y[lag:]
+		} else {
+			if -lag >= len(x) {
+				continue
+			}
+			xs, ys = x[-lag:], y
+		}
+		c := PearsonCorrelation(xs, ys)
+		if c > best {
+			best = c
+			bestLag = lag
+		}
+	}
+	if math.IsInf(best, -1) {
+		return 0, 0
+	}
+	return best, bestLag
+}
+
+// CrossCorrelate returns the raw (unnormalised) cross-correlation
+// r[k] = sum_i x[i]*y[i+k-maxLag] for k in [0, 2*maxLag].
+func CrossCorrelate(x, y []float64, maxLag int) []float64 {
+	out := make([]float64, 2*maxLag+1)
+	for k := -maxLag; k <= maxLag; k++ {
+		var s float64
+		for i := range x {
+			j := i + k
+			if j < 0 || j >= len(y) {
+				continue
+			}
+			s += x[i] * y[j]
+		}
+		out[k+maxLag] = s
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package dsp
+
+import "math"
+
+// AnalyticSignal returns the complex analytic signal of x computed through
+// the frequency domain (Hilbert transform method): negative frequencies are
+// zeroed and positive frequencies doubled.
+func AnalyticSignal(x []float64) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	spec := FFTReal(x)
+	half := n / 2
+	for k := 1; k < half; k++ {
+		spec[k] *= 2
+	}
+	// Bin 0 (DC) and, for even n, bin n/2 (Nyquist) stay untouched.
+	for k := half + 1; k < n; k++ {
+		spec[k] = 0
+	}
+	if n%2 == 1 {
+		// Odd length: bins 1..(n-1)/2 are positive frequencies.
+		spec[half] *= 2
+	}
+	return IFFT(spec)
+}
+
+// Envelope returns the amplitude envelope |analytic(x)| of x.
+func Envelope(x []float64) []float64 {
+	a := AnalyticSignal(x)
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = math.Hypot(real(v), imag(v))
+	}
+	return out
+}
+
+// SmoothedEnvelope returns the envelope low-pass filtered to maxHz, which
+// tracks syllabic amplitude variation while rejecting pitch-rate ripple.
+// rate is the sample rate of x.
+func SmoothedEnvelope(x []float64, rate, maxHz float64) []float64 {
+	env := Envelope(x)
+	cut := maxHz / rate
+	if cut >= 0.5 {
+		return env
+	}
+	taps := 255
+	if len(env) < 3*taps {
+		taps = len(env)/3*2 + 1
+		if taps < 5 {
+			return env
+		}
+	}
+	lp := LowPassFIR(taps, cut)
+	return lp.Apply(env)
+}

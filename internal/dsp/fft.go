@@ -1,0 +1,201 @@
+// Package dsp provides the signal-processing kernels used throughout the
+// repository: FFTs, window functions, FIR filter design and application,
+// band-limited resampling, short-time analysis, envelope extraction and
+// correlation utilities.
+//
+// All routines operate on float64 samples (or complex128 spectra), are
+// allocation-conscious, and have no dependencies outside the standard
+// library. They are deterministic: the same input always yields the same
+// output, which the experiment harness relies on.
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// NextPowerOfTwo returns the smallest power of two >= n. It panics for n <= 0.
+func NextPowerOfTwo(n int) int {
+	if n <= 0 {
+		panic("dsp: NextPowerOfTwo requires n > 0")
+	}
+	if IsPowerOfTwo(n) {
+		return n
+	}
+	return 1 << bits.Len(uint(n))
+}
+
+// FFT computes the in-place forward discrete Fourier transform of x.
+// The length of x may be arbitrary: power-of-two lengths use an iterative
+// radix-2 Cooley–Tukey kernel, other lengths fall back to Bluestein's
+// chirp-z algorithm. The input slice is modified and returned.
+func FFT(x []complex128) []complex128 {
+	transform(x, false)
+	return x
+}
+
+// IFFT computes the in-place inverse DFT of x, including the 1/N
+// normalisation, and returns x.
+func IFFT(x []complex128) []complex128 {
+	transform(x, true)
+	return x
+}
+
+func transform(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if IsPowerOfTwo(n) {
+		radix2(x, inverse)
+	} else {
+		bluestein(x, inverse)
+	}
+	if inverse {
+		inv := 1 / float64(n)
+		for i := range x {
+			x[i] *= complex(inv, 0)
+		}
+	}
+}
+
+// radix2 performs an unnormalised in-place radix-2 DIT FFT.
+// inverse selects the conjugate twiddle direction (no 1/N scaling here).
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bluestein computes an unnormalised DFT of arbitrary length via the
+// chirp-z transform, using radix-2 FFTs of padded length m >= 2n-1.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	m := NextPowerOfTwo(2*n - 1)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp sequence w[k] = exp(sign * i*pi*k^2/n).
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k may overflow for large n; reduce modulo 2n first.
+		kk := int64(k) * int64(k) % int64(2*n)
+		phase := sign * math.Pi * float64(kk) / float64(n)
+		chirp[k] = cmplx.Exp(complex(0, phase))
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+	}
+	b[0] = cmplx.Conj(chirp[0])
+	for k := 1; k < n; k++ {
+		c := cmplx.Conj(chirp[k])
+		b[k] = c
+		b[m-k] = c
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	invM := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * invM * chirp[k]
+	}
+}
+
+// FFTReal computes the DFT of a real-valued signal and returns the full
+// complex spectrum of the same length. The input is not modified.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return FFT(c)
+}
+
+// IFFTReal computes the inverse DFT of a spectrum and returns the real part.
+// The caller asserts that the spectrum is (approximately) conjugate
+// symmetric, i.e. it came from a real signal; the imaginary residue is
+// discarded. The input slice is modified.
+func IFFTReal(spec []complex128) []float64 {
+	IFFT(spec)
+	out := make([]float64, len(spec))
+	for i, v := range spec {
+		out[i] = real(v)
+	}
+	return out
+}
+
+// Magnitudes returns |spec[i]| for each bin.
+func Magnitudes(spec []complex128) []float64 {
+	out := make([]float64, len(spec))
+	for i, v := range spec {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// PowerSpectrum returns |spec[i]|^2 for each bin.
+func PowerSpectrum(spec []complex128) []float64 {
+	out := make([]float64, len(spec))
+	for i, v := range spec {
+		re, im := real(v), imag(v)
+		out[i] = re*re + im*im
+	}
+	return out
+}
+
+// BinFrequency returns the centre frequency in Hz of FFT bin k for a
+// transform of length n at sample rate rate.
+func BinFrequency(k, n int, rate float64) float64 {
+	return float64(k) * rate / float64(n)
+}
+
+// FrequencyBin returns the FFT bin index closest to frequency f (Hz) for a
+// transform of length n at sample rate rate. The result is clamped to
+// [0, n/2].
+func FrequencyBin(f float64, n int, rate float64) int {
+	k := int(math.Round(f * float64(n) / rate))
+	if k < 0 {
+		k = 0
+	}
+	if k > n/2 {
+		k = n / 2
+	}
+	return k
+}

@@ -1,0 +1,232 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const eps = 1e-9
+
+func approxEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFFTImpulse(t *testing.T) {
+	// DFT of a unit impulse is flat: X[k] = 1 for all k.
+	for _, n := range []int{4, 8, 16, 12, 15, 100} {
+		x := make([]complex128, n)
+		x[0] = 1
+		FFT(x)
+		for k, v := range x {
+			if !approxEqual(real(v), 1, 1e-9) || !approxEqual(imag(v), 0, 1e-9) {
+				t.Fatalf("n=%d bin %d: got %v want 1", n, k, v)
+			}
+		}
+	}
+}
+
+func TestFFTSingleTone(t *testing.T) {
+	// A complex exponential at bin 5 must concentrate all energy in bin 5.
+	n := 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*5*float64(i)/float64(n)))
+	}
+	FFT(x)
+	for k, v := range x {
+		want := 0.0
+		if k == 5 {
+			want = float64(n)
+		}
+		if !approxEqual(cmplx.Abs(v), want, 1e-8) {
+			t.Fatalf("bin %d: |X|=%v want %v", k, cmplx.Abs(v), want)
+		}
+	}
+}
+
+func TestFFTRealCosineTwoBins(t *testing.T) {
+	// A real cosine at bin k splits into bins k and n-k with magnitude n/2.
+	n := 128
+	k := 17
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * float64(k) * float64(i) / float64(n))
+	}
+	spec := FFTReal(x)
+	if got := cmplx.Abs(spec[k]); !approxEqual(got, float64(n)/2, 1e-7) {
+		t.Fatalf("bin %d magnitude %v, want %v", k, got, float64(n)/2)
+	}
+	if got := cmplx.Abs(spec[n-k]); !approxEqual(got, float64(n)/2, 1e-7) {
+		t.Fatalf("bin %d magnitude %v, want %v", n-k, got, float64(n)/2)
+	}
+}
+
+func TestFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 8, 12, 64, 100, 255, 256, 257} {
+		orig := make([]complex128, n)
+		for i := range orig {
+			orig[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		x := make([]complex128, n)
+		copy(x, orig)
+		FFT(x)
+		IFFT(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-8 {
+				t.Fatalf("n=%d sample %d: round trip %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Energy in time equals energy in frequency divided by N.
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{16, 61, 128, 1000} {
+		x := make([]float64, n)
+		var et float64
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			et += x[i] * x[i]
+		}
+		spec := FFTReal(x)
+		var ef float64
+		for _, v := range spec {
+			re, im := real(v), imag(v)
+			ef += re*re + im*im
+		}
+		ef /= float64(n)
+		if math.Abs(et-ef)/et > 1e-9 {
+			t.Fatalf("n=%d Parseval mismatch: time %v freq %v", n, et, ef)
+		}
+	}
+}
+
+func TestBluesteinMatchesRadix2(t *testing.T) {
+	// Zero-padding a signal to a non-power-of-two and transforming via
+	// Bluestein must agree with a reference O(n^2) DFT.
+	rng := rand.New(rand.NewSource(3))
+	n := 48 // not a power of two -> Bluestein path
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	ref := naiveDFT(x)
+	got := make([]complex128, n)
+	copy(got, x)
+	FFT(got)
+	for k := range ref {
+		if cmplx.Abs(got[k]-ref[k]) > 1e-8 {
+			t.Fatalf("bin %d: bluestein %v naive %v", k, got[k], ref[k])
+		}
+	}
+}
+
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for i := 0; i < n; i++ {
+			acc += x[i] * cmplx.Exp(complex(0, -2*math.Pi*float64(k)*float64(i)/float64(n)))
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	// FFT(a*x + b*y) == a*FFT(x) + b*FFT(y), via testing/quick.
+	f := func(seed int64, a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a = math.Mod(a, 10)
+		b = math.Mod(b, 10)
+		rng := rand.New(rand.NewSource(seed))
+		n := 32
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		mix := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			y[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			mix[i] = complex(a, 0)*x[i] + complex(b, 0)*y[i]
+		}
+		FFT(x)
+		FFT(y)
+		FFT(mix)
+		for i := 0; i < n; i++ {
+			want := complex(a, 0)*x[i] + complex(b, 0)*y[i]
+			if cmplx.Abs(mix[i]-want) > 1e-7*(1+cmplx.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPowerOfTwo(in); got != want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestNextPowerOfTwoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	NextPowerOfTwo(0)
+}
+
+func TestFrequencyBinRoundTrip(t *testing.T) {
+	n, rate := 4096, 192000.0
+	for _, f := range []float64{0, 100, 5000, 30000, 96000} {
+		k := FrequencyBin(f, n, rate)
+		back := BinFrequency(k, n, rate)
+		if math.Abs(back-f) > rate/float64(n) {
+			t.Errorf("f=%v: bin %d maps back to %v", f, k, back)
+		}
+	}
+}
+
+func TestIFFTRealRecoversSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, 200)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	spec := FFTReal(x)
+	back := IFFTReal(spec)
+	for i := range x {
+		if math.Abs(back[i]-x[i]) > 1e-9 {
+			t.Fatalf("sample %d: %v vs %v", i, back[i], x[i])
+		}
+	}
+}
+
+func TestMagnitudesAndPowerSpectrum(t *testing.T) {
+	spec := []complex128{3 + 4i, 0, -5}
+	mags := Magnitudes(spec)
+	pows := PowerSpectrum(spec)
+	wantM := []float64{5, 0, 5}
+	wantP := []float64{25, 0, 25}
+	for i := range spec {
+		if !approxEqual(mags[i], wantM[i], eps) {
+			t.Errorf("mag[%d]=%v want %v", i, mags[i], wantM[i])
+		}
+		if !approxEqual(pows[i], wantP[i], eps) {
+			t.Errorf("pow[%d]=%v want %v", i, pows[i], wantP[i])
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIR is a finite impulse response filter described by its tap coefficients.
+// The zero value is unusable; construct with one of the design functions or
+// provide taps directly.
+type FIR struct {
+	Taps []float64
+}
+
+// sinc evaluates the normalised sinc function sin(pi x)/(pi x).
+func sinc(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	px := math.Pi * x
+	return math.Sin(px) / px
+}
+
+// validateFIR panics unless the design parameters are sane.
+func validateFIR(taps int, cutoffs ...float64) {
+	if taps < 3 {
+		panic(fmt.Sprintf("dsp: FIR needs >= 3 taps, got %d", taps))
+	}
+	for _, c := range cutoffs {
+		if c <= 0 || c >= 0.5 {
+			panic(fmt.Sprintf("dsp: normalised cutoff %v outside (0, 0.5)", c))
+		}
+	}
+}
+
+// LowPassFIR designs a linear-phase low-pass filter using the windowed-sinc
+// method with a Blackman window. cutoff is the normalised cutoff frequency
+// (cycles per sample, i.e. fHz/rate) and must lie in (0, 0.5). taps is
+// forced odd so the filter has an integral group delay of (taps-1)/2.
+func LowPassFIR(taps int, cutoff float64) *FIR {
+	validateFIR(taps, cutoff)
+	if taps%2 == 0 {
+		taps++
+	}
+	h := make([]float64, taps)
+	w := Blackman(taps)
+	mid := float64(taps-1) / 2
+	var sum float64
+	for i := range h {
+		h[i] = 2 * cutoff * sinc(2*cutoff*(float64(i)-mid)) * w[i]
+		sum += h[i]
+	}
+	// Normalise to unity DC gain.
+	for i := range h {
+		h[i] /= sum
+	}
+	return &FIR{Taps: h}
+}
+
+// HighPassFIR designs a linear-phase high-pass filter by spectral inversion
+// of a low-pass design. cutoff is normalised to (0, 0.5); taps is forced odd.
+func HighPassFIR(taps int, cutoff float64) *FIR {
+	lp := LowPassFIR(taps, cutoff)
+	h := lp.Taps
+	for i := range h {
+		h[i] = -h[i]
+	}
+	h[(len(h)-1)/2] += 1
+	return &FIR{Taps: h}
+}
+
+// BandPassFIR designs a linear-phase band-pass filter passing normalised
+// frequencies in (low, high), 0 < low < high < 0.5. taps is forced odd.
+func BandPassFIR(taps int, low, high float64) *FIR {
+	validateFIR(taps, low, high)
+	if low >= high {
+		panic(fmt.Sprintf("dsp: BandPassFIR low %v >= high %v", low, high))
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	h := make([]float64, taps)
+	w := Blackman(taps)
+	mid := float64(taps-1) / 2
+	for i := range h {
+		t := float64(i) - mid
+		h[i] = (2*high*sinc(2*high*t) - 2*low*sinc(2*low*t)) * w[i]
+	}
+	// Normalise to unity gain at the band centre.
+	fc := (low + high) / 2
+	var re, im float64
+	for i, v := range h {
+		phase := 2 * math.Pi * fc * float64(i)
+		re += v * math.Cos(phase)
+		im -= v * math.Sin(phase)
+	}
+	g := math.Hypot(re, im)
+	if g > 0 {
+		for i := range h {
+			h[i] /= g
+		}
+	}
+	return &FIR{Taps: h}
+}
+
+// BandStopFIR designs a linear-phase band-stop filter rejecting normalised
+// frequencies in (low, high). taps is forced odd.
+func BandStopFIR(taps int, low, high float64) *FIR {
+	bp := BandPassFIR(taps, low, high)
+	h := bp.Taps
+	for i := range h {
+		h[i] = -h[i]
+	}
+	h[(len(h)-1)/2] += 1
+	return &FIR{Taps: h}
+}
+
+// Delay returns the group delay of the (linear-phase) filter in samples.
+func (f *FIR) Delay() int { return (len(f.Taps) - 1) / 2 }
+
+// Apply convolves x with the filter and returns the "same"-length result:
+// the output has len(x) samples and is delay-compensated so that output[i]
+// aligns with input[i]. FFT convolution is used automatically when it is
+// cheaper than the direct form.
+func (f *FIR) Apply(x []float64) []float64 {
+	full := convolve(x, f.Taps)
+	d := f.Delay()
+	out := make([]float64, len(x))
+	copy(out, full[d:d+len(x)])
+	return out
+}
+
+// ApplyFull convolves x with the filter and returns the full convolution of
+// length len(x)+len(taps)-1, without delay compensation.
+func (f *FIR) ApplyFull(x []float64) []float64 {
+	return convolve(x, f.Taps)
+}
+
+// convolve returns the full linear convolution of a and b, choosing between
+// the direct form and FFT overlap for efficiency.
+func convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	// Direct cost ~ len(a)*len(b); FFT cost ~ n log n with n = next pow2 of
+	// the output length. Use FFT when the direct cost is clearly larger.
+	outLen := len(a) + len(b) - 1
+	direct := float64(len(a)) * float64(b2small(len(b)))
+	n := NextPowerOfTwo(outLen)
+	fftCost := 3 * float64(n) * math.Log2(float64(n))
+	if direct <= fftCost {
+		return convolveDirect(a, b)
+	}
+	return convolveFFT(a, b, outLen, n)
+}
+
+func b2small(n int) int { return n }
+
+func convolveDirect(a, b []float64) []float64 {
+	out := make([]float64, len(a)+len(b)-1)
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			out[i+j] += av * bv
+		}
+	}
+	return out
+}
+
+func convolveFFT(a, b []float64, outLen, n int) []float64 {
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	FFT(fa)
+	FFT(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	IFFT(fa)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(fa[i])
+	}
+	return out
+}
+
+// Convolve exposes full linear convolution for callers outside the filter
+// abstraction (e.g. room impulse responses).
+func Convolve(a, b []float64) []float64 { return convolve(a, b) }
+
+// FrequencyResponse evaluates the filter's complex frequency response at
+// normalised frequency f (cycles/sample).
+func (f *FIR) FrequencyResponse(freq float64) complex128 {
+	var re, im float64
+	for i, v := range f.Taps {
+		phase := 2 * math.Pi * freq * float64(i)
+		re += v * math.Cos(phase)
+		im -= v * math.Sin(phase)
+	}
+	return complex(re, im)
+}
+
+// GainDB returns the filter's magnitude response in decibels at normalised
+// frequency f.
+func (f *FIR) GainDB(freq float64) float64 {
+	re := f.FrequencyResponse(freq)
+	mag := math.Hypot(real(re), imag(re))
+	if mag <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(mag)
+}

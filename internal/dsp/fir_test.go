@@ -1,0 +1,186 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func makeTone(freq, rate float64, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * freq * float64(i) / rate)
+	}
+	return x
+}
+
+func TestLowPassFIRPassesAndStops(t *testing.T) {
+	const rate = 48000.0
+	lp := LowPassFIR(255, 8000/rate)
+	n := 8192
+	pass := lp.Apply(makeTone(1000, rate, n))
+	stop := lp.Apply(makeTone(16000, rate, n))
+	// Measure steady-state amplitude away from the edges.
+	passAmp := RMS(pass[n/4 : 3*n/4])
+	stopAmp := RMS(stop[n/4 : 3*n/4])
+	wantPass := 1 / math.Sqrt2
+	if math.Abs(passAmp-wantPass)/wantPass > 0.02 {
+		t.Errorf("passband RMS = %v, want ~%v", passAmp, wantPass)
+	}
+	if stopAmp > wantPass*0.005 {
+		t.Errorf("stopband RMS = %v, want < %v", stopAmp, wantPass*0.005)
+	}
+}
+
+func TestHighPassFIR(t *testing.T) {
+	const rate = 48000.0
+	hp := HighPassFIR(255, 4000/rate)
+	n := 8192
+	low := hp.Apply(makeTone(500, rate, n))
+	high := hp.Apply(makeTone(12000, rate, n))
+	if RMS(low[n/4:3*n/4]) > 0.01 {
+		t.Errorf("low tone leaked through high-pass: RMS %v", RMS(low[n/4:3*n/4]))
+	}
+	want := 1 / math.Sqrt2
+	got := RMS(high[n/4 : 3*n/4])
+	if math.Abs(got-want)/want > 0.02 {
+		t.Errorf("high tone attenuated: RMS %v want %v", got, want)
+	}
+}
+
+func TestBandPassFIR(t *testing.T) {
+	const rate = 192000.0
+	// Pass 25-35 kHz, stop elsewhere — the shape used to isolate
+	// spectrum segments for the long-range attack.
+	bp := BandPassFIR(511, 25000/rate, 35000/rate)
+	n := 16384
+	in := RMS(bp.Apply(makeTone(30000, rate, n))[n/4 : 3*n/4])
+	below := RMS(bp.Apply(makeTone(10000, rate, n))[n/4 : 3*n/4])
+	above := RMS(bp.Apply(makeTone(60000, rate, n))[n/4 : 3*n/4])
+	want := 1 / math.Sqrt2
+	if math.Abs(in-want)/want > 0.03 {
+		t.Errorf("in-band RMS %v want %v", in, want)
+	}
+	if below > 0.01 || above > 0.01 {
+		t.Errorf("out-of-band leakage: below=%v above=%v", below, above)
+	}
+}
+
+func TestBandStopFIR(t *testing.T) {
+	const rate = 48000.0
+	bs := BandStopFIR(511, 5000/rate, 7000/rate)
+	n := 16384
+	stopped := RMS(bs.Apply(makeTone(6000, rate, n))[n/4 : 3*n/4])
+	passed := RMS(bs.Apply(makeTone(1000, rate, n))[n/4 : 3*n/4])
+	if stopped > 0.02 {
+		t.Errorf("band-stop leaked: %v", stopped)
+	}
+	want := 1 / math.Sqrt2
+	if math.Abs(passed-want)/want > 0.03 {
+		t.Errorf("band-stop attenuated passband: %v", passed)
+	}
+}
+
+func TestFIRDelayCompensation(t *testing.T) {
+	// Apply must align output with input: a delta through a LPF peaks at
+	// the same index it entered.
+	lp := LowPassFIR(101, 0.2)
+	x := make([]float64, 400)
+	x[200] = 1
+	y := lp.Apply(x)
+	argmax := 0
+	for i, v := range y {
+		if v > y[argmax] {
+			argmax = i
+		}
+	}
+	if argmax != 200 {
+		t.Fatalf("impulse response peak at %d, want 200", argmax)
+	}
+}
+
+func TestFIRLinearityProperty(t *testing.T) {
+	lp := LowPassFIR(63, 0.1)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 256
+		x := make([]float64, n)
+		y := make([]float64, n)
+		sum := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+			sum[i] = x[i] + y[i]
+		}
+		fx := lp.Apply(x)
+		fy := lp.Apply(y)
+		fsum := lp.Apply(sum)
+		for i := range fsum {
+			if math.Abs(fsum[i]-(fx[i]+fy[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvolveMatchesDirect(t *testing.T) {
+	// FFT convolution path must equal the direct path.
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float64, 3000)
+	b := make([]float64, 400)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want := convolveDirect(a, b)
+	got := convolveFFT(a, b, len(a)+len(b)-1, NextPowerOfTwo(len(a)+len(b)-1))
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-6 {
+			t.Fatalf("sample %d: direct %v fft %v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestConvolveIdentity(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := Convolve(x, []float64{1})
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("identity convolution failed at %d", i)
+		}
+	}
+}
+
+func TestFIRGainDB(t *testing.T) {
+	lp := LowPassFIR(255, 0.1)
+	if g := lp.GainDB(0.01); math.Abs(g) > 0.1 {
+		t.Errorf("DC-ish gain %v dB, want ~0", g)
+	}
+	if g := lp.GainDB(0.3); g > -60 {
+		t.Errorf("stopband gain %v dB, want < -60", g)
+	}
+}
+
+func TestFIRDesignPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { LowPassFIR(2, 0.1) },
+		func() { LowPassFIR(11, 0.6) },
+		func() { BandPassFIR(11, 0.3, 0.2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,34 @@
+package dsp
+
+import "math"
+
+// Goertzel computes the power of a single frequency component of x using
+// the Goertzel algorithm — cheaper than a full FFT when only a handful of
+// bins are needed (e.g. probing for a carrier or an intermodulation
+// product). freq is in Hz and rate is the sample rate. The result is
+// normalised so that a unit-amplitude sinusoid at freq yields ~0.25
+// (|X|^2/N^2, matching a two-sided DFT bin).
+func Goertzel(x []float64, freq, rate float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	w := 2 * math.Pi * freq / rate
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, v := range x {
+		s0 = v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	return power / (float64(n) * float64(n))
+}
+
+// ToneAmplitude estimates the amplitude of a sinusoid at freq Hz present in
+// x, assuming the tone spans the full window.
+func ToneAmplitude(x []float64, freq, rate float64) float64 {
+	p := Goertzel(x, freq, rate)
+	// For a unit-amplitude tone the two-sided bin power is (1/2)^2 = 0.25.
+	return 2 * math.Sqrt(p)
+}

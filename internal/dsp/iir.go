@@ -1,0 +1,130 @@
+package dsp
+
+import "math"
+
+// Biquad is a direct-form-I second-order IIR section:
+//
+//	y[n] = B0*x[n] + B1*x[n-1] + B2*x[n-2] - A1*y[n-1] - A2*y[n-2]
+//
+// State is kept in the struct, so a Biquad processes one stream; Reset
+// clears it. The zero value is a pass-nothing filter; use a constructor.
+type Biquad struct {
+	B0, B1, B2 float64
+	A1, A2     float64
+	x1, x2     float64
+	y1, y2     float64
+}
+
+// Reset clears the filter state.
+func (b *Biquad) Reset() { b.x1, b.x2, b.y1, b.y2 = 0, 0, 0, 0 }
+
+// ProcessSample advances the filter by one input sample.
+func (b *Biquad) ProcessSample(x float64) float64 {
+	y := b.B0*x + b.B1*b.x1 + b.B2*b.x2 - b.A1*b.y1 - b.A2*b.y2
+	b.x2, b.x1 = b.x1, x
+	b.y2, b.y1 = b.y1, y
+	return y
+}
+
+// Process filters x in place and returns it.
+func (b *Biquad) Process(x []float64) []float64 {
+	for i, v := range x {
+		x[i] = b.ProcessSample(v)
+	}
+	return x
+}
+
+// SetKlattResonator configures the biquad as a Klatt-style formant
+// resonator with centre frequency f (Hz) and bandwidth bw (Hz) at the
+// given sample rate: poles at r*exp(+-j*theta) with unity DC gain. This is
+// the classic building block of cascade formant speech synthesis.
+func (b *Biquad) SetKlattResonator(f, bw, rate float64) {
+	r := math.Exp(-math.Pi * bw / rate)
+	theta := 2 * math.Pi * f / rate
+	c := -(r * r)
+	bb := 2 * r * math.Cos(theta)
+	a := 1 - bb - c
+	b.B0, b.B1, b.B2 = a, 0, 0
+	b.A1, b.A2 = -bb, -c
+}
+
+// NewKlattResonator returns a configured Klatt resonator.
+func NewKlattResonator(f, bw, rate float64) *Biquad {
+	b := &Biquad{}
+	b.SetKlattResonator(f, bw, rate)
+	return b
+}
+
+// NewKlattAntiResonator returns a Klatt anti-resonator (notch), the
+// inverse structure used for nasal zeros:
+//
+//	y[n] = A'*x[n] + B'*x[n-1] + C'*x[n-2]
+//
+// with coefficients derived from the corresponding resonator.
+func NewKlattAntiResonator(f, bw, rate float64) *Biquad {
+	r := math.Exp(-math.Pi * bw / rate)
+	theta := 2 * math.Pi * f / rate
+	c := -(r * r)
+	bb := 2 * r * math.Cos(theta)
+	a := 1 - bb - c
+	// Invert: swap the roles of poles and zeros.
+	ap := 1 / a
+	return &Biquad{B0: ap, B1: -bb * ap, B2: -c * ap}
+}
+
+// OnePole is a single-pole filter y[n] = (1-a)*x[n] + a*y[n-1], a low-pass
+// for 0 < a < 1. Used for glottal source spectral tilt.
+type OnePole struct {
+	A float64
+	y float64
+}
+
+// NewOnePoleLP returns a one-pole low-pass with the given -3 dB corner.
+func NewOnePoleLP(cornerHz, rate float64) *OnePole {
+	a := math.Exp(-2 * math.Pi * cornerHz / rate)
+	return &OnePole{A: a}
+}
+
+// ProcessSample advances the filter by one sample.
+func (o *OnePole) ProcessSample(x float64) float64 {
+	o.y = (1-o.A)*x + o.A*o.y
+	return o.y
+}
+
+// Process filters x in place and returns it.
+func (o *OnePole) Process(x []float64) []float64 {
+	for i, v := range x {
+		x[i] = o.ProcessSample(v)
+	}
+	return x
+}
+
+// Reset clears the state.
+func (o *OnePole) Reset() { o.y = 0 }
+
+// DCBlock applies a one-pole DC-blocking high-pass filter in place:
+// y[n] = x[n] - x[n-1] + a*y[n-1], with a set by the corner frequency.
+// Models AC coupling in amplifier chains; also used by the reference
+// demodulator to remove the carrier's demodulated pedestal.
+func DCBlock(x []float64, cornerHz, rate float64) []float64 {
+	a := 1 - 2*math.Pi*cornerHz/rate
+	var prevX, prevY float64
+	for i, v := range x {
+		y := v - prevX + a*prevY
+		prevX = v
+		prevY = y
+		x[i] = y
+	}
+	return x
+}
+
+// Differentiate applies a first-difference (lip-radiation) filter
+// y[n] = x[n] - x[n-1] in place and returns x.
+func Differentiate(x []float64) []float64 {
+	var prev float64
+	for i, v := range x {
+		x[i] = v - prev
+		prev = v
+	}
+	return x
+}

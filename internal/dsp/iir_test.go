@@ -1,0 +1,124 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKlattResonatorPeaksAtCenter(t *testing.T) {
+	const rate = 48000.0
+	res := NewKlattResonator(1000, 80, rate)
+	// Drive with white-ish impulse and inspect the impulse response
+	// spectrum: the peak must sit near 1 kHz.
+	n := 8192
+	x := make([]float64, n)
+	x[0] = 1
+	res.Process(x)
+	spec := FFTReal(x)
+	best, bestK := 0.0, 0
+	for k := 1; k < n/2; k++ {
+		p := real(spec[k])*real(spec[k]) + imag(spec[k])*imag(spec[k])
+		if p > best {
+			best, bestK = p, k
+		}
+	}
+	got := BinFrequency(bestK, n, rate)
+	if math.Abs(got-1000) > 30 {
+		t.Fatalf("resonance at %v Hz, want 1000", got)
+	}
+}
+
+func TestKlattResonatorUnityDCGain(t *testing.T) {
+	res := NewKlattResonator(2000, 100, 48000)
+	// Step response settles to 1 (unity DC gain).
+	var y float64
+	for i := 0; i < 48000; i++ {
+		y = res.ProcessSample(1)
+	}
+	if math.Abs(y-1) > 1e-6 {
+		t.Fatalf("DC gain %v", y)
+	}
+}
+
+func TestKlattResonatorBandwidth(t *testing.T) {
+	// Wider bandwidth decays faster: compare envelope decay of impulse
+	// responses.
+	const rate = 48000.0
+	narrow := NewKlattResonator(1000, 50, rate)
+	wide := NewKlattResonator(1000, 400, rate)
+	n := 4800
+	xn := make([]float64, n)
+	xw := make([]float64, n)
+	xn[0], xw[0] = 1, 1
+	narrow.Process(xn)
+	wide.Process(xw)
+	tailN := RMS(xn[n/2:])
+	tailW := RMS(xw[n/2:])
+	if tailW >= tailN {
+		t.Fatalf("wide resonator should decay faster: %v vs %v", tailW, tailN)
+	}
+}
+
+func TestAntiResonatorNotches(t *testing.T) {
+	const rate = 48000.0
+	anti := NewKlattAntiResonator(1500, 100, rate)
+	tone := makeTone(1500, rate, 9600)
+	out := make([]float64, len(tone))
+	copy(out, tone)
+	anti.Process(out)
+	// Steady-state at the notch frequency must be strongly attenuated.
+	if RMS(out[4800:]) > 0.05 {
+		t.Fatalf("notch leaves RMS %v", RMS(out[4800:]))
+	}
+	// A far-away tone passes at non-trivial level.
+	tone2 := makeTone(300, rate, 9600)
+	out2 := make([]float64, len(tone2))
+	copy(out2, tone2)
+	anti2 := NewKlattAntiResonator(1500, 100, rate)
+	anti2.Process(out2)
+	if RMS(out2[4800:]) < 0.2 {
+		t.Fatalf("far tone over-attenuated: %v", RMS(out2[4800:]))
+	}
+}
+
+func TestBiquadReset(t *testing.T) {
+	res := NewKlattResonator(800, 60, 48000)
+	res.ProcessSample(1)
+	res.ProcessSample(0.5)
+	res.Reset()
+	if res.ProcessSample(0) != 0 {
+		t.Fatal("state not cleared")
+	}
+}
+
+func TestOnePoleLowPass(t *testing.T) {
+	const rate = 48000.0
+	lp := NewOnePoleLP(500, rate)
+	hi := makeTone(8000, rate, 9600)
+	out := make([]float64, len(hi))
+	copy(out, hi)
+	lp.Process(out)
+	if RMS(out[4800:]) > 0.1 {
+		t.Fatalf("8 kHz through 500 Hz one-pole: RMS %v", RMS(out[4800:]))
+	}
+	lp.Reset()
+	// DC passes with unity gain.
+	var y float64
+	for i := 0; i < 48000; i++ {
+		y = lp.ProcessSample(1)
+	}
+	if math.Abs(y-1) > 1e-6 {
+		t.Fatalf("DC gain %v", y)
+	}
+}
+
+func TestDifferentiate(t *testing.T) {
+	x := []float64{1, 3, 6, 10}
+	Differentiate(x)
+	want := []float64{1, 2, 3, 4}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("diff[%d]=%v want %v", i, x[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// toneFreqEstimate finds the dominant frequency of x via the FFT peak.
+func toneFreqEstimate(x []float64, rate float64) float64 {
+	n := NextPowerOfTwo(len(x))
+	buf := make([]complex128, n)
+	w := Hann(len(x))
+	for i, v := range x {
+		buf[i] = complex(v*w[i], 0)
+	}
+	FFT(buf)
+	best, bestK := 0.0, 0
+	for k := 1; k < n/2; k++ {
+		p := real(buf[k])*real(buf[k]) + imag(buf[k])*imag(buf[k])
+		if p > best {
+			best = p
+			bestK = k
+		}
+	}
+	return BinFrequency(bestK, n, rate)
+}
+
+func TestUpsamplePreservesToneFrequency(t *testing.T) {
+	const from, to = 48000.0, 192000.0
+	tone := makeTone(5000, from, 4800)
+	up := Resample(tone, from, to)
+	if len(up) != 4*len(tone) {
+		t.Fatalf("length %d, want %d", len(up), 4*len(tone))
+	}
+	got := toneFreqEstimate(up, to)
+	if math.Abs(got-5000) > 30 {
+		t.Fatalf("upsampled tone at %v Hz, want 5000", got)
+	}
+}
+
+func TestUpsampleAmplitudePreserved(t *testing.T) {
+	const from, to = 48000.0, 192000.0
+	tone := makeTone(3000, from, 9600)
+	up := Resample(tone, from, to)
+	mid := up[len(up)/4 : 3*len(up)/4]
+	want := 1 / math.Sqrt2
+	if got := RMS(mid); math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("upsampled RMS %v, want %v", got, want)
+	}
+}
+
+func TestUpsampleRejectsImages(t *testing.T) {
+	// Zero-stuffing a 5 kHz tone by 4 creates images at 43, 53, 91 kHz;
+	// the interpolation filter must crush them.
+	const from, to = 48000.0, 192000.0
+	tone := makeTone(5000, from, 9600)
+	up := Resample(tone, from, to)
+	mid := up[len(up)/4 : 3*len(up)/4]
+	img := ToneAmplitude(mid, 43000, to)
+	if img > 0.01 {
+		t.Fatalf("image at 43 kHz has amplitude %v, want < 0.01", img)
+	}
+}
+
+func TestDownsamplePreservesToneFrequency(t *testing.T) {
+	const from, to = 192000.0, 48000.0
+	tone := makeTone(5000, from, 19200)
+	down := Resample(tone, from, to)
+	got := toneFreqEstimate(down, to)
+	if math.Abs(got-5000) > 30 {
+		t.Fatalf("downsampled tone at %v Hz, want 5000", got)
+	}
+}
+
+func TestDownsampleAliasesRemoved(t *testing.T) {
+	// A 60 kHz tone sampled at 192 kHz must NOT alias into the 48 kHz
+	// output band; the anti-alias kernel must remove it.
+	const from, to = 192000.0, 48000.0
+	tone := makeTone(60000, from, 19200)
+	down := Resample(tone, from, to)
+	if got := RMS(down[len(down)/4 : 3*len(down)/4]); got > 0.02 {
+		t.Fatalf("aliased energy RMS %v, want < 0.02", got)
+	}
+}
+
+func TestResampleIdentity(t *testing.T) {
+	x := makeTone(100, 48000, 128)
+	y := Resample(x, 48000, 48000)
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatal("identity resample must copy input")
+		}
+	}
+	// And must be a copy, not an alias.
+	y[0] = 123
+	if x[0] == 123 {
+		t.Fatal("identity resample aliases input")
+	}
+}
+
+func TestResampleArbitraryRatio(t *testing.T) {
+	const from, to = 44100.0, 48000.0
+	tone := makeTone(1000, from, 8820)
+	out := Resample(tone, from, to)
+	wantLen := int(math.Round(float64(len(tone)) * to / from))
+	if len(out) != wantLen {
+		t.Fatalf("length %d want %d", len(out), wantLen)
+	}
+	got := toneFreqEstimate(out, to)
+	if math.Abs(got-1000) > 20 {
+		t.Fatalf("tone moved to %v Hz", got)
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	const rate = 192000.0
+	tone := makeTone(5000, rate, 19200)
+	down := Decimate(tone, 4)
+	if len(down) != 4800 {
+		t.Fatalf("length %d want 4800", len(down))
+	}
+	got := toneFreqEstimate(down, rate/4)
+	if math.Abs(got-5000) > 40 {
+		t.Fatalf("tone at %v Hz after decimation", got)
+	}
+}
+
+func TestResamplePanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Resample([]float64{1}, 0, 48000)
+}
+
+func TestResampleRoundTripProperty(t *testing.T) {
+	// Up by 4 then down by 4 must approximately recover a band-limited
+	// signal (mid-section, away from filter edge effects).
+	f := func(seed int64) bool {
+		freq := 200 + float64(seed%40)*100 // 200..4100 Hz, inside both bands
+		if freq < 0 {
+			freq = -freq
+		}
+		const rate = 48000.0
+		x := makeTone(freq, rate, 4800)
+		y := Resample(Resample(x, rate, 4*rate), 4*rate, rate)
+		if len(y) != len(x) {
+			return false
+		}
+		for i := len(x) / 4; i < 3*len(x)/4; i++ {
+			if math.Abs(y[i]-x[i]) > 0.02 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

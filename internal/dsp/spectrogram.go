@@ -1,0 +1,169 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spectrogram holds the magnitude-squared short-time Fourier transform of a
+// signal: Power[frame][bin] with bin spacing Rate/FFTSize Hz and frame
+// spacing Hop/Rate seconds.
+type Spectrogram struct {
+	Power   [][]float64 // per-frame one-sided power spectra (len FFTSize/2+1)
+	Rate    float64     // sample rate of the analysed signal, Hz
+	FFTSize int         // transform length
+	Hop     int         // frame advance, samples
+}
+
+// STFT computes a one-sided magnitude-squared spectrogram with a Hann
+// window. fftSize must be a power of two; hop must be positive.
+func STFT(x []float64, rate float64, fftSize, hop int) *Spectrogram {
+	if !IsPowerOfTwo(fftSize) {
+		panic(fmt.Sprintf("dsp: STFT fftSize %d not a power of two", fftSize))
+	}
+	if hop <= 0 {
+		panic("dsp: STFT hop must be positive")
+	}
+	win := Hann(fftSize)
+	gain := WindowPowerGain(win) * float64(fftSize) * float64(fftSize)
+	nFrames := 0
+	if len(x) >= fftSize {
+		nFrames = 1 + (len(x)-fftSize)/hop
+	}
+	sg := &Spectrogram{
+		Power:   make([][]float64, nFrames),
+		Rate:    rate,
+		FFTSize: fftSize,
+		Hop:     hop,
+	}
+	buf := make([]complex128, fftSize)
+	for f := 0; f < nFrames; f++ {
+		off := f * hop
+		for i := 0; i < fftSize; i++ {
+			buf[i] = complex(x[off+i]*win[i], 0)
+		}
+		FFT(buf)
+		row := make([]float64, fftSize/2+1)
+		for k := range row {
+			re, im := real(buf[k]), imag(buf[k])
+			p := (re*re + im*im) / gain
+			if k != 0 && k != fftSize/2 {
+				p *= 2 // one-sided spectrum: fold negative frequencies in
+			}
+			row[k] = p
+		}
+		sg.Power[f] = row
+	}
+	return sg
+}
+
+// Frames returns the number of analysis frames.
+func (s *Spectrogram) Frames() int { return len(s.Power) }
+
+// BinHz returns the frequency of bin k in Hz.
+func (s *Spectrogram) BinHz(k int) float64 {
+	return float64(k) * s.Rate / float64(s.FFTSize)
+}
+
+// FrameTime returns the start time of frame f in seconds.
+func (s *Spectrogram) FrameTime(f int) float64 {
+	return float64(f*s.Hop) / s.Rate
+}
+
+// BandEnergy sums the power between lo and hi Hz (inclusive of the bins
+// whose centres fall in the range) across all frames.
+func (s *Spectrogram) BandEnergy(lo, hi float64) float64 {
+	var total float64
+	k0 := FrequencyBin(lo, s.FFTSize, s.Rate)
+	k1 := FrequencyBin(hi, s.FFTSize, s.Rate)
+	for _, row := range s.Power {
+		for k := k0; k <= k1 && k < len(row); k++ {
+			total += row[k]
+		}
+	}
+	return total
+}
+
+// MaxPowerDB returns the maximum bin power across the spectrogram in dB
+// (relative to unit power), or -Inf for an empty spectrogram.
+func (s *Spectrogram) MaxPowerDB() float64 {
+	max := math.Inf(-1)
+	for _, row := range s.Power {
+		for _, p := range row {
+			if p > max {
+				max = p
+			}
+		}
+	}
+	if max <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(max)
+}
+
+// Welch estimates the one-sided power spectral density of x by averaging
+// modified periodograms (Hann window, 50% overlap). The returned slice has
+// fftSize/2+1 bins; psd[k] is power per bin (not per Hz).
+func Welch(x []float64, fftSize int) []float64 {
+	if !IsPowerOfTwo(fftSize) {
+		panic(fmt.Sprintf("dsp: Welch fftSize %d not a power of two", fftSize))
+	}
+	hop := fftSize / 2
+	win := Hann(fftSize)
+	gain := WindowPowerGain(win) * float64(fftSize) * float64(fftSize)
+	psd := make([]float64, fftSize/2+1)
+	frames := 0
+	buf := make([]complex128, fftSize)
+	for off := 0; off+fftSize <= len(x); off += hop {
+		for i := 0; i < fftSize; i++ {
+			buf[i] = complex(x[off+i]*win[i], 0)
+		}
+		FFT(buf)
+		for k := range psd {
+			re, im := real(buf[k]), imag(buf[k])
+			p := (re*re + im*im) / gain
+			if k != 0 && k != fftSize/2 {
+				p *= 2
+			}
+			psd[k] += p
+		}
+		frames++
+	}
+	if frames == 0 {
+		// Signal shorter than one frame: zero-pad a single frame.
+		n := len(x)
+		for i := 0; i < fftSize; i++ {
+			v := 0.0
+			if i < n {
+				v = x[i] * win[i]
+			}
+			buf[i] = complex(v, 0)
+		}
+		FFT(buf)
+		for k := range psd {
+			re, im := real(buf[k]), imag(buf[k])
+			p := (re*re + im*im) / gain
+			if k != 0 && k != fftSize/2 {
+				p *= 2
+			}
+			psd[k] = p
+		}
+		return psd
+	}
+	for k := range psd {
+		psd[k] /= float64(frames)
+	}
+	return psd
+}
+
+// BandPower integrates a Welch PSD between lo and hi Hz given the analysis
+// parameters used to produce it.
+func BandPower(psd []float64, rate float64, fftSize int, lo, hi float64) float64 {
+	k0 := FrequencyBin(lo, fftSize, rate)
+	k1 := FrequencyBin(hi, fftSize, rate)
+	var total float64
+	for k := k0; k <= k1 && k < len(psd); k++ {
+		total += psd[k]
+	}
+	return total
+}

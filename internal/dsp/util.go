@@ -1,0 +1,117 @@
+package dsp
+
+import "math"
+
+// DB converts a linear power ratio to decibels. Non-positive ratios map to
+// -Inf.
+func DB(powerRatio float64) float64 {
+	if powerRatio <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(powerRatio)
+}
+
+// AmplitudeDB converts a linear amplitude ratio to decibels.
+func AmplitudeDB(ampRatio float64) float64 {
+	if ampRatio <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(ampRatio)
+}
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }
+
+// AmplitudeFromDB converts decibels to a linear amplitude ratio.
+func AmplitudeFromDB(db float64) float64 { return math.Pow(10, db/20) }
+
+// RMS returns the root-mean-square value of x, or 0 for an empty slice.
+func RMS(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(x)))
+}
+
+// Energy returns the total energy sum(x[i]^2).
+func Energy(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute sample value in x.
+func MaxAbs(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Scale multiplies every sample by g in place and returns x.
+func Scale(x []float64, g float64) []float64 {
+	for i := range x {
+		x[i] *= g
+	}
+	return x
+}
+
+// Normalize rescales x in place so MaxAbs(x) == peak (no-op on silence)
+// and returns x.
+func Normalize(x []float64, peak float64) []float64 {
+	m := MaxAbs(x)
+	if m == 0 {
+		return x
+	}
+	return Scale(x, peak/m)
+}
+
+// Add accumulates src into dst element-wise over the common length and
+// returns dst.
+func Add(dst, src []float64) []float64 {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] += src[i]
+	}
+	return dst
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = lo
+		return out
+	}
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,226 @@
+// Package experiment provides the shared machinery behind the paper's
+// evaluation artefacts (E1-E13 in DESIGN.md): labelled corpus generation,
+// parameter sweeps, success-rate estimation over trials, and plain-text
+// table/CSV rendering for the cmd/experiments harness and the benchmark
+// suite.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"inaudible/internal/asr"
+	"inaudible/internal/audio"
+	"inaudible/internal/core"
+	"inaudible/internal/voice"
+)
+
+// Table is a simple column-aligned text table with an optional CSV form.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a formatted row; values are rendered with %v unless they
+// are float64, which use %.4g.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		default:
+			row[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// CSV writes the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// SuccessRate delivers an emission n times (distinct noise trials) and
+// returns the fraction recognised as the wanted command.
+func SuccessRate(s *core.Scenario, rec *asr.Recognizer, e *core.Emission, distance float64, want string, trials int) float64 {
+	ok := 0
+	for i := 0; i < trials; i++ {
+		r := s.Deliver(e, distance, int64(i+1))
+		if rec.InjectionSuccess(r.Recording, want) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials)
+}
+
+// MaxRange returns the largest distance (metres, on the given grid) at
+// which the success rate stays >= minRate — the paper's "attack range"
+// metric. Returns 0 if even the closest grid point fails.
+func MaxRange(s *core.Scenario, rec *asr.Recognizer, e *core.Emission, want string, grid []float64, trials int, minRate float64) float64 {
+	best := 0.0
+	for _, d := range grid {
+		if SuccessRate(s, rec, e, d, want, trials) >= minRate {
+			if d > best {
+				best = d
+			}
+		} else if best > 0 {
+			break // monotone assumption: once it fails, stop probing
+		}
+	}
+	return best
+}
+
+// Recording is one labelled corpus entry for the defense experiments.
+type Recording struct {
+	Signal *audio.Signal
+	Attack bool
+	Label  string // provenance for reports ("legit/male-1/2m", ...)
+}
+
+// CorpusConfig controls defense corpus generation. All fields have
+// sensible zero-value replacements via DefaultCorpusConfig.
+type CorpusConfig struct {
+	Scenario *core.Scenario
+	// Commands to cover (IDs into voice.Vocabulary).
+	CommandIDs []string
+	// Profiles are the legitimate talkers.
+	Profiles []voice.Profile
+	// LegitDistances and LegitSPLs (dB at 1 m) grid the benign class.
+	LegitDistances []float64
+	LegitSPLs      []float64
+	// AttackPowers (W) and AttackDistances grid the baseline attack class.
+	AttackPowers    []float64
+	AttackDistances []float64
+	// Trials is the number of noise realisations per grid point.
+	Trials int
+}
+
+// DefaultCorpusConfig returns a balanced corpus of a practical size
+// (~48 recordings per class with Trials=2).
+func DefaultCorpusConfig(s *core.Scenario) CorpusConfig {
+	return CorpusConfig{
+		Scenario:        s,
+		CommandIDs:      []string{"photo", "milk"},
+		Profiles:        voice.Profiles()[:3],
+		LegitDistances:  []float64{1, 2, 3},
+		LegitSPLs:       []float64{60, 66, 72},
+		AttackPowers:    []float64{9.2, 18.7},
+		AttackDistances: []float64{1.5, 2, 3},
+		Trials:          2,
+	}
+}
+
+// BuildLegit generates the benign recordings of the corpus.
+func BuildLegit(cfg CorpusConfig) ([]Recording, error) {
+	var out []Recording
+	trial := int64(1)
+	for _, id := range cfg.CommandIDs {
+		cmd, ok := voice.FindCommand(id)
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown command %q", id)
+		}
+		for _, p := range cfg.Profiles {
+			sig := voice.MustSynthesize(cmd.Text, p, 48000)
+			for _, spl := range cfg.LegitSPLs {
+				e := cfg.Scenario.EmitVoice(sig, spl)
+				for _, d := range cfg.LegitDistances {
+					for t := 0; t < cfg.Trials; t++ {
+						r := cfg.Scenario.Deliver(e, d, trial)
+						trial++
+						out = append(out, Recording{
+							Signal: r.Recording,
+							Attack: false,
+							Label:  fmt.Sprintf("legit/%s/%s/%.0fdB/%.1fm", id, p.Name, spl, d),
+						})
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// BuildAttacks generates the baseline-attack recordings of the corpus.
+func BuildAttacks(cfg CorpusConfig) ([]Recording, error) {
+	var out []Recording
+	trial := int64(10_001)
+	for _, id := range cfg.CommandIDs {
+		cmd, ok := voice.FindCommand(id)
+		if !ok {
+			return nil, fmt.Errorf("experiment: unknown command %q", id)
+		}
+		sig := voice.MustSynthesize(cmd.Text, voice.DefaultVoice(), 48000)
+		for _, p := range cfg.AttackPowers {
+			e, _, err := cfg.Scenario.Simulate(sig, core.KindBaseline, p, 2, 0)
+			if err != nil {
+				return nil, err
+			}
+			for _, d := range cfg.AttackDistances {
+				for t := 0; t < cfg.Trials; t++ {
+					r := cfg.Scenario.Deliver(e, d, trial)
+					trial++
+					out = append(out, Recording{
+						Signal: r.Recording,
+						Attack: true,
+						Label:  fmt.Sprintf("attack/%s/%.1fW/%.1fm", id, p, d),
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// SplitTrainTest deterministically interleaves recordings into train and
+// test halves (even indices train, odd test), preserving class balance
+// within each provenance group.
+func SplitTrainTest(recs []Recording) (train, test []Recording) {
+	for i, r := range recs {
+		if i%2 == 0 {
+			train = append(train, r)
+		} else {
+			test = append(test, r)
+		}
+	}
+	return train, test
+}

@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"inaudible/internal/core"
+	"inaudible/internal/voice"
+)
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"a", "bb"}}
+	tb.AddRow(1.23456, "x")
+	tb.AddRow(2, "longer")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "1.235") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	buf.Reset()
+	tb.CSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || lines[0] != "a,bb" {
+		t.Fatalf("csv output:\n%s", buf.String())
+	}
+}
+
+func TestBuildLegitSmall(t *testing.T) {
+	s := core.DefaultScenario()
+	cfg := CorpusConfig{
+		Scenario:       s,
+		CommandIDs:     []string{"music"},
+		Profiles:       voice.Profiles()[:1],
+		LegitDistances: []float64{2},
+		LegitSPLs:      []float64{66},
+		Trials:         2,
+	}
+	recs, err := BuildLegit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d recordings", len(recs))
+	}
+	for _, r := range recs {
+		if r.Attack {
+			t.Fatal("legit recording labelled attack")
+		}
+		if r.Signal.RMS() == 0 {
+			t.Fatal("silent legit recording")
+		}
+		if !strings.HasPrefix(r.Label, "legit/") {
+			t.Fatalf("label %q", r.Label)
+		}
+	}
+}
+
+func TestBuildLegitUnknownCommand(t *testing.T) {
+	cfg := DefaultCorpusConfig(core.DefaultScenario())
+	cfg.CommandIDs = []string{"nope"}
+	if _, err := BuildLegit(cfg); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := BuildAttacks(cfg); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBuildAttacksSmall(t *testing.T) {
+	s := core.DefaultScenario()
+	cfg := CorpusConfig{
+		Scenario:        s,
+		CommandIDs:      []string{"music"},
+		AttackPowers:    []float64{18.7},
+		AttackDistances: []float64{2},
+		Trials:          2,
+	}
+	recs, err := BuildAttacks(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d recordings", len(recs))
+	}
+	for _, r := range recs {
+		if !r.Attack || !strings.HasPrefix(r.Label, "attack/") {
+			t.Fatalf("bad attack recording %q", r.Label)
+		}
+	}
+}
+
+func TestSplitTrainTest(t *testing.T) {
+	recs := []Recording{{Label: "0"}, {Label: "1"}, {Label: "2"}, {Label: "3"}, {Label: "4"}}
+	train, test := SplitTrainTest(recs)
+	if len(train) != 3 || len(test) != 2 {
+		t.Fatalf("split %d/%d", len(train), len(test))
+	}
+	if train[0].Label != "0" || test[0].Label != "1" {
+		t.Fatal("interleave order")
+	}
+}
+
+func TestSuccessRateAndMaxRange(t *testing.T) {
+	s := core.DefaultScenario()
+	rec := core.NewRecognizer(voice.DefaultVoice())
+	sig := voice.MustSynthesize("alexa, play music", voice.DefaultVoice(), 48000)
+	e, _, err := s.Simulate(sig, core.KindBaseline, 18.7, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := SuccessRate(s, rec, e, 1.5, "music", 3)
+	if near < 0.99 {
+		t.Fatalf("near success rate %v", near)
+	}
+	far := SuccessRate(s, rec, e, 10, "music", 3)
+	if far > near-0.5 {
+		t.Fatalf("far success rate %v vs near %v", far, near)
+	}
+	grid := []float64{1, 2, 8, 10}
+	r := MaxRange(s, rec, e, "music", grid, 2, 0.5)
+	if r < 2 || r >= 10 {
+		t.Fatalf("max range %v", r)
+	}
+}

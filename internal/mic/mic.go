@@ -1,0 +1,208 @@
+// Package mic models the victim device's receiving chain (paper Fig. 2):
+//
+//	transducer -> amplifier -> low-pass filter -> ADC
+//
+// The transducer+amplifier stage carries the security flaw the whole paper
+// rests on: a residual non-linearity (Eq. 1) that demodulates
+// amplitude-modulated ultrasound into the audible band *before* the
+// anti-alias low-pass filter removes the ultrasonic original. The LPF and
+// ADC then faithfully record the phantom voice.
+//
+// Unit convention: Record accepts the sound pressure waveform at the
+// device (pascals, at any simulation rate comfortably above the ultrasonic
+// content) and returns the digital recording in normalised full-scale
+// units at the device's ADC rate.
+package mic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"inaudible/internal/acoustics"
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+	"inaudible/internal/nonlinear"
+)
+
+// Device describes one victim microphone profile.
+type Device struct {
+	// Name identifies the profile in reports ("android-phone", "echo").
+	Name string
+	// FullScaleSPL is the acoustic level (dB SPL, RMS sine) that reaches
+	// digital full scale. Typical MEMS microphones clip near 110-120 dB.
+	FullScaleSPL float64
+	// UltrasonicAttenuationDB attenuates content above UltrasonicEdgeHz
+	// before the transducer — the acoustic path through the device body.
+	// The Echo's plastic grille attenuates ultrasound noticeably more than
+	// a phone's open microphone port, which is why the paper measures
+	// shorter attack ranges against it.
+	UltrasonicAttenuationDB float64
+	// UltrasonicEdgeHz is where the body attenuation begins.
+	UltrasonicEdgeHz float64
+	// NL is the transducer+amplifier non-linearity in normalised
+	// full-scale units.
+	NL *nonlinear.Polynomial
+	// LPFCutoffHz is the anti-alias filter cutoff (paper: ~20 kHz).
+	LPFCutoffHz float64
+	// ADCRate is the recording sample rate (48 kHz or 44.1 kHz).
+	ADCRate float64
+	// Bits is the ADC resolution.
+	Bits int
+	// NoiseFloorSPL is the equivalent input self-noise level.
+	NoiseFloorSPL float64
+}
+
+// AndroidPhone models a phone-class MEMS microphone: open port (little
+// ultrasonic attenuation), 48 kHz ADC.
+func AndroidPhone() *Device {
+	return &Device{
+		Name:                    "android-phone",
+		FullScaleSPL:            110,
+		UltrasonicAttenuationDB: 2,
+		UltrasonicEdgeHz:        20000,
+		NL:                      nonlinear.Cubic(1, 0.9, 0.15),
+		LPFCutoffHz:             20000,
+		ADCRate:                 48000,
+		Bits:                    16,
+		NoiseFloorSPL:           30,
+	}
+}
+
+// AmazonEcho models the Echo's microphone array behind its plastic
+// grille: ultrasound is attenuated ~8 dB more than on the phone, and the
+// ADC runs at 44.1 kHz.
+func AmazonEcho() *Device {
+	return &Device{
+		Name:                    "amazon-echo",
+		FullScaleSPL:            110,
+		UltrasonicAttenuationDB: 10,
+		UltrasonicEdgeHz:        20000,
+		NL:                      nonlinear.Cubic(1, 0.9, 0.15),
+		LPFCutoffHz:             20000,
+		ADCRate:                 44100,
+		Bits:                    16,
+		NoiseFloorSPL:           32,
+	}
+}
+
+// ReferenceMic models an idealised laboratory microphone with a perfectly
+// linear front end — the control device: inaudible attacks leave no trace
+// on it because there is nothing to demodulate the ultrasound.
+func ReferenceMic() *Device {
+	return &Device{
+		Name:                    "reference-linear",
+		FullScaleSPL:            110,
+		UltrasonicAttenuationDB: 0,
+		UltrasonicEdgeHz:        20000,
+		NL:                      nonlinear.Linear(1),
+		LPFCutoffHz:             20000,
+		ADCRate:                 48000,
+		Bits:                    24,
+		NoiseFloorSPL:           10,
+	}
+}
+
+// Record converts the pressure waveform at the device into the digital
+// recording the voice assistant receives. rng drives the self-noise;
+// pass a seeded source for reproducibility. The input is not modified.
+func (d *Device) Record(pressure *audio.Signal, rng *rand.Rand) *audio.Signal {
+	if pressure.Rate < 2*d.LPFCutoffHz {
+		panic(fmt.Sprintf("mic: simulation rate %v too low for cutoff %v",
+			pressure.Rate, d.LPFCutoffHz))
+	}
+	x := pressure.Clone()
+
+	// 1. Acoustic path through the device body: ultrasonic attenuation.
+	if d.UltrasonicAttenuationDB > 0 {
+		d.applyBodyFilter(x)
+	}
+
+	// 2. Normalise pascals to digital full scale. FullScaleSPL is an RMS
+	// sine level, so full-scale peak pressure is sqrt(2) * that RMS.
+	fsPeak := acoustics.PressureFromSPL(d.FullScaleSPL) * math.Sqrt2
+	x.Gain(1 / fsPeak)
+
+	// 3. Transducer + amplifier non-linearity — the demodulation step.
+	d.NL.ApplyInPlace(x.Samples)
+
+	// 3b. AC coupling: the amplifier blocks DC (including the DC offset
+	// the quadratic term creates). The corner sits at ~15 Hz so the
+	// 20-50 Hz band — where the defense looks for non-linearity traces —
+	// passes through intact.
+	dsp.DCBlock(x.Samples, 15, x.Rate)
+
+	// 4. Equivalent input noise.
+	if d.NoiseFloorSPL > 0 && rng != nil {
+		noiseRMS := acoustics.PressureFromSPL(d.NoiseFloorSPL) / fsPeak
+		for i := range x.Samples {
+			x.Samples[i] += rng.NormFloat64() * noiseRMS
+		}
+	}
+
+	// 5. Anti-alias low-pass filter.
+	lp := dsp.LowPassFIR(511, d.LPFCutoffHz/x.Rate)
+	x.Samples = lp.Apply(x.Samples)
+
+	// 6. Sampling.
+	if x.Rate != d.ADCRate {
+		x = x.Resampled(d.ADCRate)
+	}
+
+	// 7. Quantisation and clipping.
+	d.quantize(x)
+	return x
+}
+
+// applyBodyFilter attenuates content above UltrasonicEdgeHz by
+// UltrasonicAttenuationDB with a smooth one-octave transition.
+func (d *Device) applyBodyFilter(sig *audio.Signal) {
+	n := len(sig.Samples)
+	if n == 0 {
+		return
+	}
+	size := dsp.NextPowerOfTwo(n)
+	spec := make([]complex128, size)
+	for i, v := range sig.Samples {
+		spec[i] = complex(v, 0)
+	}
+	dsp.FFT(spec)
+	half := size / 2
+	for k := 0; k <= half; k++ {
+		f := dsp.BinFrequency(k, size, sig.Rate)
+		g := d.bodyGain(f)
+		spec[k] *= complex(g, 0)
+		if k != 0 && k != half {
+			spec[size-k] *= complex(g, 0)
+		}
+	}
+	dsp.IFFT(spec)
+	for i := range sig.Samples {
+		sig.Samples[i] = real(spec[i])
+	}
+}
+
+// bodyGain is the linear gain of the device body at frequency f.
+func (d *Device) bodyGain(f float64) float64 {
+	if f <= d.UltrasonicEdgeHz {
+		return 1
+	}
+	octs := math.Log2(f / d.UltrasonicEdgeHz)
+	db := d.UltrasonicAttenuationDB * math.Min(1, octs)
+	return dsp.AmplitudeFromDB(-db)
+}
+
+// quantize rounds samples to the ADC grid and hard-clips to [-1, 1].
+func (d *Device) quantize(sig *audio.Signal) {
+	levels := math.Pow(2, float64(d.Bits-1))
+	for i, v := range sig.Samples {
+		v = dsp.Clamp(v, -1, 1)
+		sig.Samples[i] = math.Round(v*levels) / levels
+	}
+}
+
+// SPLAtDevice reports the sound pressure level of the waveform reaching
+// the device, a convenience for experiment logs.
+func SPLAtDevice(pressure *audio.Signal) float64 {
+	return acoustics.SPL(pressure.RMS())
+}

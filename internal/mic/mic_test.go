@@ -1,0 +1,187 @@
+package mic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"inaudible/internal/acoustics"
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+)
+
+func seeded() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+func TestRecordAudibleToneFaithfully(t *testing.T) {
+	// A 94 dB SPL 1 kHz tone (16 dB below full scale) must be recorded at
+	// the right digital level with low distortion.
+	d := AndroidPhone()
+	amp := acoustics.PressureFromSPL(94) * math.Sqrt2
+	in := audio.Tone(192000, 1000, amp, 0.5)
+	rec := d.Record(in, seeded())
+	if rec.Rate != 48000 {
+		t.Fatalf("rate %v", rec.Rate)
+	}
+	got := dsp.ToneAmplitude(rec.Slice(0.1, 0.4).Samples, 1000, rec.Rate)
+	want := dsp.AmplitudeFromDB(94 - 110) // relative to full-scale sine
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("recorded amplitude %v, want ~%v", got, want)
+	}
+}
+
+func TestRecordRemovesUltrasound(t *testing.T) {
+	// A pure 30 kHz tone must vanish behind the LPF: nothing audible, and
+	// no 30 kHz in the 48 kHz recording (it's above Nyquist anyway).
+	d := AndroidPhone()
+	amp := acoustics.PressureFromSPL(100) * math.Sqrt2
+	in := audio.Tone(192000, 30000, amp, 0.5)
+	rec := d.Record(in, nil)
+	if peak := rec.Slice(0.1, 0.4).Peak(); peak > 0.02 {
+		t.Fatalf("ultrasonic tone left %v peak in recording", peak)
+	}
+}
+
+func TestRecordDemodulatesAMUltrasound(t *testing.T) {
+	// The attack primitive: AM ultrasound (2 kHz on 30 kHz carrier) at a
+	// loud-but-ultrasonic SPL must appear as a 2 kHz tone in the
+	// recording of a non-linear mic, and NOT in the reference mic.
+	const rate = 192000.0
+	base := audio.Tone(rate, 2000, 1, 0.5)
+	am := audio.AMSignal(base, 30000, 0.8)
+	amp := acoustics.PressureFromSPL(102) * math.Sqrt2
+	am.Gain(amp) // pressure waveform at the device
+
+	rec := AndroidPhone().Record(am, seeded())
+	demod := dsp.ToneAmplitude(rec.Slice(0.1, 0.4).Samples, 2000, rec.Rate)
+	if demod < 1e-3 {
+		t.Fatalf("no demodulated voice: amplitude %v", demod)
+	}
+
+	ref := ReferenceMic().Record(am, seeded())
+	linDemod := dsp.ToneAmplitude(ref.Slice(0.1, 0.4).Samples, 2000, ref.Rate)
+	if linDemod > demod/10 {
+		t.Fatalf("linear mic demodulated too: %v vs %v", linDemod, demod)
+	}
+}
+
+func TestDemodulationScalesWithCarrierSquared(t *testing.T) {
+	// Second-order demodulation: +6 dB carrier => +12 dB baseband.
+	const rate = 192000.0
+	am := audio.AMSignal(audio.Tone(rate, 2000, 1, 0.5), 30000, 0.8)
+	d := AndroidPhone()
+	mk := func(spl float64) float64 {
+		in := am.Clone()
+		in.Gain(acoustics.PressureFromSPL(spl) * math.Sqrt2)
+		rec := d.Record(in, nil)
+		return dsp.ToneAmplitude(rec.Slice(0.1, 0.4).Samples, 2000, rec.Rate)
+	}
+	lo := mk(90)
+	hi := mk(96)
+	gain := dsp.AmplitudeDB(hi / lo)
+	if math.Abs(gain-12) > 1.5 {
+		t.Fatalf("6 dB carrier step produced %v dB baseband step, want ~12", gain)
+	}
+}
+
+func TestEchoAttenuatesUltrasoundMore(t *testing.T) {
+	// Same AM field: the Echo's grille yields a weaker demodulated voice
+	// than the phone — the paper's reason for shorter Echo range.
+	const rate = 192000.0
+	am := audio.AMSignal(audio.Tone(rate, 2000, 1, 0.5), 30000, 0.8)
+	am.Gain(acoustics.PressureFromSPL(100) * math.Sqrt2)
+	phone := AndroidPhone().Record(am, nil)
+	echo := AmazonEcho().Record(am, nil)
+	dp := dsp.ToneAmplitude(phone.Slice(0.1, 0.4).Samples, 2000, phone.Rate)
+	de := dsp.ToneAmplitude(echo.Slice(0.1, 0.4).Samples, 2000, echo.Rate)
+	if de >= dp {
+		t.Fatalf("echo demod %v >= phone %v", de, dp)
+	}
+	if echo.Rate != 44100 {
+		t.Fatalf("echo ADC rate %v", echo.Rate)
+	}
+}
+
+func TestRecordIntermodulationOfTwoTones(t *testing.T) {
+	// The paper's §3.1 example: 25 kHz + 30 kHz in the air => 5 kHz in the
+	// recording.
+	const rate = 192000.0
+	in := audio.MultiTone(rate, 1, 0.5, 25000, 30000)
+	in.Gain(acoustics.PressureFromSPL(100) * math.Sqrt2)
+	rec := AndroidPhone().Record(in, nil)
+	imd := dsp.ToneAmplitude(rec.Slice(0.1, 0.4).Samples, 5000, rec.Rate)
+	if imd < 1e-3 {
+		t.Fatalf("intermodulation product missing: %v", imd)
+	}
+}
+
+func TestNoiseFloorPresent(t *testing.T) {
+	d := AndroidPhone()
+	silence := audio.Silence(192000, 0.5)
+	rec := d.Record(silence, seeded())
+	if rec.RMS() == 0 {
+		t.Fatal("expected self-noise in silent recording")
+	}
+	// Noise must sit far below full scale (-60 dBFS or lower).
+	if dsp.AmplitudeDB(rec.RMS()) > -60 {
+		t.Fatalf("noise floor too hot: %v dBFS", dsp.AmplitudeDB(rec.RMS()))
+	}
+	// Without an RNG, recording silence is silent.
+	rec2 := d.Record(silence, nil)
+	if rec2.RMS() != 0 {
+		t.Fatal("nil rng must disable noise")
+	}
+}
+
+func TestClippingAtFullScale(t *testing.T) {
+	d := AndroidPhone()
+	// 20 dB above full scale: must clip to |1| and distort, not blow up.
+	amp := acoustics.PressureFromSPL(130) * math.Sqrt2
+	in := audio.Tone(192000, 1000, amp, 0.25)
+	rec := d.Record(in, nil)
+	if rec.Peak() > 1 {
+		t.Fatalf("peak %v > 1 after clipping", rec.Peak())
+	}
+	if rec.Peak() < 0.99 {
+		t.Fatalf("expected hard clipping, peak %v", rec.Peak())
+	}
+}
+
+func TestQuantizationGrid(t *testing.T) {
+	d := AndroidPhone()
+	in := audio.Tone(192000, 1000, acoustics.PressureFromSPL(80)*math.Sqrt2, 0.1)
+	rec := d.Record(in, nil)
+	levels := math.Pow(2, float64(d.Bits-1))
+	for i, v := range rec.Samples {
+		snapped := math.Round(v*levels) / levels
+		if math.Abs(v-snapped) > 1e-12 {
+			t.Fatalf("sample %d = %v not on the %d-bit grid", i, v, d.Bits)
+		}
+	}
+}
+
+func TestRecordPanicsOnLowSimRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AndroidPhone().Record(audio.Tone(8000, 100, 0.1, 0.1), nil)
+}
+
+func TestBodyGainShape(t *testing.T) {
+	d := AmazonEcho()
+	if g := d.bodyGain(1000); g != 1 {
+		t.Errorf("voice band gain %v", g)
+	}
+	want := dsp.AmplitudeFromDB(-d.UltrasonicAttenuationDB)
+	if g := d.bodyGain(40000); math.Abs(g-want) > 1e-9 {
+		t.Errorf("ultrasonic gain %v want %v", g, want)
+	}
+}
+
+func TestSPLAtDevice(t *testing.T) {
+	s := audio.Tone(48000, 1000, acoustics.PressureFromSPL(70)*math.Sqrt2, 0.5)
+	if got := SPLAtDevice(s); math.Abs(got-70) > 0.5 {
+		t.Fatalf("SPLAtDevice %v", got)
+	}
+}

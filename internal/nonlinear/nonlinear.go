@@ -1,0 +1,177 @@
+// Package nonlinear models the memoryless non-linear transfer functions of
+// acoustic transducers and amplifiers — the physical root cause the paper
+// exploits (Eq. 1):
+//
+//	Sout = G1*Sin + G2*Sin^2 + G3*Sin^3 + ...
+//
+// The quadratic term demodulates amplitude-modulated ultrasound at the
+// victim microphone (intermodulation, Eq. 2); the same term at the
+// *attacker's speaker* produces the audible leakage that caps the
+// single-speaker attack range and motivates the paper's multi-speaker
+// design. The package also provides closed-form predictors for where
+// harmonic and intermodulation products land, which the property tests and
+// the defense analysis rely on.
+package nonlinear
+
+import (
+	"fmt"
+	"math"
+)
+
+// Polynomial is a memoryless polynomial transfer function
+// y = G[0]*x + G[1]*x^2 + G[2]*x^3 + ... (note: no DC term; G[i] is the
+// coefficient of x^(i+1), matching the paper's G1, G2, G3 indexing).
+type Polynomial struct {
+	G []float64
+}
+
+// NewPolynomial builds a transfer function from the paper's G1, G2, ...
+// coefficients.
+func NewPolynomial(g ...float64) *Polynomial {
+	if len(g) == 0 {
+		panic("nonlinear: need at least the linear coefficient G1")
+	}
+	out := &Polynomial{G: make([]float64, len(g))}
+	copy(out.G, g)
+	return out
+}
+
+// Linear returns a perfectly linear transfer with gain g1 — the idealised
+// device used as a control in ablation experiments.
+func Linear(g1 float64) *Polynomial { return NewPolynomial(g1) }
+
+// Quadratic returns the canonical second-order model G1*x + G2*x^2 used
+// throughout the paper's analysis.
+func Quadratic(g1, g2 float64) *Polynomial { return NewPolynomial(g1, g2) }
+
+// Cubic returns a third-order model G1*x + G2*x^2 + G3*x^3.
+func Cubic(g1, g2, g3 float64) *Polynomial { return NewPolynomial(g1, g2, g3) }
+
+// Eval applies the transfer function to a single sample.
+func (p *Polynomial) Eval(x float64) float64 {
+	// Horner evaluation of x*(G1 + x*(G2 + x*(G3 + ...))).
+	acc := 0.0
+	for i := len(p.G) - 1; i >= 0; i-- {
+		acc = acc*x + p.G[i]
+	}
+	return acc * x
+}
+
+// Apply maps the transfer function over a signal, returning a new slice.
+func (p *Polynomial) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = p.Eval(v)
+	}
+	return out
+}
+
+// ApplyInPlace maps the transfer function over x in place and returns x.
+func (p *Polynomial) ApplyInPlace(x []float64) []float64 {
+	for i, v := range x {
+		x[i] = p.Eval(v)
+	}
+	return x
+}
+
+// Order returns the polynomial order (highest power of x).
+func (p *Polynomial) Order() int { return len(p.G) }
+
+// String implements fmt.Stringer.
+func (p *Polynomial) String() string {
+	return fmt.Sprintf("Polynomial(order %d, G=%v)", len(p.G), p.G)
+}
+
+// SoftClip is a tanh saturating non-linearity with small-signal gain g and
+// clipping level limit: y = limit * tanh(g*x/limit). Models amplifier
+// saturation at high drive levels, where odd-order distortion dominates.
+type SoftClip struct {
+	Gain  float64
+	Limit float64
+}
+
+// Eval applies the soft clipper to one sample.
+func (s SoftClip) Eval(x float64) float64 {
+	if s.Limit <= 0 {
+		return 0
+	}
+	return s.Limit * math.Tanh(s.Gain*x/s.Limit)
+}
+
+// Apply maps the soft clipper over a signal, returning a new slice.
+func (s SoftClip) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = s.Eval(v)
+	}
+	return out
+}
+
+// IMDProducts returns the second-order intermodulation and harmonic
+// frequencies produced by a quadratic non-linearity driven with tones at
+// f1 and f2 (paper Eq. 2): 2f1, 2f2, f1+f2 and |f1-f2|. DC is omitted.
+func IMDProducts(f1, f2 float64) []float64 {
+	return []float64{2 * f1, 2 * f2, f1 + f2, math.Abs(f1 - f2)}
+}
+
+// DifferenceFrequency returns |f1 - f2| — the product that lands in the
+// audible band when both tones are ultrasonic, the core of the attack.
+func DifferenceFrequency(f1, f2 float64) float64 { return math.Abs(f1 - f2) }
+
+// SecondOrderToneAmplitudes predicts the amplitudes of the quadratic
+// products for an input a1*cos(w1 t) + a2*cos(w2 t) through y = g2*x^2:
+// the harmonic at 2f1 has amplitude g2*a1^2/2, at 2f2 g2*a2^2/2, and both
+// intermodulation products (f1±f2) have amplitude g2*a1*a2.
+func SecondOrderToneAmplitudes(g2, a1, a2 float64) (h1, h2, imd float64) {
+	return g2 * a1 * a1 / 2, g2 * a2 * a2 / 2, g2 * a1 * a2
+}
+
+// DemodulationGain predicts the baseband amplitude recovered by a quadratic
+// term g2 from an AM signal (1 + m*cos(wm t)) * A*cos(wc t) with carrier
+// amplitude A and modulation depth m: the wanted baseband component at wm
+// has amplitude g2 * A^2 * m. (The cross term 2 * (A)*(A*m/2) * g2.)
+func DemodulationGain(g2, carrierAmp, depth float64) float64 {
+	return g2 * carrierAmp * carrierAmp * depth
+}
+
+// THD computes total harmonic distortion of a transfer function driven by
+// a unit-amplitude sinusoid at normalised frequency f0 (cycles/sample),
+// summing harmonics 2..maxHarmonic, as an amplitude ratio.
+func THD(eval func(float64) float64, f0 float64, maxHarmonic int) float64 {
+	const n = 8192
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = eval(math.Sin(2 * math.Pi * f0 * float64(i)))
+	}
+	fund := goertzelAmp(x, f0)
+	if fund == 0 {
+		return 0
+	}
+	var sum float64
+	for h := 2; h <= maxHarmonic; h++ {
+		fh := f0 * float64(h)
+		if fh >= 0.5 {
+			break
+		}
+		a := goertzelAmp(x, fh)
+		sum += a * a
+	}
+	return math.Sqrt(sum) / fund
+}
+
+// goertzelAmp estimates the amplitude of the component at normalised
+// frequency f in x (duplicated from dsp to keep this leaf package
+// dependency-free).
+func goertzelAmp(x []float64, f float64) float64 {
+	n := len(x)
+	w := 2 * math.Pi * f
+	coeff := 2 * math.Cos(w)
+	var s1, s2 float64
+	for _, v := range x {
+		s0 := v + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := (s1*s1 + s2*s2 - coeff*s1*s2) / (float64(n) * float64(n))
+	return 2 * math.Sqrt(power)
+}

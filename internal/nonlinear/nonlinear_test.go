@@ -1,0 +1,220 @@
+package nonlinear
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+)
+
+func TestPolynomialEval(t *testing.T) {
+	p := NewPolynomial(2, 3, 4) // 2x + 3x^2 + 4x^3
+	if got := p.Eval(1); got != 9 {
+		t.Fatalf("Eval(1)=%v", got)
+	}
+	if got := p.Eval(0); got != 0 {
+		t.Fatalf("Eval(0)=%v", got)
+	}
+	if got := p.Eval(-1); got != -2+3-4 {
+		t.Fatalf("Eval(-1)=%v", got)
+	}
+}
+
+func TestLinearIsLinear(t *testing.T) {
+	p := Linear(3)
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+			return true // avoid float overflow, not a linearity question
+		}
+		return math.Abs(p.Eval(x)-3*x) < 1e-9*(1+math.Abs(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuadraticProducesHarmonic(t *testing.T) {
+	// A quadratic driven by a tone at f produces a component at 2f with
+	// amplitude g2*a^2/2 (plus DC).
+	const rate, f, a = 48000.0, 1000.0, 0.5
+	q := Quadratic(1, 0.4)
+	tone := audio.Tone(rate, f, a, 1)
+	out := q.Apply(tone.Samples)
+	h2 := dsp.ToneAmplitude(out, 2*f, rate)
+	want := 0.4 * a * a / 2
+	if math.Abs(h2-want)/want > 0.02 {
+		t.Fatalf("2nd harmonic amplitude %v, want %v", h2, want)
+	}
+}
+
+func TestIntermodulationLandsWherePredicted(t *testing.T) {
+	// The paper's core example: 25 kHz + 30 kHz through a quadratic must
+	// produce 5 kHz (difference), 55 kHz (sum), 50 kHz and 60 kHz
+	// (harmonics), with the amplitudes of Eq. 2.
+	const rate = 192000.0
+	const a1, a2, g2 = 0.4, 0.3, 0.5
+	n := int(rate)
+	x := make([]float64, n)
+	for i := range x {
+		tt := float64(i) / rate
+		x[i] = a1*math.Cos(2*math.Pi*25000*tt) + a2*math.Cos(2*math.Pi*30000*tt)
+	}
+	q := Quadratic(0, g2) // isolate the quadratic term
+	y := q.Apply(x)
+
+	wantH1, wantH2, wantIMD := SecondOrderToneAmplitudes(g2, a1, a2)
+	checks := []struct {
+		freq, want float64
+		name       string
+	}{
+		{50000, wantH1, "2f1 harmonic"},
+		{60000, wantH2, "2f2 harmonic"},
+		{55000, wantIMD, "f1+f2 sum"},
+		{5000, wantIMD, "f2-f1 difference"},
+	}
+	for _, c := range checks {
+		got := dsp.ToneAmplitude(y, c.freq, rate)
+		if math.Abs(got-c.want)/c.want > 0.02 {
+			t.Errorf("%s at %v Hz: amplitude %v, want %v", c.name, c.freq, got, c.want)
+		}
+	}
+	// And nothing at the input frequencies themselves (pure quadratic).
+	if got := dsp.ToneAmplitude(y, 25000, rate); got > 0.01 {
+		t.Errorf("fundamental leaked: %v", got)
+	}
+}
+
+func TestIMDProductsClosedForm(t *testing.T) {
+	p := IMDProducts(25000, 30000)
+	want := []float64{50000, 60000, 55000, 5000}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("IMDProducts[%d]=%v want %v", i, p[i], want[i])
+		}
+	}
+	if DifferenceFrequency(30000, 25000) != 5000 {
+		t.Fatal("DifferenceFrequency")
+	}
+}
+
+func TestDemodulationGainPrediction(t *testing.T) {
+	// AM signal through quadratic: baseband amplitude must match
+	// DemodulationGain.
+	const rate = 192000.0
+	const fc, fm = 30000.0, 2000.0
+	const A, m, g2 = 0.5, 0.6, 0.8
+	n := int(rate)
+	x := make([]float64, n)
+	for i := range x {
+		tt := float64(i) / rate
+		x[i] = A * (1 + m*math.Cos(2*math.Pi*fm*tt)) * math.Cos(2*math.Pi*fc*tt)
+	}
+	q := Quadratic(0, g2)
+	y := q.Apply(x)
+	got := dsp.ToneAmplitude(y, fm, rate)
+	want := DemodulationGain(g2, A, m)
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("demodulated baseband %v, want %v", got, want)
+	}
+}
+
+func TestApplyVariantsAgree(t *testing.T) {
+	p := Cubic(1, 0.2, 0.05)
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y1 := p.Apply(x)
+	y2 := make([]float64, len(x))
+	copy(y2, x)
+	p.ApplyInPlace(y2)
+	for i := range x {
+		if y1[i] != y2[i] {
+			t.Fatalf("Apply/ApplyInPlace disagree at %d", i)
+		}
+	}
+}
+
+func TestSoftClipBehaviour(t *testing.T) {
+	sc := SoftClip{Gain: 2, Limit: 1}
+	// Small signal: approximately linear with gain 2.
+	if got := sc.Eval(0.01); math.Abs(got-0.02) > 1e-4 {
+		t.Errorf("small-signal gain: %v", got)
+	}
+	// Large signal: saturates at Limit.
+	if got := sc.Eval(100); math.Abs(got-1) > 1e-6 {
+		t.Errorf("saturation: %v", got)
+	}
+	// Odd symmetry.
+	if sc.Eval(0.5) != -sc.Eval(-0.5) {
+		t.Error("soft clip must be odd")
+	}
+	// Degenerate limit.
+	if (SoftClip{Gain: 1, Limit: 0}).Eval(1) != 0 {
+		t.Error("zero-limit clip should output 0")
+	}
+	y := sc.Apply([]float64{0.1, -0.1})
+	if y[0] != sc.Eval(0.1) || y[1] != sc.Eval(-0.1) {
+		t.Error("Apply mismatch")
+	}
+}
+
+func TestSoftClipGeneratesOddHarmonics(t *testing.T) {
+	sc := SoftClip{Gain: 1, Limit: 0.3} // heavy saturation for unit input
+	thd := THD(sc.Eval, 0.01, 9)
+	if thd < 0.05 {
+		t.Fatalf("expected significant THD from saturation, got %v", thd)
+	}
+	// Third harmonic must dominate the second (odd non-linearity).
+	const n = 8192
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = sc.Eval(math.Sin(2 * math.Pi * 0.01 * float64(i)))
+	}
+	h2 := goertzelAmp(x, 0.02)
+	h3 := goertzelAmp(x, 0.03)
+	if h3 < 10*h2 {
+		t.Fatalf("odd clipper: h2=%v h3=%v", h2, h3)
+	}
+}
+
+func TestTHDOfLinearIsZero(t *testing.T) {
+	p := Linear(5)
+	// Bin-aligned frequency (104/8192) so Goertzel probes see no spectral
+	// leakage from the fundamental.
+	if thd := THD(p.Eval, 104.0/8192.0, 9); thd > 1e-9 {
+		t.Fatalf("linear THD %v", thd)
+	}
+}
+
+func TestPolynomialSuperpositionFailure(t *testing.T) {
+	// Sanity: non-linear systems violate superposition — this is the whole
+	// point. Verify f(a+b) != f(a)+f(b) for the quadratic.
+	q := Quadratic(1, 1)
+	a, b := 0.3, 0.4
+	if math.Abs(q.Eval(a+b)-(q.Eval(a)+q.Eval(b))) < 1e-12 {
+		t.Fatal("quadratic unexpectedly satisfied superposition")
+	}
+}
+
+func TestNewPolynomialPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPolynomial()
+}
+
+func TestPolynomialString(t *testing.T) {
+	if s := Quadratic(1, 0.1).String(); s == "" {
+		t.Fatal("empty String")
+	}
+	if Quadratic(1, 0.1).Order() != 2 {
+		t.Fatal("Order")
+	}
+}

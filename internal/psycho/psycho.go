@@ -1,0 +1,146 @@
+// Package psycho provides the psychoacoustic audibility model that stands
+// in for the paper's human listeners. "Inaudible" is defined against the
+// absolute threshold of hearing in quiet (Terhardt's analytic
+// approximation of the ISO 226 curve): a sound is audible if any analysis
+// band's SPL exceeds the threshold at that band's centre frequency.
+//
+// This is the criterion used to score attacker leakage (DESIGN.md E2/E3):
+// a single-speaker attack becomes audible because its self-demodulated
+// leakage lands in the highly sensitive 500 Hz - 8 kHz region, while the
+// multi-speaker attack's residue falls below 50 Hz where the threshold
+// exceeds 70 dB SPL.
+package psycho
+
+import (
+	"math"
+
+	"inaudible/internal/acoustics"
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+)
+
+// HearingThresholdSPL returns the absolute threshold of hearing in quiet
+// at frequency f (Hz), in dB SPL, using Terhardt's approximation:
+//
+//	Tq(f) = 3.64 (f/kHz)^-0.8 - 6.5 exp(-0.6 (f/kHz - 3.3)^2) + 1e-3 (f/kHz)^4
+//
+// The polynomial term grows without bound above ~16 kHz, correctly
+// modelling that ultrasound is inaudible at any realistic level. Below
+// 20 Hz the threshold is clamped to a conservative 80 dB SPL floor
+// (infrasound sensitivity).
+func HearingThresholdSPL(f float64) float64 {
+	if f < 20 {
+		return 80
+	}
+	khz := f / 1000
+	tq := 3.64*math.Pow(khz, -0.8) -
+		6.5*math.Exp(-0.6*(khz-3.3)*(khz-3.3)) +
+		1e-3*math.Pow(khz, 4)
+	// Cap the ultrasonic rise: beyond ~140 dB SPL everything is felt, not
+	// heard, and numbers larger than that are physically meaningless here.
+	if tq > 140 {
+		tq = 140
+	}
+	return tq
+}
+
+// AWeightingDB returns the IEC 61672 A-weighting in dB at frequency f.
+func AWeightingDB(f float64) float64 {
+	if f <= 0 {
+		return math.Inf(-1)
+	}
+	f2 := f * f
+	const (
+		c1 = 20.598997 * 20.598997
+		c2 = 107.65265 * 107.65265
+		c3 = 737.86223 * 737.86223
+		c4 = 12194.217 * 12194.217
+	)
+	num := c4 * f2 * f2
+	den := (f2 + c1) * math.Sqrt((f2+c2)*(f2+c3)) * (f2 + c4)
+	ra := num / den
+	return 20*math.Log10(ra) + 2.0
+}
+
+// BandLevel is the SPL measured in one analysis band.
+type BandLevel struct {
+	LoHz, HiHz float64
+	SPL        float64 // dB SPL of the band's total power
+	Threshold  float64 // hearing threshold at the band centre, dB SPL
+}
+
+// Margin returns SPL - Threshold: positive values are audible.
+func (b BandLevel) Margin() float64 { return b.SPL - b.Threshold }
+
+// Audibility is the result of analysing a pressure waveform against the
+// threshold of hearing.
+type Audibility struct {
+	Bands     []BandLevel
+	MaxMargin float64 // largest Margin() over all bands, dB
+	PeakBand  BandLevel
+}
+
+// Audible reports whether any band exceeds the threshold.
+func (a Audibility) Audible() bool { return a.MaxMargin > 0 }
+
+// AnalyzeAudibility measures the audibility of a pressure waveform
+// (pascals) by integrating its Welch PSD into third-octave bands from
+// 20 Hz to min(rate/2, 20 kHz) and comparing each band's SPL to the
+// hearing threshold at the band centre.
+func AnalyzeAudibility(s *audio.Signal) Audibility {
+	const fftSize = 8192
+	psd := dsp.Welch(s.Samples, fftSize)
+	var out Audibility
+	out.MaxMargin = math.Inf(-1)
+	lo := 20.0
+	nyq := s.Rate / 2
+	for lo < 20000 && lo < nyq {
+		hi := lo * math.Cbrt(2) // third-octave step
+		if hi > nyq {
+			hi = nyq
+		}
+		center := math.Sqrt(lo * hi)
+		p := dsp.BandPower(psd, s.Rate, fftSize, lo, hi)
+		bl := BandLevel{
+			LoHz:      lo,
+			HiHz:      hi,
+			SPL:       acoustics.SPL(math.Sqrt(p)),
+			Threshold: HearingThresholdSPL(center),
+		}
+		out.Bands = append(out.Bands, bl)
+		if m := bl.Margin(); m > out.MaxMargin {
+			out.MaxMargin = m
+			out.PeakBand = bl
+		}
+		lo = hi
+	}
+	return out
+}
+
+// LeakageSPL measures the A-weighted SPL of the audible-band content
+// (20 Hz - 20 kHz) of a pressure waveform: the single-number "how loud
+// does the attack sound to a bystander" metric used in E2/E3.
+func LeakageSPL(s *audio.Signal) float64 {
+	const fftSize = 8192
+	psd := dsp.Welch(s.Samples, fftSize)
+	var total float64
+	for k := range psd {
+		f := dsp.BinFrequency(k, fftSize, s.Rate)
+		if f < 20 || f > 20000 {
+			continue
+		}
+		w := math.Pow(10, AWeightingDB(f)/10)
+		total += psd[k] * w
+	}
+	return acoustics.SPL(math.Sqrt(total))
+}
+
+// AudibleAtDistance propagates the 1 m reference emission to a listener at
+// the given distance and reports whether it is audible there, along with
+// the margin in dB.
+func AudibleAtDistance(emission *audio.Signal, distance float64, air acoustics.Air) (bool, float64) {
+	p := acoustics.Path{Distance: distance, Air: air}
+	at := p.Propagate(emission)
+	a := AnalyzeAudibility(at)
+	return a.Audible(), a.MaxMargin
+}

@@ -1,0 +1,134 @@
+package psycho
+
+import (
+	"math"
+	"testing"
+
+	"inaudible/internal/acoustics"
+	"inaudible/internal/audio"
+)
+
+func TestHearingThresholdShape(t *testing.T) {
+	// Most sensitive region is 2-5 kHz (threshold near or below 0 dB SPL).
+	if tq := HearingThresholdSPL(3300); tq > 0 {
+		t.Errorf("threshold at 3.3 kHz = %v, want < 0", tq)
+	}
+	// 1 kHz reference is a few dB SPL.
+	if tq := HearingThresholdSPL(1000); tq < 0 || tq > 10 {
+		t.Errorf("threshold at 1 kHz = %v", tq)
+	}
+	// Low frequencies are hard to hear.
+	if HearingThresholdSPL(50) < 30 {
+		t.Error("threshold at 50 Hz should exceed 30 dB")
+	}
+	if HearingThresholdSPL(25) < HearingThresholdSPL(100) {
+		t.Error("threshold should grow toward infrasound")
+	}
+	// Ultrasound is effectively inaudible.
+	if HearingThresholdSPL(25000) < 100 {
+		t.Error("ultrasonic threshold should be very high")
+	}
+	// Infrasound clamp.
+	if HearingThresholdSPL(5) != 80 {
+		t.Error("infrasound clamp")
+	}
+}
+
+func TestAWeighting(t *testing.T) {
+	// A-weighting is 0 dB at 1 kHz by construction (+-0.2 dB).
+	if w := AWeightingDB(1000); math.Abs(w) > 0.2 {
+		t.Errorf("A(1kHz)=%v", w)
+	}
+	// Standard table: A(100 Hz) ~ -19.1 dB, A(10 kHz) ~ -2.5 dB.
+	if w := AWeightingDB(100); math.Abs(w+19.1) > 1 {
+		t.Errorf("A(100Hz)=%v", w)
+	}
+	if w := AWeightingDB(10000); math.Abs(w+2.5) > 1 {
+		t.Errorf("A(10kHz)=%v", w)
+	}
+	if !math.IsInf(AWeightingDB(0), -1) {
+		t.Error("A(0) should be -Inf")
+	}
+}
+
+func TestAudibilityOfQuietAndLoudTones(t *testing.T) {
+	// 60 dB SPL @ 1 kHz: clearly audible.
+	loud := audio.Tone(48000, 1000, acoustics.PressureFromSPL(60)*math.Sqrt2, 1)
+	a := AnalyzeAudibility(loud)
+	if !a.Audible() {
+		t.Fatal("60 dB tone at 1 kHz should be audible")
+	}
+	if a.PeakBand.LoHz > 1000 || a.PeakBand.HiHz < 1000 {
+		t.Errorf("peak band %v-%v does not bracket 1 kHz", a.PeakBand.LoHz, a.PeakBand.HiHz)
+	}
+	// -20 dB SPL @ 1 kHz: inaudible.
+	quiet := audio.Tone(48000, 1000, acoustics.PressureFromSPL(-20)*math.Sqrt2, 1)
+	if AnalyzeAudibility(quiet).Audible() {
+		t.Fatal("-20 dB tone should be inaudible")
+	}
+}
+
+func TestUltrasoundInaudibleAtHighSPL(t *testing.T) {
+	// A 110 dB SPL tone at 30 kHz (well above Nyquist/2 of human range)
+	// must be inaudible: its energy is outside 20 Hz - 20 kHz bands.
+	s := audio.Tone(192000, 30000, acoustics.PressureFromSPL(110)*math.Sqrt2, 0.5)
+	a := AnalyzeAudibility(s)
+	if a.Audible() {
+		t.Fatalf("ultrasound judged audible, margin %v in band %v-%v",
+			a.MaxMargin, a.PeakBand.LoHz, a.PeakBand.HiHz)
+	}
+}
+
+func TestSub50HzResidueInaudible(t *testing.T) {
+	// The multi-speaker attack's self-leakage lands below 50 Hz, where the
+	// hearing threshold exceeds 50 dB SPL: a 45 dB residue is inaudible.
+	s := audio.Tone(48000, 30, acoustics.PressureFromSPL(45)*math.Sqrt2, 1)
+	a := AnalyzeAudibility(s)
+	if a.Audible() {
+		t.Fatalf("45 dB @ 30 Hz judged audible (margin %v)", a.MaxMargin)
+	}
+	// The same SPL at 1 kHz would be loud and clear.
+	s2 := audio.Tone(48000, 1000, acoustics.PressureFromSPL(45)*math.Sqrt2, 1)
+	if !AnalyzeAudibility(s2).Audible() {
+		t.Fatal("45 dB @ 1 kHz should be audible")
+	}
+}
+
+func TestLeakageSPLTracksLevel(t *testing.T) {
+	a := audio.Tone(48000, 1000, acoustics.PressureFromSPL(60)*math.Sqrt2, 1)
+	b := audio.Tone(48000, 1000, acoustics.PressureFromSPL(80)*math.Sqrt2, 1)
+	la, lb := LeakageSPL(a), LeakageSPL(b)
+	if math.Abs(la-60) > 1.5 {
+		t.Errorf("leakage of 60 dB tone = %v", la)
+	}
+	if math.Abs(lb-la-20) > 0.5 {
+		t.Errorf("20 dB step measured as %v", lb-la)
+	}
+}
+
+func TestLeakageSPLIgnoresUltrasound(t *testing.T) {
+	ultra := audio.Tone(192000, 30000, acoustics.PressureFromSPL(110)*math.Sqrt2, 0.5)
+	if l := LeakageSPL(ultra); l > 10 {
+		t.Fatalf("ultrasound contributed %v dB to leakage", l)
+	}
+}
+
+func TestAudibleAtDistance(t *testing.T) {
+	// A 90 dB @ 1 m tone at 1 kHz is audible at 2 m but a -10 dB one is not.
+	loud := audio.Tone(48000, 1000, acoustics.PressureFromSPL(90)*math.Sqrt2, 0.5)
+	ok, margin := AudibleAtDistance(loud, 2, acoustics.DefaultAir())
+	if !ok || margin < 20 {
+		t.Fatalf("loud tone inaudible at 2 m (margin %v)", margin)
+	}
+	quiet := audio.Tone(48000, 1000, acoustics.PressureFromSPL(-10)*math.Sqrt2, 0.5)
+	if ok, _ := AudibleAtDistance(quiet, 2, acoustics.DefaultAir()); ok {
+		t.Fatal("quiet tone audible at 2 m")
+	}
+}
+
+func TestBandLevelMargin(t *testing.T) {
+	b := BandLevel{SPL: 50, Threshold: 30}
+	if b.Margin() != 20 {
+		t.Fatal("Margin")
+	}
+}

@@ -1,0 +1,128 @@
+package speaker
+
+import (
+	"fmt"
+
+	"inaudible/internal/acoustics"
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+)
+
+// Element is one positioned speaker in an array, together with the drive
+// waveform and power assigned to it by the attack planner.
+type Element struct {
+	Speaker *Speaker
+	Offset  acoustics.Position // position relative to the array centre, metres
+	Drive   *audio.Signal      // dimensionless drive waveform
+	PowerW  float64            // electrical power for this element
+}
+
+// Array is a set of co-located or near-co-located emitting elements. The
+// paper's long-range rig is a 61-element grid of small ultrasonic
+// transducers plus the shared carrier element.
+type Array struct {
+	Elements []Element
+	// Center is the array centre in room coordinates.
+	Center acoustics.Position
+}
+
+// NewGridArray builds an n-element array of the given speaker profile
+// arranged in a compact square grid with the given element pitch (metres).
+// Drives are nil until an attack planner assigns them.
+func NewGridArray(n int, proto func() *Speaker, pitch float64) *Array {
+	if n <= 0 {
+		panic(fmt.Sprintf("speaker: array size %d", n))
+	}
+	side := 1
+	for side*side < n {
+		side++
+	}
+	arr := &Array{}
+	for i := 0; i < n; i++ {
+		row, col := i/side, i%side
+		off := acoustics.Position{
+			X: 0,
+			Y: (float64(col) - float64(side-1)/2) * pitch,
+			Z: (float64(row) - float64(side-1)/2) * pitch,
+		}
+		arr.Elements = append(arr.Elements, Element{Speaker: proto(), Offset: off})
+	}
+	return arr
+}
+
+// TotalPower sums the electrical power across elements.
+func (a *Array) TotalPower() float64 {
+	var p float64
+	for _, e := range a.Elements {
+		p += e.PowerW
+	}
+	return p
+}
+
+// Emissions returns the per-element pressure waveforms at the 1 m
+// reference distance. Elements without a drive emit silence of the given
+// fallback duration/rate (taken from the first driven element).
+func (a *Array) Emissions() []*audio.Signal {
+	out := make([]*audio.Signal, len(a.Elements))
+	for i, e := range a.Elements {
+		if e.Drive == nil {
+			out[i] = nil
+			continue
+		}
+		out[i] = e.Speaker.Emit(e.Drive, e.PowerW)
+	}
+	return out
+}
+
+// CombinedLeakage sums every element's self-leakage as heard right at the
+// array (1 m reference): the quantity a nearby human would hear. Elements
+// must share a sample rate.
+func (a *Array) CombinedLeakage() *audio.Signal {
+	var acc *audio.Signal
+	for _, em := range a.Emissions() {
+		if em == nil {
+			continue
+		}
+		leak := SelfLeakage(em)
+		if acc == nil {
+			acc = leak
+			continue
+		}
+		dsp.Add(acc.Samples, leak.Samples)
+	}
+	if acc == nil {
+		return audio.New(48000, 0)
+	}
+	return acc
+}
+
+// FieldAt computes the total pressure waveform arriving at the target
+// position: each element's emission propagated over its own exact path
+// (distance from Center+Offset to target). When compensateDelays is true,
+// per-element delays are equalised to the array centre's delay — modelling
+// the paper's calibrated rig, which aligns element phases at the target;
+// without it, centimetre-scale path differences scramble the ultrasonic
+// phases. Returns nil if no element is driven.
+func (a *Array) FieldAt(target acoustics.Position, air acoustics.Air, compensateDelays bool) *audio.Signal {
+	var acc *audio.Signal
+	for i, e := range a.Elements {
+		if e.Drive == nil {
+			continue
+		}
+		em := a.Elements[i].Speaker.Emit(e.Drive, e.PowerW)
+		pos := acoustics.Position{
+			X: a.Center.X + e.Offset.X,
+			Y: a.Center.Y + e.Offset.Y,
+			Z: a.Center.Z + e.Offset.Z,
+		}
+		d := pos.Distance(target)
+		p := acoustics.Path{Distance: d, Air: air, IncludeDelay: !compensateDelays}
+		at := p.Propagate(em)
+		if acc == nil {
+			acc = at
+			continue
+		}
+		dsp.Add(acc.Samples, at.Samples)
+	}
+	return acc
+}

@@ -1,0 +1,180 @@
+// Package speaker models the attacker's emitting chain: power amplifier
+// (gain + saturation), ultrasonic transducer (band-pass frequency response
+// + memoryless non-linearity) and speaker arrays with per-element geometry.
+//
+// The speaker's own non-linearity is the antagonist of the long-range
+// attack: driving a single tweeter with the full AM ultrasound at high
+// power makes the *tweeter itself* demodulate the command into the audible
+// band ("self-leakage"), betraying the attacker. The paper's multi-speaker
+// design defeats this by giving each element a signal so narrow-band that
+// its second-order products fall below 50 Hz.
+//
+// Unit convention: Emit accepts a dimensionless drive waveform and an
+// electrical input power in watts, and produces the sound-pressure
+// waveform (pascals) at the 1 m reference distance, ready for
+// acoustics.Path.Propagate.
+package speaker
+
+import (
+	"fmt"
+	"math"
+
+	"inaudible/internal/acoustics"
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+	"inaudible/internal/nonlinear"
+)
+
+// Speaker models one emitting element.
+type Speaker struct {
+	// Name identifies the profile in reports.
+	Name string
+	// SensitivitySPL is the on-axis SPL (dB re 20 uPa) produced at 1 m for
+	// 1 W of input power.
+	SensitivitySPL float64
+	// LowHz and HighHz bound the transducer's passband. Content outside is
+	// attenuated with a steep but finite rolloff.
+	LowHz, HighHz float64
+	// RolloffDBPerOct is the out-of-band attenuation slope.
+	RolloffDBPerOct float64
+	// NL is the drive-domain non-linearity. Its input is the drive
+	// waveform in sqrt-watt units (an RMS-1 waveform at 1 W), so the
+	// quadratic coefficient directly sets distortion-vs-power scaling.
+	NL *nonlinear.Polynomial
+	// MaxPowerW is the rated input power; Emit saturates softly above it.
+	MaxPowerW float64
+}
+
+// FostexTweeter returns the paper's single-speaker rig: a horn tweeter
+// driven by a commodity hi-fi amplifier (Fostex FT17H + Yamaha R-S202).
+// Usable response extends past 40 kHz; sensitivity ~96 dB/W/m.
+func FostexTweeter() *Speaker {
+	return &Speaker{
+		Name:            "fostex-ft17h",
+		SensitivitySPL:  96,
+		LowHz:           2000,
+		HighHz:          45000,
+		RolloffDBPerOct: 24,
+		NL:              nonlinear.Quadratic(1, 0.0007),
+		MaxPowerW:       50,
+	}
+}
+
+// UltrasonicElement returns one element of the long-range attack array: a
+// small piezo transducer resonant in the 23-52 kHz region, low rated
+// power, with comparable relative non-linearity.
+func UltrasonicElement() *Speaker {
+	return &Speaker{
+		Name:            "piezo-element",
+		SensitivitySPL:  92,
+		LowHz:           23000,
+		HighHz:          52000,
+		RolloffDBPerOct: 24,
+		NL:              nonlinear.Quadratic(1, 0.0007),
+		MaxPowerW:       5,
+	}
+}
+
+// IdealSpeaker returns a perfectly linear, perfectly flat element — the
+// control condition for ablation benches.
+func IdealSpeaker() *Speaker {
+	return &Speaker{
+		Name:            "ideal",
+		SensitivitySPL:  96,
+		LowHz:           10,
+		HighHz:          95000,
+		RolloffDBPerOct: 96,
+		NL:              nonlinear.Linear(1),
+		MaxPowerW:       1e9,
+	}
+}
+
+// Emit drives the speaker with the waveform drive at the given electrical
+// power (watts) and returns the emitted pressure waveform at 1 m, in
+// pascals. The drive waveform's own scale is ignored: it is normalised to
+// unit RMS and rescaled to sqrt(power) "drive units" internally, so power
+// alone controls the level. Silent drives return silence.
+func (s *Speaker) Emit(drive *audio.Signal, powerW float64) *audio.Signal {
+	if powerW < 0 {
+		panic(fmt.Sprintf("speaker: negative power %v", powerW))
+	}
+	out := drive.Clone()
+	rms := out.RMS()
+	if rms == 0 || powerW == 0 {
+		return audio.New(drive.Rate, drive.Duration())
+	}
+	// Soft power limit: the amplifier cannot push beyond ~2x rated power.
+	eff := powerW
+	if s.MaxPowerW > 0 {
+		eff = s.MaxPowerW * 2 * math.Tanh(powerW/(s.MaxPowerW*2))
+	}
+	out.Gain(math.Sqrt(eff) / rms)
+	// Drive-domain non-linearity (amplifier + motor/suspension).
+	s.NL.ApplyInPlace(out.Samples)
+	// Transducer passband.
+	s.applyResponse(out)
+	// Convert drive units to pascals: 1 W (unit RMS drive) produces
+	// SensitivitySPL at 1 m.
+	paPerUnit := acoustics.PressureFromSPL(s.SensitivitySPL)
+	out.Gain(paPerUnit)
+	return out
+}
+
+// applyResponse shapes the spectrum with the transducer's band-pass
+// response, applied in the frequency domain.
+func (s *Speaker) applyResponse(sig *audio.Signal) {
+	n := len(sig.Samples)
+	if n == 0 {
+		return
+	}
+	size := dsp.NextPowerOfTwo(n)
+	spec := make([]complex128, size)
+	for i, v := range sig.Samples {
+		spec[i] = complex(v, 0)
+	}
+	dsp.FFT(spec)
+	half := size / 2
+	for k := 0; k <= half; k++ {
+		f := dsp.BinFrequency(k, size, sig.Rate)
+		g := s.responseGain(f)
+		spec[k] *= complex(g, 0)
+		if k != 0 && k != half {
+			spec[size-k] *= complex(g, 0)
+		}
+	}
+	dsp.IFFT(spec)
+	for i := range sig.Samples {
+		sig.Samples[i] = real(spec[i])
+	}
+}
+
+// responseGain returns the linear amplitude gain of the transducer at
+// frequency f: unity in [LowHz, HighHz], rolling off outside.
+func (s *Speaker) responseGain(f float64) float64 {
+	if f <= 0 {
+		return 0
+	}
+	var octs float64
+	switch {
+	case f < s.LowHz:
+		octs = math.Log2(s.LowHz / f)
+	case f > s.HighHz:
+		octs = math.Log2(f / s.HighHz)
+	default:
+		return 1
+	}
+	return dsp.AmplitudeFromDB(-s.RolloffDBPerOct * octs)
+}
+
+// SelfLeakage isolates the audible-band (20 Hz - 20 kHz) content of an
+// emission — the incriminating by-product of the speaker's non-linearity.
+// The returned signal is at the emission's rate.
+func SelfLeakage(emission *audio.Signal) *audio.Signal {
+	nyq := emission.Rate / 2
+	hi := 20000.0
+	if hi > nyq*0.95 {
+		hi = nyq * 0.95
+	}
+	bp := dsp.BandPassFIR(1023, 20/emission.Rate, hi/emission.Rate)
+	return &audio.Signal{Rate: emission.Rate, Samples: bp.Apply(emission.Samples)}
+}

@@ -1,0 +1,210 @@
+package speaker
+
+import (
+	"math"
+	"testing"
+
+	"inaudible/internal/acoustics"
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+	"inaudible/internal/psycho"
+)
+
+func TestEmitSensitivityCalibration(t *testing.T) {
+	// 1 W of an in-band tone must produce SensitivitySPL at 1 m.
+	sp := FostexTweeter()
+	drive := audio.Tone(192000, 10000, 1, 0.5)
+	out := sp.Emit(drive, 1)
+	got := acoustics.SPL(out.Slice(0.1, 0.4).RMS())
+	if math.Abs(got-sp.SensitivitySPL) > 1.5 {
+		t.Fatalf("1 W tone: %v dB SPL, want ~%v", got, sp.SensitivitySPL)
+	}
+}
+
+func TestEmitPowerScaling(t *testing.T) {
+	// +6 dB electrical power = +6 dB SPL (within the linear regime).
+	sp := FostexTweeter()
+	drive := audio.Tone(192000, 10000, 1, 0.25)
+	p1 := acoustics.SPL(sp.Emit(drive, 2).RMS())
+	p2 := acoustics.SPL(sp.Emit(drive, 8).RMS())
+	if math.Abs((p2-p1)-6) > 0.5 {
+		t.Fatalf("4x power gave %v dB, want ~6", p2-p1)
+	}
+}
+
+func TestEmitSilence(t *testing.T) {
+	sp := FostexTweeter()
+	silent := audio.Silence(192000, 0.1)
+	if out := sp.Emit(silent, 10); out.RMS() != 0 {
+		t.Fatal("silence in, silence out")
+	}
+	if out := sp.Emit(audio.Tone(192000, 10000, 1, 0.1), 0); out.RMS() != 0 {
+		t.Fatal("zero power must emit silence")
+	}
+}
+
+func TestEmitPanicsOnNegativePower(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FostexTweeter().Emit(audio.Tone(192000, 1000, 1, 0.1), -1)
+}
+
+func TestResponseRolloff(t *testing.T) {
+	sp := UltrasonicElement()
+	if g := sp.responseGain(30000); g != 1 {
+		t.Errorf("in-band gain %v", g)
+	}
+	// One octave below the low edge: attenuated by RolloffDBPerOct.
+	g := sp.responseGain(sp.LowHz / 2)
+	want := dsp.AmplitudeFromDB(-sp.RolloffDBPerOct)
+	if math.Abs(g-want)/want > 0.01 {
+		t.Errorf("one octave out: %v want %v", g, want)
+	}
+	if sp.responseGain(0) != 0 {
+		t.Error("DC gain must be 0")
+	}
+}
+
+func TestEmitUltrasonicElementRejectsAudible(t *testing.T) {
+	// A 2 kHz drive through the piezo element (passband >= 23 kHz) must be
+	// strongly attenuated vs an in-band 30 kHz drive.
+	sp := UltrasonicElement()
+	lo := sp.Emit(audio.Tone(192000, 2000, 1, 0.25), 1).RMS()
+	hi := sp.Emit(audio.Tone(192000, 30000, 1, 0.25), 1).RMS()
+	if lo > hi*0.01 {
+		t.Fatalf("audible content insufficiently rejected: lo=%v hi=%v", lo, hi)
+	}
+}
+
+func TestSelfLeakageFromAMUltrasound(t *testing.T) {
+	// Driving the tweeter hard with an AM ultrasound must produce audible
+	// self-demodulated leakage; an ideal (linear) speaker must not.
+	const rate = 192000.0
+	base := audio.Tone(rate, 1500, 1, 0.5)
+	am := audio.AMSignal(base, 30000, 0.8)
+
+	hot := FostexTweeter().Emit(am, 30)
+	leak := SelfLeakage(hot)
+	demod := dsp.ToneAmplitude(leak.Samples, 1500, rate)
+	if demod <= 0 {
+		t.Fatal("no leakage at the modulating frequency")
+	}
+	if spl := psycho.LeakageSPL(hot); spl < 40 {
+		t.Fatalf("30 W AM drive leakage only %v dB SPL", spl)
+	}
+
+	clean := IdealSpeaker().Emit(am, 30)
+	cleanLeak := psycho.LeakageSPL(clean)
+	hotLeak := psycho.LeakageSPL(hot)
+	if cleanLeak > hotLeak-20 {
+		t.Fatalf("ideal speaker leaks almost as much: %v vs %v dB", cleanLeak, hotLeak)
+	}
+}
+
+func TestLeakageGrowsSuperlinearlyWithPower(t *testing.T) {
+	// Second-order leakage amplitude ~ power, i.e. +2 dB SPL per +1 dB
+	// electrical. Check leakage grows faster than the linear emission.
+	const rate = 192000.0
+	am := audio.AMSignal(audio.Tone(rate, 1500, 1, 0.5), 30000, 0.8)
+	sp := FostexTweeter()
+	l1 := psycho.LeakageSPL(sp.Emit(am, 2))
+	l2 := psycho.LeakageSPL(sp.Emit(am, 8))
+	gain := l2 - l1 // electrical step is 6 dB
+	if gain < 8 {
+		t.Fatalf("leakage grew only %v dB for a 6 dB power step (want ~12)", gain)
+	}
+}
+
+func TestNarrowbandDriveLeakageBelow50Hz(t *testing.T) {
+	// The multi-speaker insight: a drive whose bandwidth is < 50 Hz
+	// produces self-IMD only below 50 Hz. Drive one element with two tones
+	// 40 Hz apart in the ultrasound and check audible-band leakage is
+	// negligible compared with a wideband (5 kHz apart) drive.
+	const rate = 192000.0
+	narrow := audio.MultiTone(rate, 1, 0.5, 30000, 30040)
+	wide := audio.MultiTone(rate, 1, 0.5, 30000, 35000)
+	sp := UltrasonicElement()
+	leakNarrow := psycho.LeakageSPL(sp.Emit(narrow, 4))
+	leakWide := psycho.LeakageSPL(sp.Emit(wide, 4))
+	if leakWide < leakNarrow+20 {
+		t.Fatalf("narrowband drive should leak >=20 dB less: narrow %v wide %v",
+			leakNarrow, leakWide)
+	}
+}
+
+func TestNewGridArrayGeometry(t *testing.T) {
+	arr := NewGridArray(61, UltrasonicElement, 0.02)
+	if len(arr.Elements) != 61 {
+		t.Fatalf("%d elements", len(arr.Elements))
+	}
+	// All offsets within a ~8x8 grid of 2 cm pitch.
+	for _, e := range arr.Elements {
+		if math.Abs(e.Offset.Y) > 0.08 || math.Abs(e.Offset.Z) > 0.08 {
+			t.Fatalf("offset out of bounds: %+v", e.Offset)
+		}
+	}
+	if arr.TotalPower() != 0 {
+		t.Fatal("undriven array power must be 0")
+	}
+}
+
+func TestNewGridArrayPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGridArray(0, UltrasonicElement, 0.02)
+}
+
+func TestArrayFieldAtSumsElements(t *testing.T) {
+	// Two identical co-driven elements produce ~2x the pressure of one
+	// (delay-compensated, so coherent addition).
+	const rate = 192000.0
+	drive := audio.Tone(rate, 30000, 1, 0.25)
+	mk := func(n int) *Array {
+		arr := NewGridArray(n, UltrasonicElement, 0.02)
+		for i := range arr.Elements {
+			arr.Elements[i].Drive = drive
+			arr.Elements[i].PowerW = 1
+		}
+		arr.Center = acoustics.Position{X: 0, Y: 2, Z: 1.2}
+		return arr
+	}
+	target := acoustics.Position{X: 3, Y: 2, Z: 1.2}
+	air := acoustics.DefaultAir()
+	one := mk(1).FieldAt(target, air, true).RMS()
+	two := mk(2).FieldAt(target, air, true).RMS()
+	if math.Abs(two/one-2) > 0.05 {
+		t.Fatalf("two coherent elements: ratio %v, want ~2", two/one)
+	}
+}
+
+func TestArrayFieldAtNilWhenUndriven(t *testing.T) {
+	arr := NewGridArray(4, UltrasonicElement, 0.02)
+	if f := arr.FieldAt(acoustics.Position{X: 1}, acoustics.DefaultAir(), true); f != nil {
+		t.Fatal("expected nil field for undriven array")
+	}
+}
+
+func TestCombinedLeakageAggregates(t *testing.T) {
+	const rate = 192000.0
+	am := audio.AMSignal(audio.Tone(rate, 1500, 1, 0.25), 30000, 0.8)
+	arr := NewGridArray(2, FostexTweeter, 0.05)
+	arr.Elements[0].Drive = am
+	arr.Elements[0].PowerW = 10
+	leak1 := psycho.LeakageSPL(arr.CombinedLeakage())
+	arr.Elements[1].Drive = am
+	arr.Elements[1].PowerW = 10
+	leak2 := psycho.LeakageSPL(arr.CombinedLeakage())
+	if leak2 <= leak1 {
+		t.Fatalf("adding a leaking element must raise leakage: %v -> %v", leak1, leak2)
+	}
+	empty := NewGridArray(2, FostexTweeter, 0.05)
+	if l := empty.CombinedLeakage(); l.Len() != 0 {
+		t.Fatal("undriven array leakage should be empty")
+	}
+}

@@ -1,0 +1,135 @@
+package voice
+
+import (
+	"fmt"
+	"strings"
+)
+
+// lexicon maps every word used by the command vocabulary to its phoneme
+// sequence (ARPABET-style, no stress marks).
+var lexicon = map[string][]string{
+	"ok":       {"ow", "k", "ey"},
+	"okay":     {"ow", "k", "ey"},
+	"google":   {"g", "uw", "g", "ah", "l"},
+	"take":     {"t", "ey", "k"},
+	"a":        {"ah"},
+	"picture":  {"p", "ih", "k", "ch", "er"},
+	"turn":     {"t", "er", "n"},
+	"on":       {"aa", "n"},
+	"off":      {"ao", "f"},
+	"airplane": {"eh", "r", "p", "l", "ey", "n"},
+	"mode":     {"m", "ow", "d"},
+	"alexa":    {"ah", "l", "eh", "k", "s", "ah"},
+	"add":      {"ae", "d"},
+	"milk":     {"m", "ih", "l", "k"},
+	"to":       {"t", "uw"},
+	"my":       {"m", "ay"},
+	"shopping": {"sh", "aa", "p", "ih", "ng"},
+	"list":     {"l", "ih", "s", "t"},
+	"what":     {"w", "ah", "t"},
+	"time":     {"t", "ay", "m"},
+	"is":       {"ih", "z"},
+	"it":       {"ih", "t"},
+	"call":     {"k", "ao", "l"},
+	"mom":      {"m", "aa", "m"},
+	"hey":      {"hh", "ey"},
+	"siri":     {"s", "ih", "r", "iy"},
+	"open":     {"ow", "p", "ah", "n"},
+	"the":      {"dh", "ah"},
+	"door":     {"d", "ao", "r"},
+	"play":     {"p", "l", "ey"},
+	"music":    {"m", "y", "uw", "z", "ih", "k"},
+	"stop":     {"s", "t", "aa", "p"},
+	"set":      {"s", "eh", "t"},
+	"an":       {"ae", "n"},
+	"alarm":    {"ah", "l", "aa", "r", "m"},
+	"unlock":   {"ah", "n", "l", "aa", "k"},
+	"front":    {"f", "r", "ah", "n", "t"},
+	"lights":   {"l", "ay", "t", "s"},
+	"volume":   {"v", "aa", "l", "y", "uw", "m"},
+	"up":       {"ah", "p"},
+	"down":     {"d", "aw", "n"},
+	"weather":  {"w", "eh", "dh", "er"},
+}
+
+// LookupWord returns the phoneme sequence for a lexicon word.
+func LookupWord(word string) ([]string, bool) {
+	p, ok := lexicon[strings.ToLower(word)]
+	return p, ok
+}
+
+// Transcribe converts a command text into a per-word phoneme sequence. A
+// comma in the text marks a prosodic pause. Unknown words are an error —
+// the vocabulary is closed by design so experiments cannot silently
+// synthesise garbage.
+func Transcribe(text string) ([][]string, []bool, error) {
+	var words [][]string
+	var pauseAfter []bool
+	fields := strings.Fields(strings.ToLower(text))
+	for _, f := range fields {
+		pause := false
+		for strings.HasSuffix(f, ",") || strings.HasSuffix(f, ".") {
+			pause = true
+			f = f[:len(f)-1]
+		}
+		if f == "" {
+			continue
+		}
+		ph, ok := lexicon[f]
+		if !ok {
+			return nil, nil, fmt.Errorf("voice: word %q not in lexicon", f)
+		}
+		words = append(words, ph)
+		pauseAfter = append(pauseAfter, pause)
+	}
+	if len(words) == 0 {
+		return nil, nil, fmt.Errorf("voice: empty command %q", text)
+	}
+	return words, pauseAfter, nil
+}
+
+// Command is one entry of the closed command vocabulary, the equivalent
+// of the voice assistant's supported phrases in the paper's experiments.
+type Command struct {
+	ID   string // short identifier used in reports
+	Text string // the spoken form
+	Wake string // wake word ("ok google", "alexa", "hey siri")
+}
+
+// Vocabulary returns the command set used across all experiments. The
+// first two entries are the paper's literal attack commands.
+func Vocabulary() []Command {
+	return []Command{
+		{ID: "photo", Text: "ok google, take a picture", Wake: "ok google"},
+		{ID: "airplane", Text: "ok google, turn on airplane mode", Wake: "ok google"},
+		{ID: "milk", Text: "alexa, add milk to my shopping list", Wake: "alexa"},
+		{ID: "time", Text: "alexa, what time is it", Wake: "alexa"},
+		{ID: "callmom", Text: "ok google, call mom", Wake: "ok google"},
+		{ID: "music", Text: "alexa, play music", Wake: "alexa"},
+		{ID: "alarm", Text: "hey siri, set an alarm", Wake: "hey siri"},
+		{ID: "door", Text: "alexa, unlock the front door", Wake: "alexa"},
+	}
+}
+
+// FindCommand returns the vocabulary entry with the given ID.
+func FindCommand(id string) (Command, bool) {
+	for _, c := range Vocabulary() {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Command{}, false
+}
+
+// Words returns the lowercase word sequence of the command text,
+// punctuation stripped.
+func (c Command) Words() []string {
+	var out []string
+	for _, f := range strings.Fields(strings.ToLower(c.Text)) {
+		f = strings.TrimRight(f, ",.")
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+// Package voice synthesises the spoken commands used throughout the
+// experiments with a classic cascade formant (source-filter) synthesiser:
+// a glottal pulse source with pitch declination and vibrato, three Klatt
+// formant resonators, shaped noise for fricatives and closure+burst
+// models for stops. It replaces the text-to-speech application the paper
+// used to produce "OK Google ..." and "Alexa ..." commands — deterministic
+// output for a given (text, voice) pair, with the spectral properties the
+// pipeline cares about: an F0 of 90-220 Hz (nothing below 50 Hz), formant
+// structure, and 8 kHz-bounded energy.
+package voice
+
+// Manner classifies how a phoneme is articulated, which selects the
+// synthesis strategy.
+type Manner int
+
+// Manner values.
+const (
+	MannerVowel Manner = iota
+	MannerDiphthong
+	MannerApproximant
+	MannerNasal
+	MannerFricative
+	MannerStop
+	MannerAffricate
+	MannerAspirate
+)
+
+// Phoneme is a synthesis recipe for one speech sound (ARPABET-ish names).
+type Phoneme struct {
+	Name   string
+	Manner Manner
+	// F and F2 are formant targets (F1,F2,F3 in Hz) at the start and end
+	// of the phoneme; monophthongs keep both equal, diphthongs glide.
+	F, FEnd [3]float64
+	// Voiced mixes in the glottal source (fricatives/stops may be voiced).
+	Voiced bool
+	// NoiseLo and NoiseHi bound the frication/burst noise band in Hz.
+	NoiseLo, NoiseHi float64
+	// NoiseAmp scales the noise source relative to full voicing.
+	NoiseAmp float64
+	// Amp scales the phoneme's overall amplitude.
+	Amp float64
+	// DurMS is the nominal duration in milliseconds.
+	DurMS float64
+	// BurstHz centres the release burst (stops/affricates).
+	BurstHz float64
+}
+
+// vowel builds a monophthong recipe.
+func vowel(name string, f1, f2, f3, durMS float64) Phoneme {
+	return Phoneme{
+		Name: name, Manner: MannerVowel,
+		F: [3]float64{f1, f2, f3}, FEnd: [3]float64{f1, f2, f3},
+		Voiced: true, Amp: 1, DurMS: durMS,
+	}
+}
+
+// diphthong builds a two-target gliding vowel.
+func diphthong(name string, a, b [3]float64, durMS float64) Phoneme {
+	return Phoneme{
+		Name: name, Manner: MannerDiphthong,
+		F: a, FEnd: b, Voiced: true, Amp: 1, DurMS: durMS,
+	}
+}
+
+// phonemeTable is the complete inventory used by the lexicon. Formant
+// values follow standard (Peterson–Barney style) male averages.
+var phonemeTable = map[string]Phoneme{
+	// Monophthong vowels.
+	"iy": vowel("iy", 270, 2290, 3010, 130),
+	"ih": vowel("ih", 390, 1990, 2550, 110),
+	"eh": vowel("eh", 530, 1840, 2480, 120),
+	"ae": vowel("ae", 660, 1720, 2410, 150),
+	"aa": vowel("aa", 730, 1090, 2440, 150),
+	"ao": vowel("ao", 570, 840, 2410, 140),
+	"uh": vowel("uh", 440, 1020, 2240, 100),
+	"uw": vowel("uw", 300, 870, 2240, 130),
+	"ah": vowel("ah", 640, 1190, 2390, 110),
+	"er": vowel("er", 490, 1350, 1690, 130),
+	"ax": vowel("ax", 500, 1500, 2500, 80),
+
+	// Diphthongs.
+	"ay": diphthong("ay", [3]float64{730, 1090, 2440}, [3]float64{390, 1990, 2550}, 180),
+	"ey": diphthong("ey", [3]float64{530, 1840, 2480}, [3]float64{330, 2200, 2800}, 160),
+	"ow": diphthong("ow", [3]float64{570, 840, 2410}, [3]float64{330, 870, 2240}, 160),
+	"aw": diphthong("aw", [3]float64{730, 1090, 2440}, [3]float64{430, 1020, 2240}, 180),
+	"oy": diphthong("oy", [3]float64{570, 840, 2410}, [3]float64{390, 1990, 2550}, 190),
+
+	// Approximants and glides.
+	"l": {Name: "l", Manner: MannerApproximant, F: [3]float64{360, 1300, 2700},
+		FEnd: [3]float64{360, 1300, 2700}, Voiced: true, Amp: 0.7, DurMS: 70},
+	"r": {Name: "r", Manner: MannerApproximant, F: [3]float64{310, 1060, 1380},
+		FEnd: [3]float64{310, 1060, 1380}, Voiced: true, Amp: 0.7, DurMS: 80},
+	"w": {Name: "w", Manner: MannerApproximant, F: [3]float64{290, 610, 2150},
+		FEnd: [3]float64{400, 900, 2300}, Voiced: true, Amp: 0.65, DurMS: 70},
+	"y": {Name: "y", Manner: MannerApproximant, F: [3]float64{270, 2290, 3010},
+		FEnd: [3]float64{350, 2100, 2900}, Voiced: true, Amp: 0.65, DurMS: 60},
+
+	// Nasals: lower amplitude murmur with nasal formants.
+	"m": {Name: "m", Manner: MannerNasal, F: [3]float64{280, 900, 2200},
+		FEnd: [3]float64{280, 900, 2200}, Voiced: true, Amp: 0.5, DurMS: 80},
+	"n": {Name: "n", Manner: MannerNasal, F: [3]float64{280, 1700, 2600},
+		FEnd: [3]float64{280, 1700, 2600}, Voiced: true, Amp: 0.5, DurMS: 75},
+	"ng": {Name: "ng", Manner: MannerNasal, F: [3]float64{280, 2300, 2750},
+		FEnd: [3]float64{280, 2300, 2750}, Voiced: true, Amp: 0.5, DurMS: 85},
+
+	// Fricatives.
+	"s":  {Name: "s", Manner: MannerFricative, NoiseLo: 4500, NoiseHi: 8500, NoiseAmp: 0.45, Amp: 1, DurMS: 110},
+	"sh": {Name: "sh", Manner: MannerFricative, NoiseLo: 2000, NoiseHi: 6500, NoiseAmp: 0.5, Amp: 1, DurMS: 115},
+	"f":  {Name: "f", Manner: MannerFricative, NoiseLo: 1500, NoiseHi: 8000, NoiseAmp: 0.25, Amp: 1, DurMS: 100},
+	"th": {Name: "th", Manner: MannerFricative, NoiseLo: 1400, NoiseHi: 8000, NoiseAmp: 0.2, Amp: 1, DurMS: 95},
+	"z": {Name: "z", Manner: MannerFricative, NoiseLo: 4500, NoiseHi: 8500, NoiseAmp: 0.3,
+		Voiced: true, F: [3]float64{300, 1600, 2500}, FEnd: [3]float64{300, 1600, 2500}, Amp: 0.8, DurMS: 95},
+	"v": {Name: "v", Manner: MannerFricative, NoiseLo: 1500, NoiseHi: 7000, NoiseAmp: 0.15,
+		Voiced: true, F: [3]float64{280, 1400, 2400}, FEnd: [3]float64{280, 1400, 2400}, Amp: 0.7, DurMS: 75},
+	"dh": {Name: "dh", Manner: MannerFricative, NoiseLo: 1400, NoiseHi: 7000, NoiseAmp: 0.12,
+		Voiced: true, F: [3]float64{300, 1500, 2500}, FEnd: [3]float64{300, 1500, 2500}, Amp: 0.65, DurMS: 60},
+	"zh": {Name: "zh", Manner: MannerFricative, NoiseLo: 2000, NoiseHi: 6500, NoiseAmp: 0.3,
+		Voiced: true, F: [3]float64{300, 1700, 2500}, FEnd: [3]float64{300, 1700, 2500}, Amp: 0.75, DurMS: 100},
+
+	// Aspirate.
+	"hh": {Name: "hh", Manner: MannerAspirate, NoiseLo: 400, NoiseHi: 4000, NoiseAmp: 0.18, Amp: 1, DurMS: 70},
+
+	// Unvoiced stops: closure + burst + aspiration.
+	"p": {Name: "p", Manner: MannerStop, BurstHz: 900, NoiseLo: 500, NoiseHi: 1800, NoiseAmp: 0.5, Amp: 1, DurMS: 90},
+	"t": {Name: "t", Manner: MannerStop, BurstHz: 4200, NoiseLo: 3000, NoiseHi: 7000, NoiseAmp: 0.55, Amp: 1, DurMS: 90},
+	"k": {Name: "k", Manner: MannerStop, BurstHz: 2200, NoiseLo: 1500, NoiseHi: 3500, NoiseAmp: 0.55, Amp: 1, DurMS: 95},
+
+	// Voiced stops: shorter closure with a voice bar.
+	"b": {Name: "b", Manner: MannerStop, Voiced: true, BurstHz: 800, NoiseLo: 400, NoiseHi: 1600, NoiseAmp: 0.35, Amp: 1, DurMS: 70},
+	"d": {Name: "d", Manner: MannerStop, Voiced: true, BurstHz: 3800, NoiseLo: 2500, NoiseHi: 6000, NoiseAmp: 0.4, Amp: 1, DurMS: 70},
+	"g": {Name: "g", Manner: MannerStop, Voiced: true, BurstHz: 2000, NoiseLo: 1300, NoiseHi: 3200, NoiseAmp: 0.4, Amp: 1, DurMS: 75},
+
+	// Affricates: stop closure + fricative release.
+	"ch": {Name: "ch", Manner: MannerAffricate, BurstHz: 3000, NoiseLo: 2000, NoiseHi: 6500, NoiseAmp: 0.5, Amp: 1, DurMS: 130},
+	"jh": {Name: "jh", Manner: MannerAffricate, Voiced: true, BurstHz: 2800, NoiseLo: 2000, NoiseHi: 6000, NoiseAmp: 0.4, Amp: 0.9, DurMS: 115},
+}
+
+// LookupPhoneme returns the recipe for an ARPABET-style phoneme name.
+func LookupPhoneme(name string) (Phoneme, bool) {
+	p, ok := phonemeTable[name]
+	return p, ok
+}
+
+// Phonemes returns the names of all known phonemes (order unspecified).
+func Phonemes() []string {
+	out := make([]string, 0, len(phonemeTable))
+	for k := range phonemeTable {
+		out = append(out, k)
+	}
+	return out
+}

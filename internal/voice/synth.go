@@ -1,0 +1,290 @@
+package voice
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+)
+
+// Profile describes a talker. Synthesis is deterministic for a given
+// (text, profile) pair.
+type Profile struct {
+	Name string
+	// F0 is the base pitch in Hz. Human speech stays well above 50 Hz —
+	// the fact the defense's sub-50 Hz feature rests on.
+	F0 float64
+	// FormantScale stretches all formant targets (shorter vocal tracts
+	// have higher formants: ~1.0 male, ~1.15 female).
+	FormantScale float64
+	// RateScale stretches phoneme durations (<1 is faster speech).
+	RateScale float64
+	// Breathiness mixes aspiration noise into voiced sounds (0..~0.1).
+	Breathiness float64
+}
+
+// DefaultVoice is an average male talker.
+func DefaultVoice() Profile {
+	return Profile{Name: "male-1", F0: 118, FormantScale: 1.0, RateScale: 1.0, Breathiness: 0.02}
+}
+
+// Profiles returns the talker set used for defense robustness experiments
+// (E12): varied pitch, vocal tract length and speaking rate.
+func Profiles() []Profile {
+	return []Profile{
+		DefaultVoice(),
+		{Name: "male-2", F0: 98, FormantScale: 0.96, RateScale: 1.1, Breathiness: 0.03},
+		{Name: "female-1", F0: 205, FormantScale: 1.15, RateScale: 1.0, Breathiness: 0.025},
+		{Name: "female-2", F0: 228, FormantScale: 1.18, RateScale: 0.9, Breathiness: 0.04},
+		{Name: "child-1", F0: 260, FormantScale: 1.3, RateScale: 0.95, Breathiness: 0.05},
+	}
+}
+
+// Synthesize renders the command text at the given sample rate. The result
+// is peak-normalised to 0.9; callers set the acoustic level. Unknown words
+// return an error.
+func Synthesize(text string, p Profile, rate float64) (*audio.Signal, error) {
+	words, pauseAfter, err := Transcribe(text)
+	if err != nil {
+		return nil, err
+	}
+	s := newSynth(p, rate, seedFor(text, p))
+	// Leading silence so filters settle and VAD has context.
+	s.silence(0.08)
+	total := 0
+	for _, w := range words {
+		total += len(w)
+	}
+	done := 0
+	for wi, w := range words {
+		for _, ph := range w {
+			rec, ok := LookupPhoneme(ph)
+			if !ok {
+				// Transcribe only emits lexicon entries, and the lexicon is
+				// covered by tests, so this is a programming error.
+				panic("voice: lexicon references unknown phoneme " + ph)
+			}
+			progress := float64(done) / float64(total)
+			s.phoneme(rec, progress)
+			done++
+		}
+		if wi < len(words)-1 {
+			if pauseAfter[wi] {
+				s.silence(0.18)
+			} else {
+				s.silence(0.06)
+			}
+		}
+	}
+	s.silence(0.1)
+	out := &audio.Signal{Rate: rate, Samples: s.out}
+	// Final channel shaping, as a TTS/recording chain would apply: remove
+	// infrasonic residue (speech has nothing real below ~80 Hz) and bound
+	// the bandwidth near 8 kHz. The sub-50 Hz cleanliness this enforces is
+	// the baseline the defense compares attack recordings against.
+	out.Samples = dsp.HighPassFIR(8193, 62/rate).Apply(out.Samples)
+	out.Samples = dsp.LowPassFIR(511, 8200/rate).Apply(out.Samples)
+	out.Normalize(0.9)
+	return out, nil
+}
+
+// MustSynthesize is Synthesize for known-good vocabulary text; it panics
+// on error (used by experiments over the closed vocabulary).
+func MustSynthesize(text string, p Profile, rate float64) *audio.Signal {
+	s, err := Synthesize(text, p, rate)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// seedFor derives a deterministic RNG seed from the text and profile.
+func seedFor(text string, p Profile) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(text))
+	h.Write([]byte{0})
+	h.Write([]byte(p.Name))
+	return int64(h.Sum64())
+}
+
+// synth is the running synthesis state.
+type synth struct {
+	p     Profile
+	rate  float64
+	rng   *rand.Rand
+	out   []float64
+	phase float64 // glottal phase in [0,1)
+
+	// Source shaping filters persist across phonemes for continuity.
+	tilt1, tilt2 *dsp.OnePole
+}
+
+func newSynth(p Profile, rate float64, seed int64) *synth {
+	return &synth{
+		p:     p,
+		rate:  rate,
+		rng:   rand.New(rand.NewSource(seed)),
+		tilt1: dsp.NewOnePoleLP(350, rate),
+		tilt2: dsp.NewOnePoleLP(2500, rate),
+	}
+}
+
+func (s *synth) silence(seconds float64) {
+	n := int(seconds * s.rate * s.p.RateScale)
+	s.out = append(s.out, make([]float64, n)...)
+}
+
+// f0At returns the instantaneous pitch given utterance progress (0..1):
+// a gentle declination plus 5 Hz vibrato.
+func (s *synth) f0At(progress, t float64) float64 {
+	decl := 1.12 - 0.22*progress
+	vib := 1 + 0.015*math.Sin(2*math.Pi*5*t)
+	return s.p.F0 * decl * vib
+}
+
+// glottalSample advances the glottal source by one sample at pitch f0 and
+// returns the excitation value: a unit impulse at each closure, low-pass
+// shaped by the persistent tilt filters into a natural -12 dB/oct pulse.
+func (s *synth) glottalSample(f0 float64) float64 {
+	s.phase += f0 / s.rate
+	var imp float64
+	if s.phase >= 1 {
+		s.phase -= 1
+		imp = 1
+	}
+	v := s.tilt1.ProcessSample(s.tilt2.ProcessSample(imp * 40))
+	if s.p.Breathiness > 0 {
+		v += s.rng.NormFloat64() * s.p.Breathiness * 0.2
+	}
+	return v
+}
+
+// phoneme renders one phoneme into the output buffer.
+func (s *synth) phoneme(ph Phoneme, progress float64) {
+	switch ph.Manner {
+	case MannerStop:
+		s.stop(ph, progress)
+	case MannerAffricate:
+		s.affricate(ph, progress)
+	default:
+		s.sustained(ph, progress)
+	}
+}
+
+// sustained renders vowels, diphthongs, approximants, nasals, fricatives
+// and aspirates: a time-varying formant cascade over a voiced and/or
+// noise source.
+func (s *synth) sustained(ph Phoneme, progress float64) {
+	n := int(ph.DurMS / 1000 * s.rate * s.p.RateScale)
+	if n <= 0 {
+		return
+	}
+	var res [3]*dsp.Biquad
+	bw := [3]float64{90, 110, 170}
+	for i := range res {
+		res[i] = dsp.NewKlattResonator(ph.F[i]*s.p.FormantScale+1, bw[i], s.rate)
+	}
+	var noiseRes *dsp.Biquad
+	if ph.NoiseAmp > 0 {
+		center := (ph.NoiseLo + ph.NoiseHi) / 2
+		width := ph.NoiseHi - ph.NoiseLo
+		noiseRes = dsp.NewKlattResonator(center, width, s.rate)
+	}
+	buf := make([]float64, n)
+	const updateEvery = 48
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(n)
+		if ph.Voiced && i%updateEvery == 0 {
+			for j := range res {
+				f := ph.F[j] + (ph.FEnd[j]-ph.F[j])*frac
+				res[j].SetKlattResonator(f*s.p.FormantScale+1, bw[j], s.rate)
+			}
+		}
+		var v float64
+		if ph.Voiced {
+			t := float64(len(s.out)+i) / s.rate
+			src := s.glottalSample(s.f0At(progress, t))
+			v = res[2].ProcessSample(res[1].ProcessSample(res[0].ProcessSample(src)))
+		}
+		if noiseRes != nil {
+			v += noiseRes.ProcessSample(s.rng.NormFloat64()) * ph.NoiseAmp
+		}
+		buf[i] = v * ph.Amp * ramp(i, n, s.rate)
+	}
+	dsp.Differentiate(buf) // lip radiation: +6 dB/oct
+	s.out = append(s.out, buf...)
+}
+
+// stop renders closure + burst (+ short aspiration for unvoiced stops).
+func (s *synth) stop(ph Phoneme, progress float64) {
+	closureMS, burstMS, aspMS := 45.0, 12.0, 25.0
+	if ph.Voiced {
+		closureMS, aspMS = 30, 8
+	}
+	// Closure: silence, or a weak low-frequency voice bar when voiced.
+	nc := int(closureMS / 1000 * s.rate * s.p.RateScale)
+	closure := make([]float64, nc)
+	if ph.Voiced {
+		bar := dsp.NewKlattResonator(150, 100, s.rate)
+		for i := range closure {
+			t := float64(len(s.out)+i) / s.rate
+			closure[i] = bar.ProcessSample(s.glottalSample(s.f0At(progress, t))) * 0.12
+		}
+	}
+	s.out = append(s.out, closure...)
+
+	// Burst: a sharp noise transient centred at the burst frequency.
+	nb := int(burstMS / 1000 * s.rate)
+	burst := make([]float64, nb)
+	bres := dsp.NewKlattResonator(ph.BurstHz*s.p.FormantScale, 900, s.rate)
+	for i := range burst {
+		decay := math.Exp(-4 * float64(i) / float64(nb))
+		burst[i] = bres.ProcessSample(s.rng.NormFloat64()) * ph.NoiseAmp * 1.6 * decay
+	}
+	dsp.Differentiate(burst) // keep noise out of the infrasonic band
+	s.out = append(s.out, burst...)
+
+	// Aspiration tail.
+	na := int(aspMS / 1000 * s.rate)
+	asp := make([]float64, na)
+	ares := dsp.NewKlattResonator((ph.NoiseLo+ph.NoiseHi)/2, ph.NoiseHi-ph.NoiseLo, s.rate)
+	for i := range asp {
+		decay := 1 - float64(i)/float64(na)
+		asp[i] = ares.ProcessSample(s.rng.NormFloat64()) * ph.NoiseAmp * 0.4 * decay
+	}
+	dsp.Differentiate(asp)
+	s.out = append(s.out, asp...)
+}
+
+// affricate is a stop closure with a fricative release.
+func (s *synth) affricate(ph Phoneme, progress float64) {
+	stopPart := ph
+	stopPart.DurMS = 60
+	s.stop(stopPart, progress)
+	fric := ph
+	fric.Manner = MannerFricative
+	fric.Voiced = false
+	fric.DurMS = ph.DurMS - 60
+	if fric.DurMS < 40 {
+		fric.DurMS = 40
+	}
+	s.sustained(fric, progress)
+}
+
+// ramp applies 5 ms attack/release to avoid clicks at phoneme boundaries.
+func ramp(i, n int, rate float64) float64 {
+	edge := int(0.005 * rate)
+	if edge < 1 {
+		return 1
+	}
+	switch {
+	case i < edge:
+		return float64(i) / float64(edge)
+	case i >= n-edge:
+		return float64(n-1-i) / float64(edge)
+	default:
+		return 1
+	}
+}

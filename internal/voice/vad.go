@@ -1,0 +1,110 @@
+package voice
+
+import (
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+)
+
+// Segment is a half-open active-speech interval in seconds.
+type Segment struct {
+	Start, End float64
+}
+
+// Duration returns the segment length in seconds.
+func (s Segment) Duration() float64 { return s.End - s.Start }
+
+// DetectActivity runs a simple energy-based voice activity detector:
+// 20 ms frames, active when frame RMS exceeds threshDB below the loudest
+// frame, with hangover merging of gaps shorter than 60 ms. A typical
+// threshold is 30 dB.
+func DetectActivity(s *audio.Signal, threshDB float64) []Segment {
+	const frameSec = 0.020
+	frame := int(frameSec * s.Rate)
+	if frame <= 0 || s.Len() == 0 {
+		return nil
+	}
+	nFrames := s.Len() / frame
+	if nFrames == 0 {
+		return nil
+	}
+	rms := make([]float64, nFrames)
+	var peak float64
+	for f := 0; f < nFrames; f++ {
+		rms[f] = dsp.RMS(s.Samples[f*frame : (f+1)*frame])
+		if rms[f] > peak {
+			peak = rms[f]
+		}
+	}
+	if peak == 0 {
+		return nil
+	}
+	thresh := peak * dsp.AmplitudeFromDB(-threshDB)
+	active := make([]bool, nFrames)
+	for f := range active {
+		active[f] = rms[f] >= thresh
+	}
+	// Hangover: fill gaps up to 3 frames (60 ms).
+	const maxGap = 3
+	run := 0
+	for f := 0; f < nFrames; f++ {
+		if active[f] {
+			if run > 0 && run <= maxGap {
+				for g := f - run; g < f; g++ {
+					active[g] = true
+				}
+			}
+			run = 0
+		} else {
+			run++
+		}
+	}
+	var segs []Segment
+	inSeg := false
+	var start int
+	for f := 0; f < nFrames; f++ {
+		switch {
+		case active[f] && !inSeg:
+			inSeg = true
+			start = f
+		case !active[f] && inSeg:
+			inSeg = false
+			segs = append(segs, Segment{
+				Start: float64(start) * frameSec,
+				End:   float64(f) * frameSec,
+			})
+		}
+	}
+	if inSeg {
+		segs = append(segs, Segment{
+			Start: float64(start) * frameSec,
+			End:   float64(nFrames) * frameSec,
+		})
+	}
+	return segs
+}
+
+// TrimSilence returns a view of s restricted to the span from the first
+// active segment's start to the last one's end (with a small margin), or
+// s unchanged if nothing is active.
+func TrimSilence(s *audio.Signal, threshDB float64) *audio.Signal {
+	segs := DetectActivity(s, threshDB)
+	if len(segs) == 0 {
+		return s
+	}
+	const margin = 0.03
+	start := segs[0].Start - margin
+	end := segs[len(segs)-1].End + margin
+	return s.Slice(start, end)
+}
+
+// ActiveFraction returns the fraction of the signal judged active.
+func ActiveFraction(s *audio.Signal, threshDB float64) float64 {
+	if s.Duration() == 0 {
+		return 0
+	}
+	var act float64
+	for _, seg := range DetectActivity(s, threshDB) {
+		act += seg.Duration()
+	}
+	return act / s.Duration()
+}

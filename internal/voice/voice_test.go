@@ -1,0 +1,237 @@
+package voice
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"inaudible/internal/dsp"
+)
+
+func TestLexiconPhonemesExist(t *testing.T) {
+	// Every phoneme referenced by the lexicon must be in the table.
+	for word, phs := range lexicon {
+		for _, p := range phs {
+			if _, ok := LookupPhoneme(p); !ok {
+				t.Errorf("word %q references unknown phoneme %q", word, p)
+			}
+		}
+	}
+}
+
+func TestVocabularyTranscribes(t *testing.T) {
+	for _, c := range Vocabulary() {
+		words, pauses, err := Transcribe(c.Text)
+		if err != nil {
+			t.Errorf("command %q: %v", c.ID, err)
+			continue
+		}
+		if len(words) != len(c.Words()) {
+			t.Errorf("command %q: %d transcribed vs %d words", c.ID, len(words), len(c.Words()))
+		}
+		if len(pauses) != len(words) {
+			t.Errorf("command %q: pause slice mismatch", c.ID)
+		}
+		if !strings.Contains(c.Text, c.Wake) {
+			t.Errorf("command %q: wake %q not a prefix of text", c.ID, c.Wake)
+		}
+	}
+}
+
+func TestTranscribeErrors(t *testing.T) {
+	if _, _, err := Transcribe("frobnicate the widget"); err == nil {
+		t.Error("unknown word should fail")
+	}
+	if _, _, err := Transcribe(""); err == nil {
+		t.Error("empty command should fail")
+	}
+	if _, _, err := Transcribe(",,,"); err == nil {
+		t.Error("punctuation-only command should fail")
+	}
+}
+
+func TestTranscribeMarksPauses(t *testing.T) {
+	_, pauses, err := Transcribe("alexa, play music")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pauses[0] {
+		t.Error("comma after alexa should mark a pause")
+	}
+	if pauses[1] || pauses[2] {
+		t.Error("no pauses expected elsewhere")
+	}
+}
+
+func TestSynthesizeBasicShape(t *testing.T) {
+	s := MustSynthesize("ok google, take a picture", DefaultVoice(), 48000)
+	if s.Rate != 48000 {
+		t.Fatalf("rate %v", s.Rate)
+	}
+	if d := s.Duration(); d < 1.0 || d > 5.0 {
+		t.Fatalf("duration %v s out of the plausible range", d)
+	}
+	if math.Abs(s.Peak()-0.9) > 1e-9 {
+		t.Fatalf("peak %v, want 0.9", s.Peak())
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := MustSynthesize("alexa, play music", DefaultVoice(), 48000)
+	b := MustSynthesize("alexa, play music", DefaultVoice(), 48000)
+	if a.Len() != b.Len() {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestSynthesizeVoicesDiffer(t *testing.T) {
+	a := MustSynthesize("alexa, play music", DefaultVoice(), 48000)
+	b := MustSynthesize("alexa, play music", Profiles()[2], 48000) // female-1
+	if a.Len() == b.Len() {
+		same := true
+		for i := range a.Samples {
+			if a.Samples[i] != b.Samples[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different voices produced identical audio")
+		}
+	}
+}
+
+func TestSynthesizeUnknownWordFails(t *testing.T) {
+	if _, err := Synthesize("ok google, defenestrate", DefaultVoice(), 48000); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSpeechEnergyConcentratedBelow8kHz(t *testing.T) {
+	// The attack pipeline low-pass filters at 8 kHz "while still
+	// preserving enough data" — our synthetic speech must satisfy that.
+	s := MustSynthesize("alexa, add milk to my shopping list", DefaultVoice(), 48000)
+	psd := dsp.Welch(s.Samples, 4096)
+	below := dsp.BandPower(psd, 48000, 4096, 0, 8000)
+	above := dsp.BandPower(psd, 48000, 4096, 8000, 24000)
+	if below < 20*above {
+		t.Fatalf("energy above 8 kHz too high: below=%v above=%v", below, above)
+	}
+}
+
+func TestSpeechHasNoSub50HzEnergy(t *testing.T) {
+	// Legitimate speech must be clean below 50 Hz — the defense's core
+	// assumption. F0 >= ~98 Hz for all profiles.
+	for _, p := range Profiles() {
+		s := MustSynthesize("ok google, take a picture", p, 48000)
+		psd := dsp.Welch(s.Samples, 8192)
+		low := dsp.BandPower(psd, 48000, 8192, 5, 50)
+		total := dsp.BandPower(psd, 48000, 8192, 5, 24000)
+		if low/total > 1e-3 {
+			t.Errorf("profile %s: sub-50 Hz fraction %v too high", p.Name, low/total)
+		}
+	}
+}
+
+func TestSpeechPitchVisible(t *testing.T) {
+	// A sustained vowel region should show F0 near the profile's pitch.
+	s := MustSynthesize("alexa, what time is it", DefaultVoice(), 48000)
+	psd := dsp.Welch(s.Samples, 8192)
+	// Find the strongest bin between 60 and 300 Hz.
+	best, bestF := 0.0, 0.0
+	for k := range psd {
+		f := dsp.BinFrequency(k, 8192, 48000)
+		if f < 60 || f > 300 {
+			continue
+		}
+		if psd[k] > best {
+			best, bestF = psd[k], f
+		}
+	}
+	// Lip radiation (+6 dB/oct) can make the 2nd harmonic dominate, so
+	// accept F0 or 2*F0 for the ~118 Hz default voice.
+	if bestF < 85 || bestF > 280 {
+		t.Fatalf("dominant pitch-band frequency %v Hz, want ~118 or ~236", bestF)
+	}
+}
+
+func TestSynthesizedCommandsDistinct(t *testing.T) {
+	// Different commands must differ grossly in duration or energy
+	// envelope — sanity for ASR templates.
+	a := MustSynthesize("alexa, play music", DefaultVoice(), 48000)
+	b := MustSynthesize("ok google, turn on airplane mode", DefaultVoice(), 48000)
+	if math.Abs(a.Duration()-b.Duration()) < 0.2 {
+		t.Fatalf("durations suspiciously close: %v vs %v", a.Duration(), b.Duration())
+	}
+}
+
+func TestDetectActivityOnSpeech(t *testing.T) {
+	s := MustSynthesize("ok google, take a picture", DefaultVoice(), 48000)
+	segs := DetectActivity(s, 35)
+	if len(segs) == 0 {
+		t.Fatal("no activity detected in speech")
+	}
+	frac := ActiveFraction(s, 35)
+	if frac < 0.3 || frac > 0.99 {
+		t.Fatalf("active fraction %v implausible", frac)
+	}
+	// Leading silence must be skipped.
+	if segs[0].Start < 0.02 {
+		t.Errorf("first segment starts at %v, leading silence missed", segs[0].Start)
+	}
+}
+
+func TestDetectActivityOnSilence(t *testing.T) {
+	sil := MustSynthesize("a", DefaultVoice(), 48000) // has some content
+	sil.Gain(0)
+	if segs := DetectActivity(sil, 30); segs != nil {
+		t.Fatalf("silence produced segments: %v", segs)
+	}
+	if ActiveFraction(sil, 30) != 0 {
+		t.Fatal("silence active fraction should be 0")
+	}
+}
+
+func TestTrimSilence(t *testing.T) {
+	s := MustSynthesize("alexa, what time is it", DefaultVoice(), 48000)
+	trimmed := TrimSilence(s, 35)
+	if trimmed.Duration() >= s.Duration() {
+		t.Fatalf("trim did not shorten: %v >= %v", trimmed.Duration(), s.Duration())
+	}
+	if trimmed.Duration() < 0.5 {
+		t.Fatalf("over-trimmed to %v s", trimmed.Duration())
+	}
+	// Trimming silence returns the input unchanged.
+	z := s.Clone().Gain(0)
+	if TrimSilence(z, 30) != z {
+		t.Fatal("silent input should be returned as-is")
+	}
+}
+
+func TestFindCommand(t *testing.T) {
+	c, ok := FindCommand("photo")
+	if !ok || c.ID != "photo" {
+		t.Fatal("FindCommand photo")
+	}
+	if _, ok := FindCommand("nope"); ok {
+		t.Fatal("unexpected command")
+	}
+}
+
+func TestPhonemesList(t *testing.T) {
+	ps := Phonemes()
+	if len(ps) < 30 {
+		t.Fatalf("only %d phonemes", len(ps))
+	}
+}
+
+func TestSegmentDuration(t *testing.T) {
+	if (Segment{Start: 1, End: 2.5}).Duration() != 1.5 {
+		t.Fatal("Duration")
+	}
+}
