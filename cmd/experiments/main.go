@@ -5,7 +5,11 @@
 //
 //	experiments -list
 //	experiments -id E6
-//	experiments -all [-quick]
+//	experiments -all [-quick] [-parallel N]
+//
+// Trials fan out across a worker pool (default: all cores). Output is
+// byte-identical for any -parallel value at a fixed -seed; -parallel 1
+// recovers the fully serial engine.
 package main
 
 import (
@@ -19,11 +23,12 @@ import (
 
 func main() {
 	var (
-		id    = flag.String("id", "", "run a single experiment (E1..E13)")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "smaller grids and trial counts")
-		list  = flag.Bool("list", false, "list experiment ids")
-		seed  = flag.Int64("seed", 1, "simulation seed")
+		id       = flag.String("id", "", "run a single experiment (E1..E13)")
+		all      = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "smaller grids and trial counts")
+		list     = flag.Bool("list", false, "list experiment ids")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", 0, "trial-engine workers (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -34,7 +39,7 @@ func main() {
 		return
 	}
 
-	s := experiment.NewSuite(experiment.Options{Quick: *quick, Seed: *seed})
+	s := experiment.NewSuite(experiment.Options{Quick: *quick, Seed: *seed, Parallel: *parallel})
 	run := func(eid string) {
 		start := time.Now()
 		fmt.Printf("\n######## %s — %s\n", eid, experiment.Describe(eid))

@@ -61,6 +61,25 @@ func TestFacadeDevices(t *testing.T) {
 	}
 }
 
+func TestFacadeExperiments(t *testing.T) {
+	ids := inaudible.Experiments()
+	if len(ids) != 13 || ids[0] != "E1" || ids[12] != "E13" {
+		t.Fatalf("experiment ids: %v", ids)
+	}
+	var sink noopWriter
+	if err := inaudible.RunExperiment("E99", sink, inaudible.ExperimentOptions{Quick: true}); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+	s := inaudible.NewExperimentSuite(inaudible.ExperimentOptions{Quick: true, Parallel: 4})
+	if s.Runner().Workers() != 4 {
+		t.Fatalf("suite runner workers = %d, want 4", s.Runner().Workers())
+	}
+}
+
+type noopWriter struct{}
+
+func (noopWriter) Write(p []byte) (int, error) { return len(p), nil }
+
 func TestFacadeEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full simulation")

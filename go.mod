@@ -1,0 +1,3 @@
+module inaudible
+
+go 1.22

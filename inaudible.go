@@ -31,11 +31,15 @@
 package inaudible
 
 import (
+	"fmt"
+	"io"
+
 	"inaudible/internal/asr"
 	"inaudible/internal/attack"
 	"inaudible/internal/audio"
 	"inaudible/internal/core"
 	"inaudible/internal/defense"
+	"inaudible/internal/experiment"
 	"inaudible/internal/mic"
 	"inaudible/internal/speaker"
 	"inaudible/internal/voice"
@@ -70,6 +74,13 @@ type (
 	Device = mic.Device
 	// Speaker is an emitting element profile.
 	Speaker = speaker.Speaker
+	// ExperimentOptions scales the E1-E13 evaluation suite: Quick grids,
+	// the scenario Seed, and the Parallel worker-pool size (0 = all
+	// cores, 1 = serial; output is byte-identical either way).
+	ExperimentOptions = experiment.Options
+	// ExperimentSuite caches the expensive shared evaluation assets
+	// across experiments.
+	ExperimentSuite = experiment.Suite
 )
 
 // Attack kinds.
@@ -121,3 +132,33 @@ func AmazonEcho() *Device { return mic.AmazonEcho() }
 
 // ReferenceMic returns the perfectly linear control microphone.
 func ReferenceMic() *Device { return mic.ReferenceMic() }
+
+// Experiments lists the evaluation suite's experiment ids (E1..E13) in
+// run order.
+func Experiments() []string { return experiment.IDs() }
+
+// NewExperimentSuite returns the evaluation suite configured by opt.
+func NewExperimentSuite(opt ExperimentOptions) *ExperimentSuite {
+	return experiment.NewSuite(opt)
+}
+
+// RunExperiment runs one experiment of the E1-E13 suite, writing its
+// tables to w.
+func RunExperiment(id string, w io.Writer, opt ExperimentOptions) error {
+	return experiment.NewSuite(opt).Run(id, w)
+}
+
+// RunAll regenerates the paper's full evaluation (E1..E13 in order),
+// writing every table to w. Trials fan out across opt.Parallel workers
+// (0 = all cores); the rendered output is byte-identical for any pool
+// size at a fixed opt.Seed.
+func RunAll(w io.Writer, opt ExperimentOptions) error {
+	s := experiment.NewSuite(opt)
+	for _, id := range experiment.IDs() {
+		fmt.Fprintf(w, "\n######## %s — %s\n", id, experiment.Describe(id))
+		if err := s.Run(id, w); err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+	}
+	return nil
+}

@@ -29,6 +29,15 @@ import (
 // Scenario fixes the environment of a set of runs: the victim device, the
 // atmosphere, ambient noise, and where the nearest human bystander stands
 // (leakage is judged at that position).
+//
+// A Scenario is read-only during delivery: Deliver, Simulate and the
+// Emit* methods never mutate the receiver, and every trial draws its
+// randomness from a private generator seeded by TrialSeed. Concurrent
+// trials against one Scenario are therefore safe and bit-for-bit
+// reproducible regardless of scheduling — the property the parallel
+// runner in internal/experiment is built on. Use Clone before mutating
+// fields (Device, AmbientSPL, ...) for a variant that runs concurrently
+// with the original.
 type Scenario struct {
 	Device *mic.Device
 	Air    acoustics.Air
@@ -53,6 +62,25 @@ func DefaultScenario() *Scenario {
 		BystanderDistance: 1.5,
 		Seed:              1,
 	}
+}
+
+// Clone returns a shallow copy of the scenario for per-worker
+// customisation. The embedded Device and Air are shared — they are
+// read-only during delivery — so mutating the copy's scalar fields
+// (Device pointer, AmbientSPL, Seed, ...) never disturbs trials running
+// against the original.
+func (s *Scenario) Clone() *Scenario {
+	c := *s
+	return &c
+}
+
+// TrialSeed derives the deterministic sub-seed feeding all randomness
+// (ambient noise, mic self-noise) of one trial. The multiplier spreads
+// scenario seeds far apart so trial indices of different scenarios never
+// collide; every consumer of per-trial randomness must go through this
+// single derivation so serial and parallel runs agree bit for bit.
+func (s *Scenario) TrialSeed(trial int64) int64 {
+	return s.Seed*1_000_003 + trial
 }
 
 // Emission is a cached attacker output: the combined 1 m reference
@@ -168,11 +196,12 @@ type RunResult struct {
 
 // Deliver propagates the emission over distance metres, adds ambient
 // noise, and records it with the scenario's device. trial varies the
-// noise realisation deterministically.
+// noise realisation deterministically (see TrialSeed). Deliver does not
+// mutate the scenario or the emission, so concurrent deliveries are safe.
 func (s *Scenario) Deliver(e *Emission, distance float64, trial int64) *RunResult {
 	p := acoustics.Path{Distance: distance, Air: s.Air}
 	at := p.Propagate(e.Field)
-	rng := rand.New(rand.NewSource(s.Seed*1_000_003 + trial))
+	rng := rand.New(rand.NewSource(s.TrialSeed(trial)))
 	if s.AmbientSPL > 0 {
 		noise := acoustics.AmbientNoise(rng, at.Rate, at.Duration(), s.AmbientSPL)
 		dsp.Add(at.Samples, noise.Samples)

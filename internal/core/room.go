@@ -39,7 +39,7 @@ func DefaultRoomScenario() *RoomScenario {
 // ambient noise, and records with the scenario's device.
 func (rs *RoomScenario) DeliverInRoom(e *Emission, trial int64) *RunResult {
 	at := rs.Room.PropagateInRoom(e.Field, rs.Attacker, rs.Victim)
-	rng := rand.New(rand.NewSource(rs.Seed*1_000_003 + trial))
+	rng := rand.New(rand.NewSource(rs.TrialSeed(trial)))
 	if rs.AmbientSPL > 0 {
 		noise := acoustics.AmbientNoise(rng, at.Rate, at.Duration(), rs.AmbientSPL)
 		dsp.Add(at.Samples, noise.Samples)

@@ -47,95 +47,14 @@ func IFFT(x []complex128) []complex128 {
 	return x
 }
 
+// transform looks up (or builds) the cached plan for len(x) and runs the
+// appropriate kernel. See plan.go for the cache.
 func transform(x []complex128, inverse bool) {
 	n := len(x)
 	if n <= 1 {
 		return
 	}
-	if IsPowerOfTwo(n) {
-		radix2(x, inverse)
-	} else {
-		bluestein(x, inverse)
-	}
-	if inverse {
-		inv := 1 / float64(n)
-		for i := range x {
-			x[i] *= complex(inv, 0)
-		}
-	}
-}
-
-// radix2 performs an unnormalised in-place radix-2 DIT FFT.
-// inverse selects the conjugate twiddle direction (no 1/N scaling here).
-func radix2(x []complex128, inverse bool) {
-	n := len(x)
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wStep := cmplx.Exp(complex(0, step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
-			}
-		}
-	}
-}
-
-// bluestein computes an unnormalised DFT of arbitrary length via the
-// chirp-z transform, using radix-2 FFTs of padded length m >= 2n-1.
-func bluestein(x []complex128, inverse bool) {
-	n := len(x)
-	m := NextPowerOfTwo(2*n - 1)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Chirp sequence w[k] = exp(sign * i*pi*k^2/n).
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// k*k may overflow for large n; reduce modulo 2n first.
-		kk := int64(k) * int64(k) % int64(2*n)
-		phase := sign * math.Pi * float64(kk) / float64(n)
-		chirp[k] = cmplx.Exp(complex(0, phase))
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-	}
-	b[0] = cmplx.Conj(chirp[0])
-	for k := 1; k < n; k++ {
-		c := cmplx.Conj(chirp[k])
-		b[k] = c
-		b[m-k] = c
-	}
-	radix2(a, false)
-	radix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	radix2(a, true)
-	invM := complex(1/float64(m), 0)
-	for k := 0; k < n; k++ {
-		x[k] = a[k] * invM * chirp[k]
-	}
+	planFor(n).transform(x, inverse)
 }
 
 // FFTReal computes the DFT of a real-valued signal and returns the full

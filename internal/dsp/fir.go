@@ -170,25 +170,19 @@ func convolveDirect(a, b []float64) []float64 {
 }
 
 func convolveFFT(a, b []float64, outLen, n int) []float64 {
-	fa := make([]complex128, n)
-	fb := make([]complex128, n)
-	for i, v := range a {
-		fa[i] = complex(v, 0)
-	}
-	for i, v := range b {
-		fb[i] = complex(v, 0)
-	}
-	FFT(fa)
-	FFT(fb)
+	// Both operands are real, so the transforms run at half length
+	// through RFFT and multiply one-sided spectra; the plan cache (see
+	// plan.go) amortises the twiddle tables across repeated sizes.
+	pa := make([]float64, n)
+	pb := make([]float64, n)
+	copy(pa, a)
+	copy(pb, b)
+	fa := RFFT(pa)
+	fb := RFFT(pb)
 	for i := range fa {
 		fa[i] *= fb[i]
 	}
-	IFFT(fa)
-	out := make([]float64, outLen)
-	for i := range out {
-		out[i] = real(fa[i])
-	}
-	return out
+	return IRFFT(fa, n)[:outLen]
 }
 
 // Convolve exposes full linear convolution for callers outside the filter

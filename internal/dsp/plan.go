@@ -1,0 +1,320 @@
+package dsp
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sync"
+)
+
+// This file holds the FFT plan cache. Computing a transform of length n
+// needs a bit-reversal permutation, per-stage twiddle factors and (for
+// non-power-of-two lengths) Bluestein chirp sequences; all of them depend
+// only on n. The experiment pipeline transforms the same handful of
+// lengths millions of times (Welch frames, FIR convolutions, the device
+// body filter), so the tables are computed once per length and cached.
+//
+// Plans are immutable after construction and the cache is guarded by a
+// sync.RWMutex, so FFT/IFFT/RFFT are safe for concurrent use — the
+// parallel trial runner in internal/experiment relies on this. The cache
+// never evicts: the set of distinct lengths in a run is small (a dozen or
+// so) and bounded by the simulation geometry, not by trial count.
+//
+// The tables replicate the exact floating-point evaluation order of the
+// former per-call computation (accumulated twiddle products, the same
+// chirp phase reduction), so cached and uncached transforms are
+// bit-identical. fft_test.go and plan_test.go rely on this.
+
+// fftPlan holds the precomputed tables for one transform length.
+type fftPlan struct {
+	n int
+
+	// swaps lists the bit-reversal permutation as flat (i, j) pairs with
+	// i < j, so applying it is a linear walk with no index recomputation.
+	swaps []int32
+
+	// twF and twI are the forward and inverse twiddle factors for every
+	// radix-2 stage, concatenated: the entries for stage size s live at
+	// offset s/2-1 (there are s/2 of them). For Bluestein lengths these
+	// tables describe the padded length m instead of n.
+	twF, twI []complex128
+
+	// Bluestein tables (nil for power-of-two n). pad is the plan for the
+	// padded power-of-two length m >= 2n-1.
+	pad            *fftPlan
+	m              int
+	chirpF, chirpI []complex128 // exp(∓iπk²/n), k = 0..n-1
+	bspecF, bspecI []complex128 // forward FFT of the chirp filter, per direction
+}
+
+var (
+	planMu    sync.RWMutex
+	planCache = make(map[int]*fftPlan)
+)
+
+// planFor returns the cached plan for length n, building it on first use.
+func planFor(n int) *fftPlan {
+	planMu.RLock()
+	p := planCache[n]
+	planMu.RUnlock()
+	if p != nil {
+		return p
+	}
+	p = newPlan(n)
+	planMu.Lock()
+	if q := planCache[n]; q != nil {
+		p = q // lost a construction race; keep the winner
+	} else {
+		planCache[n] = p
+	}
+	planMu.Unlock()
+	return p
+}
+
+func newPlan(n int) *fftPlan {
+	p := &fftPlan{n: n}
+	if IsPowerOfTwo(n) {
+		p.fillRadix2(n)
+		return p
+	}
+	p.fillBluestein(n)
+	return p
+}
+
+// fillRadix2 precomputes the permutation and twiddle tables for a
+// power-of-two length.
+func (p *fftPlan) fillRadix2(n int) {
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			p.swaps = append(p.swaps, int32(i), int32(j))
+		}
+	}
+	p.twF = make([]complex128, n-1)
+	p.twI = make([]complex128, n-1)
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := -1.0 * 2 * math.Pi / float64(size)
+		wStep := cmplx.Exp(complex(0, step))
+		w := complex(1, 0)
+		for k := 0; k < half; k++ {
+			p.twF[half-1+k] = w
+			// The inverse table is the exact conjugate: complex multiply
+			// and cmplx.Exp are both sign-symmetric, so conjugating the
+			// accumulated product matches accumulating the conjugate.
+			p.twI[half-1+k] = cmplx.Conj(w)
+			w *= wStep
+		}
+	}
+}
+
+// fillBluestein precomputes both chirp directions and the transformed
+// chirp filters for an arbitrary length.
+func (p *fftPlan) fillBluestein(n int) {
+	m := NextPowerOfTwo(2*n - 1)
+	p.m = m
+	p.pad = planFor(m)
+	p.chirpF = make([]complex128, n)
+	p.chirpI = make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k may overflow for large n; reduce modulo 2n first.
+		kk := int64(k) * int64(k) % int64(2*n)
+		phase := -1.0 * math.Pi * float64(kk) / float64(n)
+		p.chirpF[k] = cmplx.Exp(complex(0, phase))
+		p.chirpI[k] = cmplx.Conj(p.chirpF[k])
+	}
+	filter := func(chirp []complex128) []complex128 {
+		b := make([]complex128, m)
+		b[0] = cmplx.Conj(chirp[0])
+		for k := 1; k < n; k++ {
+			c := cmplx.Conj(chirp[k])
+			b[k] = c
+			b[m-k] = c
+		}
+		p.pad.radix2(b, false)
+		return b
+	}
+	p.bspecF = filter(p.chirpF)
+	p.bspecI = filter(p.chirpI)
+}
+
+// radix2 performs the unnormalised in-place radix-2 DIT FFT using the
+// plan's tables. inverse selects the conjugate twiddle direction (no 1/N
+// scaling here).
+func (p *fftPlan) radix2(x []complex128, inverse bool) {
+	n := p.n // always a power of two: Bluestein plans delegate to p.pad
+	for s := 0; s < len(p.swaps); s += 2 {
+		i, j := p.swaps[s], p.swaps[s+1]
+		x[i], x[j] = x[j], x[i]
+	}
+	tw := p.twF
+	if inverse {
+		tw = p.twI
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stage := tw[half-1 : half-1+half]
+		for start := 0; start < n; start += size {
+			lo := x[start : start+half : start+half]
+			hi := x[start+half : start+size : start+size]
+			for k := 0; k < half; k++ {
+				a := lo[k]
+				b := hi[k] * stage[k]
+				lo[k] = a + b
+				hi[k] = a - b
+			}
+		}
+	}
+}
+
+// bluestein computes an unnormalised DFT of arbitrary length via the
+// cached chirp-z tables.
+func (p *fftPlan) bluestein(x []complex128, inverse bool) {
+	n, m := p.n, p.m
+	chirp, bspec := p.chirpF, p.bspecF
+	if inverse {
+		chirp, bspec = p.chirpI, p.bspecI
+	}
+	a := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+	}
+	p.pad.radix2(a, false)
+	for i := range a {
+		a[i] *= bspec[i]
+	}
+	p.pad.radix2(a, true)
+	invM := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * invM * chirp[k]
+	}
+}
+
+// transform dispatches to the cached kernel for len(x).
+func (p *fftPlan) transform(x []complex128, inverse bool) {
+	if p.pad == nil {
+		p.radix2(x, inverse)
+	} else {
+		p.bluestein(x, inverse)
+	}
+	if inverse {
+		inv := 1 / float64(p.n)
+		for i := range x {
+			x[i] *= complex(inv, 0)
+		}
+	}
+}
+
+// ---- real-input transforms ----
+
+// rfftPlan caches the split twiddles exp(-iπk/h) used to unpack a
+// half-length complex transform into a real-input spectrum of length
+// n = 2h.
+type rfftPlan struct {
+	n int
+	w []complex128 // exp(-2πik/n), k = 0..n/2
+}
+
+var (
+	rplanMu    sync.RWMutex
+	rplanCache = make(map[int]*rfftPlan)
+)
+
+func rplanFor(n int) *rfftPlan {
+	rplanMu.RLock()
+	p := rplanCache[n]
+	rplanMu.RUnlock()
+	if p != nil {
+		return p
+	}
+	h := n / 2
+	p = &rfftPlan{n: n, w: make([]complex128, h+1)}
+	for k := 0; k <= h; k++ {
+		phase := -2 * math.Pi * float64(k) / float64(n)
+		p.w[k] = cmplx.Exp(complex(0, phase))
+	}
+	rplanMu.Lock()
+	if q := rplanCache[n]; q != nil {
+		p = q
+	} else {
+		rplanCache[n] = p
+	}
+	rplanMu.Unlock()
+	return p
+}
+
+// RFFT computes the one-sided spectrum (bins 0..n/2, length n/2+1) of a
+// real-valued input of even length n using a single half-length complex
+// transform — roughly half the work of FFTReal for the common case where
+// only non-negative frequencies are needed (Welch, STFT, linear-phase
+// filtering). Odd lengths fall back to a full complex transform. The
+// input is not modified.
+func RFFT(x []float64) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n%2 != 0 || n < 4 {
+		full := FFTReal(x)
+		return full[: n/2+1 : n/2+1]
+	}
+	h := n / 2
+	z := make([]complex128, h)
+	for j := 0; j < h; j++ {
+		z[j] = complex(x[2*j], x[2*j+1])
+	}
+	FFT(z)
+	rp := rplanFor(n)
+	out := make([]complex128, h+1)
+	// X[k] = (Z[k]+conj(Z[h-k]))/2 - i*w[k]*(Z[k]-conj(Z[h-k]))/2
+	for k := 0; k <= h; k++ {
+		zk := z[k%h]
+		zc := cmplx.Conj(z[(h-k)%h])
+		even := (zk + zc) * 0.5
+		odd := (zk - zc) * 0.5
+		out[k] = even + complex(0, -1)*rp.w[k]*odd
+	}
+	return out
+}
+
+// IRFFT inverts a one-sided spectrum produced by RFFT (or the first
+// n/2+1 bins of a full transform of a real signal) back to n real
+// samples. n must satisfy len(spec) == n/2+1 with even n, except for the
+// odd-length fallback where a conjugate-symmetric full spectrum is
+// rebuilt. The input is not modified.
+func IRFFT(spec []complex128, n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if n%2 != 0 || n < 4 {
+		full := make([]complex128, n)
+		copy(full, spec)
+		for k := n/2 + 1; k < n; k++ {
+			full[k] = cmplx.Conj(spec[n-k])
+		}
+		return IFFTReal(full)
+	}
+	h := n / 2
+	if len(spec) != h+1 {
+		panic("dsp: IRFFT spectrum length must be n/2+1")
+	}
+	rp := rplanFor(n)
+	z := make([]complex128, h)
+	// Z[k] = even[k] + i*conj(w[k])*odd[k], the exact inverse of the RFFT
+	// unpacking (note conj(w) because we fold back onto k = 0..h-1).
+	for k := 0; k < h; k++ {
+		xk := spec[k]
+		xc := cmplx.Conj(spec[h-k])
+		even := (xk + xc) * 0.5
+		odd := (xk - xc) * 0.5
+		z[k] = even + complex(0, 1)*cmplx.Conj(rp.w[k])*odd
+	}
+	IFFT(z)
+	out := make([]float64, n)
+	for j := 0; j < h; j++ {
+		out[2*j] = real(z[j])
+		out[2*j+1] = imag(z[j])
+	}
+	return out
+}

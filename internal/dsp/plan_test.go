@@ -1,0 +1,196 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"sync"
+	"testing"
+)
+
+// refDFT is the O(n^2) textbook transform — the uncached reference the
+// plan-backed kernels are checked against. (fft_test.go has a
+// forward-only twin; this one covers both directions.)
+func refDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for t := 0; t < n; t++ {
+			phase := sign * 2 * math.Pi * float64(k) * float64(t) / float64(n)
+			acc += x[t] * cmplx.Exp(complex(0, phase))
+		}
+		if inverse {
+			acc /= complex(float64(n), 0)
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+func testSignal(n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		// Deterministic, broadband, non-symmetric content.
+		x[i] = complex(math.Sin(0.7*float64(i))+0.25*math.Cos(3.1*float64(i)),
+			0.5*math.Sin(1.3*float64(i)+0.2))
+	}
+	return x
+}
+
+// maxRelErr returns the largest |a-b| normalised by the peak magnitude
+// of b, so the tolerance is scale-free.
+func maxRelErr(a, b []complex128) float64 {
+	var peak float64
+	for _, v := range b {
+		if m := cmplx.Abs(v); m > peak {
+			peak = m
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	var worst float64
+	for i := range a {
+		if d := cmplx.Abs(a[i]-b[i]) / peak; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestPlanCacheMatchesReference checks that the cached-plan transforms
+// agree with the uncached naive DFT to 1e-12 for power-of-two and
+// Bluestein (non-power-of-two, including prime) lengths, both directions.
+func TestPlanCacheMatchesReference(t *testing.T) {
+	for _, n := range []int{4, 16, 256, 1024, 6, 100, 360, 997, 1000} {
+		ref := refDFT(testSignal(n), false)
+		got := FFT(testSignal(n))
+		if err := maxRelErr(got, ref); err > 1e-12 {
+			t.Errorf("FFT n=%d: max relative error %.3g > 1e-12", n, err)
+		}
+		refInv := refDFT(testSignal(n), true)
+		gotInv := IFFT(testSignal(n))
+		if err := maxRelErr(gotInv, refInv); err > 1e-12 {
+			t.Errorf("IFFT n=%d: max relative error %.3g > 1e-12", n, err)
+		}
+	}
+}
+
+// TestPlanCacheRepeatable checks that the first (cache-building) call and
+// later (cache-hitting) calls produce bit-identical spectra.
+func TestPlanCacheRepeatable(t *testing.T) {
+	for _, n := range []int{2048, 1000} {
+		first := FFT(testSignal(n))
+		second := FFT(testSignal(n))
+		for k := range first {
+			if first[k] != second[k] {
+				t.Fatalf("n=%d bin %d: cache miss %v != cache hit %v", n, k, first[k], second[k])
+			}
+		}
+	}
+}
+
+// TestPlanCacheConcurrent hammers one length from many goroutines so the
+// race detector can see the cache locking, and checks every goroutine
+// gets the same answer.
+func TestPlanCacheConcurrent(t *testing.T) {
+	const n = 768 // non-power-of-two: exercises the Bluestein tables too
+	want := FFT(testSignal(n))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 16; iter++ {
+				got := FFT(testSignal(n))
+				for k := range got {
+					if got[k] != want[k] {
+						t.Errorf("bin %d: %v != %v", k, got[k], want[k])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestRFFTMatchesFullTransform checks the real-input fast path against
+// the full complex transform for even, odd and Bluestein lengths.
+func TestRFFTMatchesFullTransform(t *testing.T) {
+	for _, n := range []int{8, 64, 4096, 100, 360, 97, 33} {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = math.Sin(0.37*float64(i)) + 0.4*math.Cos(2.9*float64(i)+1)
+		}
+		full := FFTReal(x)
+		got := RFFT(x)
+		if len(got) != n/2+1 {
+			t.Fatalf("n=%d: RFFT returned %d bins, want %d", n, len(got), n/2+1)
+		}
+		if err := maxRelErr(got, full[:n/2+1]); err > 1e-12 {
+			t.Errorf("RFFT n=%d: max relative error %.3g > 1e-12", n, err)
+		}
+		back := IRFFT(got, n)
+		var worst float64
+		for i := range x {
+			if d := math.Abs(back[i] - x[i]); d > worst {
+				worst = d
+			}
+		}
+		if worst > 1e-12 {
+			t.Errorf("IRFFT n=%d: max roundtrip error %.3g > 1e-12", n, worst)
+		}
+	}
+}
+
+// BenchmarkFFT4096Cached measures the steady-state cost of a cached
+// transform. Allocations should be zero once the plan exists — compare
+// with BenchmarkFFT4096ColdCache below, which pays plan construction
+// every iteration.
+func BenchmarkFFT4096Cached(b *testing.B) {
+	x := testSignal(4096)
+	buf := make([]complex128, len(x))
+	FFT(append([]complex128(nil), x...)) // warm the plan
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		FFT(buf)
+	}
+}
+
+// BenchmarkFFT4096ColdCache rebuilds the plan every iteration (by
+// clearing the cache), quantifying what the cache saves.
+func BenchmarkFFT4096ColdCache(b *testing.B) {
+	x := testSignal(4096)
+	buf := make([]complex128, len(x))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		planMu.Lock()
+		planCache = make(map[int]*fftPlan)
+		planMu.Unlock()
+		copy(buf, x)
+		FFT(buf)
+	}
+}
+
+// BenchmarkRFFT4096 measures the real-input fast path on the same length
+// for comparison with BenchmarkFFT4096Cached.
+func BenchmarkRFFT4096(b *testing.B) {
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = math.Sin(0.37 * float64(i))
+	}
+	RFFT(x) // warm the plan
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RFFT(x)
+	}
+}

@@ -36,16 +36,16 @@ func STFT(x []float64, rate float64, fftSize, hop int) *Spectrogram {
 		FFTSize: fftSize,
 		Hop:     hop,
 	}
-	buf := make([]complex128, fftSize)
+	frame := make([]float64, fftSize)
 	for f := 0; f < nFrames; f++ {
 		off := f * hop
 		for i := 0; i < fftSize; i++ {
-			buf[i] = complex(x[off+i]*win[i], 0)
+			frame[i] = x[off+i] * win[i]
 		}
-		FFT(buf)
+		spec := RFFT(frame)
 		row := make([]float64, fftSize/2+1)
 		for k := range row {
-			re, im := real(buf[k]), imag(buf[k])
+			re, im := real(spec[k]), imag(spec[k])
 			p := (re*re + im*im) / gain
 			if k != 0 && k != fftSize/2 {
 				p *= 2 // one-sided spectrum: fold negative frequencies in
@@ -113,20 +113,23 @@ func Welch(x []float64, fftSize int) []float64 {
 	gain := WindowPowerGain(win) * float64(fftSize) * float64(fftSize)
 	psd := make([]float64, fftSize/2+1)
 	frames := 0
-	buf := make([]complex128, fftSize)
-	for off := 0; off+fftSize <= len(x); off += hop {
-		for i := 0; i < fftSize; i++ {
-			buf[i] = complex(x[off+i]*win[i], 0)
-		}
-		FFT(buf)
+	frame := make([]float64, fftSize)
+	accumulate := func() {
+		spec := RFFT(frame)
 		for k := range psd {
-			re, im := real(buf[k]), imag(buf[k])
+			re, im := real(spec[k]), imag(spec[k])
 			p := (re*re + im*im) / gain
 			if k != 0 && k != fftSize/2 {
 				p *= 2
 			}
 			psd[k] += p
 		}
+	}
+	for off := 0; off+fftSize <= len(x); off += hop {
+		for i := 0; i < fftSize; i++ {
+			frame[i] = x[off+i] * win[i]
+		}
+		accumulate()
 		frames++
 	}
 	if frames == 0 {
@@ -137,17 +140,9 @@ func Welch(x []float64, fftSize int) []float64 {
 			if i < n {
 				v = x[i] * win[i]
 			}
-			buf[i] = complex(v, 0)
+			frame[i] = v
 		}
-		FFT(buf)
-		for k := range psd {
-			re, im := real(buf[k]), imag(buf[k])
-			p := (re*re + im*im) / gain
-			if k != 0 && k != fftSize/2 {
-				p *= 2
-			}
-			psd[k] = p
-		}
+		accumulate()
 		return psd
 	}
 	for k := range psd {

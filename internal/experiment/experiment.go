@@ -80,34 +80,22 @@ func (t *Table) CSV(w io.Writer) {
 	}
 }
 
+// serialRunner backs the package-level helpers: a one-worker pool is
+// exactly the serial algorithm, so there is a single implementation of
+// the trial loops (see runner.go) regardless of entry point.
+var serialRunner = NewRunner(1)
+
 // SuccessRate delivers an emission n times (distinct noise trials) and
 // returns the fraction recognised as the wanted command.
 func SuccessRate(s *core.Scenario, rec *asr.Recognizer, e *core.Emission, distance float64, want string, trials int) float64 {
-	ok := 0
-	for i := 0; i < trials; i++ {
-		r := s.Deliver(e, distance, int64(i+1))
-		if rec.InjectionSuccess(r.Recording, want) {
-			ok++
-		}
-	}
-	return float64(ok) / float64(trials)
+	return serialRunner.SuccessRate(s, rec, e, distance, want, trials)
 }
 
 // MaxRange returns the largest distance (metres, on the given grid) at
 // which the success rate stays >= minRate — the paper's "attack range"
 // metric. Returns 0 if even the closest grid point fails.
 func MaxRange(s *core.Scenario, rec *asr.Recognizer, e *core.Emission, want string, grid []float64, trials int, minRate float64) float64 {
-	best := 0.0
-	for _, d := range grid {
-		if SuccessRate(s, rec, e, d, want, trials) >= minRate {
-			if d > best {
-				best = d
-			}
-		} else if best > 0 {
-			break // monotone assumption: once it fails, stop probing
-		}
-	}
-	return best
+	return serialRunner.MaxRange(s, rec, e, want, grid, trials, minRate)
 }
 
 // Recording is one labelled corpus entry for the defense experiments.
@@ -133,6 +121,18 @@ type CorpusConfig struct {
 	AttackDistances []float64
 	// Trials is the number of noise realisations per grid point.
 	Trials int
+	// Runner fans the per-recording deliveries across workers; nil runs
+	// them serially. Trial numbering is fixed before fan-out, so the
+	// corpus is identical either way.
+	Runner *Runner
+}
+
+// runner returns the configured Runner or the serial fallback.
+func (cfg CorpusConfig) runner() *Runner {
+	if cfg.Runner != nil {
+		return cfg.Runner
+	}
+	return serialRunner
 }
 
 // DefaultCorpusConfig returns a balanced corpus of a practical size
@@ -150,9 +150,33 @@ func DefaultCorpusConfig(s *core.Scenario) CorpusConfig {
 	}
 }
 
+// corpusUnit is one planned delivery of the corpus grid: emission,
+// geometry and the pre-assigned trial number that keeps the corpus
+// byte-identical whether the deliveries run serially or fanned out.
+type corpusUnit struct {
+	emission *core.Emission
+	distance float64
+	trial    int64
+	attack   bool
+	label    string
+}
+
+// deliverUnits runs the planned deliveries — the expensive half of
+// corpus generation — on cfg's runner and returns the recordings in
+// plan order.
+func deliverUnits(cfg CorpusConfig, units []corpusUnit) []Recording {
+	out := make([]Recording, len(units))
+	cfg.runner().Each(len(units), func(i int) {
+		u := units[i]
+		r := cfg.Scenario.Deliver(u.emission, u.distance, u.trial)
+		out[i] = Recording{Signal: r.Recording, Attack: u.attack, Label: u.label}
+	})
+	return out
+}
+
 // BuildLegit generates the benign recordings of the corpus.
 func BuildLegit(cfg CorpusConfig) ([]Recording, error) {
-	var out []Recording
+	var units []corpusUnit
 	trial := int64(1)
 	for _, id := range cfg.CommandIDs {
 		cmd, ok := voice.FindCommand(id)
@@ -165,24 +189,24 @@ func BuildLegit(cfg CorpusConfig) ([]Recording, error) {
 				e := cfg.Scenario.EmitVoice(sig, spl)
 				for _, d := range cfg.LegitDistances {
 					for t := 0; t < cfg.Trials; t++ {
-						r := cfg.Scenario.Deliver(e, d, trial)
-						trial++
-						out = append(out, Recording{
-							Signal: r.Recording,
-							Attack: false,
-							Label:  fmt.Sprintf("legit/%s/%s/%.0fdB/%.1fm", id, p.Name, spl, d),
+						units = append(units, corpusUnit{
+							emission: e,
+							distance: d,
+							trial:    trial,
+							label:    fmt.Sprintf("legit/%s/%s/%.0fdB/%.1fm", id, p.Name, spl, d),
 						})
+						trial++
 					}
 				}
 			}
 		}
 	}
-	return out, nil
+	return deliverUnits(cfg, units), nil
 }
 
 // BuildAttacks generates the baseline-attack recordings of the corpus.
 func BuildAttacks(cfg CorpusConfig) ([]Recording, error) {
-	var out []Recording
+	var units []corpusUnit
 	trial := int64(10_001)
 	for _, id := range cfg.CommandIDs {
 		cmd, ok := voice.FindCommand(id)
@@ -197,18 +221,19 @@ func BuildAttacks(cfg CorpusConfig) ([]Recording, error) {
 			}
 			for _, d := range cfg.AttackDistances {
 				for t := 0; t < cfg.Trials; t++ {
-					r := cfg.Scenario.Deliver(e, d, trial)
-					trial++
-					out = append(out, Recording{
-						Signal: r.Recording,
-						Attack: true,
-						Label:  fmt.Sprintf("attack/%s/%.1fW/%.1fm", id, p, d),
+					units = append(units, corpusUnit{
+						emission: e,
+						distance: d,
+						trial:    trial,
+						attack:   true,
+						label:    fmt.Sprintf("attack/%s/%.1fW/%.1fm", id, p, d),
 					})
+					trial++
 				}
 			}
 		}
 	}
-	return out, nil
+	return deliverUnits(cfg, units), nil
 }
 
 // SplitTrainTest deterministically interleaves recordings into train and

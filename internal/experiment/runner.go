@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"inaudible/internal/asr"
+	"inaudible/internal/core"
+)
+
+// Runner fans independent units of work — experiment trials, grid cells,
+// corpus recordings — across a fixed pool of workers. Every unit is
+// seed-isolated (core.Scenario.TrialSeed) and writes only to its own
+// output slot, so results are bit-for-bit identical to a serial run no
+// matter how the scheduler interleaves workers; only the wall clock
+// changes. The experiment suite routes all its per-trial and per-grid
+// loops through one shared Runner.
+//
+// The pool is a counting semaphore of workers-1 tokens shared by every
+// call on the same Runner. The calling goroutine always participates in
+// its own batch, so nested calls (a parallel grid whose cells run
+// parallel trials) can never deadlock: when the pool is exhausted the
+// inner call simply degrades to serial on its caller's goroutine, and
+// total concurrency stays bounded by the worker count instead of
+// multiplying at each nesting level.
+type Runner struct {
+	workers int
+	sem     chan struct{}
+}
+
+// NewRunner returns a Runner with the given pool size. workers <= 0
+// selects GOMAXPROCS; workers == 1 yields a fully serial runner that
+// never spawns a goroutine.
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r := &Runner{workers: workers}
+	if workers > 1 {
+		r.sem = make(chan struct{}, workers-1)
+	}
+	return r
+}
+
+// Workers reports the pool size. A nil Runner is a serial pool of one.
+func (r *Runner) Workers() int {
+	if r == nil {
+		return 1
+	}
+	return r.workers
+}
+
+// Each runs fn(i) for every i in [0, n), fanned across the pool. fn must
+// confine its writes to per-index state (out[i] = ...); under that
+// contract the result is identical to the serial loop `for i := 0; i < n;
+// i++ { fn(i) }`. Each returns when every index has completed. A nil
+// Runner runs serially, so a zero-value Suite (whose runner was never
+// built by NewSuite) still works.
+func (r *Runner) Each(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if r == nil || r.sem == nil || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	// Borrow helpers from the pool while tokens are available; stop at
+	// the first refusal. The caller works regardless, so a batch always
+	// makes progress even with zero tokens (nested call on a saturated
+	// pool).
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < n-1; spawned++ {
+		select {
+		case r.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() { <-r.sem; wg.Done() }()
+				work()
+			}()
+			continue
+		default:
+		}
+		break
+	}
+	work()
+	wg.Wait()
+}
+
+// TrialSpec names one delivery in a batch: which scenario and cached
+// emission, the delivery distance, and the trial index whose derived
+// sub-seed (Scenario.TrialSeed) isolates this trial's noise realisation
+// from every other.
+type TrialSpec struct {
+	Scenario *core.Scenario
+	Emission *core.Emission
+	Distance float64
+	// Trial is the per-trial index fed to Scenario.TrialSeed.
+	Trial int64
+}
+
+// TrialResult is the outcome of one TrialSpec, returned at the spec's
+// position in the input batch.
+type TrialResult struct {
+	// Index is the spec's position in the batch.
+	Index int
+	// Seed is the derived sub-seed the trial ran under.
+	Seed int64
+	// Run is the delivery outcome.
+	Run *core.RunResult
+	// Value carries the eval hook's metric (0 when no hook was given).
+	Value float64
+}
+
+// Run delivers every spec across the pool and returns the results in
+// input order. The optional eval hook runs inside the worker — use it to
+// fold the expensive post-processing (recognition, feature extraction)
+// into the parallel section instead of serialising it on the collector.
+func (r *Runner) Run(specs []TrialSpec, eval func(TrialSpec, *core.RunResult) float64) []TrialResult {
+	out := make([]TrialResult, len(specs))
+	r.Each(len(specs), func(i int) {
+		spec := specs[i]
+		run := spec.Scenario.Deliver(spec.Emission, spec.Distance, spec.Trial)
+		res := TrialResult{Index: i, Seed: spec.Scenario.TrialSeed(spec.Trial), Run: run}
+		if eval != nil {
+			res.Value = eval(spec, run)
+		}
+		out[i] = res
+	})
+	return out
+}
+
+// SuccessRate is the pool-backed twin of the package-level SuccessRate:
+// it delivers the emission over trials distinct noise realisations
+// (trial indices 1..trials, matching the serial helper exactly) and
+// returns the fraction recognised as the wanted command.
+func (r *Runner) SuccessRate(s *core.Scenario, rec *asr.Recognizer, e *core.Emission, distance float64, want string, trials int) float64 {
+	specs := make([]TrialSpec, trials)
+	for i := range specs {
+		specs[i] = TrialSpec{Scenario: s, Emission: e, Distance: distance, Trial: int64(i + 1)}
+	}
+	ok := 0
+	for _, res := range r.Run(specs, func(_ TrialSpec, run *core.RunResult) float64 {
+		if rec.InjectionSuccess(run.Recording, want) {
+			return 1
+		}
+		return 0
+	}) {
+		if res.Value > 0 {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials)
+}
+
+// MaxRange is the pool-backed twin of the package-level MaxRange. Grid
+// points are probed in blocks of the pool size; after each block the
+// serial scan (largest distance sustaining minRate before the first
+// post-success failure) decides whether to keep probing. The answer
+// matches the serial early-exit probe exactly, and a one-worker runner
+// degenerates to precisely the serial algorithm including its early
+// exit.
+func (r *Runner) MaxRange(s *core.Scenario, rec *asr.Recognizer, e *core.Emission, want string, grid []float64, trials int, minRate float64) float64 {
+	rates := make([]float64, len(grid))
+	best := 0.0
+	block := r.Workers()
+	for start := 0; start < len(grid); start += block {
+		end := start + block
+		if end > len(grid) {
+			end = len(grid)
+		}
+		r.Each(end-start, func(j int) {
+			rates[start+j] = r.SuccessRate(s, rec, e, grid[start+j], want, trials)
+		})
+		for i := start; i < end; i++ {
+			if rates[i] >= minRate {
+				if grid[i] > best {
+					best = grid[i]
+				}
+			} else if best > 0 {
+				return best // monotone assumption, as in the serial probe
+			}
+		}
+	}
+	return best
+}

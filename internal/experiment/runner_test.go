@@ -1,0 +1,237 @@
+package experiment
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/core"
+	"inaudible/internal/defense"
+	"inaudible/internal/voice"
+)
+
+// TestRunnerEachOrderAndCoverage checks that Each visits every index
+// exactly once and that per-index writes land at their own slot, for
+// pool sizes spanning serial to oversubscribed.
+func TestRunnerEachOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 64} {
+		r := NewRunner(workers)
+		const n = 100
+		out := make([]int, n)
+		r.Each(n, func(i int) { out[i] = i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestRunnerNestedDoesNotDeadlock drives nested Each calls deeper than
+// the pool size; inner calls must degrade to the caller's goroutine
+// instead of blocking on pool tokens.
+func TestRunnerNestedDoesNotDeadlock(t *testing.T) {
+	r := NewRunner(4)
+	var mu sync.Mutex
+	seen := make(map[[3]int]bool)
+	r.Each(6, func(i int) {
+		r.Each(6, func(j int) {
+			r.Each(3, func(k int) {
+				mu.Lock()
+				seen[[3]int{i, j, k}] = true
+				mu.Unlock()
+			})
+		})
+	})
+	if len(seen) != 6*6*3 {
+		t.Fatalf("nested Each covered %d of %d cells", len(seen), 6*6*3)
+	}
+}
+
+// TestNilRunnerIsSerial pins the zero-value contract: a Suite built
+// without NewSuite has a nil runner, and every pool entry point must
+// degrade to serial instead of panicking (the seed's zero-value Suite
+// was usable; see the facade's ExperimentSuite re-export).
+func TestNilRunnerIsSerial(t *testing.T) {
+	var r *Runner
+	if r.Workers() != 1 {
+		t.Fatalf("nil runner Workers() = %d, want 1", r.Workers())
+	}
+	out := make([]int, 5)
+	r.Each(5, func(i int) { out[i] = i + 1 })
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("nil runner Each: out[%d] = %d", i, v)
+		}
+	}
+	var s Suite
+	rows, err := s.parallelRows(3, func(i int) ([]interface{}, error) {
+		return []interface{}{i * 2}, nil
+	})
+	if err != nil || len(rows) != 3 || rows[2][0] != 4 {
+		t.Fatalf("zero-value suite parallelRows: rows=%v err=%v", rows, err)
+	}
+}
+
+// TestRunnerZeroAndOne covers the degenerate batch sizes.
+func TestRunnerZeroAndOne(t *testing.T) {
+	r := NewRunner(8)
+	r.Each(0, func(int) { t.Fatal("fn called for empty batch") })
+	called := 0
+	r.Each(1, func(i int) { called++ })
+	if called != 1 {
+		t.Fatalf("Each(1) called fn %d times", called)
+	}
+	if NewRunner(0).Workers() < 1 {
+		t.Fatal("NewRunner(0) must select at least one worker")
+	}
+}
+
+// TestRunnerSuccessRateMatchesSerial checks the pool-backed helpers
+// against the package-level serial ones on a real emission.
+func TestRunnerSuccessRateMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs a full emission build")
+	}
+	s := core.DefaultScenario()
+	rec := core.NewRecognizer(voice.DefaultVoice())
+	sig := voice.MustSynthesize("alexa, play music", voice.DefaultVoice(), 48000)
+	e, _, err := s.Simulate(sig, core.KindBaseline, 18.7, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(8)
+	serial := SuccessRate(s, rec, e, 1.5, "music", 3)
+	parallel := r.SuccessRate(s, rec, e, 1.5, "music", 3)
+	if serial != parallel {
+		t.Errorf("SuccessRate: serial %v != parallel %v", serial, parallel)
+	}
+	grid := []float64{1.5, 8, 10}
+	if sr, pr := MaxRange(s, rec, e, "music", grid, 1, 0.5), r.MaxRange(s, rec, e, "music", grid, 1, 0.5); sr != pr {
+		t.Errorf("MaxRange serial %v != parallel %v", sr, pr)
+	}
+}
+
+// TestParallelOutputByteIdentical is the determinism regression test:
+// for a sample of experiments the parallel engine's rendered tables must
+// be byte-identical to the serial engine's at the same Scenario.Seed.
+// E1 exercises the demo pipeline, E5 the heaviest success-rate grid,
+// E11 the corpus + classifier path. Both suites are shared across the
+// sample so the expensive fixtures (recogniser, corpus, SVM) are built
+// once per engine, exactly as `-all` amortises them.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full quick-mode experiments")
+	}
+	serialSuite := NewSuite(Options{Quick: true, Seed: 7, Parallel: 1})
+	parallelSuite := NewSuite(Options{Quick: true, Seed: 7, Parallel: 8})
+	render := func(s *Suite, id string) string {
+		var buf bytes.Buffer
+		if err := s.Run(id, &buf); err != nil {
+			t.Fatalf("%s (parallel=%d): %v", id, s.Runner().Workers(), err)
+		}
+		return buf.String()
+	}
+	for _, id := range []string{"E1", "E5", "E11"} {
+		serial := render(serialSuite, id)
+		parallel := render(parallelSuite, id)
+		if serial != parallel {
+			t.Errorf("%s output differs between serial and 8-worker runs:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial, parallel)
+		}
+		if serial == "" {
+			t.Errorf("%s produced no output", id)
+		}
+	}
+}
+
+// TestRunnerRaceSharedSuite drives the Runner with >= 8 workers whose
+// concurrent trials share one Suite's cached corpus and classifier —
+// the shared-asset access pattern every parallel experiment has. Run
+// under -race this is the suite's race-coverage test. A synthetic
+// mini-corpus is injected in place of the physics-heavy real one so the
+// test stays cheap enough for short mode even with the race detector's
+// overhead; the sharing pattern (read-only corpus/classifier hit from
+// every worker) is identical.
+func TestRunnerRaceSharedSuite(t *testing.T) {
+	s := NewSuite(Options{Quick: true, Seed: 3, Parallel: 8})
+	if s.Runner().Workers() < 8 {
+		t.Fatalf("runner has %d workers, want >= 8", s.Runner().Workers())
+	}
+	// Inject the synthetic corpus by burning the build-once guard.
+	tone := audio.Tone(48000, 440, 0.05, 0.1)
+	s.corpusOnce.Do(func() {
+		for i := 0; i < 8; i++ {
+			attackLabel := i%2 == 1
+			rec := Recording{Signal: tone, Attack: attackLabel}
+			s.testRecs = append(s.testRecs, rec)
+			x := defense.Extract(tone).Vector()
+			x[0] += float64(i) // separate the classes a little
+			if attackLabel {
+				x[0] += 100
+			}
+			s.train = append(s.train, defense.Sample{X: x, Attack: attackLabel})
+			s.test = append(s.test, defense.Sample{X: x, Attack: attackLabel})
+		}
+	})
+	svm, err := s.classifier() // trains once on the injected corpus
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent trials: one cheap voice emission delivered 16 times on
+	// 8 workers, every eval touching the shared suite assets.
+	sc := s.scenario()
+	e := sc.EmitVoice(tone, 60)
+	specs := make([]TrialSpec, 16)
+	for i := range specs {
+		specs[i] = TrialSpec{Scenario: sc, Emission: e, Distance: 1.5, Trial: int64(i + 1)}
+	}
+	eval := func(_ TrialSpec, run *core.RunResult) float64 {
+		if err := s.corpus(); err != nil { // idempotent shared access
+			t.Error(err)
+			return -1
+		}
+		v := defense.Extract(run.Recording).Vector()
+		n := 0.0
+		if svm.Predict(v) {
+			n = 1
+		}
+		return n + float64(len(s.testRecs))
+	}
+	parallel := s.Runner().Run(specs, eval)
+	serial := serialRunner.Run(specs, eval)
+	for i := range specs {
+		if parallel[i].Value != serial[i].Value {
+			t.Fatalf("trial %d: parallel value %v != serial value %v",
+				i, parallel[i].Value, serial[i].Value)
+		}
+		if parallel[i].Seed != sc.TrialSeed(specs[i].Trial) {
+			t.Fatalf("trial %d: seed %d, want %d", i, parallel[i].Seed, sc.TrialSeed(specs[i].Trial))
+		}
+	}
+}
+
+// BenchmarkE5Serial and BenchmarkE5Parallel quantify the trial engine:
+// the acceptance bar is >= 2x wall-clock speedup with all cores on the
+// E5 success-rate grid. Run with:
+//
+//	go test ./internal/experiment -bench 'E5Serial|E5Parallel' -benchtime 1x
+func benchmarkE5(b *testing.B, parallel int) {
+	s := NewSuite(Options{Quick: true, Seed: 1, Parallel: parallel})
+	var buf bytes.Buffer
+	if err := s.Run("E5", &buf); err != nil { // warm fixtures outside the timer
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Run("E5", io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5Serial(b *testing.B)   { benchmarkE5(b, 1) }
+func BenchmarkE5Parallel(b *testing.B) { benchmarkE5(b, 0) }

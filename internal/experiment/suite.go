@@ -26,13 +26,21 @@ type Options struct {
 	Quick bool
 	// Seed feeds every scenario.
 	Seed int64
+	// Parallel is the trial-engine pool size: 0 selects GOMAXPROCS, 1
+	// forces serial execution. Output is byte-identical across pool
+	// sizes at a fixed Seed; only the wall clock changes.
+	Parallel int
 }
 
 // Suite lazily builds and caches the expensive shared assets (recogniser,
 // emissions, corpus, classifiers) across experiments, so `-all` does not
-// pay for them repeatedly.
+// pay for them repeatedly. One Suite may serve concurrent trials: the
+// cached assets are read-only once built, and all fan-out goes through
+// the suite's Runner.
 type Suite struct {
 	Opt Options
+
+	runner *Runner
 
 	once    sync.Once
 	rec     *asr.Recognizer
@@ -55,8 +63,12 @@ func NewSuite(opt Options) *Suite {
 	if opt.Seed == 0 {
 		opt.Seed = 1
 	}
-	return &Suite{Opt: opt}
+	return &Suite{Opt: opt, runner: NewRunner(opt.Parallel)}
 }
+
+// Runner exposes the suite's trial engine, e.g. for driving ad-hoc
+// sweeps with the same pool the experiments use.
+func (s *Suite) Runner() *Runner { return s.runner }
 
 // IDs lists the experiment identifiers in run order.
 func IDs() []string {
@@ -141,6 +153,7 @@ func (s *Suite) corpus() error {
 	s.corpusOnce.Do(func() {
 		s.fixtures()
 		cfg := DefaultCorpusConfig(s.scenario())
+		cfg.Runner = s.runner
 		if s.Opt.Quick {
 			cfg.CommandIDs = []string{"photo"}
 			cfg.Profiles = voice.Profiles()[:2]
@@ -163,14 +176,20 @@ func (s *Suite) corpus() error {
 		all := append(legit, attacks...)
 		trainRecs, testRecs := SplitTrainTest(all)
 		s.testRecs = testRecs
-		for _, r := range trainRecs {
-			s.train = append(s.train, defense.Sample{X: defense.Extract(r.Signal).Vector(), Attack: r.Attack})
-		}
-		for _, r := range testRecs {
-			s.test = append(s.test, defense.Sample{X: defense.Extract(r.Signal).Vector(), Attack: r.Attack})
-		}
+		s.train = extractSamples(s.runner, trainRecs)
+		s.test = extractSamples(s.runner, testRecs)
 	})
 	return s.corpusErr
+}
+
+// extractSamples computes feature vectors for a recording set on the
+// pool, preserving input order.
+func extractSamples(r *Runner, recs []Recording) []defense.Sample {
+	out := make([]defense.Sample, len(recs))
+	r.Each(len(recs), func(i int) {
+		out[i] = defense.Sample{X: defense.Extract(recs[i].Signal).Vector(), Attack: recs[i].Attack}
+	})
+	return out
 }
 
 // classifier trains (once) the experiment SVM on the corpus.
@@ -210,23 +229,41 @@ func (s *Suite) runE1(w io.Writer) error {
 		Title:   "E1 demo: 'ok google, take a picture' at 2 m, 18.7 W, fc=30 kHz",
 		Columns: []string{"signal", "rate_hz", "dur_s", "share<20kHz", "share>20kHz", "peak"},
 	}
-	t.AddRow("normal voice", s.cmdSig.Rate, s.cmdSig.Duration(),
-		bandShare(s.cmdSig, 0, 20000), bandShare(s.cmdSig, 20000, s.cmdSig.Rate/2), s.cmdSig.Peak())
-	t.AddRow("attack ultrasound", atk.Rate, atk.Duration(),
-		bandShare(atk, 0, 20000), bandShare(atk, 20000, atk.Rate/2), atk.Peak())
-	t.AddRow("mic recording", run.Recording.Rate, run.Recording.Duration(),
-		bandShare(run.Recording, 0, 20000), bandShare(run.Recording, 20000, run.Recording.Rate/2),
-		run.Recording.Peak())
+	signals := []struct {
+		name string
+		sig  *audio.Signal
+	}{
+		{"normal voice", s.cmdSig},
+		{"attack ultrasound", atk},
+		{"mic recording", run.Recording},
+	}
+	rows, _ := s.parallelRows(len(signals), func(i int) ([]interface{}, error) {
+		sig := signals[i].sig
+		return []interface{}{signals[i].name, sig.Rate, sig.Duration(),
+			bandShare(sig, 0, 20000), bandShare(sig, 20000, sig.Rate/2), sig.Peak()}, nil
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
 	t.Render(w)
 
 	// Does the recording carry the command? Envelope correlation + ASR.
-	ref := s.cmdSig.Clone()
-	ref.Samples = dsp.LowPassFIR(511, 8000/ref.Rate).Apply(ref.Samples)
-	envA := dsp.SmoothedEnvelope(ref.Samples, ref.Rate, 24)
-	recAt48 := run.Recording.Resampled(48000)
-	envB := dsp.SmoothedEnvelope(recAt48.Samples, 48000, 24)
-	corr, _ := dsp.MaxCorrelationLag(envA, envB, 4800)
-	res := s.rec.Recognize(run.Recording)
+	// The two verdicts are independent, so they share the pool.
+	var corr float64
+	var res asr.Result
+	s.runner.Each(2, func(i int) {
+		switch i {
+		case 0:
+			ref := s.cmdSig.Clone()
+			ref.Samples = dsp.LowPassFIR(511, 8000/ref.Rate).Apply(ref.Samples)
+			envA := dsp.SmoothedEnvelope(ref.Samples, ref.Rate, 24)
+			recAt48 := run.Recording.Resampled(48000)
+			envB := dsp.SmoothedEnvelope(recAt48.Samples, 48000, 24)
+			corr, _ = dsp.MaxCorrelationLag(envA, envB, 4800)
+		case 1:
+			res = s.rec.Recognize(run.Recording)
+		}
+	})
 	t2 := &Table{Title: "E1 verdicts", Columns: []string{"metric", "value"}}
 	t2.AddRow("envelope correlation (recording vs voice)", corr)
 	t2.AddRow("ASR recognised as", res.CommandID)
@@ -252,13 +289,20 @@ func (s *Suite) runE2(w io.Writer) error {
 		Columns: []string{"power_w", "leak_spl_dba", "margin_db", "audible", "success@3m"},
 	}
 	trials := s.trials(5)
-	for _, p := range powers {
+	rows, err := s.parallelRows(len(powers), func(i int) ([]interface{}, error) {
+		p := powers[i]
 		e, _, err := sc.Simulate(s.cmdSig, core.KindBaseline, p, 3, 0)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		sr := SuccessRate(sc, s.rec, e, 3, s.command.ID, trials)
-		t.AddRow(p, e.LeakageSPL, e.LeakageMargin, e.LeakageAudible, sr)
+		sr := s.runner.SuccessRate(sc, s.rec, e, 3, s.command.ID, trials)
+		return []interface{}{p, e.LeakageSPL, e.LeakageMargin, e.LeakageAudible, sr}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Render(w)
 	fmt.Fprintln(w, "shape check: leakage grows ~2 dB per dB of power and crosses the")
@@ -286,14 +330,20 @@ func (s *Suite) runE3(w io.Writer) error {
 		return err
 	}
 	t.AddRow(1, 16000.0, eb.LeakageSPL, eb.LeakageMargin, eb.LeakageAudible)
-	for _, n := range segs {
+	rows, err := s.parallelRows(len(segs), func(i int) ([]interface{}, error) {
 		o := attack.DefaultLongRangeOptions()
-		o.NumSegments = n
+		o.NumSegments = segs[i]
 		e, err := sc.EmitLongRange(s.cmdSig, power, o, speaker.UltrasonicElement)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		t.AddRow(e.Elements, o.SliceWidthHz(), e.LeakageSPL, e.LeakageMargin, e.LeakageAudible)
+		return []interface{}{e.Elements, o.SliceWidthHz(), e.LeakageSPL, e.LeakageMargin, e.LeakageAudible}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Render(w)
 	fmt.Fprintln(w, "shape check: splitting the spectrum drives leakage below the hearing")
@@ -322,14 +372,18 @@ func (s *Suite) runE4(w io.Writer) error {
 		Title:   "E4 word accuracy vs distance (baseline 18.7 W vs long-range 300 W)",
 		Columns: []string{"distance_m", "baseline_wordacc", "longrange_wordacc", "baseline_dist", "longrange_dist"},
 	}
-	for _, d := range dists {
+	rows, _ := s.parallelRows(len(dists), func(i int) ([]interface{}, error) {
+		d := dists[i]
 		rb := sc.Deliver(eb, d, 1)
 		rl := sc.Deliver(el, d, 1)
-		t.AddRow(d,
+		return []interface{}{d,
 			s.rec.WordAccuracy(rb.Recording, s.command.ID),
 			s.rec.WordAccuracy(rl.Recording, s.command.ID),
 			s.rec.Recognize(rb.Recording).Distance,
-			s.rec.Recognize(rl.Recording).Distance)
+			s.rec.Recognize(rl.Recording).Distance}, nil
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Render(w)
 	fmt.Fprintln(w, "shape check: the long-range attack sustains accuracy several times")
@@ -351,25 +405,45 @@ func (s *Suite) runE5(w io.Writer) error {
 		Title:   fmt.Sprintf("E5 injection success rate vs distance (%d trials/point)", trials),
 		Columns: []string{"distance_m", "phone_baseline", "echo_baseline", "phone_longrange", "echo_longrange"},
 	}
-	rates := make(map[string]map[float64]float64)
+	type combo struct {
+		devFn func() *mic.Device
+		kind  core.AttackKind
+	}
+	var combos []combo
 	for _, devFn := range devices {
 		for _, kind := range []core.AttackKind{core.KindBaseline, core.KindLongRange} {
-			sc := s.scenario()
-			sc.Device = devFn()
-			power := 18.7
-			if kind == core.KindLongRange {
-				power = 300
-			}
-			e, _, err := sc.Simulate(s.cmdSig, kind, power, 2, 0)
-			if err != nil {
-				return err
-			}
-			key := sc.Device.Name + "/" + kind.String()
-			rates[key] = make(map[float64]float64)
-			for _, d := range dists {
-				rates[key][d] = SuccessRate(sc, s.rec, e, d, s.command.ID, trials)
-			}
+			combos = append(combos, combo{devFn, kind})
 		}
+	}
+	keys := make([]string, len(combos))
+	perCombo := make([]map[float64]float64, len(combos))
+	errs := make([]error, len(combos))
+	s.runner.Each(len(combos), func(ci int) {
+		c := combos[ci]
+		sc := s.scenario()
+		sc.Device = c.devFn()
+		power := 18.7
+		if c.kind == core.KindLongRange {
+			power = 300
+		}
+		e, _, err := sc.Simulate(s.cmdSig, c.kind, power, 2, 0)
+		if err != nil {
+			errs[ci] = err
+			return
+		}
+		keys[ci] = sc.Device.Name + "/" + c.kind.String()
+		m := make(map[float64]float64)
+		for _, d := range dists {
+			m[d] = s.runner.SuccessRate(sc, s.rec, e, d, s.command.ID, trials)
+		}
+		perCombo[ci] = m
+	})
+	if err := firstError(errs); err != nil {
+		return err
+	}
+	rates := make(map[string]map[float64]float64)
+	for ci, key := range keys {
+		rates[key] = perCombo[ci]
 	}
 	for _, d := range dists {
 		t.AddRow(d,
@@ -403,18 +477,27 @@ func (s *Suite) runE6(w io.Writer) error {
 	}
 	paperPhone := map[float64]float64{9.2: 222, 11.8: 255, 14.8: 277, 18.7: 313, 23.7: 354}
 	paperEcho := map[float64]float64{9.2: 145, 11.8: 168, 14.8: 187, 18.7: 213, 23.7: 239}
-	for _, p := range powers {
-		var ranges [2]float64
-		for i, devFn := range []func() *mic.Device{mic.AndroidPhone, mic.AmazonEcho} {
-			sc := s.scenario()
-			sc.Device = devFn()
-			e, _, err := sc.Simulate(s.cmdSig, core.KindBaseline, p, 2, 0)
-			if err != nil {
-				return err
-			}
-			ranges[i] = MaxRange(sc, s.rec, e, s.command.ID, grid, trials, 0.5) * 100
+	devFns := []func() *mic.Device{mic.AndroidPhone, mic.AmazonEcho}
+	// Flatten power x device into one batch so the pool stays busy even
+	// when one cell's range probe exits early.
+	ranges := make([][2]float64, len(powers))
+	errs := make([]error, len(powers)*len(devFns))
+	s.runner.Each(len(powers)*len(devFns), func(cell int) {
+		pi, di := cell/len(devFns), cell%len(devFns)
+		sc := s.scenario()
+		sc.Device = devFns[di]()
+		e, _, err := sc.Simulate(s.cmdSig, core.KindBaseline, powers[pi], 2, 0)
+		if err != nil {
+			errs[cell] = err
+			return
 		}
-		t.AddRow(p, ranges[0], ranges[1], paperPhone[p], paperEcho[p])
+		ranges[pi][di] = s.runner.MaxRange(sc, s.rec, e, s.command.ID, grid, trials, 0.5) * 100
+	})
+	if err := firstError(errs); err != nil {
+		return err
+	}
+	for pi, p := range powers {
+		t.AddRow(p, ranges[pi][0], ranges[pi][1], paperPhone[p], paperEcho[p])
 	}
 	t.Render(w)
 	fmt.Fprintln(w, "shape check: range grows monotonically with power; Echo < phone at")
@@ -431,33 +514,57 @@ func (s *Suite) runE7(w io.Writer) error {
 		Title:   fmt.Sprintf("E7 success at fixed range (%d trials)", trials),
 		Columns: []string{"setup", "distance_m", "success_rate", "paper"},
 	}
-	// Phone @ 3 m, baseline 18.7 W (paper: 100%).
-	scP := s.scenario()
-	eP, _, err := scP.Simulate(s.cmdSig, core.KindBaseline, 18.7, 3, 0)
-	if err != nil {
+	// The three rigs of the paper's headline results. The Echo command in
+	// the paper is the milk command; use it for fidelity.
+	type setup struct {
+		name     string
+		distance float64
+		paper    string
+		run      func() (float64, error)
+	}
+	setups := []setup{
+		{"phone/baseline/18.7W", 3.0, "1.00", func() (float64, error) {
+			// Phone @ 3 m, baseline 18.7 W (paper: 100%).
+			sc := s.scenario()
+			e, _, err := sc.Simulate(s.cmdSig, core.KindBaseline, 18.7, 3, 0)
+			if err != nil {
+				return 0, err
+			}
+			return s.runner.SuccessRate(sc, s.rec, e, 3, s.command.ID, trials), nil
+		}},
+		{"echo/baseline/18.7W", 2.0, "0.80", func() (float64, error) {
+			// Echo @ 2 m, baseline 18.7 W (paper: 80%).
+			milk, _ := voice.FindCommand("milk")
+			milkSig := voice.MustSynthesize(milk.Text, voice.DefaultVoice(), 48000)
+			sc := s.scenario()
+			sc.Device = mic.AmazonEcho()
+			e, _, err := sc.Simulate(milkSig, core.KindBaseline, 18.7, 2, 0)
+			if err != nil {
+				return 0, err
+			}
+			return s.runner.SuccessRate(sc, s.rec, e, 2, milk.ID, trials), nil
+		}},
+		{"phone/long-range/300W", 7.6, "high", func() (float64, error) {
+			// Long-range @ 7.6 m (25 ft), phone (NSDI headline).
+			sc := s.scenario()
+			e, _, err := sc.Simulate(s.cmdSig, core.KindLongRange, 300, 7.6, 0)
+			if err != nil {
+				return 0, err
+			}
+			return s.runner.SuccessRate(sc, s.rec, e, 7.6, s.command.ID, trials), nil
+		}},
+	}
+	rates := make([]float64, len(setups))
+	errs := make([]error, len(setups))
+	s.runner.Each(len(setups), func(i int) {
+		rates[i], errs[i] = setups[i].run()
+	})
+	if err := firstError(errs); err != nil {
 		return err
 	}
-	t.AddRow("phone/baseline/18.7W", 3.0, SuccessRate(scP, s.rec, eP, 3, s.command.ID, trials), "1.00")
-
-	// Echo @ 2 m, baseline 18.7 W (paper: 80%). The Echo command in the
-	// paper is the milk command; use it for fidelity.
-	milk, _ := voice.FindCommand("milk")
-	milkSig := voice.MustSynthesize(milk.Text, voice.DefaultVoice(), 48000)
-	scE := s.scenario()
-	scE.Device = mic.AmazonEcho()
-	eE, _, err := scE.Simulate(milkSig, core.KindBaseline, 18.7, 2, 0)
-	if err != nil {
-		return err
+	for i, st := range setups {
+		t.AddRow(st.name, st.distance, rates[i], st.paper)
 	}
-	t.AddRow("echo/baseline/18.7W", 2.0, SuccessRate(scE, s.rec, eE, 2, milk.ID, trials), "0.80")
-
-	// Long-range @ 7.6 m (25 ft), phone (NSDI headline).
-	scL := s.scenario()
-	eL, _, err := scL.Simulate(s.cmdSig, core.KindLongRange, 300, 7.6, 0)
-	if err != nil {
-		return err
-	}
-	t.AddRow("phone/long-range/300W", 7.6, SuccessRate(scL, s.rec, eL, 7.6, s.command.ID, trials), "high")
 	t.Render(w)
 	return nil
 }
@@ -477,16 +584,23 @@ func (s *Suite) runE8(w io.Writer) error {
 		Title:   "E8a carrier frequency ablation (baseline, 18.7 W, 3 m)",
 		Columns: []string{"carrier_hz", "asr_dist@3m", "wordacc@3m", "leak_margin_db"},
 	}
-	for _, fc := range freqs {
+	rows, err := s.parallelRows(len(freqs), func(i int) ([]interface{}, error) {
+		fc := freqs[i]
 		o := attack.DefaultBaselineOptions()
 		o.CarrierHz = fc
 		e, err := sc.EmitBaseline(s.cmdSig, 18.7, o, speaker.FostexTweeter())
 		if err != nil {
-			return err
+			return nil, err
 		}
 		r := sc.Deliver(e, 3, 1)
-		t.AddRow(fc, s.rec.Recognize(r.Recording).Distance,
-			s.rec.WordAccuracy(r.Recording, s.command.ID), e.LeakageMargin)
+		return []interface{}{fc, s.rec.Recognize(r.Recording).Distance,
+			s.rec.WordAccuracy(r.Recording, s.command.ID), e.LeakageMargin}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Render(w)
 	fmt.Fprintln(w, "shape check: higher carriers suffer more atmospheric absorption and")
@@ -501,15 +615,21 @@ func (s *Suite) runE8(w io.Writer) error {
 		Title:   "E8b segment-count ablation (long-range, 300 W, 5 m)",
 		Columns: []string{"segments", "slice_width_hz", "asr_dist@5m", "leak_margin_db"},
 	}
-	for _, n := range segs {
+	rows2, err := s.parallelRows(len(segs), func(i int) ([]interface{}, error) {
 		o := attack.DefaultLongRangeOptions()
-		o.NumSegments = n
+		o.NumSegments = segs[i]
 		e, err := sc.EmitLongRange(s.cmdSig, 300, o, speaker.UltrasonicElement)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		r := sc.Deliver(e, 5, 1)
-		t2.AddRow(n, o.SliceWidthHz(), s.rec.Recognize(r.Recording).Distance, e.LeakageMargin)
+		return []interface{}{segs[i], o.SliceWidthHz(), s.rec.Recognize(r.Recording).Distance, e.LeakageMargin}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows2 {
+		t2.AddRow(row...)
 	}
 	t2.Render(w)
 
@@ -519,15 +639,21 @@ func (s *Suite) runE8(w io.Writer) error {
 		Title:   "E8c carrier power fraction ablation (long-range, 300 W, 5 m; 0 = auto)",
 		Columns: []string{"carrier_frac", "asr_dist@5m", "recording_rms"},
 	}
-	for _, cf := range fracs {
+	rows3, err := s.parallelRows(len(fracs), func(i int) ([]interface{}, error) {
 		o := attack.DefaultLongRangeOptions()
-		o.CarrierPowerFraction = cf
+		o.CarrierPowerFraction = fracs[i]
 		e, err := sc.EmitLongRange(s.cmdSig, 300, o, speaker.UltrasonicElement)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		r := sc.Deliver(e, 5, 1)
-		t3.AddRow(cf, s.rec.Recognize(r.Recording).Distance, r.Recording.RMS())
+		return []interface{}{fracs[i], s.rec.Recognize(r.Recording).Distance, r.Recording.RMS()}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows3 {
+		t3.AddRow(row...)
 	}
 	t3.Render(w)
 	return nil
@@ -562,13 +688,16 @@ func (s *Suite) featureDistTable(w io.Writer, title string, pick func(defense.Fe
 	if err := s.corpus(); err != nil {
 		return err
 	}
+	vals := make([]float64, len(s.testRecs))
+	s.runner.Each(len(s.testRecs), func(i int) {
+		vals[i] = pick(defense.Extract(s.testRecs[i].Signal))
+	})
 	var legit, attackVals []float64
-	for _, r := range s.testRecs {
-		v := pick(defense.Extract(r.Signal))
+	for i, r := range s.testRecs {
 		if r.Attack {
-			attackVals = append(attackVals, v)
+			attackVals = append(attackVals, vals[i])
 		} else {
-			legit = append(legit, v)
+			legit = append(legit, vals[i])
 		}
 	}
 	t := &Table{Title: title, Columns: []string{"class", "n", "mean", "std", "min", "max"}}
@@ -613,13 +742,15 @@ func (s *Suite) runE11(w io.Writer) error {
 		return err
 	}
 	evalModel := func(name string, predict func([]float64) bool, score func([]float64) float64) {
-		var pred, truth []bool
-		var scores []float64
-		for _, smp := range s.test {
-			pred = append(pred, predict(smp.X))
-			truth = append(truth, smp.Attack)
-			scores = append(scores, score(smp.X))
-		}
+		pred := make([]bool, len(s.test))
+		truth := make([]bool, len(s.test))
+		scores := make([]float64, len(s.test))
+		s.runner.Each(len(s.test), func(i int) {
+			smp := s.test[i]
+			pred[i] = predict(smp.X)
+			truth[i] = smp.Attack
+			scores[i] = score(smp.X)
+		})
 		m := defense.Evaluate(pred, truth)
 		auc := defense.AUC(defense.ROC(scores, truth))
 		t := &Table{
@@ -640,7 +771,9 @@ func (s *Suite) runE11(w io.Writer) error {
 		Columns: []string{"feature", "auc"},
 	}
 	all := append(append([]defense.Sample{}, s.train...), s.test...)
-	for i, name := range defense.FeatureNames() {
+	names := defense.FeatureNames()
+	aucs := make([]float64, len(names))
+	s.runner.Each(len(names), func(i int) {
 		var scores []float64
 		var truth []bool
 		for _, smp := range all {
@@ -651,7 +784,10 @@ func (s *Suite) runE11(w io.Writer) error {
 		if auc < 0.5 {
 			auc = 1 - auc
 		}
-		ta.AddRow(name, auc)
+		aucs[i] = auc
+	})
+	for i, name := range names {
+		ta.AddRow(name, aucs[i])
 	}
 	ta.Render(w)
 	fmt.Fprintln(w, "shape check: near-perfect separation (paper reports ~99% accuracy);")
@@ -686,7 +822,9 @@ func (s *Suite) runE12(w io.Writer) error {
 		{"child talker", 40, 66, voice.Profiles()[4], 2},
 		{"distant quiet talker", 40, 60, voice.DefaultVoice(), 3.5},
 	}
-	for _, c := range conditions {
+	fpRates := make([][2]int, len(conditions)) // {false positives, n}
+	s.runner.Each(len(conditions), func(ci int) {
+		c := conditions[ci]
 		sc := s.scenario()
 		sc.AmbientSPL = c.ambient
 		fp, n := 0, 0
@@ -694,14 +832,26 @@ func (s *Suite) runE12(w io.Writer) error {
 			cmd, _ := voice.FindCommand(id)
 			sig := voice.MustSynthesize(cmd.Text, c.profile, 48000)
 			e := sc.EmitVoice(sig, c.spl)
-			for tr := 0; tr < trials; tr++ {
-				r := sc.Deliver(e, c.dist, int64(100+tr))
-				if svm.Predict(defense.Extract(r.Recording).Vector()) {
+			specs := make([]TrialSpec, trials)
+			for tr := range specs {
+				specs[tr] = TrialSpec{Scenario: sc, Emission: e, Distance: c.dist, Trial: int64(100 + tr)}
+			}
+			for _, res := range s.runner.Run(specs, func(_ TrialSpec, run *core.RunResult) float64 {
+				if svm.Predict(defense.Extract(run.Recording).Vector()) {
+					return 1
+				}
+				return 0
+			}) {
+				if res.Value > 0 {
 					fp++
 				}
 				n++
 			}
 		}
+		fpRates[ci] = [2]int{fp, n}
+	})
+	for ci, c := range conditions {
+		fp, n := fpRates[ci][0], fpRates[ci][1]
 		t.AddRow(c.name, n, float64(fp)/float64(n))
 	}
 	t.Render(w)
@@ -722,44 +872,65 @@ func (s *Suite) runE13(w io.Writer) error {
 	}
 	s.fixtures()
 	sc := s.scenario()
-	errs := []float64{0, 0.1, 0.25, 0.5, 1.0}
+	errsGrid := []float64{0, 0.1, 0.25, 0.5, 1.0}
 	if s.Opt.Quick {
-		errs = []float64{0, 0.5, 1.0}
+		errsGrid = []float64{0, 0.5, 1.0}
 	}
 	trials := s.trials(5)
 	t := &Table{
 		Title:   "E13 adaptive attacker: trace cancellation vs detection",
 		Columns: []string{"est_error", "trace_snr", "high_snr", "svm_detect", "threshold_detect", "asr_success"},
 	}
-	for _, eps := range errs {
+	type e13Trial struct {
+		trace, high    float64
+		svm, thr, succ bool
+	}
+	rows, err := s.parallelRows(len(errsGrid), func(i int) ([]interface{}, error) {
+		eps := errsGrid[i]
 		o := attack.DefaultAdaptiveOptions()
 		o.EstimationError = eps
 		drive, err := attack.AdaptiveBaseline(s.cmdSig, o)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		em := speaker.FostexTweeter().Emit(drive, 18.7)
 		e := &core.Emission{Field: em}
-		detSVM, detThr, succ := 0, 0, 0
-		var traceSum, highSum float64
-		for tr := 0; tr < trials; tr++ {
+		res := make([]e13Trial, trials)
+		s.runner.Each(trials, func(tr int) {
 			r := sc.Deliver(e, 2, int64(200+tr))
 			f := defense.Extract(r.Recording)
-			traceSum += f.TraceSNR
-			highSum += f.HighSNR
-			if svm.Predict(f.Vector()) {
+			res[tr] = e13Trial{
+				trace: f.TraceSNR,
+				high:  f.HighSNR,
+				svm:   svm.Predict(f.Vector()),
+				thr:   thr.Predict(f.Vector()),
+				succ:  s.rec.InjectionSuccess(r.Recording, s.command.ID),
+			}
+		})
+		detSVM, detThr, succ := 0, 0, 0
+		var traceSum, highSum float64
+		for _, tr := range res {
+			traceSum += tr.trace
+			highSum += tr.high
+			if tr.svm {
 				detSVM++
 			}
-			if thr.Predict(f.Vector()) {
+			if tr.thr {
 				detThr++
 			}
-			if s.rec.InjectionSuccess(r.Recording, s.command.ID) {
+			if tr.succ {
 				succ++
 			}
 		}
-		t.AddRow(eps, traceSum/float64(trials), highSum/float64(trials),
-			float64(detSVM)/float64(trials), float64(detThr)/float64(trials),
-			float64(succ)/float64(trials))
+		return []interface{}{eps, traceSum / float64(trials), highSum / float64(trials),
+			float64(detSVM) / float64(trials), float64(detThr) / float64(trials),
+			float64(succ) / float64(trials)}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Render(w)
 	fmt.Fprintln(w, "shape check: cancelling the low band cannot remove the high-band m^2")
@@ -767,6 +938,30 @@ func (s *Suite) runE13(w io.Writer) error {
 	fmt.Fprintln(w, "feature against another) keeps firing even for an oracle attacker;")
 	fmt.Fprintln(w, "a small-corpus SVM may under-weight the high band (train full-size).")
 	return nil
+}
+
+// firstError returns the first non-nil error of a per-cell error slice,
+// mirroring the first error a serial loop would have returned.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parallelRows evaluates n table rows on the suite's pool, preserving
+// row order; on failure it reports the lowest-index error, matching the
+// abort order of the serial loop it replaces.
+func (s *Suite) parallelRows(n int, cell func(int) ([]interface{}, error)) ([][]interface{}, error) {
+	rows := make([][]interface{}, n)
+	errs := make([]error, n)
+	s.runner.Each(n, func(i int) { rows[i], errs[i] = cell(i) })
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return rows, nil
 }
 
 // ---- misc ----

@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestTableRenderGolden pins the exact rendered form of a mixed-type
+// table: column alignment grows to the widest cell, floats format with
+// %.4g, the separator matches the column widths, and trailing spaces are
+// trimmed.
+func TestTableRenderGolden(t *testing.T) {
+	tb := &Table{
+		Title:   "golden",
+		Columns: []string{"name", "value", "ok"},
+	}
+	tb.AddRow("short", 1.0, true)
+	tb.AddRow("a-much-longer-name", 123.456789, false)
+	tb.AddRow("tiny", 0.000123456, true)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	want := "== golden ==\n" +
+		"name                value      ok\n" +
+		"------------------  ---------  -----\n" +
+		"short               1          true\n" +
+		"a-much-longer-name  123.5      false\n" +
+		"tiny                0.0001235  true\n"
+	if buf.String() != want {
+		t.Errorf("Render mismatch:\n--- got ---\n%q\n--- want ---\n%q", buf.String(), want)
+	}
+}
+
+// TestTableRenderNoTitleEmptyRows pins the edge case of a table with no
+// title and no rows: just the header and separator, no "== ==" line.
+func TestTableRenderNoTitleEmptyRows(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "long-column"}}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	want := "a  long-column\n" +
+		"-  -----------\n"
+	if buf.String() != want {
+		t.Errorf("Render mismatch:\n--- got ---\n%q\n--- want ---\n%q", buf.String(), want)
+	}
+}
+
+// TestTableRenderShortRow pins rendering of a row with fewer cells than
+// columns — extra columns stay empty rather than panicking.
+func TestTableRenderShortRow(t *testing.T) {
+	tb := &Table{Columns: []string{"x", "y"}}
+	tb.AddRow("only")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	want := "x     y\n" +
+		"----  -\n" +
+		"only\n"
+	if buf.String() != want {
+		t.Errorf("Render mismatch:\n--- got ---\n%q\n--- want ---\n%q", buf.String(), want)
+	}
+}
+
+// TestTableCSVGolden pins the CSV form: no alignment padding, header
+// first, %.4g floats, %v for everything else.
+func TestTableCSVGolden(t *testing.T) {
+	tb := &Table{Title: "ignored-in-csv", Columns: []string{"power_w", "rate", "audible"}}
+	tb.AddRow(18.7, 0.98765, true)
+	tb.AddRow(300, "n/a", false)
+	var buf bytes.Buffer
+	tb.CSV(&buf)
+	want := "power_w,rate,audible\n" +
+		"18.7,0.9877,true\n" +
+		"300,n/a,false\n"
+	if buf.String() != want {
+		t.Errorf("CSV mismatch:\n--- got ---\n%q\n--- want ---\n%q", buf.String(), want)
+	}
+}
+
+// TestTableCSVEmpty pins CSV output for a row-less table: header only.
+func TestTableCSVEmpty(t *testing.T) {
+	tb := &Table{Columns: []string{"a", "b"}}
+	var buf bytes.Buffer
+	tb.CSV(&buf)
+	if got, want := buf.String(), "a,b\n"; got != want {
+		t.Errorf("CSV mismatch: got %q want %q", got, want)
+	}
+}
+
+// TestAddRowFormatting pins AddRow's type dispatch: float64 through
+// %.4g, every other type through %v.
+func TestAddRowFormatting(t *testing.T) {
+	tb := &Table{Columns: []string{"c"}}
+	tb.AddRow(1234567.89)   // float64: %.4g -> scientific
+	tb.AddRow(float32(1.5)) // not float64: %v
+	tb.AddRow(42)           // int: %v
+	tb.AddRow(math.Inf(1))  // float64: %.4g of +Inf
+	wants := []string{"1.235e+06", "1.5", "42", "+Inf"}
+	for i, want := range wants {
+		if got := tb.Rows[i][0]; got != want {
+			t.Errorf("row %d: got %q want %q", i, got, want)
+		}
+	}
+}
+
+// TestSummarize pins the distribution summary used by the E9/E10
+// feature tables, including the empty-input edge case.
+func TestSummarize(t *testing.T) {
+	d := summarize([]float64{2, 4, 6})
+	if d.n != 3 || d.mean != 4 || d.min != 2 || d.max != 6 {
+		t.Errorf("summarize([2 4 6]) = %+v", d)
+	}
+	if want := math.Sqrt(8.0 / 3.0); math.Abs(d.std-want) > 1e-12 {
+		t.Errorf("std = %v, want %v", d.std, want)
+	}
+
+	one := summarize([]float64{-1.5})
+	if one.n != 1 || one.mean != -1.5 || one.min != -1.5 || one.max != -1.5 || one.std != 0 {
+		t.Errorf("summarize([-1.5]) = %+v", one)
+	}
+
+	empty := summarize(nil)
+	if empty.n != 0 {
+		t.Errorf("summarize(nil).n = %d", empty.n)
+	}
+	if !math.IsInf(empty.min, 1) || !math.IsInf(empty.max, -1) {
+		t.Errorf("summarize(nil) min/max = %v/%v, want +Inf/-Inf", empty.min, empty.max)
+	}
+	if empty.mean != 0 || empty.std != 0 {
+		t.Errorf("summarize(nil) mean/std = %v/%v, want 0/0", empty.mean, empty.std)
+	}
+}

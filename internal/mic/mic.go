@@ -162,24 +162,17 @@ func (d *Device) applyBodyFilter(sig *audio.Signal) {
 		return
 	}
 	size := dsp.NextPowerOfTwo(n)
-	spec := make([]complex128, size)
-	for i, v := range sig.Samples {
-		spec[i] = complex(v, 0)
-	}
-	dsp.FFT(spec)
-	half := size / 2
-	for k := 0; k <= half; k++ {
+	padded := make([]float64, size)
+	copy(padded, sig.Samples)
+	// The input is real and the gain curve is real and symmetric, so the
+	// whole filter runs on the one-sided spectrum at half the transform
+	// cost (dsp.RFFT reuses the cached FFT plan for this length).
+	spec := dsp.RFFT(padded)
+	for k := range spec {
 		f := dsp.BinFrequency(k, size, sig.Rate)
-		g := d.bodyGain(f)
-		spec[k] *= complex(g, 0)
-		if k != 0 && k != half {
-			spec[size-k] *= complex(g, 0)
-		}
+		spec[k] *= complex(d.bodyGain(f), 0)
 	}
-	dsp.IFFT(spec)
-	for i := range sig.Samples {
-		sig.Samples[i] = real(spec[i])
-	}
+	copy(sig.Samples, dsp.IRFFT(spec, size))
 }
 
 // bodyGain is the linear gain of the device body at frequency f.

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI gate: build, vet, race-enabled short tests, full tests, short
+# benchmarks. Mirrors what a reviewer should run before merging.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build"
+go build ./...
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go test -race -short (runner + kernel race coverage)"
+go test -race -short -timeout 20m ./...
+
+echo "==> go test (full suite)"
+go test -timeout 30m ./...
+
+echo "==> short benchmarks (trial engine + FFT plan cache)"
+go test ./internal/experiment -run '^$' -bench 'E5Serial|E5Parallel' -benchtime 1x -timeout 30m
+go test ./internal/dsp -run '^$' -bench 'FFT4096|RFFT4096' -benchtime 100x
+
+echo "CI gate passed."
