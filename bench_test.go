@@ -18,6 +18,7 @@ import (
 	"inaudible/internal/experiment"
 	"inaudible/internal/mic"
 	"inaudible/internal/speaker"
+	"inaudible/internal/stream"
 	"inaudible/internal/voice"
 )
 
@@ -132,6 +133,72 @@ func BenchmarkDefenseExtract(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		defense.Extract(run.Recording)
+	}
+}
+
+// ---- streaming guard benchmarks ----
+
+// benchGuardDetector is a hand-calibrated threshold detector so the
+// guard benchmarks measure the streaming pipeline, not corpus training.
+func benchGuardDetector() defense.Detector {
+	return &defense.ThresholdDetector{
+		Thresholds: []float64{-1.5, -2.5, 0.5, -2.0, -3.0},
+		AttackHigh: []bool{true, true, true, true, true},
+		Valid:      []bool{true, true, true, true, true},
+	}
+}
+
+// BenchmarkStreamGuard measures the guard's steady-state hop loop:
+// 20 ms frames through VAD + streaming analyzer + band tracker. The
+// acceptance target is 0 allocs/op (one op = one frame) and the
+// frames/sec metric is the per-core session throughput (x50 real time
+// per 20 ms frame at 48 kHz means 1 core sustains ~50 live sessions).
+func BenchmarkStreamGuard(b *testing.B) {
+	const rate = 48000.0
+	g := stream.NewGuard(stream.GuardConfig{Rate: rate, Detector: benchGuardDetector()})
+	frame := inaudible.MustSynthesize("alexa, play music").Samples[:g.FrameSamples()]
+	for i := 0; i < 200; i++ { // warm all chain stagings to steady state
+		g.Push(frame)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Push(frame)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/sec")
+	secPerFrame := float64(len(frame)) / rate
+	b.ReportMetric(secPerFrame*float64(b.N)/b.Elapsed().Seconds(), "x-realtime")
+}
+
+// BenchmarkStreamAnalyzerFinalize measures the end-of-session cost
+// (chain flush + feature assembly + lag-searched correlation).
+func BenchmarkStreamAnalyzerFinalize(b *testing.B) {
+	const rate = 48000.0
+	sig := inaudible.MustSynthesize("alexa, play music")
+	a := stream.NewAnalyzer(stream.AnalyzerConfig{Rate: rate})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Push(sig.Samples)
+		a.Finalize()
+		b.StopTimer()
+		a.Reset()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkStreamFIRPush isolates the overlap-save convolution hop.
+func BenchmarkStreamFIRPush(b *testing.B) {
+	f := dsp.BandPassFIR(4095, 0.0003, 0.00125)
+	s := dsp.NewStreamFIR(f, 8192)
+	frame := audio.Tone(48000, 1000, 0.5, 0.02).Samples
+	for i := 0; i < 64; i++ {
+		s.Push(frame)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Push(frame)
 	}
 }
 

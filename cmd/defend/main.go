@@ -1,80 +1,108 @@
-// Command defend classifies a recording (WAV file) as a legitimate voice
-// command or an ultrasound-injected one, using the non-linearity trace
-// features and a classifier trained on a freshly simulated corpus.
+// Command defend classifies recordings (WAV files) as legitimate voice
+// commands or ultrasound-injected ones, using the non-linearity trace
+// features and a detector trained on a freshly simulated corpus.
+//
+// Files are decoded and analysed incrementally (audio.WAVReader feeding
+// stream.Analyzer), so arbitrarily long recordings are classified in
+// bounded memory; -batch switches to the original whole-file extractor
+// (defense.Extract), whose features the streaming path reproduces
+// within the tolerance documented in internal/stream.
 //
 // Usage:
 //
 //	defend recording.wav [more.wav ...]
+//	defend -detector threshold recording.wav
 //	defend -features-only recording.wav
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
-	"inaudible/internal/core"
+	"inaudible"
+	"inaudible/internal/audio"
 	"inaudible/internal/defense"
 	"inaudible/internal/experiment"
-
-	"inaudible/internal/audio"
+	"inaudible/internal/stream"
 )
 
 func main() {
 	var (
 		featuresOnly = flag.Bool("features-only", false, "print features without classifying")
+		detector     = flag.String("detector", "svm", "detector kind: "+strings.Join(experiment.DetectorKinds(), ", "))
+		batch        = flag.Bool("batch", false, "buffer whole files and use the batch extractor")
 		seed         = flag.Int64("seed", 1, "corpus seed")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: defend [-features-only] file.wav ...")
+		fmt.Fprintln(os.Stderr, "usage: defend [-features-only] [-detector kind] [-batch] file.wav ...")
 		os.Exit(2)
 	}
 
-	var svm *defense.LinearSVM
+	var det defense.Detector
 	if !*featuresOnly {
-		fmt.Fprintln(os.Stderr, "defend: training detector on simulated corpus (one-time, ~minutes)...")
-		sc := core.DefaultScenario()
-		sc.Seed = *seed
-		cfg := experiment.DefaultCorpusConfig(sc)
-		legit, err := experiment.BuildLegit(cfg)
-		if err != nil {
-			fatal("building corpus: %v", err)
-		}
-		attacks, err := experiment.BuildAttacks(cfg)
-		if err != nil {
-			fatal("building corpus: %v", err)
-		}
-		var samples []defense.Sample
-		for _, r := range append(legit, attacks...) {
-			samples = append(samples, defense.Sample{
-				X:      defense.Extract(r.Signal).Vector(),
-				Attack: r.Attack,
-			})
-		}
-		svm, err = defense.TrainSVM(samples, 0.01, 60, *seed)
+		fmt.Fprintf(os.Stderr, "defend: training %s detector on simulated corpus (one-time, ~minutes)...\n", *detector)
+		var err error
+		det, err = inaudible.TrainDetector(*detector, *seed, false)
 		if err != nil {
 			fatal("training: %v", err)
 		}
 	}
 
 	for _, path := range flag.Args() {
-		sig, err := audio.ReadWAVFile(path)
+		f, err := extract(path, *batch)
 		if err != nil {
-			fatal("reading %s: %v", path, err)
+			fatal("%v", err)
 		}
-		f := defense.Extract(sig)
 		if *featuresOnly {
 			fmt.Printf("%s: %v\n", path, f)
 			continue
 		}
-		score := svm.Score(f.Vector())
+		score := det.Score(f.Vector())
 		verdict := "LEGITIMATE"
-		if score > 0 {
+		if det.Predict(f.Vector()) {
 			verdict = "ATTACK"
 		}
-		fmt.Printf("%s: %s (margin %+.2f)  %v\n", path, verdict, score, f)
+		fmt.Printf("%s: %s (score %+.2f)  %v\n", path, verdict, score, f)
 	}
+}
+
+// extract computes the recording's features, streaming by default.
+func extract(path string, batch bool) (defense.Features, error) {
+	if batch {
+		sig, err := audio.ReadWAVFile(path)
+		if err != nil {
+			return defense.Features{}, fmt.Errorf("reading %s: %w", path, err)
+		}
+		return defense.Extract(sig), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return defense.Features{}, fmt.Errorf("opening %s: %w", path, err)
+	}
+	defer f.Close()
+	wr, err := audio.NewWAVReader(f)
+	if err != nil {
+		return defense.Features{}, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	an := stream.NewAnalyzer(stream.AnalyzerConfig{Rate: wr.Rate()})
+	buf := make([]float64, 4096)
+	for {
+		n, err := wr.Read(buf)
+		if n > 0 {
+			an.Push(buf[:n])
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return defense.Features{}, fmt.Errorf("reading %s: %w", path, err)
+		}
+	}
+	return an.Finalize(), nil
 }
 
 func fatal(format string, args ...interface{}) {

@@ -1,0 +1,82 @@
+// Command guardd is the always-on streaming defense service: it trains
+// a detector on a simulated corpus once at start-up, then guards audio
+// sessions delivered over stdin or TCP, emitting JSON verdict lines.
+//
+// Each session is either a mono 16-bit PCM WAV stream (decoded
+// incrementally, never buffered whole) or length-prefixed PCM frames:
+// "GRD1" magic, uint32 LE sample rate, then [uint32 LE byte length |
+// int16 LE samples] chunks with a zero length ending the session. See
+// the protocol note in internal/stream/serve.go and the README's
+// "Streaming guard" section.
+//
+// Usage:
+//
+//	guardd < session.wav                 # one stdin session
+//	guardd -listen :7654                 # one session per TCP connection
+//	guardd -detector threshold -quick    # fast start-up, threshold rule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"inaudible"
+	"inaudible/internal/experiment"
+	"inaudible/internal/stream"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "", "TCP address to serve (empty: one session on stdin)")
+		detector  = flag.String("detector", "svm", "detector kind: "+strings.Join(experiment.DetectorKinds(), ", "))
+		quick     = flag.Bool("quick", false, "train on the Quick-suite corpus (faster start-up, smaller grid)")
+		seed      = flag.Int64("seed", 1, "corpus and training seed")
+		workers   = flag.Int("workers", 0, "max concurrent sessions (0: GOMAXPROCS)")
+		emitEvery = flag.Int("emit-every", 0, "interim verdict every N frames (0: final only)")
+		corrCap   = flag.Float64("corr-seconds", 0, "correlation memory cap per session in seconds (0: 60)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: guardd [-listen addr] [-detector kind] [-quick] < session")
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "guardd: training %s detector on simulated corpus (one-time)...\n", *detector)
+	start := time.Now()
+	det, err := inaudible.TrainDetector(*detector, *seed, *quick)
+	if err != nil {
+		fatal("training: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "guardd: detector ready in %s\n", time.Since(start).Round(time.Millisecond))
+
+	srv := stream.NewServer(stream.ServerConfig{
+		Detector:       det,
+		Workers:        *workers,
+		EmitEvery:      *emitEvery,
+		MaxCorrSeconds: *corrCap,
+	})
+
+	if *listen == "" {
+		if err := srv.ServeSession(os.Stdin, os.Stdout); err != nil {
+			fatal("session: %v", err)
+		}
+		return
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "guardd: serving on %s with %d session slots\n", l.Addr(), srv.Workers())
+	if err := srv.ServeListener(l); err != nil {
+		fatal("serve: %v", err)
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "guardd: "+format+"\n", args...)
+	os.Exit(1)
+}

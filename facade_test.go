@@ -102,3 +102,56 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatalf("injection failed: %+v", rec.Recognize(run.Recording))
 	}
 }
+
+func TestFacadeStreamingGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full simulation")
+	}
+	cmd := inaudible.MustSynthesize("alexa, play music")
+	s := inaudible.NewScenario()
+	_, atkRun, err := s.Simulate(cmd, inaudible.KindBaseline, 18.7, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legitRun := s.Deliver(s.EmitVoice(cmd, 66), 2, 2)
+
+	// Streaming features reproduce the batch extractor on a real
+	// simulated recording (spectral features near-exactly, correlation
+	// within the documented 0.15).
+	batch := inaudible.ExtractFeatures(atkRun.Recording)
+	streamed := inaudible.ExtractFeaturesStreaming(atkRun.Recording)
+	if d := streamed.Sub50LogRatio - batch.Sub50LogRatio; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("streaming Sub50LogRatio %v != batch %v", streamed.Sub50LogRatio, batch.Sub50LogRatio)
+	}
+	if d := streamed.LowEnvCorr - batch.LowEnvCorr; d > 0.15 || d < -0.15 {
+		t.Fatalf("streaming LowEnvCorr %v vs batch %v", streamed.LowEnvCorr, batch.LowEnvCorr)
+	}
+
+	// A guard calibrated on the pair separates the sessions online.
+	samples := []struct {
+		rec    *inaudible.Signal
+		attack bool
+	}{{atkRun.Recording, true}, {legitRun.Recording, false}}
+	det, err := inaudible.TrainDetector("threshold", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range samples {
+		g := inaudible.NewStreamGuard(det, sm.rec.Rate)
+		frame := g.FrameSamples()
+		for off := 0; off < sm.rec.Len(); off += frame {
+			end := off + frame
+			if end > sm.rec.Len() {
+				end = sm.rec.Len()
+			}
+			g.Push(sm.rec.Samples[off:end])
+		}
+		v := g.Finalize()
+		if v.Attack != sm.attack {
+			t.Errorf("guard verdict attack=%v, want %v (%v)", v.Attack, sm.attack, v)
+		}
+		if v.Latency.Frames == 0 {
+			t.Errorf("guard reported no latency frames")
+		}
+	}
+}

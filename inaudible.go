@@ -42,6 +42,7 @@ import (
 	"inaudible/internal/experiment"
 	"inaudible/internal/mic"
 	"inaudible/internal/speaker"
+	"inaudible/internal/stream"
 	"inaudible/internal/voice"
 )
 
@@ -81,6 +82,24 @@ type (
 	// ExperimentSuite caches the expensive shared evaluation assets
 	// across experiments.
 	ExperimentSuite = experiment.Suite
+	// Detector is the common decision surface of the trained defenses
+	// (LinearSVM, LogisticRegression, ThresholdDetector).
+	Detector = defense.Detector
+	// StreamAnalyzer computes defense features incrementally over a
+	// session, with documented parity to ExtractFeatures.
+	StreamAnalyzer = stream.Analyzer
+	// StreamGuard is one always-on defense session: online VAD +
+	// streaming feature analyzer + a shared Detector.
+	StreamGuard = stream.Guard
+	// GuardConfig parameterises a streaming guard session.
+	GuardConfig = stream.GuardConfig
+	// GuardVerdict is a streaming guard's detection event.
+	GuardVerdict = stream.Verdict
+	// GuardServer serves concurrent guard sessions over byte streams
+	// (the engine behind cmd/guardd).
+	GuardServer = stream.Server
+	// GuardServerConfig parameterises the concurrent serving layer.
+	GuardServerConfig = stream.ServerConfig
 )
 
 // Attack kinds.
@@ -123,6 +142,36 @@ func LongRangeAttack(cmd *Signal, totalPowerW float64) (*attack.Plan, error) {
 
 // ExtractFeatures computes the defense features of a recording.
 func ExtractFeatures(rec *Signal) Features { return defense.Extract(rec) }
+
+// ExtractFeaturesStreaming computes the same features frame by frame in
+// bounded memory (see internal/stream for the parity contract).
+func ExtractFeaturesStreaming(rec *Signal) Features { return stream.Extract(rec, 0) }
+
+// TrainDetector simulates the default labelled corpus at the given seed
+// and trains the named detector kind: "svm", "logistic" or "threshold".
+// quick shrinks the corpus grid for fast start-up (demos, tests).
+func TrainDetector(kind string, seed int64, quick bool) (Detector, error) {
+	sc := core.DefaultScenario()
+	sc.Seed = seed
+	cfg := experiment.DefaultCorpusConfig(sc)
+	if quick {
+		cfg = experiment.QuickCorpusConfig(cfg)
+	}
+	cfg.Runner = experiment.NewRunner(0)
+	return experiment.TrainDetector(kind, cfg, seed)
+}
+
+// NewStreamGuard returns an online guard session at the given sample
+// rate, backed by a trained detector; one detector may back any number
+// of concurrent guards. Feed audio with Push, close the session with
+// Finalize.
+func NewStreamGuard(det Detector, rate float64) *StreamGuard {
+	return stream.NewGuard(stream.GuardConfig{Rate: rate, Detector: det})
+}
+
+// NewGuardServer returns the concurrent session server used by
+// cmd/guardd: worker-pool bounded, with pooled per-session state.
+func NewGuardServer(cfg GuardServerConfig) *GuardServer { return stream.NewServer(cfg) }
 
 // AndroidPhone, AmazonEcho and ReferenceMic re-export the device profiles.
 func AndroidPhone() *Device { return mic.AndroidPhone() }

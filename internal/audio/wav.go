@@ -71,8 +71,22 @@ func WriteWAVFile(path string, s *Signal) error {
 	return f.Close()
 }
 
-// ReadWAV decodes a mono 16-bit PCM WAV stream.
-func ReadWAV(r io.Reader) (*Signal, error) {
+// WAVReader decodes a mono 16-bit PCM WAV stream incrementally: the
+// header is parsed up to the data chunk at construction, then Read
+// hands out decoded samples frame by frame without ever buffering the
+// file — the decoder for streaming consumers (cmd/guardd, cmd/defend)
+// whose sessions may be arbitrarily long.
+type WAVReader struct {
+	r         io.Reader
+	rate      float64
+	remaining int // bytes left in the data chunk
+	buf       []byte
+}
+
+// NewWAVReader parses the RIFF/fmt headers from r and positions the
+// reader at the first sample. It fails with ErrWAVFormat unless the
+// stream is a mono 16-bit PCM WAV.
+func NewWAVReader(r io.Reader) (*WAVReader, error) {
 	var hdr [12]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("audio: reading RIFF header: %w", err)
@@ -120,16 +134,7 @@ func ReadWAV(r io.Reader) (*Signal, error) {
 			if channels != 1 || bits != 16 {
 				return nil, ErrWAVFormat
 			}
-			body := make([]byte, size)
-			if _, err := io.ReadFull(r, body); err != nil {
-				return nil, fmt.Errorf("audio: reading data chunk: %w", err)
-			}
-			n := int(size) / 2
-			samples := make([]float64, n)
-			for i := 0; i < n; i++ {
-				samples[i] = float64(int16(binary.LittleEndian.Uint16(body[2*i:]))) / 32767
-			}
-			return &Signal{Rate: float64(rate), Samples: samples}, nil
+			return &WAVReader{r: r, rate: float64(rate), remaining: int(size)}, nil
 		default:
 			// Skip unknown chunks (LIST, fact, ...).
 			if _, err := io.CopyN(io.Discard, r, int64(size)); err != nil {
@@ -137,6 +142,63 @@ func ReadWAV(r io.Reader) (*Signal, error) {
 			}
 		}
 	}
+}
+
+// Rate returns the stream's sample rate in Hz.
+func (w *WAVReader) Rate() float64 { return w.rate }
+
+// Remaining returns the number of samples left in the data chunk.
+func (w *WAVReader) Remaining() int { return w.remaining / 2 }
+
+// Read decodes up to len(dst) samples into dst and returns the count.
+// At the end of the data chunk it returns 0, io.EOF. A truncated data
+// chunk yields io.ErrUnexpectedEOF.
+func (w *WAVReader) Read(dst []float64) (int, error) {
+	if w.remaining == 0 {
+		return 0, io.EOF
+	}
+	want := len(dst) * 2
+	if want > w.remaining {
+		want = w.remaining
+	}
+	if want == 0 {
+		return 0, nil
+	}
+	if cap(w.buf) < want {
+		w.buf = make([]byte, want)
+	}
+	buf := w.buf[:want]
+	if _, err := io.ReadFull(w.r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, fmt.Errorf("audio: reading WAV samples: %w", err)
+	}
+	w.remaining -= want
+	n := want / 2
+	for i := 0; i < n; i++ {
+		dst[i] = float64(int16(binary.LittleEndian.Uint16(buf[2*i:]))) / 32767
+	}
+	return n, nil
+}
+
+// ReadWAV decodes a mono 16-bit PCM WAV stream, buffering it whole.
+// Streaming consumers should use NewWAVReader instead.
+func ReadWAV(r io.Reader) (*Signal, error) {
+	wr, err := NewWAVReader(r)
+	if err != nil {
+		return nil, err
+	}
+	samples := make([]float64, wr.Remaining())
+	off := 0
+	for off < len(samples) {
+		n, err := wr.Read(samples[off:])
+		if err != nil {
+			return nil, fmt.Errorf("audio: reading data chunk: %w", err)
+		}
+		off += n
+	}
+	return &Signal{Rate: wr.rate, Samples: samples}, nil
 }
 
 // ReadWAVFile reads a mono 16-bit PCM WAV file from path.

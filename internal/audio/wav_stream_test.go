@@ -1,0 +1,137 @@
+package audio
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+)
+
+func TestWAVReaderMatchesReadWAV(t *testing.T) {
+	sig := Tone(48000, 440, 0.8, 0.25)
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, sig); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+
+	whole, err := ReadWAV(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr, err := NewWAVReader(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Rate() != whole.Rate {
+		t.Fatalf("Rate = %v, want %v", wr.Rate(), whole.Rate)
+	}
+	if wr.Remaining() != whole.Len() {
+		t.Fatalf("Remaining = %d, want %d", wr.Remaining(), whole.Len())
+	}
+	var streamed []float64
+	frame := make([]float64, 960)
+	for {
+		n, err := wr.Read(frame)
+		streamed = append(streamed, frame[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(streamed) != whole.Len() {
+		t.Fatalf("streamed %d samples, want %d", len(streamed), whole.Len())
+	}
+	for i := range streamed {
+		if streamed[i] != whole.Samples[i] {
+			t.Fatalf("sample %d: streamed %v != buffered %v", i, streamed[i], whole.Samples[i])
+		}
+	}
+	if n, err := wr.Read(frame); n != 0 || err != io.EOF {
+		t.Fatalf("read past EOF: n=%d err=%v", n, err)
+	}
+}
+
+func TestWAVReaderOddFrameSizes(t *testing.T) {
+	sig := Tone(44100, 1000, 0.5, 0.1)
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, sig); err != nil {
+		t.Fatal(err)
+	}
+	wr, err := NewWAVReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	frame := make([]float64, 17)
+	for {
+		n, err := wr.Read(frame)
+		total += n
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total != sig.Len() {
+		t.Fatalf("read %d samples, want %d", total, sig.Len())
+	}
+}
+
+func TestWAVReaderTruncatedData(t *testing.T) {
+	sig := Tone(48000, 440, 0.8, 0.1)
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, sig); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	wr, err := NewWAVReader(bytes.NewReader(encoded[:len(encoded)-100]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]float64, 4096)
+	for {
+		_, err := wr.Read(frame)
+		if err != nil {
+			if err == io.EOF {
+				t.Fatalf("truncated stream ended with clean EOF")
+			}
+			return // expected decode error
+		}
+	}
+}
+
+func TestWAVReaderRejectsNonWAV(t *testing.T) {
+	if _, err := NewWAVReader(bytes.NewReader([]byte("not a riff stream at all"))); err == nil {
+		t.Fatalf("expected an error for non-WAV input")
+	}
+}
+
+func TestWAVRoundTripAmplitude(t *testing.T) {
+	// Guard the int16 quantisation path of the streaming reader.
+	sig := Tone(48000, 100, 1.0, 0.05)
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, sig); err != nil {
+		t.Fatal(err)
+	}
+	wr, err := NewWAVReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, wr.Remaining())
+	if _, err := wr.Read(out); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i := range out {
+		if d := math.Abs(out[i] - sig.Samples[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1.0/32000 {
+		t.Fatalf("quantisation error %g exceeds one LSB", worst)
+	}
+}

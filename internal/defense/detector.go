@@ -1,0 +1,51 @@
+package defense
+
+import "math"
+
+// Detector is the common decision surface of the trained classifiers and
+// the calibrated threshold rule: every detector maps a feature vector
+// (Features.Vector order) to an attack verdict plus a monotone score.
+// The contract ties the two together: Predict(x) == (Score(x) > 0), and
+// larger scores mean more attack-like. Implementations are safe for
+// concurrent readers after training/calibration, which is what lets one
+// detector serve many streaming guard sessions.
+type Detector interface {
+	// Predict reports whether x is classified as an attack.
+	Predict(x []float64) bool
+	// Score returns the signed decision value: positive means attack,
+	// with magnitude increasing in confidence.
+	Score(x []float64) float64
+}
+
+// The three defenses all implement Detector.
+var (
+	_ Detector = (*LinearSVM)(nil)
+	_ Detector = (*LogisticRegression)(nil)
+	_ Detector = (*ThresholdDetector)(nil)
+)
+
+// Score returns the log-odds of attack, the signed decision value
+// underlying Probability: positive exactly when P(attack|x) > 0.5.
+func (m *LogisticRegression) Score(x []float64) float64 {
+	return dot(m.W, m.std.apply(x)) + m.B
+}
+
+// Score returns the largest signed margin of any valid feature toward
+// its attack side: positive exactly when Predict fires. With no valid
+// features (never produced by CalibrateThresholds) it returns -Inf.
+func (t *ThresholdDetector) Score(x []float64) float64 {
+	best := math.Inf(-1)
+	for i, v := range x {
+		if i >= len(t.Valid) || !t.Valid[i] {
+			continue
+		}
+		m := v - t.Thresholds[i]
+		if !t.AttackHigh[i] {
+			m = -m
+		}
+		if m > best {
+			best = m
+		}
+	}
+	return best
+}

@@ -1,0 +1,80 @@
+package defense
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// separableSamples builds a 5-dim corpus whose first feature separates
+// the classes cleanly (attack high).
+func separableSamples(n int, seed int64) []Sample {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Sample
+	for i := 0; i < n; i++ {
+		atk := Sample{X: make([]float64, 5), Attack: true}
+		leg := Sample{X: make([]float64, 5)}
+		for j := range atk.X {
+			atk.X[j] = rng.NormFloat64()
+			leg.X[j] = rng.NormFloat64()
+		}
+		atk.X[0] = 2 + rng.Float64()
+		leg.X[0] = -2 - rng.Float64()
+		out = append(out, atk, leg)
+	}
+	return out
+}
+
+// TestDetectorContract verifies Predict(x) == (Score(x) > 0) for every
+// implementation — the invariant the streaming guard's verdicts and the
+// wire protocol rely on.
+func TestDetectorContract(t *testing.T) {
+	samples := separableSamples(40, 1)
+	svm, err := TrainSVM(samples, 0.01, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := TrainLogistic(samples, 0.5, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := CalibrateThresholds(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dets := map[string]Detector{"svm": svm, "logistic": lr, "threshold": thr}
+	rng := rand.New(rand.NewSource(2))
+	for name, det := range dets {
+		correct := 0
+		for _, s := range samples {
+			if det.Predict(s.X) == s.Attack {
+				correct++
+			}
+		}
+		if correct < len(samples)*9/10 {
+			t.Errorf("%s: only %d/%d correct on separable data", name, correct, len(samples))
+		}
+		for i := 0; i < 200; i++ {
+			x := []float64{rng.NormFloat64() * 3, rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+			if det.Predict(x) != (det.Score(x) > 0) {
+				t.Fatalf("%s: Predict(%v)=%v disagrees with Score=%v",
+					name, x, det.Predict(x), det.Score(x))
+			}
+		}
+	}
+}
+
+func TestThresholdScoreMargins(t *testing.T) {
+	det := &ThresholdDetector{
+		Thresholds: []float64{1, -1},
+		AttackHigh: []bool{true, false},
+		Valid:      []bool{true, true},
+	}
+	// Feature 0 fires by +0.5; feature 1 fires by +2: max margin wins.
+	if got := det.Score([]float64{1.5, -3}); got != 2 {
+		t.Fatalf("Score = %v, want 2", got)
+	}
+	// Neither fires: the least-negative margin is reported.
+	if got := det.Score([]float64{0.5, 0}); got != -0.5 {
+		t.Fatalf("Score = %v, want -0.5", got)
+	}
+}

@@ -76,24 +76,58 @@ const (
 	highLo  = 8500.0
 )
 
+// Analysis geometry shared by the batch extractor and the streaming
+// analyzer (internal/stream); keeping them here is what lets the
+// streaming path reproduce batch features on identical input.
+const (
+	// ExtractFFTSize is the Welch transform length of Extract.
+	ExtractFFTSize = 16384
+	// FrameFFTSize and FrameHop are the STFT geometry of the
+	// noise-subtracted frame analysis.
+	FrameFFTSize = 4096
+	FrameHop     = FrameFFTSize / 2
+	// FloorLog is the log-ratio floor reported when a band has no
+	// speech-synchronised energy (or the recording is silent/too short).
+	FloorLog = -6.0
+	// CorrMaxLagSeconds bounds the trace/envelope correlation lag search.
+	CorrMaxLagSeconds = 0.05
+)
+
+// BandPlan reports the analysis band edges in Hz.
+type BandPlan struct {
+	TraceLo, TraceHi float64 // infra-voice trace band
+	VoiceLo, VoiceHi float64 // speech band
+	HighLo           float64 // bottom of the super-voice band
+}
+
+// Bands returns the band plan used by Extract; HighTop (the top of the
+// super-voice band) depends on the recording rate: rate/2 * 0.95.
+func Bands() BandPlan {
+	return BandPlan{TraceLo: traceLo, TraceHi: traceHi, VoiceLo: voiceLo, VoiceHi: voiceHi, HighLo: highLo}
+}
+
+// HighTop returns the top of the super-voice band for a given sample
+// rate, matching Extract's choice.
+func HighTop(rate float64) float64 { return rate / 2 * 0.95 }
+
 // Extract computes the defense features of a recording (digital signal at
 // the device's ADC rate).
 func Extract(rec *audio.Signal) Features {
 	var f Features
 	if rec.Len() == 0 || rec.RMS() == 0 {
-		f.TraceSNR, f.HighSNR = -6, -6
-		f.Sub50LogRatio, f.HighLogRatio = -6, -6
+		f.TraceSNR, f.HighSNR = FloorLog, FloorLog
+		f.Sub50LogRatio, f.HighLogRatio = FloorLog, FloorLog
 		return f
 	}
-	const fftSize = 16384
+	const fftSize = ExtractFFTSize
 	psd := dsp.Welch(rec.Samples, fftSize)
 	voice := dsp.BandPower(psd, rec.Rate, fftSize, voiceLo, voiceHi)
 	if voice <= 0 {
-		f.TraceSNR, f.HighSNR = -6, -6
-		f.Sub50LogRatio, f.HighLogRatio = -6, -6
+		f.TraceSNR, f.HighSNR = FloorLog, FloorLog
+		f.Sub50LogRatio, f.HighLogRatio = FloorLog, FloorLog
 		return f
 	}
-	hiTop := rec.Rate / 2 * 0.95
+	hiTop := HighTop(rec.Rate)
 	sub50 := dsp.BandPower(psd, rec.Rate, fftSize, traceLo, traceHi)
 	var high float64
 	if hiTop > highLo {
@@ -114,13 +148,13 @@ func Extract(rec *audio.Signal) Features {
 // stationary noise floor. The first and last 10% of frames are excluded
 // (transients, fades).
 func noiseSubtractedRatios(rec *audio.Signal, hiTop float64) (traceSNR, highSNR float64) {
-	const fftSize = 4096
-	const floorLog = -6.0
+	const fftSize = FrameFFTSize
+	const floorLog = FloorLog
 	traceSNR, highSNR = floorLog, floorLog
 	if rec.Len() < 4*fftSize {
 		return
 	}
-	sg := dsp.STFT(rec.Samples, rec.Rate, fftSize, fftSize/2)
+	sg := dsp.STFT(rec.Samples, rec.Rate, fftSize, FrameHop)
 	n := sg.Frames()
 	skip := n / 10
 	frames := sg.Power[skip : n-skip]
@@ -222,7 +256,7 @@ func lowEnvelopeCorrelation(rec *audio.Signal) float64 {
 	low := dsp.BandPassFIR(4095, traceLo/rate, traceHi/rate).Apply(rec.Samples)
 	envLow := dsp.BandPassFIR(4095, traceLo/rate, traceHi/rate).Apply(env)
 	// Allow up to 50 ms of relative delay (filter chains differ).
-	maxLag := int(rate * 0.05)
+	maxLag := int(rate * CorrMaxLagSeconds)
 	c, _ := dsp.MaxCorrelationLag(low, envLow, maxLag)
 	return c
 }

@@ -259,23 +259,38 @@ func RFFT(x []float64) []complex128 {
 		full := FFTReal(x)
 		return full[: n/2+1 : n/2+1]
 	}
+	return RFFTInto(make([]complex128, n/2+1), x, make([]complex128, n/2))
+}
+
+// RFFTInto is RFFT into caller-owned buffers, for streaming hot loops that
+// must not allocate per frame: dst receives the n/2+1 one-sided bins and
+// scratch (length n/2) holds the half-length complex workspace. len(x)
+// must be even and >= 4; for power-of-two lengths no allocation occurs.
+// The output is bit-identical to RFFT. x is not modified.
+func RFFTInto(dst []complex128, x []float64, scratch []complex128) []complex128 {
+	n := len(x)
 	h := n / 2
-	z := make([]complex128, h)
+	if n%2 != 0 || n < 4 {
+		panic("dsp: RFFTInto requires even input length >= 4")
+	}
+	if len(dst) != h+1 || len(scratch) != h {
+		panic("dsp: RFFTInto needs len(dst) == n/2+1 and len(scratch) == n/2")
+	}
+	z := scratch
 	for j := 0; j < h; j++ {
 		z[j] = complex(x[2*j], x[2*j+1])
 	}
 	FFT(z)
 	rp := rplanFor(n)
-	out := make([]complex128, h+1)
 	// X[k] = (Z[k]+conj(Z[h-k]))/2 - i*w[k]*(Z[k]-conj(Z[h-k]))/2
 	for k := 0; k <= h; k++ {
 		zk := z[k%h]
 		zc := cmplx.Conj(z[(h-k)%h])
 		even := (zk + zc) * 0.5
 		odd := (zk - zc) * 0.5
-		out[k] = even + complex(0, -1)*rp.w[k]*odd
+		dst[k] = even + complex(0, -1)*rp.w[k]*odd
 	}
-	return out
+	return dst
 }
 
 // IRFFT inverts a one-sided spectrum produced by RFFT (or the first
@@ -295,12 +310,28 @@ func IRFFT(spec []complex128, n int) []float64 {
 		}
 		return IFFTReal(full)
 	}
+	return IRFFTInto(make([]float64, n), spec, make([]complex128, n/2))
+}
+
+// IRFFTInto is IRFFT into caller-owned buffers: dst (length n, even,
+// >= 4) receives the real samples and scratch (length n/2) holds the
+// half-length complex workspace. spec must not alias scratch. For
+// power-of-two n no allocation occurs. The output is bit-identical to
+// IRFFT. spec is not modified.
+func IRFFTInto(dst []float64, spec []complex128, scratch []complex128) []float64 {
+	n := len(dst)
 	h := n / 2
+	if n%2 != 0 || n < 4 {
+		panic("dsp: IRFFTInto requires even output length >= 4")
+	}
 	if len(spec) != h+1 {
 		panic("dsp: IRFFT spectrum length must be n/2+1")
 	}
+	if len(scratch) != h {
+		panic("dsp: IRFFTInto needs len(scratch) == n/2")
+	}
 	rp := rplanFor(n)
-	z := make([]complex128, h)
+	z := scratch
 	// Z[k] = even[k] + i*conj(w[k])*odd[k], the exact inverse of the RFFT
 	// unpacking (note conj(w) because we fold back onto k = 0..h-1).
 	for k := 0; k < h; k++ {
@@ -311,10 +342,9 @@ func IRFFT(spec []complex128, n int) []float64 {
 		z[k] = even + complex(0, 1)*cmplx.Conj(rp.w[k])*odd
 	}
 	IFFT(z)
-	out := make([]float64, n)
 	for j := 0; j < h; j++ {
-		out[2*j] = real(z[j])
-		out[2*j+1] = imag(z[j])
+		dst[2*j] = real(z[j])
+		dst[2*j+1] = imag(z[j])
 	}
-	return out
+	return dst
 }

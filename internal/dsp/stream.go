@@ -1,0 +1,464 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the streaming (online) twins of the batch kernels:
+// overlap-save block convolution, incremental Welch/STFT accumulation and
+// a rolling Goertzel band tracker. They process audio in fixed-size hops
+// with bounded per-session state and, after warm-up, zero allocations per
+// hop — the substrate of internal/stream's always-on guard. The FFT work
+// goes through the plan cache (plan.go) and the zero-alloc
+// RFFTInto/IRFFTInto entry points, so streaming and batch paths share the
+// exact same transform kernels.
+
+// StreamFIR applies an FIR filter to an unbounded sample stream by
+// overlap-save block convolution: each power-of-two segment is one RFFT,
+// a spectrum product against the cached filter spectrum, and one IRFFT,
+// reusing the FFT plan cache across segments and sessions. Outputs are
+// delay-compensated exactly like FIR.Apply: after Flush, the total output
+// stream equals Apply on the concatenated input up to FFT segmentation
+// rounding (~1e-12 for unit-scale signals).
+//
+// A StreamFIR is single-session state and not safe for concurrent use;
+// concurrent sessions each own one (or Reset and reuse via a pool).
+type StreamFIR struct {
+	taps  int // filter length
+	delay int // group delay (taps-1)/2, dropped from the head
+	block int // fresh input samples consumed per segment (L)
+	n     int // FFT length = block + taps - 1, a power of two
+
+	hspec []complex128 // RFFT of the zero-padded taps
+
+	seg     []float64    // [overlap (taps-1) | fresh (block)] window, length n
+	fill    int          // staged fresh samples
+	skip    int          // head samples still to drop (delay compensation)
+	spec    []complex128 // segment spectrum scratch, n/2+1
+	scratch []complex128 // half-length FFT workspace, n/2
+	conv    []float64    // IRFFT output scratch, n
+	out     []float64    // returned output staging, reused across calls
+	zeros   []float64    // flush padding, length delay
+	flushed bool
+}
+
+// NewStreamFIR wraps f for streaming application. blockHint is the
+// preferred number of fresh samples per FFT segment; <= 0 picks a size
+// that amortises the transform well (~7x the filter length). The actual
+// block is sized so the segment length is a power of two.
+func NewStreamFIR(f *FIR, blockHint int) *StreamFIR {
+	taps := len(f.Taps)
+	if taps < 1 {
+		panic("dsp: NewStreamFIR needs a non-empty filter")
+	}
+	if blockHint <= 0 {
+		blockHint = 8 * taps
+	}
+	n := NextPowerOfTwo(blockHint + taps - 1)
+	if n < 4 {
+		n = 4
+	}
+	s := &StreamFIR{
+		taps:    taps,
+		delay:   (taps - 1) / 2,
+		block:   n - taps + 1,
+		n:       n,
+		seg:     make([]float64, n),
+		spec:    make([]complex128, n/2+1),
+		scratch: make([]complex128, n/2),
+		conv:    make([]float64, n),
+	}
+	s.skip = s.delay
+	s.zeros = make([]float64, s.delay)
+	padded := make([]float64, n)
+	copy(padded, f.Taps)
+	s.hspec = RFFT(padded)
+	return s
+}
+
+// Delay returns the compensated group delay in samples: output sample i
+// (counting across all Push/Flush returns) aligns with input sample i.
+func (s *StreamFIR) Delay() int { return s.delay }
+
+// Push consumes x and returns the filtered samples that became available.
+// The returned slice is reused by the next Push/Flush call — consume or
+// copy it before pushing again. After warm-up (steady frame sizes) Push
+// does not allocate.
+func (s *StreamFIR) Push(x []float64) []float64 {
+	if s.flushed {
+		panic("dsp: StreamFIR.Push after Flush (Reset first)")
+	}
+	s.out = s.out[:0]
+	for len(x) > 0 {
+		take := s.block - s.fill
+		if take > len(x) {
+			take = len(x)
+		}
+		copy(s.seg[s.taps-1+s.fill:], x[:take])
+		s.fill += take
+		x = x[take:]
+		if s.fill == s.block {
+			s.runSegment(s.block)
+		}
+	}
+	return s.out
+}
+
+// Flush drains the filter: it pushes the group delay's worth of zeros and
+// the final partial segment, so the total output length equals the total
+// input length (exactly Apply's "same" alignment). The returned slice is
+// reused like Push's. After Flush only Reset may be called.
+func (s *StreamFIR) Flush() []float64 {
+	if s.flushed {
+		panic("dsp: StreamFIR.Flush called twice")
+	}
+	s.Push(s.zeros)
+	if s.fill > 0 {
+		want := s.fill
+		for i := s.taps - 1 + s.fill; i < s.n; i++ {
+			s.seg[i] = 0
+		}
+		s.runSegment(want)
+	}
+	s.flushed = true
+	return s.out
+}
+
+// Reset returns the filter to its initial state for a new session,
+// keeping the cached spectra and scratch buffers.
+func (s *StreamFIR) Reset() {
+	for i := range s.seg {
+		s.seg[i] = 0
+	}
+	s.fill = 0
+	s.skip = s.delay
+	s.out = s.out[:0]
+	s.flushed = false
+}
+
+// runSegment convolves the current window and appends the first want
+// valid outputs (want == block except for the final partial flush).
+func (s *StreamFIR) runSegment(want int) {
+	RFFTInto(s.spec, s.seg, s.scratch)
+	for i := range s.spec {
+		s.spec[i] *= s.hspec[i]
+	}
+	IRFFTInto(s.conv, s.spec, s.scratch)
+	// Positions [taps-1, n) of the circular result are the valid linear
+	// convolution outputs; the head absorbed the wraparound.
+	v := s.conv[s.taps-1 : s.taps-1+want]
+	if s.skip > 0 {
+		drop := s.skip
+		if drop > len(v) {
+			drop = len(v)
+		}
+		v = v[drop:]
+		s.skip -= drop
+	}
+	s.out = append(s.out, v...)
+	// The last taps-1 input samples become the next segment's overlap.
+	copy(s.seg[:s.taps-1], s.seg[s.n-s.taps+1:])
+	s.fill = 0
+}
+
+// HilbertFIR designs an odd-length (type III) FIR approximation of the
+// Hilbert transformer, Blackman-windowed: h[m] = 2/(pi*m) for odd m
+// around the centre, 0 elsewhere. Pairing a signal delayed by Delay()
+// samples with the filter output yields a streaming amplitude envelope
+// hypot(x, H{x}) — the causal stand-in for the batch AnalyticSignal
+// envelope, accurate for components a few bins above rate/taps.
+func HilbertFIR(taps int) *FIR {
+	if taps < 3 {
+		panic(fmt.Sprintf("dsp: HilbertFIR needs >= 3 taps, got %d", taps))
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	h := make([]float64, taps)
+	w := Blackman(taps)
+	mid := (taps - 1) / 2
+	for i := range h {
+		m := i - mid
+		if m%2 != 0 {
+			h[i] = 2 / (math.Pi * float64(m)) * w[i]
+		}
+	}
+	return &FIR{Taps: h}
+}
+
+// STFTAccumulator slides a Hann-windowed power-spectrum frame over a
+// pushed sample stream — the streaming twin of STFT for consumers that
+// fold rows as they appear instead of retaining a spectrogram. Rows are
+// computed with the exact arithmetic of the batch STFT (same window, same
+// calibration, same RFFT kernel), so folding the streamed rows reproduces
+// batch spectrogram statistics bit-for-bit. State is one frame of
+// buffered samples; Push does not allocate after construction.
+type STFTAccumulator struct {
+	fftSize, hop int
+	win          []float64
+	gain         float64
+
+	buf      []float64 // last < fftSize pending samples, contiguous at [0, buffered)
+	buffered int
+	frame    []float64    // windowed frame scratch
+	spec     []complex128 // fftSize/2+1
+	scratch  []complex128 // fftSize/2
+	row      []float64    // one-sided power row scratch, fftSize/2+1
+	frames   int
+
+	// OnRow receives each completed power row (len fftSize/2+1). The
+	// slice is reused for the next frame — fold it, don't retain it.
+	OnRow func(row []float64)
+}
+
+// NewSTFTAccumulator prepares a streaming analyser with the given
+// transform length (power of two) and hop.
+func NewSTFTAccumulator(fftSize, hop int, onRow func([]float64)) *STFTAccumulator {
+	if !IsPowerOfTwo(fftSize) {
+		panic(fmt.Sprintf("dsp: STFTAccumulator fftSize %d not a power of two", fftSize))
+	}
+	if hop <= 0 || hop > fftSize {
+		panic("dsp: STFTAccumulator hop must be in [1, fftSize]")
+	}
+	win := Hann(fftSize)
+	return &STFTAccumulator{
+		fftSize: fftSize,
+		hop:     hop,
+		win:     win,
+		gain:    WindowPowerGain(win) * float64(fftSize) * float64(fftSize),
+		buf:     make([]float64, fftSize),
+		frame:   make([]float64, fftSize),
+		spec:    make([]complex128, fftSize/2+1),
+		scratch: make([]complex128, fftSize/2),
+		row:     make([]float64, fftSize/2+1),
+		OnRow:   onRow,
+	}
+}
+
+// Push appends samples, emitting a row to OnRow for every completed hop.
+func (a *STFTAccumulator) Push(x []float64) {
+	for len(x) > 0 {
+		take := a.fftSize - a.buffered
+		if take > len(x) {
+			take = len(x)
+		}
+		copy(a.buf[a.buffered:], x[:take])
+		a.buffered += take
+		x = x[take:]
+		if a.buffered == a.fftSize {
+			a.emitRow()
+			copy(a.buf, a.buf[a.hop:])
+			a.buffered -= a.hop
+		}
+	}
+}
+
+// emitRow computes the calibrated one-sided power row of the current full
+// frame with the batch STFT's exact arithmetic.
+func (a *STFTAccumulator) emitRow() {
+	for i := 0; i < a.fftSize; i++ {
+		a.frame[i] = a.buf[i] * a.win[i]
+	}
+	RFFTInto(a.spec, a.frame, a.scratch)
+	for k := range a.row {
+		re, im := real(a.spec[k]), imag(a.spec[k])
+		p := (re*re + im*im) / a.gain
+		if k != 0 && k != a.fftSize/2 {
+			p *= 2 // one-sided spectrum: fold negative frequencies in
+		}
+		a.row[k] = p
+	}
+	a.frames++
+	if a.OnRow != nil {
+		a.OnRow(a.row)
+	}
+}
+
+// Frames returns the number of completed frames.
+func (a *STFTAccumulator) Frames() int { return a.frames }
+
+// Pending returns the buffered samples not yet part of a completed frame
+// (the zero-pad source for WelchAccumulator's short-signal path).
+func (a *STFTAccumulator) Pending() []float64 { return a.buf[:a.buffered] }
+
+// Reset clears the sample buffer and frame count for a new session.
+func (a *STFTAccumulator) Reset() {
+	a.buffered = 0
+	a.frames = 0
+}
+
+// WelchAccumulator estimates a one-sided power spectral density
+// incrementally: push samples in any chunking and PSD() returns, at every
+// point, exactly what dsp.Welch would return on the concatenation of all
+// samples pushed so far (bit-identical, including the zero-padded
+// single-frame path for streams shorter than one frame). Memory is one
+// analysis frame regardless of stream length.
+type WelchAccumulator struct {
+	stft *STFTAccumulator
+	sum  []float64 // running per-bin sum over completed frames
+}
+
+// NewWelchAccumulator prepares an accumulator with the given transform
+// length (power of two; hop is fftSize/2 to match dsp.Welch).
+func NewWelchAccumulator(fftSize int) *WelchAccumulator {
+	w := &WelchAccumulator{sum: make([]float64, fftSize/2+1)}
+	w.stft = NewSTFTAccumulator(fftSize, fftSize/2, func(row []float64) {
+		for k, p := range row {
+			w.sum[k] += p
+		}
+	})
+	return w
+}
+
+// Push appends samples to the stream. It does not allocate.
+func (w *WelchAccumulator) Push(x []float64) { w.stft.Push(x) }
+
+// Frames returns the number of completed Welch frames.
+func (w *WelchAccumulator) Frames() int { return w.stft.Frames() }
+
+// PSD returns the current Welch estimate (a fresh slice; the accumulator
+// keeps running). It matches dsp.Welch(all samples so far, fftSize)
+// bit-for-bit.
+func (w *WelchAccumulator) PSD() []float64 {
+	out := make([]float64, len(w.sum))
+	if w.stft.frames == 0 {
+		// Signal shorter than one frame: zero-pad a single frame, exactly
+		// like the batch fallback, without disturbing accumulator state.
+		a := w.stft
+		pending := a.Pending()
+		for i := 0; i < a.fftSize; i++ {
+			v := 0.0
+			if i < len(pending) {
+				v = pending[i] * a.win[i]
+			}
+			a.frame[i] = v
+		}
+		RFFTInto(a.spec, a.frame, a.scratch)
+		for k := range out {
+			re, im := real(a.spec[k]), imag(a.spec[k])
+			p := (re*re + im*im) / a.gain
+			if k != 0 && k != a.fftSize/2 {
+				p *= 2
+			}
+			out[k] = p
+		}
+		return out
+	}
+	inv := float64(w.stft.frames)
+	for k, s := range w.sum {
+		out[k] = s / inv
+	}
+	return out
+}
+
+// Reset clears the accumulator for a new session.
+func (w *WelchAccumulator) Reset() {
+	w.stft.Reset()
+	for i := range w.sum {
+		w.sum[i] = 0
+	}
+}
+
+// BandTracker runs a bank of Goertzel filters over fixed frames of a
+// pushed stream, tracking per-probe power frame by frame plus an
+// exponentially-decayed rolling estimate — O(probes) per sample with no
+// FFT and no allocation, for cheap always-on band monitoring (e.g. the
+// defense's 16-60 Hz trace band) between full feature extractions. Frame
+// powers are normalised like dsp.Goertzel (|X|^2/N^2).
+type BandTracker struct {
+	coeff  []float64
+	s1, s2 []float64
+	frame  int
+	pos    int
+	alpha  float64
+	last   []float64
+	roll   []float64
+	frames int
+}
+
+// NewBandTracker probes the given frequencies (Hz) over frames of the
+// given sample count. alpha in (0, 1] is the rolling-average weight of
+// the newest frame; 1 tracks only the latest frame.
+func NewBandTracker(rate float64, freqs []float64, frame int, alpha float64) *BandTracker {
+	if frame <= 0 {
+		panic("dsp: BandTracker frame must be positive")
+	}
+	if alpha <= 0 || alpha > 1 {
+		panic("dsp: BandTracker alpha must be in (0, 1]")
+	}
+	t := &BandTracker{
+		coeff: make([]float64, len(freqs)),
+		s1:    make([]float64, len(freqs)),
+		s2:    make([]float64, len(freqs)),
+		frame: frame,
+		alpha: alpha,
+		last:  make([]float64, len(freqs)),
+		roll:  make([]float64, len(freqs)),
+	}
+	for i, f := range freqs {
+		t.coeff[i] = 2 * math.Cos(2*math.Pi*f/rate)
+	}
+	return t
+}
+
+// Push advances the filter bank over x, completing frames as they fill.
+func (t *BandTracker) Push(x []float64) {
+	for _, v := range x {
+		for i, c := range t.coeff {
+			s0 := v + c*t.s1[i] - t.s2[i]
+			t.s2[i] = t.s1[i]
+			t.s1[i] = s0
+		}
+		t.pos++
+		if t.pos == t.frame {
+			t.completeFrame()
+		}
+	}
+}
+
+func (t *BandTracker) completeFrame() {
+	n2 := float64(t.frame) * float64(t.frame)
+	for i, c := range t.coeff {
+		p := (t.s1[i]*t.s1[i] + t.s2[i]*t.s2[i] - c*t.s1[i]*t.s2[i]) / n2
+		t.last[i] = p
+		if t.frames == 0 {
+			t.roll[i] = p
+		} else {
+			t.roll[i] = t.alpha*p + (1-t.alpha)*t.roll[i]
+		}
+		t.s1[i] = 0
+		t.s2[i] = 0
+	}
+	t.frames++
+	t.pos = 0
+}
+
+// Frames returns the number of completed frames.
+func (t *BandTracker) Frames() int { return t.frames }
+
+// Last returns probe i's power in the most recent completed frame.
+func (t *BandTracker) Last(i int) float64 { return t.last[i] }
+
+// Rolling returns probe i's exponentially-decayed rolling power.
+func (t *BandTracker) Rolling(i int) float64 { return t.roll[i] }
+
+// RollingTotal sums the rolling power across all probes — a scalar
+// "energy present in the tracked band" signal.
+func (t *BandTracker) RollingTotal() float64 {
+	var s float64
+	for _, v := range t.roll {
+		s += v
+	}
+	return s
+}
+
+// Reset clears all filter state for a new session.
+func (t *BandTracker) Reset() {
+	for i := range t.s1 {
+		t.s1[i], t.s2[i] = 0, 0
+		t.last[i], t.roll[i] = 0, 0
+	}
+	t.pos = 0
+	t.frames = 0
+}

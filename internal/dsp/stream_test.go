@@ -1,0 +1,304 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testStream builds a deterministic broadband test signal.
+func testStream(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		t := float64(i)
+		x[i] = 0.5*math.Sin(2*math.Pi*0.01*t) +
+			0.3*math.Sin(2*math.Pi*0.07*t+0.4) +
+			0.2*(rng.Float64()*2-1)
+	}
+	return x
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	n := len(a)
+	if len(b) != n {
+		return math.Inf(1)
+	}
+	var m float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestRFFTIntoMatchesRFFT(t *testing.T) {
+	for _, n := range []int{4, 16, 1024, 4096} {
+		x := testStream(n, 7)
+		want := RFFT(x)
+		dst := make([]complex128, n/2+1)
+		scratch := make([]complex128, n/2)
+		got := RFFTInto(dst, x, scratch)
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("n=%d bin %d: RFFTInto %v != RFFT %v", n, k, got[k], want[k])
+			}
+		}
+		back := IRFFTInto(make([]float64, n), got, scratch)
+		ref := IRFFT(want, n)
+		for i := range ref {
+			if back[i] != ref[i] {
+				t.Fatalf("n=%d sample %d: IRFFTInto %v != IRFFT %v", n, i, back[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestRFFTIntoNoAlloc(t *testing.T) {
+	const n = 4096
+	x := testStream(n, 3)
+	dst := make([]complex128, n/2+1)
+	out := make([]float64, n)
+	scratch := make([]complex128, n/2)
+	RFFTInto(dst, x, scratch) // warm the plan cache
+	allocs := testing.AllocsPerRun(50, func() {
+		RFFTInto(dst, x, scratch)
+		IRFFTInto(out, dst, scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("RFFTInto+IRFFTInto allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestStreamFIRMatchesApply(t *testing.T) {
+	x := testStream(10_000, 11)
+	filters := map[string]*FIR{
+		"lowpass-101":   LowPassFIR(101, 0.12),
+		"bandpass-1023": BandPassFIR(1023, 0.00125, 0.1667),
+		"bandpass-4095": BandPassFIR(4095, 0.0003, 0.00125),
+		"hilbert-501":   HilbertFIR(501),
+	}
+	for name, f := range filters {
+		want := f.Apply(x)
+		for _, chunk := range []int{1, 7, 960, len(x)} {
+			s := NewStreamFIR(f, 0)
+			var got []float64
+			for off := 0; off < len(x); off += chunk {
+				end := off + chunk
+				if end > len(x) {
+					end = len(x)
+				}
+				got = append(got, s.Push(x[off:end])...)
+			}
+			got = append(got, s.Flush()...)
+			if len(got) != len(want) {
+				t.Fatalf("%s chunk %d: got %d samples, want %d", name, chunk, len(got), len(want))
+			}
+			if d := maxAbsDiff(got, want); d > 1e-9 {
+				t.Fatalf("%s chunk %d: max deviation %g vs Apply", name, chunk, d)
+			}
+		}
+	}
+}
+
+func TestStreamFIRShortStream(t *testing.T) {
+	// Streams shorter than the group delay still produce len(x) samples.
+	f := BandPassFIR(4095, 0.001, 0.01)
+	x := testStream(50, 5)
+	want := f.Apply(x)
+	s := NewStreamFIR(f, 0)
+	got := append(s.Push(x), s.Flush()...)
+	if len(got) != len(want) {
+		t.Fatalf("got %d samples, want %d", len(got), len(want))
+	}
+	if d := maxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("max deviation %g vs Apply", d)
+	}
+}
+
+func TestStreamFIRReset(t *testing.T) {
+	f := LowPassFIR(255, 0.1)
+	x := testStream(4_000, 23)
+	want := f.Apply(x)
+	s := NewStreamFIR(f, 0)
+	s.Push(x[:1234])
+	s.Flush()
+	s.Reset()
+	got := append([]float64(nil), s.Push(x)...)
+	got = append(got, s.Flush()...)
+	if d := maxAbsDiff(got, want); d > 1e-9 {
+		t.Fatalf("after Reset: max deviation %g vs Apply", d)
+	}
+}
+
+func TestStreamFIRPushNoAlloc(t *testing.T) {
+	f := BandPassFIR(1023, 0.01, 0.2)
+	s := NewStreamFIR(f, 4096)
+	frame := testStream(960, 9)
+	for i := 0; i < 32; i++ { // warm up output staging and plan cache
+		s.Push(frame)
+	}
+	allocs := testing.AllocsPerRun(100, func() { s.Push(frame) })
+	if allocs != 0 {
+		t.Fatalf("StreamFIR.Push allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestWelchAccumulatorMatchesBatch(t *testing.T) {
+	for _, n := range []int{100, 4096, 10_000, 33_000} {
+		x := testStream(n, int64(n))
+		want := Welch(x, 4096)
+		for _, chunk := range []int{1, 137, 960, n} {
+			acc := NewWelchAccumulator(4096)
+			for off := 0; off < n; off += chunk {
+				end := off + chunk
+				if end > n {
+					end = n
+				}
+				acc.Push(x[off:end])
+			}
+			got := acc.PSD()
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("n=%d chunk=%d bin %d: streaming %g != batch %g",
+						n, chunk, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+func TestWelchAccumulatorMidStreamSnapshot(t *testing.T) {
+	// PSD() mid-stream equals batch Welch over the prefix pushed so far,
+	// and taking the snapshot does not disturb later results.
+	x := testStream(20_000, 77)
+	acc := NewWelchAccumulator(4096)
+	acc.Push(x[:9_000])
+	snap := acc.PSD()
+	want := Welch(x[:9_000], 4096)
+	for k := range want {
+		if snap[k] != want[k] {
+			t.Fatalf("prefix bin %d: streaming %g != batch %g", k, snap[k], want[k])
+		}
+	}
+	acc.Push(x[9_000:])
+	got := acc.PSD()
+	full := Welch(x, 4096)
+	for k := range full {
+		if got[k] != full[k] {
+			t.Fatalf("full bin %d: streaming %g != batch %g", k, got[k], full[k])
+		}
+	}
+}
+
+func TestSTFTAccumulatorMatchesBatch(t *testing.T) {
+	x := testStream(30_000, 31)
+	const fftSize, hop = 4096, 2048
+	want := STFT(x, 48000, fftSize, hop)
+	var rows [][]float64
+	acc := NewSTFTAccumulator(fftSize, hop, func(row []float64) {
+		rows = append(rows, append([]float64(nil), row...))
+	})
+	for off := 0; off < len(x); off += 960 {
+		end := off + 960
+		if end > len(x) {
+			end = len(x)
+		}
+		acc.Push(x[off:end])
+	}
+	if len(rows) != want.Frames() {
+		t.Fatalf("streaming produced %d frames, batch %d", len(rows), want.Frames())
+	}
+	for f, row := range rows {
+		for k := range row {
+			if row[k] != want.Power[f][k] {
+				t.Fatalf("frame %d bin %d: streaming %g != batch %g",
+					f, k, row[k], want.Power[f][k])
+			}
+		}
+	}
+}
+
+func TestWelchAccumulatorPushNoAlloc(t *testing.T) {
+	acc := NewWelchAccumulator(4096)
+	frame := testStream(960, 41)
+	for i := 0; i < 16; i++ {
+		acc.Push(frame)
+	}
+	allocs := testing.AllocsPerRun(100, func() { acc.Push(frame) })
+	if allocs != 0 {
+		t.Fatalf("WelchAccumulator.Push allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestBandTrackerMatchesGoertzel(t *testing.T) {
+	const rate = 48000.0
+	const frame = 960
+	freqs := []float64{20, 30, 50}
+	x := testStream(5*frame, 13)
+	tr := NewBandTracker(rate, freqs, frame, 1) // alpha 1: rolling == last
+	tr.Push(x)
+	if tr.Frames() != 5 {
+		t.Fatalf("frames = %d, want 5", tr.Frames())
+	}
+	lastFrame := x[4*frame : 5*frame]
+	for i, f := range freqs {
+		want := Goertzel(lastFrame, f, rate)
+		if got := tr.Last(i); math.Abs(got-want) > 1e-15*(1+want) {
+			t.Fatalf("probe %g Hz: tracker %g != Goertzel %g", f, got, want)
+		}
+		if tr.Rolling(i) != tr.Last(i) {
+			t.Fatalf("alpha=1 rolling should equal last")
+		}
+	}
+}
+
+func TestBandTrackerRolling(t *testing.T) {
+	const rate, frame = 1000.0, 100
+	tr := NewBandTracker(rate, []float64{50}, frame, 0.5)
+	tone := make([]float64, frame)
+	for i := range tone {
+		tone[i] = math.Sin(2 * math.Pi * 50 * float64(i) / rate)
+	}
+	silence := make([]float64, frame)
+	tr.Push(tone)
+	p1 := tr.Rolling(0)
+	tr.Push(silence)
+	p2 := tr.Rolling(0)
+	if !(p1 > 0.2 && p2 < p1 && p2 > 0.2*p1) {
+		t.Fatalf("rolling average did not decay as expected: %g -> %g", p1, p2)
+	}
+	if tr.RollingTotal() != tr.Rolling(0) {
+		t.Fatalf("RollingTotal mismatch for single probe")
+	}
+}
+
+func TestHilbertEnvelopeTracksAnalytic(t *testing.T) {
+	// The FIR Hilbert envelope should track the batch analytic envelope
+	// for in-band components once edge transients are excluded.
+	const rate = 48000.0
+	n := 20_000
+	x := make([]float64, n)
+	for i := range x {
+		t := float64(i) / rate
+		carrier := math.Sin(2 * math.Pi * 440 * t)
+		x[i] = (0.6 + 0.4*math.Sin(2*math.Pi*5*t)) * carrier
+	}
+	want := Envelope(x)
+	h := HilbertFIR(1023)
+	s := NewStreamFIR(h, 0)
+	hx := append([]float64(nil), s.Push(x)...)
+	hx = append(hx, s.Flush()...)
+	var worst float64
+	for i := 2000; i < n-2000; i++ {
+		env := math.Hypot(x[i], hx[i])
+		if d := math.Abs(env - want[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.02 {
+		t.Fatalf("FIR Hilbert envelope deviates %g from analytic envelope", worst)
+	}
+}

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"fmt"
+
+	"inaudible/internal/defense"
+	"inaudible/internal/voice"
+)
+
+// DetectorKinds lists the trainable detector kinds accepted by
+// TrainDetector, in presentation order.
+func DetectorKinds() []string { return []string{"svm", "logistic", "threshold"} }
+
+// QuickCorpusConfig shrinks cfg to the Quick-suite corpus grid — the
+// same reduction the E-suite applies under Options.Quick — for callers
+// (cmd/guardd, demos) that trade corpus size for start-up time.
+func QuickCorpusConfig(cfg CorpusConfig) CorpusConfig {
+	cfg.CommandIDs = []string{"photo"}
+	cfg.Profiles = voice.Profiles()[:2]
+	cfg.LegitSPLs = []float64{66}
+	cfg.LegitDistances = []float64{1, 2.5}
+	cfg.AttackPowers = []float64{18.7}
+	cfg.AttackDistances = []float64{1.5, 2.5}
+	cfg.Trials = 2
+	return cfg
+}
+
+// TrainDetector simulates cfg's corpus and trains the named detector
+// kind over the batch-extracted features: "svm" (Pegasos linear SVM,
+// the experiment suite's classifier), "logistic" (calibrated
+// probabilities) or "threshold" (the paper's per-feature threshold
+// rule). It is the one classifier switch shared by every front end
+// (cmd/defend, cmd/guardd, examples); hyper-parameters match the
+// E-suite's. The returned detector is safe for concurrent readers.
+func TrainDetector(kind string, cfg CorpusConfig, seed int64) (defense.Detector, error) {
+	legit, err := BuildLegit(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: building legit corpus: %w", err)
+	}
+	attacks, err := BuildAttacks(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: building attack corpus: %w", err)
+	}
+	recs := append(legit, attacks...)
+	samples := extractSamples(cfg.runner(), recs)
+	switch kind {
+	case "svm":
+		return defense.TrainSVM(samples, 0.01, 60, seed)
+	case "logistic":
+		return defense.TrainLogistic(samples, 0.5, 400)
+	case "threshold":
+		return defense.CalibrateThresholds(samples)
+	default:
+		return nil, fmt.Errorf("experiment: unknown detector kind %q (want svm, logistic or threshold)", kind)
+	}
+}

@@ -155,13 +155,7 @@ func (s *Suite) corpus() error {
 		cfg := DefaultCorpusConfig(s.scenario())
 		cfg.Runner = s.runner
 		if s.Opt.Quick {
-			cfg.CommandIDs = []string{"photo"}
-			cfg.Profiles = voice.Profiles()[:2]
-			cfg.LegitSPLs = []float64{66}
-			cfg.LegitDistances = []float64{1, 2.5}
-			cfg.AttackPowers = []float64{18.7}
-			cfg.AttackDistances = []float64{1.5, 2.5}
-			cfg.Trials = 2
+			cfg = QuickCorpusConfig(cfg)
 		}
 		legit, err := BuildLegit(cfg)
 		if err != nil {

@@ -1,0 +1,226 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"inaudible/internal/defense"
+	"inaudible/internal/dsp"
+	"inaudible/internal/voice"
+)
+
+// GuardConfig wires one streaming defense session: which detector
+// decides, how big the processing hop is, and how often interim
+// verdicts are emitted.
+type GuardConfig struct {
+	// Rate is the session sample rate (must exceed 16 kHz, like the
+	// Analyzer's).
+	Rate float64
+	// Detector scores the feature vector. It is only read, so one
+	// trained detector may back any number of concurrent guards.
+	Detector defense.Detector
+	// FrameSamples is the nominal processing hop; <= 0 selects 20 ms.
+	FrameSamples int
+	// VADThreshDB is the voice-activity threshold below the running
+	// peak; <= 0 selects 30 dB.
+	VADThreshDB float64
+	// EmitEvery emits an interim verdict every EmitEvery completed
+	// frames; 0 emits only the final verdict. Interim verdicts allocate
+	// (feature snapshots copy the PSD); the per-frame hop path does not.
+	EmitEvery int
+	// MaxCorrSeconds bounds the analyzer's correlation memory
+	// (see AnalyzerConfig).
+	MaxCorrSeconds float64
+}
+
+// LatencyStats aggregates processing-time measurements of a guard
+// session. Latency is measured per Push call and attributed to the
+// frames the call completed.
+type LatencyStats struct {
+	// Pushes and Frames count Push calls and completed frames.
+	Pushes, Frames int
+	// Total is the summed processing time of all Push calls.
+	Total time.Duration
+	// MaxPush is the longest single Push (the worst stall a realtime
+	// caller would have observed).
+	MaxPush time.Duration
+}
+
+// MeanPerFrame returns the average processing time per completed frame.
+func (l LatencyStats) MeanPerFrame() time.Duration {
+	if l.Frames == 0 {
+		return 0
+	}
+	return l.Total / time.Duration(l.Frames)
+}
+
+// String implements fmt.Stringer.
+func (l LatencyStats) String() string {
+	return fmt.Sprintf("latency(frames=%d mean=%s max-push=%s)",
+		l.Frames, l.MeanPerFrame(), l.MaxPush)
+}
+
+// Verdict is one detection event of a guard session: the current
+// feature snapshot, the detector's decision over it, and the session
+// counters at emission time.
+type Verdict struct {
+	// Attack and Score are the detector's decision: Attack == Score > 0.
+	Attack bool
+	Score  float64
+	// Features is the vector the decision was made over.
+	Features defense.Features
+	// Final marks the end-of-session verdict (filter chains flushed,
+	// full batch parity); interim verdicts cover the stream so far.
+	Final bool
+	// Samples and Duration measure the audio consumed at emission.
+	Samples  int
+	Duration float64 // seconds
+	// SpeechActive and ActiveFraction report the online VAD state.
+	SpeechActive   bool
+	ActiveFraction float64
+	// TraceBandPower is the rolling Goertzel power in the 16-60 Hz
+	// trace band — the cheap always-on alarm signal between full
+	// feature extractions.
+	TraceBandPower float64
+	// Latency reflects processing cost up to the emission.
+	Latency LatencyStats
+}
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	kind := "interim"
+	if v.Final {
+		kind = "final"
+	}
+	label := "LEGITIMATE"
+	if v.Attack {
+		label = "ATTACK"
+	}
+	return fmt.Sprintf("%s %s (score %+.3f, %.2fs, vad %.0f%%) %v",
+		kind, label, v.Score, v.Duration, 100*v.ActiveFraction, v.Features)
+}
+
+// Guard is one always-on defense session: it chains the online VAD, the
+// streaming feature analyzer and a trained detector, emitting verdict
+// events with per-frame latency statistics. A Guard is single-session
+// state — one per connection/stream — while the Detector behind it is
+// shared. Use Reset to reuse a guard (and its buffers) across sessions.
+type Guard struct {
+	cfg     GuardConfig
+	an      *Analyzer
+	vad     *voice.StreamVAD
+	tracker *dsp.BandTracker
+	lat     LatencyStats
+	frames  int
+	done    bool
+}
+
+// NewGuard builds a streaming guard session.
+func NewGuard(cfg GuardConfig) *Guard {
+	if cfg.Detector == nil {
+		panic("stream: GuardConfig.Detector is required")
+	}
+	if cfg.FrameSamples <= 0 {
+		cfg.FrameSamples = int(0.020 * cfg.Rate)
+	}
+	if cfg.VADThreshDB <= 0 {
+		cfg.VADThreshDB = 30
+	}
+	b := defense.Bands()
+	// Probe the trace band at a few infra-voice frequencies; one
+	// Goertzel frame per processing hop.
+	probes := []float64{
+		b.TraceLo + (b.TraceHi-b.TraceLo)*0.1,
+		(b.TraceLo + b.TraceHi) / 2,
+		b.TraceHi - (b.TraceHi-b.TraceLo)*0.1,
+	}
+	return &Guard{
+		cfg:     cfg,
+		an:      NewAnalyzer(AnalyzerConfig{Rate: cfg.Rate, MaxCorrSeconds: cfg.MaxCorrSeconds}),
+		vad:     voice.NewStreamVAD(cfg.Rate, cfg.VADThreshDB),
+		tracker: dsp.NewBandTracker(cfg.Rate, probes, cfg.FrameSamples, 0.2),
+	}
+}
+
+// FrameSamples returns the processing hop in samples.
+func (g *Guard) FrameSamples() int { return g.cfg.FrameSamples }
+
+// Samples returns the number of samples consumed so far.
+func (g *Guard) Samples() int { return g.an.Samples() }
+
+// Latency returns the processing-time statistics so far.
+func (g *Guard) Latency() LatencyStats { return g.lat }
+
+// Push feeds the next chunk of session audio (any size; the nominal
+// frame is FrameSamples). It returns a non-nil interim Verdict when the
+// session crossed an EmitEvery frame boundary, else nil. The hop path
+// allocates nothing after warm-up.
+func (g *Guard) Push(x []float64) *Verdict {
+	if g.done {
+		panic("stream: Guard.Push after Finalize (Reset first)")
+	}
+	start := time.Now()
+	g.an.Push(x)
+	g.vad.Push(x)
+	g.tracker.Push(x)
+	framesBefore := g.frames
+	g.frames = g.an.Samples() / g.cfg.FrameSamples
+	elapsed := time.Since(start)
+	g.lat.Pushes++
+	g.lat.Total += elapsed
+	g.lat.Frames = g.frames
+	if elapsed > g.lat.MaxPush {
+		g.lat.MaxPush = elapsed
+	}
+	if g.cfg.EmitEvery > 0 && g.frames/g.cfg.EmitEvery > framesBefore/g.cfg.EmitEvery {
+		v := g.verdict(false)
+		return &v
+	}
+	return nil
+}
+
+// Finalize flushes the analyzer and returns the end-of-session verdict
+// (the one with full batch-extractor parity). After Finalize, Push
+// panics until Reset.
+func (g *Guard) Finalize() Verdict {
+	if !g.done {
+		start := time.Now()
+		g.an.Finalize()
+		g.lat.Total += time.Since(start)
+		g.done = true
+	}
+	return g.verdict(true)
+}
+
+// Reset clears all per-session state for reuse.
+func (g *Guard) Reset() {
+	g.an.Reset()
+	g.vad.Reset()
+	g.tracker.Reset()
+	g.lat = LatencyStats{}
+	g.frames = 0
+	g.done = false
+}
+
+// verdict scores the current feature snapshot.
+func (g *Guard) verdict(final bool) Verdict {
+	var f defense.Features
+	if final {
+		f = g.an.Finalize() // idempotent once done
+	} else {
+		f = g.an.Features()
+	}
+	x := f.Vector()
+	return Verdict{
+		Attack:         g.cfg.Detector.Predict(x),
+		Score:          g.cfg.Detector.Score(x),
+		Features:       f,
+		Final:          final,
+		Samples:        g.an.Samples(),
+		Duration:       float64(g.an.Samples()) / g.cfg.Rate,
+		SpeechActive:   g.vad.Active(),
+		ActiveFraction: g.vad.ActiveFraction(),
+		TraceBandPower: g.tracker.RollingTotal(),
+		Latency:        g.lat,
+	}
+}

@@ -1,0 +1,166 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/defense"
+)
+
+// testDetector calibrates a threshold detector from the streaming
+// features of held-out synthetic attack/legit signals.
+func testDetector(t testing.TB) defense.Detector {
+	t.Helper()
+	const rate = 48000.0
+	var samples []defense.Sample
+	for seed := int64(20); seed < 23; seed++ {
+		samples = append(samples,
+			defense.Sample{X: Extract(attackLike(rate, 2, seed), 960).Vector(), Attack: true},
+			defense.Sample{X: Extract(legitLike(rate, 2, seed), 960).Vector(), Attack: false},
+		)
+	}
+	det, err := defense.CalibrateThresholds(samples)
+	if err != nil {
+		t.Fatalf("calibrating test detector: %v", err)
+	}
+	return det
+}
+
+func feedGuard(g *Guard, sig *audio.Signal) []Verdict {
+	var verdicts []Verdict
+	frame := g.FrameSamples()
+	for off := 0; off < len(sig.Samples); off += frame {
+		end := off + frame
+		if end > len(sig.Samples) {
+			end = len(sig.Samples)
+		}
+		if v := g.Push(sig.Samples[off:end]); v != nil {
+			verdicts = append(verdicts, *v)
+		}
+	}
+	verdicts = append(verdicts, g.Finalize())
+	return verdicts
+}
+
+func TestGuardSeparatesClasses(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	atk := feedGuard(NewGuard(GuardConfig{Rate: rate, Detector: det}), attackLike(rate, 2.5, 30))
+	leg := feedGuard(NewGuard(GuardConfig{Rate: rate, Detector: det}), legitLike(rate, 2.5, 31))
+	final := atk[len(atk)-1]
+	if !final.Final || !final.Attack {
+		t.Fatalf("attack session verdict: %v", final)
+	}
+	if got := leg[len(leg)-1]; got.Attack {
+		t.Fatalf("legit session flagged as attack: %v", got)
+	}
+	if final.Latency.Frames == 0 || final.Latency.Total <= 0 {
+		t.Fatalf("missing latency stats: %+v", final.Latency)
+	}
+	if final.Samples != int(rate*2.5) {
+		t.Fatalf("final verdict samples = %d, want %d", final.Samples, int(rate*2.5))
+	}
+}
+
+func TestGuardInterimVerdicts(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	g := NewGuard(GuardConfig{Rate: rate, Detector: det, EmitEvery: 25})
+	sig := attackLike(rate, 2.0, 33)
+	verdicts := feedGuard(g, sig)
+	frames := sig.Len() / g.FrameSamples()
+	wantInterim := frames / 25
+	if len(verdicts) != wantInterim+1 {
+		t.Fatalf("got %d verdicts, want %d interim + 1 final", len(verdicts), wantInterim)
+	}
+	for i, v := range verdicts[:len(verdicts)-1] {
+		if v.Final {
+			t.Fatalf("interim verdict %d marked final", i)
+		}
+		if v.Samples == 0 || v.Duration == 0 {
+			t.Fatalf("interim verdict %d missing progress counters: %v", i, v)
+		}
+	}
+	if !verdicts[len(verdicts)-1].Final {
+		t.Fatalf("last verdict not final")
+	}
+	if verdicts[0].Attack != true {
+		t.Logf("note: first interim verdict not yet attack (fine early in stream): %v", verdicts[0])
+	}
+}
+
+func TestGuardConcurrentSessions(t *testing.T) {
+	// Eight concurrent sessions over one shared detector: the
+	// acceptance gate for `go test -race ./internal/stream`. Sessions
+	// with identical input must produce identical verdicts regardless
+	// of interleaving.
+	const rate = 48000.0
+	const sessions = 8
+	det := testDetector(t)
+	inputs := make([]*audio.Signal, sessions)
+	for i := range inputs {
+		if i%2 == 0 {
+			inputs[i] = attackLike(rate, 1.5, 40)
+		} else {
+			inputs[i] = legitLike(rate, 1.5, 41)
+		}
+	}
+	verdicts := make([]Verdict, sessions)
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := NewGuard(GuardConfig{Rate: rate, Detector: det, EmitEvery: 10})
+			vs := feedGuard(g, inputs[i])
+			verdicts[i] = vs[len(vs)-1]
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range verdicts {
+		wantAttack := i%2 == 0
+		if v.Attack != wantAttack {
+			t.Errorf("session %d: attack=%v, want %v (%v)", i, v.Attack, wantAttack, v)
+		}
+	}
+	// Determinism across interleavings: all even sessions saw identical
+	// input, so their feature vectors must be identical.
+	for i := 2; i < sessions; i += 2 {
+		if verdicts[i].Features != verdicts[0].Features {
+			t.Errorf("session %d features diverged from session 0: %v vs %v",
+				i, verdicts[i].Features, verdicts[0].Features)
+		}
+	}
+}
+
+func TestGuardReset(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	g := NewGuard(GuardConfig{Rate: rate, Detector: det})
+	sig := attackLike(rate, 1.5, 50)
+	first := feedGuard(g, sig)
+	g.Reset()
+	if g.Samples() != 0 || g.Latency().Frames != 0 {
+		t.Fatalf("Reset left session state: samples=%d latency=%+v", g.Samples(), g.Latency())
+	}
+	second := feedGuard(g, sig)
+	if first[len(first)-1].Features != second[len(second)-1].Features {
+		t.Fatalf("reused guard diverged: %v vs %v",
+			first[len(first)-1].Features, second[len(second)-1].Features)
+	}
+}
+
+func TestGuardPushNoAlloc(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	g := NewGuard(GuardConfig{Rate: rate, Detector: det}) // EmitEvery 0: pure hop path
+	frame := attackLike(rate, 0.1, 51).Samples[:g.FrameSamples()]
+	for i := 0; i < 200; i++ {
+		g.Push(frame)
+	}
+	allocs := testing.AllocsPerRun(200, func() { g.Push(frame) })
+	if allocs != 0 {
+		t.Fatalf("Guard.Push allocated %v times per run in the hop loop, want 0", allocs)
+	}
+}

@@ -1,0 +1,355 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/defense"
+)
+
+// runtimeWorkers is the default session concurrency.
+func runtimeWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Wire protocol of the guard service. One connection (or one stdin run)
+// carries one audio session, in either of two self-identifying formats:
+//
+//   - Streaming WAV: a mono 16-bit PCM WAV stream ("RIFF" magic),
+//     decoded incrementally via audio.WAVReader — never buffered whole.
+//   - Length-prefixed PCM: "GRD1" magic, uint32 LE sample rate, then
+//     chunks of [uint32 LE byte length | int16 LE PCM payload]; a zero
+//     length ends the session.
+//
+// The service answers with JSON verdict lines as the session
+// progresses: zero or more {"final":false,...} interim lines (every
+// ServerConfig.EmitEvery frames) and exactly one {"final":true,...}
+// line at end of session. Malformed sessions get one {"error":...}
+// line.
+
+// Magic is the length-prefixed PCM session preamble.
+const Magic = "GRD1"
+
+// MaxChunkBytes bounds one length-prefixed PCM chunk (1 MiB, ~10 s at
+// 48 kHz) so a hostile length prefix cannot balloon allocations.
+const MaxChunkBytes = 1 << 20
+
+// ErrProtocol reports a malformed session stream.
+var ErrProtocol = errors.New("stream: malformed session")
+
+// ServerConfig wires the concurrent guard service.
+type ServerConfig struct {
+	// Detector scores every session; it is shared and only read.
+	Detector defense.Detector
+	// Workers caps concurrent sessions, with experiment.Runner's pool
+	// semantics: excess sessions queue for a slot instead of failing.
+	// <= 0 selects GOMAXPROCS.
+	Workers int
+	// EmitEvery streams an interim verdict line every EmitEvery frames;
+	// 0 sends only the final verdict.
+	EmitEvery int
+	// MaxCorrSeconds bounds each session's correlation memory
+	// (see AnalyzerConfig).
+	MaxCorrSeconds float64
+}
+
+// Server runs guard sessions over byte streams with bounded
+// concurrency and pooled per-session state. Guards (with their FFT
+// segments and accumulator frames) are recycled through a sync.Pool, so
+// steady traffic at one sample rate allocates no fresh session state.
+type Server struct {
+	cfg      ServerConfig
+	sem      chan struct{}
+	guards   sync.Pool // *Guard, possibly of mismatched rate
+	scratch  sync.Pool // *sessionScratch
+	sessions atomic.Int64
+	active   atomic.Int64
+}
+
+// sessionScratch is the pooled per-session I/O state.
+type sessionScratch struct {
+	pcm []byte
+	smp []float64
+	br  *bufio.Reader
+	bw  *bufio.Writer
+}
+
+// NewServer builds a guard service around a trained detector.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Detector == nil {
+		panic("stream: ServerConfig.Detector is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtimeWorkers()
+	}
+	return &Server{cfg: cfg, sem: make(chan struct{}, workers)}
+}
+
+// Sessions returns the number of sessions served (including failed).
+func (s *Server) Sessions() int64 { return s.sessions.Load() }
+
+// ActiveSessions returns the number of sessions currently in flight.
+func (s *Server) ActiveSessions() int64 { return s.active.Load() }
+
+// Workers reports the session concurrency cap.
+func (s *Server) Workers() int { return cap(s.sem) }
+
+// ServeListener accepts one session per connection until the listener
+// closes, fanning sessions across the worker pool. Connections beyond
+// the pool size queue for a slot (backpressure, not rejection).
+func (s *Server) ServeListener(l net.Listener) error {
+	var wg sync.WaitGroup
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			wg.Wait()
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.sem <- struct{}{} // acquire a session slot before spawning
+		wg.Add(1)
+		go func() {
+			defer func() { <-s.sem; wg.Done(); conn.Close() }()
+			s.serve(conn, conn)
+		}()
+	}
+}
+
+// ServeSession runs one session from r, writing verdict lines to w —
+// the stdin/stdout entry point. It occupies a worker slot like a
+// connection does.
+func (s *Server) ServeSession(r io.Reader, w io.Writer) error {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	return s.serve(r, w)
+}
+
+// serve decodes one session and streams verdicts.
+func (s *Server) serve(r io.Reader, w io.Writer) error {
+	s.sessions.Add(1)
+	s.active.Add(1)
+	defer s.active.Add(-1)
+
+	sc, _ := s.scratch.Get().(*sessionScratch)
+	if sc == nil {
+		sc = &sessionScratch{
+			pcm: make([]byte, 64<<10),
+			smp: make([]float64, 32<<10),
+			br:  bufio.NewReaderSize(nil, 64<<10),
+			bw:  bufio.NewWriterSize(nil, 4<<10),
+		}
+	}
+	sc.br.Reset(r)
+	sc.bw.Reset(w)
+	defer func() {
+		sc.bw.Flush()
+		s.scratch.Put(sc)
+	}()
+
+	err := s.serveDecoded(sc)
+	if err != nil {
+		writeJSONLine(sc.bw, map[string]string{"error": err.Error()})
+	}
+	if ferr := sc.bw.Flush(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// serveDecoded dispatches on the session magic and runs the guard.
+func (s *Server) serveDecoded(sc *sessionScratch) error {
+	magic, err := sc.br.Peek(4)
+	if err != nil {
+		return fmt.Errorf("%w: reading magic: %v", ErrProtocol, err)
+	}
+	switch string(magic) {
+	case "RIFF":
+		wr, err := audio.NewWAVReader(sc.br)
+		if err != nil {
+			return err
+		}
+		return s.runSession(sc, wr.Rate(), func(dst []float64) (int, error) { return wr.Read(dst) })
+	case Magic:
+		if _, err := sc.br.Discard(4); err != nil {
+			return err
+		}
+		var rateBuf [4]byte
+		if _, err := io.ReadFull(sc.br, rateBuf[:]); err != nil {
+			return fmt.Errorf("%w: reading sample rate: %v", ErrProtocol, err)
+		}
+		rate := float64(binary.LittleEndian.Uint32(rateBuf[:]))
+		pcm := &pcmChunkReader{br: sc.br, buf: sc.pcm}
+		err := s.runSession(sc, rate, pcm.read)
+		sc.pcm = pcm.buf // keep a buffer grown for large chunks pooled
+		return err
+	default:
+		return fmt.Errorf("%w: unknown magic %q (want RIFF or %s)", ErrProtocol, magic, Magic)
+	}
+}
+
+// pcmChunkReader decodes the length-prefixed PCM framing.
+type pcmChunkReader struct {
+	br      *bufio.Reader
+	buf     []byte
+	pending []byte // undecoded remainder of the current chunk
+	done    bool
+}
+
+// read decodes up to len(dst) samples from the chunk stream.
+func (p *pcmChunkReader) read(dst []float64) (int, error) {
+	if len(p.pending) == 0 {
+		if p.done {
+			return 0, io.EOF
+		}
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(p.br, lenBuf[:]); err != nil {
+			return 0, fmt.Errorf("%w: reading chunk length: %v", ErrProtocol, err)
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n == 0 {
+			p.done = true
+			return 0, io.EOF
+		}
+		if n > MaxChunkBytes {
+			return 0, fmt.Errorf("%w: chunk of %d bytes exceeds %d", ErrProtocol, n, MaxChunkBytes)
+		}
+		if n%2 != 0 {
+			return 0, fmt.Errorf("%w: odd chunk length %d", ErrProtocol, n)
+		}
+		if cap(p.buf) < int(n) {
+			p.buf = make([]byte, n)
+		}
+		buf := p.buf[:n]
+		if _, err := io.ReadFull(p.br, buf); err != nil {
+			return 0, fmt.Errorf("%w: reading chunk payload: %v", ErrProtocol, err)
+		}
+		p.pending = buf
+	}
+	n := len(dst)
+	if n > len(p.pending)/2 {
+		n = len(p.pending) / 2
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = float64(int16(binary.LittleEndian.Uint16(p.pending[2*i:]))) / 32767
+	}
+	p.pending = p.pending[2*n:]
+	return n, nil
+}
+
+// runSession pulls frames from next into a pooled guard and streams
+// verdict lines.
+func (s *Server) runSession(sc *sessionScratch, rate float64, next func([]float64) (int, error)) error {
+	minRate := 2 * defense.Bands().VoiceHi
+	if rate <= minRate || rate > 1e6 {
+		return fmt.Errorf("%w: sample rate %g outside (%g, 1e6]", ErrProtocol, rate, minRate)
+	}
+	g := s.guard(rate)
+	defer func() {
+		g.Reset()
+		s.guards.Put(g)
+	}()
+
+	frame := g.FrameSamples()
+	if frame > len(sc.smp) {
+		sc.smp = make([]float64, frame)
+	}
+	for {
+		n, err := next(sc.smp[:frame])
+		if n > 0 {
+			if v := g.Push(sc.smp[:n]); v != nil {
+				if werr := writeVerdict(sc.bw, v); werr != nil {
+					return werr
+				}
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	v := g.Finalize()
+	return writeVerdict(sc.bw, &v)
+}
+
+// guard fetches a pooled guard for the session rate, rebuilding when
+// the pooled one was sized for a different rate.
+func (s *Server) guard(rate float64) *Guard {
+	if g, _ := s.guards.Get().(*Guard); g != nil && g.cfg.Rate == rate {
+		return g
+	}
+	return NewGuard(GuardConfig{
+		Rate:           rate,
+		Detector:       s.cfg.Detector,
+		EmitEvery:      s.cfg.EmitEvery,
+		MaxCorrSeconds: s.cfg.MaxCorrSeconds,
+	})
+}
+
+// wireVerdict is the JSON wire form of a Verdict.
+type wireVerdict struct {
+	Attack         bool               `json:"attack"`
+	Score          float64            `json:"score"`
+	Final          bool               `json:"final"`
+	Samples        int                `json:"samples"`
+	DurationS      float64            `json:"duration_s"`
+	VADActive      float64            `json:"vad_active"`
+	TraceBandPower float64            `json:"trace_band_power"`
+	Features       map[string]float64 `json:"features"`
+	LatencyMeanUS  float64            `json:"latency_mean_us"`
+	LatencyMaxUS   float64            `json:"latency_max_us"`
+}
+
+// writeVerdict encodes one verdict line.
+func writeVerdict(w io.Writer, v *Verdict) error {
+	names := defense.FeatureNames()
+	vec := v.Features.Vector()
+	feats := make(map[string]float64, len(names))
+	for i, n := range names {
+		feats[n] = vec[i]
+	}
+	return writeJSONLine(w, wireVerdict{
+		Attack:         v.Attack,
+		Score:          finiteOr(v.Score, -1e308),
+		Final:          v.Final,
+		Samples:        v.Samples,
+		DurationS:      v.Duration,
+		VADActive:      v.ActiveFraction,
+		TraceBandPower: v.TraceBandPower,
+		Features:       feats,
+		LatencyMeanUS:  float64(v.Latency.MeanPerFrame().Microseconds()),
+		LatencyMaxUS:   float64(v.Latency.MaxPush.Microseconds()),
+	})
+}
+
+// finiteOr guards JSON encoding against non-finite scores (a hand-built
+// ThresholdDetector with no valid features scores -Inf).
+func finiteOr(v, fallback float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return fallback
+	}
+	return v
+}
+
+// writeJSONLine marshals v followed by a newline.
+func writeJSONLine(w io.Writer, v interface{}) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,242 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"inaudible/internal/audio"
+)
+
+// encodePCMSession frames sig in the length-prefixed GRD1 protocol.
+func encodePCMSession(sig *audio.Signal, chunkSamples int) []byte {
+	var b bytes.Buffer
+	b.WriteString(Magic)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(sig.Rate))
+	b.Write(u32[:])
+	for off := 0; off < len(sig.Samples); off += chunkSamples {
+		end := off + chunkSamples
+		if end > len(sig.Samples) {
+			end = len(sig.Samples)
+		}
+		chunk := sig.Samples[off:end]
+		binary.LittleEndian.PutUint32(u32[:], uint32(2*len(chunk)))
+		b.Write(u32[:])
+		for _, v := range chunk {
+			if v > 1 {
+				v = 1
+			} else if v < -1 {
+				v = -1
+			}
+			var s [2]byte
+			binary.LittleEndian.PutUint16(s[:], uint16(int16(v*32767)))
+			b.Write(s[:])
+		}
+	}
+	binary.LittleEndian.PutUint32(u32[:], 0)
+	b.Write(u32[:])
+	return b.Bytes()
+}
+
+// finalVerdict parses the session's verdict lines and returns the final
+// one, checking stream shape on the way.
+func finalVerdict(t *testing.T, out []byte) wireVerdict {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) == 0 {
+		t.Fatalf("no verdict lines in response")
+	}
+	var v wireVerdict
+	for i, line := range lines {
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("line %d not valid JSON: %v (%q)", i, err, line)
+		}
+		if i < len(lines)-1 && v.Final {
+			t.Fatalf("final verdict before last line (%d/%d)", i, len(lines))
+		}
+	}
+	if !v.Final {
+		t.Fatalf("last line not final: %q", lines[len(lines)-1])
+	}
+	return v
+}
+
+func TestServePCMSession(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	srv := NewServer(ServerConfig{Detector: det, Workers: 2, EmitEvery: 25})
+	sig := attackLike(rate, 2.0, 60)
+
+	var out bytes.Buffer
+	if err := srv.ServeSession(bytes.NewReader(encodePCMSession(sig, 960)), &out); err != nil {
+		t.Fatalf("ServeSession: %v", err)
+	}
+	v := finalVerdict(t, out.Bytes())
+	if !v.Attack {
+		t.Fatalf("attack session not flagged: %+v", v)
+	}
+	if v.Samples != sig.Len() {
+		t.Fatalf("final verdict samples = %d, want %d", v.Samples, sig.Len())
+	}
+	if v.Features["sub50-log-ratio"] == 0 {
+		t.Fatalf("features missing from wire verdict: %+v", v)
+	}
+	if srv.Sessions() != 1 || srv.ActiveSessions() != 0 {
+		t.Fatalf("session counters: served=%d active=%d", srv.Sessions(), srv.ActiveSessions())
+	}
+}
+
+func TestServeWAVSession(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	srv := NewServer(ServerConfig{Detector: det})
+	sig := legitLike(rate, 2.0, 61)
+	var wav bytes.Buffer
+	if err := audio.WriteWAV(&wav, sig); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := srv.ServeSession(&wav, &out); err != nil {
+		t.Fatalf("ServeSession: %v", err)
+	}
+	if v := finalVerdict(t, out.Bytes()); v.Attack {
+		t.Fatalf("legit WAV session flagged as attack: %+v", v)
+	}
+}
+
+func TestServeSessionReusesGuards(t *testing.T) {
+	// Back-to-back same-rate sessions recycle pooled guard state and
+	// stay deterministic.
+	const rate = 48000.0
+	det := testDetector(t)
+	srv := NewServer(ServerConfig{Detector: det, Workers: 1})
+	sig := attackLike(rate, 1.5, 62)
+	session := encodePCMSession(sig, 4096)
+	var got []wireVerdict
+	for i := 0; i < 3; i++ {
+		var out bytes.Buffer
+		if err := srv.ServeSession(bytes.NewReader(session), &out); err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		got = append(got, finalVerdict(t, out.Bytes()))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score != got[0].Score || got[i].Attack != got[0].Attack {
+			t.Fatalf("pooled session %d diverged: %+v vs %+v", i, got[i], got[0])
+		}
+	}
+}
+
+func TestServeProtocolErrors(t *testing.T) {
+	det := testDetector(t)
+	srv := NewServer(ServerConfig{Detector: det})
+	cases := map[string][]byte{
+		"bad-magic": []byte("NOPE----"),
+		"bad-rate": func() []byte {
+			var b bytes.Buffer
+			b.WriteString(Magic)
+			var u32 [4]byte
+			binary.LittleEndian.PutUint32(u32[:], 8000) // below the voice band
+			b.Write(u32[:])
+			return b.Bytes()
+		}(),
+		"truncated": []byte(Magic),
+	}
+	for name, session := range cases {
+		var out bytes.Buffer
+		err := srv.ServeSession(bytes.NewReader(session), &out)
+		if err == nil {
+			t.Errorf("%s: expected an error", name)
+			continue
+		}
+		var line struct {
+			Error string `json:"error"`
+		}
+		if jerr := json.Unmarshal(bytes.TrimSpace(out.Bytes()), &line); jerr != nil || line.Error == "" {
+			t.Errorf("%s: expected an error line, got %q", name, out.String())
+		}
+	}
+}
+
+func TestServeListenerConcurrentSessions(t *testing.T) {
+	// Eight concurrent TCP sessions through a 4-slot pool: the serving
+	// half of the race-mode acceptance gate.
+	const rate = 48000.0
+	const sessions = 8
+	det := testDetector(t)
+	srv := NewServer(ServerConfig{Detector: det, Workers: 4, EmitEvery: 20})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeListener(l) }()
+
+	attack := encodePCMSession(attackLike(rate, 1.2, 70), 960)
+	legit := encodePCMSession(legitLike(rate, 1.2, 71), 960)
+
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	verdicts := make([]wireVerdict, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			session := attack
+			if i%2 == 1 {
+				session = legit
+			}
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer conn.Close()
+			if _, err := conn.Write(session); err != nil {
+				errs[i] = err
+				return
+			}
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			sc := bufio.NewScanner(conn)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			var last string
+			for sc.Scan() {
+				last = sc.Text()
+			}
+			if err := sc.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			if err := json.Unmarshal([]byte(last), &verdicts[i]); err != nil {
+				errs[i] = fmt.Errorf("parsing %q: %w", last, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	l.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("ServeListener: %v", err)
+	}
+	for i := 0; i < sessions; i++ {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		wantAttack := i%2 == 0
+		if !verdicts[i].Final || verdicts[i].Attack != wantAttack {
+			t.Errorf("session %d: final=%v attack=%v, want final attack=%v",
+				i, verdicts[i].Final, verdicts[i].Attack, wantAttack)
+		}
+	}
+	if srv.Sessions() != sessions {
+		t.Fatalf("served %d sessions, want %d", srv.Sessions(), sessions)
+	}
+}

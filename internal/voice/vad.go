@@ -1,6 +1,8 @@
 package voice
 
 import (
+	"math"
+
 	"inaudible/internal/audio"
 	"inaudible/internal/dsp"
 )
@@ -107,4 +109,89 @@ func ActiveFraction(s *audio.Signal, threshDB float64) float64 {
 		act += seg.Duration()
 	}
 	return act / s.Duration()
+}
+
+// StreamVAD is the online counterpart of DetectActivity for unbounded
+// sessions: the same 20 ms energy frames and 60 ms hangover, but with
+// the activity threshold referenced to the loudest frame seen so far
+// (a causal stand-in for the batch detector's global peak). State is a
+// few scalars; Push never allocates.
+type StreamVAD struct {
+	frame    int     // samples per 20 ms frame
+	thresh   float64 // amplitude ratio below the running peak
+	peak     float64 // loudest frame RMS so far
+	sumSq    float64 // energy of the partial frame
+	fill     int
+	frames   int
+	active   int  // frames judged active (including hangover backfill)
+	gap      int  // inactive run length since the last active frame
+	inSpeech bool // current frame-level activity state
+}
+
+// NewStreamVAD builds an online detector at the given sample rate; a
+// typical threshold is 30 dB (matching DetectActivity's convention).
+func NewStreamVAD(rate, threshDB float64) *StreamVAD {
+	frame := int(0.020 * rate)
+	if frame <= 0 {
+		frame = 1
+	}
+	return &StreamVAD{frame: frame, thresh: dsp.AmplitudeFromDB(-threshDB)}
+}
+
+// Push advances the detector over the next samples.
+func (v *StreamVAD) Push(x []float64) {
+	for _, s := range x {
+		v.sumSq += s * s
+		v.fill++
+		if v.fill == v.frame {
+			v.completeFrame()
+		}
+	}
+}
+
+// completeFrame classifies the finished 20 ms frame with hangover: gaps
+// of up to 3 frames between active frames count as active, like the
+// batch detector's backfill.
+func (v *StreamVAD) completeFrame() {
+	rms := math.Sqrt(v.sumSq / float64(v.frame))
+	v.sumSq = 0
+	v.fill = 0
+	v.frames++
+	if rms > v.peak {
+		v.peak = rms
+	}
+	const maxGap = 3
+	if v.peak > 0 && rms >= v.peak*v.thresh {
+		v.active++
+		if v.gap > 0 && v.gap <= maxGap {
+			v.active += v.gap // hangover: the short gap counts as speech
+		}
+		v.gap = 0
+		v.inSpeech = true
+	} else {
+		v.gap++
+		v.inSpeech = false
+	}
+}
+
+// Active reports whether the most recent completed frame was speech.
+func (v *StreamVAD) Active() bool { return v.inSpeech }
+
+// Frames returns the number of completed 20 ms frames.
+func (v *StreamVAD) Frames() int { return v.frames }
+
+// ActiveFraction returns the fraction of completed frames judged active
+// (hangover-merged), the online analogue of the batch ActiveFraction.
+func (v *StreamVAD) ActiveFraction() float64 {
+	if v.frames == 0 {
+		return 0
+	}
+	return float64(v.active) / float64(v.frames)
+}
+
+// Reset clears all state for a new session.
+func (v *StreamVAD) Reset() {
+	v.peak, v.sumSq = 0, 0
+	v.fill, v.frames, v.active, v.gap = 0, 0, 0, 0
+	v.inSpeech = false
 }

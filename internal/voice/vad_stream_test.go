@@ -1,0 +1,80 @@
+package voice
+
+import (
+	"math"
+	"testing"
+
+	"inaudible/internal/audio"
+)
+
+// burstSignal alternates loud tone bursts with silence: 0.3 s on,
+// 0.3 s off, for cycles repetitions at the given rate.
+func burstSignal(rate float64, cycles int) *audio.Signal {
+	seg := int(0.3 * rate)
+	s := audio.New(rate, float64(2*seg*cycles)/rate)
+	for c := 0; c < cycles; c++ {
+		off := 2 * c * seg
+		for i := 0; i < seg; i++ {
+			t := float64(i) / rate
+			s.Samples[off+i] = 0.5 * math.Sin(2*math.Pi*440*t)
+		}
+	}
+	return s
+}
+
+func TestStreamVADTracksBatch(t *testing.T) {
+	const rate = 48000.0
+	sig := burstSignal(rate, 4)
+	batch := ActiveFraction(sig, 30)
+	v := NewStreamVAD(rate, 30)
+	for off := 0; off < sig.Len(); off += 960 {
+		end := off + 960
+		if end > sig.Len() {
+			end = sig.Len()
+		}
+		v.Push(sig.Samples[off:end])
+	}
+	online := v.ActiveFraction()
+	// The streaming peak reference converges after the first burst, so
+	// the fractions agree loosely, not exactly.
+	if math.Abs(online-batch) > 0.15 {
+		t.Fatalf("online active fraction %.3f far from batch %.3f", online, batch)
+	}
+	if online < 0.3 || online > 0.8 {
+		t.Fatalf("online active fraction %.3f outside plausible range for 50%% duty", online)
+	}
+}
+
+func TestStreamVADStateTransitions(t *testing.T) {
+	const rate = 48000.0
+	v := NewStreamVAD(rate, 30)
+	loud := audio.Tone(rate, 440, 0.5, 0.2).Samples
+	quiet := audio.New(rate, 0.2).Samples
+	v.Push(loud)
+	if !v.Active() {
+		t.Fatalf("not active during loud burst")
+	}
+	v.Push(quiet)
+	if v.Active() {
+		t.Fatalf("still active after 200 ms of silence")
+	}
+	v.Push(loud)
+	if !v.Active() {
+		t.Fatalf("did not re-activate on the second burst")
+	}
+	if v.Frames() != 30 {
+		t.Fatalf("frames = %d, want 30 (600 ms of 20 ms frames)", v.Frames())
+	}
+	v.Reset()
+	if v.Active() || v.Frames() != 0 || v.ActiveFraction() != 0 {
+		t.Fatalf("Reset left state behind")
+	}
+}
+
+func TestStreamVADSilenceOnly(t *testing.T) {
+	v := NewStreamVAD(48000, 30)
+	v.Push(audio.New(48000, 0.5).Samples)
+	if v.Active() || v.ActiveFraction() != 0 {
+		t.Fatalf("pure silence judged active")
+	}
+}

@@ -13,11 +13,15 @@ go vet ./...
 echo "==> go test -race -short (runner + kernel race coverage)"
 go test -race -short -timeout 20m ./...
 
+echo "==> go test -race (streaming guard: 8 concurrent sessions + server)"
+go test -race -timeout 20m ./internal/stream ./internal/experiment
+
 echo "==> go test (full suite)"
 go test -timeout 30m ./...
 
-echo "==> short benchmarks (trial engine + FFT plan cache)"
+echo "==> short benchmarks (trial engine + FFT plan cache + stream guard)"
 go test ./internal/experiment -run '^$' -bench 'E5Serial|E5Parallel' -benchtime 1x -timeout 30m
 go test ./internal/dsp -run '^$' -bench 'FFT4096|RFFT4096' -benchtime 100x
+go test . -run '^$' -bench 'StreamGuard|StreamFIRPush' -benchtime 200x -timeout 10m
 
 echo "CI gate passed."
