@@ -3,10 +3,17 @@
 // what the voice assistant heard, whether it acted, and whether a
 // bystander would have noticed.
 //
+// With -spec, the scenario comes from a declarative JSON file instead of
+// flags: the compiled streaming chain (multipath room, moving source,
+// power schedule, multiple mic taps) runs end to end into the streaming
+// defense guard and prints its verdicts.
+//
 // Usage:
 //
 //	simulate -command photo -kind baseline -power 18.7 -distance 3
 //	simulate -command milk -device echo -kind longrange -power 300 -distance 7.6
+//	simulate -spec examples/specs/longrange_room.json
+//	simulate -spec examples/specs/baseline_driveby.json -train
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"inaudible"
 	"inaudible/internal/audio"
 	"inaudible/internal/core"
 	"inaudible/internal/defense"
@@ -31,8 +39,15 @@ func main() {
 		ambient  = flag.Float64("ambient", 40, "room noise, dB SPL")
 		seed     = flag.Int64("seed", 1, "noise seed")
 		saveWAV  = flag.String("save", "", "save the victim recording to this WAV path")
+		specPath = flag.String("spec", "", "run a declarative JSON scenario through the streaming chain + guard")
+		train    = flag.Bool("train", false, "with -spec: train a threshold detector on a quick corpus instead of the demo thresholds")
 	)
 	flag.Parse()
+
+	if *specPath != "" {
+		runSpec(*specPath, *train)
+		return
+	}
 
 	cmd, ok := voice.FindCommand(*cmdID)
 	if !ok {
@@ -94,6 +109,30 @@ func main() {
 		}
 		fmt.Printf("recording saved to %s\n", *saveWAV)
 	}
+}
+
+// runSpec executes a declarative scenario: the compiled streaming chain
+// pipes the simulated attack straight into one guard session per capture
+// tap, printing interim verdicts live and the final verdicts at the end.
+func runSpec(path string, train bool) {
+	sp, err := inaudible.LoadSimSpec(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var det inaudible.Detector = defense.DemoThresholds()
+	if train {
+		fmt.Println("training a threshold detector on a quick simulated corpus...")
+		det, err = inaudible.TrainDetector("threshold", 1, true)
+		if err != nil {
+			fatal("training detector: %v", err)
+		}
+	}
+	s, err := sp.Build(det)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("spec: %s (%q)\n", sp.Name, sp.Text)
+	s.RunVerbose(os.Stdout)
 }
 
 func fatal(format string, args ...interface{}) {

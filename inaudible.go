@@ -41,6 +41,7 @@ import (
 	"inaudible/internal/defense"
 	"inaudible/internal/experiment"
 	"inaudible/internal/mic"
+	"inaudible/internal/sim"
 	"inaudible/internal/speaker"
 	"inaudible/internal/stream"
 	"inaudible/internal/voice"
@@ -100,6 +101,20 @@ type (
 	GuardServer = stream.Server
 	// GuardServerConfig parameterises the concurrent serving layer.
 	GuardServerConfig = stream.ServerConfig
+	// SimStage is one block-processing element of a simulation chain.
+	SimStage = sim.Stage
+	// SimChain is a compiled block-processing pipeline of physical
+	// stages (speaker drive -> air/room -> diaphragm -> mic), fused and
+	// allocation-free in steady state.
+	SimChain = sim.Chain
+	// SimOptions tunes chain compilation (block size, FIR design length).
+	SimOptions = sim.Options
+	// SimSpec is a declarative end-to-end scenario (JSON): attack rig,
+	// environment, motion, power schedule, capture taps.
+	SimSpec = sim.Spec
+	// SimResult is a scenario outcome: per-tap guard verdicts, SPL and
+	// optional recordings.
+	SimResult = sim.Result
 )
 
 // Attack kinds.
@@ -172,6 +187,28 @@ func NewStreamGuard(det Detector, rate float64) *StreamGuard {
 // NewGuardServer returns the concurrent session server used by
 // cmd/guardd: worker-pool bounded, with pooled per-session state.
 func NewGuardServer(cfg GuardServerConfig) *GuardServer { return stream.NewServer(cfg) }
+
+// NewSimChain compiles the scenario's capture pipeline (air, ambient
+// noise, victim device) as a bounded-memory streaming chain for a field
+// at the given sample rate: push pressure blocks in, receive the digital
+// recording out, e.g. straight into a StreamGuard. The same chain
+// compiled in exact mode is what Deliver runs internally.
+func NewSimChain(s *Scenario, rate, distance float64, trial int64) *SimChain {
+	ch, _ := s.DeliveryChain(rate, distance, trial, sim.Streaming, sim.Options{})
+	return ch
+}
+
+// LoadSimSpec reads a declarative scenario from a JSON file.
+func LoadSimSpec(path string) (*SimSpec, error) { return sim.LoadSpec(path) }
+
+// SimulateSpec compiles and runs a declarative scenario end to end —
+// attack synthesis, per-element speaker chains, room/air propagation,
+// mic capture, streaming guard verdicts — in bounded memory. A nil
+// detector selects the hand-calibrated demo thresholds; pass a trained
+// Detector for evaluated defenses.
+func SimulateSpec(sp *SimSpec, det Detector) (*SimResult, error) {
+	return sim.SimulateSpec(sp, det)
+}
 
 // AndroidPhone, AmazonEcho and ReferenceMic re-export the device profiles.
 func AndroidPhone() *Device { return mic.AndroidPhone() }

@@ -1,0 +1,143 @@
+package acoustics
+
+import (
+	"math"
+	"testing"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+)
+
+// Room reverb properties beyond path counts: energy decay behaviour and
+// geometric symmetry of the image-source model.
+
+// reverbRoom returns the test geometry: source and receiver well inside
+// the meeting room, 3 m apart.
+func reverbRoom(reflection float64) (Room, Position, Position) {
+	r := MeetingRoom()
+	r.Reflection = reflection
+	return r, Position{X: 1, Y: 2, Z: 1.2}, Position{X: 4, Y: 2, Z: 0.8}
+}
+
+// clickSignal is a short band-limited click: all the energy arrives in a
+// few milliseconds, so direct sound and reflections separate in time.
+func clickSignal() *audio.Signal {
+	s := audio.New(48000, 0.25)
+	for i := 0; i < 48; i++ {
+		w := 0.5 - 0.5*math.Cos(2*math.Pi*float64(i)/48)
+		s.Samples[i] = w * math.Sin(2*math.Pi*2000*float64(i)/48000)
+	}
+	return s
+}
+
+// windowEnergy sums the squared samples of [from, to) seconds.
+func windowEnergy(s *audio.Signal, from, to float64) float64 {
+	i0 := int(from * s.Rate)
+	i1 := int(to * s.Rate)
+	if i1 > s.Len() {
+		i1 = s.Len()
+	}
+	var e float64
+	for _, v := range s.Samples[i0:i1] {
+		e += v * v
+	}
+	return e
+}
+
+// TestRoomLateEnergyGrowsWithReflection checks an RT60-style
+// monotonicity: more reflective surfaces leave strictly more late (post
+// direct-arrival) energy relative to the direct sound.
+func TestRoomLateEnergyGrowsWithReflection(t *testing.T) {
+	click := clickSignal()
+	var prev float64
+	for i, refl := range []float64{0, 0.2, 0.45, 0.7, 0.9} {
+		r, from, to := reverbRoom(refl)
+		wet := r.PropagateInRoom(click, from, to)
+		// Direct path is 3 m ~ 8.7 ms; the click is done by ~10 ms after
+		// arrival. Everything later is reflections.
+		direct := windowEnergy(wet, 0, 0.020)
+		late := windowEnergy(wet, 0.020, wet.Duration())
+		if direct <= 0 {
+			t.Fatalf("reflection %v: no direct energy", refl)
+		}
+		ratio := late / direct
+		if i > 0 && ratio <= prev {
+			t.Fatalf("late/direct ratio not monotonic at reflection %v: %v <= %v", refl, ratio, prev)
+		}
+		prev = ratio
+	}
+}
+
+// TestRoomAnechoicHasNoLateEnergy checks the zero-reflection room is a
+// pure free-field path: nothing arrives after the click has passed.
+func TestRoomAnechoicHasNoLateEnergy(t *testing.T) {
+	click := clickSignal()
+	r, from, to := reverbRoom(0)
+	wet := r.PropagateInRoom(click, from, to)
+	direct := windowEnergy(wet, 0, 0.020)
+	late := windowEnergy(wet, 0.025, wet.Duration())
+	if late > 1e-9*direct {
+		t.Fatalf("anechoic room has late energy: %v of direct %v", late, direct)
+	}
+}
+
+// TestRoomReciprocity checks the acoustic reciprocity of the first-order
+// image-source model: swapping source and receiver yields the same
+// response, because every wall's image distance is symmetric in the two
+// endpoints.
+func TestRoomReciprocity(t *testing.T) {
+	click := clickSignal()
+	r, a, b := reverbRoom(0.5)
+	ab := r.PropagateInRoom(click, a, b)
+	ba := r.PropagateInRoom(click, b, a)
+	if ab.Len() != ba.Len() {
+		t.Fatalf("length mismatch %d vs %d", ab.Len(), ba.Len())
+	}
+	var num, den float64
+	for i := range ab.Samples {
+		d := ab.Samples[i] - ba.Samples[i]
+		num += d * d
+		den += ab.Samples[i] * ab.Samples[i]
+	}
+	if den == 0 {
+		t.Fatal("empty response")
+	}
+	if rel := math.Sqrt(num / den); rel > 1e-9 {
+		t.Fatalf("reciprocity violated: rel err %v", rel)
+	}
+}
+
+// TestRoomImagePathSymmetry pins the geometric half of reciprocity
+// directly: the (distance, gain) multiset is identical after swapping
+// endpoints, wall for wall.
+func TestRoomImagePathSymmetry(t *testing.T) {
+	r, a, b := reverbRoom(0.35)
+	pab := r.ImagePaths(a, b)
+	pba := r.ImagePaths(b, a)
+	if len(pab) != len(pba) {
+		t.Fatalf("path counts differ: %d vs %d", len(pab), len(pba))
+	}
+	for i := range pab {
+		if math.Abs(pab[i].Distance-pba[i].Distance) > 1e-12 || pab[i].Gain != pba[i].Gain {
+			t.Fatalf("path %d asymmetric: %+v vs %+v", i, pab[i], pba[i])
+		}
+	}
+}
+
+// TestRoomReflectionsDelayedNotEarly checks causality: reflections only
+// add energy at or after the direct arrival, never before.
+func TestRoomReflectionsDelayedNotEarly(t *testing.T) {
+	click := clickSignal()
+	r, from, to := reverbRoom(0.7)
+	wet := r.PropagateInRoom(click, from, to)
+	c := SpeedOfSound(r.Air.TempC)
+	arrival := from.Distance(to) / c
+	early := windowEnergy(wet, 0, arrival*0.9)
+	total := dsp.Energy(wet.Samples)
+	if total == 0 {
+		t.Fatal("empty response")
+	}
+	if early > 1e-6*total {
+		t.Fatalf("energy before direct arrival: %v of %v", early, total)
+	}
+}

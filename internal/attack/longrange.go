@@ -213,6 +213,41 @@ func LongRange(cmd *audio.Signal, totalPowerW float64, o LongRangeOptions) (*Pla
 	return plan, nil
 }
 
+// ElementDrive pairs one array element's drive waveform with the
+// electrical power assigned to it.
+type ElementDrive struct {
+	Drive  *audio.Signal
+	PowerW float64
+}
+
+// ElementDrives flattens the plan into the per-element assignments the
+// emitting rig actually drives: every energised segment on its own
+// element, followed by the carrier spread over as many dedicated elements
+// as its power requires (ceil(CarrierPowerW / maxElementPowerW); a
+// non-positive maxElementPowerW keeps a single carrier element). Each
+// carrier element still plays a single pure tone, so per-element
+// intermodulation stays zero — this is why the paper's rig is a dense
+// array: most of its 61 transducers carry the carrier.
+func (p *Plan) ElementDrives(maxElementPowerW float64) []ElementDrive {
+	var out []ElementDrive
+	for i, seg := range p.Segments {
+		if seg == nil || p.SegmentPowerW[i] <= 0 {
+			continue
+		}
+		out = append(out, ElementDrive{Drive: seg, PowerW: p.SegmentPowerW[i]})
+	}
+	if p.Carrier != nil && p.CarrierPowerW > 0 {
+		carrierElems := 1
+		if maxElementPowerW > 0 && p.CarrierPowerW > maxElementPowerW {
+			carrierElems = int(math.Ceil(p.CarrierPowerW / maxElementPowerW))
+		}
+		for i := 0; i < carrierElems; i++ {
+			out = append(out, ElementDrive{Drive: p.Carrier, PowerW: p.CarrierPowerW / float64(carrierElems)})
+		}
+	}
+	return out
+}
+
 // CombinedUltrasound sums all plan waveforms with their power weighting
 // applied — the field an ideal colocated array would create. Used by
 // analysis and tests; the full simulation drives real speaker models

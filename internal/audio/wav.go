@@ -18,6 +18,15 @@ var (
 	ErrWAVFormat = errors.New("audio: unsupported WAV format (need mono 16-bit PCM)")
 )
 
+// maxFmtChunkBytes bounds the fmt chunk a header may claim; anything
+// larger is malformed (the spec needs at most 40 bytes).
+const maxFmtChunkBytes = 1 << 16
+
+// readWAVPrealloc caps the up-front sample allocation ReadWAV makes from
+// the header's (attacker-controlled) data-chunk size; longer streams
+// grow as bytes actually arrive.
+const readWAVPrealloc = 1 << 20
+
 // WriteWAV encodes the signal as a mono 16-bit PCM WAV stream. Samples are
 // clipped to [-1, 1].
 func WriteWAV(w io.Writer, s *Signal) error {
@@ -112,6 +121,12 @@ func NewWAVReader(r io.Reader) (*WAVReader, error) {
 		size := binary.LittleEndian.Uint32(chunk[4:8])
 		switch id {
 		case "fmt ":
+			// A spec-conforming fmt chunk is 16-40 bytes; a multi-megabyte
+			// claim is a malformed (or hostile) header, not a format we
+			// support — reject instead of allocating whatever it asks for.
+			if size > maxFmtChunkBytes {
+				return nil, fmt.Errorf("audio: fmt chunk claims %d bytes: %w", size, ErrWAVFormat)
+			}
 			body := make([]byte, size)
 			if _, err := io.ReadFull(r, body); err != nil {
 				return nil, fmt.Errorf("audio: reading fmt chunk: %w", err)
@@ -183,20 +198,29 @@ func (w *WAVReader) Read(dst []float64) (int, error) {
 }
 
 // ReadWAV decodes a mono 16-bit PCM WAV stream, buffering it whole.
-// Streaming consumers should use NewWAVReader instead.
+// Streaming consumers should use NewWAVReader instead. The buffer grows
+// with the bytes that actually arrive, so a header claiming a huge data
+// chunk cannot force a matching allocation.
 func ReadWAV(r io.Reader) (*Signal, error) {
 	wr, err := NewWAVReader(r)
 	if err != nil {
 		return nil, err
 	}
-	samples := make([]float64, wr.Remaining())
-	off := 0
-	for off < len(samples) {
-		n, err := wr.Read(samples[off:])
+	prealloc := wr.Remaining()
+	if prealloc > readWAVPrealloc {
+		prealloc = readWAVPrealloc
+	}
+	samples := make([]float64, 0, prealloc)
+	buf := make([]float64, 32*1024)
+	for {
+		n, err := wr.Read(buf)
+		samples = append(samples, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
 		if err != nil {
 			return nil, fmt.Errorf("audio: reading data chunk: %w", err)
 		}
-		off += n
 	}
 	return &Signal{Rate: wr.rate, Samples: samples}, nil
 }

@@ -1,0 +1,78 @@
+package audio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// FuzzWAVReader drives the streaming WAV decoder with arbitrary bytes:
+// malformed RIFF/fmt headers, hostile chunk sizes, truncated data chunks.
+// The decoder must return an error or decode cleanly — never panic and
+// never allocate in proportion to attacker-claimed (rather than actually
+// present) sizes. ReadWAV is exercised on the same input for its
+// whole-buffer path.
+func FuzzWAVReader(f *testing.F) {
+	// A valid little file.
+	var valid bytes.Buffer
+	if err := WriteWAV(&valid, Tone(8000, 440, 0.5, 0.01)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	// Truncated header.
+	f.Add(valid.Bytes()[:20])
+	// Truncated data chunk.
+	f.Add(valid.Bytes()[:60])
+	// Data chunk claiming far more than the stream holds.
+	huge := append([]byte(nil), valid.Bytes()...)
+	binary.LittleEndian.PutUint32(huge[40:44], 0xFFFFFFF0)
+	f.Add(huge)
+	// fmt chunk claiming a giant body.
+	bigFmt := append([]byte(nil), valid.Bytes()...)
+	binary.LittleEndian.PutUint32(bigFmt[16:20], 0xFFFFFFF0)
+	f.Add(bigFmt)
+	// Unknown chunk with giant size between fmt and data.
+	f.Add([]byte("RIFF\x24\x00\x00\x00WAVEjunk\xff\xff\xff\xff"))
+	// Odd data size.
+	odd := append([]byte(nil), valid.Bytes()...)
+	binary.LittleEndian.PutUint32(odd[40:44], 3)
+	f.Add(odd)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wr, err := NewWAVReader(bytes.NewReader(data))
+		if err == nil {
+			if wr.Rate() < 0 {
+				t.Fatalf("negative rate %v", wr.Rate())
+			}
+			buf := make([]float64, 1024)
+			total := 0
+			for total < 1<<22 {
+				n, err := wr.Read(buf)
+				total += n
+				if err != nil {
+					if err != io.EOF && n != 0 {
+						t.Fatalf("Read returned samples alongside error %v", err)
+					}
+					break
+				}
+				if n == 0 && wr.Remaining() > 0 {
+					// Odd trailing byte: one more Read must hit EOF.
+					continue
+				}
+				if n == 0 {
+					break
+				}
+			}
+		}
+		// The whole-buffer decoder must be equally robust.
+		if sig, err := ReadWAV(bytes.NewReader(data)); err == nil {
+			if sig.Rate < 0 {
+				t.Fatalf("ReadWAV negative rate %v", sig.Rate)
+			}
+			if len(sig.Samples) > len(data) {
+				t.Fatalf("decoded %d samples from %d bytes", len(sig.Samples), len(data))
+			}
+		}
+	})
+}

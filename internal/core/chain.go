@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math/rand"
+
+	"inaudible/internal/acoustics"
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+	"inaudible/internal/sim"
+	"inaudible/internal/speaker"
+)
+
+// This file expresses the scenario's physical pipelines as sim chains.
+// Deliver and the Emit* methods are thin wrappers over chains compiled in
+// sim.Exact mode, which is bit-identical to the seed batch pipeline; the
+// same builders compiled in sim.Streaming mode give the bounded-memory
+// realization used by specs, the live guard example and the benchmarks.
+
+// DeliveryChain compiles the scenario's capture pipeline — free-field
+// propagation over distance, ambient room noise, the victim device — for
+// a field at the given sample rate. trial selects the deterministic
+// noise realisation exactly like Deliver. The returned probe reports the
+// RMS (and hence SPL) of the pressure reaching the microphone.
+//
+// Exact mode reproduces Deliver bit for bit. Streaming mode runs in
+// bounded memory with the documented FIR tolerances; its ambient noise
+// is a streamed pink generator whose level matches the batch
+// realisation's to a few percent (the sample sequence differs because
+// the batch generator normalises each finite realisation).
+func (s *Scenario) DeliveryChain(rate, distance float64, trial int64, mode sim.Mode, o sim.Options) (*sim.Chain, *sim.Probe) {
+	rng := rand.New(rand.NewSource(s.TrialSeed(trial)))
+	probe := sim.NewProbe()
+	var stages []sim.Stage
+	p := acoustics.Path{Distance: distance, Air: s.Air}
+	stages = append(stages, sim.PathStages(p, rate, mode, o)...)
+	if s.AmbientSPL > 0 {
+		if mode == sim.Exact {
+			spl := s.AmbientSPL
+			stages = append(stages, sim.BatchTransform("ambient", rate, func(sig *audio.Signal) *audio.Signal {
+				noise := acoustics.AmbientNoise(rng, sig.Rate, sig.Duration(), spl)
+				dsp.Add(sig.Samples, noise.Samples)
+				return sig
+			}))
+		} else {
+			stages = append(stages, sim.AmbientStage(rng, s.AmbientSPL))
+		}
+	}
+	stages = append(stages, probe)
+	stages = append(stages, sim.MicStages(s.Device, rng, rate, mode, o)...)
+	return sim.Compile(o, stages...), probe
+}
+
+// emitOne runs one speaker's drive through its emission chain.
+func emitOne(sp *speaker.Speaker, drive *audio.Signal, powerW float64, mode sim.Mode, o sim.Options) *audio.Signal {
+	c := sim.Compile(o, sim.SpeakerStages(sp, drive.RMS(), powerW, drive.Rate, mode, o)...)
+	return sim.RunSignal(c, drive, drive.Rate, o)
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"inaudible/internal/acoustics"
+	"inaudible/internal/attack"
+	"inaudible/internal/sim"
+	"inaudible/internal/speaker"
+)
+
+func chainRelErr(got, want []float64) float64 {
+	if len(got) != len(want) {
+		return math.Inf(1)
+	}
+	var num, den float64
+	for i := range got {
+		d := got[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+// TestDeliveryChainExactIsDeliver pins the wrapper contract: the
+// exact-mode delivery chain IS Deliver (same chain, same output), and a
+// second run with the same trial reproduces it bit for bit.
+func TestDeliveryChainExactIsDeliver(t *testing.T) {
+	fixtures(t)
+	a := fixScenario.Deliver(fixBaseline, 3, 5)
+	b := fixScenario.Deliver(fixBaseline, 3, 5)
+	if a.Recording.Len() != b.Recording.Len() {
+		t.Fatal("non-deterministic delivery length")
+	}
+	for i := range a.Recording.Samples {
+		if a.Recording.Samples[i] != b.Recording.Samples[i] {
+			t.Fatalf("delivery not reproducible at sample %d", i)
+		}
+	}
+	if a.SPLAtDevice != b.SPLAtDevice {
+		t.Fatalf("SPL not reproducible: %v vs %v", a.SPLAtDevice, b.SPLAtDevice)
+	}
+}
+
+// TestDeliveryChainStreamingParityBaseline is the golden parity pin for
+// the baseline scenario: the bounded-memory streaming chain matches the
+// exact batch path within the documented tolerance, reaches the same SPL
+// and the same ASR outcome. Ambient noise is disabled so the remaining
+// randomness (mic self-noise) draws the identical sequence on both
+// paths; the residual difference is the FIR approximation of the
+// frequency-domain propagation and body filters.
+func TestDeliveryChainStreamingParityBaseline(t *testing.T) {
+	fixtures(t)
+	s := fixScenario.Clone()
+	s.AmbientSPL = 0
+	exact := s.Deliver(fixBaseline, 3, 1)
+	ch, probe := s.DeliveryChain(fixBaseline.Field.Rate, 3, 1, sim.Streaming, sim.Options{})
+	rec := sim.RunSignal(ch, fixBaseline.Field, s.Device.ADCRate, sim.Options{})
+	if e := chainRelErr(rec.Samples, exact.Recording.Samples); e > 0.05 {
+		t.Fatalf("streaming delivery rel err %v > 0.05", e)
+	}
+	if d := math.Abs(acoustics.SPL(probe.RMS()) - exact.SPLAtDevice); d > 0.5 {
+		t.Fatalf("SPL differs by %v dB", d)
+	}
+	if got, want := fixRec.InjectionSuccess(rec, "photo"), fixRec.InjectionSuccess(exact.Recording, "photo"); got != want {
+		t.Fatalf("ASR outcome differs: streaming %v exact %v", got, want)
+	}
+}
+
+// TestDeliveryChainStreamingParityLongRange pins the same contract for
+// the long-range scenario at the paper's 3 m reference point.
+func TestDeliveryChainStreamingParityLongRange(t *testing.T) {
+	fixtures(t)
+	s := fixScenario.Clone()
+	s.AmbientSPL = 0
+	exact := s.Deliver(fixLongRange, 3, 1)
+	ch, _ := s.DeliveryChain(fixLongRange.Field.Rate, 3, 1, sim.Streaming, sim.Options{})
+	rec := sim.RunSignal(ch, fixLongRange.Field, s.Device.ADCRate, sim.Options{})
+	if e := chainRelErr(rec.Samples, exact.Recording.Samples); e > 0.05 {
+		t.Fatalf("streaming long-range delivery rel err %v > 0.05", e)
+	}
+	if got, want := fixRec.InjectionSuccess(rec, "photo"), fixRec.InjectionSuccess(exact.Recording, "photo"); got != want {
+		t.Fatalf("ASR outcome differs: streaming %v exact %v", got, want)
+	}
+}
+
+// TestStreamingEndToEndLongRangeInjection runs the whole attack fully
+// streaming — per-element speaker chains mixed at the reference, then
+// the streaming capture chain — and checks the injection still succeeds
+// at the paper's range, so the bounded-memory pipeline preserves the
+// phenomenon end to end.
+func TestStreamingEndToEndLongRangeInjection(t *testing.T) {
+	fixtures(t)
+	o := attack.DefaultLongRangeOptions()
+	plan, err := attack.LongRange(fixSig, 300, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sim.Options{}
+	src, elements := sim.LongRangeSource(plan, speaker.UltrasonicElement, sim.Streaming, opt)
+	if elements < 10 {
+		t.Fatalf("only %d elements driven", elements)
+	}
+	s := fixScenario.Clone()
+	s.AmbientSPL = 0
+	ch, _ := s.DeliveryChain(o.Rate, 3, 1, sim.Streaming, opt)
+	rec := sim.RunSource(ch, src, s.Device.ADCRate, opt)
+	if !fixRec.InjectionSuccess(rec, "photo") {
+		res := fixRec.Recognize(rec)
+		t.Fatalf("streaming end-to-end injection failed: %+v", res)
+	}
+}

@@ -14,8 +14,6 @@ package core
 
 import (
 	"fmt"
-	"math"
-	"math/rand"
 
 	"inaudible/internal/acoustics"
 	"inaudible/internal/attack"
@@ -23,6 +21,7 @@ import (
 	"inaudible/internal/dsp"
 	"inaudible/internal/mic"
 	"inaudible/internal/psycho"
+	"inaudible/internal/sim"
 	"inaudible/internal/speaker"
 )
 
@@ -104,13 +103,14 @@ type Emission struct {
 }
 
 // EmitBaseline renders the single-speaker attack: the full AM waveform
-// driven into one tweeter at powerW.
+// driven into one tweeter at powerW, run through the speaker's exact
+// emission chain (bit-identical to sp.Emit).
 func (s *Scenario) EmitBaseline(cmd *audio.Signal, powerW float64, o attack.BaselineOptions, sp *speaker.Speaker) (*Emission, error) {
 	drive, err := attack.Baseline(cmd, o)
 	if err != nil {
 		return nil, err
 	}
-	field := sp.Emit(drive, powerW)
+	field := emitOne(sp, drive, powerW, sim.Exact, sim.Options{})
 	return s.finishEmission(field, powerW, 1), nil
 }
 
@@ -126,39 +126,27 @@ func (s *Scenario) EmitLongRange(cmd *audio.Signal, totalPowerW float64, o attac
 	if err != nil {
 		return nil, err
 	}
+	// The carrier holds most of the plan's power — far more than one small
+	// element's rating, so ElementDrives spreads it over as many dedicated
+	// carrier elements as needed; each still plays a single pure tone, so
+	// per-element intermodulation stays zero. This is why the paper's rig
+	// is a *dense array*: most of its 61 transducers carry the carrier.
+	// Each element runs its own exact emission chain; elements are summed
+	// sequentially so peak memory stays at one element's field.
 	var field *audio.Signal
-	elements := 0
-	addEmission := func(drive *audio.Signal, powerW float64) {
-		if drive == nil || powerW <= 0 {
-			return
-		}
-		em := proto().Emit(drive, powerW)
+	drives := plan.ElementDrives(proto().MaxPowerW)
+	for _, ed := range drives {
+		em := emitOne(proto(), ed.Drive, ed.PowerW, sim.Exact, sim.Options{})
 		if field == nil {
 			field = em
-		} else {
-			dsp.Add(field.Samples, em.Samples)
+			continue
 		}
-		elements++
-	}
-	for i, seg := range plan.Segments {
-		addEmission(seg, plan.SegmentPowerW[i])
-	}
-	// The carrier holds most of the plan's power — far more than one small
-	// element's rating. Spread it over as many dedicated carrier elements
-	// as needed; each still plays a single pure tone, so per-element
-	// intermodulation stays zero. This is why the paper's rig is a *dense
-	// array*: most of its 61 transducers carry the carrier.
-	carrierElems := 1
-	if max := proto().MaxPowerW; max > 0 && plan.CarrierPowerW > max {
-		carrierElems = int(math.Ceil(plan.CarrierPowerW / max))
-	}
-	for i := 0; i < carrierElems; i++ {
-		addEmission(plan.Carrier, plan.CarrierPowerW/float64(carrierElems))
+		dsp.Add(field.Samples, em.Samples)
 	}
 	if field == nil {
 		return nil, fmt.Errorf("core: long-range plan drove no elements")
 	}
-	return s.finishEmission(field, plan.TotalPowerW(), elements), nil
+	return s.finishEmission(field, plan.TotalPowerW(), len(drives)), nil
 }
 
 // EmitVoice renders a legitimate talker: the voice waveform scaled to
@@ -195,21 +183,17 @@ type RunResult struct {
 }
 
 // Deliver propagates the emission over distance metres, adds ambient
-// noise, and records it with the scenario's device. trial varies the
-// noise realisation deterministically (see TrialSeed). Deliver does not
-// mutate the scenario or the emission, so concurrent deliveries are safe.
+// noise, and records it with the scenario's device, all as one compiled
+// exact-mode sim chain (bit-identical to the seed batch pipeline). trial
+// varies the noise realisation deterministically (see TrialSeed).
+// Deliver does not mutate the scenario or the emission, so concurrent
+// deliveries are safe.
 func (s *Scenario) Deliver(e *Emission, distance float64, trial int64) *RunResult {
-	p := acoustics.Path{Distance: distance, Air: s.Air}
-	at := p.Propagate(e.Field)
-	rng := rand.New(rand.NewSource(s.TrialSeed(trial)))
-	if s.AmbientSPL > 0 {
-		noise := acoustics.AmbientNoise(rng, at.Rate, at.Duration(), s.AmbientSPL)
-		dsp.Add(at.Samples, noise.Samples)
-	}
-	rec := s.Device.Record(at, rng)
+	ch, probe := s.DeliveryChain(e.Field.Rate, distance, trial, sim.Exact, sim.Options{})
+	rec := sim.RunSignal(ch, e.Field, s.Device.ADCRate, sim.Options{})
 	return &RunResult{
 		Recording:   rec,
-		SPLAtDevice: acoustics.SPL(at.RMS()),
+		SPLAtDevice: acoustics.SPL(probe.RMS()),
 		Distance:    distance,
 	}
 }

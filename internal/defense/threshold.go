@@ -78,6 +78,20 @@ func CalibrateThresholds(samples []Sample) (*ThresholdDetector, error) {
 	return det, nil
 }
 
+// DemoThresholds returns a hand-calibrated ThresholdDetector over the
+// standard feature vector, for demos, spec runs and benchmarks where
+// corpus training would dominate start-up. Calibrated detectors from
+// CalibrateThresholds (or the trained classifiers) remain the evaluated
+// defenses; this one only needs to separate clear-cut attack recordings
+// from quiet legitimate speech.
+func DemoThresholds() *ThresholdDetector {
+	return &ThresholdDetector{
+		Thresholds: []float64{-1.5, -2.5, 0.5, -2.0, -3.0},
+		AttackHigh: []bool{true, true, true, true, true},
+		Valid:      []bool{true, true, true, true, true},
+	}
+}
+
 // Predict reports whether x is classified as an attack: any valid feature
 // on the attack side of its threshold fires.
 func (t *ThresholdDetector) Predict(x []float64) bool {

@@ -1,0 +1,125 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFIRFromMagnitudeTracksSmoothResponse checks that the designed
+// filter reproduces a smooth target response in-band to well under 1%.
+func TestFIRFromMagnitudeTracksSmoothResponse(t *testing.T) {
+	// A gentle band shape similar to atmospheric absorption: unity at DC
+	// rolling off smoothly toward Nyquist.
+	mag := func(f float64) float64 { return math.Exp(-6 * f) }
+	fir := FIRFromMagnitude(511, mag)
+	if len(fir.Taps)%2 == 0 {
+		t.Fatalf("taps must be odd, got %d", len(fir.Taps))
+	}
+	for _, f := range []float64{0.01, 0.05, 0.1, 0.2, 0.3, 0.45} {
+		h := fir.FrequencyResponse(f)
+		got := math.Hypot(real(h), imag(h))
+		want := mag(f)
+		if math.Abs(got-want) > 0.01*want+1e-4 {
+			t.Errorf("gain at f=%v: got %v want %v", f, got, want)
+		}
+	}
+}
+
+// TestFIRFromMagnitudeLinearPhase verifies the design is symmetric, so
+// delay compensation by (taps-1)/2 is exact.
+func TestFIRFromMagnitudeLinearPhase(t *testing.T) {
+	fir := FIRFromMagnitude(255, func(f float64) float64 { return 1 / (1 + 20*f) })
+	n := len(fir.Taps)
+	for i := 0; i < n/2; i++ {
+		if math.Abs(fir.Taps[i]-fir.Taps[n-1-i]) > 1e-15 {
+			t.Fatalf("taps not symmetric at %d: %v vs %v", i, fir.Taps[i], fir.Taps[n-1-i])
+		}
+	}
+}
+
+// TestFractionalDelayFIR checks the interpolator delays a sinusoid by the
+// designed fraction of a sample.
+func TestFractionalDelayFIR(t *testing.T) {
+	const frac = 0.37
+	fir := FractionalDelayFIR(63, frac)
+	rate := 48000.0
+	freq := 3000.0
+	n := 4096
+	x := make([]float64, n)
+	w := 2 * math.Pi * freq / rate
+	for i := range x {
+		x[i] = math.Sin(w * float64(i))
+	}
+	y := fir.Apply(x)
+	// Compare against the analytically delayed sinusoid away from edges.
+	for i := 200; i < n-200; i++ {
+		want := math.Sin(w * (float64(i) - frac))
+		if math.Abs(y[i]-want) > 1e-3 {
+			t.Fatalf("sample %d: got %v want %v", i, y[i], want)
+		}
+	}
+}
+
+// TestStreamResamplerMatchesBatch pins the parity contract: any chunking
+// of the stream reproduces Resample bit for bit after Flush.
+func TestStreamResamplerMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 9473) // deliberately not a multiple of anything
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for _, rates := range [][2]float64{{192000, 48000}, {48000, 44100}, {44100, 48000}} {
+		want := Resample(x, rates[0], rates[1])
+		for _, chunk := range []int{1, 7, 64, 1024, len(x)} {
+			s := NewStreamResampler(rates[0], rates[1])
+			var got []float64
+			for off := 0; off < len(x); off += chunk {
+				end := off + chunk
+				if end > len(x) {
+					end = len(x)
+				}
+				got = append(got, s.Push(x[off:end])...)
+			}
+			got = append(got, s.Flush()...)
+			if len(got) != len(want) {
+				t.Fatalf("%v chunk %d: length %d want %d", rates, chunk, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v chunk %d: sample %d differs: %v vs %v", rates, chunk, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestStreamResamplerIdentity checks the rate-preserving pass-through.
+func TestStreamResamplerIdentity(t *testing.T) {
+	s := NewStreamResampler(48000, 48000)
+	x := []float64{1, 2, 3}
+	got := s.Push(x)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("identity push: %v", got)
+	}
+	if tail := s.Flush(); len(tail) != 0 {
+		t.Fatalf("identity flush: %v", tail)
+	}
+}
+
+// TestStreamResamplerSteadyStateAllocs checks the hop loop stops
+// allocating once buffer capacities stabilise.
+func TestStreamResamplerSteadyStateAllocs(t *testing.T) {
+	s := NewStreamResampler(192000, 48000)
+	block := make([]float64, 4096)
+	for i := range block {
+		block[i] = math.Sin(float64(i) / 17)
+	}
+	for i := 0; i < 32; i++ {
+		s.Push(block)
+	}
+	allocs := testing.AllocsPerRun(64, func() { s.Push(block) })
+	if allocs > 0 {
+		t.Fatalf("steady-state Push allocates %v times", allocs)
+	}
+}

@@ -81,6 +81,10 @@ func NewStreamFIR(f *FIR, blockHint int) *StreamFIR {
 // (counting across all Push/Flush returns) aligns with input sample i.
 func (s *StreamFIR) Delay() int { return s.delay }
 
+// Block returns the number of fresh input samples consumed per FFT
+// segment — the worst-case buffering latency of the filter.
+func (s *StreamFIR) Block() int { return s.block }
+
 // Push consumes x and returns the filtered samples that became available.
 // The returned slice is reused by the next Push/Flush call — consume or
 // copy it before pushing again. After warm-up (steady frame sizes) Push

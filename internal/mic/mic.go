@@ -115,12 +115,12 @@ func (d *Device) Record(pressure *audio.Signal, rng *rand.Rand) *audio.Signal {
 
 	// 1. Acoustic path through the device body: ultrasonic attenuation.
 	if d.UltrasonicAttenuationDB > 0 {
-		d.applyBodyFilter(x)
+		d.ApplyBodyFilter(x)
 	}
 
 	// 2. Normalise pascals to digital full scale. FullScaleSPL is an RMS
 	// sine level, so full-scale peak pressure is sqrt(2) * that RMS.
-	fsPeak := acoustics.PressureFromSPL(d.FullScaleSPL) * math.Sqrt2
+	fsPeak := d.FullScalePeak()
 	x.Gain(1 / fsPeak)
 
 	// 3. Transducer + amplifier non-linearity — the demodulation step.
@@ -154,9 +154,11 @@ func (d *Device) Record(pressure *audio.Signal, rng *rand.Rand) *audio.Signal {
 	return x
 }
 
-// applyBodyFilter attenuates content above UltrasonicEdgeHz by
-// UltrasonicAttenuationDB with a smooth one-octave transition.
-func (d *Device) applyBodyFilter(sig *audio.Signal) {
+// ApplyBodyFilter attenuates content above UltrasonicEdgeHz by
+// UltrasonicAttenuationDB with a smooth one-octave transition, applied in
+// the frequency domain over the whole buffer — the exact reference that
+// the streaming simulation chain approximates with a windowed FIR.
+func (d *Device) ApplyBodyFilter(sig *audio.Signal) {
 	n := len(sig.Samples)
 	if n == 0 {
 		return
@@ -170,19 +172,26 @@ func (d *Device) applyBodyFilter(sig *audio.Signal) {
 	spec := dsp.RFFT(padded)
 	for k := range spec {
 		f := dsp.BinFrequency(k, size, sig.Rate)
-		spec[k] *= complex(d.bodyGain(f), 0)
+		spec[k] *= complex(d.BodyGain(f), 0)
 	}
 	copy(sig.Samples, dsp.IRFFT(spec, size))
 }
 
-// bodyGain is the linear gain of the device body at frequency f.
-func (d *Device) bodyGain(f float64) float64 {
+// BodyGain is the linear gain of the device body at frequency f.
+func (d *Device) BodyGain(f float64) float64 {
 	if f <= d.UltrasonicEdgeHz {
 		return 1
 	}
 	octs := math.Log2(f / d.UltrasonicEdgeHz)
 	db := d.UltrasonicAttenuationDB * math.Min(1, octs)
 	return dsp.AmplitudeFromDB(-db)
+}
+
+// FullScalePeak returns the peak pressure (pascals) that maps to digital
+// full scale: FullScaleSPL is an RMS sine level, so the peak is sqrt(2)
+// times that RMS pressure.
+func (d *Device) FullScalePeak() float64 {
+	return acoustics.PressureFromSPL(d.FullScaleSPL) * math.Sqrt2
 }
 
 // quantize rounds samples to the ADC grid and hard-clips to [-1, 1].

@@ -170,11 +170,11 @@ func TestRecordPanicsOnLowSimRate(t *testing.T) {
 
 func TestBodyGainShape(t *testing.T) {
 	d := AmazonEcho()
-	if g := d.bodyGain(1000); g != 1 {
+	if g := d.BodyGain(1000); g != 1 {
 		t.Errorf("voice band gain %v", g)
 	}
 	want := dsp.AmplitudeFromDB(-d.UltrasonicAttenuationDB)
-	if g := d.bodyGain(40000); math.Abs(g-want) > 1e-9 {
+	if g := d.BodyGain(40000); math.Abs(g-want) > 1e-9 {
 		t.Errorf("ultrasonic gain %v want %v", g, want)
 	}
 }

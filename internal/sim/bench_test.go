@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"inaudible/internal/acoustics"
+	"inaudible/internal/attack"
+	"inaudible/internal/audio"
+	"inaudible/internal/mic"
+	"inaudible/internal/speaker"
+	"inaudible/internal/voice"
+)
+
+// benchCaptureChain builds the full streaming capture chain (free-field
+// path + ambient + device) at 192 kHz — the steady-state hop loop the
+// guard sits behind.
+func benchCaptureChain(o Options) *Chain {
+	rng := rand.New(rand.NewSource(1))
+	dev := mic.AndroidPhone()
+	var stages []Stage
+	stages = append(stages, PathStages(acoustics.Path{Distance: 5, Air: acoustics.DefaultAir()}, 192000, Streaming, o)...)
+	stages = append(stages, AmbientStage(rng, 40))
+	stages = append(stages, MicStages(dev, rng, 192000, Streaming, o)...)
+	return Compile(o, stages...)
+}
+
+// BenchmarkSimChain measures the compiled streaming chain's steady-state
+// block loop: one op is one 4096-sample block at 192 kHz through
+// propagation, ambient noise, and the whole mic capture chain. The
+// acceptance targets are 0 allocs/op and the x-realtime headroom metric.
+func BenchmarkSimChain(b *testing.B) {
+	o := Options{}
+	c := benchCaptureChain(o)
+	block := make([]float64, o.Block())
+	field := speaker.FostexTweeter().Emit(amDrive(0.5), 18.7)
+	copy(block, field.Samples)
+	for i := 0; i < 64; i++ { // warm every stage staging buffer
+		c.Process(block)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Process(block)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "blocks/sec")
+	secPerBlock := float64(o.Block()) / 192000
+	b.ReportMetric(secPerBlock*float64(b.N)/b.Elapsed().Seconds(), "x-realtime")
+}
+
+// benchLongRangeCmd is the 10 s command driving the batch-vs-chain
+// comparison (synthesised once, padded to 10 s).
+func benchLongRangeCmd() *audio.Signal {
+	cmd := voice.MustSynthesize("alexa, play music", voice.DefaultVoice(), 48000)
+	return cmd.PadTo(10)
+}
+
+// benchLongRangeOptions keeps the bench tractable: 12 spectrum slices
+// (plus the spread carrier elements) instead of the paper's 60 — the
+// same per-element work in both paths, so the ratio is representative.
+func benchLongRangeOptions() attack.LongRangeOptions {
+	o := attack.DefaultLongRangeOptions()
+	o.NumSegments = 12
+	return o
+}
+
+// BenchmarkScenarioBatchVsChain compares the seed batch pipeline against
+// the compiled streaming chain on a 10 s long-range scenario: emission
+// synthesis (per-element speaker physics), free-field propagation,
+// ambient noise and mic capture. The attack plan design is shared and
+// excluded from timing. Acceptance: chain >= 1.3x faster.
+func BenchmarkScenarioBatchVsChain(b *testing.B) {
+	cmd := benchLongRangeCmd()
+	lo := benchLongRangeOptions()
+	plan, err := attack.LongRange(cmd, 300, lo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	drives := plan.ElementDrives(speaker.UltrasonicElement().MaxPowerW)
+
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var field *audio.Signal
+			for _, ed := range drives {
+				em := speaker.UltrasonicElement().Emit(ed.Drive, ed.PowerW)
+				if field == nil {
+					field = em
+					continue
+				}
+				for k := range field.Samples {
+					field.Samples[k] += em.Samples[k]
+				}
+			}
+			at := acoustics.Path{Distance: 5, Air: acoustics.DefaultAir()}.Propagate(field)
+			rng := rand.New(rand.NewSource(1))
+			noise := acoustics.AmbientNoise(rng, at.Rate, at.Duration(), 40)
+			for k := range at.Samples {
+				at.Samples[k] += noise.Samples[k]
+			}
+			rec := mic.AndroidPhone().Record(at, rng)
+			if rec.Len() == 0 {
+				b.Fatal("empty recording")
+			}
+		}
+	})
+
+	b.Run("chain", func(b *testing.B) {
+		o := Options{}
+		for i := 0; i < b.N; i++ {
+			src, _ := LongRangeSource(plan, speaker.UltrasonicElement, Streaming, o)
+			rng := rand.New(rand.NewSource(1))
+			dev := mic.AndroidPhone()
+			var stages []Stage
+			stages = append(stages, PathStages(acoustics.Path{Distance: 5, Air: acoustics.DefaultAir()}, lo.Rate, Streaming, o)...)
+			stages = append(stages, AmbientStage(rng, 40))
+			stages = append(stages, MicStages(dev, rng, lo.Rate, Streaming, o)...)
+			rec := RunSource(Compile(o, stages...), src, dev.ADCRate, o)
+			if rec.Len() == 0 {
+				b.Fatal("empty recording")
+			}
+		}
+	})
+}

@@ -1,0 +1,414 @@
+package sim
+
+import (
+	"math"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+)
+
+// Options tunes how chains are compiled.
+type Options struct {
+	// BlockSamples is the processing block size (source read size and FIR
+	// segment hint); <= 0 selects 4096.
+	BlockSamples int
+	// FIRTaps is the design length for filters approximating the
+	// whole-buffer frequency-domain responses; <= 0 selects 511.
+	FIRTaps int
+	// NoFuse disables LTI fusion (for parity tests of the fusion pass).
+	NoFuse bool
+}
+
+// Block returns the effective processing block size.
+func (o Options) Block() int {
+	if o.BlockSamples <= 0 {
+		return 4096
+	}
+	return o.BlockSamples
+}
+
+// Taps returns the effective FIR design length.
+func (o Options) Taps() int {
+	if o.FIRTaps <= 0 {
+		return 511
+	}
+	return o.FIRTaps
+}
+
+// Chain runs a sequence of stages as one block pipeline. A Chain is
+// itself a Stage, so chains nest (parallel room branches are chains).
+type Chain struct {
+	stages []Stage
+	out    []float64
+}
+
+// NewChain assembles stages into a pipeline without fusion. Nested
+// chains are flattened.
+func NewChain(stages ...Stage) *Chain {
+	c := &Chain{}
+	for _, s := range stages {
+		if sub, ok := s.(*Chain); ok {
+			c.stages = append(c.stages, sub.stages...)
+			continue
+		}
+		c.stages = append(c.stages, s)
+	}
+	return c
+}
+
+// Compile assembles stages into a pipeline, fusing adjacent LTI stages
+// (gains and FIR filters) into single overlap-save convolutions: the
+// speaker response x propagation attenuation x device body filter
+// collapse into one dsp.StreamFIR on the shared plan cache. Fusion
+// preserves the per-stage arithmetic up to FIR convolution rounding
+// (~1e-12 for unit-scale responses).
+func Compile(o Options, stages ...Stage) *Chain {
+	c := NewChain(stages...)
+	if o.NoFuse {
+		return c
+	}
+	return NewChain(fuse(c.stages, o)...)
+}
+
+// fuse merges maximal runs of adjacent LTI stages.
+func fuse(stages []Stage, o Options) []Stage {
+	var out []Stage
+	var runTaps *dsp.FIR
+	var runGain float64 = 1
+	active := false
+
+	flushRun := func() {
+		if !active {
+			return
+		}
+		switch {
+		case runTaps == nil && runGain == 1:
+			// Identity: drop.
+		case runTaps == nil:
+			out = append(out, GainStage(runGain))
+		default:
+			taps := runTaps.Taps
+			if runGain != 1 {
+				scaled := make([]float64, len(taps))
+				for i, v := range taps {
+					scaled[i] = v * runGain
+				}
+				taps = scaled
+			}
+			out = append(out, FIRStage(&dsp.FIR{Taps: taps}, o.Block()))
+		}
+		runTaps, runGain, active = nil, 1, false
+	}
+
+	for _, s := range stages {
+		l, ok := s.(linear)
+		if !ok {
+			flushRun()
+			out = append(out, s)
+			continue
+		}
+		taps, gain := l.lti()
+		active = true
+		runGain *= gain
+		if taps != nil {
+			if runTaps == nil {
+				runTaps = taps
+			} else {
+				runTaps = &dsp.FIR{Taps: dsp.Convolve(runTaps.Taps, taps.Taps)}
+			}
+		}
+	}
+	flushRun()
+	return out
+}
+
+// Stages exposes the compiled stage list (for tests and reporting).
+func (c *Chain) Stages() []Stage { return c.stages }
+
+// Process pushes one block through every stage and returns the samples
+// that emerged from the end of the chain. The returned slice is reused.
+func (c *Chain) Process(block []float64) []float64 {
+	cur := block
+	for _, s := range c.stages {
+		cur = s.Process(cur)
+		if len(cur) == 0 {
+			cur = nil
+		}
+	}
+	return cur
+}
+
+// Flush drains every stage in order, pushing each stage's tail through
+// the rest of the chain, and returns the remaining output.
+func (c *Chain) Flush() []float64 {
+	c.out = c.out[:0]
+	for i := range c.stages {
+		cur := c.stages[i].Flush()
+		for j := i + 1; j < len(c.stages); j++ {
+			cur = c.stages[j].Process(cur)
+		}
+		c.out = append(c.out, cur...)
+	}
+	return c.out
+}
+
+// Reset restores every stage for a new session.
+func (c *Chain) Reset() {
+	for _, s := range c.stages {
+		s.Reset()
+	}
+	c.out = c.out[:0]
+}
+
+// Latency sums the stages' buffering latencies (saturating).
+func (c *Chain) Latency() int {
+	var t int
+	for _, s := range c.stages {
+		l := s.Latency()
+		if l >= math.MaxInt32 || t+l >= math.MaxInt32 {
+			return math.MaxInt32
+		}
+		t += l
+	}
+	return t
+}
+
+// ---- parallel branches ----
+
+// parallelStage feeds one input stream through several branches and sums
+// their outputs sample-aligned — the image-source room model's direct
+// path plus reflections. Branches buffer independently (FIR segmentation
+// differs per branch), so outputs are queued per branch and emitted as
+// the minimum available across branches.
+type parallelStage struct {
+	branches []Stage
+	fifos    [][]float64
+	scratch  []float64
+	out      []float64
+}
+
+// ParallelSum runs branches over copies of the same input and sums their
+// outputs. Every branch must obey the Stage length contract.
+func ParallelSum(branches ...Stage) Stage {
+	if len(branches) == 0 {
+		panic("sim: ParallelSum needs at least one branch")
+	}
+	return &parallelStage{branches: branches, fifos: make([][]float64, len(branches))}
+}
+
+func (p *parallelStage) Process(block []float64) []float64 {
+	for i, b := range p.branches {
+		if cap(p.scratch) < len(block) {
+			p.scratch = make([]float64, len(block))
+		}
+		sc := p.scratch[:len(block)]
+		copy(sc, block)
+		p.fifos[i] = append(p.fifos[i], b.Process(sc)...)
+	}
+	return p.emit(false)
+}
+
+func (p *parallelStage) Flush() []float64 {
+	for i, b := range p.branches {
+		p.fifos[i] = append(p.fifos[i], b.Flush()...)
+	}
+	return p.emit(true)
+}
+
+// emit sums and releases the samples available on every branch.
+func (p *parallelStage) emit(all bool) []float64 {
+	n := len(p.fifos[0])
+	for _, f := range p.fifos[1:] {
+		if len(f) < n {
+			n = len(f)
+		}
+	}
+	p.out = p.out[:0]
+	if n == 0 {
+		if all {
+			// Length contract: every branch emitted the same total, so all
+			// fifos are equally drained here.
+			return nil
+		}
+		return nil
+	}
+	for cap(p.out) < n {
+		p.out = append(p.out[:cap(p.out)], 0)
+	}
+	p.out = p.out[:n]
+	copy(p.out, p.fifos[0][:n])
+	for _, f := range p.fifos[1:] {
+		for i := 0; i < n; i++ {
+			p.out[i] += f[i]
+		}
+	}
+	for i := range p.fifos {
+		m := copy(p.fifos[i], p.fifos[i][n:])
+		p.fifos[i] = p.fifos[i][:m]
+	}
+	return p.out
+}
+
+func (p *parallelStage) Reset() {
+	for i, b := range p.branches {
+		b.Reset()
+		p.fifos[i] = p.fifos[i][:0]
+	}
+}
+
+func (p *parallelStage) Latency() int {
+	var max int
+	for _, b := range p.branches {
+		if l := b.Latency(); l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// ---- sources ----
+
+// Source produces the input stream of a simulation (the attacker's drive
+// waveforms, a talker's voice). Read fills dst and returns the sample
+// count; 0 means the stream ended.
+type Source interface {
+	Read(dst []float64) int
+}
+
+// signalSource streams a fixed waveform.
+type signalSource struct {
+	samples []float64
+	pos     int
+}
+
+// SignalSource streams an in-memory waveform.
+func SignalSource(s *audio.Signal) Source { return &signalSource{samples: s.Samples} }
+
+func (s *signalSource) Read(dst []float64) int {
+	n := copy(dst, s.samples[s.pos:])
+	s.pos += n
+	return n
+}
+
+// Branch pairs a source with the chain that processes it, one emitting
+// element of a mixed field.
+type Branch struct {
+	Source Source
+	Chain  *Chain
+}
+
+// mixSource sums the outputs of several source+chain branches — the
+// colocated-array field synthesis: every element's drive through its own
+// speaker physics, summed at the 1 m reference.
+type mixSource struct {
+	branches []Branch
+	fifos    [][]float64
+	done     []bool
+	scratch  []float64
+}
+
+// MixSources sums branch outputs into one stream. Branches must produce
+// equal total lengths (same drive durations).
+func MixSources(branches ...Branch) Source {
+	if len(branches) == 0 {
+		panic("sim: MixSources needs at least one branch")
+	}
+	return &mixSource{
+		branches: branches,
+		fifos:    make([][]float64, len(branches)),
+		done:     make([]bool, len(branches)),
+	}
+}
+
+func (m *mixSource) Read(dst []float64) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	if cap(m.scratch) < len(dst) {
+		m.scratch = make([]float64, len(dst))
+	}
+	for {
+		// How much is ready on every branch?
+		avail := -1
+		allDone := true
+		for i := range m.branches {
+			if !m.done[i] {
+				allDone = false
+			}
+			if avail < 0 || len(m.fifos[i]) < avail {
+				avail = len(m.fifos[i])
+			}
+		}
+		if avail >= len(dst) || (allDone && avail > 0) {
+			n := avail
+			if n > len(dst) {
+				n = len(dst)
+			}
+			copy(dst[:n], m.fifos[0][:n])
+			for _, f := range m.fifos[1:] {
+				for i := 0; i < n; i++ {
+					dst[i] += f[i]
+				}
+			}
+			for i := range m.fifos {
+				k := copy(m.fifos[i], m.fifos[i][n:])
+				m.fifos[i] = m.fifos[i][:k]
+			}
+			return n
+		}
+		if allDone {
+			return 0
+		}
+		// Pull another block through every live branch.
+		for i, b := range m.branches {
+			if m.done[i] {
+				continue
+			}
+			sc := m.scratch[:len(dst)]
+			n := b.Source.Read(sc)
+			if n == 0 {
+				m.fifos[i] = append(m.fifos[i], b.Chain.Flush()...)
+				m.done[i] = true
+				continue
+			}
+			m.fifos[i] = append(m.fifos[i], b.Chain.Process(sc[:n])...)
+		}
+	}
+}
+
+// ---- running ----
+
+// RunSignal pushes a whole signal through the chain block by block and
+// returns the output at outRate. The input is not modified.
+func RunSignal(c *Chain, in *audio.Signal, outRate float64, o Options) *audio.Signal {
+	block := o.Block()
+	buf := make([]float64, block)
+	out := make([]float64, 0, in.Len())
+	for off := 0; off < in.Len(); off += block {
+		end := off + block
+		if end > in.Len() {
+			end = in.Len()
+		}
+		n := copy(buf, in.Samples[off:end])
+		out = append(out, c.Process(buf[:n])...)
+	}
+	out = append(out, c.Flush()...)
+	return audio.FromSamples(outRate, out)
+}
+
+// RunSource drains a source through the chain and returns the output at
+// outRate.
+func RunSource(c *Chain, src Source, outRate float64, o Options) *audio.Signal {
+	block := o.Block()
+	buf := make([]float64, block)
+	var out []float64
+	for {
+		n := src.Read(buf)
+		if n == 0 {
+			break
+		}
+		out = append(out, c.Process(buf[:n])...)
+	}
+	out = append(out, c.Flush()...)
+	return audio.FromSamples(outRate, out)
+}

@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+)
+
+// runAll pushes sig through the chain in blocks of the given size and
+// returns the concatenated output.
+func runAll(c *Chain, sig []float64, block int) []float64 {
+	var out []float64
+	buf := make([]float64, block)
+	for off := 0; off < len(sig); off += block {
+		end := off + block
+		if end > len(sig) {
+			end = len(sig)
+		}
+		n := copy(buf, sig[off:end])
+		out = append(out, c.Process(buf[:n])...)
+	}
+	return append(out, c.Flush()...)
+}
+
+func noiseSignal(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func relErr(got, want []float64) float64 {
+	if len(got) != len(want) {
+		return math.Inf(1)
+	}
+	var num, den float64
+	for i := range got {
+		d := got[i] - want[i]
+		num += d * d
+		den += want[i] * want[i]
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+// TestChainLengthContract checks total output length equals total input
+// for a representative mixed chain at several block sizes.
+func TestChainLengthContract(t *testing.T) {
+	x := noiseSignal(10000, 1)
+	for _, block := range []int{64, 1000, 4096, len(x)} {
+		c := Compile(Options{BlockSamples: block},
+			GainStage(0.5),
+			FIRStage(dsp.LowPassFIR(101, 0.2), block),
+			DCBlockStage(15, 48000),
+			DelayStage(37),
+			FIRStage(dsp.HighPassFIR(51, 0.01), block),
+		)
+		out := runAll(c, x, block)
+		if len(out) != len(x) {
+			t.Fatalf("block %d: output %d samples, want %d", block, len(out), len(x))
+		}
+	}
+}
+
+// TestChainBlockingInvariance checks that chunking does not change the
+// output stream bit for bit.
+func TestChainBlockingInvariance(t *testing.T) {
+	x := noiseSignal(9137, 2)
+	mk := func() *Chain {
+		return Compile(Options{},
+			GainStage(1.3),
+			FIRStage(dsp.LowPassFIR(101, 0.2), 0),
+			DCBlockStage(15, 48000),
+		)
+	}
+	want := runAll(mk(), x, len(x))
+	for _, block := range []int{1, 17, 512, 4096} {
+		got := runAll(mk(), x, block)
+		if len(got) != len(want) {
+			t.Fatalf("block %d: length %d want %d", block, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("block %d: sample %d differs", block, i)
+			}
+		}
+	}
+}
+
+// TestFusionCollapsesLTIRuns checks the compiler fuses gain+FIR+gain+FIR
+// into a single filter stage and preserves the output within convolution
+// rounding.
+func TestFusionCollapsesLTIRuns(t *testing.T) {
+	x := noiseSignal(8192, 3)
+	stages := func() []Stage {
+		return []Stage{
+			GainStage(2),
+			FIRStage(dsp.LowPassFIR(101, 0.2), 0),
+			GainStage(0.25),
+			FIRStage(dsp.HighPassFIR(51, 0.02), 0),
+		}
+	}
+	fused := Compile(Options{}, stages()...)
+	if n := len(fused.Stages()); n != 1 {
+		t.Fatalf("fused chain has %d stages, want 1", n)
+	}
+	plain := Compile(Options{NoFuse: true}, stages()...)
+	if n := len(plain.Stages()); n != 4 {
+		t.Fatalf("unfused chain has %d stages, want 4", n)
+	}
+	got := runAll(fused, x, 1024)
+	want := runAll(plain, x, 1024)
+	// The cascade truncates each filter's tail at the signal edges while
+	// the fused filter truncates once at the end, so only the interior is
+	// comparable; there the two are identical up to convolution rounding.
+	if e := relErr(got[200:len(got)-200], want[200:len(want)-200]); e > 1e-9 {
+		t.Fatalf("fusion changed output: rel err %v", e)
+	}
+}
+
+// TestFusionIdentityGainDropped checks unity-gain runs disappear.
+func TestFusionIdentityGainDropped(t *testing.T) {
+	c := Compile(Options{}, GainStage(2), GainStage(0.5), PolyStageIdentity())
+	if n := len(c.Stages()); n != 1 {
+		t.Fatalf("chain has %d stages, want 1 (identity gain dropped)", n)
+	}
+}
+
+// PolyStageIdentity is a test helper: a non-LTI stage that passes
+// samples through.
+func PolyStageIdentity() Stage { return Memoryless("id", func([]float64) {}) }
+
+// TestParallelSumAlignsBranches checks branch outputs sum sample-aligned
+// even when their internal buffering differs.
+func TestParallelSumAlignsBranches(t *testing.T) {
+	x := noiseSignal(6000, 4)
+	// Branch A: plain gain. Branch B: FIR with its own segmentation.
+	lp := dsp.LowPassFIR(101, 0.2)
+	par := ParallelSum(
+		Compile(Options{}, GainStage(1)),
+		Compile(Options{}, FIRStage(lp, 333)),
+	)
+	c := NewChain(par)
+	got := runAll(c, x, 250)
+	if len(got) != len(x) {
+		t.Fatalf("length %d want %d", len(got), len(x))
+	}
+	want := lp.Apply(x)
+	for i := range got {
+		w := x[i] + want[i]
+		if math.Abs(got[i]-w) > 1e-9 {
+			t.Fatalf("sample %d: got %v want %v", i, got[i], w)
+		}
+	}
+}
+
+// TestDelayStage checks the integer delay line shifts and truncates.
+func TestDelayStage(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	c := NewChain(DelayStage(2))
+	got := runAll(c, x, 2)
+	want := []float64{0, 0, 1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+// TestVarDelayStageStaticMatchesDelay checks a constant time-varying
+// delay agrees with the integer delay line.
+func TestVarDelayStageStaticMatchesDelay(t *testing.T) {
+	x := noiseSignal(500, 5)
+	v := NewChain(VarDelayStage(48000, 0.01, func(float64) float64 { return 7.0 / 48000 }))
+	d := NewChain(DelayStage(7))
+	got := runAll(v, append([]float64(nil), x...), 100)
+	want := runAll(d, append([]float64(nil), x...), 100)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("sample %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestVarGainSchedule checks the scheduled gain interpolates in dB.
+func TestVarGainSchedule(t *testing.T) {
+	g := scheduleGain([]SchedulePoint{{AtSeconds: 0, GainDB: -20}, {AtSeconds: 1, GainDB: 0}})
+	if got := g(0); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("t=0: %v", got)
+	}
+	if got := g(1); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("t=1: %v", got)
+	}
+	if got := g(0.5); math.Abs(got-0.316227766) > 1e-6 {
+		t.Fatalf("t=0.5: %v", got)
+	}
+	if got := g(2); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("t=2 (past end): %v", got)
+	}
+}
+
+// TestMixSourcesSumsBranches checks per-branch chains mix into one field.
+func TestMixSourcesSumsBranches(t *testing.T) {
+	a := audio.FromSamples(48000, noiseSignal(5000, 6))
+	b := audio.FromSamples(48000, noiseSignal(5000, 7))
+	src := MixSources(
+		Branch{Source: SignalSource(a), Chain: Compile(Options{}, GainStage(2))},
+		Branch{Source: SignalSource(b), Chain: Compile(Options{}, GainStage(3))},
+	)
+	buf := make([]float64, 777)
+	var got []float64
+	for {
+		n := src.Read(buf)
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != a.Len() {
+		t.Fatalf("length %d want %d", len(got), a.Len())
+	}
+	for i := range got {
+		want := 2*a.Samples[i] + 3*b.Samples[i]
+		if math.Abs(got[i]-want) > 1e-12 {
+			t.Fatalf("sample %d: %v want %v", i, got[i], want)
+		}
+	}
+}
+
+// TestProbeRMS checks the pass-through energy probe.
+func TestProbeRMS(t *testing.T) {
+	p := NewProbe()
+	c := NewChain(p)
+	x := noiseSignal(4096, 8)
+	runAll(c, append([]float64(nil), x...), 512)
+	if got, want := p.RMS(), dsp.RMS(x); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("probe rms %v want %v", got, want)
+	}
+}
+
+// TestChainSteadyStateAllocs checks the streaming hop path stops
+// allocating once warmed up, including FIR, resampler, parallel branches
+// and noise injection.
+func TestChainSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := Compile(Options{},
+		GainStage(0.9),
+		FIRStage(dsp.LowPassFIR(255, 0.2), 4096),
+		PinkNoiseStage(rng, 0.01),
+		ParallelSum(
+			Compile(Options{}, DelayStage(100), FIRStage(dsp.LowPassFIR(101, 0.3), 4096)),
+			Compile(Options{}, GainStage(0.5)),
+		),
+		DCBlockStage(15, 192000),
+		WhiteNoiseStage(rng, 0.001),
+		ResampleStage(192000, 48000),
+		QuantizeStage(16),
+	)
+	block := noiseSignal(4096, 10)
+	for i := 0; i < 64; i++ {
+		c.Process(block)
+	}
+	allocs := testing.AllocsPerRun(100, func() { c.Process(block) })
+	if allocs > 0 {
+		t.Fatalf("steady-state Process allocates %v times per block", allocs)
+	}
+}

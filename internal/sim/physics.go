@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"inaudible/internal/acoustics"
+	"inaudible/internal/attack"
+	"inaudible/internal/audio"
+	"inaudible/internal/dsp"
+	"inaudible/internal/mic"
+	"inaudible/internal/speaker"
+)
+
+// Mode selects a chain realization.
+type Mode int
+
+const (
+	// Exact compiles whole-buffer reference stages: bit-identical to the
+	// seed batch pipeline, unbounded memory.
+	Exact Mode = iota
+	// Streaming compiles bounded-memory block stages: memoryless and
+	// recursive transforms bit-identical, frequency-domain filters
+	// approximated by windowed FIRs (documented tolerance).
+	Streaming
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Exact:
+		return "exact"
+	case Streaming:
+		return "streaming"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// SpeakerStages expresses sp.Emit as stages for a drive whose RMS is
+// driveRMS at the given rate: drive normalisation to sqrt(effective
+// power), the drive-domain non-linearity, the transducer passband and the
+// sensitivity conversion to pascals. In Exact mode the passband is the
+// reference whole-buffer response; chains built from it reproduce
+// sp.Emit bit for bit.
+func SpeakerStages(sp *speaker.Speaker, driveRMS, powerW, rate float64, mode Mode, o Options) []Stage {
+	if mode == Exact {
+		return []Stage{BatchTransform("speaker", rate, func(s *audio.Signal) *audio.Signal {
+			return sp.Emit(s, powerW)
+		})}
+	}
+	if driveRMS == 0 || powerW == 0 {
+		return []Stage{GainStage(0)}
+	}
+	if powerW < 0 {
+		panic(fmt.Sprintf("sim: negative power %v", powerW))
+	}
+	return []Stage{
+		GainStage(math.Sqrt(sp.EffectivePowerW(powerW)) / driveRMS),
+		PolyStage(sp.NL),
+		FIRStage(dsp.FIRFromMagnitude(o.Taps(), func(f float64) float64 {
+			return sp.ResponseGain(f * rate)
+		}), o.Block()),
+		GainStage(acoustics.PressureFromSPL(sp.SensitivitySPL)),
+	}
+}
+
+// PathStages expresses acoustics.Path.Propagate as stages: spreading plus
+// ISO 9613 absorption as one attenuation filter, and (when the path
+// includes it) the physical propagation delay split into an integer delay
+// line and a fractional-delay interpolator. Exact mode wraps the
+// reference whole-buffer operator.
+func PathStages(p acoustics.Path, rate float64, mode Mode, o Options) []Stage {
+	if mode == Exact {
+		return []Stage{BatchTransform("air", rate, p.Propagate)}
+	}
+	var stages []Stage
+	if p.IncludeDelay {
+		d := p.Distance / acoustics.SpeedOfSound(p.Air.TempC) * rate
+		di := int(d)
+		frac := d - float64(di)
+		if di > 0 {
+			stages = append(stages, DelayStage(di))
+		}
+		if frac > 1e-9 {
+			stages = append(stages, FIRStage(dsp.FractionalDelayFIR(63, frac), o.Block()))
+		}
+	}
+	stages = append(stages, FIRStage(dsp.FIRFromMagnitude(o.Taps(), func(f float64) float64 {
+		return p.Attenuation(f * rate)
+	}), o.Block()))
+	return stages
+}
+
+// RoomStages expresses acoustics.Room.PropagateInRoom as stages: the
+// direct path plus the six first-order image-source reflections run as
+// parallel branches (each its own delay + attenuation + reflection loss)
+// summed sample-aligned. Exact mode wraps the reference operator.
+func RoomStages(r acoustics.Room, from, to acoustics.Position, rate float64, mode Mode, o Options) []Stage {
+	if mode == Exact {
+		return []Stage{BatchTransform("room", rate, func(s *audio.Signal) *audio.Signal {
+			return r.PropagateInRoom(s, from, to)
+		})}
+	}
+	paths := r.ImagePaths(from, to)
+	branches := make([]Stage, len(paths))
+	for i, pg := range paths {
+		p := acoustics.Path{Distance: pg.Distance, Air: r.Air, IncludeDelay: true}
+		st := PathStages(p, rate, Streaming, o)
+		if pg.Gain != 1 {
+			st = append(st, GainStage(pg.Gain))
+		}
+		branches[i] = Compile(o, st...)
+	}
+	return []Stage{ParallelSum(branches...)}
+}
+
+// AmbientStage injects the room's pink noise at the given SPL (pascals).
+func AmbientStage(rng *rand.Rand, spl float64) Stage {
+	return PinkNoiseStage(rng, acoustics.PressureFromSPL(spl))
+}
+
+// MicStages expresses mic.Device.Record as stages in the reference
+// order: body filter, full-scale normalisation, diaphragm non-linearity
+// (the demodulation step), AC coupling, equivalent input noise,
+// anti-alias low-pass, ADC resampling and quantisation. rng draws the
+// self-noise exactly like the batch path (pass the same seeded source
+// for sequence-identical noise). In Streaming mode everything except the
+// body filter is bit-identical to Record; the body filter is the
+// windowed-FIR approximation.
+func MicStages(d *mic.Device, rng *rand.Rand, rate float64, mode Mode, o Options) []Stage {
+	if mode == Exact {
+		return []Stage{BatchTransform("device", rate, func(s *audio.Signal) *audio.Signal {
+			return d.Record(s, rng)
+		})}
+	}
+	if rate < 2*d.LPFCutoffHz {
+		panic(fmt.Sprintf("sim: simulation rate %v too low for cutoff %v", rate, d.LPFCutoffHz))
+	}
+	var stages []Stage
+	if d.UltrasonicAttenuationDB > 0 {
+		stages = append(stages, FIRStage(dsp.FIRFromMagnitude(o.Taps(), func(f float64) float64 {
+			return d.BodyGain(f * rate)
+		}), o.Block()))
+	}
+	fsPeak := d.FullScalePeak()
+	stages = append(stages,
+		GainStage(1/fsPeak),
+		PolyStage(d.NL),
+		DCBlockStage(15, rate),
+	)
+	if d.NoiseFloorSPL > 0 && rng != nil {
+		noiseRMS := acoustics.PressureFromSPL(d.NoiseFloorSPL) / fsPeak
+		stages = append(stages, WhiteNoiseStage(rng, noiseRMS))
+	}
+	stages = append(stages, FIRStage(dsp.LowPassFIR(511, d.LPFCutoffHz/rate), o.Block()))
+	if rate != d.ADCRate {
+		stages = append(stages, ResampleStage(rate, d.ADCRate))
+	}
+	stages = append(stages, QuantizeStage(d.Bits))
+	return stages
+}
+
+// ElementBranch builds one emitting element of a mixed field: the
+// element's drive streamed through its own speaker physics.
+func ElementBranch(sp *speaker.Speaker, drive *audio.Signal, powerW float64, mode Mode, o Options) Branch {
+	return Branch{
+		Source: SignalSource(drive),
+		Chain:  Compile(o, SpeakerStages(sp, drive.RMS(), powerW, drive.Rate, mode, o)...),
+	}
+}
+
+// ArrayFieldSource synthesises the field an array produces at a target
+// position with per-element geometry: every driven element's drive runs
+// through its own speaker chain and its own exact-path propagation
+// (distance, delay, attenuation from the array's cached FieldPlan), and
+// the branches sum at the receiver. It is the streaming twin of
+// speaker.Array.FieldAt, sharing the same plan cache. Returns nil if no
+// element is driven.
+func ArrayFieldSource(arr *speaker.Array, target acoustics.Position, air acoustics.Air, compensateDelays bool, mode Mode, o Options) Source {
+	plan := arr.PlanFor(target, air, compensateDelays)
+	var branches []Branch
+	for i, e := range arr.Elements {
+		if e.Drive == nil {
+			continue
+		}
+		stages := SpeakerStages(e.Speaker, e.Drive.RMS(), e.PowerW, e.Drive.Rate, mode, o)
+		stages = append(stages, PathStages(plan.Path(i), e.Drive.Rate, mode, o)...)
+		branches = append(branches, Branch{
+			Source: SignalSource(e.Drive),
+			Chain:  Compile(o, stages...),
+		})
+	}
+	if len(branches) == 0 {
+		return nil
+	}
+	return MixSources(branches...)
+}
+
+// LongRangeSource synthesises the 1 m reference field of a long-range
+// plan as a streaming mix: every element drive (segments plus the spread
+// carrier, see attack.Plan.ElementDrives) through its own speaker chain,
+// summed at the colocated-array reference. It returns the source and the
+// number of driven elements.
+func LongRangeSource(plan *attack.Plan, proto func() *speaker.Speaker, mode Mode, o Options) (Source, int) {
+	drives := plan.ElementDrives(proto().MaxPowerW)
+	branches := make([]Branch, 0, len(drives))
+	for _, ed := range drives {
+		branches = append(branches, ElementBranch(proto(), ed.Drive, ed.PowerW, mode, o))
+	}
+	if len(branches) == 0 {
+		return nil, 0
+	}
+	return MixSources(branches...), len(branches)
+}

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"inaudible/internal/acoustics"
+	"inaudible/internal/attack"
+	"inaudible/internal/audio"
+	"inaudible/internal/mic"
+	"inaudible/internal/speaker"
+)
+
+// amDrive builds a representative ultrasonic drive: an AM carrier at
+// 30 kHz with an 800 Hz modulator, faded, at 192 kHz.
+func amDrive(seconds float64) *audio.Signal {
+	const rate = 192000.0
+	s := audio.New(rate, seconds)
+	wc := 2 * math.Pi * 30000 / rate
+	wm := 2 * math.Pi * 800 / rate
+	for i := range s.Samples {
+		s.Samples[i] = (1 + 0.8*math.Sin(wm*float64(i))) * math.Cos(wc*float64(i))
+	}
+	attack.Fade(s, 0.05)
+	s.Normalize(1)
+	return s
+}
+
+// TestSpeakerChainExactMatchesEmit pins the exact-mode contract: the
+// chain realization of the speaker is bit-identical to sp.Emit.
+func TestSpeakerChainExactMatchesEmit(t *testing.T) {
+	drive := amDrive(0.25)
+	sp := speaker.FostexTweeter()
+	want := sp.Emit(drive, 18.7)
+	c := Compile(Options{}, SpeakerStages(sp, drive.RMS(), 18.7, drive.Rate, Exact, Options{})...)
+	got := RunSignal(c, drive, drive.Rate, Options{})
+	if got.Len() != want.Len() {
+		t.Fatalf("length %d want %d", got.Len(), want.Len())
+	}
+	for i := range got.Samples {
+		if got.Samples[i] != want.Samples[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, got.Samples[i], want.Samples[i])
+		}
+	}
+}
+
+// TestSpeakerChainStreamingParity pins the streaming tolerance: the
+// FIR-approximated speaker chain tracks Emit closely for in-band drives.
+func TestSpeakerChainStreamingParity(t *testing.T) {
+	drive := amDrive(0.25)
+	sp := speaker.FostexTweeter()
+	want := sp.Emit(drive, 18.7)
+	c := Compile(Options{}, SpeakerStages(sp, drive.RMS(), 18.7, drive.Rate, Streaming, Options{})...)
+	got := RunSignal(c, drive, drive.Rate, Options{})
+	if e := relErr(got.Samples, want.Samples); e > 0.02 {
+		t.Fatalf("streaming speaker chain rel err %v > 0.02", e)
+	}
+}
+
+// TestPathChainStreamingParity pins the propagation filter tolerance
+// against the exact frequency-domain operator (no delay, as Deliver).
+func TestPathChainStreamingParity(t *testing.T) {
+	field := speaker.FostexTweeter().Emit(amDrive(0.25), 18.7)
+	p := acoustics.Path{Distance: 5, Air: acoustics.DefaultAir()}
+	want := p.Propagate(field)
+	c := Compile(Options{}, PathStages(p, field.Rate, Streaming, Options{})...)
+	got := RunSignal(c, field, field.Rate, Options{})
+	if e := relErr(got.Samples, want.Samples); e > 0.02 {
+		t.Fatalf("streaming path chain rel err %v > 0.02", e)
+	}
+}
+
+// TestMicChainStreamingParity pins the capture-side tolerance: with a
+// shared noise seed the streaming mic chain tracks Record closely (the
+// only approximation is the body filter FIR; LPF, resampler, DC block,
+// quantiser and the noise sequence are bit-identical twins).
+func TestMicChainStreamingParity(t *testing.T) {
+	field := speaker.FostexTweeter().Emit(amDrive(0.25), 18.7)
+	at := acoustics.Path{Distance: 3, Air: acoustics.DefaultAir()}.Propagate(field)
+	d := mic.AndroidPhone()
+	want := d.Record(at, rand.New(rand.NewSource(42)))
+	c := Compile(Options{}, MicStages(d, rand.New(rand.NewSource(42)), at.Rate, Streaming, Options{})...)
+	got := RunSignal(c, at, d.ADCRate, Options{})
+	if got.Len() != want.Len() {
+		t.Fatalf("length %d want %d", got.Len(), want.Len())
+	}
+	if e := relErr(got.Samples, want.Samples); e > 0.05 {
+		t.Fatalf("streaming mic chain rel err %v > 0.05", e)
+	}
+}
+
+// TestMicChainStreamingReferenceTight pins a much tighter tolerance for
+// the reference mic, which has no body filter: every remaining stage is
+// a bit-identical (or 1e-12 segmentation-rounded) twin of Record.
+func TestMicChainStreamingReferenceTight(t *testing.T) {
+	field := speaker.FostexTweeter().Emit(amDrive(0.25), 18.7)
+	at := acoustics.Path{Distance: 3, Air: acoustics.DefaultAir()}.Propagate(field)
+	d := mic.ReferenceMic()
+	want := d.Record(at, rand.New(rand.NewSource(7)))
+	c := Compile(Options{}, MicStages(d, rand.New(rand.NewSource(7)), at.Rate, Streaming, Options{})...)
+	got := RunSignal(c, at, d.ADCRate, Options{})
+	if e := relErr(got.Samples, want.Samples); e > 1e-6 {
+		t.Fatalf("reference mic chain rel err %v > 1e-6", e)
+	}
+}
+
+// TestRoomChainParity is the satellite requirement: the parallel
+// image-source room stage matches PropagateInRoom within tolerance.
+func TestRoomChainParity(t *testing.T) {
+	// Voice-band content so the comparison exercises the reflections, not
+	// ultra-fine ultrasonic phase alignment.
+	sig := audio.New(48000, 0.4)
+	for i := range sig.Samples {
+		tt := float64(i) / 48000
+		sig.Samples[i] = math.Sin(2*math.Pi*440*tt) + 0.5*math.Sin(2*math.Pi*1320*tt)
+	}
+	attack.Fade(sig, 0.05)
+	room := acoustics.MeetingRoom()
+	from := acoustics.Position{X: 1, Y: 2, Z: 1.2}
+	to := acoustics.Position{X: 4, Y: 2, Z: 0.8}
+	want := room.PropagateInRoom(sig, from, to)
+	c := Compile(Options{}, RoomStages(room, from, to, sig.Rate, Streaming, Options{})...)
+	got := RunSignal(c, sig, sig.Rate, Options{})
+	if got.Len() != want.Len() {
+		t.Fatalf("length %d want %d", got.Len(), want.Len())
+	}
+	if e := relErr(got.Samples, want.Samples); e > 0.05 {
+		t.Fatalf("room chain rel err %v > 0.05", e)
+	}
+}
+
+// TestRoomChainExactMatchesBatch pins the exact-mode room realization.
+func TestRoomChainExactMatchesBatch(t *testing.T) {
+	sig := amDrive(0.1)
+	room := acoustics.MeetingRoom()
+	from := acoustics.Position{X: 1, Y: 2, Z: 1.2}
+	to := acoustics.Position{X: 4, Y: 2, Z: 0.8}
+	want := room.PropagateInRoom(sig, from, to)
+	c := Compile(Options{}, RoomStages(room, from, to, sig.Rate, Exact, Options{})...)
+	got := RunSignal(c, sig, sig.Rate, Options{})
+	for i := range got.Samples {
+		if got.Samples[i] != want.Samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+// TestArrayFieldSourceMatchesFieldAt pins the array stage against the
+// plan-cached batch FieldAt: exact-mode branches run the identical
+// per-element Emit+Propagate operators, so the only difference is the
+// summation route (time-domain per element vs one shared inverse FFT).
+func TestArrayFieldSourceMatchesFieldAt(t *testing.T) {
+	arr := speaker.NewGridArray(4, speaker.UltrasonicElement, 0.05)
+	drive := amDrive(0.1)
+	for i := range arr.Elements {
+		arr.Elements[i].Drive = drive
+		arr.Elements[i].PowerW = 2
+	}
+	target := acoustics.Position{X: 3, Y: 0.4, Z: 0.1}
+	air := acoustics.DefaultAir()
+	want := arr.FieldAt(target, air, true)
+	src := ArrayFieldSource(arr, target, air, true, Exact, Options{})
+	if src == nil {
+		t.Fatal("no driven elements")
+	}
+	buf := make([]float64, 4096)
+	var got []float64
+	for {
+		n := src.Read(buf)
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != want.Len() {
+		t.Fatalf("length %d want %d", len(got), want.Len())
+	}
+	if e := relErr(got, want.Samples); e > 1e-9 {
+		t.Fatalf("array stage rel err %v vs FieldAt", e)
+	}
+}
+
+// TestArrayFieldSourceNilWhenUndriven mirrors FieldAt's contract.
+func TestArrayFieldSourceNilWhenUndriven(t *testing.T) {
+	arr := speaker.NewGridArray(3, speaker.UltrasonicElement, 0.05)
+	if src := ArrayFieldSource(arr, acoustics.Position{X: 1}, acoustics.DefaultAir(), true, Exact, Options{}); src != nil {
+		t.Fatal("expected nil source for undriven array")
+	}
+}
+
+// TestLongRangeSourceMatchesBatchEmission pins the mixed multi-element
+// source against the batch per-element sum in exact mode (bit-identical
+// element chains, same summation order).
+func TestLongRangeSourceMatchesBatchEmission(t *testing.T) {
+	cmd := amDrive(0.25).Resampled(48000)
+	o := attack.DefaultLongRangeOptions()
+	o.NumSegments = 6
+	plan, err := attack.LongRange(cmd, 30, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch reference: per-element Emit summed in ElementDrives order.
+	var want *audio.Signal
+	for _, ed := range plan.ElementDrives(speaker.UltrasonicElement().MaxPowerW) {
+		em := speaker.UltrasonicElement().Emit(ed.Drive, ed.PowerW)
+		if want == nil {
+			want = em
+			continue
+		}
+		for i := range want.Samples {
+			want.Samples[i] += em.Samples[i]
+		}
+	}
+	src, elements := LongRangeSource(plan, speaker.UltrasonicElement, Exact, Options{})
+	if elements < 7 { // 6 slices + at least one carrier element
+		t.Fatalf("only %d elements driven", elements)
+	}
+	buf := make([]float64, 4096)
+	var got []float64
+	for {
+		n := src.Read(buf)
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != want.Len() {
+		t.Fatalf("length %d want %d", len(got), want.Len())
+	}
+	for i := range got {
+		if got[i] != want.Samples[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, got[i], want.Samples[i])
+		}
+	}
+}

@@ -1,0 +1,527 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+
+	"inaudible/internal/acoustics"
+	"inaudible/internal/attack"
+	"inaudible/internal/audio"
+	"inaudible/internal/defense"
+	"inaudible/internal/mic"
+	"inaudible/internal/speaker"
+	"inaudible/internal/stream"
+	"inaudible/internal/voice"
+)
+
+// Spec is a declarative end-to-end scenario: a scenario is data, not a
+// new run function. It describes the command, the attack rig, the
+// propagation environment (free field or multipath room, optionally a
+// moving source and a power schedule) and the capture points, and
+// compiles to a streaming chain that pipes straight into the defense
+// guard.
+type Spec struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name,omitempty"`
+	// Text is the voice command to synthesise (vocabulary text).
+	Text string `json:"text"`
+	// Attack selects and parameterises the source.
+	Attack AttackSpec `json:"attack"`
+	// Device is the victim microphone: "phone" (default), "echo" or
+	// "reference".
+	Device string `json:"device,omitempty"`
+	// AmbientSPL is the room's pink-noise level in dB SPL (0 disables).
+	AmbientSPL float64 `json:"ambient_spl,omitempty"`
+	// Seed drives all randomness (ambient noise, mic self-noise).
+	Seed int64 `json:"seed,omitempty"`
+	// Path describes propagation from the rig to the capture points.
+	Path PathSpec `json:"path"`
+	// Guard parameterises the streaming defense sessions.
+	Guard GuardSpec `json:"guard,omitempty"`
+	// BlockSamples overrides the processing block size.
+	BlockSamples int `json:"block_samples,omitempty"`
+}
+
+// AttackSpec selects the emission source.
+type AttackSpec struct {
+	// Kind is "baseline" (single tweeter), "longrange" (spectrum-split
+	// array) or "voice" (a legitimate talker, the control condition).
+	Kind string `json:"kind"`
+	// PowerW is the electrical power (total across elements).
+	PowerW float64 `json:"power_w,omitempty"`
+	// VoiceSPL is the talker level at 1 m for kind "voice".
+	VoiceSPL float64 `json:"voice_spl,omitempty"`
+	// CarrierHz overrides the ultrasound carrier (default 30 kHz).
+	CarrierHz float64 `json:"carrier_hz,omitempty"`
+	// Segments overrides the long-range slice count (default 60).
+	Segments int `json:"segments,omitempty"`
+	// ScheduleDB ramps the attacker's output over the session: a
+	// piecewise-linear gain (dB, 0 = nominal) over time. Models an
+	// attacker that sneaks the power up.
+	ScheduleDB []SchedulePoint `json:"schedule_db,omitempty"`
+}
+
+// SchedulePoint is one knot of the attacker power schedule.
+type SchedulePoint struct {
+	AtSeconds float64 `json:"at_s"`
+	GainDB    float64 `json:"gain_db"`
+}
+
+// PathSpec describes propagation and capture geometry.
+type PathSpec struct {
+	// DistanceM is the rig-to-victim distance (free field), or ignored
+	// when Room is set (positions carry the geometry).
+	DistanceM float64 `json:"distance_m,omitempty"`
+	// MoveToM, when non-zero, moves the source linearly from DistanceM to
+	// MoveToM over the session: a walking attacker. Spreading loss and
+	// delay vary per sample; absorption is fixed at the midpoint distance
+	// (first-order approximation). With a Room, the motion modulates the
+	// field on top of the start-position multipath.
+	MoveToM float64 `json:"move_to_m,omitempty"`
+	// ExtraTapsM adds free-field capture points at these distances, each
+	// with its own device chain and guard session.
+	ExtraTapsM []float64 `json:"extra_taps_m,omitempty"`
+	// Room, when set, switches to the image-source multipath model.
+	Room *RoomSpec `json:"room,omitempty"`
+}
+
+// RoomSpec is a shoebox room with explicit geometry.
+type RoomSpec struct {
+	LxM        float64    `json:"lx_m"`
+	LyM        float64    `json:"ly_m"`
+	LzM        float64    `json:"lz_m"`
+	Reflection float64    `json:"reflection"`
+	Attacker   [3]float64 `json:"attacker"`
+	Victim     [3]float64 `json:"victim"`
+	// ExtraMics adds capture points at these positions, each with its own
+	// device chain and guard session.
+	ExtraMics [][3]float64 `json:"extra_mics,omitempty"`
+}
+
+// GuardSpec parameterises the streaming defense sessions.
+type GuardSpec struct {
+	// EmitEverySeconds is the interim-verdict cadence (default 0.5 s;
+	// negative disables interim verdicts).
+	EmitEverySeconds float64 `json:"emit_every_s,omitempty"`
+	// KeepRecording retains each tap's captured audio in the result
+	// (costs memory proportional to session length).
+	KeepRecording bool `json:"keep_recording,omitempty"`
+}
+
+// ParseSpec decodes a JSON scenario.
+func ParseSpec(data []byte) (*Spec, error) {
+	var sp Spec
+	if err := json.Unmarshal(data, &sp); err != nil {
+		return nil, fmt.Errorf("sim: parsing spec: %w", err)
+	}
+	return &sp, nil
+}
+
+// LoadSpec reads a JSON scenario from disk.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sim: reading spec: %w", err)
+	}
+	return ParseSpec(data)
+}
+
+// TapResult is one capture point's outcome.
+type TapResult struct {
+	// Label identifies the tap ("victim", "tap@5.0m", "mic@(x,y,z)").
+	Label string
+	// SPLAtDevice is the sound level that reached the microphone.
+	SPLAtDevice float64
+	// Verdicts holds the guard's interim verdicts in order.
+	Verdicts []stream.Verdict
+	// Final is the end-of-session verdict.
+	Final stream.Verdict
+	// Recording is the captured audio (nil unless KeepRecording).
+	Recording *audio.Signal
+}
+
+// Result is a full scenario outcome.
+type Result struct {
+	Name        string
+	Elements    int
+	TotalPowerW float64
+	Taps        []TapResult
+}
+
+// tapRunner is one capture point mid-run.
+type tapRunner struct {
+	label     string
+	chain     *Chain
+	probe     *Probe
+	guard     *stream.Guard
+	rec       []float64
+	verdicts  []stream.Verdict
+	scratch   []float64
+	keep      bool
+	onVerdict func(tap string, v stream.Verdict)
+}
+
+func (t *tapRunner) push(out []float64) {
+	if v := t.guard.Push(out); v != nil {
+		t.verdicts = append(t.verdicts, *v)
+		if t.onVerdict != nil {
+			t.onVerdict(t.label, *v)
+		}
+	}
+	if t.keep {
+		t.rec = append(t.rec, out...)
+	}
+}
+
+// Sim is a compiled scenario ready to run: the emission source, the
+// shared field conditioning and one capture chain + guard per tap.
+type Sim struct {
+	name        string
+	src         Source
+	pre         *Chain
+	taps        []*tapRunner
+	block       int
+	adcRate     float64
+	elements    int
+	totalPowerW float64
+}
+
+// Build compiles the spec against a trained (or calibrated) detector.
+// The detector is shared across all tap guards.
+func (sp *Spec) Build(det defense.Detector) (*Sim, error) {
+	if det == nil {
+		det = defense.DemoThresholds()
+	}
+	dev, err := deviceFor(sp.Device)
+	if err != nil {
+		return nil, err
+	}
+	cmd, err := voice.Synthesize(sp.Text, voice.DefaultVoice(), 48000)
+	if err != nil {
+		return nil, fmt.Errorf("sim: synthesising %q: %w", sp.Text, err)
+	}
+	o := Options{BlockSamples: sp.BlockSamples}
+
+	src, rate, elements, totalPowerW, err := sp.Attack.source(cmd, o)
+	if err != nil {
+		return nil, err
+	}
+	if rate < 2*dev.LPFCutoffHz {
+		return nil, fmt.Errorf("sim: source rate %v too low for device cutoff %v", rate, dev.LPFCutoffHz)
+	}
+
+	// Shared field conditioning: the attacker's power schedule.
+	var pre []Stage
+	if len(sp.Attack.ScheduleDB) > 0 {
+		pre = append(pre, VarGainStage(rate, scheduleGain(sp.Attack.ScheduleDB)))
+	}
+
+	seed := sp.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	emitEvery := emitFrames(sp.Guard.EmitEverySeconds)
+
+	s := &Sim{
+		name:        sp.Name,
+		src:         src,
+		pre:         Compile(o, pre...),
+		block:       o.Block(),
+		adcRate:     dev.ADCRate,
+		elements:    elements,
+		totalPowerW: totalPowerW,
+	}
+
+	addTap := func(label string, pathStages []Stage, tapIdx int) {
+		rng := rand.New(rand.NewSource(seed*1_000_003 + int64(tapIdx)))
+		probe := NewProbe()
+		stages := append([]Stage{}, pathStages...)
+		if sp.AmbientSPL > 0 {
+			stages = append(stages, AmbientStage(rng, sp.AmbientSPL))
+		}
+		stages = append(stages, probe)
+		stages = append(stages, MicStages(dev, rng, rate, Streaming, o)...)
+		s.taps = append(s.taps, &tapRunner{
+			label: label,
+			chain: Compile(o, stages...),
+			probe: probe,
+			guard: stream.NewGuard(stream.GuardConfig{
+				Rate:      dev.ADCRate,
+				Detector:  det,
+				EmitEvery: emitEvery,
+			}),
+			keep: sp.Guard.KeepRecording,
+		})
+	}
+
+	duration := cmd.Duration() // session length in seconds (source preserves it)
+	if r := sp.Path.Room; r != nil {
+		room := acoustics.Room{Lx: r.LxM, Ly: r.LyM, Lz: r.LzM, Reflection: r.Reflection, Air: acoustics.DefaultAir()}
+		atk := pos(r.Attacker)
+		// The room's multipath carries the start-position spreading, so
+		// the motion correction is relative to the start distance.
+		d0 := atk.Distance(pos(r.Victim))
+		motion := sp.motionStages(d0, d0, rate, duration)
+		addTap("victim", append(motion, RoomStages(room, atk, pos(r.Victim), rate, Streaming, o)...), 0)
+		for i, m := range r.ExtraMics {
+			label := fmt.Sprintf("mic@(%.1f,%.1f,%.1f)", m[0], m[1], m[2])
+			addTap(label, RoomStages(room, atk, pos(m), rate, Streaming, o), i+1)
+		}
+	} else {
+		d := sp.Path.DistanceM
+		if d <= 0 {
+			return nil, fmt.Errorf("sim: spec needs path.distance_m or path.room")
+		}
+		addTap("victim", sp.freeFieldStages(d, rate, duration, o), 0)
+		for i, td := range sp.Path.ExtraTapsM {
+			addTap(fmt.Sprintf("tap@%.1fm", td), PathStages(acoustics.Path{Distance: td, Air: acoustics.DefaultAir()}, rate, Streaming, o), i+1)
+		}
+	}
+	return s, nil
+}
+
+// freeFieldStages builds the victim's free-field path, including the
+// moving-source modulation when requested.
+func (sp *Spec) freeFieldStages(d, rate, duration float64, o Options) []Stage {
+	air := acoustics.DefaultAir()
+	if sp.Path.MoveToM <= 0 || sp.Path.MoveToM == d {
+		return PathStages(acoustics.Path{Distance: d, Air: air}, rate, Streaming, o)
+	}
+	d1 := sp.Path.MoveToM
+	mid := (d + d1) / 2
+	// PathStages carries the 1/mid spreading, so the motion correction is
+	// relative to the midpoint distance.
+	stages := sp.motionStages(d, mid, rate, duration)
+	stages = append(stages, PathStages(acoustics.Path{Distance: mid, Air: air}, rate, Streaming, o)...)
+	return stages
+}
+
+// motionStages returns the time-varying delay and spreading correction of
+// a source moving linearly from d0 to MoveToM over the session. refDist
+// is the distance whose static 1/refDist spreading the downstream path
+// filter applies; the correction turns it into the true 1/d(t). Without
+// motion it returns nil.
+func (sp *Spec) motionStages(d0, refDist, rate, duration float64) []Stage {
+	d1 := sp.Path.MoveToM
+	if d1 <= 0 || d1 == d0 || duration <= 0 {
+		return nil
+	}
+	c := acoustics.SpeedOfSound(acoustics.DefaultAir().TempC)
+	dAt := func(t float64) float64 {
+		frac := t / duration
+		if frac > 1 {
+			frac = 1
+		}
+		return d0 + (d1-d0)*frac
+	}
+	dmin := math.Min(d0, d1)
+	maxDelay := (math.Max(d0, d1) - dmin) / c
+	return []Stage{
+		VarDelayStage(rate, maxDelay, func(t float64) float64 { return (dAt(t) - dmin) / c }),
+		VarGainStage(rate, func(t float64) float64 { return refDist / dAt(t) }),
+	}
+}
+
+// source builds the emission source and reports (source, rate, elements,
+// total power).
+func (a AttackSpec) source(cmd *audio.Signal, o Options) (Source, float64, int, float64, error) {
+	switch a.Kind {
+	case "baseline":
+		bo := attack.DefaultBaselineOptions()
+		if a.CarrierHz > 0 {
+			bo.CarrierHz = a.CarrierHz
+		}
+		power := a.PowerW
+		if power <= 0 {
+			power = 18.7
+		}
+		drive, err := attack.Baseline(cmd, bo)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		b := ElementBranch(speaker.FostexTweeter(), drive, power, Streaming, o)
+		return MixSources(b), bo.Rate, 1, power, nil
+	case "longrange":
+		lo := attack.DefaultLongRangeOptions()
+		if a.CarrierHz > 0 {
+			lo.CarrierHz = a.CarrierHz
+		}
+		if a.Segments > 0 {
+			lo.NumSegments = a.Segments
+		}
+		power := a.PowerW
+		if power <= 0 {
+			power = 300
+		}
+		plan, err := attack.LongRange(cmd, power, lo)
+		if err != nil {
+			return nil, 0, 0, 0, err
+		}
+		src, elements := LongRangeSource(plan, speaker.UltrasonicElement, Streaming, o)
+		if src == nil {
+			return nil, 0, 0, 0, fmt.Errorf("sim: long-range plan drove no elements")
+		}
+		return src, lo.Rate, elements, plan.TotalPowerW(), nil
+	case "voice":
+		spl := a.VoiceSPL
+		if spl <= 0 {
+			spl = 66
+		}
+		field := cmd.Clone()
+		field.NormalizeRMS(acoustics.PressureFromSPL(spl))
+		return SignalSource(field), field.Rate, 0, 0, nil
+	default:
+		return nil, 0, 0, 0, fmt.Errorf("sim: unknown attack kind %q", a.Kind)
+	}
+}
+
+// OnVerdict registers a callback receiving every interim verdict as it
+// is emitted, labelled by tap — live monitoring during Run.
+func (s *Sim) OnVerdict(fn func(tap string, v stream.Verdict)) {
+	for _, t := range s.taps {
+		t.onVerdict = fn
+	}
+}
+
+// Run executes the compiled scenario: the emission streams block by
+// block through every tap's capture chain into its guard session, in
+// bounded memory (unless recordings are kept).
+func (s *Sim) Run() *Result {
+	buf := make([]float64, s.block)
+	for {
+		n := s.src.Read(buf)
+		if n == 0 {
+			break
+		}
+		s.feed(s.pre.Process(buf[:n]))
+	}
+	s.feed(s.pre.Flush())
+	res := &Result{Name: s.name, Elements: s.elements, TotalPowerW: s.totalPowerW}
+	for _, t := range s.taps {
+		t.push(t.chain.Flush())
+		final := t.guard.Finalize()
+		tr := TapResult{
+			Label:       t.label,
+			SPLAtDevice: acoustics.SPL(t.probe.RMS()),
+			Verdicts:    t.verdicts,
+			Final:       final,
+		}
+		if t.keep {
+			tr.Recording = audio.FromSamples(s.adcRate, t.rec)
+		}
+		res.Taps = append(res.Taps, tr)
+	}
+	return res
+}
+
+// feed fans one conditioned field block out to every tap.
+func (s *Sim) feed(block []float64) {
+	if len(block) == 0 {
+		return
+	}
+	for _, t := range s.taps {
+		if cap(t.scratch) < len(block) {
+			t.scratch = make([]float64, len(block))
+		}
+		sc := t.scratch[:len(block)]
+		copy(sc, block)
+		t.push(t.chain.Process(sc))
+	}
+}
+
+// SimulateSpec compiles and runs a scenario in one call.
+func SimulateSpec(sp *Spec, det defense.Detector) (*Result, error) {
+	s, err := sp.Build(det)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+// RunVerbose runs the scenario with every interim verdict streamed to w
+// as it is emitted, then writes the per-tap report — the shared flow
+// behind `cmd/simulate -spec` and examples/live_attack_sim.
+func (s *Sim) RunVerbose(w io.Writer) *Result {
+	s.OnVerdict(func(tap string, v stream.Verdict) {
+		fmt.Fprintf(w, "[%s] %v\n", tap, v)
+	})
+	res := s.Run()
+	res.WriteReport(w)
+	return res
+}
+
+// WriteReport prints the rig summary and each tap's SPL, final verdict
+// and latency statistics.
+func (r *Result) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "rig: %d element(s), %.1f W total\n", r.Elements, r.TotalPowerW)
+	for _, tap := range r.Taps {
+		fmt.Fprintf(w, "[%s] at device: %.1f dB SPL\n", tap.Label, tap.SPLAtDevice)
+		fmt.Fprintf(w, "[%s] %v\n", tap.Label, tap.Final)
+		fmt.Fprintf(w, "[%s] %v\n", tap.Label, tap.Final.Latency)
+	}
+}
+
+// pos converts a spec coordinate triple to a room position.
+func pos(p [3]float64) acoustics.Position {
+	return acoustics.Position{X: p[0], Y: p[1], Z: p[2]}
+}
+
+// deviceFor maps a spec device name to its profile.
+func deviceFor(name string) (*mic.Device, error) {
+	switch name {
+	case "", "phone":
+		return mic.AndroidPhone(), nil
+	case "echo":
+		return mic.AmazonEcho(), nil
+	case "reference":
+		return mic.ReferenceMic(), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown device %q", name)
+	}
+}
+
+// emitFrames converts the interim cadence to guard frames (20 ms each).
+func emitFrames(seconds float64) int {
+	if seconds < 0 {
+		return 0
+	}
+	if seconds == 0 {
+		seconds = 0.5
+	}
+	frames := int(math.Round(seconds / 0.020))
+	if frames < 1 {
+		frames = 1
+	}
+	return frames
+}
+
+// scheduleGain interpolates the piecewise-linear dB schedule.
+func scheduleGain(points []SchedulePoint) func(t float64) float64 {
+	return func(t float64) float64 {
+		if len(points) == 0 {
+			return 1
+		}
+		if t <= points[0].AtSeconds {
+			return dbGain(points[0].GainDB)
+		}
+		for i := 1; i < len(points); i++ {
+			if t <= points[i].AtSeconds {
+				p0, p1 := points[i-1], points[i]
+				span := p1.AtSeconds - p0.AtSeconds
+				if span <= 0 {
+					return dbGain(p1.GainDB)
+				}
+				frac := (t - p0.AtSeconds) / span
+				return dbGain(p0.GainDB + (p1.GainDB-p0.GainDB)*frac)
+			}
+		}
+		return dbGain(points[len(points)-1].GainDB)
+	}
+}
+
+// dbGain converts decibels (amplitude) to a linear factor.
+func dbGain(db float64) float64 { return math.Pow(10, db/20) }

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"path/filepath"
+	"testing"
+
+	"inaudible/internal/stream"
+)
+
+// TestSpecBaselineRuns compiles and runs a minimal free-field baseline
+// scenario end to end into the guard.
+func TestSpecBaselineRuns(t *testing.T) {
+	sp := &Spec{
+		Name:       "test-baseline",
+		Text:       "alexa, play music",
+		Attack:     AttackSpec{Kind: "baseline", PowerW: 18.7},
+		AmbientSPL: 40,
+		Seed:       1,
+		Path:       PathSpec{DistanceM: 2},
+		Guard:      GuardSpec{KeepRecording: true},
+	}
+	res, err := SimulateSpec(sp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Taps) != 1 {
+		t.Fatalf("taps %d want 1", len(res.Taps))
+	}
+	tap := res.Taps[0]
+	if !tap.Final.Final {
+		t.Fatal("missing final verdict")
+	}
+	if tap.SPLAtDevice < 30 || tap.SPLAtDevice > 120 {
+		t.Fatalf("implausible SPL at device: %v", tap.SPLAtDevice)
+	}
+	if tap.Recording == nil || tap.Recording.Len() == 0 {
+		t.Fatal("KeepRecording did not retain audio")
+	}
+	if tap.Recording.Rate != 48000 {
+		t.Fatalf("recording rate %v", tap.Recording.Rate)
+	}
+	if len(tap.Verdicts) == 0 {
+		t.Fatal("no interim verdicts at default cadence")
+	}
+	if res.Elements != 1 || res.TotalPowerW != 18.7 {
+		t.Fatalf("rig metadata: %d elements, %v W", res.Elements, res.TotalPowerW)
+	}
+}
+
+// TestSpecRoomMovingMultiTap exercises the full feature set in one run:
+// long-range source, power schedule, moving attacker, multipath room,
+// extra microphone tap — every tap with its own guard session.
+func TestSpecRoomMovingMultiTap(t *testing.T) {
+	sp := &Spec{
+		Name: "test-room",
+		Text: "alexa, play music",
+		Attack: AttackSpec{
+			Kind: "longrange", PowerW: 200, Segments: 8,
+			ScheduleDB: []SchedulePoint{{AtSeconds: 0, GainDB: -6}, {AtSeconds: 0.5, GainDB: 0}},
+		},
+		AmbientSPL: 40,
+		Seed:       3,
+		Path: PathSpec{
+			MoveToM: 2.2,
+			Room: &RoomSpec{
+				LxM: 6.5, LyM: 4, LzM: 2.5, Reflection: 0.35,
+				Attacker:  [3]float64{1, 2, 1.2},
+				Victim:    [3]float64{4, 2, 0.8},
+				ExtraMics: [][3]float64{{5.5, 3, 1}},
+			},
+		},
+	}
+	s, err := sp.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var live int
+	s.OnVerdict(func(string, stream.Verdict) { live++ })
+	res := s.Run()
+	if live == 0 {
+		t.Fatal("no live interim verdicts reached the callback")
+	}
+	if len(res.Taps) != 2 {
+		t.Fatalf("taps %d want 2 (victim + extra mic)", len(res.Taps))
+	}
+	for _, tap := range res.Taps {
+		if !tap.Final.Final {
+			t.Fatalf("tap %s missing final verdict", tap.Label)
+		}
+		if tap.Final.Samples == 0 {
+			t.Fatalf("tap %s consumed no audio", tap.Label)
+		}
+	}
+	if res.Elements < 9 {
+		t.Fatalf("only %d elements", res.Elements)
+	}
+}
+
+// TestSpecExampleFilesParse pins the committed example specs: they must
+// stay loadable and compilable as the schema evolves.
+func TestSpecExampleFilesParse(t *testing.T) {
+	for _, name := range []string{"longrange_room.json", "baseline_driveby.json"} {
+		sp, err := LoadSpec(filepath.Join("..", "..", "examples", "specs", name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := sp.Build(nil); err != nil {
+			t.Fatalf("%s does not compile: %v", name, err)
+		}
+	}
+}
+
+// TestSpecRejectsBadInput pins the error paths.
+func TestSpecRejectsBadInput(t *testing.T) {
+	if _, err := SimulateSpec(&Spec{Text: "hi", Attack: AttackSpec{Kind: "warp"}, Path: PathSpec{DistanceM: 1}}, nil); err == nil {
+		t.Fatal("unknown attack kind accepted")
+	}
+	if _, err := SimulateSpec(&Spec{Text: "hi", Attack: AttackSpec{Kind: "voice"}, Device: "toaster", Path: PathSpec{DistanceM: 1}}, nil); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if _, err := SimulateSpec(&Spec{Text: "hi", Attack: AttackSpec{Kind: "voice"}}, nil); err == nil {
+		t.Fatal("missing geometry accepted")
+	}
+	if _, err := ParseSpec([]byte("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}

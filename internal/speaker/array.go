@@ -2,6 +2,8 @@ package speaker
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"inaudible/internal/acoustics"
 	"inaudible/internal/audio"
@@ -24,6 +26,11 @@ type Array struct {
 	Elements []Element
 	// Center is the array centre in room coordinates.
 	Center acoustics.Position
+
+	// plans caches per-(target, air, delay-mode) field geometry. Guarded
+	// by planMu; see PlanFor.
+	planMu sync.Mutex
+	plans  map[fieldKey]*FieldPlan
 }
 
 // NewGridArray builds an n-element array of the given speaker profile
@@ -96,6 +103,168 @@ func (a *Array) CombinedLeakage() *audio.Signal {
 	return acc
 }
 
+// fieldKey identifies one cached field geometry.
+type fieldKey struct {
+	target     acoustics.Position
+	air        acoustics.Air
+	compensate bool
+}
+
+// FieldPlan is the cached geometry of one (array, target, air, delay
+// mode) combination: per-element distances, propagation paths and lazily
+// built frequency-domain transfer spectra (spreading x ISO 9613
+// absorption x optional delay phase). Building the transfer tables is the
+// expensive per-bin work FieldAt used to redo on every call; a plan is
+// computed once and reused across trials (and by the sim array stage).
+//
+// A plan snapshots geometry only — element drives and powers are read at
+// FieldAt time, so reassigning drives between calls is safe. Mutating
+// positions (Center, Offsets) after a plan exists requires
+// InvalidatePlans.
+type FieldPlan struct {
+	arr *Array
+	key fieldKey
+	// Distances holds each element's exact path length to the target, in
+	// element order (including undriven elements).
+	Distances []float64
+
+	mu       sync.Mutex
+	transfer map[transferKey][][]complex128 // per-element one-sided transfer spectra
+}
+
+// transferKey identifies one transfer table: the FFT size and the sample
+// rate that maps bins to physical frequencies.
+type transferKey struct {
+	size int
+	rate float64
+}
+
+// PlanFor returns the cached field plan for the target/air/delay-mode,
+// building it on first use. Plans are cached on the array and safe for
+// concurrent use.
+func (a *Array) PlanFor(target acoustics.Position, air acoustics.Air, compensateDelays bool) *FieldPlan {
+	key := fieldKey{target: target, air: air, compensate: compensateDelays}
+	a.planMu.Lock()
+	defer a.planMu.Unlock()
+	if p, ok := a.plans[key]; ok {
+		return p
+	}
+	p := &FieldPlan{
+		arr:       a,
+		key:       key,
+		Distances: make([]float64, len(a.Elements)),
+		transfer:  map[transferKey][][]complex128{},
+	}
+	for i, e := range a.Elements {
+		pos := acoustics.Position{
+			X: a.Center.X + e.Offset.X,
+			Y: a.Center.Y + e.Offset.Y,
+			Z: a.Center.Z + e.Offset.Z,
+		}
+		p.Distances[i] = pos.Distance(target)
+	}
+	if a.plans == nil {
+		a.plans = map[fieldKey]*FieldPlan{}
+	}
+	a.plans[key] = p
+	return p
+}
+
+// InvalidatePlans discards all cached field plans; call after mutating
+// the array geometry (Center or element Offsets).
+func (a *Array) InvalidatePlans() {
+	a.planMu.Lock()
+	a.plans = nil
+	a.planMu.Unlock()
+}
+
+// Path returns element i's propagation path to the plan's target.
+func (p *FieldPlan) Path(i int) acoustics.Path {
+	return acoustics.Path{Distance: p.Distances[i], Air: p.key.air, IncludeDelay: !p.key.compensate}
+}
+
+// transferFor returns the per-element one-sided transfer spectra for the
+// given FFT size and signal rate, building them on first use.
+func (p *FieldPlan) transferFor(size int, rate float64) [][]complex128 {
+	k := transferKey{size: size, rate: rate}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if t, ok := p.transfer[k]; ok {
+		return t
+	}
+	c := acoustics.SpeedOfSound(p.key.air.TempC)
+	t := make([][]complex128, len(p.Distances))
+	for i, d := range p.Distances {
+		h := make([]complex128, size/2+1)
+		path := p.Path(i)
+		delay := d / c
+		for k := range h {
+			f := dsp.BinFrequency(k, size, rate)
+			att := path.Attenuation(f)
+			hk := complex(att, 0)
+			if path.IncludeDelay {
+				phase := -2 * math.Pi * f * delay
+				hk *= complex(math.Cos(phase), math.Sin(phase))
+			}
+			h[k] = hk
+		}
+		t[i] = h
+	}
+	p.transfer[k] = t
+	return t
+}
+
+// FieldAt computes the total pressure waveform at the plan's target from
+// the elements' current drives: each driven element's emission spectrum
+// is multiplied by its cached transfer and the accumulated spectrum is
+// inverse-transformed once. Returns nil if no element is driven.
+func (p *FieldPlan) FieldAt() *audio.Signal {
+	var (
+		acc    []complex128
+		rate   float64
+		n      int
+		driven bool
+	)
+	scratch := []float64(nil)
+	for i, e := range p.arr.Elements {
+		if e.Drive == nil {
+			continue
+		}
+		em := e.Speaker.Emit(e.Drive, e.PowerW)
+		if !driven {
+			rate = em.Rate
+			n = len(em.Samples)
+			driven = true
+		}
+		size := dsp.NextPowerOfTwo(n + 1)
+		if scratch == nil {
+			scratch = make([]float64, size)
+		}
+		m := copy(scratch, em.Samples)
+		for j := m; j < size; j++ {
+			scratch[j] = 0
+		}
+		spec := dsp.RFFT(scratch)
+		h := p.transferFor(size, rate)[i]
+		for k := range spec {
+			spec[k] *= h[k]
+		}
+		if acc == nil {
+			acc = spec
+			continue
+		}
+		for k := range acc {
+			acc[k] += spec[k]
+		}
+	}
+	if !driven {
+		return nil
+	}
+	size := dsp.NextPowerOfTwo(n + 1)
+	out := dsp.IRFFT(acc, size)[:n]
+	return &audio.Signal{Rate: rate, Samples: out}
+}
+
 // FieldAt computes the total pressure waveform arriving at the target
 // position: each element's emission propagated over its own exact path
 // (distance from Center+Offset to target). When compensateDelays is true,
@@ -103,26 +272,10 @@ func (a *Array) CombinedLeakage() *audio.Signal {
 // the paper's calibrated rig, which aligns element phases at the target;
 // without it, centimetre-scale path differences scramble the ultrasonic
 // phases. Returns nil if no element is driven.
+//
+// The per-element geometry (distance, delay, per-bin attenuation) is
+// cached in a FieldPlan on first use and reused across calls and trials;
+// only the element emissions are recomputed, since drives may change.
 func (a *Array) FieldAt(target acoustics.Position, air acoustics.Air, compensateDelays bool) *audio.Signal {
-	var acc *audio.Signal
-	for i, e := range a.Elements {
-		if e.Drive == nil {
-			continue
-		}
-		em := a.Elements[i].Speaker.Emit(e.Drive, e.PowerW)
-		pos := acoustics.Position{
-			X: a.Center.X + e.Offset.X,
-			Y: a.Center.Y + e.Offset.Y,
-			Z: a.Center.Z + e.Offset.Z,
-		}
-		d := pos.Distance(target)
-		p := acoustics.Path{Distance: d, Air: air, IncludeDelay: !compensateDelays}
-		at := p.Propagate(em)
-		if acc == nil {
-			acc = at
-			continue
-		}
-		dsp.Add(acc.Samples, at.Samples)
-	}
-	return acc
+	return a.PlanFor(target, air, compensateDelays).FieldAt()
 }

@@ -103,16 +103,11 @@ func (s *Speaker) Emit(drive *audio.Signal, powerW float64) *audio.Signal {
 	if rms == 0 || powerW == 0 {
 		return audio.New(drive.Rate, drive.Duration())
 	}
-	// Soft power limit: the amplifier cannot push beyond ~2x rated power.
-	eff := powerW
-	if s.MaxPowerW > 0 {
-		eff = s.MaxPowerW * 2 * math.Tanh(powerW/(s.MaxPowerW*2))
-	}
-	out.Gain(math.Sqrt(eff) / rms)
+	out.Gain(math.Sqrt(s.EffectivePowerW(powerW)) / rms)
 	// Drive-domain non-linearity (amplifier + motor/suspension).
 	s.NL.ApplyInPlace(out.Samples)
 	// Transducer passband.
-	s.applyResponse(out)
+	s.ApplyResponse(out)
 	// Convert drive units to pascals: 1 W (unit RMS drive) produces
 	// SensitivitySPL at 1 m.
 	paPerUnit := acoustics.PressureFromSPL(s.SensitivitySPL)
@@ -120,9 +115,20 @@ func (s *Speaker) Emit(drive *audio.Signal, powerW float64) *audio.Signal {
 	return out
 }
 
-// applyResponse shapes the spectrum with the transducer's band-pass
-// response, applied in the frequency domain.
-func (s *Speaker) applyResponse(sig *audio.Signal) {
+// EffectivePowerW applies the amplifier's soft power limit: the chain
+// cannot push beyond ~2x the rated power, approached along a tanh curve.
+func (s *Speaker) EffectivePowerW(powerW float64) float64 {
+	if s.MaxPowerW <= 0 {
+		return powerW
+	}
+	return s.MaxPowerW * 2 * math.Tanh(powerW/(s.MaxPowerW*2))
+}
+
+// ApplyResponse shapes the spectrum with the transducer's band-pass
+// response, applied in the frequency domain over the whole buffer — the
+// exact reference realization that the streaming simulation chain
+// approximates with a windowed FIR (sim.SpeakerStages).
+func (s *Speaker) ApplyResponse(sig *audio.Signal) {
 	n := len(sig.Samples)
 	if n == 0 {
 		return
@@ -136,7 +142,7 @@ func (s *Speaker) applyResponse(sig *audio.Signal) {
 	half := size / 2
 	for k := 0; k <= half; k++ {
 		f := dsp.BinFrequency(k, size, sig.Rate)
-		g := s.responseGain(f)
+		g := s.ResponseGain(f)
 		spec[k] *= complex(g, 0)
 		if k != 0 && k != half {
 			spec[size-k] *= complex(g, 0)
@@ -148,9 +154,9 @@ func (s *Speaker) applyResponse(sig *audio.Signal) {
 	}
 }
 
-// responseGain returns the linear amplitude gain of the transducer at
+// ResponseGain returns the linear amplitude gain of the transducer at
 // frequency f: unity in [LowHz, HighHz], rolling off outside.
-func (s *Speaker) responseGain(f float64) float64 {
+func (s *Speaker) ResponseGain(f float64) float64 {
 	if f <= 0 {
 		return 0
 	}

@@ -2,6 +2,7 @@ package speaker
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"inaudible/internal/acoustics"
@@ -54,16 +55,16 @@ func TestEmitPanicsOnNegativePower(t *testing.T) {
 
 func TestResponseRolloff(t *testing.T) {
 	sp := UltrasonicElement()
-	if g := sp.responseGain(30000); g != 1 {
+	if g := sp.ResponseGain(30000); g != 1 {
 		t.Errorf("in-band gain %v", g)
 	}
 	// One octave below the low edge: attenuated by RolloffDBPerOct.
-	g := sp.responseGain(sp.LowHz / 2)
+	g := sp.ResponseGain(sp.LowHz / 2)
 	want := dsp.AmplitudeFromDB(-sp.RolloffDBPerOct)
 	if math.Abs(g-want)/want > 0.01 {
 		t.Errorf("one octave out: %v want %v", g, want)
 	}
-	if sp.responseGain(0) != 0 {
+	if sp.ResponseGain(0) != 0 {
 		t.Error("DC gain must be 0")
 	}
 }
@@ -180,6 +181,48 @@ func TestArrayFieldAtSumsElements(t *testing.T) {
 	two := mk(2).FieldAt(target, air, true).RMS()
 	if math.Abs(two/one-2) > 0.05 {
 		t.Fatalf("two coherent elements: ratio %v, want ~2", two/one)
+	}
+}
+
+func TestArrayFieldPlanReusedAndConcurrent(t *testing.T) {
+	// The plan cache must hand back one geometry per key and stay safe
+	// (and bit-stable) under concurrent FieldAt trials.
+	const rate = 192000.0
+	drive := audio.Tone(rate, 30000, 1, 0.1)
+	arr := NewGridArray(4, UltrasonicElement, 0.02)
+	for i := range arr.Elements {
+		arr.Elements[i].Drive = drive
+		arr.Elements[i].PowerW = 1
+	}
+	target := acoustics.Position{X: 3, Y: 2, Z: 1.2}
+	air := acoustics.DefaultAir()
+	if p1, p2 := arr.PlanFor(target, air, true), arr.PlanFor(target, air, true); p1 != p2 {
+		t.Fatal("plan not cached: two instances for one key")
+	}
+	want := arr.FieldAt(target, air, true)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := arr.FieldAt(target, air, true)
+			for i := range want.Samples {
+				if got.Samples[i] != want.Samples[i] {
+					errs <- "concurrent FieldAt diverged"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+	arr.InvalidatePlans()
+	if p3 := arr.PlanFor(target, air, true); p3 == nil {
+		t.Fatal("plan rebuild after invalidation failed")
 	}
 }
 

@@ -89,19 +89,19 @@ type Analyzer struct {
 	k0v, k1v, k0t, k1t, k0h, k1h int
 
 	// Envelope-correlation chains, aligned to input sample indices.
-	lowFIR  *dsp.StreamFIR // x -> trace band
-	vbFIR   *dsp.StreamFIR // x -> voice band
-	hilFIR  *dsp.StreamFIR // voice band -> its Hilbert transform
-	envFIR  *dsp.StreamFIR // squared envelope -> trace band
-	vbQueue []float64      // voice-band samples awaiting Hilbert outputs
-	qHead   int
-	envSq   []float64 // squared-envelope staging
-	dec     int       // decimation factor of the correlation traces
-	corrCap int       // max retained decimated samples per trace
-	lowD    []float64 // decimated trace-band stream
-	envD    []float64 // decimated band-limited squared-envelope stream
-	lowIdx  int       // absolute aligned index of the next low sample
-	envIdx  int
+	lowFIR    *dsp.StreamFIR // x -> trace band
+	vbFIR     *dsp.StreamFIR // x -> voice band
+	hilFIR    *dsp.StreamFIR // voice band -> its Hilbert transform
+	envFIR    *dsp.StreamFIR // squared envelope -> trace band
+	vbQueue   []float64      // voice-band samples awaiting Hilbert outputs
+	qHead     int
+	envSq     []float64 // squared-envelope staging
+	dec       int       // decimation factor of the correlation traces
+	corrCap   int       // max retained decimated samples per trace
+	lowD      []float64 // decimated trace-band stream
+	envD      []float64 // decimated band-limited squared-envelope stream
+	lowIdx    int       // absolute aligned index of the next low sample
+	envIdx    int
 	corrDone  bool
 	finalized bool
 }

@@ -4,6 +4,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "==> go build"
 go build ./...
 
@@ -19,9 +27,13 @@ go test -race -timeout 20m ./internal/stream ./internal/experiment
 echo "==> go test (full suite)"
 go test -timeout 30m ./...
 
-echo "==> short benchmarks (trial engine + FFT plan cache + stream guard)"
+echo "==> fuzz smoke (WAV decoder)"
+go test ./internal/audio -run '^$' -fuzz FuzzWAVReader -fuzztime 10s
+
+echo "==> short benchmarks (trial engine + FFT plan cache + stream guard + sim chain)"
 go test ./internal/experiment -run '^$' -bench 'E5Serial|E5Parallel' -benchtime 1x -timeout 30m
 go test ./internal/dsp -run '^$' -bench 'FFT4096|RFFT4096' -benchtime 100x
 go test . -run '^$' -bench 'StreamGuard|StreamFIRPush' -benchtime 200x -timeout 10m
+go test ./internal/sim -run '^$' -bench 'BenchmarkSimChain$' -benchtime 100x -timeout 10m
 
 echo "CI gate passed."
