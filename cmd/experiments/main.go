@@ -1,35 +1,50 @@
 // Command experiments regenerates every table and figure series of the
-// paper's evaluation (experiment ids E1-E13, see DESIGN.md).
+// paper's evaluation (experiment ids E1-E13, see DESIGN.md), and runs
+// custom spec-driven sweeps over arbitrary scenarios.
 //
 // Usage:
 //
 //	experiments -list
-//	experiments -id E6
-//	experiments -all [-quick] [-parallel N]
+//	experiments -id E6            # one experiment
+//	experiments -id E5,E7         # a comma list
+//	experiments -all [-quick] [-parallel N] [-cache DIR] [-csv|-json] [-v]
+//	experiments -spec scenario.json -sweep distance=1:15:1 [-sweep power=100,300]
 //
-// Trials fan out across a worker pool (default: all cores). Output is
-// byte-identical for any -parallel value at a fixed -seed; -parallel 1
-// recovers the fully serial engine.
+// Trials fan out across a worker pool (default: all cores) and flow
+// through a content-addressed trial cache, so cells shared between
+// experiments are delivered once per run — and once ever with -cache.
+// Output is byte-identical for any -parallel value at a fixed -seed,
+// cache cold or warm; -parallel 1 recovers the fully serial engine.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"inaudible/internal/experiment"
+	"inaudible/internal/sim"
 )
 
 func main() {
 	var (
-		id       = flag.String("id", "", "run a single experiment (E1..E13)")
+		id       = flag.String("id", "", "run one or more experiments (E1..E13, comma-separated)")
 		all      = flag.Bool("all", false, "run every experiment")
 		quick    = flag.Bool("quick", false, "smaller grids and trial counts")
 		list     = flag.Bool("list", false, "list experiment ids")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		parallel = flag.Int("parallel", 0, "trial-engine workers (0 = all cores, 1 = serial)")
+		cacheDir = flag.String("cache", "", "on-disk trial cache directory (reused across runs)")
+		csvOut   = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		jsonOut  = flag.Bool("json", false, "emit reports as one JSON document")
+		verbose  = flag.Bool("v", false, "print per-experiment timing and cache hit/miss stats to stderr")
+		specPath = flag.String("spec", "", "declarative scenario (JSON) for a custom sweep")
 	)
+	var sweeps sweepFlags
+	flag.Var(&sweeps, "sweep", "sweep axis over a -spec field: name=start:stop:step or name=v1,v2 (repeatable)")
 	flag.Parse()
 
 	if *list {
@@ -38,27 +53,143 @@ func main() {
 		}
 		return
 	}
-
-	s := experiment.NewSuite(experiment.Options{Quick: *quick, Seed: *seed, Parallel: *parallel})
-	run := func(eid string) {
-		start := time.Now()
-		fmt.Printf("\n######## %s — %s\n", eid, experiment.Describe(eid))
-		if err := s.Run(eid, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", eid, err)
-			os.Exit(1)
-		}
-		fmt.Printf("(%s finished in %.1fs)\n", eid, time.Since(start).Seconds())
+	if *csvOut && *jsonOut {
+		fatalf("pick one of -csv and -json")
 	}
 
+	if *specPath != "" {
+		if *quick || *cacheDir != "" {
+			fatalf("-quick and -cache apply to the E1-E13 suite, not -spec sweeps")
+		}
+		// -seed overrides the spec's embedded seed only when given
+		// explicitly (the default would silently shadow the file's).
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedSet = true
+			}
+		})
+		runSpecSweep(*specPath, sweeps, specSweepOpts{
+			parallel: *parallel, csv: *csvOut, json: *jsonOut, verbose: *verbose,
+			seedSet: seedSet, seed: *seed,
+		})
+		return
+	}
+	if len(sweeps) > 0 {
+		fatalf("-sweep needs -spec (the scenario to sweep)")
+	}
+
+	var ids []string
 	switch {
 	case *all:
-		for _, eid := range experiment.IDs() {
-			run(eid)
-		}
+		ids = experiment.IDs()
 	case *id != "":
-		run(*id)
-	default:
+		for _, one := range strings.Split(*id, ",") {
+			if one = strings.TrimSpace(one); one != "" {
+				ids = append(ids, one)
+			}
+		}
+	}
+	if len(ids) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	s := experiment.NewSuite(experiment.Options{
+		Quick: *quick, Seed: *seed, Parallel: *parallel, CacheDir: *cacheDir,
+	})
+	text := !*jsonOut && !*csvOut
+	var reports []*experiment.Report
+	for _, eid := range ids {
+		if text {
+			// Before evaluating, so long runs show which experiment is
+			// in flight.
+			fmt.Printf("\n######## %s — %s\n", eid, experiment.Describe(eid))
+		}
+		start := time.Now()
+		rep, err := s.Report(eid)
+		if err != nil {
+			fatalf("experiment %s: %v", eid, err)
+		}
+		switch {
+		case *jsonOut:
+			reports = append(reports, rep)
+		case *csvOut:
+			rep.CSV(os.Stdout)
+		default:
+			rep.Render(os.Stdout)
+			fmt.Printf("(%s finished in %.1fs)\n", eid, time.Since(start).Seconds())
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[%s] %.1fs, cache: %d hits, %d misses\n",
+				eid, time.Since(start).Seconds(), rep.CacheHits, rep.CacheMisses)
+		}
+	}
+	if *jsonOut {
+		emitJSON(reports)
+	}
+}
+
+// specSweepOpts carries the CLI flags a spec sweep honors.
+type specSweepOpts struct {
+	parallel  int
+	csv, json bool
+	verbose   bool
+	seedSet   bool
+	seed      int64
+}
+
+// runSpecSweep loads a declarative scenario and sweeps it over the
+// requested axes — any sim.Spec becomes a runnable experiment.
+func runSpecSweep(path string, defs []string, opt specSweepOpts) {
+	sp, err := sim.LoadSpec(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if opt.seedSet {
+		sp.Seed = opt.seed
+	}
+	axes, err := experiment.ParseSweepAxes(defs)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	start := time.Now()
+	rep, err := experiment.SpecSweepReport(sp, axes, nil, opt.parallel)
+	if err != nil {
+		fatalf("sweep: %v", err)
+	}
+	switch {
+	case opt.json:
+		emitJSON([]*experiment.Report{rep})
+	case opt.csv:
+		rep.CSV(os.Stdout)
+	default:
+		rep.Render(os.Stdout)
+	}
+	if opt.verbose {
+		fmt.Fprintf(os.Stderr, "[sweep] %.1fs, %d axes\n", time.Since(start).Seconds(), len(axes))
+	}
+}
+
+// emitJSON writes the collected reports as one indented JSON document.
+func emitJSON(reports []*experiment.Report) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reports); err != nil {
+		fatalf("encoding json: %v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// sweepFlags accumulates repeated -sweep definitions.
+type sweepFlags []string
+
+func (s *sweepFlags) String() string { return strings.Join(*s, " ") }
+func (s *sweepFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
 }

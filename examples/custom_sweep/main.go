@@ -1,0 +1,83 @@
+// Custom sweep: experiments as data. Any declarative scenario
+// (inaudible.SimSpec) plus a sweep definition becomes a runnable
+// experiment — no new run function required. This example defines a
+// baseline ultrasound attack in code, sweeps it over delivery distance
+// and over attacker power via the same engine that drives E1-E13, and
+// renders the per-cell outcomes (SPL at the victim device, guard
+// verdict, detector score) as tables.
+//
+// Run with: go run ./examples/custom_sweep [-spec path.json] [-sweep def]
+//
+// The equivalent from the command line:
+//
+//	go run ./cmd/experiments -spec examples/specs/baseline_driveby.json -sweep distance=2:6:2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"inaudible"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "scenario spec to sweep (default: a built-in baseline attack)")
+	var defs sweepDefs
+	flag.Var(&defs, "sweep", "axis definition, e.g. distance=2:6:2 or power=10,40 (repeatable)")
+	flag.Parse()
+
+	sp := builtinSpec()
+	if *specPath != "" {
+		loaded, err := inaudible.LoadSimSpec(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp = loaded
+	}
+	if len(defs) == 0 {
+		defs = sweepDefs{"distance=2:6:2", "power=10,40"}
+	}
+
+	fmt.Println("== custom spec-driven sweeps ==")
+	for _, def := range defs {
+		axis, err := inaudible.ParseSweepAxis(def)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n-- sweeping %s --\n", def)
+		if err := inaudible.RunSweep(sp, os.Stdout, inaudible.SweepOptions{
+			Axes: []inaudible.SweepAxis{axis},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\n(cells ran concurrently on the trial pool; rows are in grid order)")
+}
+
+// builtinSpec is the demo scenario: the paper's single-speaker baseline
+// rig aimed at a phone in a quiet room.
+func builtinSpec() *inaudible.SimSpec {
+	return &inaudible.SimSpec{
+		Name: "baseline rig vs phone (built-in)",
+		Text: "ok google, take a picture",
+		Attack: inaudible.SimAttackSpec{
+			Kind:   "baseline",
+			PowerW: 18.7,
+		},
+		Device:     "phone",
+		AmbientSPL: 40,
+		Seed:       1,
+		Path:       inaudible.SimPathSpec{DistanceM: 3},
+	}
+}
+
+// sweepDefs accumulates repeated -sweep flags.
+type sweepDefs []string
+
+func (s *sweepDefs) String() string { return fmt.Sprint(*s) }
+func (s *sweepDefs) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}

@@ -155,3 +155,23 @@ func TestFacadeStreamingGuard(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeSweepParsing(t *testing.T) {
+	axis, err := inaudible.ParseSweepAxis("distance=1:3:1")
+	if err != nil || axis.Name != "distance" || axis.Len() != 3 {
+		t.Fatalf("ParseSweepAxis: %+v err=%v", axis, err)
+	}
+	if _, err := inaudible.ParseSweepAxis("bogus=1:3:1"); err == nil {
+		t.Fatal("unknown sweep field accepted")
+	}
+	// A sweep over a broken spec must surface the cell error, not panic.
+	sp := &inaudible.SimSpec{Text: "ok google, take a picture",
+		Attack: inaudible.SimAttackSpec{Kind: "nope"},
+		Path:   inaudible.SimPathSpec{DistanceM: 2}}
+	var sink noopWriter
+	if err := inaudible.RunSweep(sp, sink, inaudible.SweepOptions{
+		Axes: []inaudible.SweepAxis{axis}, Parallel: 1,
+	}); err == nil {
+		t.Fatal("sweep over unknown attack kind should fail")
+	}
+}

@@ -115,6 +115,20 @@ type (
 	// SimResult is a scenario outcome: per-tap guard verdicts, SPL and
 	// optional recordings.
 	SimResult = sim.Result
+	// SimAttackSpec selects and parameterises a spec's emission source.
+	SimAttackSpec = sim.AttackSpec
+	// SimPathSpec describes a spec's propagation and capture geometry.
+	SimPathSpec = sim.PathSpec
+	// SweepAxis is one named dimension of a sweep grid (distance, power,
+	// carrier, ...), built with ParseSweepAxis or the experiment package's
+	// axis constructors.
+	SweepAxis = experiment.Axis
+	// ExperimentReport is one evaluated experiment: tables and notes in
+	// render order, with Render/CSV forms and cache traffic counters.
+	ExperimentReport = experiment.Report
+	// TrialCache is the content-addressed trial-result cache shared by a
+	// suite's experiments (hit/miss stats, optional on-disk layer).
+	TrialCache = experiment.Cache
 )
 
 // Attack kinds.
@@ -236,8 +250,11 @@ func RunExperiment(id string, w io.Writer, opt ExperimentOptions) error {
 
 // RunAll regenerates the paper's full evaluation (E1..E13 in order),
 // writing every table to w. Trials fan out across opt.Parallel workers
-// (0 = all cores); the rendered output is byte-identical for any pool
-// size at a fixed opt.Seed.
+// (0 = all cores) and flow through the suite's content-addressed trial
+// cache, so cells shared between experiments are delivered once per
+// run (and once ever with opt.CacheDir). The rendered output is
+// byte-identical for any pool size at a fixed opt.Seed, cache cold or
+// warm.
 func RunAll(w io.Writer, opt ExperimentOptions) error {
 	s := experiment.NewSuite(opt)
 	for _, id := range experiment.IDs() {
@@ -247,4 +264,40 @@ func RunAll(w io.Writer, opt ExperimentOptions) error {
 		}
 	}
 	return nil
+}
+
+// SweepOptions configures a custom spec-driven sweep (RunSweep).
+type SweepOptions struct {
+	// Axes are the swept spec fields; build them with ParseSweepAxis
+	// ("distance=1:15:1", "power=100,300") or the experiment package's
+	// axis constructors.
+	Axes []SweepAxis
+	// Detector scores each cell's recording; nil selects the
+	// hand-calibrated demo thresholds.
+	Detector Detector
+	// Parallel is the worker-pool size (0 = all cores, 1 = serial).
+	Parallel int
+}
+
+// ParseSweepAxis parses one sweep-axis definition: an inclusive range
+// `field=start:stop:step` or an explicit list `field=v1,v2,v3`, over
+// the spec fields distance, move_to, power, voice_spl, carrier,
+// segments, ambient, seed and device.
+func ParseSweepAxis(def string) (SweepAxis, error) {
+	return experiment.ParseSweepAxis(def)
+}
+
+// RunSweep turns any declarative scenario plus a sweep definition into
+// a runnable experiment: every grid cell clones the spec, applies its
+// axis values, runs the full simulation (attack synthesis, per-element
+// speaker chains, propagation, capture, streaming guard) on the worker
+// pool, and the per-cell outcomes render as one table to w.
+func RunSweep(sp *SimSpec, w io.Writer, opt SweepOptions) error {
+	return experiment.RunSpecSweep(sp, opt.Axes, opt.Detector, opt.Parallel, w)
+}
+
+// SweepReport is RunSweep returning the evaluated report (tables +
+// CSV/JSON forms) instead of rendering text.
+func SweepReport(sp *SimSpec, opt SweepOptions) (*ExperimentReport, error) {
+	return experiment.SpecSweepReport(sp, opt.Axes, opt.Detector, opt.Parallel)
 }

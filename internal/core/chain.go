@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 
 	"inaudible/internal/acoustics"
 	"inaudible/internal/audio"
@@ -30,9 +31,19 @@ import (
 func (s *Scenario) DeliveryChain(rate, distance float64, trial int64, mode sim.Mode, o sim.Options) (*sim.Chain, *sim.Probe) {
 	rng := rand.New(rand.NewSource(s.TrialSeed(trial)))
 	probe := sim.NewProbe()
-	var stages []sim.Stage
 	p := acoustics.Path{Distance: distance, Air: s.Air}
-	stages = append(stages, sim.PathStages(p, rate, mode, o)...)
+	stages := sim.PathStages(p, rate, mode, o)
+	stages = append(stages, s.captureStages(rng, probe, rate, mode, o)...)
+	return sim.Compile(o, stages...), probe
+}
+
+// captureStages builds the trial-dependent half of the delivery chain —
+// ambient room noise, the SPL probe and the victim device — everything
+// downstream of the propagation boundary. rng must be seeded with the
+// trial's TrialSeed; the draw order (ambient first, then mic self-noise)
+// matches the batch reference exactly.
+func (s *Scenario) captureStages(rng *rand.Rand, probe *sim.Probe, rate float64, mode sim.Mode, o sim.Options) []sim.Stage {
+	var stages []sim.Stage
 	if s.AmbientSPL > 0 {
 		if mode == sim.Exact {
 			spl := s.AmbientSPL
@@ -47,7 +58,79 @@ func (s *Scenario) DeliveryChain(rate, distance float64, trial int64, mode sim.M
 	}
 	stages = append(stages, probe)
 	stages = append(stages, sim.MicStages(s.Device, rng, rate, mode, o)...)
-	return sim.Compile(o, stages...), probe
+	return stages
+}
+
+// ---- propagation product cache ----
+
+// The propagation half of a delivery (spreading + ISO 9613 absorption at
+// a fixed distance) is trial-independent: every trial of a success-rate
+// cell, and every cell sharing (emission, distance) across experiments,
+// transforms the same reference field into the same pressure waveform at
+// the receiver. propagatedField memoizes that product so the exact-chain
+// FFT propagation runs once per (field, distance, air) instead of once
+// per trial. Entries are keyed by field pointer identity, relying on the
+// delivery contract that emission fields are immutable once built.
+type propKey struct {
+	field    *audio.Signal
+	distance float64
+	air      acoustics.Air
+}
+
+const propCacheCap = 16
+
+var propCache = struct {
+	sync.Mutex
+	entries map[propKey]*audio.Signal
+	order   []propKey // least recently used first
+}{entries: make(map[propKey]*audio.Signal)}
+
+// touchPropKey moves key to the most-recently-used end of the eviction
+// order. Caller holds the lock.
+func touchPropKey(key propKey) {
+	for i, k := range propCache.order {
+		if k == key {
+			propCache.order = append(append(propCache.order[:i:i], propCache.order[i+1:]...), key)
+			return
+		}
+	}
+	propCache.order = append(propCache.order, key)
+}
+
+// propagatedField returns the field propagated over the free-field path,
+// computed through the compiled exact path chain and cached. The
+// returned signal is shared and must not be mutated.
+func propagatedField(field *audio.Signal, distance float64, air acoustics.Air) *audio.Signal {
+	key := propKey{field: field, distance: distance, air: air}
+	propCache.Lock()
+	if sig, ok := propCache.entries[key]; ok {
+		touchPropKey(key)
+		propCache.Unlock()
+		return sig
+	}
+	propCache.Unlock()
+
+	p := acoustics.Path{Distance: distance, Air: air}
+	o := sim.Options{}
+	ch := sim.Compile(o, sim.PathStages(p, field.Rate, sim.Exact, o)...)
+	prop := sim.RunSignal(ch, field, field.Rate, o)
+
+	propCache.Lock()
+	if sig, ok := propCache.entries[key]; ok {
+		// A concurrent trial computed the (identical) product first.
+		prop = sig
+		touchPropKey(key)
+	} else {
+		propCache.entries[key] = prop
+		propCache.order = append(propCache.order, key)
+		if len(propCache.order) > propCacheCap {
+			evict := propCache.order[0]
+			propCache.order = propCache.order[1:]
+			delete(propCache.entries, evict)
+		}
+	}
+	propCache.Unlock()
+	return prop
 }
 
 // emitOne runs one speaker's drive through its emission chain.

@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 
 	"inaudible/internal/acoustics"
 	"inaudible/internal/attack"
@@ -183,14 +184,24 @@ type RunResult struct {
 }
 
 // Deliver propagates the emission over distance metres, adds ambient
-// noise, and records it with the scenario's device, all as one compiled
-// exact-mode sim chain (bit-identical to the seed batch pipeline). trial
-// varies the noise realisation deterministically (see TrialSeed).
+// noise, and records it with the scenario's device, on compiled
+// exact-mode sim chains (bit-identical to the seed batch pipeline).
+// trial varies the noise realisation deterministically (see TrialSeed).
 // Deliver does not mutate the scenario or the emission, so concurrent
 // deliveries are safe.
+//
+// The chain is split at the propagation boundary: the trial-independent
+// propagation product (spreading + absorption of this emission at this
+// distance) comes from a shared cache, so repeated trials of one cell —
+// and cells shared across experiments — pay the FFT propagation once,
+// and each trial runs only the noise + capture half.
 func (s *Scenario) Deliver(e *Emission, distance float64, trial int64) *RunResult {
-	ch, probe := s.DeliveryChain(e.Field.Rate, distance, trial, sim.Exact, sim.Options{})
-	rec := sim.RunSignal(ch, e.Field, s.Device.ADCRate, sim.Options{})
+	prop := propagatedField(e.Field, distance, s.Air)
+	rng := rand.New(rand.NewSource(s.TrialSeed(trial)))
+	probe := sim.NewProbe()
+	o := sim.Options{}
+	ch := sim.Compile(o, s.captureStages(rng, probe, prop.Rate, sim.Exact, o)...)
+	rec := sim.RunSignal(ch, prop, s.Device.ADCRate, o)
 	return &RunResult{
 		Recording:   rec,
 		SPLAtDevice: acoustics.SPL(probe.RMS()),

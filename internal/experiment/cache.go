@@ -1,0 +1,156 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"inaudible/internal/core"
+)
+
+// Cache is a content-addressed store of trial-cell results: the metric
+// values of one delivery, keyed by a canonical hash of everything the
+// delivery and its evaluation depend on — the scenario's capture
+// parameters, the emission's waveform content, the delivery distance,
+// the derived trial seed and the metric identity. Trial cells shared
+// across experiments (E4/E5/E6/E7 all sweep success-vs-distance on
+// overlapping grids) are therefore delivered once per `-all` run, and an
+// optional on-disk layer carries them across runs of cmd/experiments.
+//
+// A Cache is safe for concurrent use by every worker of a Runner pool.
+// Because cached values are exactly the deterministic metrics a cold
+// evaluation produces, output is byte-identical cache cold or warm.
+type Cache struct {
+	dir string
+
+	mem sync.Map // hex key -> []float64
+	// emissions memoizes the content hash of emission waveforms by
+	// pointer, so each emission is hashed once no matter how many cells
+	// deliver it.
+	emissions sync.Map // *core.Emission -> string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache returns a trial cache. dir, when non-empty, adds an on-disk
+// layer under that directory (created on first write): misses consult
+// disk before computing, stores write through.
+func NewCache(dir string) *Cache {
+	return &Cache{dir: dir}
+}
+
+// Stats reports the hit and miss counts since construction.
+func (c *Cache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// EmissionKey returns the content hash of the emission's reference
+// waveform — the emission identity of every trial key. Hashes are
+// memoized per emission, relying on the delivery contract that emission
+// fields are immutable once built.
+func (c *Cache) EmissionKey(e *core.Emission) string {
+	if k, ok := c.emissions.Load(e); ok {
+		return k.(string)
+	}
+	h := sha256.New()
+	var scratch [8]byte
+	binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(e.Field.Rate))
+	h.Write(scratch[:])
+	buf := make([]byte, 0, 1<<16)
+	for _, v := range e.Field.Samples {
+		binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v))
+		buf = append(buf, scratch[:]...)
+		if len(buf) >= 1<<16 {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	h.Write(buf)
+	key := hex.EncodeToString(h.Sum(nil))
+	c.emissions.Store(e, key)
+	return key
+}
+
+// TrialKey builds the canonical cache key of one trial cell: a hash over
+// the scenario's capture parameters (device, air, ambient level), the
+// emission content, the delivery distance, the derived trial seed and
+// the metric identity. evalKey must name everything the metric depends
+// on beyond the recording itself (e.g. the wanted command id).
+func (c *Cache) TrialKey(spec TrialSpec, evalKey string) string {
+	sc := spec.Scenario
+	canonical := fmt.Sprintf("v1|dev=%s|air=%g,%g,%g|amb=%g|em=%s|d=%g|seed=%d|eval=%s",
+		sc.Device.Name,
+		sc.Air.TempC, sc.Air.RelHumidity, sc.Air.PressureKPa,
+		sc.AmbientSPL,
+		c.EmissionKey(spec.Emission),
+		spec.Distance,
+		sc.TrialSeed(spec.Trial),
+		evalKey)
+	sum := sha256.Sum256([]byte(canonical))
+	return hex.EncodeToString(sum[:])
+}
+
+// Get returns the cached values for key, consulting memory first and
+// then the on-disk layer.
+func (c *Cache) Get(key string) ([]float64, bool) {
+	if v, ok := c.mem.Load(key); ok {
+		c.hits.Add(1)
+		return v.([]float64), true
+	}
+	if c.dir != "" {
+		if data, err := os.ReadFile(c.path(key)); err == nil {
+			var vals []float64
+			if json.Unmarshal(data, &vals) == nil {
+				c.mem.Store(key, vals)
+				c.hits.Add(1)
+				return vals, true
+			}
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores the values for key in memory and, when configured, on disk
+// (written atomically via a temp file so concurrent runs never observe a
+// torn entry).
+func (c *Cache) Put(key string, vals []float64) {
+	c.mem.Store(key, vals)
+	if c.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(vals)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "."+key+"-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err == nil {
+		tmp.Close()
+		os.Rename(tmp.Name(), c.path(key))
+		return
+	}
+	tmp.Close()
+	os.Remove(tmp.Name())
+}
+
+// path maps a key to its on-disk entry.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

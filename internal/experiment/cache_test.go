@@ -1,0 +1,243 @@
+package experiment
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/core"
+	"inaudible/internal/mic"
+)
+
+// cheapEmission builds a small voice emission whose deliveries cost
+// microseconds — the physics-free stand-in for cache tests.
+func cheapEmission(seed int64) (*core.Scenario, *core.Emission) {
+	sc := core.DefaultScenario()
+	sc.Seed = seed
+	tone := audio.Tone(48000, 440, 0.05, 0.1)
+	return sc, sc.EmitVoice(tone, 60)
+}
+
+// TestTrialKeyContentAddressed pins the key contract: identical cell
+// coordinates hash identically (including across distinct emission
+// objects with the same waveform content), and changing any coordinate
+// — distance, trial, metric, device, ambient level, content — changes
+// the key.
+func TestTrialKeyContentAddressed(t *testing.T) {
+	c := NewCache("")
+	sc, e := cheapEmission(5)
+	spec := TrialSpec{Scenario: sc, Emission: e, Distance: 2, Trial: 3}
+	base := c.TrialKey(spec, "m")
+
+	// Same content in a different emission object: same key.
+	sc2, e2 := cheapEmission(5)
+	if got := NewCache("").TrialKey(TrialSpec{Scenario: sc2, Emission: e2, Distance: 2, Trial: 3}, "m"); got != base {
+		t.Errorf("content-identical cell hashed differently: %s vs %s", got, base)
+	}
+
+	variants := map[string]TrialSpec{
+		"distance": {Scenario: sc, Emission: e, Distance: 2.5, Trial: 3},
+		"trial":    {Scenario: sc, Emission: e, Distance: 2, Trial: 4},
+	}
+	scDev := sc.Clone()
+	scDev.Device = mic.AmazonEcho()
+	variants["device"] = TrialSpec{Scenario: scDev, Emission: e, Distance: 2, Trial: 3}
+	scAmb := sc.Clone()
+	scAmb.AmbientSPL = 55
+	variants["ambient"] = TrialSpec{Scenario: scAmb, Emission: e, Distance: 2, Trial: 3}
+	scSeed := sc.Clone()
+	scSeed.Seed = 6
+	variants["seed"] = TrialSpec{Scenario: scSeed, Emission: e, Distance: 2, Trial: 3}
+	for name, v := range variants {
+		if c.TrialKey(v, "m") == base {
+			t.Errorf("changing %s did not change the trial key", name)
+		}
+	}
+	if c.TrialKey(spec, "other") == base {
+		t.Error("changing the metric identity did not change the trial key")
+	}
+	_, eOther := cheapEmission(5)
+	eOther.Field.Samples[0] += 1e-9
+	if c.TrialKey(TrialSpec{Scenario: sc, Emission: eOther, Distance: 2, Trial: 3}, "m") == base {
+		t.Error("changing the emission content did not change the trial key")
+	}
+}
+
+// TestCacheDiskLayer checks write-through and cross-instance reads: a
+// fresh Cache on the same directory serves the stored values without
+// recomputing, and a memory-only cache misses.
+func TestCacheDiskLayer(t *testing.T) {
+	dir := t.TempDir()
+	c1 := NewCache(dir)
+	c1.Put("k1", []float64{1.5, -2})
+	if vals, ok := c1.Get("k1"); !ok || len(vals) != 2 || vals[0] != 1.5 {
+		t.Fatalf("memory get after put: %v %v", vals, ok)
+	}
+	c2 := NewCache(dir)
+	vals, ok := c2.Get("k1")
+	if !ok || len(vals) != 2 || vals[1] != -2 {
+		t.Fatalf("disk get from fresh cache: %v %v", vals, ok)
+	}
+	hits, misses := c2.Stats()
+	if hits != 1 || misses != 0 {
+		t.Fatalf("disk hit stats: %d hits, %d misses", hits, misses)
+	}
+	if _, ok := NewCache("").Get("k1"); ok {
+		t.Fatal("memory-only cache returned another cache's entry")
+	}
+}
+
+// TestRunCachedColdWarmDeterminism is the cheap twin of the golden
+// test: cached values must equal computed ones exactly, across pool
+// sizes and cache instances sharing one directory, and an empty evalKey
+// must bypass the cache entirely.
+func TestRunCachedColdWarmDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	sc, e := cheapEmission(5)
+	specs := make([]TrialSpec, 6)
+	for i := range specs {
+		specs[i] = TrialSpec{Scenario: sc, Emission: e, Distance: 1.5, Trial: int64(i + 1)}
+	}
+	eval := func(_ TrialSpec, run *core.RunResult) []float64 {
+		return []float64{run.Recording.RMS(), run.SPLAtDevice}
+	}
+
+	serial := NewRunner(1).WithCache(NewCache(dir))
+	cold := serial.RunCached(specs, "rms+spl", 2, eval)
+	if _, misses := serial.Cache().Stats(); misses != int64(len(specs)) {
+		t.Fatalf("cold run misses = %d, want %d", misses, len(specs))
+	}
+
+	parallel := NewRunner(8).WithCache(NewCache(dir))
+	warm := parallel.RunCached(specs, "rms+spl", 2, eval)
+	hits, misses := parallel.Cache().Stats()
+	if hits != int64(len(specs)) || misses != 0 {
+		t.Fatalf("warm run: %d hits %d misses, want %d hits 0 misses", hits, misses, len(specs))
+	}
+	for i := range specs {
+		if len(cold[i]) != 2 || cold[i][0] != warm[i][0] || cold[i][1] != warm[i][1] {
+			t.Fatalf("trial %d: cold %v != warm %v", i, cold[i], warm[i])
+		}
+	}
+
+	uncached := NewRunner(1).WithCache(NewCache(dir))
+	vals := uncached.RunCached(specs[:2], "", 2, eval)
+	if h, m := uncached.Cache().Stats(); h != 0 || m != 0 {
+		t.Fatalf("empty evalKey touched the cache: %d hits %d misses", h, m)
+	}
+	if vals[0][0] != cold[0][0] {
+		t.Fatalf("uncached value %v != computed %v", vals[0][0], cold[0][0])
+	}
+}
+
+// TestRunCachedRejectsCorruptEntry pins the defensive width check: a
+// stale or corrupt on-disk entry (`null`, `[]`, wrong arity) must be
+// recomputed, not trusted and indexed into.
+func TestRunCachedRejectsCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	sc, e := cheapEmission(5)
+	spec := TrialSpec{Scenario: sc, Emission: e, Distance: 1.5, Trial: 1}
+	eval := func(run *core.RunResult) []float64 {
+		return []float64{run.Recording.RMS(), run.SPLAtDevice}
+	}
+	r := NewRunner(1).WithCache(NewCache(dir))
+	key := r.Cache().TrialKey(spec, "corrupt")
+	for _, hostile := range []string{"null", "[]", "[1]", "not json"} {
+		if err := os.WriteFile(filepath.Join(dir, key+".json"), []byte(hostile), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		vals := NewRunner(1).WithCache(NewCache(dir)).Trial(spec, "corrupt", 2, eval)
+		if len(vals) != 2 || vals[0] <= 0 {
+			t.Fatalf("entry %q: got %v, want recomputed 2-metric values", hostile, vals)
+		}
+	}
+}
+
+// TestCacheConcurrentAccess hammers one cache from a full worker pool —
+// concurrent TrialKey (shared emission-hash memo), Get, Put and
+// duplicate-cell RunCached batches. Run under -race this is the cache's
+// race-coverage test.
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(t.TempDir())
+	r := NewRunner(8).WithCache(c)
+	sc, e := cheapEmission(3)
+
+	r.Each(64, func(i int) {
+		spec := TrialSpec{Scenario: sc, Emission: e, Distance: 1 + float64(i%4), Trial: int64(i % 8)}
+		key := c.TrialKey(spec, "race")
+		if _, ok := c.Get(key); !ok {
+			c.Put(key, []float64{float64(i % 8)})
+		}
+		if vals, ok := c.Get(key); !ok || len(vals) != 1 {
+			t.Errorf("lost entry for %s", key)
+		}
+	})
+
+	// Duplicate cells inside one batch: concurrent compute + put of the
+	// same key must agree.
+	specs := make([]TrialSpec, 32)
+	for i := range specs {
+		specs[i] = TrialSpec{Scenario: sc, Emission: e, Distance: 2, Trial: int64(i % 2)}
+	}
+	out := r.RunCached(specs, "dup", 1, func(_ TrialSpec, run *core.RunResult) []float64 {
+		return []float64{run.Recording.RMS()}
+	})
+	for i := range out {
+		if out[i][0] != out[i%2][0] {
+			t.Fatalf("duplicate cell %d disagrees: %v vs %v", i, out[i][0], out[i%2][0])
+		}
+	}
+}
+
+// ---- benchmarks ----
+
+// BenchmarkSuiteAllWarmCache measures a full quick `-all` pass against
+// a warm on-disk trial cache, and reports the cold pass alongside: the
+// cold/warm ratio is the cache's acceptance metric (BENCH_pr4.json).
+//
+//	go test ./internal/experiment -bench SuiteAllWarmCache -benchtime 1x
+func BenchmarkSuiteAllWarmCache(b *testing.B) {
+	dir := b.TempDir()
+	runAll := func(parallel int) time.Duration {
+		s := NewSuite(Options{Quick: true, Seed: 1, Parallel: parallel, CacheDir: dir})
+		start := time.Now()
+		for _, id := range IDs() {
+			if err := s.Run(id, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	cold := runAll(0) // populates the disk cache
+	b.ResetTimer()
+	var warm time.Duration
+	for i := 0; i < b.N; i++ {
+		warm += runAll(0)
+	}
+	b.ReportMetric(cold.Seconds(), "cold_s/op")
+	warmPer := warm.Seconds() / float64(b.N)
+	b.ReportMetric(warmPer, "warm_s/op")
+	b.ReportMetric(cold.Seconds()/warmPer, "cold_vs_warm_speedup")
+}
+
+// BenchmarkSweepCell measures one warm sweep cell — a cached
+// success-rate trial batch — the steady-state cost of re-running an
+// experiment whose cells are all hits.
+//
+//	go test ./internal/experiment -bench SweepCell
+func BenchmarkSweepCell(b *testing.B) {
+	s := NewSuite(Options{Quick: true, Seed: 1, Parallel: 1})
+	s.fixtures()
+	sc, e := cheapEmission(1)
+	const trials = 8
+	s.Runner().SuccessRate(sc, s.rec, e, 1.5, "photo", trials) // warm the cell
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Runner().SuccessRate(sc, s.rec, e, 1.5, "photo", trials)
+	}
+	hits, _ := s.Cache().Stats()
+	b.ReportMetric(float64(hits)/float64(b.N), "hits/op")
+}

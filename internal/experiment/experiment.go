@@ -16,11 +16,11 @@ import (
 	"inaudible/internal/voice"
 )
 
-// Table is a simple column-aligned text table with an optional CSV form.
+// Table is a simple column-aligned text table with CSV and JSON forms.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 }
 
 // AddRow appends a formatted row; values are rendered with %v unless they

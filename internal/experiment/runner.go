@@ -27,6 +27,9 @@ import (
 type Runner struct {
 	workers int
 	sem     chan struct{}
+	// cache, when set, memoizes trial-cell metrics content-addressed by
+	// (scenario, emission, distance, trial seed, metric): see RunCached.
+	cache *Cache
 }
 
 // NewRunner returns a Runner with the given pool size. workers <= 0
@@ -41,6 +44,23 @@ func NewRunner(workers int) *Runner {
 		r.sem = make(chan struct{}, workers-1)
 	}
 	return r
+}
+
+// WithCache attaches a trial cache to the pool and returns the runner.
+// All cache-keyed entry points (RunCached, Trial, SuccessRate, MaxRange)
+// consult it; a nil cache disables memoization.
+func (r *Runner) WithCache(c *Cache) *Runner {
+	r.cache = c
+	return r
+}
+
+// Cache returns the attached trial cache (nil when memoization is off or
+// the runner is nil).
+func (r *Runner) Cache() *Cache {
+	if r == nil {
+		return nil
+	}
+	return r.cache
 }
 
 // Workers reports the pool size. A nil Runner is a serial pool of one.
@@ -142,23 +162,72 @@ func (r *Runner) Run(specs []TrialSpec, eval func(TrialSpec, *core.RunResult) fl
 	return out
 }
 
+// RunCached delivers every spec across the pool and returns each spec's
+// metric values in input order, consulting the runner's trial cache.
+// evalKey canonically names the metric computation ("success:photo");
+// it must capture everything eval depends on beyond the recording.
+// width is the number of values eval returns: a cached entry of any
+// other length (a corrupt or stale on-disk file) is treated as a miss
+// and recomputed instead of trusted. A cache hit returns the stored
+// values without delivering; a miss delivers, evaluates inside the
+// worker and stores the values. Because eval must be a deterministic
+// function of the recording (which is itself a deterministic function
+// of the trial key), results are byte-identical cache cold or warm, at
+// any pool size. An empty evalKey or a cache-less runner disables
+// memoization for the batch.
+func (r *Runner) RunCached(specs []TrialSpec, evalKey string, width int, eval func(TrialSpec, *core.RunResult) []float64) [][]float64 {
+	c := r.Cache()
+	if evalKey == "" {
+		c = nil
+	}
+	out := make([][]float64, len(specs))
+	r.Each(len(specs), func(i int) {
+		spec := specs[i]
+		var key string
+		if c != nil {
+			key = c.TrialKey(spec, evalKey)
+			if vals, ok := c.Get(key); ok && len(vals) == width {
+				out[i] = vals
+				return
+			}
+		}
+		run := spec.Scenario.Deliver(spec.Emission, spec.Distance, spec.Trial)
+		vals := eval(spec, run)
+		if c != nil {
+			c.Put(key, vals)
+		}
+		out[i] = vals
+	})
+	return out
+}
+
+// Trial is the single-spec convenience of RunCached: one delivery's
+// metrics, through the cache, without fanning out.
+func (r *Runner) Trial(spec TrialSpec, evalKey string, width int, eval func(*core.RunResult) []float64) []float64 {
+	return r.RunCached([]TrialSpec{spec}, evalKey, width, func(_ TrialSpec, run *core.RunResult) []float64 {
+		return eval(run)
+	})[0]
+}
+
 // SuccessRate is the pool-backed twin of the package-level SuccessRate:
 // it delivers the emission over trials distinct noise realisations
 // (trial indices 1..trials, matching the serial helper exactly) and
-// returns the fraction recognised as the wanted command.
+// returns the fraction recognised as the wanted command. Each trial is
+// one cache cell, so overlapping success grids across experiments (and
+// across runs, with an on-disk cache) deliver each cell exactly once.
 func (r *Runner) SuccessRate(s *core.Scenario, rec *asr.Recognizer, e *core.Emission, distance float64, want string, trials int) float64 {
 	specs := make([]TrialSpec, trials)
 	for i := range specs {
 		specs[i] = TrialSpec{Scenario: s, Emission: e, Distance: distance, Trial: int64(i + 1)}
 	}
 	ok := 0
-	for _, res := range r.Run(specs, func(_ TrialSpec, run *core.RunResult) float64 {
+	for _, vals := range r.RunCached(specs, "success:"+want, 1, func(_ TrialSpec, run *core.RunResult) []float64 {
 		if rec.InjectionSuccess(run.Recording, want) {
-			return 1
+			return []float64{1}
 		}
-		return 0
+		return []float64{0}
 	}) {
-		if res.Value > 0 {
+		if vals[0] > 0 {
 			ok++
 		}
 	}

@@ -1,0 +1,199 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"inaudible/internal/defense"
+	"inaudible/internal/sim"
+)
+
+// This file opens the sweep engine to arbitrary scenarios: any
+// declarative sim.Spec plus a sweep definition becomes a runnable
+// experiment (`cmd/experiments -spec scenario.json -sweep
+// distance=1:15:1`), evaluated cell by cell on the same worker pool as
+// the E1-E13 suite. Each cell clones the spec, applies its axis values
+// to the named spec fields, and runs the full streaming simulation —
+// attack synthesis, per-element speaker chains, propagation, capture,
+// defense guard — reporting the victim tap's outcome.
+
+// specFields maps sweep axis names to spec field setters. Float axes
+// apply to numeric fields; the device axis takes profile names.
+var specFields = map[string]func(*sim.Spec, interface{}) error{
+	"distance":  func(sp *sim.Spec, v interface{}) error { return setF(&sp.Path.DistanceM, v) },
+	"move_to":   func(sp *sim.Spec, v interface{}) error { return setF(&sp.Path.MoveToM, v) },
+	"power":     func(sp *sim.Spec, v interface{}) error { return setF(&sp.Attack.PowerW, v) },
+	"voice_spl": func(sp *sim.Spec, v interface{}) error { return setF(&sp.Attack.VoiceSPL, v) },
+	"carrier":   func(sp *sim.Spec, v interface{}) error { return setF(&sp.Attack.CarrierHz, v) },
+	"ambient":   func(sp *sim.Spec, v interface{}) error { return setF(&sp.AmbientSPL, v) },
+	"segments": func(sp *sim.Spec, v interface{}) error {
+		var f float64
+		if err := setF(&f, v); err != nil {
+			return err
+		}
+		sp.Attack.Segments = int(f)
+		return nil
+	},
+	"seed": func(sp *sim.Spec, v interface{}) error {
+		var f float64
+		if err := setF(&f, v); err != nil {
+			return err
+		}
+		sp.Seed = int64(f)
+		return nil
+	},
+	"device": func(sp *sim.Spec, v interface{}) error {
+		s, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("experiment: device axis needs string values, got %T", v)
+		}
+		sp.Device = s
+		return nil
+	},
+}
+
+// SweepFields lists the spec fields a custom sweep may vary.
+func SweepFields() []string {
+	return []string{"ambient", "carrier", "device", "distance", "move_to", "power", "seed", "segments", "voice_spl"}
+}
+
+func setF(dst *float64, v interface{}) error {
+	switch x := v.(type) {
+	case float64:
+		*dst = x
+	case int:
+		*dst = float64(x)
+	default:
+		return fmt.Errorf("experiment: axis needs numeric values, got %T", v)
+	}
+	return nil
+}
+
+// ParseSweepAxis parses one `-sweep` axis definition: either an
+// inclusive range `name=start:stop:step` or an explicit value list
+// `name=v1,v2,v3` (strings allowed for the device axis).
+func ParseSweepAxis(def string) (Axis, error) {
+	name, spec, ok := strings.Cut(def, "=")
+	name, spec = strings.TrimSpace(name), strings.TrimSpace(spec)
+	if !ok || name == "" || spec == "" {
+		return Axis{}, fmt.Errorf("experiment: sweep axis %q: want name=start:stop:step or name=v1,v2,...", def)
+	}
+	if _, known := specFields[name]; !known {
+		return Axis{}, fmt.Errorf("experiment: unknown sweep field %q (have %v)", name, SweepFields())
+	}
+	if strings.Contains(spec, ":") {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return Axis{}, fmt.Errorf("experiment: sweep axis %q: range wants start:stop:step", def)
+		}
+		var nums [3]float64
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return Axis{}, fmt.Errorf("experiment: sweep axis %q: %w", def, err)
+			}
+			nums[i] = v
+		}
+		return RangeAxis(name, nums[0], nums[1], nums[2])
+	}
+	parts := strings.Split(spec, ",")
+	floats := make([]float64, 0, len(parts))
+	strVals := make([]string, 0, len(parts))
+	numeric := true
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		strVals = append(strVals, p)
+		if v, err := strconv.ParseFloat(p, 64); err == nil {
+			floats = append(floats, v)
+		} else {
+			numeric = false
+		}
+	}
+	if numeric {
+		return FloatAxis(name, floats...), nil
+	}
+	return StrAxis(name, strVals...), nil
+}
+
+// ParseSweepAxes parses a list of `-sweep` definitions into sweep axes.
+func ParseSweepAxes(defs []string) ([]Axis, error) {
+	axes := make([]Axis, 0, len(defs))
+	for _, def := range defs {
+		a, err := ParseSweepAxis(def)
+		if err != nil {
+			return nil, err
+		}
+		axes = append(axes, a)
+	}
+	if len(axes) == 0 {
+		return nil, fmt.Errorf("experiment: a spec sweep needs at least one axis (e.g. distance=1:15:1)")
+	}
+	return axes, nil
+}
+
+// SpecSweep builds the sweep of an arbitrary scenario: one cell per
+// grid point, each running the spec end to end (attack synthesis,
+// per-element speaker chains, propagation, capture, streaming guard)
+// with the point's values applied to the named spec fields. A nil
+// detector selects the hand-calibrated demo thresholds.
+func SpecSweep(sp *sim.Spec, axes []Axis, det defense.Detector) Sweep {
+	name := sp.Name
+	if name == "" {
+		name = sp.Attack.Kind
+	}
+	cols := make([]string, 0, len(axes)+5)
+	for _, a := range axes {
+		cols = append(cols, a.Name)
+	}
+	cols = append(cols, "elements", "power_w", "spl_at_device_db", "attack_detected", "score")
+	return Sweep{
+		Title:   fmt.Sprintf("custom sweep: %s", name),
+		Columns: cols,
+		Axes:    axes,
+		Cell: func(p Point) (Row, error) {
+			variant := *sp
+			row := make(Row, 0, len(cols))
+			for _, a := range axes {
+				val := p.Value(a.Name)
+				if err := specFields[a.Name](&variant, val); err != nil {
+					return nil, err
+				}
+				row = append(row, val)
+			}
+			res, err := sim.SimulateSpec(&variant, det)
+			if err != nil {
+				return nil, err
+			}
+			tap := res.Taps[0]
+			return append(row, res.Elements, res.TotalPowerW, tap.SPLAtDevice, tap.Final.Attack, tap.Final.Score), nil
+		},
+	}
+}
+
+// SpecSweepReport evaluates a spec sweep on a pool of the given size and
+// returns its report — the engine behind `cmd/experiments -spec -sweep`
+// and the facade's RunSweep.
+func SpecSweepReport(sp *sim.Spec, axes []Axis, det defense.Detector, parallel int) (*Report, error) {
+	sw := SpecSweep(sp, axes, det)
+	t, err := sw.Table(NewRunner(parallel))
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		ID:    "sweep",
+		Desc:  sw.Title,
+		Items: []ReportItem{{Table: t}},
+	}, nil
+}
+
+// RunSpecSweep evaluates a spec sweep and renders its table to w.
+func RunSpecSweep(sp *sim.Spec, axes []Axis, det defense.Detector, parallel int, w io.Writer) error {
+	rep, err := SpecSweepReport(sp, axes, det, parallel)
+	if err != nil {
+		return err
+	}
+	rep.Render(w)
+	return nil
+}

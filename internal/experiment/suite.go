@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"sync"
 
 	"inaudible/internal/acoustics"
@@ -14,7 +13,6 @@ import (
 	"inaudible/internal/core"
 	"inaudible/internal/defense"
 	"inaudible/internal/dsp"
-	"inaudible/internal/mic"
 	"inaudible/internal/psycho"
 	"inaudible/internal/speaker"
 	"inaudible/internal/voice"
@@ -30,22 +28,32 @@ type Options struct {
 	// forces serial execution. Output is byte-identical across pool
 	// sizes at a fixed Seed; only the wall clock changes.
 	Parallel int
+	// CacheDir adds an on-disk layer to the trial cache, carrying trial
+	// cells across runs. Empty keeps the cache in-memory only. Output is
+	// byte-identical cache cold or warm.
+	CacheDir string
 }
 
 // Suite lazily builds and caches the expensive shared assets (recogniser,
 // emissions, corpus, classifiers) across experiments, so `-all` does not
-// pay for them repeatedly. One Suite may serve concurrent trials: the
-// cached assets are read-only once built, and all fan-out goes through
-// the suite's Runner.
+// pay for them repeatedly, and owns the content-addressed trial cache
+// that shares delivered cells across experiments. One Suite may serve
+// concurrent trials: the cached assets are read-only once built, and all
+// fan-out goes through the suite's Runner.
 type Suite struct {
 	Opt Options
 
 	runner *Runner
+	cache  *Cache
 
 	once    sync.Once
 	rec     *asr.Recognizer
 	command voice.Command
 	cmdSig  *audio.Signal
+
+	// emissions memoizes attack emissions by (kind, power, command):
+	// every sweep cell needing one shares a single build.
+	emissions sync.Map // emissionKey -> *emissionEntry
 
 	corpusOnce sync.Once
 	corpusErr  error
@@ -63,60 +71,67 @@ func NewSuite(opt Options) *Suite {
 	if opt.Seed == 0 {
 		opt.Seed = 1
 	}
-	return &Suite{Opt: opt, runner: NewRunner(opt.Parallel)}
+	c := NewCache(opt.CacheDir)
+	return &Suite{Opt: opt, cache: c, runner: NewRunner(opt.Parallel).WithCache(c)}
 }
 
 // Runner exposes the suite's trial engine, e.g. for driving ad-hoc
 // sweeps with the same pool the experiments use.
 func (s *Suite) Runner() *Runner { return s.runner }
 
-// IDs lists the experiment identifiers in run order.
-func IDs() []string {
-	ids := make([]string, 0, len(registry))
-	for id := range registry {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool {
-		// E1..E13 numeric order.
-		var a, b int
-		fmt.Sscanf(ids[i], "E%d", &a)
-		fmt.Sscanf(ids[j], "E%d", &b)
-		return a < b
-	})
-	return ids
+// Cache exposes the suite's trial cache (hit/miss stats, ad-hoc sweeps).
+func (s *Suite) Cache() *Cache { return s.cache }
+
+// runOrder is the explicit experiment run order — the registry's
+// companion, so ordering never depends on parsing ids.
+var runOrder = []string{
+	"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
 }
+
+// IDs lists the experiment identifiers in run order.
+func IDs() []string { return append([]string(nil), runOrder...) }
 
 // Describe returns the one-line description of an experiment id.
 func Describe(id string) string { return registry[id].desc }
 
-// Run executes one experiment, writing its tables to w.
-func (s *Suite) Run(id string, w io.Writer) error {
+// entry pairs an experiment's description with the builder of its
+// declarative section list.
+type entry struct {
+	desc  string
+	build func(*Suite) ([]Section, error)
+}
+
+// Report builds and evaluates one experiment: every sweep's grid fans
+// out on the suite pool through the trial cache, and the resulting
+// tables and notes return in render order along with the cache traffic
+// the evaluation generated.
+func (s *Suite) Report(id string) (*Report, error) {
 	e, ok := registry[id]
 	if !ok {
-		return fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
+		return nil, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
 	}
-	return e.run(s, w)
+	h0, m0 := s.cache.Stats()
+	secs, err := e.build(s)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := s.evalSections(id, secs)
+	if err != nil {
+		return nil, err
+	}
+	h1, m1 := s.cache.Stats()
+	rep.CacheHits, rep.CacheMisses = h1-h0, m1-m0
+	return rep, nil
 }
 
-type entry struct {
-	desc string
-	run  func(*Suite, io.Writer) error
-}
-
-var registry = map[string]entry{
-	"E1":  {"demo: normal voice vs attack ultrasound vs recording", (*Suite).runE1},
-	"E2":  {"single-speaker leakage and audibility vs input power", (*Suite).runE2},
-	"E3":  {"leakage vs number of array elements at fixed power", (*Suite).runE3},
-	"E4":  {"word accuracy vs distance: baseline vs long-range", (*Suite).runE4},
-	"E5":  {"activation/injection success rate vs distance per device", (*Suite).runE5},
-	"E6":  {"baseline attack range vs input power (Song-Mittal Table 1)", (*Suite).runE6},
-	"E7":  {"success at fixed range (phone@3m, echo@2m, long-range@7.6m)", (*Suite).runE7},
-	"E8":  {"ablation: carrier frequency, segment count, carrier power fraction", (*Suite).runE8},
-	"E9":  {"defense trace feature distributions (legit vs attack)", (*Suite).runE9},
-	"E10": {"defense correlation feature distributions", (*Suite).runE10},
-	"E11": {"defense classifier accuracy / ROC / AUC", (*Suite).runE11},
-	"E12": {"defense robustness: false positives across benign conditions", (*Suite).runE12},
-	"E13": {"adaptive attacker: residual trace and detection vs estimation error", (*Suite).runE13},
+// Run executes one experiment, writing its tables to w.
+func (s *Suite) Run(id string, w io.Writer) error {
+	rep, err := s.Report(id)
+	if err != nil {
+		return err
+	}
+	rep.Render(w)
+	return nil
 }
 
 // ---- shared fixtures ----
@@ -146,6 +161,65 @@ func (s *Suite) trials(full int) int {
 	}
 	return full
 }
+
+// quickFloats picks the full or Quick-mode variant of a float grid.
+func (s *Suite) quickFloats(full, quick []float64) []float64 {
+	if s.Opt.Quick {
+		return quick
+	}
+	return full
+}
+
+// quickInts picks the full or Quick-mode variant of an int grid.
+func (s *Suite) quickInts(full, quick []int) []int {
+	if s.Opt.Quick {
+		return quick
+	}
+	return full
+}
+
+// ---- emission memo ----
+
+type emissionKey struct {
+	kind  core.AttackKind
+	power float64
+	cmd   string
+}
+
+type emissionEntry struct {
+	once sync.Once
+	e    *core.Emission
+	err  error
+}
+
+// emission builds (once) the attack emission for (kind, power) of the
+// given command signal: the expensive per-element speaker physics is
+// shared by every sweep cell and experiment that delivers it. cmdID
+// names the command for the memo key.
+func (s *Suite) emission(kind core.AttackKind, power float64, cmdID string, sig *audio.Signal) (*core.Emission, error) {
+	v, _ := s.emissions.LoadOrStore(emissionKey{kind, power, cmdID}, &emissionEntry{})
+	ent := v.(*emissionEntry)
+	ent.once.Do(func() {
+		sc := s.scenario()
+		switch kind {
+		case core.KindBaseline:
+			ent.e, ent.err = sc.EmitBaseline(sig, power, attack.DefaultBaselineOptions(), speaker.FostexTweeter())
+		case core.KindLongRange:
+			ent.e, ent.err = sc.EmitLongRange(sig, power, attack.DefaultLongRangeOptions(), speaker.UltrasonicElement)
+		default:
+			ent.err = fmt.Errorf("experiment: unknown attack kind %v", kind)
+		}
+	})
+	return ent.e, ent.err
+}
+
+// attackEmission is the emission memo over the suite's default command.
+func (s *Suite) attackEmission(kind core.AttackKind, power float64) (*core.Emission, error) {
+	s.fixtures()
+	return s.emission(kind, power, s.command.ID, s.cmdSig)
+}
+
+// ---- corpus and classifiers ----
 
 // corpus builds (once) the labelled train/test feature sets for the
 // defense experiments.
@@ -197,463 +271,7 @@ func (s *Suite) classifier() (*defense.LinearSVM, error) {
 	return s.svm, s.svmErr
 }
 
-// ---- E1 ----
-
-func (s *Suite) runE1(w io.Writer) error {
-	s.fixtures()
-	sc := s.scenario()
-	atk, err := attack.Baseline(s.cmdSig, attack.DefaultBaselineOptions())
-	if err != nil {
-		return err
-	}
-	e, run, err := sc.Simulate(s.cmdSig, core.KindBaseline, 18.7, 2, 1)
-	if err != nil {
-		return err
-	}
-	bandShare := func(sig *audio.Signal, lo, hi float64) float64 {
-		psd := dsp.Welch(sig.Samples, 8192)
-		in := dsp.BandPower(psd, sig.Rate, 8192, lo, hi)
-		tot := dsp.BandPower(psd, sig.Rate, 8192, 0, sig.Rate/2)
-		if tot == 0 {
-			return 0
-		}
-		return in / tot
-	}
-	t := &Table{
-		Title:   "E1 demo: 'ok google, take a picture' at 2 m, 18.7 W, fc=30 kHz",
-		Columns: []string{"signal", "rate_hz", "dur_s", "share<20kHz", "share>20kHz", "peak"},
-	}
-	signals := []struct {
-		name string
-		sig  *audio.Signal
-	}{
-		{"normal voice", s.cmdSig},
-		{"attack ultrasound", atk},
-		{"mic recording", run.Recording},
-	}
-	rows, _ := s.parallelRows(len(signals), func(i int) ([]interface{}, error) {
-		sig := signals[i].sig
-		return []interface{}{signals[i].name, sig.Rate, sig.Duration(),
-			bandShare(sig, 0, 20000), bandShare(sig, 20000, sig.Rate/2), sig.Peak()}, nil
-	})
-	for _, row := range rows {
-		t.AddRow(row...)
-	}
-	t.Render(w)
-
-	// Does the recording carry the command? Envelope correlation + ASR.
-	// The two verdicts are independent, so they share the pool.
-	var corr float64
-	var res asr.Result
-	s.runner.Each(2, func(i int) {
-		switch i {
-		case 0:
-			ref := s.cmdSig.Clone()
-			ref.Samples = dsp.LowPassFIR(511, 8000/ref.Rate).Apply(ref.Samples)
-			envA := dsp.SmoothedEnvelope(ref.Samples, ref.Rate, 24)
-			recAt48 := run.Recording.Resampled(48000)
-			envB := dsp.SmoothedEnvelope(recAt48.Samples, 48000, 24)
-			corr, _ = dsp.MaxCorrelationLag(envA, envB, 4800)
-		case 1:
-			res = s.rec.Recognize(run.Recording)
-		}
-	})
-	t2 := &Table{Title: "E1 verdicts", Columns: []string{"metric", "value"}}
-	t2.AddRow("envelope correlation (recording vs voice)", corr)
-	t2.AddRow("ASR recognised as", res.CommandID)
-	t2.AddRow("ASR distance", res.Distance)
-	t2.AddRow("leakage at bystander (dB SPL, A-wt)", e.LeakageSPL)
-	t2.AddRow("phone activated (injection success)", res.Accepted && res.CommandID == "photo")
-	t2.Render(w)
-	return nil
-}
-
-// ---- E2 ----
-
-func (s *Suite) runE2(w io.Writer) error {
-	s.fixtures()
-	sc := s.scenario()
-	powers := []float64{0.25, 0.5, 1, 2, 4, 9.2, 18.7, 23.7, 40}
-	if s.Opt.Quick {
-		powers = []float64{0.5, 2, 18.7, 40}
-	}
-	t := &Table{
-		Title: fmt.Sprintf("E2 single-speaker leakage vs power (bystander at %.1f m)",
-			sc.BystanderDistance),
-		Columns: []string{"power_w", "leak_spl_dba", "margin_db", "audible", "success@3m"},
-	}
-	trials := s.trials(5)
-	rows, err := s.parallelRows(len(powers), func(i int) ([]interface{}, error) {
-		p := powers[i]
-		e, _, err := sc.Simulate(s.cmdSig, core.KindBaseline, p, 3, 0)
-		if err != nil {
-			return nil, err
-		}
-		sr := s.runner.SuccessRate(sc, s.rec, e, 3, s.command.ID, trials)
-		return []interface{}{p, e.LeakageSPL, e.LeakageMargin, e.LeakageAudible, sr}, nil
-	})
-	if err != nil {
-		return err
-	}
-	for _, row := range rows {
-		t.AddRow(row...)
-	}
-	t.Render(w)
-	fmt.Fprintln(w, "shape check: leakage grows ~2 dB per dB of power and crosses the")
-	fmt.Fprintln(w, "hearing threshold near ~1 W, far below the power needed for range.")
-	return nil
-}
-
-// ---- E3 ----
-
-func (s *Suite) runE3(w io.Writer) error {
-	s.fixtures()
-	sc := s.scenario()
-	const power = 40.0
-	segs := []int{2, 6, 15, 60, 160, 320}
-	if s.Opt.Quick {
-		segs = []int{2, 15, 60}
-	}
-	t := &Table{
-		Title:   "E3 leakage vs array segmentation at 40 W total",
-		Columns: []string{"elements", "slice_width_hz", "leak_spl_dba", "margin_db", "audible"},
-	}
-	// Single-speaker reference.
-	eb, _, err := sc.Simulate(s.cmdSig, core.KindBaseline, power, 3, 0)
-	if err != nil {
-		return err
-	}
-	t.AddRow(1, 16000.0, eb.LeakageSPL, eb.LeakageMargin, eb.LeakageAudible)
-	rows, err := s.parallelRows(len(segs), func(i int) ([]interface{}, error) {
-		o := attack.DefaultLongRangeOptions()
-		o.NumSegments = segs[i]
-		e, err := sc.EmitLongRange(s.cmdSig, power, o, speaker.UltrasonicElement)
-		if err != nil {
-			return nil, err
-		}
-		return []interface{}{e.Elements, o.SliceWidthHz(), e.LeakageSPL, e.LeakageMargin, e.LeakageAudible}, nil
-	})
-	if err != nil {
-		return err
-	}
-	for _, row := range rows {
-		t.AddRow(row...)
-	}
-	t.Render(w)
-	fmt.Fprintln(w, "shape check: splitting the spectrum drives leakage below the hearing")
-	fmt.Fprintln(w, "threshold; slice widths under ~50 Hz confine residue to the infrasonic band.")
-	return nil
-}
-
-// ---- E4 ----
-
-func (s *Suite) runE4(w io.Writer) error {
-	s.fixtures()
-	sc := s.scenario()
-	eb, _, err := sc.Simulate(s.cmdSig, core.KindBaseline, 18.7, 3, 0)
-	if err != nil {
-		return err
-	}
-	el, _, err := sc.Simulate(s.cmdSig, core.KindLongRange, 300, 3, 0)
-	if err != nil {
-		return err
-	}
-	dists := []float64{1, 2, 3, 4, 5, 6, 8, 10}
-	if s.Opt.Quick {
-		dists = []float64{1, 3, 6, 10}
-	}
-	t := &Table{
-		Title:   "E4 word accuracy vs distance (baseline 18.7 W vs long-range 300 W)",
-		Columns: []string{"distance_m", "baseline_wordacc", "longrange_wordacc", "baseline_dist", "longrange_dist"},
-	}
-	rows, _ := s.parallelRows(len(dists), func(i int) ([]interface{}, error) {
-		d := dists[i]
-		rb := sc.Deliver(eb, d, 1)
-		rl := sc.Deliver(el, d, 1)
-		return []interface{}{d,
-			s.rec.WordAccuracy(rb.Recording, s.command.ID),
-			s.rec.WordAccuracy(rl.Recording, s.command.ID),
-			s.rec.Recognize(rb.Recording).Distance,
-			s.rec.Recognize(rl.Recording).Distance}, nil
-	})
-	for _, row := range rows {
-		t.AddRow(row...)
-	}
-	t.Render(w)
-	fmt.Fprintln(w, "shape check: the long-range attack sustains accuracy several times")
-	fmt.Fprintln(w, "farther than the single-speaker baseline at audibility-equivalent settings.")
-	return nil
-}
-
-// ---- E5 ----
-
-func (s *Suite) runE5(w io.Writer) error {
-	s.fixtures()
-	devices := []func() *mic.Device{mic.AndroidPhone, mic.AmazonEcho}
-	dists := []float64{1, 1.5, 2, 2.5, 3, 3.5, 4, 5}
-	if s.Opt.Quick {
-		dists = []float64{1, 2, 3, 4}
-	}
-	trials := s.trials(20)
-	t := &Table{
-		Title:   fmt.Sprintf("E5 injection success rate vs distance (%d trials/point)", trials),
-		Columns: []string{"distance_m", "phone_baseline", "echo_baseline", "phone_longrange", "echo_longrange"},
-	}
-	type combo struct {
-		devFn func() *mic.Device
-		kind  core.AttackKind
-	}
-	var combos []combo
-	for _, devFn := range devices {
-		for _, kind := range []core.AttackKind{core.KindBaseline, core.KindLongRange} {
-			combos = append(combos, combo{devFn, kind})
-		}
-	}
-	keys := make([]string, len(combos))
-	perCombo := make([]map[float64]float64, len(combos))
-	errs := make([]error, len(combos))
-	s.runner.Each(len(combos), func(ci int) {
-		c := combos[ci]
-		sc := s.scenario()
-		sc.Device = c.devFn()
-		power := 18.7
-		if c.kind == core.KindLongRange {
-			power = 300
-		}
-		e, _, err := sc.Simulate(s.cmdSig, c.kind, power, 2, 0)
-		if err != nil {
-			errs[ci] = err
-			return
-		}
-		keys[ci] = sc.Device.Name + "/" + c.kind.String()
-		m := make(map[float64]float64)
-		for _, d := range dists {
-			m[d] = s.runner.SuccessRate(sc, s.rec, e, d, s.command.ID, trials)
-		}
-		perCombo[ci] = m
-	})
-	if err := firstError(errs); err != nil {
-		return err
-	}
-	rates := make(map[string]map[float64]float64)
-	for ci, key := range keys {
-		rates[key] = perCombo[ci]
-	}
-	for _, d := range dists {
-		t.AddRow(d,
-			rates["android-phone/baseline"][d],
-			rates["amazon-echo/baseline"][d],
-			rates["android-phone/long-range"][d],
-			rates["amazon-echo/long-range"][d])
-	}
-	t.Render(w)
-	fmt.Fprintln(w, "shape check: Echo curves sit below phone curves (plastic grille);")
-	fmt.Fprintln(w, "long-range curves extend far beyond baseline curves.")
-	return nil
-}
-
-// ---- E6 ----
-
-func (s *Suite) runE6(w io.Writer) error {
-	s.fixtures()
-	powers := []float64{9.2, 11.8, 14.8, 18.7, 23.7}
-	if s.Opt.Quick {
-		powers = []float64{9.2, 18.7, 23.7}
-	}
-	grid := dsp.Linspace(0.5, 6, 23) // 0.25 m steps
-	if s.Opt.Quick {
-		grid = dsp.Linspace(0.5, 6, 12)
-	}
-	trials := s.trials(3)
-	t := &Table{
-		Title:   "E6 baseline attack range vs input power (cf. Song-Mittal Table 1)",
-		Columns: []string{"power_w", "phone_range_cm", "echo_range_cm", "paper_phone_cm", "paper_echo_cm"},
-	}
-	paperPhone := map[float64]float64{9.2: 222, 11.8: 255, 14.8: 277, 18.7: 313, 23.7: 354}
-	paperEcho := map[float64]float64{9.2: 145, 11.8: 168, 14.8: 187, 18.7: 213, 23.7: 239}
-	devFns := []func() *mic.Device{mic.AndroidPhone, mic.AmazonEcho}
-	// Flatten power x device into one batch so the pool stays busy even
-	// when one cell's range probe exits early.
-	ranges := make([][2]float64, len(powers))
-	errs := make([]error, len(powers)*len(devFns))
-	s.runner.Each(len(powers)*len(devFns), func(cell int) {
-		pi, di := cell/len(devFns), cell%len(devFns)
-		sc := s.scenario()
-		sc.Device = devFns[di]()
-		e, _, err := sc.Simulate(s.cmdSig, core.KindBaseline, powers[pi], 2, 0)
-		if err != nil {
-			errs[cell] = err
-			return
-		}
-		ranges[pi][di] = s.runner.MaxRange(sc, s.rec, e, s.command.ID, grid, trials, 0.5) * 100
-	})
-	if err := firstError(errs); err != nil {
-		return err
-	}
-	for pi, p := range powers {
-		t.AddRow(p, ranges[pi][0], ranges[pi][1], paperPhone[p], paperEcho[p])
-	}
-	t.Render(w)
-	fmt.Fprintln(w, "shape check: range grows monotonically with power; Echo < phone at")
-	fmt.Fprintln(w, "every power (its grille attenuates ultrasound ~8 dB more).")
-	return nil
-}
-
-// ---- E7 ----
-
-func (s *Suite) runE7(w io.Writer) error {
-	s.fixtures()
-	trials := s.trials(50)
-	t := &Table{
-		Title:   fmt.Sprintf("E7 success at fixed range (%d trials)", trials),
-		Columns: []string{"setup", "distance_m", "success_rate", "paper"},
-	}
-	// The three rigs of the paper's headline results. The Echo command in
-	// the paper is the milk command; use it for fidelity.
-	type setup struct {
-		name     string
-		distance float64
-		paper    string
-		run      func() (float64, error)
-	}
-	setups := []setup{
-		{"phone/baseline/18.7W", 3.0, "1.00", func() (float64, error) {
-			// Phone @ 3 m, baseline 18.7 W (paper: 100%).
-			sc := s.scenario()
-			e, _, err := sc.Simulate(s.cmdSig, core.KindBaseline, 18.7, 3, 0)
-			if err != nil {
-				return 0, err
-			}
-			return s.runner.SuccessRate(sc, s.rec, e, 3, s.command.ID, trials), nil
-		}},
-		{"echo/baseline/18.7W", 2.0, "0.80", func() (float64, error) {
-			// Echo @ 2 m, baseline 18.7 W (paper: 80%).
-			milk, _ := voice.FindCommand("milk")
-			milkSig := voice.MustSynthesize(milk.Text, voice.DefaultVoice(), 48000)
-			sc := s.scenario()
-			sc.Device = mic.AmazonEcho()
-			e, _, err := sc.Simulate(milkSig, core.KindBaseline, 18.7, 2, 0)
-			if err != nil {
-				return 0, err
-			}
-			return s.runner.SuccessRate(sc, s.rec, e, 2, milk.ID, trials), nil
-		}},
-		{"phone/long-range/300W", 7.6, "high", func() (float64, error) {
-			// Long-range @ 7.6 m (25 ft), phone (NSDI headline).
-			sc := s.scenario()
-			e, _, err := sc.Simulate(s.cmdSig, core.KindLongRange, 300, 7.6, 0)
-			if err != nil {
-				return 0, err
-			}
-			return s.runner.SuccessRate(sc, s.rec, e, 7.6, s.command.ID, trials), nil
-		}},
-	}
-	rates := make([]float64, len(setups))
-	errs := make([]error, len(setups))
-	s.runner.Each(len(setups), func(i int) {
-		rates[i], errs[i] = setups[i].run()
-	})
-	if err := firstError(errs); err != nil {
-		return err
-	}
-	for i, st := range setups {
-		t.AddRow(st.name, st.distance, rates[i], st.paper)
-	}
-	t.Render(w)
-	return nil
-}
-
-// ---- E8 ----
-
-func (s *Suite) runE8(w io.Writer) error {
-	s.fixtures()
-	sc := s.scenario()
-
-	// Carrier frequency sweep.
-	freqs := []float64{28000, 30000, 34000, 38000, 44000}
-	if s.Opt.Quick {
-		freqs = []float64{28000, 34000, 44000}
-	}
-	t := &Table{
-		Title:   "E8a carrier frequency ablation (baseline, 18.7 W, 3 m)",
-		Columns: []string{"carrier_hz", "asr_dist@3m", "wordacc@3m", "leak_margin_db"},
-	}
-	rows, err := s.parallelRows(len(freqs), func(i int) ([]interface{}, error) {
-		fc := freqs[i]
-		o := attack.DefaultBaselineOptions()
-		o.CarrierHz = fc
-		e, err := sc.EmitBaseline(s.cmdSig, 18.7, o, speaker.FostexTweeter())
-		if err != nil {
-			return nil, err
-		}
-		r := sc.Deliver(e, 3, 1)
-		return []interface{}{fc, s.rec.Recognize(r.Recording).Distance,
-			s.rec.WordAccuracy(r.Recording, s.command.ID), e.LeakageMargin}, nil
-	})
-	if err != nil {
-		return err
-	}
-	for _, row := range rows {
-		t.AddRow(row...)
-	}
-	t.Render(w)
-	fmt.Fprintln(w, "shape check: higher carriers suffer more atmospheric absorption and")
-	fmt.Fprintln(w, "transducer rolloff — recovered quality degrades with fc.")
-
-	// Segment count sweep (recovered quality at fixed power).
-	segs := []int{6, 15, 60, 160}
-	if s.Opt.Quick {
-		segs = []int{15, 60}
-	}
-	t2 := &Table{
-		Title:   "E8b segment-count ablation (long-range, 300 W, 5 m)",
-		Columns: []string{"segments", "slice_width_hz", "asr_dist@5m", "leak_margin_db"},
-	}
-	rows2, err := s.parallelRows(len(segs), func(i int) ([]interface{}, error) {
-		o := attack.DefaultLongRangeOptions()
-		o.NumSegments = segs[i]
-		e, err := sc.EmitLongRange(s.cmdSig, 300, o, speaker.UltrasonicElement)
-		if err != nil {
-			return nil, err
-		}
-		r := sc.Deliver(e, 5, 1)
-		return []interface{}{segs[i], o.SliceWidthHz(), s.rec.Recognize(r.Recording).Distance, e.LeakageMargin}, nil
-	})
-	if err != nil {
-		return err
-	}
-	for _, row := range rows2 {
-		t2.AddRow(row...)
-	}
-	t2.Render(w)
-
-	// Carrier power fraction sweep.
-	fracs := []float64{0, 0.3, 0.7, 0.95}
-	t3 := &Table{
-		Title:   "E8c carrier power fraction ablation (long-range, 300 W, 5 m; 0 = auto)",
-		Columns: []string{"carrier_frac", "asr_dist@5m", "recording_rms"},
-	}
-	rows3, err := s.parallelRows(len(fracs), func(i int) ([]interface{}, error) {
-		o := attack.DefaultLongRangeOptions()
-		o.CarrierPowerFraction = fracs[i]
-		e, err := sc.EmitLongRange(s.cmdSig, 300, o, speaker.UltrasonicElement)
-		if err != nil {
-			return nil, err
-		}
-		r := sc.Deliver(e, 5, 1)
-		return []interface{}{fracs[i], s.rec.Recognize(r.Recording).Distance, r.Recording.RMS()}, nil
-	})
-	if err != nil {
-		return err
-	}
-	for _, row := range rows3 {
-		t3.AddRow(row...)
-	}
-	t3.Render(w)
-	return nil
-}
-
-// ---- E9/E10 helpers ----
+// ---- shared table builders (non-grid sections) ----
 
 type distSummary struct {
 	n                   int
@@ -678,64 +296,38 @@ func summarize(vals []float64) distSummary {
 	return d
 }
 
-func (s *Suite) featureDistTable(w io.Writer, title string, pick func(defense.Features) float64) error {
-	if err := s.corpus(); err != nil {
-		return err
-	}
-	vals := make([]float64, len(s.testRecs))
-	s.runner.Each(len(s.testRecs), func(i int) {
-		vals[i] = pick(defense.Extract(s.testRecs[i].Signal))
-	})
-	var legit, attackVals []float64
-	for i, r := range s.testRecs {
-		if r.Attack {
-			attackVals = append(attackVals, vals[i])
-		} else {
-			legit = append(legit, vals[i])
+// featureTable builds the legit-vs-attack distribution table of one
+// defense feature over the held-out corpus recordings; extraction fans
+// out on the pool.
+func (s *Suite) featureTable(title string, pick func(defense.Features) float64) TableFunc {
+	return func() (*Table, error) {
+		if err := s.corpus(); err != nil {
+			return nil, err
 		}
+		vals := make([]float64, len(s.testRecs))
+		s.runner.Each(len(s.testRecs), func(i int) {
+			vals[i] = pick(defense.Extract(s.testRecs[i].Signal))
+		})
+		var legit, attackVals []float64
+		for i, r := range s.testRecs {
+			if r.Attack {
+				attackVals = append(attackVals, vals[i])
+			} else {
+				legit = append(legit, vals[i])
+			}
+		}
+		t := &Table{Title: title, Columns: []string{"class", "n", "mean", "std", "min", "max"}}
+		l, a := summarize(legit), summarize(attackVals)
+		t.AddRow("legitimate", l.n, l.mean, l.std, l.min, l.max)
+		t.AddRow("attack", a.n, a.mean, a.std, a.min, a.max)
+		return t, nil
 	}
-	t := &Table{Title: title, Columns: []string{"class", "n", "mean", "std", "min", "max"}}
-	l, a := summarize(legit), summarize(attackVals)
-	t.AddRow("legitimate", l.n, l.mean, l.std, l.min, l.max)
-	t.AddRow("attack", a.n, a.mean, a.std, a.min, a.max)
-	t.Render(w)
-	return nil
 }
 
-func (s *Suite) runE9(w io.Writer) error {
-	if err := s.featureDistTable(w, "E9 trace-band (16-60 Hz) noise-subtracted SNR feature",
-		func(f defense.Features) float64 { return f.TraceSNR }); err != nil {
-		return err
-	}
-	if err := s.featureDistTable(w, "E9b high-band (>8.5 kHz) noise-subtracted SNR feature",
-		func(f defense.Features) float64 { return f.HighSNR }); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "shape check: attack distributions sit decades above legitimate ones.")
-	return nil
-}
-
-func (s *Suite) runE10(w io.Writer) error {
-	if err := s.featureDistTable(w, "E10 low-band / squared-envelope correlation feature",
-		func(f defense.Features) float64 { return f.LowEnvCorr }); err != nil {
-		return err
-	}
-	fmt.Fprintln(w, "shape check: attack recordings correlate with their own squared envelope.")
-	return nil
-}
-
-// ---- E11 ----
-
-func (s *Suite) runE11(w io.Writer) error {
-	svm, err := s.classifier()
-	if err != nil {
-		return err
-	}
-	lr, err := defense.TrainLogistic(s.train, 0.5, 400)
-	if err != nil {
-		return err
-	}
-	evalModel := func(name string, predict func([]float64) bool, score func([]float64) float64) {
+// modelTable evaluates one trained detector over the held-out test set
+// on the pool and builds its metrics table.
+func (s *Suite) modelTable(name string, predict func([]float64) bool, score func([]float64) float64) TableFunc {
+	return func() (*Table, error) {
 		pred := make([]bool, len(s.test))
 		truth := make([]bool, len(s.test))
 		scores := make([]float64, len(s.test))
@@ -752,186 +344,8 @@ func (s *Suite) runE11(w io.Writer) error {
 			Columns: []string{"accuracy", "precision", "recall", "f1", "fp", "fn", "auc"},
 		}
 		t.AddRow(m.Accuracy, m.Precision, m.Recall, m.F1, m.FP, m.FN, auc)
-		t.Render(w)
+		return t, nil
 	}
-	evalModel("linear SVM", svm.Predict, svm.Score)
-	evalModel("logistic regression", lr.Predict, lr.Probability)
-
-	// Feature ablation: how discriminative is each feature alone? AUC of
-	// the raw feature value as a score over all corpus recordings
-	// (orientation-corrected, so 0.5 = useless, 1.0 = perfect).
-	ta := &Table{
-		Title:   "E11b single-feature AUC (ablation)",
-		Columns: []string{"feature", "auc"},
-	}
-	all := append(append([]defense.Sample{}, s.train...), s.test...)
-	names := defense.FeatureNames()
-	aucs := make([]float64, len(names))
-	s.runner.Each(len(names), func(i int) {
-		var scores []float64
-		var truth []bool
-		for _, smp := range all {
-			scores = append(scores, smp.X[i])
-			truth = append(truth, smp.Attack)
-		}
-		auc := defense.AUC(defense.ROC(scores, truth))
-		if auc < 0.5 {
-			auc = 1 - auc
-		}
-		aucs[i] = auc
-	})
-	for i, name := range names {
-		ta.AddRow(name, aucs[i])
-	}
-	ta.Render(w)
-	fmt.Fprintln(w, "shape check: near-perfect separation (paper reports ~99% accuracy);")
-	fmt.Fprintln(w, "the noise-subtracted trace/high-band features carry most of the signal.")
-	return nil
-}
-
-// ---- E12 ----
-
-func (s *Suite) runE12(w io.Writer) error {
-	svm, err := s.classifier()
-	if err != nil {
-		return err
-	}
-	s.fixtures()
-	t := &Table{
-		Title:   "E12 defense false-positive rate across benign conditions",
-		Columns: []string{"condition", "n", "false_positive_rate"},
-	}
-	trials := s.trials(3)
-	conditions := []struct {
-		name    string
-		ambient float64
-		spl     float64
-		profile voice.Profile
-		dist    float64
-	}{
-		{"quiet room, normal voice", 35, 66, voice.DefaultVoice(), 2},
-		{"noisy room (50 dB)", 50, 66, voice.DefaultVoice(), 2},
-		{"loud close talker", 40, 76, voice.DefaultVoice(), 1},
-		{"female talker", 40, 66, voice.Profiles()[2], 2},
-		{"child talker", 40, 66, voice.Profiles()[4], 2},
-		{"distant quiet talker", 40, 60, voice.DefaultVoice(), 3.5},
-	}
-	fpRates := make([][2]int, len(conditions)) // {false positives, n}
-	s.runner.Each(len(conditions), func(ci int) {
-		c := conditions[ci]
-		sc := s.scenario()
-		sc.AmbientSPL = c.ambient
-		fp, n := 0, 0
-		for _, id := range []string{"photo", "music"} {
-			cmd, _ := voice.FindCommand(id)
-			sig := voice.MustSynthesize(cmd.Text, c.profile, 48000)
-			e := sc.EmitVoice(sig, c.spl)
-			specs := make([]TrialSpec, trials)
-			for tr := range specs {
-				specs[tr] = TrialSpec{Scenario: sc, Emission: e, Distance: c.dist, Trial: int64(100 + tr)}
-			}
-			for _, res := range s.runner.Run(specs, func(_ TrialSpec, run *core.RunResult) float64 {
-				if svm.Predict(defense.Extract(run.Recording).Vector()) {
-					return 1
-				}
-				return 0
-			}) {
-				if res.Value > 0 {
-					fp++
-				}
-				n++
-			}
-		}
-		fpRates[ci] = [2]int{fp, n}
-	})
-	for ci, c := range conditions {
-		fp, n := fpRates[ci][0], fpRates[ci][1]
-		t.AddRow(c.name, n, float64(fp)/float64(n))
-	}
-	t.Render(w)
-	fmt.Fprintln(w, "shape check: false positives stay rare across talkers, loudness and noise.")
-	return nil
-}
-
-// ---- E13 ----
-
-func (s *Suite) runE13(w io.Writer) error {
-	svm, err := s.classifier()
-	if err != nil {
-		return err
-	}
-	thr, err := defense.CalibrateThresholds(s.train)
-	if err != nil {
-		return err
-	}
-	s.fixtures()
-	sc := s.scenario()
-	errsGrid := []float64{0, 0.1, 0.25, 0.5, 1.0}
-	if s.Opt.Quick {
-		errsGrid = []float64{0, 0.5, 1.0}
-	}
-	trials := s.trials(5)
-	t := &Table{
-		Title:   "E13 adaptive attacker: trace cancellation vs detection",
-		Columns: []string{"est_error", "trace_snr", "high_snr", "svm_detect", "threshold_detect", "asr_success"},
-	}
-	type e13Trial struct {
-		trace, high    float64
-		svm, thr, succ bool
-	}
-	rows, err := s.parallelRows(len(errsGrid), func(i int) ([]interface{}, error) {
-		eps := errsGrid[i]
-		o := attack.DefaultAdaptiveOptions()
-		o.EstimationError = eps
-		drive, err := attack.AdaptiveBaseline(s.cmdSig, o)
-		if err != nil {
-			return nil, err
-		}
-		em := speaker.FostexTweeter().Emit(drive, 18.7)
-		e := &core.Emission{Field: em}
-		res := make([]e13Trial, trials)
-		s.runner.Each(trials, func(tr int) {
-			r := sc.Deliver(e, 2, int64(200+tr))
-			f := defense.Extract(r.Recording)
-			res[tr] = e13Trial{
-				trace: f.TraceSNR,
-				high:  f.HighSNR,
-				svm:   svm.Predict(f.Vector()),
-				thr:   thr.Predict(f.Vector()),
-				succ:  s.rec.InjectionSuccess(r.Recording, s.command.ID),
-			}
-		})
-		detSVM, detThr, succ := 0, 0, 0
-		var traceSum, highSum float64
-		for _, tr := range res {
-			traceSum += tr.trace
-			highSum += tr.high
-			if tr.svm {
-				detSVM++
-			}
-			if tr.thr {
-				detThr++
-			}
-			if tr.succ {
-				succ++
-			}
-		}
-		return []interface{}{eps, traceSum / float64(trials), highSum / float64(trials),
-			float64(detSVM) / float64(trials), float64(detThr) / float64(trials),
-			float64(succ) / float64(trials)}, nil
-	})
-	if err != nil {
-		return err
-	}
-	for _, row := range rows {
-		t.AddRow(row...)
-	}
-	t.Render(w)
-	fmt.Fprintln(w, "shape check: cancelling the low band cannot remove the high-band m^2")
-	fmt.Fprintln(w, "residue. The per-feature threshold detector (which cannot trade one")
-	fmt.Fprintln(w, "feature against another) keeps firing even for an oracle attacker;")
-	fmt.Fprintln(w, "a small-corpus SVM may under-weight the high band (train full-size).")
-	return nil
 }
 
 // firstError returns the first non-nil error of a per-cell error slice,
@@ -943,19 +357,6 @@ func firstError(errs []error) error {
 		}
 	}
 	return nil
-}
-
-// parallelRows evaluates n table rows on the suite's pool, preserving
-// row order; on failure it reports the lowest-index error, matching the
-// abort order of the serial loop it replaces.
-func (s *Suite) parallelRows(n int, cell func(int) ([]interface{}, error)) ([][]interface{}, error) {
-	rows := make([][]interface{}, n)
-	errs := make([]error, n)
-	s.runner.Each(n, func(i int) { rows[i], errs[i] = cell(i) })
-	if err := firstError(errs); err != nil {
-		return nil, err
-	}
-	return rows, nil
 }
 
 // ---- misc ----

@@ -1,0 +1,332 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+)
+
+// This file is the declarative sweep engine behind the E1-E13 suite and
+// the spec-driven custom experiments: an experiment body is data — named
+// Axis grids, a Cell evaluator and an optional row Reduce — instead of a
+// hand-rolled loop nest. The engine owns the fan-out (every grid cell
+// runs on the suite's worker pool), the deterministic assembly order and
+// the table rendering, so all thirteen experiments and any user-supplied
+// sweep share one implementation of "evaluate a grid, build a table".
+
+// Row is one table row before formatting.
+type Row []interface{}
+
+// Axis is one named dimension of a sweep grid.
+type Axis struct {
+	Name   string
+	Values []interface{}
+}
+
+// FloatAxis builds an axis over float64 values.
+func FloatAxis(name string, vals ...float64) Axis {
+	a := Axis{Name: name, Values: make([]interface{}, len(vals))}
+	for i, v := range vals {
+		a.Values[i] = v
+	}
+	return a
+}
+
+// IntAxis builds an axis over int values.
+func IntAxis(name string, vals ...int) Axis {
+	a := Axis{Name: name, Values: make([]interface{}, len(vals))}
+	for i, v := range vals {
+		a.Values[i] = v
+	}
+	return a
+}
+
+// StrAxis builds an axis over string values.
+func StrAxis(name string, vals ...string) Axis {
+	a := Axis{Name: name, Values: make([]interface{}, len(vals))}
+	for i, v := range vals {
+		a.Values[i] = v
+	}
+	return a
+}
+
+// ValueAxis builds an axis over arbitrary values (device constructors,
+// attack kinds, setup structs).
+func ValueAxis(name string, vals ...interface{}) Axis {
+	return Axis{Name: name, Values: vals}
+}
+
+// RangeAxis builds a float axis over the inclusive range start..stop in
+// the given step (the `-sweep distance=1:15:1` grammar).
+func RangeAxis(name string, start, stop, step float64) (Axis, error) {
+	if step <= 0 {
+		return Axis{}, fmt.Errorf("experiment: axis %s: non-positive step %v", name, step)
+	}
+	if stop < start {
+		return Axis{}, fmt.Errorf("experiment: axis %s: stop %v before start %v", name, stop, start)
+	}
+	n := int((stop-start)/step+1e-9) + 1
+	if n > 100_000 {
+		return Axis{}, fmt.Errorf("experiment: axis %s: %d points is too many", name, n)
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = start + float64(i)*step
+	}
+	return FloatAxis(name, vals...), nil
+}
+
+// Len reports the number of grid values on the axis.
+func (a Axis) Len() int { return len(a.Values) }
+
+// Point is one cell of a sweep's cartesian grid: an index into every
+// axis, with typed accessors by axis name.
+type Point struct {
+	axes []Axis
+	idx  []int
+}
+
+// Value returns the point's value on the named axis.
+func (p Point) Value(name string) interface{} {
+	for i, a := range p.axes {
+		if a.Name == name {
+			return a.Values[p.idx[i]]
+		}
+	}
+	panic(fmt.Sprintf("experiment: point has no axis %q", name))
+}
+
+// Ordinal returns the point's index along the named axis.
+func (p Point) Ordinal(name string) int {
+	for i, a := range p.axes {
+		if a.Name == name {
+			return p.idx[i]
+		}
+	}
+	panic(fmt.Sprintf("experiment: point has no axis %q", name))
+}
+
+// Float returns the named axis value as a float64.
+func (p Point) Float(name string) float64 { return p.Value(name).(float64) }
+
+// Int returns the named axis value as an int.
+func (p Point) Int(name string) int { return p.Value(name).(int) }
+
+// Str returns the named axis value as a string.
+func (p Point) Str(name string) string { return p.Value(name).(string) }
+
+// gridPoints enumerates the cartesian product of axes in row-major order:
+// the last axis varies fastest, so all cells sharing a first-axis value
+// are contiguous (the property PivotFirst relies on).
+func gridPoints(axes []Axis) []Point {
+	n := 1
+	for _, a := range axes {
+		n *= a.Len()
+	}
+	if len(axes) == 0 || n == 0 {
+		return nil
+	}
+	pts := make([]Point, n)
+	idx := make([]int, len(axes))
+	for i := 0; i < n; i++ {
+		pts[i] = Point{axes: axes, idx: append([]int(nil), idx...)}
+		for d := len(axes) - 1; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < axes[d].Len() {
+				break
+			}
+			idx[d] = 0
+		}
+	}
+	return pts
+}
+
+// Sweep is a declarative grid experiment: the cartesian product of Axes
+// is evaluated by Cell on the suite's worker pool, and the results are
+// assembled into one Table in deterministic grid order.
+type Sweep struct {
+	// Title and Columns shape the output table.
+	Title   string
+	Columns []string
+	// Axes are the swept dimensions; the grid is their cartesian product.
+	Axes []Axis
+	// Prologue computes rows prepended before the grid rows (reference
+	// conditions computed outside the grid, e.g. E3's single speaker).
+	Prologue func() ([]Row, error)
+	// Cell evaluates one grid point. Cells run concurrently on the pool
+	// and must confine writes to their own state.
+	Cell func(p Point) (Row, error)
+	// Reduce assembles the table rows from every cell result (cells
+	// arrive in grid order). nil emits one row per cell as-is.
+	Reduce func(cells []Row) ([]Row, error)
+	// Notes are shape-check lines printed after the table.
+	Notes []string
+}
+
+// PivotFirst returns a Reduce that groups cells by the first axis: one
+// output row per first-axis value, holding that value, the grouped cells'
+// fields flattened in grid order, then tail's trailing columns (nil tail
+// appends nothing). It is the standard shape of the paper's
+// success-vs-distance and range-vs-power tables.
+func PivotFirst(axes []Axis, tail func(rowVal interface{}) Row) func([]Row) ([]Row, error) {
+	return func(cells []Row) ([]Row, error) {
+		if len(axes) == 0 {
+			return nil, fmt.Errorf("experiment: PivotFirst needs at least one axis")
+		}
+		rowN := axes[0].Len()
+		if rowN == 0 || len(cells)%rowN != 0 {
+			return nil, fmt.Errorf("experiment: PivotFirst: %d cells do not divide into %d rows", len(cells), rowN)
+		}
+		group := len(cells) / rowN
+		rows := make([]Row, 0, rowN)
+		for ri, rv := range axes[0].Values {
+			row := Row{rv}
+			for _, cell := range cells[ri*group : (ri+1)*group] {
+				row = append(row, cell...)
+			}
+			if tail != nil {
+				row = append(row, tail(rv)...)
+			}
+			rows = append(rows, row)
+		}
+		return rows, nil
+	}
+}
+
+// Table evaluates the sweep on the runner: all cells fan out across the
+// pool, rows assemble in grid order. The result is byte-identical for
+// any pool size because cells are pure functions of their point.
+func (sw Sweep) Table(r *Runner) (*Table, error) {
+	pts := gridPoints(sw.Axes)
+	cells := make([]Row, len(pts))
+	errs := make([]error, len(pts))
+	r.Each(len(pts), func(i int) { cells[i], errs[i] = sw.Cell(pts[i]) })
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	t := &Table{Title: sw.Title, Columns: sw.Columns}
+	if sw.Prologue != nil {
+		rows, err := sw.Prologue()
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			t.AddRow(row...)
+		}
+	}
+	rows := cells
+	if sw.Reduce != nil {
+		var err error
+		if rows, err = sw.Reduce(cells); err != nil {
+			return nil, err
+		}
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// ---- experiment sections and reports ----
+
+// Section is one renderable unit of an experiment definition: a Sweep, a
+// computed TableFunc, or a Note line.
+type Section interface{ section() }
+
+func (Sweep) section() {}
+
+// TableFunc computes a table outside the grid model (classifier
+// evaluations, feature distributions); the fan-out it needs lives in
+// shared helpers, not in experiment bodies.
+type TableFunc func() (*Table, error)
+
+func (TableFunc) section() {}
+
+// Note is one shape-check line of an experiment report.
+type Note string
+
+func (Note) section() {}
+
+// ReportItem is one rendered unit of a Report: a table or a note line.
+type ReportItem struct {
+	Table *Table `json:"table,omitempty"`
+	Note  string `json:"note,omitempty"`
+}
+
+// Report is a fully evaluated experiment: its tables and notes in render
+// order, plus the trial-cache traffic the evaluation generated.
+type Report struct {
+	ID    string       `json:"id"`
+	Desc  string       `json:"desc"`
+	Items []ReportItem `json:"items"`
+	// CacheHits and CacheMisses count the suite cache's traffic during
+	// this experiment's evaluation (0/0 when the suite has no cache).
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+}
+
+// Render writes the report as aligned text, byte-identical to the
+// pre-sweep hand-rolled experiment output.
+func (r *Report) Render(w io.Writer) {
+	for _, it := range r.Items {
+		if it.Table != nil {
+			it.Table.Render(w)
+			continue
+		}
+		fmt.Fprintln(w, it.Note)
+	}
+}
+
+// CSV writes every table of the report as comma-separated values, each
+// preceded by a `# title` comment line.
+func (r *Report) CSV(w io.Writer) {
+	for _, it := range r.Items {
+		if it.Table == nil {
+			continue
+		}
+		if it.Table.Title != "" {
+			fmt.Fprintf(w, "# %s\n", it.Table.Title)
+		}
+		it.Table.CSV(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// Tables returns the report's tables in render order.
+func (r *Report) Tables() []*Table {
+	var ts []*Table
+	for _, it := range r.Items {
+		if it.Table != nil {
+			ts = append(ts, it.Table)
+		}
+	}
+	return ts
+}
+
+// evalSections evaluates an experiment's sections in order into a report.
+func (s *Suite) evalSections(id string, secs []Section) (*Report, error) {
+	rep := &Report{ID: id, Desc: Describe(id)}
+	for _, sec := range secs {
+		switch x := sec.(type) {
+		case Sweep:
+			t, err := x.Table(s.runner)
+			if err != nil {
+				return nil, err
+			}
+			rep.Items = append(rep.Items, ReportItem{Table: t})
+			for _, n := range x.Notes {
+				rep.Items = append(rep.Items, ReportItem{Note: n})
+			}
+		case TableFunc:
+			t, err := x()
+			if err != nil {
+				return nil, err
+			}
+			rep.Items = append(rep.Items, ReportItem{Table: t})
+		case Note:
+			rep.Items = append(rep.Items, ReportItem{Note: string(x)})
+		default:
+			return nil, fmt.Errorf("experiment: unknown section type %T", sec)
+		}
+	}
+	return rep, nil
+}

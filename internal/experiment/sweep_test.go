@@ -1,0 +1,202 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"inaudible/internal/sim"
+)
+
+func TestGridPointsOrder(t *testing.T) {
+	axes := []Axis{FloatAxis("d", 1, 2), StrAxis("k", "a", "b", "c")}
+	pts := gridPoints(axes)
+	if len(pts) != 6 {
+		t.Fatalf("%d points, want 6", len(pts))
+	}
+	// Last axis varies fastest; first-axis groups are contiguous.
+	want := []struct {
+		d float64
+		k string
+	}{{1, "a"}, {1, "b"}, {1, "c"}, {2, "a"}, {2, "b"}, {2, "c"}}
+	for i, w := range want {
+		if pts[i].Float("d") != w.d || pts[i].Str("k") != w.k {
+			t.Errorf("point %d = (%v, %v), want (%v, %v)",
+				i, pts[i].Float("d"), pts[i].Str("k"), w.d, w.k)
+		}
+	}
+	if pts[4].Ordinal("k") != 1 || pts[4].Ordinal("d") != 1 {
+		t.Errorf("ordinals of point 4: k=%d d=%d", pts[4].Ordinal("k"), pts[4].Ordinal("d"))
+	}
+	if gridPoints(nil) != nil {
+		t.Error("empty axes should produce no points")
+	}
+}
+
+func TestRangeAxis(t *testing.T) {
+	a, err := RangeAxis("d", 1, 15, 1)
+	if err != nil || a.Len() != 15 || a.Values[14] != 15.0 {
+		t.Fatalf("1:15:1 -> %v (err %v)", a.Values, err)
+	}
+	a, err = RangeAxis("d", 0.5, 2, 0.5)
+	if err != nil || a.Len() != 4 || a.Values[3] != 2.0 {
+		t.Fatalf("0.5:2:0.5 -> %v (err %v)", a.Values, err)
+	}
+	if _, err := RangeAxis("d", 1, 5, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := RangeAxis("d", 5, 1, 1); err == nil {
+		t.Error("reversed range accepted")
+	}
+}
+
+func TestSweepTablePivotAndPrologue(t *testing.T) {
+	axes := []Axis{FloatAxis("row", 10, 20), IntAxis("col", 1, 2)}
+	sw := Sweep{
+		Title:   "pivot",
+		Columns: []string{"row", "c1", "c2", "tail"},
+		Axes:    axes,
+		Prologue: func() ([]Row, error) {
+			return []Row{{"ref", 0, 0, 0}}, nil
+		},
+		Cell: func(p Point) (Row, error) {
+			return Row{p.Float("row") + float64(p.Int("col"))}, nil
+		},
+		Reduce: PivotFirst(axes, func(rowVal interface{}) Row {
+			return Row{rowVal.(float64) * 100}
+		}),
+	}
+	tb, err := sw.Table(NewRunner(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows: %v", tb.Rows)
+	}
+	if tb.Rows[0][0] != "ref" {
+		t.Errorf("prologue row first: %v", tb.Rows[0])
+	}
+	if got := tb.Rows[1]; got[0] != "10" || got[1] != "11" || got[2] != "12" || got[3] != "1000" {
+		t.Errorf("pivot row 10: %v", got)
+	}
+	if got := tb.Rows[2]; got[0] != "20" || got[1] != "21" || got[2] != "22" || got[3] != "2000" {
+		t.Errorf("pivot row 20: %v", got)
+	}
+}
+
+func TestSweepTableCellError(t *testing.T) {
+	boom := errors.New("boom")
+	sw := Sweep{
+		Axes: []Axis{IntAxis("i", 0, 1, 2)},
+		Cell: func(p Point) (Row, error) {
+			if p.Int("i") >= 1 {
+				return nil, boom
+			}
+			return Row{p.Int("i")}, nil
+		},
+	}
+	if _, err := sw.Table(NewRunner(2)); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestPivotFirstShapeError(t *testing.T) {
+	axes := []Axis{FloatAxis("row", 1, 2, 3)}
+	if _, err := PivotFirst(axes, nil)([]Row{{1}, {2}}); err == nil {
+		t.Error("2 cells into 3 rows accepted")
+	}
+}
+
+func TestReportRenderAndCSV(t *testing.T) {
+	tb := &Table{Title: "t1", Columns: []string{"a"}}
+	tb.AddRow(1)
+	rep := &Report{ID: "X", Items: []ReportItem{{Table: tb}, {Note: "a note"}}}
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	if !strings.Contains(buf.String(), "== t1 ==") || !strings.Contains(buf.String(), "a note") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+	buf.Reset()
+	rep.CSV(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "# t1") || !strings.Contains(out, "a\n1") || strings.Contains(out, "a note") {
+		t.Fatalf("csv:\n%s", out)
+	}
+	if len(rep.Tables()) != 1 {
+		t.Fatalf("tables: %v", rep.Tables())
+	}
+}
+
+func TestParseSweepAxis(t *testing.T) {
+	a, err := ParseSweepAxis("distance=1:3:1")
+	if err != nil || a.Name != "distance" || a.Len() != 3 {
+		t.Fatalf("range parse: %+v err=%v", a, err)
+	}
+	a, err = ParseSweepAxis("power=10, 40")
+	if err != nil || a.Len() != 2 || a.Values[1] != 40.0 {
+		t.Fatalf("list parse: %+v err=%v", a, err)
+	}
+	a, err = ParseSweepAxis("device=phone,echo")
+	if err != nil || a.Values[0] != "phone" {
+		t.Fatalf("device parse: %+v err=%v", a, err)
+	}
+	for _, bad := range []string{"", "distance", "nope=1:2:1", "distance=1:2", "distance=x:y:z"} {
+		if _, err := ParseSweepAxis(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+	if _, err := ParseSweepAxes(nil); err == nil {
+		t.Error("empty axis list accepted")
+	}
+}
+
+func TestSpecFieldSetters(t *testing.T) {
+	sp := &sim.Spec{}
+	cases := map[string]interface{}{
+		"distance": 3.5, "move_to": 1.5, "power": 40.0, "voice_spl": 66.0,
+		"carrier": 31000.0, "segments": 15, "ambient": 45.0, "seed": 9,
+		"device": "echo",
+	}
+	for name, v := range cases {
+		if err := specFields[name](sp, v); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if sp.Path.DistanceM != 3.5 || sp.Path.MoveToM != 1.5 || sp.Attack.PowerW != 40 ||
+		sp.Attack.VoiceSPL != 66 || sp.Attack.CarrierHz != 31000 || sp.Attack.Segments != 15 ||
+		sp.AmbientSPL != 45 || sp.Seed != 9 || sp.Device != "echo" {
+		t.Fatalf("spec after setters: %+v", sp)
+	}
+	if err := specFields["device"](sp, 3.0); err == nil {
+		t.Error("numeric device accepted")
+	}
+	if err := specFields["power"](sp, "x"); err == nil {
+		t.Error("string power accepted")
+	}
+	for _, name := range SweepFields() {
+		if _, ok := specFields[name]; !ok {
+			t.Errorf("SweepFields lists unknown field %s", name)
+		}
+	}
+}
+
+func TestIDsExplicitOrder(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 13 || ids[0] != "E1" || ids[9] != "E10" || ids[12] != "E13" {
+		t.Fatalf("ids: %v", ids)
+	}
+	for _, id := range ids {
+		if _, ok := registry[id]; !ok {
+			t.Errorf("run order lists unregistered id %s", id)
+		}
+	}
+	if len(ids) != len(registry) {
+		t.Errorf("run order has %d ids, registry %d", len(ids), len(registry))
+	}
+	// IDs returns a copy — mutating it must not corrupt the order.
+	ids[0] = "corrupted"
+	if IDs()[0] != "E1" {
+		t.Error("IDs exposes internal state")
+	}
+}

@@ -112,13 +112,123 @@ type GuardSpec struct {
 	KeepRecording bool `json:"keep_recording,omitempty"`
 }
 
-// ParseSpec decodes a JSON scenario.
+// ParseSpec decodes a JSON scenario and rejects hostile parameter
+// values (see Validate).
 func ParseSpec(data []byte) (*Spec, error) {
 	var sp Spec
 	if err := json.Unmarshal(data, &sp); err != nil {
 		return nil, fmt.Errorf("sim: parsing spec: %w", err)
 	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
 	return &sp, nil
+}
+
+// Validation bounds: generous for every physical scenario, tight enough
+// that a hostile spec cannot demand absurd allocations or poison the
+// pipeline with non-finite values.
+const (
+	maxSpecTextLen    = 1 << 12
+	maxSpecSegments   = 1 << 12
+	maxSpecTaps       = 64
+	maxSpecSchedule   = 1 << 12
+	maxSpecBlock      = 1 << 22
+	maxSpecPowerW     = 1e6
+	maxSpecSPL        = 194 // the loudest undistorted sound in air
+	maxSpecDistanceM  = 1e4
+	maxSpecCarrierHz  = 1e6
+	maxSpecRoomM      = 1e3
+	maxSpecEmitEveryS = 1e4
+)
+
+// finite reports whether every value is a finite float.
+func finite(vals ...float64) bool {
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate rejects specs whose parameters are non-finite, negative
+// where a magnitude is required, or large enough to be hostile (huge
+// element counts, absurd block sizes). Build validates automatically;
+// callers feeding untrusted JSON get a typed error instead of a panic
+// or a runaway allocation.
+func (sp *Spec) Validate() error {
+	fail := func(field string, v interface{}) error {
+		return fmt.Errorf("sim: invalid spec: %s = %v", field, v)
+	}
+	if len(sp.Text) > maxSpecTextLen {
+		return fail("text length", len(sp.Text))
+	}
+	a := sp.Attack
+	if !finite(a.PowerW, a.VoiceSPL, a.CarrierHz) || a.PowerW < 0 || a.PowerW > maxSpecPowerW {
+		return fail("attack.power_w", a.PowerW)
+	}
+	if a.VoiceSPL < 0 || a.VoiceSPL > maxSpecSPL {
+		return fail("attack.voice_spl", a.VoiceSPL)
+	}
+	if a.CarrierHz < 0 || a.CarrierHz > maxSpecCarrierHz {
+		return fail("attack.carrier_hz", a.CarrierHz)
+	}
+	if a.Segments < 0 || a.Segments > maxSpecSegments {
+		return fail("attack.segments", a.Segments)
+	}
+	if len(a.ScheduleDB) > maxSpecSchedule {
+		return fail("attack.schedule_db length", len(a.ScheduleDB))
+	}
+	for _, pt := range a.ScheduleDB {
+		if !finite(pt.AtSeconds, pt.GainDB) {
+			return fail("attack.schedule_db point", pt)
+		}
+	}
+	p := sp.Path
+	if !finite(p.DistanceM, p.MoveToM) || p.DistanceM < 0 || p.DistanceM > maxSpecDistanceM {
+		return fail("path.distance_m", p.DistanceM)
+	}
+	if p.MoveToM < 0 || p.MoveToM > maxSpecDistanceM {
+		return fail("path.move_to_m", p.MoveToM)
+	}
+	if len(p.ExtraTapsM) > maxSpecTaps {
+		return fail("path.extra_taps_m length", len(p.ExtraTapsM))
+	}
+	for _, d := range p.ExtraTapsM {
+		if !finite(d) || d <= 0 || d > maxSpecDistanceM {
+			return fail("path.extra_taps_m entry", d)
+		}
+	}
+	if r := p.Room; r != nil {
+		if !finite(r.LxM, r.LyM, r.LzM) || r.LxM <= 0 || r.LyM <= 0 || r.LzM <= 0 ||
+			r.LxM > maxSpecRoomM || r.LyM > maxSpecRoomM || r.LzM > maxSpecRoomM {
+			return fail("path.room dimensions", [3]float64{r.LxM, r.LyM, r.LzM})
+		}
+		if !finite(r.Reflection) || r.Reflection < 0 || r.Reflection >= 1 {
+			return fail("path.room.reflection", r.Reflection)
+		}
+		if len(r.ExtraMics) > maxSpecTaps {
+			return fail("path.room.extra_mics length", len(r.ExtraMics))
+		}
+		positions := append([][3]float64{r.Attacker, r.Victim}, r.ExtraMics...)
+		for _, pos := range positions {
+			if !finite(pos[0], pos[1], pos[2]) ||
+				pos[0] < 0 || pos[0] > r.LxM || pos[1] < 0 || pos[1] > r.LyM || pos[2] < 0 || pos[2] > r.LzM {
+				return fail("path.room position", pos)
+			}
+		}
+	}
+	if !finite(sp.AmbientSPL) || sp.AmbientSPL < 0 || sp.AmbientSPL > maxSpecSPL {
+		return fail("ambient_spl", sp.AmbientSPL)
+	}
+	if sp.BlockSamples < 0 || sp.BlockSamples > maxSpecBlock {
+		return fail("block_samples", sp.BlockSamples)
+	}
+	if g := sp.Guard.EmitEverySeconds; !finite(g) || g > maxSpecEmitEveryS {
+		return fail("guard.emit_every_s", g)
+	}
+	return nil
 }
 
 // LoadSpec reads a JSON scenario from disk.
@@ -193,6 +303,9 @@ type Sim struct {
 // Build compiles the spec against a trained (or calibrated) detector.
 // The detector is shared across all tap guards.
 func (sp *Spec) Build(det defense.Detector) (*Sim, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
 	if det == nil {
 		det = defense.DemoThresholds()
 	}

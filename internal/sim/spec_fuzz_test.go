@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzSpecLoader hardens the declarative-scenario loader against hostile
+// JSON, mirroring FuzzWAVReader for the WAV decoder: whatever the bytes,
+// ParseSpec must return a spec or an error — never panic — and any spec
+// it accepts must satisfy its own validation contract (finite, bounded
+// parameters), so downstream Build cannot be driven into runaway
+// allocations or NaN-poisoned filters.
+func FuzzSpecLoader(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`not json at all`,
+		`{"text":"ok google, take a picture","attack":{"kind":"baseline","power_w":18.7},"path":{"distance_m":3}}`,
+		`{"text":"alexa, play music","attack":{"kind":"longrange","power_w":300,"segments":60},"path":{"distance_m":7.6,"extra_taps_m":[2,4]}}`,
+		`{"attack":{"kind":"voice","voice_spl":66},"path":{"room":{"lx_m":6,"ly_m":4,"lz_m":3,"reflection":0.5,"attacker":[1,1,1],"victim":[5,3,1.5]}}}`,
+		// Hostile parameter values.
+		`{"attack":{"kind":"baseline","power_w":1e308},"path":{"distance_m":3}}`,
+		`{"attack":{"kind":"longrange","segments":2147483647},"path":{"distance_m":3}}`,
+		`{"attack":{"kind":"baseline","power_w":-5},"path":{"distance_m":3}}`,
+		`{"attack":{"kind":"baseline"},"path":{"distance_m":-1}}`,
+		`{"path":{"distance_m":3},"block_samples":1073741824}`,
+		`{"path":{"distance_m":3},"ambient_spl":4e38}`,
+		`{"attack":{"kind":"baseline","schedule_db":[{"at_s":1e308,"gain_db":-1e308}]},"path":{"distance_m":3}}`,
+		`{"path":{"room":{"lx_m":1e308,"ly_m":-4,"lz_m":3,"reflection":1.5}}}`,
+		`{"text":"` + strings.Repeat("a", 10000) + `","path":{"distance_m":3}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if sp == nil {
+			t.Fatal("ParseSpec returned nil spec without error")
+		}
+		// A spec that survived parsing must satisfy its own contract.
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("parsed spec fails Validate: %v", err)
+		}
+		if sp.Attack.Segments > maxSpecSegments || len(sp.Text) > maxSpecTextLen {
+			t.Fatalf("validated spec exceeds bounds: segments=%d text=%d", sp.Attack.Segments, len(sp.Text))
+		}
+	})
+}

@@ -18,20 +18,22 @@ go build ./...
 echo "==> go vet"
 go vet ./...
 
-echo "==> go test -race -short (runner + kernel race coverage)"
+echo "==> go test -race -short (runner + cache + kernel race coverage)"
 go test -race -short -timeout 20m ./...
 
 echo "==> go test -race (streaming guard: 8 concurrent sessions + server)"
-go test -race -timeout 20m ./internal/stream ./internal/experiment
+go test -race -timeout 20m ./internal/stream
 
-echo "==> go test (full suite)"
-go test -timeout 30m ./...
+echo "==> go test (full suite, incl. E1-E13 golden cold/warm/parallel pins)"
+go test -timeout 40m ./...
 
-echo "==> fuzz smoke (WAV decoder)"
+echo "==> fuzz smoke (WAV decoder + spec loader)"
 go test ./internal/audio -run '^$' -fuzz FuzzWAVReader -fuzztime 10s
+go test ./internal/sim -run '^$' -fuzz FuzzSpecLoader -fuzztime 10s
 
-echo "==> short benchmarks (trial engine + FFT plan cache + stream guard + sim chain)"
+echo "==> short benchmarks (trial engine + sweep cache + FFT plan cache + stream guard + sim chain)"
 go test ./internal/experiment -run '^$' -bench 'E5Serial|E5Parallel' -benchtime 1x -timeout 30m
+go test ./internal/experiment -run '^$' -bench 'SuiteAllWarmCache|SweepCell' -benchtime 1x -timeout 40m
 go test ./internal/dsp -run '^$' -bench 'FFT4096|RFFT4096' -benchtime 100x
 go test . -run '^$' -bench 'StreamGuard|StreamFIRPush' -benchtime 200x -timeout 10m
 go test ./internal/sim -run '^$' -bench 'BenchmarkSimChain$' -benchtime 100x -timeout 10m
