@@ -1,43 +1,63 @@
 // Command guardd is the always-on streaming defense service: it trains
 // a detector on a simulated corpus once at start-up, then guards audio
 // sessions delivered over stdin or TCP, emitting JSON verdict lines.
+// Sessions are served by the sharded fleet core (internal/fleet):
+// admission control with backpressure or graceful degradation, shard
+// workers with session affinity, and zero-alloc per-frame processing.
 //
 // Each session is either a mono 16-bit PCM WAV stream (decoded
 // incrementally, never buffered whole) or length-prefixed PCM frames:
 // "GRD1" magic, uint32 LE sample rate, then [uint32 LE byte length |
 // int16 LE samples] chunks with a zero length ending the session. See
 // the protocol note in internal/stream/serve.go and the README's
-// "Streaming guard" section.
+// "Serving at scale" section.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: it stops
+// accepting connections, drains in-flight sessions (up to -drain),
+// flushes their final verdicts, and exits 0. A second signal, or the
+// drain deadline, force-aborts what remains.
 //
 // Usage:
 //
-//	guardd < session.wav                 # one stdin session
-//	guardd -listen :7654                 # one session per TCP connection
-//	guardd -detector threshold -quick    # fast start-up, threshold rule
+//	guardd < session.wav                    # one stdin session
+//	guardd -listen :7654                    # one session per TCP connection
+//	guardd -listen :7654 -metrics :8080     # + /metrics /varz /healthz
+//	guardd -detector threshold -quick       # fast start-up, threshold rule
+//	guardd -listen :7654 -max-sessions 64 -degrade
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"inaudible"
 	"inaudible/internal/experiment"
 	"inaudible/internal/stream"
+	"inaudible/internal/telemetry"
 )
 
 func main() {
 	var (
-		listen    = flag.String("listen", "", "TCP address to serve (empty: one session on stdin)")
-		detector  = flag.String("detector", "svm", "detector kind: "+strings.Join(experiment.DetectorKinds(), ", "))
-		quick     = flag.Bool("quick", false, "train on the Quick-suite corpus (faster start-up, smaller grid)")
-		seed      = flag.Int64("seed", 1, "corpus and training seed")
-		workers   = flag.Int("workers", 0, "max concurrent sessions (0: GOMAXPROCS)")
-		emitEvery = flag.Int("emit-every", 0, "interim verdict every N frames (0: final only)")
-		corrCap   = flag.Float64("corr-seconds", 0, "correlation memory cap per session in seconds (0: 60)")
+		listen      = flag.String("listen", "", "TCP address to serve (empty: one session on stdin)")
+		metricsAddr = flag.String("metrics", "", "HTTP address for /metrics, /varz and /healthz (empty: no exposition)")
+		detector    = flag.String("detector", "svm", "detector kind: "+strings.Join(experiment.DetectorKinds(), ", "))
+		quick       = flag.Bool("quick", false, "train on the Quick-suite corpus (faster start-up, smaller grid)")
+		seed        = flag.Int64("seed", 1, "corpus and training seed")
+		workers     = flag.Int("workers", 0, "deprecated alias of -max-sessions (0: GOMAXPROCS)")
+		maxSessions = flag.Int("max-sessions", 0, "full-service session cap (0: -workers/GOMAXPROCS, -1: unlimited)")
+		shards      = flag.Int("shards", 0, "serving shards / worker goroutines (0: GOMAXPROCS)")
+		degrade     = flag.Bool("degrade", false, "beyond the cap, serve sessions degraded (VAD + trace band) instead of queueing")
+		ringFrames  = flag.Int("ring-frames", 0, "per-session frame ring depth (0: 16)")
+		emitEvery   = flag.Int("emit-every", 0, "interim verdict every N frames (0: final only)")
+		corrCap     = flag.Float64("corr-seconds", 0, "correlation memory cap per session in seconds (0: 60)")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for in-flight sessions")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -53,12 +73,26 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "guardd: detector ready in %s\n", time.Since(start).Round(time.Millisecond))
 
+	reg := telemetry.NewRegistry()
 	srv := stream.NewServer(stream.ServerConfig{
 		Detector:       det,
 		Workers:        *workers,
+		MaxSessions:    *maxSessions,
+		Shards:         *shards,
+		Degrade:        *degrade,
+		RingFrames:     *ringFrames,
 		EmitEvery:      *emitEvery,
 		MaxCorrSeconds: *corrCap,
+		Metrics:        reg,
 	})
+
+	if *metricsAddr != "" {
+		ml, _, err := telemetry.ListenAndServe(*metricsAddr, reg)
+		if err != nil {
+			fatal("metrics: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "guardd: metrics on http://%s/metrics (also /varz, /healthz)\n", ml.Addr())
+	}
 
 	if *listen == "" {
 		if err := srv.ServeSession(os.Stdin, os.Stdout); err != nil {
@@ -70,10 +104,53 @@ func main() {
 	if err != nil {
 		fatal("listen: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "guardd: serving on %s with %d session slots\n", l.Addr(), srv.Workers())
-	if err := srv.ServeListener(l); err != nil {
+	fmt.Fprintf(os.Stderr, "guardd: serving on %s (%d shards, cap %s, degrade %v)\n",
+		l.Addr(), srv.Fleet().Shards(), capString(srv.Workers()), *degrade)
+
+	// Graceful shutdown: the first signal closes the listener, after
+	// which ServeListener returns once in-flight sessions drain. The
+	// drain deadline, or a second signal, force-aborts what remains
+	// (fleet sessions cut, stalled connections closed) so the daemon
+	// always exits promptly and cleanly.
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.ServeListener(l) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	forceAbort := func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // already expired: Shutdown force-aborts immediately
+		srv.Shutdown(ctx)
+	}
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "guardd: %s — draining in-flight sessions (deadline %s)...\n", sig, *drain)
+		l.Close()
+		timer := time.AfterFunc(*drain, forceAbort)
+		defer timer.Stop()
+		sig = <-sigc
+		fmt.Fprintf(os.Stderr, "guardd: %s again — aborting remaining sessions\n", sig)
+		forceAbort()
+	}()
+
+	if err := <-serveDone; err != nil {
 		fatal("serve: %v", err)
 	}
+	// Normal path: sessions drained while ServeListener waited; this
+	// stops the shard workers (idempotent after a force-abort).
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "guardd: drain incomplete: %v\n", err)
+	}
+	fmt.Fprintf(os.Stderr, "guardd: served %d sessions — bye\n", srv.Sessions())
+}
+
+func capString(n int) string {
+	if n == 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d sessions", n)
 }
 
 func fatal(format string, args ...interface{}) {

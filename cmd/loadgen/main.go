@@ -1,0 +1,713 @@
+// Command loadgen is the closed-loop workload driver for the guard
+// service: it synthesizes benign/attack session mixes with the
+// simulation chain, replays them over the real GRD1/WAV wire protocols
+// against a running guardd (-addr) or an in-process fleet server, and
+// measures verdict latency, throughput and classification outcomes. In
+// -capacity mode it searches for the maximum sustained concurrency
+// whose p99 final-verdict latency stays inside the SLO and reports
+// sessions/sec (total and per core) at that point.
+//
+// Workload shape:
+//
+//   - -attack sets the attack fraction of the session mix;
+//   - -session-seconds sets the audio length per session (payloads are
+//     tiled from simulated recordings);
+//   - -synth sim renders payloads through the PR 3 simulation chain
+//     (speaker drive -> air -> mic capture); -synth cheap uses fast
+//     closed-form signatures for smoke runs;
+//   - -sessions N drives N closed-loop clients back-to-back;
+//     -poisson R switches to open-loop Poisson arrivals at R/sec.
+//
+// Examples:
+//
+//	loadgen -synth cheap -detector demo -sessions 4 -duration 3s
+//	loadgen -addr 127.0.0.1:7654 -sessions 8 -attack 0.3
+//	loadgen -capacity -slo-ms 250 -json report.json
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/core"
+	"inaudible/internal/defense"
+	"inaudible/internal/experiment"
+	"inaudible/internal/stream"
+	"inaudible/internal/telemetry"
+	"inaudible/internal/voice"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "guardd TCP address (empty: serve in-process)")
+		detector    = flag.String("detector", "threshold", "in-process detector: demo (untrained), "+strings.Join(experiment.DetectorKinds(), ", "))
+		quick       = flag.Bool("quick", true, "train the in-process detector on the Quick corpus")
+		seed        = flag.Int64("seed", 1, "synthesis and mix seed")
+		synth       = flag.String("synth", "sim", "payload synthesis: sim (PR 3 chain) or cheap (closed-form)")
+		attackFrac  = flag.Float64("attack", 0.5, "attack fraction of the session mix [0, 1]")
+		sessionSecs = flag.Float64("session-seconds", 2, "audio seconds per session")
+		proto       = flag.String("proto", "grd1", "wire protocol: grd1, wav, or mixed")
+		sessions    = flag.Int("sessions", 4, "closed-loop client concurrency")
+		poisson     = flag.Float64("poisson", 0, "open-loop Poisson arrivals per second (0: closed loop)")
+		duration    = flag.Duration("duration", 5*time.Second, "measurement epoch length")
+		emitEvery   = flag.Int("emit-every", 0, "in-process server: interim verdict every N frames")
+		shards      = flag.Int("shards", 0, "in-process server: fleet shards (0: GOMAXPROCS)")
+		maxSess     = flag.Int("max-sessions", -1, "in-process server: full-service cap (-1: unlimited)")
+		degrade     = flag.Bool("degrade", false, "in-process server: degrade beyond the cap instead of queueing")
+		capacity    = flag.Bool("capacity", false, "search max concurrency meeting the p99 SLO, then report capacity")
+		sloMS       = flag.Float64("slo-ms", 500, "p99 final-verdict latency SLO in milliseconds")
+		jsonPath    = flag.String("json", "", "write the JSON report to this path (\"-\": stdout)")
+		quiet       = flag.Bool("quiet", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...interface{}) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+		}
+	}
+
+	logf("synthesizing %s payloads (%.1fs sessions, %.0f%% attack)...", *synth, *sessionSecs, 100**attackFrac)
+	start := time.Now()
+	payloads, err := buildPayloads(*synth, *seed, *sessionSecs, *attackFrac)
+	if err != nil {
+		fatal("synthesis: %v", err)
+	}
+	logf("%d payloads ready in %s", len(payloads), time.Since(start).Round(time.Millisecond))
+
+	target := *addr
+	var srv *stream.Server
+	var reg *telemetry.Registry
+	if target == "" {
+		reg = telemetry.NewRegistry()
+		det, err := buildDetector(*detector, *seed, *quick, logf)
+		if err != nil {
+			fatal("detector: %v", err)
+		}
+		srv = stream.NewServer(stream.ServerConfig{
+			Detector:    det,
+			MaxSessions: *maxSess,
+			Shards:      *shards,
+			Degrade:     *degrade,
+			EmitEvery:   *emitEvery,
+			Metrics:     reg,
+		})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal("listen: %v", err)
+		}
+		go srv.ServeListener(l)
+		defer func() {
+			l.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		}()
+		target = l.Addr().String()
+		logf("in-process server on %s (%d shards)", target, srv.Fleet().Shards())
+	}
+
+	gen := &generator{
+		target:      target,
+		payloads:    payloads,
+		proto:       *proto,
+		seed:        *seed,
+		attackFrac:  *attackFrac,
+		sessionSecs: *sessionSecs,
+	}
+	gen.buildPools()
+
+	report := Report{
+		Config: RunConfig{
+			Target:         *addr,
+			Synth:          *synth,
+			Proto:          *proto,
+			AttackFraction: *attackFrac,
+			SessionSeconds: *sessionSecs,
+			SLOP99MS:       *sloMS,
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		},
+	}
+
+	if *capacity {
+		report.Capacity = searchCapacity(gen, *duration, *sloMS, logf)
+	} else {
+		var ep Epoch
+		if *poisson > 0 {
+			ep = gen.runOpenLoop(*poisson, *duration)
+			logf("open loop %.1f/s for %s", *poisson, *duration)
+		} else {
+			ep = gen.runClosedLoop(*sessions, *duration)
+			logf("closed loop %d clients for %s", *sessions, *duration)
+		}
+		report.Epochs = append(report.Epochs, ep)
+	}
+
+	if srv != nil && reg != nil {
+		report.ServerMetrics = reg.Snapshot()
+	}
+	renderText(os.Stdout, &report)
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fatal("encoding report: %v", err)
+		}
+		out = append(out, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fatal("writing report: %v", err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Payload synthesis
+
+// payload is one replayable session: wire bytes per protocol plus its
+// ground-truth label.
+type payload struct {
+	attack bool
+	grd1   []byte
+	wav    []byte
+}
+
+// buildPayloads renders the benign/attack session mix. In sim mode the
+// attack payloads are full baseline-attack deliveries (ultrasound
+// emission, air propagation, non-linear capture) and the benign ones
+// are voice deliveries over the same chain; cheap mode uses the
+// closed-form demodulation signature for fast smoke runs.
+func buildPayloads(synth string, seed int64, sessionSecs, attackFrac float64) ([]payload, error) {
+	const rate = 48000.0
+	const variants = 2 // distinct recordings per class
+	var attacks, benigns []*audio.Signal
+	switch synth {
+	case "sim":
+		sc := core.DefaultScenario()
+		sc.Seed = seed
+		cmd := voice.MustSynthesize("ok google, take a picture", voice.DefaultVoice(), 48000)
+		for i := 0; i < variants; i++ {
+			_, run, err := sc.Simulate(cmd, core.KindBaseline, 20, 2, int64(i))
+			if err != nil {
+				return nil, fmt.Errorf("baseline attack: %w", err)
+			}
+			attacks = append(attacks, run.Recording)
+			em := sc.EmitVoice(cmd, 65)
+			benigns = append(benigns, sc.Deliver(em, 2, int64(100+i)).Recording)
+		}
+	case "cheap":
+		for i := int64(0); i < variants; i++ {
+			attacks = append(attacks, cheapSignal(rate, 1.0, seed+i, true))
+			benigns = append(benigns, cheapSignal(rate, 1.0, seed+100+i, false))
+		}
+	default:
+		return nil, fmt.Errorf("unknown -synth %q (want sim or cheap)", synth)
+	}
+
+	build := func(sig *audio.Signal, attack bool) (payload, error) {
+		tiled := tile(sig, sessionSecs)
+		var wav bytes.Buffer
+		if err := audio.WriteWAV(&wav, tiled); err != nil {
+			return payload{}, err
+		}
+		return payload{attack: attack, grd1: encodeGRD1(tiled), wav: wav.Bytes()}, nil
+	}
+	var out []payload
+	for _, sig := range attacks {
+		if attackFrac <= 0 {
+			break
+		}
+		p, err := build(sig, true)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	for _, sig := range benigns {
+		if attackFrac >= 1 {
+			break
+		}
+		p, err := build(sig, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// cheapSignal is the closed-form session generator: speech-band bursts,
+// with (attack) or without (benign) the quadratic demodulation copy the
+// defense detects.
+func cheapSignal(rate, seconds float64, seed int64, attack bool) *audio.Signal {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(rate * seconds)
+	x := make([]float64, n)
+	for i := range x {
+		t := float64(i) / rate
+		gate := 0.0
+		if math.Sin(2*math.Pi*3*t) > -0.3 {
+			gate = 1
+		}
+		env := gate * (0.6 + 0.4*math.Sin(2*math.Pi*5*t))
+		m := env * (math.Sin(2*math.Pi*300*t) + 0.5*math.Sin(2*math.Pi*1100*t))
+		if attack {
+			x[i] = 0.5*m + 0.25*m*m + 0.002*(rng.Float64()*2-1)
+		} else {
+			x[i] = 0.6*m + 0.004*(rng.Float64()*2-1)
+		}
+	}
+	return audio.FromSamples(rate, x)
+}
+
+// tile repeats sig to the requested duration.
+func tile(sig *audio.Signal, seconds float64) *audio.Signal {
+	want := int(sig.Rate * seconds)
+	if want <= 0 || sig.Len() == 0 {
+		return sig
+	}
+	out := make([]float64, want)
+	for off := 0; off < want; off += sig.Len() {
+		copy(out[off:], sig.Samples)
+	}
+	return audio.FromSamples(sig.Rate, out)
+}
+
+// encodeGRD1 frames sig in the length-prefixed PCM protocol, 960-sample
+// chunks.
+func encodeGRD1(sig *audio.Signal) []byte {
+	var b bytes.Buffer
+	b.WriteString(stream.Magic)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(sig.Rate))
+	b.Write(u32[:])
+	const chunk = 960
+	for off := 0; off < len(sig.Samples); off += chunk {
+		end := off + chunk
+		if end > len(sig.Samples) {
+			end = len(sig.Samples)
+		}
+		part := sig.Samples[off:end]
+		binary.LittleEndian.PutUint32(u32[:], uint32(2*len(part)))
+		b.Write(u32[:])
+		for _, v := range part {
+			if v > 1 {
+				v = 1
+			} else if v < -1 {
+				v = -1
+			}
+			var s [2]byte
+			binary.LittleEndian.PutUint16(s[:], uint16(int16(v*32767)))
+			b.Write(s[:])
+		}
+	}
+	binary.LittleEndian.PutUint32(u32[:], 0)
+	b.Write(u32[:])
+	return b.Bytes()
+}
+
+func buildDetector(kind string, seed int64, quick bool, logf func(string, ...interface{})) (defense.Detector, error) {
+	if kind == "demo" {
+		return defense.DemoThresholds(), nil
+	}
+	logf("training %s detector (one-time)...", kind)
+	start := time.Now()
+	sc := core.DefaultScenario()
+	sc.Seed = seed
+	cfg := experiment.DefaultCorpusConfig(sc)
+	if quick {
+		cfg = experiment.QuickCorpusConfig(cfg)
+	}
+	cfg.Runner = experiment.NewRunner(0)
+	det, err := experiment.TrainDetector(kind, cfg, seed)
+	if err == nil {
+		logf("detector ready in %s", time.Since(start).Round(time.Millisecond))
+	}
+	return det, err
+}
+
+// ---------------------------------------------------------------------
+// Load loops
+
+// generator drives sessions against one target.
+type generator struct {
+	target      string
+	payloads    []payload
+	proto       string
+	seed        int64
+	attackFrac  float64
+	sessionSecs float64
+
+	// class pools split by buildPools, read-only during load loops
+	attackPool, benignPool []payload
+}
+
+// buildPools splits the payload set by class for weighted picking.
+func (g *generator) buildPools() {
+	for _, p := range g.payloads {
+		if p.attack {
+			g.attackPool = append(g.attackPool, p)
+		} else {
+			g.benignPool = append(g.benignPool, p)
+		}
+	}
+}
+
+// pick draws a payload honouring the attack fraction: the class is
+// chosen by attackFrac, the variant uniformly within the class.
+func (g *generator) pick(rng *rand.Rand) payload {
+	pool := g.benignPool
+	if rng.Float64() < g.attackFrac {
+		pool = g.attackPool
+	}
+	if len(pool) == 0 {
+		pool = g.payloads // single-class mixes (attack 0 or 1)
+	}
+	return pool[rng.Intn(len(pool))]
+}
+
+// Epoch is one measured load interval.
+type Epoch struct {
+	Mode           string  `json:"mode"`
+	Concurrency    int     `json:"concurrency,omitempty"`
+	ArrivalRate    float64 `json:"arrival_rate_per_sec,omitempty"`
+	DurationS      float64 `json:"duration_s"`
+	Completed      int64   `json:"completed"`
+	Errors         int64   `json:"errors"`
+	Rejected       int64   `json:"rejected"`
+	Shed           int64   `json:"shed,omitempty"`
+	Degraded       int64   `json:"degraded"`
+	Misclassified  int64   `json:"misclassified"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	VerdictP50MS   float64 `json:"verdict_p50_ms"`
+	VerdictP95MS   float64 `json:"verdict_p95_ms"`
+	VerdictP99MS   float64 `json:"verdict_p99_ms"`
+	VerdictMaxMS   float64 `json:"verdict_max_ms"`
+}
+
+// session result counters shared across clients.
+type tally struct {
+	completed, errors, rejected, shed, degraded, misclassified atomic.Int64
+	verdictUS                                                  *telemetry.Histogram
+}
+
+func newTally() *tally {
+	// 10 µs .. ~80 s in geometric steps.
+	return &tally{verdictUS: telemetry.NewHistogram(telemetry.ExpBuckets(10, 1.8, 27))}
+}
+
+// runOne plays a single session and records its outcome. Verdict
+// latency is measured from send-complete (half-close) to the final
+// verdict line.
+func (g *generator) runOne(t *tally, p payload, useWAV bool) {
+	conn, err := net.Dial("tcp", g.target)
+	if err != nil {
+		t.errors.Add(1)
+		return
+	}
+	defer conn.Close()
+	body := p.grd1
+	if useWAV {
+		body = p.wav
+	}
+	// A rejected session's error line arrives while we are still
+	// writing (the server closes its end right after it) — on a write
+	// failure, fall through and read whatever the server answered
+	// instead of guessing.
+	_, werr := conn.Write(body)
+	sent := time.Now()
+	if tc, ok := conn.(*net.TCPConn); ok && werr == nil {
+		tc.CloseWrite()
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var last string
+	for sc.Scan() {
+		last = sc.Text()
+	}
+	if err := sc.Err(); err != nil && last == "" {
+		t.errors.Add(1)
+		return
+	}
+	var v struct {
+		Attack   bool    `json:"attack"`
+		Final    bool    `json:"final"`
+		Degraded bool    `json:"degraded"`
+		Error    *string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(last), &v); err != nil {
+		t.errors.Add(1)
+		return
+	}
+	if v.Error != nil {
+		if strings.Contains(*v.Error, "overloaded") || strings.Contains(*v.Error, "closed") {
+			t.rejected.Add(1)
+		} else {
+			t.errors.Add(1)
+		}
+		return
+	}
+	if !v.Final {
+		t.errors.Add(1)
+		return
+	}
+	t.verdictUS.Observe(float64(time.Since(sent).Microseconds()))
+	t.completed.Add(1)
+	if v.Degraded {
+		t.degraded.Add(1)
+		return // no classification promise in degraded mode
+	}
+	if v.Attack != p.attack {
+		t.misclassified.Add(1)
+	}
+}
+
+// runClosedLoop drives n clients back-to-back for d.
+func (g *generator) runClosedLoop(n int, d time.Duration) Epoch {
+	t := newTally()
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(g.seed + int64(c)))
+			for time.Now().Before(deadline) {
+				g.runOne(t, g.pick(rng), g.useWAV(rng))
+			}
+		}(c)
+	}
+	wg.Wait()
+	ep := t.epoch(time.Since(start))
+	ep.Mode = "closed"
+	ep.Concurrency = n
+	return ep
+}
+
+// runOpenLoop spawns sessions at Poisson arrivals of rate/sec for d.
+// In-flight sessions are capped at 4x the expected concurrency at the
+// configured session length; beyond it arrivals are shed client-side
+// and counted separately from server rejections (an explicit outcome,
+// not a silent drop).
+func (g *generator) runOpenLoop(rate float64, d time.Duration) Epoch {
+	t := newTally()
+	rng := rand.New(rand.NewSource(g.seed))
+	deadline := time.Now().Add(d)
+	// Little's law: expected in-flight = rate * service time; the
+	// session's audio length bounds service time from below.
+	limit := int64(4 * rate * g.sessionSecs)
+	if limit < 16 {
+		limit = 16
+	}
+	var inflight atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for now := time.Now(); now.Before(deadline); now = time.Now() {
+		wait := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		time.Sleep(wait)
+		if inflight.Load() >= limit {
+			t.shed.Add(1)
+			continue
+		}
+		p := g.pick(rng)
+		useWAV := g.useWAV(rng)
+		inflight.Add(1)
+		wg.Add(1)
+		go func() {
+			defer func() { inflight.Add(-1); wg.Done() }()
+			g.runOne(t, p, useWAV)
+		}()
+	}
+	wg.Wait()
+	ep := t.epoch(time.Since(start))
+	ep.Mode = "open"
+	ep.ArrivalRate = rate
+	return ep
+}
+
+func (g *generator) useWAV(rng *rand.Rand) bool {
+	switch g.proto {
+	case "wav":
+		return true
+	case "mixed":
+		return rng.Intn(2) == 1
+	default:
+		return false
+	}
+}
+
+func (t *tally) epoch(elapsed time.Duration) Epoch {
+	return Epoch{
+		DurationS:      elapsed.Seconds(),
+		Completed:      t.completed.Load(),
+		Errors:         t.errors.Load(),
+		Rejected:       t.rejected.Load(),
+		Shed:           t.shed.Load(),
+		Degraded:       t.degraded.Load(),
+		Misclassified:  t.misclassified.Load(),
+		SessionsPerSec: float64(t.completed.Load()) / elapsed.Seconds(),
+		VerdictP50MS:   t.verdictUS.Quantile(0.50) / 1000,
+		VerdictP95MS:   t.verdictUS.Quantile(0.95) / 1000,
+		VerdictP99MS:   t.verdictUS.Quantile(0.99) / 1000,
+		VerdictMaxMS:   t.verdictUS.Max() / 1000,
+	}
+}
+
+// ---------------------------------------------------------------------
+// Capacity search
+
+// CapacityResult is the headline number: the largest sustained
+// closed-loop concurrency whose p99 verdict latency meets the SLO.
+type CapacityResult struct {
+	SLOP99MS           float64 `json:"slo_p99_ms"`
+	MaxSessions        int     `json:"max_sessions_at_slo"`
+	SessionsPerSec     float64 `json:"sessions_per_sec_at_slo"`
+	SessionsPerCoreSec float64 `json:"sessions_per_core_sec_at_slo"`
+	P99AtCapacityMS    float64 `json:"p99_at_capacity_ms"`
+	Probes             []Epoch `json:"probes"`
+}
+
+// searchCapacity doubles concurrency until the SLO breaks, then binary
+// searches the boundary. Each probe is a fresh closed-loop epoch.
+func searchCapacity(g *generator, epoch time.Duration, sloMS float64, logf func(string, ...interface{})) *CapacityResult {
+	res := &CapacityResult{SLOP99MS: sloMS, MaxSessions: 0}
+	meets := func(ep Epoch) bool {
+		if ep.Completed == 0 {
+			return false
+		}
+		failRate := float64(ep.Errors) / float64(ep.Completed+ep.Errors)
+		return ep.VerdictP99MS <= sloMS && failRate < 0.01
+	}
+	probe := func(n int) Epoch {
+		ep := g.runClosedLoop(n, epoch)
+		res.Probes = append(res.Probes, ep)
+		logf("probe %3d clients: %6.1f sessions/s, p99 %7.1fms (SLO %.0fms) errors=%d degraded=%d",
+			n, ep.SessionsPerSec, ep.VerdictP99MS, sloMS, ep.Errors, ep.Degraded)
+		return ep
+	}
+
+	var best Epoch
+	lo, hi := 0, 0
+	for n := 1; n <= 4096; n *= 2 {
+		ep := probe(n)
+		if meets(ep) {
+			lo = n
+			best = ep
+		} else {
+			hi = n
+			break
+		}
+	}
+	if lo == 0 {
+		return res // SLO unreachable even at 1 client
+	}
+	if hi == 0 {
+		hi = 8192 // never broke within the doubling range
+	}
+	for hi-lo > 1 && hi-lo > lo/8 { // stop at ~12% resolution
+		mid := (lo + hi) / 2
+		ep := probe(mid)
+		if meets(ep) {
+			lo = mid
+			best = ep
+		} else {
+			hi = mid
+		}
+	}
+	res.MaxSessions = lo
+	res.SessionsPerSec = best.SessionsPerSec
+	res.SessionsPerCoreSec = best.SessionsPerSec / float64(runtime.GOMAXPROCS(0))
+	res.P99AtCapacityMS = best.VerdictP99MS
+	return res
+}
+
+// ---------------------------------------------------------------------
+// Reporting
+
+// RunConfig echoes the workload parameters into the report.
+type RunConfig struct {
+	Target         string  `json:"target,omitempty"`
+	Synth          string  `json:"synth"`
+	Proto          string  `json:"proto"`
+	AttackFraction float64 `json:"attack_fraction"`
+	SessionSeconds float64 `json:"session_seconds"`
+	SLOP99MS       float64 `json:"slo_p99_ms"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+}
+
+// Report is the loadgen output.
+type Report struct {
+	Config        RunConfig              `json:"config"`
+	Epochs        []Epoch                `json:"epochs,omitempty"`
+	Capacity      *CapacityResult        `json:"capacity,omitempty"`
+	ServerMetrics map[string]interface{} `json:"server_metrics,omitempty"`
+}
+
+func renderText(w io.Writer, r *Report) {
+	fmt.Fprintf(w, "loadgen report (%s payloads, %s wire, %.0f%% attack, %.1fs sessions)\n",
+		r.Config.Synth, r.Config.Proto, 100*r.Config.AttackFraction, r.Config.SessionSeconds)
+	for _, ep := range r.Epochs {
+		printEpoch(w, ep)
+	}
+	if c := r.Capacity; c != nil {
+		fmt.Fprintf(w, "capacity search (p99 SLO %.0f ms):\n", c.SLOP99MS)
+		for _, ep := range c.Probes {
+			printEpoch(w, ep)
+		}
+		if c.MaxSessions == 0 {
+			fmt.Fprintf(w, "  SLO not met at any probed concurrency\n")
+		} else {
+			fmt.Fprintf(w, "  => capacity: %d concurrent sessions, %.1f sessions/s (%.1f per core), p99 %.1f ms\n",
+				c.MaxSessions, c.SessionsPerSec, c.SessionsPerCoreSec, c.P99AtCapacityMS)
+		}
+	}
+	if len(r.ServerMetrics) > 0 {
+		keys := make([]string, 0, len(r.ServerMetrics))
+		for k := range r.ServerMetrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "server metrics:\n")
+		for _, k := range keys {
+			b, _ := json.Marshal(r.ServerMetrics[k])
+			fmt.Fprintf(w, "  %-42s %s\n", k, b)
+		}
+	}
+}
+
+func printEpoch(w io.Writer, ep Epoch) {
+	head := fmt.Sprintf("closed x%d", ep.Concurrency)
+	if ep.Mode == "open" {
+		head = fmt.Sprintf("open %.1f/s", ep.ArrivalRate)
+	}
+	shed := ""
+	if ep.Shed > 0 {
+		shed = fmt.Sprintf(" shed=%d", ep.Shed)
+	}
+	fmt.Fprintf(w, "  %-12s %6.1fs: %5d ok (%6.1f/s) err=%d rej=%d%s degraded=%d misclass=%d | verdict p50 %.1f p95 %.1f p99 %.1f max %.1f ms\n",
+		head, ep.DurationS, ep.Completed, ep.SessionsPerSec, ep.Errors, ep.Rejected, shed, ep.Degraded,
+		ep.Misclassified, ep.VerdictP50MS, ep.VerdictP95MS, ep.VerdictP99MS, ep.VerdictMaxMS)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

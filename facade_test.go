@@ -1,15 +1,22 @@
 package inaudible_test
 
 import (
+	"bytes"
+	"context"
 	"testing"
+	"time"
 
 	"inaudible"
 	"inaudible/internal/asr"
 	"inaudible/internal/audio"
+	"inaudible/internal/defense"
 )
 
 // asrMFCC adapts the internal MFCC for the benchmark file.
 func asrMFCC(sig *audio.Signal) [][]float64 { return asr.MFCC(sig) }
+
+// defenseDemoDetector is the training-free detector for serving tests.
+func defenseDemoDetector() inaudible.Detector { return defense.DemoThresholds() }
 
 func TestFacadeSynthesize(t *testing.T) {
 	s, err := inaudible.Synthesize("alexa, play music")
@@ -153,6 +160,71 @@ func TestFacadeStreamingGuard(t *testing.T) {
 		if v.Latency.Frames == 0 {
 			t.Errorf("guard reported no latency frames")
 		}
+	}
+}
+
+func TestFacadeGuardFleet(t *testing.T) {
+	// The serving core through the facade: metrics registry wired into
+	// a fleet, one session pushed frame-by-frame, verdict events out,
+	// instruments populated, graceful close.
+	reg := inaudible.NewMetricsRegistry()
+	fl := inaudible.NewGuardFleet(inaudible.GuardServerConfig{
+		Detector:    defenseDemoDetector(),
+		MaxSessions: -1,
+		Shards:      1,
+		Metrics:     reg,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := fl.Close(ctx); err != nil {
+			t.Fatalf("fleet close: %v", err)
+		}
+	}()
+
+	const rate = 48000.0
+	sess, err := fl.Open(rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := inaudible.MustSynthesize("alexa, play music")
+	off := 0
+	for frames := 0; frames < 50; frames++ {
+		buf, err := sess.NextFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off+len(buf) > sig.Len() {
+			off = 0
+		}
+		copy(buf, sig.Samples[off:off+len(buf)])
+		off += len(buf)
+		sess.Publish(len(buf))
+	}
+	if err := sess.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	sawFinal := false
+	for ev := range sess.Events() {
+		if v := ev.(*inaudible.GuardVerdict); v.Final {
+			sawFinal = true
+			if v.Samples != 50*sess.FrameSamples() {
+				t.Fatalf("final verdict samples = %d, want %d", v.Samples, 50*sess.FrameSamples())
+			}
+		}
+	}
+	if !sawFinal {
+		t.Fatal("no final verdict event")
+	}
+
+	snap := reg.Snapshot()
+	if snap["fleet_frames_total"].(uint64) != 50 {
+		t.Fatalf("fleet_frames_total = %v, want 50", snap["fleet_frames_total"])
+	}
+	var prom bytes.Buffer
+	reg.WritePrometheus(&prom)
+	if !bytes.Contains(prom.Bytes(), []byte("fleet_sessions_finished_total 1")) {
+		t.Fatalf("prometheus exposition missing session counter:\n%s", prom.String())
 	}
 }
 

@@ -40,10 +40,12 @@ import (
 	"inaudible/internal/core"
 	"inaudible/internal/defense"
 	"inaudible/internal/experiment"
+	"inaudible/internal/fleet"
 	"inaudible/internal/mic"
 	"inaudible/internal/sim"
 	"inaudible/internal/speaker"
 	"inaudible/internal/stream"
+	"inaudible/internal/telemetry"
 	"inaudible/internal/voice"
 )
 
@@ -97,10 +99,21 @@ type (
 	// GuardVerdict is a streaming guard's detection event.
 	GuardVerdict = stream.Verdict
 	// GuardServer serves concurrent guard sessions over byte streams
-	// (the engine behind cmd/guardd).
+	// (the engine behind cmd/guardd), on the sharded fleet core.
 	GuardServer = stream.Server
-	// GuardServerConfig parameterises the concurrent serving layer.
+	// GuardServerConfig parameterises the concurrent serving layer
+	// (shards, admission cap, degradation, ring depth, telemetry).
 	GuardServerConfig = stream.ServerConfig
+	// GuardFleet is the sharded serving core: per-shard worker
+	// goroutines, SPSC frame rings, session-affinity routing, explicit
+	// admission control.
+	GuardFleet = fleet.Fleet
+	// GuardSession is one admitted fleet session: a producer-side
+	// handle over the session's frame ring and verdict event stream.
+	GuardSession = fleet.Session
+	// MetricsRegistry collects the serving-side telemetry (counters,
+	// gauges, latency histograms) with Prometheus text exposition.
+	MetricsRegistry = telemetry.Registry
 	// SimStage is one block-processing element of a simulation chain.
 	SimStage = sim.Stage
 	// SimChain is a compiled block-processing pipeline of physical
@@ -199,8 +212,31 @@ func NewStreamGuard(det Detector, rate float64) *StreamGuard {
 }
 
 // NewGuardServer returns the concurrent session server used by
-// cmd/guardd: worker-pool bounded, with pooled per-session state.
+// cmd/guardd, built on the sharded fleet core: admission control with
+// backpressure or graceful degradation, per-shard session affinity, and
+// a zero-alloc per-frame path.
 func NewGuardServer(cfg GuardServerConfig) *GuardServer { return stream.NewServer(cfg) }
+
+// NewGuardFleet returns the bare sharded serving core a GuardServer
+// runs on — sessions in, verdict events out, no wire framing — for
+// in-process serving, load generation and capacity benchmarks.
+func NewGuardFleet(cfg GuardServerConfig) *GuardFleet { return stream.NewFleet(cfg) }
+
+// NewMetricsRegistry returns an empty telemetry registry. Pass it as
+// GuardServerConfig.Metrics to register the fleet's instruments, and
+// expose it with ServeMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// ServeMetrics serves a registry's /metrics (Prometheus text), /varz
+// (JSON) and /healthz endpoints on addr in the background, returning
+// the bound listener address (useful with ":0").
+func ServeMetrics(addr string, r *MetricsRegistry) (string, error) {
+	l, _, err := telemetry.ListenAndServe(addr, r)
+	if err != nil {
+		return "", err
+	}
+	return l.Addr().String(), nil
+}
 
 // NewSimChain compiles the scenario's capture pipeline (air, ambient
 // noise, victim device) as a bounded-memory streaming chain for a field

@@ -1,0 +1,45 @@
+package fleet
+
+import (
+	"testing"
+)
+
+// BenchmarkFleetCoreFrame measures the fleet's framework overhead per
+// frame — ring transfer, wake protocol, telemetry — with a trivial
+// processor, isolating the serving core from guard DSP cost. Run with
+// -benchmem: the steady-state loop must report 0 allocs/op.
+func BenchmarkFleetCoreFrame(b *testing.B) {
+	cfg := testConfig(0)
+	cfg.Shards = 1
+	f := New(cfg)
+	defer closeFleet(b, f)
+	s, err := f.Open(48000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up the wake/backoff paths before measuring.
+	for i := 0; i < 1024; i++ {
+		buf, err := s.NextFrame()
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf[0] = 1
+		s.Publish(4)
+	}
+	waitDrained(b, &s.ring)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := s.NextFrame()
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf[0] = 1
+		s.Publish(4)
+	}
+	waitDrained(b, &s.ring)
+	b.StopTimer()
+	if final, _ := runSession(b, s, 1); final == nil {
+		b.Fatalf("session lost its final")
+	}
+}

@@ -1,0 +1,396 @@
+// Package fleet is the sharded serving core behind the streaming
+// defense service: N shards, each owning a dedicated worker goroutine,
+// with sessions routed to shards by affinity hash so per-session state
+// never crosses a goroutine boundary after admission.
+//
+// The data path is allocation- and lock-free per frame: each session
+// owns a bounded SPSC frame ring (see frameRing); the producer writes
+// samples straight into ring cells and the owning shard worker feeds
+// them to the session's Proc. Cross-goroutine coordination happens only
+// at the edges — admission (mutex, cold), consumer wakeup (a cap-1
+// channel armed on the empty→non-empty transition and a Dekker-style
+// sleeping flag), and verdict delivery (a bounded channel whose last
+// cell is reserved for the final event, so finals are never dropped and
+// the worker never blocks on a slow reader; excess interim events are
+// dropped and counted, never silently).
+//
+// Admission is explicit and three-moded: below MaxSessions sessions get
+// full service; with Degrade set, sessions beyond it are admitted in
+// degraded mode (the Proc factory decides what that means — for the
+// guard service, VAD + trace-band monitoring with full analysis
+// deferred) up to DegradeFactor*MaxSessions and rejected with
+// ErrOverloaded beyond; without Degrade the caller picks between
+// blocking backpressure (WaitAdmission) and immediate rejection.
+// Overload therefore always resolves to backpressure, a degraded
+// verdict, or an explicit error — never a hang or a silent drop.
+//
+// The package is processing-agnostic: it moves frames and events, and a
+// Proc (built per session by the configured factory) does the work.
+// internal/stream implements Proc over its Guard to build the wire
+// service.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inaudible/internal/telemetry"
+)
+
+// Proc processes one session's frames on its owning shard worker. Every
+// method is called from that single goroutine, so implementations need
+// no internal synchronisation. Push and Finalize may return an event
+// (e.g. a verdict) for delivery to the session's Events channel, or nil.
+type Proc interface {
+	// FrameSamples is the nominal frame size; it must match the fleet's
+	// FrameFor for the session rate.
+	FrameSamples() int
+	// Push processes one frame (1..FrameSamples samples).
+	Push(frame []float64) interface{}
+	// Finalize flushes the session and returns the final event.
+	Finalize() interface{}
+	// Reset clears all per-session state so the Proc can be reused.
+	Reset()
+}
+
+// Errors surfaced by admission and the data path.
+var (
+	// ErrOverloaded rejects a session the fleet has no capacity for
+	// (explicit overload, the caller should tell its peer).
+	ErrOverloaded = errors.New("fleet: overloaded, session rejected")
+	// ErrClosed rejects sessions opened after Close.
+	ErrClosed = errors.New("fleet: closed")
+	// ErrSessionDone reports producer calls on a session the fleet has
+	// already finished (shutdown force-abort or producer Abort).
+	ErrSessionDone = errors.New("fleet: session is done")
+)
+
+// Config wires a Fleet.
+type Config struct {
+	// Shards is the number of worker goroutines; <= 0 selects
+	// GOMAXPROCS. Sessions are pinned to shards by affinity hash.
+	Shards int
+	// RingFrames is the per-session frame-ring capacity (rounded up to a
+	// power of two); <= 0 selects 16 (320 ms of audio at the default
+	// 20 ms frame).
+	RingFrames int
+	// MaxSessions caps full-service sessions; <= 0 means unlimited.
+	MaxSessions int
+	// Degrade admits sessions beyond MaxSessions in degraded mode
+	// instead of waiting or rejecting.
+	Degrade bool
+	// DegradeFactor bounds total (full + degraded) sessions at
+	// DegradeFactor*MaxSessions when Degrade is set; <= 1 selects 2.
+	DegradeFactor float64
+	// WaitAdmission makes Open block until a full-service slot frees
+	// instead of returning ErrOverloaded (ignored when Degrade is set).
+	// This is the PR 2 worker-pool backpressure behaviour.
+	WaitAdmission bool
+	// EventBuffer is the per-session event-channel capacity; <= 1
+	// selects 16. The last cell is reserved for the final event.
+	EventBuffer int
+	// Pin locks each shard worker to an OS thread.
+	Pin bool
+	// FrameFor maps a session sample rate to its frame size in samples.
+	// Required; must agree with the Procs built by NewProc.
+	FrameFor func(rate float64) int
+	// NewProc builds a session processor. Required. Called on the shard
+	// worker, so construction cost does not block admission.
+	NewProc func(rate float64, degraded bool) Proc
+	// Metrics instruments the fleet; nil builds unregistered instruments
+	// (always safe to record into).
+	Metrics *Metrics
+}
+
+// Metrics is the fleet's instrument set. Build with NewMetrics to
+// register everything under fleet_* names, or leave Config.Metrics nil
+// for standalone instruments.
+type Metrics struct {
+	AdmittedFull     *telemetry.Counter   // fleet_sessions_admitted_full_total
+	AdmittedDegraded *telemetry.Counter   // fleet_sessions_admitted_degraded_total
+	Rejected         *telemetry.Counter   // fleet_sessions_rejected_total
+	Finished         *telemetry.Counter   // fleet_sessions_finished_total
+	Aborted          *telemetry.Counter   // fleet_sessions_aborted_total
+	Frames           *telemetry.Counter   // fleet_frames_total
+	InterimDrops     *telemetry.Counter   // fleet_interim_drops_total
+	RingFullWaits    *telemetry.Counter   // fleet_ring_full_waits_total
+	ActiveFull       *telemetry.Gauge     // fleet_active_sessions
+	ActiveDegraded   *telemetry.Gauge     // fleet_active_degraded_sessions
+	FrameLatencyUS   *telemetry.Histogram // fleet_frame_latency_us
+	VerdictLatencyUS *telemetry.Histogram // fleet_verdict_latency_us
+	RingOccupancy    *telemetry.Histogram // fleet_ring_occupancy_frames
+}
+
+// frameLatencyBuckets spans 1 µs .. ~8 s geometrically.
+func frameLatencyBuckets() []float64 { return telemetry.ExpBuckets(1, 2, 23) }
+
+// newUnregisteredMetrics builds instruments not tied to a registry.
+func newUnregisteredMetrics() *Metrics {
+	return &Metrics{
+		AdmittedFull:     &telemetry.Counter{},
+		AdmittedDegraded: &telemetry.Counter{},
+		Rejected:         &telemetry.Counter{},
+		Finished:         &telemetry.Counter{},
+		Aborted:          &telemetry.Counter{},
+		Frames:           &telemetry.Counter{},
+		InterimDrops:     &telemetry.Counter{},
+		RingFullWaits:    &telemetry.Counter{},
+		ActiveFull:       &telemetry.Gauge{},
+		ActiveDegraded:   &telemetry.Gauge{},
+		FrameLatencyUS:   telemetry.NewHistogram(frameLatencyBuckets()),
+		VerdictLatencyUS: telemetry.NewHistogram(frameLatencyBuckets()),
+		RingOccupancy:    telemetry.NewHistogram(telemetry.ExpBuckets(1, 2, 10)),
+	}
+}
+
+// NewMetrics builds the fleet instrument set registered under fleet_*
+// names in r (see the README's metrics reference for meanings/units).
+func NewMetrics(r *telemetry.Registry) *Metrics {
+	return &Metrics{
+		AdmittedFull:     r.NewCounter("fleet_sessions_admitted_full_total", "sessions admitted at full service"),
+		AdmittedDegraded: r.NewCounter("fleet_sessions_admitted_degraded_total", "sessions admitted in degraded mode"),
+		Rejected:         r.NewCounter("fleet_sessions_rejected_total", "sessions rejected with ErrOverloaded"),
+		Finished:         r.NewCounter("fleet_sessions_finished_total", "sessions finalized normally"),
+		Aborted:          r.NewCounter("fleet_sessions_aborted_total", "sessions aborted before finalize"),
+		Frames:           r.NewCounter("fleet_frames_total", "audio frames processed by shard workers"),
+		InterimDrops:     r.NewCounter("fleet_interim_drops_total", "interim events dropped on a full session event buffer"),
+		RingFullWaits:    r.NewCounter("fleet_ring_full_waits_total", "producer wait episodes on a full frame ring"),
+		ActiveFull:       r.NewGauge("fleet_active_sessions", "full-service sessions in flight"),
+		ActiveDegraded:   r.NewGauge("fleet_active_degraded_sessions", "degraded sessions in flight"),
+		FrameLatencyUS:   r.NewHistogram("fleet_frame_latency_us", "per-frame processing latency (microseconds)", frameLatencyBuckets()),
+		VerdictLatencyUS: r.NewHistogram("fleet_verdict_latency_us", "close-to-final-verdict latency (microseconds)", frameLatencyBuckets()),
+		RingOccupancy:    r.NewHistogram("fleet_ring_occupancy_frames", "frame-ring occupancy at publish (frames)", telemetry.ExpBuckets(1, 2, 10)),
+	}
+}
+
+// Fleet is the sharded serving core. Open admits sessions, shard
+// workers drain them; Close drains and stops the fleet.
+type Fleet struct {
+	cfg    Config
+	m      *Metrics
+	shards []*shard
+	nextID atomic.Uint64
+
+	mu             sync.Mutex
+	cond           *sync.Cond
+	activeFull     int
+	activeDegraded int
+	closed         bool
+
+	wg sync.WaitGroup
+}
+
+// New builds and starts a fleet. It panics on a missing FrameFor or
+// NewProc — the factories are static wiring, not data.
+func New(cfg Config) *Fleet {
+	if cfg.FrameFor == nil || cfg.NewProc == nil {
+		panic("fleet: Config.FrameFor and Config.NewProc are required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.RingFrames <= 0 {
+		cfg.RingFrames = 16
+	}
+	if cfg.DegradeFactor <= 1 {
+		cfg.DegradeFactor = 2
+	}
+	if cfg.EventBuffer <= 1 {
+		cfg.EventBuffer = 16
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = newUnregisteredMetrics()
+	}
+	f := &Fleet{cfg: cfg, m: m}
+	f.cond = sync.NewCond(&f.mu)
+	f.shards = make([]*shard, cfg.Shards)
+	for i := range f.shards {
+		f.shards[i] = newShard(i, f)
+		f.wg.Add(1)
+		go f.shards[i].run(&f.wg)
+	}
+	return f
+}
+
+// Shards returns the shard count.
+func (f *Fleet) Shards() int { return f.cfg.Shards }
+
+// MaxSessions returns the full-service admission cap (0: unlimited).
+func (f *Fleet) MaxSessions() int {
+	if f.cfg.MaxSessions <= 0 {
+		return 0
+	}
+	return f.cfg.MaxSessions
+}
+
+// Metrics returns the fleet's instrument set.
+func (f *Fleet) Metrics() *Metrics { return f.m }
+
+// Active returns the sessions in flight by service class.
+func (f *Fleet) Active() (full, degraded int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.activeFull, f.activeDegraded
+}
+
+// Open admits a session at the given sample rate, assigning it a fresh
+// affinity key. See OpenKeyed.
+func (f *Fleet) Open(rate float64) (*Session, error) {
+	return f.OpenKeyed(f.nextID.Add(1), rate)
+}
+
+// OpenKeyed admits a session routed by hash(key) — sessions sharing a
+// key land on the same shard (and therefore the same goroutine, cache
+// and processor free-list). It blocks under WaitAdmission backpressure,
+// degrades under Degrade, and fails with ErrOverloaded or ErrClosed
+// otherwise.
+func (f *Fleet) OpenKeyed(key uint64, rate float64) (*Session, error) {
+	frame := f.cfg.FrameFor(rate)
+	if frame <= 0 {
+		return nil, fmt.Errorf("fleet: FrameFor(%g) = %d, want > 0", rate, frame)
+	}
+	// The handoff is flagged before the slot is claimed so a forced
+	// Close that observes the claimed slot also observes the pending
+	// handoff (its sweep then waits for the session to land in admitq).
+	sh := f.shards[shardIndex(key, len(f.shards))]
+	sh.handoffs.Add(1)
+	degraded, err := f.admit()
+	if err != nil {
+		sh.handoffs.Add(-1)
+		return nil, err
+	}
+
+	s := &Session{
+		fl:       f,
+		key:      key,
+		rate:     rate,
+		frame:    frame,
+		degraded: degraded,
+		sh:       sh,
+		events:   make(chan interface{}, f.cfg.EventBuffer),
+	}
+	s.ring.init(f.cfg.RingFrames, frame)
+	sh.admitq <- s
+	sh.handoffs.Add(-1)
+	sh.wakeup()
+	return s, nil
+}
+
+// admit applies the admission policy and claims a slot.
+func (f *Fleet) admit() (degraded bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if f.closed {
+			f.m.Rejected.Inc()
+			return false, ErrClosed
+		}
+		if f.cfg.MaxSessions <= 0 || f.activeFull < f.cfg.MaxSessions {
+			f.activeFull++
+			f.m.AdmittedFull.Inc()
+			f.m.ActiveFull.Set(int64(f.activeFull))
+			return false, nil
+		}
+		if f.cfg.Degrade {
+			limit := int(f.cfg.DegradeFactor * float64(f.cfg.MaxSessions))
+			if f.activeFull+f.activeDegraded < limit {
+				f.activeDegraded++
+				f.m.AdmittedDegraded.Inc()
+				f.m.ActiveDegraded.Set(int64(f.activeDegraded))
+				return true, nil
+			}
+			f.m.Rejected.Inc()
+			return false, ErrOverloaded
+		}
+		if !f.cfg.WaitAdmission {
+			f.m.Rejected.Inc()
+			return false, ErrOverloaded
+		}
+		f.cond.Wait()
+	}
+}
+
+// release returns a session's admission slot (worker detach path).
+func (f *Fleet) release(degraded bool) {
+	f.mu.Lock()
+	if degraded {
+		f.activeDegraded--
+		f.m.ActiveDegraded.Set(int64(f.activeDegraded))
+	} else {
+		f.activeFull--
+		f.m.ActiveFull.Set(int64(f.activeFull))
+	}
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// Close stops admitting, waits for in-flight sessions to drain, then
+// stops the shard workers. If ctx expires first, remaining sessions are
+// force-aborted (their producers get ErrSessionDone, their event
+// channels close without a final event) and Close returns ctx.Err().
+func (f *Fleet) Close(ctx context.Context) error {
+	f.mu.Lock()
+	f.closed = true
+	f.cond.Broadcast() // unblock WaitAdmission waiters into ErrClosed
+	f.mu.Unlock()
+
+	var err error
+drain:
+	for {
+		f.mu.Lock()
+		idle := f.activeFull+f.activeDegraded == 0
+		f.mu.Unlock()
+		if idle {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break drain
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	for _, sh := range f.shards {
+		sh.stopOnce.Do(func() { close(sh.stop) })
+		sh.wakeup()
+	}
+	f.wg.Wait()
+	// A session admitted concurrently with a forced stop can still be
+	// mid-handoff or sitting in a shard's admit queue (Open's handoff
+	// runs outside the admission lock); finish it here — the workers
+	// are gone, so this goroutine is the queue's sole consumer — so its
+	// producer unblocks with ErrSessionDone instead of hanging. The
+	// handoff counter covers the claimed-slot-to-enqueue window.
+	for _, sh := range f.shards {
+		for {
+			select {
+			case s := <-sh.admitq:
+				sh.finish(s, true)
+				continue
+			default:
+			}
+			if sh.handoffs.Load() == 0 && len(sh.admitq) == 0 {
+				break
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	return err
+}
+
+// shardIndex routes an affinity key to a shard with a splitmix64-style
+// finalizer so adjacent keys spread evenly.
+func shardIndex(key uint64, shards int) int {
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(shards))
+}

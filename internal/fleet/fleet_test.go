@@ -1,0 +1,450 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sumProc is a deterministic test processor: it sums its samples and
+// reports {sum, frames} as events, interim every emitEvery frames.
+type sumProc struct {
+	frame     int
+	emitEvery int
+	degraded  bool
+	sum       float64
+	frames    int
+}
+
+type sumEvent struct {
+	Sum      float64
+	Frames   int
+	Final    bool
+	Degraded bool
+}
+
+func (p *sumProc) FrameSamples() int { return p.frame }
+func (p *sumProc) Push(frame []float64) interface{} {
+	for _, v := range frame {
+		p.sum += v
+	}
+	p.frames++
+	if p.emitEvery > 0 && p.frames%p.emitEvery == 0 {
+		return &sumEvent{Sum: p.sum, Frames: p.frames, Degraded: p.degraded}
+	}
+	return nil
+}
+func (p *sumProc) Finalize() interface{} {
+	return &sumEvent{Sum: p.sum, Frames: p.frames, Final: true, Degraded: p.degraded}
+}
+func (p *sumProc) Reset() { p.sum, p.frames = 0, 0 }
+
+// testConfig builds a fleet config over sumProc with a 4-sample frame.
+func testConfig(emitEvery int) Config {
+	return Config{
+		FrameFor: func(rate float64) int { return 4 },
+		NewProc: func(rate float64, degraded bool) Proc {
+			return &sumProc{frame: 4, emitEvery: emitEvery, degraded: degraded}
+		},
+	}
+}
+
+// runSession pushes frames [0..frames) with sample value = frame index
+// and returns the final event plus the interim count.
+func runSession(t testing.TB, s *Session, frames int) (*sumEvent, int) {
+	t.Helper()
+	for i := 0; i < frames; i++ {
+		buf, err := s.NextFrame()
+		if err != nil {
+			t.Fatalf("NextFrame %d: %v", i, err)
+		}
+		for j := range buf {
+			buf[j] = float64(i)
+		}
+		s.Publish(len(buf))
+	}
+	if err := s.CloseSend(); err != nil {
+		t.Fatalf("CloseSend: %v", err)
+	}
+	var final *sumEvent
+	interim := 0
+	for ev := range s.Events() {
+		se := ev.(*sumEvent)
+		if se.Final {
+			final = se
+		} else {
+			interim++
+		}
+	}
+	return final, interim
+}
+
+// wantSum is the expected final sum of runSession(frames): each frame i
+// contributes 4*i.
+func wantSum(frames int) float64 {
+	return 4 * float64(frames) * float64(frames-1) / 2
+}
+
+func closeFleet(t testing.TB, f *Fleet) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := f.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestFleetSingleSession(t *testing.T) {
+	f := New(testConfig(10))
+	defer closeFleet(t, f)
+	s, err := f.Open(48000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, interim := runSession(t, s, 95)
+	if final == nil {
+		t.Fatalf("no final event")
+	}
+	if final.Frames != 95 || final.Sum != wantSum(95) {
+		t.Fatalf("final = %+v, want frames=95 sum=%g", final, wantSum(95))
+	}
+	if interim != 9 {
+		t.Fatalf("interim events = %d, want 9", interim)
+	}
+	if got := f.Metrics().Frames.Value(); got != 95 {
+		t.Fatalf("frames counter = %d, want 95", got)
+	}
+	if f.Metrics().Finished.Value() != 1 {
+		t.Fatalf("finished counter = %d", f.Metrics().Finished.Value())
+	}
+}
+
+func TestFleetSessionAffinity(t *testing.T) {
+	// Same key -> same shard, across many keys the spread is non-trivial.
+	cfg := testConfig(0)
+	cfg.Shards = 4
+	f := New(cfg)
+	defer closeFleet(t, f)
+	hit := map[int]bool{}
+	for key := uint64(0); key < 64; key++ {
+		i := shardIndex(key, 4)
+		if j := shardIndex(key, 4); j != i {
+			t.Fatalf("shardIndex not deterministic for key %d", key)
+		}
+		hit[i] = true
+	}
+	if len(hit) != 4 {
+		t.Fatalf("64 keys hit only %d/4 shards", len(hit))
+	}
+}
+
+func TestFleetChurn(t *testing.T) {
+	// Sessions connecting, serving, aborting and disconnecting
+	// concurrently across shards — the race-mode acceptance gate.
+	cfg := testConfig(5)
+	cfg.Shards = 4
+	cfg.RingFrames = 8
+	f := New(cfg)
+	const producers = 8
+	const perProducer = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, producers)
+	var aborts, finishes int64
+	var mu sync.Mutex
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(p)))
+			for sess := 0; sess < perProducer; sess++ {
+				s, err := f.Open(48000)
+				if err != nil {
+					errs <- fmt.Errorf("producer %d session %d: %v", p, sess, err)
+					return
+				}
+				frames := 1 + rng.Intn(40)
+				if rng.Intn(5) == 0 { // hard disconnect mid-session
+					for i := 0; i < frames; i++ {
+						buf, err := s.NextFrame()
+						if err != nil {
+							errs <- err
+							return
+						}
+						buf[0] = 1
+						s.Publish(1)
+					}
+					s.Abort()
+					for range s.Events() {
+					}
+					mu.Lock()
+					aborts++
+					mu.Unlock()
+					continue
+				}
+				final, _ := runSession(t, s, frames)
+				if final == nil {
+					errs <- fmt.Errorf("producer %d session %d: no final", p, sess)
+					return
+				}
+				if final.Frames != frames || final.Sum != wantSum(frames) {
+					errs <- fmt.Errorf("producer %d session %d: final %+v, want frames=%d sum=%g",
+						p, sess, final, frames, wantSum(frames))
+					return
+				}
+				mu.Lock()
+				finishes++
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	full, deg := f.Active()
+	if full != 0 || deg != 0 {
+		t.Fatalf("sessions leaked: active full=%d degraded=%d", full, deg)
+	}
+	m := f.Metrics()
+	if m.Finished.Value() != uint64(finishes) || m.Aborted.Value() != uint64(aborts) {
+		t.Fatalf("counters finished=%d aborted=%d, want %d/%d",
+			m.Finished.Value(), m.Aborted.Value(), finishes, aborts)
+	}
+	closeFleet(t, f)
+}
+
+func TestFleetWaitAdmissionBackpressure(t *testing.T) {
+	cfg := testConfig(0)
+	cfg.Shards = 1
+	cfg.MaxSessions = 1
+	cfg.WaitAdmission = true
+	f := New(cfg)
+	defer closeFleet(t, f)
+
+	s1, err := f.Open(48000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened := make(chan *Session)
+	go func() {
+		s2, err := f.Open(48000)
+		if err != nil {
+			t.Errorf("queued Open: %v", err)
+			close(opened)
+			return
+		}
+		opened <- s2
+	}()
+	select {
+	case <-opened:
+		t.Fatalf("second Open did not block at MaxSessions=1")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if final, _ := runSession(t, s1, 3); final == nil {
+		t.Fatalf("first session lost its final")
+	}
+	select {
+	case s2 := <-opened:
+		if s2 == nil {
+			t.Fatal("second Open failed")
+		}
+		if final, _ := runSession(t, s2, 2); final == nil {
+			t.Fatalf("second session lost its final")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("second Open still blocked after slot freed")
+	}
+}
+
+func TestFleetDegradeAndReject(t *testing.T) {
+	cfg := testConfig(0)
+	cfg.Shards = 2
+	cfg.MaxSessions = 1
+	cfg.Degrade = true
+	cfg.DegradeFactor = 2
+	f := New(cfg)
+	defer closeFleet(t, f)
+
+	s1, err := f.Open(48000)
+	if err != nil || s1.Degraded() {
+		t.Fatalf("first session: err=%v degraded=%v", err, s1.Degraded())
+	}
+	s2, err := f.Open(48000)
+	if err != nil {
+		t.Fatalf("second session should degrade, got %v", err)
+	}
+	if !s2.Degraded() {
+		t.Fatalf("second session not degraded beyond MaxSessions")
+	}
+	if _, err := f.Open(48000); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third session: err = %v, want ErrOverloaded", err)
+	}
+	m := f.Metrics()
+	if m.AdmittedFull.Value() != 1 || m.AdmittedDegraded.Value() != 1 || m.Rejected.Value() != 1 {
+		t.Fatalf("admission counters full=%d degraded=%d rejected=%d",
+			m.AdmittedFull.Value(), m.AdmittedDegraded.Value(), m.Rejected.Value())
+	}
+	// Degraded sessions still serve: the degraded sumProc carries the flag.
+	final, _ := runSession(t, s2, 4)
+	if final == nil || !final.Degraded {
+		t.Fatalf("degraded session final = %+v", final)
+	}
+	if final, _ := runSession(t, s1, 4); final == nil || final.Degraded {
+		t.Fatalf("full session final = %+v", final)
+	}
+}
+
+func TestFleetInterimDropsNeverFinal(t *testing.T) {
+	// A consumer that never drains until close: interim events beyond
+	// the buffer are dropped and counted, the final always arrives.
+	cfg := testConfig(1) // interim every frame
+	cfg.EventBuffer = 4
+	f := New(cfg)
+	defer closeFleet(t, f)
+	s, err := f.Open(48000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 50
+	for i := 0; i < frames; i++ {
+		buf, err := s.NextFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = 1
+		s.Publish(1)
+	}
+	if err := s.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	var final *sumEvent
+	interim := 0
+	for ev := range s.Events() {
+		se := ev.(*sumEvent)
+		if se.Final {
+			final = se
+		} else {
+			interim++
+		}
+	}
+	if final == nil || final.Frames != frames {
+		t.Fatalf("final = %+v, want frames=%d", final, frames)
+	}
+	drops := f.Metrics().InterimDrops.Value()
+	if interim+int(drops) != frames {
+		t.Fatalf("interim %d + drops %d != %d emitted", interim, drops, frames)
+	}
+	if drops == 0 {
+		t.Fatalf("expected drops with a 4-cell buffer and %d interim events", frames)
+	}
+}
+
+func TestFleetClosedRejectsOpen(t *testing.T) {
+	f := New(testConfig(0))
+	closeFleet(t, f)
+	if _, err := f.Open(48000); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Open after Close: %v, want ErrClosed", err)
+	}
+}
+
+func TestFleetForcedShutdown(t *testing.T) {
+	// A session that never closes: Close's deadline expires, the fleet
+	// force-aborts, the blocked producer gets ErrSessionDone, and the
+	// event channel closes without a final.
+	cfg := testConfig(0)
+	cfg.RingFrames = 2
+	f := New(cfg)
+	s, err := f.Open(48000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := s.NextFrame()
+	buf[0] = 1
+	s.Publish(1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := f.Close(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Close = %v, want DeadlineExceeded", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := s.NextFrame(); err != nil {
+			if !errors.Is(err, ErrSessionDone) {
+				t.Fatalf("NextFrame after forced shutdown: %v", err)
+			}
+			break
+		}
+		s.Publish(1)
+		if time.Now().After(deadline) {
+			t.Fatalf("producer never saw ErrSessionDone")
+		}
+	}
+	for ev := range s.Events() {
+		if ev.(*sumEvent).Final {
+			t.Fatalf("forced shutdown delivered a final event")
+		}
+	}
+	if f.Metrics().Aborted.Value() == 0 {
+		t.Fatalf("forced shutdown did not count an abort")
+	}
+}
+
+func TestFleetZeroAllocSteadyState(t *testing.T) {
+	// The frame path — NextFrame/Publish on the producer, peek/Push/pop
+	// plus histogram observations on the worker — must not allocate in
+	// steady state. Mallocs are counted process-wide, so allow a sliver
+	// of slack for runtime background noise.
+	cfg := testConfig(0)
+	cfg.Shards = 1
+	f := New(cfg)
+	defer closeFleet(t, f)
+	s, err := f.Open(48000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := func(frames int) {
+		for i := 0; i < frames; i++ {
+			buf, err := s.NextFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf[0], buf[1], buf[2], buf[3] = 1, 2, 3, 4
+			s.Publish(4)
+		}
+	}
+	push(2000) // warm up: wake channel, timer, histogram paths
+	waitDrained(t, &s.ring)
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	const frames = 20000
+	push(frames)
+	waitDrained(t, &s.ring)
+	runtime.ReadMemStats(&after)
+	perFrame := float64(after.Mallocs-before.Mallocs) / frames
+	if perFrame > 0.01 {
+		t.Fatalf("steady-state frame path allocates %.4f objects/frame, want ~0", perFrame)
+	}
+	if final, _ := runSession(t, s, 1); final == nil {
+		t.Fatalf("session lost its final after alloc run")
+	}
+}
+
+func waitDrained(t testing.TB, r *frameRing) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for r.occupancy() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ring never drained")
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,123 @@
+package fleet
+
+import "sync/atomic"
+
+// closeMark is the slot sample count that ends a session's frame
+// stream: the producer publishes it after the last audio frame, and the
+// consumer finalizes the session's processor when it dequeues it.
+// Routing the end-of-stream through the ring (instead of a side flag)
+// keeps it ordered behind every published frame.
+const closeMark = -1
+
+// slot is one frame cell of the ring. The producer writes samples
+// directly into buf (no staging copy) and publishes n; the consumer
+// reads buf[:n] and frees the cell by advancing head.
+type slot struct {
+	buf []float64
+	n   int32
+}
+
+// frameRing is a bounded lock-free single-producer single-consumer ring
+// of audio frames. The producer is the session's I/O goroutine, the
+// consumer is the shard worker that owns the session — exactly one of
+// each, which is what makes the head/tail protocol safe:
+//
+//   - tail is written only by the producer, head only by the consumer;
+//   - a cell's contents are written strictly before the tail store that
+//     publishes it, and read strictly before the head store that frees
+//     it (Go's sync/atomic operations are sequentially consistent, so
+//     the stores double as release barriers);
+//   - capacity is a power of two and positions are free-running uint64
+//     counters, so tail-head is the occupancy even across wraparound.
+//
+// The ring never allocates after construction: slot buffers are sized
+// once for the session's frame and reused in place.
+type frameRing struct {
+	slots []slot
+	mask  uint64
+	_     [48]byte // keep head and tail on separate cache lines
+	head  atomic.Uint64
+	_     [56]byte
+	tail  atomic.Uint64
+	_     [56]byte
+}
+
+// RingCapacity returns the actual ring depth used for a requested
+// RingFrames value: at least 2, rounded up to a power of two. Callers
+// sizing companion buffers (e.g. an event channel that must absorb one
+// full ring) must use this, not the raw request.
+func RingCapacity(frames int) int {
+	if frames < 2 {
+		frames = 2
+	}
+	n := 1
+	for n < frames {
+		n <<= 1
+	}
+	return n
+}
+
+// initRing sizes the ring for capacity frames (rounded up to a power of
+// two) of frameSamples samples each, reusing prior slot buffers when
+// they are large enough.
+func (r *frameRing) init(capacity, frameSamples int) {
+	n := RingCapacity(capacity)
+	if len(r.slots) != n {
+		r.slots = make([]slot, n)
+	}
+	for i := range r.slots {
+		if cap(r.slots[i].buf) < frameSamples {
+			r.slots[i].buf = make([]float64, frameSamples)
+		}
+		r.slots[i].buf = r.slots[i].buf[:frameSamples]
+		r.slots[i].n = 0
+	}
+	r.mask = uint64(n - 1)
+	r.head.Store(0)
+	r.tail.Store(0)
+}
+
+// capacity returns the number of frame cells.
+func (r *frameRing) capacity() int { return len(r.slots) }
+
+// occupancy returns the current number of published, unconsumed frames.
+// It is exact from either endpoint's own goroutine and a consistent
+// snapshot from anywhere else.
+func (r *frameRing) occupancy() int { return int(r.tail.Load() - r.head.Load()) }
+
+// reserve returns the producer's next write cell, or nil while the ring
+// is full. Calling reserve repeatedly without publish returns the same
+// cell. Producer-side only.
+func (r *frameRing) reserve() *slot {
+	t := r.tail.Load()
+	if t-r.head.Load() == uint64(len(r.slots)) {
+		return nil
+	}
+	return &r.slots[t&r.mask]
+}
+
+// publish completes the reserved cell with n samples (or closeMark) and
+// makes it visible to the consumer. It reports whether the ring was
+// empty immediately before — the producer uses the empty→non-empty
+// transition as its wake-the-consumer hint. Producer-side only.
+func (r *frameRing) publish(n int32) (wasEmpty bool) {
+	t := r.tail.Load()
+	r.slots[t&r.mask].n = n
+	wasEmpty = t == r.head.Load()
+	r.tail.Store(t + 1) // release: the cell write above precedes this
+	return wasEmpty
+}
+
+// peek returns the consumer's next published cell, or nil while the
+// ring is empty. The cell stays owned by the consumer until pop.
+// Consumer-side only.
+func (r *frameRing) peek() *slot {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return nil
+	}
+	return &r.slots[h&r.mask]
+}
+
+// pop frees the cell returned by peek. Consumer-side only.
+func (r *frameRing) pop() { r.head.Store(r.head.Load() + 1) }

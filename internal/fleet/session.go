@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Session is the producer-side handle of one admitted session. Exactly
+// one goroutine (the session's I/O loop) may drive it:
+//
+//	buf, err := s.NextFrame() // wait for a ring cell
+//	n := fill(buf)            // read samples straight into the ring
+//	s.Publish(n)
+//	... drain s.Events() opportunistically ...
+//	s.CloseSend()
+//	for ev := range s.Events() { ... } // final event, then channel close
+//
+// Events carries the Proc's emitted events in order. The channel's last
+// cell is reserved for the final event: finals are always delivered,
+// interim events beyond the buffer are dropped and counted. The fleet
+// closes Events when the session is done; after that the producer owns
+// the Session again and may call nothing but Degraded/Key.
+type Session struct {
+	fl       *Fleet
+	sh       *shard
+	key      uint64
+	rate     float64
+	frame    int
+	degraded bool
+
+	ring   frameRing
+	events chan interface{}
+
+	// aborted asks the worker to discard the session; done marks the
+	// worker finished with it (events closed). kicked is set with done
+	// on force-abort so a blocked producer bails out.
+	aborted atomic.Bool
+	done    atomic.Bool
+
+	closeSent bool
+	closedAt  time.Time // CloseSend time, for verdict latency
+
+	// attach-time state, owner: shard worker.
+	proc Proc
+}
+
+// Key returns the session's shard-affinity key.
+func (s *Session) Key() uint64 { return s.key }
+
+// Rate returns the session sample rate.
+func (s *Session) Rate() float64 { return s.rate }
+
+// FrameSamples returns the session's nominal frame size.
+func (s *Session) FrameSamples() int { return s.frame }
+
+// Degraded reports whether the session was admitted in degraded mode.
+func (s *Session) Degraded() bool { return s.degraded }
+
+// RingOccupancy returns the published-but-unprocessed frame count —
+// the producer's view of how far ahead of its shard it is running.
+func (s *Session) RingOccupancy() int { return s.ring.occupancy() }
+
+// Events returns the session's ordered event stream. It is closed by
+// the fleet when the session finishes (after the final event) or
+// aborts (without one).
+func (s *Session) Events() <-chan interface{} { return s.events }
+
+// NextFrame returns the next ring cell's sample buffer, blocking while
+// the ring is full (bounded-buffer backpressure: the producer slows to
+// the shard's pace instead of queueing unboundedly). Fill up to
+// len(buf) samples and call Publish. It fails with ErrSessionDone if
+// the fleet force-aborted the session while waiting.
+func (s *Session) NextFrame() ([]float64, error) {
+	for spins := 0; ; spins++ {
+		if s.done.Load() {
+			return nil, ErrSessionDone
+		}
+		if sl := s.ring.reserve(); sl != nil {
+			return sl.buf, nil
+		}
+		if spins == 0 {
+			s.fl.m.RingFullWaits.Inc()
+		}
+		backoff(spins)
+	}
+}
+
+// Publish completes the cell returned by NextFrame with n samples
+// (1 <= n <= FrameSamples) and wakes the shard if needed.
+func (s *Session) Publish(n int) {
+	if n <= 0 || n > s.frame {
+		panic("fleet: Publish sample count outside 1..FrameSamples")
+	}
+	s.publish(int32(n))
+	s.fl.m.RingOccupancy.Observe(float64(s.ring.occupancy()))
+}
+
+// CloseSend ends the audio stream: the worker finalizes the processor
+// and delivers the final event before closing Events. Blocks like
+// NextFrame while the ring is full.
+func (s *Session) CloseSend() error {
+	if s.closeSent {
+		return nil
+	}
+	for spins := 0; s.ring.reserve() == nil; spins++ {
+		if s.done.Load() {
+			return ErrSessionDone
+		}
+		if spins == 0 {
+			s.fl.m.RingFullWaits.Inc()
+		}
+		backoff(spins)
+	}
+	s.closeSent = true
+	s.closedAt = time.Now()
+	s.publish(closeMark)
+	return nil
+}
+
+// Abort discards the session without a final event: the worker drops
+// any queued frames, recycles the processor and closes Events. The
+// producer must not touch the ring afterwards.
+func (s *Session) Abort() {
+	s.aborted.Store(true)
+	s.sh.wakeup()
+}
+
+// publish pushes a completed cell and applies the wake protocol: wake
+// on the empty→non-empty transition, or whenever the worker has
+// declared itself sleeping (Dekker pairing with the worker's
+// sleeping-then-rescan sequence; sequentially consistent atomics make
+// "both miss each other" impossible).
+func (s *Session) publish(n int32) {
+	wasEmpty := s.ring.publish(n)
+	if wasEmpty || s.sh.sleeping.Load() {
+		s.sh.wakeup()
+	}
+}
+
+// backoff yields the processor, escalating to short sleeps: the ring is
+// drained by a worker that is by definition busy, so spinning hard only
+// steals its cycles.
+func backoff(spins int) {
+	if spins < 64 {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(100 * time.Microsecond)
+}

@@ -1,0 +1,249 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// frameBudget bounds the frames served per session per scheduling
+	// round, so one firehose session cannot starve its shard-mates.
+	frameBudget = 32
+	// procFreeCap bounds the per-(rate, mode) processor free list. Procs
+	// hold FFT segments and accumulator frames, so a shard keeps only a
+	// few warm spares per shape instead of one per session ever seen.
+	procFreeCap = 4
+	// admitBacklog bounds admissions queued to one shard before Open
+	// briefly blocks handing the session over (cold path).
+	admitBacklog = 128
+)
+
+// procKey identifies a reusable processor shape.
+type procKey struct {
+	rate     float64
+	degraded bool
+}
+
+// shard owns a set of sessions and the single worker goroutine that
+// serves them. All fields below admitq/wake/stop are worker-private.
+type shard struct {
+	id       int
+	fl       *Fleet
+	admitq   chan *Session
+	wake     chan struct{}
+	sleeping atomic.Bool
+	stop     chan struct{}
+	stopOnce sync.Once
+	// handoffs counts OpenKeyed calls that have claimed an admission
+	// slot but not yet landed in admitq; Close's final sweep waits for
+	// it so a session can never be stranded between admission and
+	// attachment.
+	handoffs atomic.Int64
+
+	sessions []*Session
+	free     map[procKey][]Proc
+}
+
+func newShard(id int, fl *Fleet) *shard {
+	return &shard{
+		id:     id,
+		fl:     fl,
+		admitq: make(chan *Session, admitBacklog),
+		wake:   make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		free:   make(map[procKey][]Proc),
+	}
+}
+
+// wakeup nudges the worker; it never blocks (the cap-1 channel absorbs
+// redundant nudges).
+func (sh *shard) wakeup() {
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the shard worker: attach admitted sessions, round-robin the
+// attached ones with a per-round frame budget, and park when every ring
+// is empty. The park sequence — declare sleeping, rescan, then block —
+// pairs with Session.publish's publish-then-check-sleeping so a wakeup
+// can never be lost between the scan and the block.
+func (sh *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	if sh.fl.cfg.Pin {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	for {
+		progress := sh.drainAdmitq()
+		for i := 0; i < len(sh.sessions); i++ {
+			s := sh.sessions[i]
+			worked, finished := sh.serveSome(s)
+			progress = progress || worked
+			if finished {
+				last := len(sh.sessions) - 1
+				sh.sessions[i] = sh.sessions[last]
+				sh.sessions[last] = nil
+				sh.sessions = sh.sessions[:last]
+				i--
+			}
+		}
+		select {
+		case <-sh.stop:
+			sh.shutdown()
+			return
+		default:
+		}
+		if progress {
+			continue
+		}
+		sh.sleeping.Store(true)
+		if sh.pending() {
+			sh.sleeping.Store(false)
+			continue
+		}
+		select {
+		case <-sh.wake:
+		case <-sh.stop:
+			sh.sleeping.Store(false)
+			sh.shutdown()
+			return
+		}
+		sh.sleeping.Store(false)
+	}
+}
+
+// drainAdmitq attaches every queued admission.
+func (sh *shard) drainAdmitq() bool {
+	worked := false
+	for {
+		select {
+		case s := <-sh.admitq:
+			sh.attach(s)
+			worked = true
+		default:
+			return worked
+		}
+	}
+}
+
+// attach gives the session a processor (reusing a warm one of the same
+// shape when available) and adds it to the serve set.
+func (sh *shard) attach(s *Session) {
+	key := procKey{rate: s.rate, degraded: s.degraded}
+	if list := sh.free[key]; len(list) > 0 {
+		s.proc = list[len(list)-1]
+		list[len(list)-1] = nil
+		sh.free[key] = list[:len(list)-1]
+	} else {
+		s.proc = sh.fl.cfg.NewProc(s.rate, s.degraded)
+	}
+	if got := s.proc.FrameSamples(); got != s.frame {
+		panic(fmt.Sprintf("fleet: Proc frame %d disagrees with FrameFor %d at rate %g", got, s.frame, s.rate))
+	}
+	sh.sessions = append(sh.sessions, s)
+}
+
+// serveSome advances one session by up to frameBudget frames. This is
+// the fleet's hot loop: peek, Push, pop, and two histogram observations
+// — no allocation, no locks, no cross-goroutine waits.
+func (sh *shard) serveSome(s *Session) (worked, finished bool) {
+	if s.aborted.Load() {
+		sh.finish(s, true)
+		return true, true
+	}
+	m := sh.fl.m
+	for k := 0; k < frameBudget; k++ {
+		sl := s.ring.peek()
+		if sl == nil {
+			return worked, false
+		}
+		if sl.n == closeMark {
+			s.ring.pop()
+			ev := s.proc.Finalize()
+			if !s.closedAt.IsZero() {
+				m.VerdictLatencyUS.Observe(float64(time.Since(s.closedAt).Microseconds()))
+			}
+			if ev != nil {
+				s.events <- ev // reserved final cell: cannot block
+			}
+			sh.finish(s, false)
+			return true, true
+		}
+		start := time.Now()
+		ev := s.proc.Push(sl.buf[:sl.n])
+		m.FrameLatencyUS.Observe(float64(time.Since(start).Microseconds()))
+		s.ring.pop()
+		m.Frames.Inc()
+		worked = true
+		if ev != nil {
+			// The worker is the only sender, so len can only shrink under
+			// us: a cell observed free stays free. Keeping one cell in
+			// reserve guarantees the final event always has room.
+			if len(s.events) < cap(s.events)-1 {
+				s.events <- ev
+			} else {
+				m.InterimDrops.Inc()
+			}
+		}
+	}
+	return worked, false
+}
+
+// finish detaches a session: recycle its processor, release its
+// admission slot and counters, and only then close its event stream —
+// so a producer that observes Events closed also observes the slot
+// freed and the session counted.
+func (sh *shard) finish(s *Session, aborted bool) {
+	if s.proc != nil {
+		s.proc.Reset()
+		key := procKey{rate: s.rate, degraded: s.degraded}
+		if list := sh.free[key]; len(list) < procFreeCap {
+			sh.free[key] = append(list, s.proc)
+		}
+		s.proc = nil
+	}
+	if aborted {
+		sh.fl.m.Aborted.Inc()
+	} else {
+		sh.fl.m.Finished.Inc()
+	}
+	sh.fl.release(s.degraded)
+	s.done.Store(true)
+	close(s.events)
+}
+
+// pending reports work available without blocking: queued admissions,
+// abort requests, or published frames.
+func (sh *shard) pending() bool {
+	if len(sh.admitq) > 0 {
+		return true
+	}
+	for _, s := range sh.sessions {
+		if s.aborted.Load() || s.ring.peek() != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// shutdown force-aborts everything still attached or queued. On a
+// graceful Close the fleet has already drained, so this is a no-op.
+func (sh *shard) shutdown() {
+	for {
+		select {
+		case s := <-sh.admitq:
+			sh.sessions = append(sh.sessions, s)
+		default:
+			for _, s := range sh.sessions {
+				sh.finish(s, true)
+			}
+			sh.sessions = nil
+			return
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package stream
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"inaudible/internal/fleet"
+)
+
+// BenchmarkFleetThroughput measures the fleet serving real guard
+// sessions: S concurrent sessions fed round-robin through their frame
+// rings, one op = one 20 ms frame through the full Guard DSP on a
+// shard worker. Run with -benchmem: the steady-state loop must report
+// 0 allocs/op (the acceptance gate). Reported metrics:
+//
+//	frames/sec      — aggregate frame throughput
+//	rt_sessions     — sustained realtime sessions supported at this
+//	                  throughput (frames/sec over the 50 frames/sec one
+//	                  live session consumes)
+func BenchmarkFleetThroughput(b *testing.B) {
+	const rate = 48000.0
+	const sessions = 4
+	det := testDetector(b)
+	fl := NewFleet(ServerConfig{Detector: det, MaxSessions: -1, Shards: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := fl.Close(ctx); err != nil {
+			b.Fatalf("Close: %v", err)
+		}
+	}()
+
+	sig := attackLike(rate, 1.0, 99)
+	open := func() []*sessionFeeder {
+		fs := make([]*sessionFeeder, sessions)
+		for i := range fs {
+			s, err := fl.Open(rate)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fs[i] = &sessionFeeder{s: s, src: sig.Samples}
+		}
+		return fs
+	}
+	feeders := open()
+	// Warm-up: past the guards' buffer-growth phase so the measured
+	// region is the steady state.
+	for i := 0; i < 300*sessions; i++ {
+		feeders[i%sessions].feed(b)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		feeders[i%sessions].feed(b)
+	}
+	for _, f := range feeders {
+		f.drain(b)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	framesPerSec := float64(b.N) / elapsed.Seconds()
+	b.ReportMetric(framesPerSec, "frames/sec")
+	b.ReportMetric(framesPerSec/50, "rt_sessions")
+
+	for _, f := range feeders {
+		if err := f.s.CloseSend(); err != nil {
+			b.Fatal(err)
+		}
+		sawFinal := false
+		for ev := range f.s.Events() {
+			if ev.(*Verdict).Final {
+				sawFinal = true
+			}
+		}
+		if !sawFinal {
+			b.Fatalf("session lost its final verdict")
+		}
+	}
+}
+
+// sessionFeeder pushes frames from a looped source signal.
+type sessionFeeder struct {
+	s   *fleet.Session
+	src []float64
+	off int
+}
+
+func (f *sessionFeeder) feed(b *testing.B) {
+	buf, err := f.s.NextFrame()
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := len(buf)
+	if f.off+n > len(f.src) {
+		f.off = 0
+	}
+	copy(buf, f.src[f.off:f.off+n])
+	f.off += n
+	f.s.Publish(n)
+}
+
+// drain waits for the session's ring to empty so the timed region
+// covers the processing, not just the enqueue.
+func (f *sessionFeeder) drain(b *testing.B) {
+	for f.s.RingOccupancy() > 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+}

@@ -1,0 +1,109 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// FuzzGRD1Framing drives the GRD1 header and chunk framing decoder —
+// the hostile-input surface of the wire protocol — with arbitrary
+// bytes: it must never panic, never allocate beyond the MaxChunkBytes
+// cap, decode only in-range samples, classify every failure as a
+// protocol error, and latch EOF. This is the wire twin of sim's
+// FuzzSpecLoader hardening; the full server's line discipline over
+// these errors is pinned by TestServeRejectsAbsurdHeaders and the churn
+// tests (a live server's background shards would make fuzz coverage
+// nondeterministic).
+func FuzzGRD1Framing(f *testing.F) {
+	f.Add(encodePCMSession(legitLike(48000, 0.05, 7), 960))
+	f.Add([]byte("GRD1"))
+	f.Add([]byte("NOPE----"))
+	grd1 := func(rate uint32, tail []byte) []byte {
+		var b bytes.Buffer
+		b.WriteString(Magic)
+		var u32 [4]byte
+		binary.LittleEndian.PutUint32(u32[:], rate)
+		b.Write(u32[:])
+		b.Write(tail)
+		return b.Bytes()
+	}
+	var huge [4]byte
+	binary.LittleEndian.PutUint32(huge[:], MaxChunkBytes+2)
+	f.Add(grd1(0, nil))
+	f.Add(grd1(48000, huge[:]))
+	f.Add(grd1(48000, []byte{3, 0, 0, 0, 1, 2, 3}))      // odd chunk
+	f.Add(grd1(4_000_000_000, []byte{4, 0, 0, 0, 1, 2})) // absurd rate + truncated chunk
+	f.Add(grd1(48000, []byte{0, 0, 0, 0}))               // immediate clean end
+	f.Add(grd1(MaxSampleRate+1, []byte{2, 0, 0, 0, 1, 1}))
+
+	// Reused across execs: per-exec allocation churn (and the GC cycles
+	// it forces) shows up as nondeterministic coverage that traps the
+	// fuzz engine in minimization.
+	br := bufio.NewReaderSize(nil, 4096)
+	dst := make([]float64, 960)
+	scratch := make([]byte, 1024)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br.Reset(bytes.NewReader(data))
+		magic, err := br.Peek(4)
+		if err != nil || string(magic) != Magic {
+			// Non-GRD1 sessions: WAV framing has its own fuzz target
+			// (audio.FuzzWAVReader), unknown magics fail before framing.
+			return
+		}
+		br.Discard(4)
+		var rateBuf [4]byte
+		if _, err := io.ReadFull(br, rateBuf[:]); err != nil {
+			return
+		}
+		rate := float64(binary.LittleEndian.Uint32(rateBuf[:]))
+		if err := validateRate(rate); err != nil {
+			if !errors.Is(err, ErrProtocol) {
+				t.Fatalf("rate %g rejected with a non-protocol error: %v", rate, err)
+			}
+			return
+		}
+
+		pcm := pcmChunkReader{br: br, buf: scratch[:]}
+		total := 0
+		for {
+			n, err := pcm.read(dst)
+			if n < 0 || n > len(dst) {
+				t.Fatalf("read returned %d samples for a %d buffer", n, len(dst))
+			}
+			for i := 0; i < n; i++ {
+				// int16 decoding: -32768/32767 slightly under-runs -1.
+				if math.IsNaN(dst[i]) || dst[i] > 1 || dst[i] < -1.0001 {
+					t.Fatalf("sample %d decoded out of range: %g", total+i, dst[i])
+				}
+			}
+			total += n
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !errors.Is(err, ErrProtocol) {
+					t.Fatalf("framing failure not a protocol error: %v", err)
+				}
+				return
+			}
+			if total > len(data) { // 2 bytes per sample: cannot exceed input
+				t.Fatalf("decoded %d samples from %d input bytes", total, len(data))
+			}
+		}
+		// EOF latches: the terminator ends the session for good.
+		for i := 0; i < 3; i++ {
+			if n, err := pcm.read(dst); n != 0 || err != io.EOF {
+				t.Fatalf("post-EOF read returned (%d, %v)", n, err)
+			}
+		}
+		if cap(pcm.buf) > MaxChunkBytes {
+			t.Fatalf("chunk buffer grew to %d, beyond MaxChunkBytes %d", cap(pcm.buf), MaxChunkBytes)
+		}
+	})
+}

@@ -72,6 +72,10 @@ type Verdict struct {
 	// Final marks the end-of-session verdict (filter chains flushed,
 	// full batch parity); interim verdicts cover the stream so far.
 	Final bool
+	// Degraded marks a verdict from the overload service class
+	// (DegradedGuard): VAD and trace-band signals are live, but no full
+	// feature analysis was run and Attack/Score are not populated.
+	Degraded bool
 	// Samples and Duration measure the audio consumed at emission.
 	Samples  int
 	Duration float64 // seconds

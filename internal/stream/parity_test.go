@@ -1,0 +1,456 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/defense"
+)
+
+// directServeSession is the PR 2 serving path, kept verbatim as the
+// parity reference: decode the session, feed one Guard inline on this
+// goroutine, write verdict lines directly. The fleet-served Server must
+// produce byte-identical lines (modulo the wall-clock latency fields).
+func directServeSession(t *testing.T, det defense.Detector, session []byte, emitEvery int) []byte {
+	t.Helper()
+	br := bufio.NewReaderSize(bytes.NewReader(session), 64<<10)
+	var out bytes.Buffer
+	bw := bufio.NewWriter(&out)
+
+	var rate float64
+	var next func([]float64) (int, error)
+	magic, err := br.Peek(4)
+	if err != nil {
+		t.Fatalf("peek: %v", err)
+	}
+	switch string(magic) {
+	case "RIFF":
+		wr, err := audio.NewWAVReader(br)
+		if err != nil {
+			t.Fatalf("wav: %v", err)
+		}
+		rate = wr.Rate()
+		next = func(dst []float64) (int, error) { return wr.Read(dst) }
+	case Magic:
+		br.Discard(4)
+		var rateBuf [4]byte
+		if _, err := io.ReadFull(br, rateBuf[:]); err != nil {
+			t.Fatalf("rate: %v", err)
+		}
+		rate = float64(binary.LittleEndian.Uint32(rateBuf[:]))
+		pcm := &pcmChunkReader{br: br, buf: make([]byte, 64<<10)}
+		next = pcm.read
+	default:
+		t.Fatalf("unknown magic %q", magic)
+	}
+
+	g := NewGuard(GuardConfig{Rate: rate, Detector: det, EmitEvery: emitEvery})
+	smp := make([]float64, g.FrameSamples())
+	for {
+		n, err := next(smp)
+		if n > 0 {
+			if v := g.Push(smp[:n]); v != nil {
+				if werr := writeVerdict(bw, v); werr != nil {
+					t.Fatal(werr)
+				}
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+	}
+	v := g.Finalize()
+	if err := writeVerdict(bw, &v); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	return out.Bytes()
+}
+
+// latencyTail matches the two wall-clock latency fields that close
+// every verdict line — the only measurement (not verdict) content.
+var latencyTail = regexp.MustCompile(`,"latency_mean_us":[0-9eE.+-]+,"latency_max_us":[0-9eE.+-]+\}$`)
+
+// canonLines splits verdict output into lines with the latency fields
+// canonicalized away, failing if any line lacks them.
+func canonLines(t *testing.T, raw []byte) []string {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	for i, ln := range lines {
+		if !latencyTail.MatchString(ln) {
+			t.Fatalf("verdict line %d has no latency tail: %q", i, ln)
+		}
+		lines[i] = latencyTail.ReplaceAllString(ln, "}")
+	}
+	return lines
+}
+
+func TestFleetParityWithDirectGuard(t *testing.T) {
+	// The acceptance pin: fleet-served verdicts are byte-identical to
+	// the PR 2 direct path for the same input — every interim line and
+	// the final, across both wire formats, including chunk sizes that
+	// are not frame-aligned.
+	const rate = 48000.0
+	det := testDetector(t)
+
+	wavSession := func(sig *audio.Signal) []byte {
+		var b bytes.Buffer
+		if err := audio.WriteWAV(&b, sig); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+
+	cases := []struct {
+		name      string
+		session   []byte
+		emitEvery int
+	}{
+		{"pcm-attack-interim", encodePCMSession(attackLike(rate, 2.0, 80), 960), 25},
+		{"pcm-attack-oddchunks", encodePCMSession(attackLike(rate, 1.7, 81), 1001), 10},
+		{"pcm-legit-finalonly", encodePCMSession(legitLike(rate, 1.5, 82), 4096), 0},
+		{"wav-legit-interim", wavSession(legitLike(rate, 2.0, 83)), 20},
+		{"wav-attack-interim", wavSession(attackLike(rate, 1.3, 84)), 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := canonLines(t, directServeSession(t, det, tc.session, tc.emitEvery))
+
+			srv := NewServer(ServerConfig{Detector: det, EmitEvery: tc.emitEvery, Shards: 2})
+			defer shutdownServer(t, srv)
+			var out bytes.Buffer
+			if err := srv.ServeSession(bytes.NewReader(tc.session), &out); err != nil {
+				t.Fatalf("ServeSession: %v", err)
+			}
+			got := canonLines(t, out.Bytes())
+
+			if len(got) != len(want) {
+				t.Fatalf("fleet path wrote %d lines, direct path %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("line %d diverged:\nfleet:  %s\ndirect: %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func shutdownServer(t testing.TB, srv *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+func TestServeDegradedUnderOverload(t *testing.T) {
+	// One slot, degradation on: while a session pins the slot, the next
+	// session is served degraded (VAD + trace band, "degraded":true,
+	// never attack), and a third is explicitly rejected — no hangs, no
+	// silent drops.
+	const rate = 48000.0
+	det := testDetector(t)
+	srv := NewServer(ServerConfig{Detector: det, MaxSessions: 1, Degrade: true, Shards: 1})
+	defer shutdownServer(t, srv)
+
+	// Session 1 occupies the full-service slot: a pipe we keep open.
+	pr, pw := io.Pipe()
+	hold := encodePCMSession(attackLike(rate, 0.5, 90), 960)
+	holdDone := make(chan error, 1)
+	go func() {
+		var out bytes.Buffer
+		holdDone <- srv.ServeSession(pr, &out)
+	}()
+	// Feed the header + audio but not the terminator, then wait until
+	// the fleet has it admitted.
+	if _, err := pw.Write(hold[:len(hold)-4]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { full, _ := srv.Fleet().Active(); return full == 1 })
+
+	// Session 2 degrades.
+	session := encodePCMSession(attackLike(rate, 1.0, 91), 960)
+	var out bytes.Buffer
+	if err := srv.ServeSession(bytes.NewReader(session), &out); err != nil {
+		t.Fatalf("degraded session: %v", err)
+	}
+	v := finalVerdict(t, out.Bytes())
+	if !v.Degraded {
+		t.Fatalf("overload session not marked degraded: %+v", v)
+	}
+	if v.Attack {
+		t.Fatalf("degraded session claimed an attack verdict: %+v", v)
+	}
+	if v.Samples != int(rate*1.0) {
+		t.Fatalf("degraded verdict samples = %d, want %d", v.Samples, int(rate*1.0))
+	}
+	if v.TraceBandPower == 0 {
+		t.Fatalf("degraded verdict lost the trace-band signal: %+v", v)
+	}
+	if srv.Fleet().Metrics().AdmittedDegraded.Value() != 1 {
+		t.Fatalf("degraded admission not counted")
+	}
+
+	// Session 3: beyond 2x the cap while both are in flight — explicit
+	// rejection. Hold session 2's twin open to pin the degraded slot.
+	pr2, pw2 := io.Pipe()
+	deg2Done := make(chan error, 1)
+	go func() {
+		var o bytes.Buffer
+		deg2Done <- srv.ServeSession(pr2, &o)
+	}()
+	if _, err := pw2.Write(hold[:len(hold)-4]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { _, deg := srv.Fleet().Active(); return deg == 1 })
+
+	var out3 bytes.Buffer
+	err := srv.ServeSession(bytes.NewReader(session), &out3)
+	if err == nil {
+		t.Fatalf("third session admitted beyond the degrade ceiling")
+	}
+	if !strings.Contains(out3.String(), "overloaded") {
+		t.Fatalf("rejection line missing explicit overload error: %q", out3.String())
+	}
+	if srv.Fleet().Metrics().Rejected.Value() == 0 {
+		t.Fatalf("rejection not counted")
+	}
+
+	// Release the held sessions; both must still complete cleanly.
+	var term [4]byte
+	pw.Write(term[:])
+	pw.Close()
+	pw2.Write(term[:])
+	pw2.Close()
+	if err := <-holdDone; err != nil {
+		t.Fatalf("held session: %v", err)
+	}
+	if err := <-deg2Done; err != nil {
+		t.Fatalf("held degraded session: %v", err)
+	}
+}
+
+// parseFinal extracts the last verdict line, goroutine-safe (no
+// testing.T calls).
+func parseFinal(out []byte) (wireVerdict, error) {
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	var v wireVerdict
+	if len(lines) == 0 {
+		return v, fmt.Errorf("no verdict lines")
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &v); err != nil {
+		return v, fmt.Errorf("parsing %q: %w", lines[len(lines)-1], err)
+	}
+	if !v.Final {
+		return v, fmt.Errorf("last line not final: %q", lines[len(lines)-1])
+	}
+	return v, nil
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestServerShutdownDrainsInFlight(t *testing.T) {
+	// Shutdown after the listener closes: the in-flight session still
+	// delivers its final verdict (drain, not kill).
+	const rate = 48000.0
+	det := testDetector(t)
+	srv := NewServer(ServerConfig{Detector: det, Workers: 2})
+	session := encodePCMSession(legitLike(rate, 1.0, 95), 960)
+
+	pr, pw := io.Pipe()
+	done := make(chan struct {
+		out []byte
+		err error
+	}, 1)
+	go func() {
+		var out bytes.Buffer
+		err := srv.ServeSession(pr, &out)
+		done <- struct {
+			out []byte
+			err error
+		}{out.Bytes(), err}
+	}()
+	if _, err := pw.Write(session[:len(session)/2]); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { full, _ := srv.Fleet().Active(); return full == 1 })
+
+	shutdown := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdown <- srv.Shutdown(ctx)
+	}()
+	// The session finishes while shutdown waits.
+	if _, err := pw.Write(session[len(session)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("in-flight session during shutdown: %v", res.err)
+	}
+	if v := finalVerdict(t, res.out); !v.Final {
+		t.Fatalf("no final verdict from drained session")
+	}
+	if err := <-shutdown; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// After shutdown, new sessions get an explicit error line.
+	var out bytes.Buffer
+	if err := srv.ServeSession(bytes.NewReader(session), &out); err == nil {
+		t.Fatalf("session admitted after shutdown")
+	}
+	if !strings.Contains(out.String(), "closed") {
+		t.Fatalf("post-shutdown error line: %q", out.String())
+	}
+}
+
+func TestServeRejectsAbsurdHeaders(t *testing.T) {
+	det := testDetector(t)
+	srv := NewServer(ServerConfig{Detector: det})
+	defer shutdownServer(t, srv)
+
+	grd1 := func(rate uint32, chunks ...[]byte) []byte {
+		var b bytes.Buffer
+		b.WriteString(Magic)
+		var u32 [4]byte
+		binary.LittleEndian.PutUint32(u32[:], rate)
+		b.Write(u32[:])
+		for _, c := range chunks {
+			b.Write(c)
+		}
+		return b.Bytes()
+	}
+	chunk := func(n uint32, payload int) []byte {
+		var b bytes.Buffer
+		var u32 [4]byte
+		binary.LittleEndian.PutUint32(u32[:], n)
+		b.Write(u32[:])
+		b.Write(make([]byte, payload))
+		return b.Bytes()
+	}
+
+	cases := map[string][]byte{
+		"rate-zero":      grd1(0),
+		"rate-low":       grd1(8000),
+		"rate-absurd":    grd1(4_000_000_000),
+		"rate-above-max": grd1(MaxSampleRate + 1),
+		"chunk-huge":     grd1(48000, chunk(MaxChunkBytes+2, 0)),
+		"chunk-odd":      grd1(48000, chunk(3, 3)),
+		"chunk-trunc":    grd1(48000, chunk(960, 100)),
+	}
+	for name, session := range cases {
+		t.Run(name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := srv.ServeSession(bytes.NewReader(session), &out)
+			if err == nil {
+				t.Fatalf("absurd header accepted")
+			}
+			if !strings.Contains(err.Error(), "malformed session") {
+				t.Fatalf("error not a protocol error: %v", err)
+			}
+			if !strings.Contains(out.String(), "error") {
+				t.Fatalf("no error line written: %q", out.String())
+			}
+		})
+	}
+	if srv.Sessions() != int64(len(cases)) {
+		t.Fatalf("session counter = %d, want %d", srv.Sessions(), len(cases))
+	}
+	if full, deg := srv.Fleet().Active(); full != 0 || deg != 0 {
+		t.Fatalf("malformed sessions leaked admissions: %d/%d", full, deg)
+	}
+}
+
+func TestServeChurnUnderRace(t *testing.T) {
+	// Sessions connecting and disconnecting (some mid-stream) while the
+	// fleet serves — the serving half of the race-mode gate, now with
+	// shard churn instead of a worker pool.
+	const rate = 48000.0
+	det := testDetector(t)
+	srv := NewServer(ServerConfig{Detector: det, MaxSessions: -1, Shards: 3, EmitEvery: 20})
+	defer shutdownServer(t, srv)
+
+	attack := encodePCMSession(attackLike(rate, 1.0, 70), 960)
+	legit := encodePCMSession(legitLike(rate, 1.0, 71), 960)
+
+	const clients = 6
+	const perClient = 4
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func(c int) {
+			for i := 0; i < perClient; i++ {
+				session := attack
+				wantAttack := true
+				if (c+i)%2 == 1 {
+					session = legit
+					wantAttack = false
+				}
+				if (c+i)%5 == 4 {
+					// Hard disconnect mid-session: truncated stream.
+					var out bytes.Buffer
+					if err := srv.ServeSession(bytes.NewReader(session[:len(session)/3]), &out); err == nil {
+						errs <- fmt.Errorf("client %d: truncated session did not error", c)
+						return
+					}
+					continue
+				}
+				var out bytes.Buffer
+				if err := srv.ServeSession(bytes.NewReader(session), &out); err != nil {
+					errs <- fmt.Errorf("client %d session %d: %v", c, i, err)
+					return
+				}
+				v, err := parseFinal(out.Bytes())
+				if err != nil {
+					errs <- fmt.Errorf("client %d session %d: %v", c, i, err)
+					return
+				}
+				if v.Attack != wantAttack {
+					errs <- fmt.Errorf("client %d session %d: attack=%v want %v", c, i, v.Attack, wantAttack)
+					return
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if full, deg := srv.Fleet().Active(); full != 0 || deg != 0 {
+		t.Fatalf("churn leaked sessions: %d/%d", full, deg)
+	}
+	m := srv.Fleet().Metrics()
+	if m.Aborted.Value() == 0 {
+		t.Fatalf("expected aborted sessions from mid-stream disconnects")
+	}
+	if m.Finished.Value() == 0 || m.Frames.Value() == 0 {
+		t.Fatalf("fleet served nothing: %+v finished, %d frames", m.Finished.Value(), m.Frames.Value())
+	}
+}

@@ -1,0 +1,158 @@
+package stream
+
+import (
+	"time"
+
+	"inaudible/internal/defense"
+	"inaudible/internal/dsp"
+	"inaudible/internal/fleet"
+	"inaudible/internal/voice"
+)
+
+// This file adapts the streaming guard to the fleet serving core:
+// guardProc wraps the full Guard, degradedProc is the graceful-
+// degradation path admitted when the fleet is beyond its full-service
+// capacity. Both are fleet.Procs — single-goroutine state driven by the
+// owning shard worker.
+
+// guardProc runs a full Guard as a fleet processor.
+type guardProc struct {
+	g *Guard
+}
+
+func (p *guardProc) FrameSamples() int { return p.g.FrameSamples() }
+
+func (p *guardProc) Push(frame []float64) interface{} {
+	if v := p.g.Push(frame); v != nil {
+		return v
+	}
+	return nil
+}
+
+func (p *guardProc) Finalize() interface{} {
+	v := p.g.Finalize()
+	return &v
+}
+
+func (p *guardProc) Reset() { p.g.Reset() }
+
+// DegradedGuard is the overload service class: online VAD plus the
+// rolling trace-band monitor, with the full feature analyzer (the
+// expensive part — Welch/STFT accumulators, Hilbert envelope
+// correlation) elided. Its verdicts carry Degraded=true, never claim
+// Attack, and report the live VAD and trace-band signals so a client
+// still sees the cheap always-on alarm channel; full analysis is
+// deferred to a non-overloaded retry. It exists so overload produces an
+// explicit, useful answer instead of a hang or a silent drop.
+type DegradedGuard struct {
+	cfg     GuardConfig
+	vad     *voice.StreamVAD
+	tracker *dsp.BandTracker
+	samples int
+	frames  int
+	lat     LatencyStats
+	done    bool
+}
+
+// NewDegradedGuard builds the degraded session processor. Detector is
+// not needed: no full feature vector is ever scored.
+func NewDegradedGuard(cfg GuardConfig) *DegradedGuard {
+	if cfg.FrameSamples <= 0 {
+		cfg.FrameSamples = int(0.020 * cfg.Rate)
+	}
+	if cfg.VADThreshDB <= 0 {
+		cfg.VADThreshDB = 30
+	}
+	b := defense.Bands()
+	probes := []float64{
+		b.TraceLo + (b.TraceHi-b.TraceLo)*0.1,
+		(b.TraceLo + b.TraceHi) / 2,
+		b.TraceHi - (b.TraceHi-b.TraceLo)*0.1,
+	}
+	return &DegradedGuard{
+		cfg:     cfg,
+		vad:     voice.NewStreamVAD(cfg.Rate, cfg.VADThreshDB),
+		tracker: dsp.NewBandTracker(cfg.Rate, probes, cfg.FrameSamples, 0.2),
+	}
+}
+
+// FrameSamples returns the processing hop in samples.
+func (d *DegradedGuard) FrameSamples() int { return d.cfg.FrameSamples }
+
+// Push feeds session audio, returning an interim verdict on EmitEvery
+// frame boundaries like Guard.Push.
+func (d *DegradedGuard) Push(x []float64) *Verdict {
+	start := time.Now()
+	d.vad.Push(x)
+	d.tracker.Push(x)
+	framesBefore := d.frames
+	d.samples += len(x)
+	d.frames = d.samples / d.cfg.FrameSamples
+	elapsed := time.Since(start)
+	d.lat.Pushes++
+	d.lat.Total += elapsed
+	d.lat.Frames = d.frames
+	if elapsed > d.lat.MaxPush {
+		d.lat.MaxPush = elapsed
+	}
+	if d.cfg.EmitEvery > 0 && d.frames/d.cfg.EmitEvery > framesBefore/d.cfg.EmitEvery {
+		v := d.verdict(false)
+		return &v
+	}
+	return nil
+}
+
+// Finalize returns the end-of-session degraded verdict.
+func (d *DegradedGuard) Finalize() Verdict {
+	d.done = true
+	return d.verdict(true)
+}
+
+// Reset clears all per-session state for reuse.
+func (d *DegradedGuard) Reset() {
+	d.vad.Reset()
+	d.tracker.Reset()
+	d.samples = 0
+	d.frames = 0
+	d.lat = LatencyStats{}
+	d.done = false
+}
+
+func (d *DegradedGuard) verdict(final bool) Verdict {
+	return Verdict{
+		Degraded:       true,
+		Final:          final,
+		Samples:        d.samples,
+		Duration:       float64(d.samples) / d.cfg.Rate,
+		SpeechActive:   d.vad.Active(),
+		ActiveFraction: d.vad.ActiveFraction(),
+		TraceBandPower: d.tracker.RollingTotal(),
+		Latency:        d.lat,
+	}
+}
+
+// degradedProc runs a DegradedGuard as a fleet processor.
+type degradedProc struct {
+	g *DegradedGuard
+}
+
+func (p *degradedProc) FrameSamples() int { return p.g.FrameSamples() }
+
+func (p *degradedProc) Push(frame []float64) interface{} {
+	if v := p.g.Push(frame); v != nil {
+		return v
+	}
+	return nil
+}
+
+func (p *degradedProc) Finalize() interface{} {
+	v := p.g.Finalize()
+	return &v
+}
+
+func (p *degradedProc) Reset() { p.g.Reset() }
+
+var (
+	_ fleet.Proc = (*guardProc)(nil)
+	_ fleet.Proc = (*degradedProc)(nil)
+)

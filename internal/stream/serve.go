@@ -2,6 +2,7 @@ package stream
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -15,10 +16,9 @@ import (
 
 	"inaudible/internal/audio"
 	"inaudible/internal/defense"
+	"inaudible/internal/fleet"
+	"inaudible/internal/telemetry"
 )
-
-// runtimeWorkers is the default session concurrency.
-func runtimeWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Wire protocol of the guard service. One connection (or one stdin run)
 // carries one audio session, in either of two self-identifying formats:
@@ -33,7 +33,13 @@ func runtimeWorkers() int { return runtime.GOMAXPROCS(0) }
 // progresses: zero or more {"final":false,...} interim lines (every
 // ServerConfig.EmitEvery frames) and exactly one {"final":true,...}
 // line at end of session. Malformed sessions get one {"error":...}
-// line.
+// line. Sessions served in the overload degradation class additionally
+// carry "degraded":true (see DegradedGuard).
+//
+// Hostile-input hardening: headers are validated before any session
+// state is built. Sample rates outside (MinSampleRate, MaxSampleRate]
+// and chunks that are oversized, odd-length, or truncated all fail with
+// an ErrProtocol error naming the offending value and the limit.
 
 // Magic is the length-prefixed PCM session preamble.
 const Magic = "GRD1"
@@ -42,56 +48,142 @@ const Magic = "GRD1"
 // 48 kHz) so a hostile length prefix cannot balloon allocations.
 const MaxChunkBytes = 1 << 20
 
+// MaxSampleRate bounds the session sample rate (384 kHz, the highest
+// real ADC family); a hostile GRD1 header cannot demand gigahertz frame
+// buffers.
+const MaxSampleRate = 384000
+
+// MinSampleRate is the exclusive lower bound of usable session rates:
+// below twice the defense's voice-band edge the features are undefined.
+func MinSampleRate() float64 { return 2 * defense.Bands().VoiceHi }
+
 // ErrProtocol reports a malformed session stream.
 var ErrProtocol = errors.New("stream: malformed session")
 
+// ErrShutdown reports a session cut short by server shutdown.
+var ErrShutdown = errors.New("stream: session aborted by server shutdown")
+
 // ServerConfig wires the concurrent guard service.
 type ServerConfig struct {
-	// Detector scores every session; it is shared and only read.
+	// Detector scores every full-service session; it is shared and only
+	// read.
 	Detector defense.Detector
-	// Workers caps concurrent sessions, with experiment.Runner's pool
-	// semantics: excess sessions queue for a slot instead of failing.
-	// <= 0 selects GOMAXPROCS.
+	// Workers caps concurrent full-service sessions with the PR 2
+	// worker-pool semantics: excess sessions queue for a slot
+	// (backpressure) instead of failing. <= 0 selects GOMAXPROCS.
+	// Superseded by MaxSessions when that is set.
 	Workers int
+	// MaxSessions caps concurrent full-service sessions; 0 defers to
+	// Workers, < 0 means unlimited.
+	MaxSessions int
+	// Shards is the number of serving shards (worker goroutines) the
+	// fleet multiplexes sessions onto; <= 0 selects GOMAXPROCS.
+	Shards int
+	// Degrade switches the overload behaviour from queueing to graceful
+	// degradation: sessions beyond the cap are served by DegradedGuard
+	// (VAD + trace band only, full analysis deferred) up to 2x the cap,
+	// and explicitly rejected beyond that.
+	Degrade bool
+	// RingFrames is the per-session frame-ring depth; <= 0 selects 16.
+	RingFrames int
 	// EmitEvery streams an interim verdict line every EmitEvery frames;
 	// 0 sends only the final verdict.
 	EmitEvery int
 	// MaxCorrSeconds bounds each session's correlation memory
 	// (see AnalyzerConfig).
 	MaxCorrSeconds float64
+	// Metrics registers the fleet's instruments (admission, frame and
+	// verdict latency, ring occupancy, drops) in the given registry;
+	// nil serves without exposition but still counts internally.
+	Metrics *telemetry.Registry
 }
 
-// Server runs guard sessions over byte streams with bounded
-// concurrency and pooled per-session state. Guards (with their FFT
-// segments and accumulator frames) are recycled through a sync.Pool, so
-// steady traffic at one sample rate allocates no fresh session state.
+// Server runs guard sessions over byte streams on the sharded fleet
+// core: each session is admitted (with backpressure or degradation),
+// routed by affinity to a shard worker that owns its Guard, and fed
+// through a bounded SPSC frame ring — the per-frame path is lock- and
+// allocation-free, and per-session I/O buffers are recycled through a
+// sync.Pool.
 type Server struct {
 	cfg      ServerConfig
-	sem      chan struct{}
-	guards   sync.Pool // *Guard, possibly of mismatched rate
+	fl       *fleet.Fleet
 	scratch  sync.Pool // *sessionScratch
 	sessions atomic.Int64
 	active   atomic.Int64
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 }
 
 // sessionScratch is the pooled per-session I/O state.
 type sessionScratch struct {
 	pcm []byte
-	smp []float64
 	br  *bufio.Reader
 	bw  *bufio.Writer
 }
 
 // NewServer builds a guard service around a trained detector.
 func NewServer(cfg ServerConfig) *Server {
+	return &Server{cfg: cfg, fl: NewFleet(cfg)}
+}
+
+// NewFleet builds the sharded serving core a Server runs on, exposed
+// for in-process load generation and benchmarks that want the fleet
+// without the wire framing.
+func NewFleet(cfg ServerConfig) *fleet.Fleet {
 	if cfg.Detector == nil {
 		panic("stream: ServerConfig.Detector is required")
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtimeWorkers()
+	maxSessions := cfg.MaxSessions
+	switch {
+	case maxSessions < 0:
+		maxSessions = 0 // unlimited
+	case maxSessions == 0:
+		if cfg.Workers > 0 {
+			maxSessions = cfg.Workers
+		} else {
+			maxSessions = runtime.GOMAXPROCS(0)
+		}
 	}
-	return &Server{cfg: cfg, sem: make(chan struct{}, workers)}
+	ringFrames := cfg.RingFrames
+	if ringFrames <= 0 {
+		ringFrames = 16
+	}
+	// The no-interim-drop proof below needs the ring depth the fleet
+	// actually builds (power-of-two rounded), not the requested one.
+	ringFrames = fleet.RingCapacity(ringFrames)
+	var metrics *fleet.Metrics
+	if cfg.Metrics != nil {
+		metrics = fleet.NewMetrics(cfg.Metrics)
+	}
+	return fleet.New(fleet.Config{
+		Shards:      cfg.Shards,
+		RingFrames:  ringFrames,
+		MaxSessions: maxSessions,
+		Degrade:     cfg.Degrade,
+		// Without degradation, keep the PR 2 contract: excess sessions
+		// queue for a slot instead of failing.
+		WaitAdmission: !cfg.Degrade,
+		// Every ring frame can emit at most one interim verdict, and the
+		// serve loop drains events after each publish — with headroom for
+		// a full ring plus the in-flight frame, wire sessions never drop
+		// interim lines (the reserve cell keeps finals unconditional).
+		EventBuffer: ringFrames + 2,
+		FrameFor:    func(rate float64) int { return int(0.020 * rate) },
+		NewProc: func(rate float64, degraded bool) fleet.Proc {
+			gc := GuardConfig{
+				Rate:           rate,
+				Detector:       cfg.Detector,
+				EmitEvery:      cfg.EmitEvery,
+				MaxCorrSeconds: cfg.MaxCorrSeconds,
+			}
+			if degraded {
+				return &degradedProc{g: NewDegradedGuard(gc)}
+			}
+			return &guardProc{g: NewGuard(gc)}
+		},
+		Metrics: metrics,
+	})
 }
 
 // Sessions returns the number of sessions served (including failed).
@@ -100,12 +192,50 @@ func (s *Server) Sessions() int64 { return s.sessions.Load() }
 // ActiveSessions returns the number of sessions currently in flight.
 func (s *Server) ActiveSessions() int64 { return s.active.Load() }
 
-// Workers reports the session concurrency cap.
-func (s *Server) Workers() int { return cap(s.sem) }
+// Workers reports the full-service session cap (0: unlimited).
+func (s *Server) Workers() int { return s.fl.MaxSessions() }
+
+// Fleet returns the serving core, for telemetry and capacity probes.
+func (s *Server) Fleet() *fleet.Fleet { return s.fl }
+
+// Shutdown stops admitting sessions, waits for in-flight sessions to
+// drain, and stops the shard workers. If ctx expires first, remaining
+// sessions are force-aborted and their connections closed (unblocking
+// readers stalled on idle peers), so ServeListener always returns.
+// Close the listener before calling it so no new connections arrive.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.fl.Close(ctx)
+	if err != nil {
+		s.connMu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.connMu.Unlock()
+	}
+	return err
+}
+
+// track registers a live connection for forced shutdown.
+func (s *Server) track(conn net.Conn) {
+	s.connMu.Lock()
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+}
+
+// untrack forgets a finished connection.
+func (s *Server) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+}
 
 // ServeListener accepts one session per connection until the listener
-// closes, fanning sessions across the worker pool. Connections beyond
-// the pool size queue for a slot (backpressure, not rejection).
+// closes, fanning sessions across the fleet. Connections beyond the
+// admission cap queue for a slot (backpressure) or degrade, per
+// ServerConfig.Degrade.
 func (s *Server) ServeListener(l net.Listener) error {
 	var wg sync.WaitGroup
 	for {
@@ -117,21 +247,19 @@ func (s *Server) ServeListener(l net.Listener) error {
 			}
 			return err
 		}
-		s.sem <- struct{}{} // acquire a session slot before spawning
+		s.track(conn)
 		wg.Add(1)
 		go func() {
-			defer func() { <-s.sem; wg.Done(); conn.Close() }()
+			defer func() { s.untrack(conn); conn.Close(); wg.Done() }()
 			s.serve(conn, conn)
 		}()
 	}
 }
 
 // ServeSession runs one session from r, writing verdict lines to w —
-// the stdin/stdout entry point. It occupies a worker slot like a
-// connection does.
+// the stdin/stdout entry point. It is subject to admission control like
+// a connection is.
 func (s *Server) ServeSession(r io.Reader, w io.Writer) error {
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
 	return s.serve(r, w)
 }
 
@@ -145,7 +273,6 @@ func (s *Server) serve(r io.Reader, w io.Writer) error {
 	if sc == nil {
 		sc = &sessionScratch{
 			pcm: make([]byte, 64<<10),
-			smp: make([]float64, 32<<10),
 			br:  bufio.NewReaderSize(nil, 64<<10),
 			bw:  bufio.NewWriterSize(nil, 4<<10),
 		}
@@ -198,6 +325,15 @@ func (s *Server) serveDecoded(sc *sessionScratch) error {
 	}
 }
 
+// validateRate applies the protocol's sample-rate window before any
+// session state is committed.
+func validateRate(rate float64) error {
+	if min := MinSampleRate(); rate <= min || rate > MaxSampleRate {
+		return fmt.Errorf("%w: sample rate %g outside (%g, %d]", ErrProtocol, rate, min, MaxSampleRate)
+	}
+	return nil
+}
+
 // pcmChunkReader decodes the length-prefixed PCM framing.
 type pcmChunkReader struct {
 	br      *bufio.Reader
@@ -247,55 +383,89 @@ func (p *pcmChunkReader) read(dst []float64) (int, error) {
 	return n, nil
 }
 
-// runSession pulls frames from next into a pooled guard and streams
-// verdict lines.
+// runSession admits a fleet session, streams frames from next into its
+// ring, and relays verdict events to the wire. The session's Guard runs
+// on its shard worker; this goroutine only moves bytes.
 func (s *Server) runSession(sc *sessionScratch, rate float64, next func([]float64) (int, error)) error {
-	minRate := 2 * defense.Bands().VoiceHi
-	if rate <= minRate || rate > 1e6 {
-		return fmt.Errorf("%w: sample rate %g outside (%g, 1e6]", ErrProtocol, rate, minRate)
+	if err := validateRate(rate); err != nil {
+		return err
 	}
-	g := s.guard(rate)
-	defer func() {
-		g.Reset()
-		s.guards.Put(g)
-	}()
+	sess, err := s.fl.Open(rate)
+	if err != nil {
+		return err
+	}
 
-	frame := g.FrameSamples()
-	if frame > len(sc.smp) {
-		sc.smp = make([]float64, frame)
-	}
-	for {
-		n, err := next(sc.smp[:frame])
-		if n > 0 {
-			if v := g.Push(sc.smp[:n]); v != nil {
-				if werr := writeVerdict(sc.bw, v); werr != nil {
+	// drainReady relays every already-delivered event without blocking.
+	drainReady := func() error {
+		for {
+			select {
+			case ev, ok := <-sess.Events():
+				if !ok {
+					return ErrShutdown
+				}
+				if werr := writeVerdict(sc.bw, ev.(*Verdict)); werr != nil {
 					return werr
 				}
+			default:
+				return nil
 			}
 		}
-		if err == io.EOF {
+	}
+	// bail abandons the session, consuming events until the worker
+	// detaches it, and returns err.
+	bail := func(err error) error {
+		sess.Abort()
+		for range sess.Events() {
+		}
+		return err
+	}
+
+	for {
+		buf, ferr := sess.NextFrame()
+		if ferr != nil {
+			for range sess.Events() {
+			}
+			return ErrShutdown
+		}
+		n, rerr := next(buf)
+		if n > 0 {
+			sess.Publish(n)
+		}
+		if derr := drainReady(); derr != nil {
+			if errors.Is(derr, ErrShutdown) {
+				return derr
+			}
+			return bail(derr)
+		}
+		if rerr == io.EOF {
 			break
 		}
-		if err != nil {
-			return err
+		if rerr != nil {
+			return bail(rerr)
 		}
 	}
-	v := g.Finalize()
-	return writeVerdict(sc.bw, &v)
-}
-
-// guard fetches a pooled guard for the session rate, rebuilding when
-// the pooled one was sized for a different rate.
-func (s *Server) guard(rate float64) *Guard {
-	if g, _ := s.guards.Get().(*Guard); g != nil && g.cfg.Rate == rate {
-		return g
+	if err := sess.CloseSend(); err != nil {
+		for range sess.Events() {
+		}
+		return ErrShutdown
 	}
-	return NewGuard(GuardConfig{
-		Rate:           rate,
-		Detector:       s.cfg.Detector,
-		EmitEvery:      s.cfg.EmitEvery,
-		MaxCorrSeconds: s.cfg.MaxCorrSeconds,
-	})
+	sawFinal := false
+	var werr error
+	for ev := range sess.Events() {
+		v := ev.(*Verdict)
+		if werr == nil {
+			if werr = writeVerdict(sc.bw, v); werr == nil && v.Final {
+				sawFinal = true
+			}
+		}
+	}
+	if werr != nil {
+		return werr
+	}
+	if !sawFinal {
+		return ErrShutdown
+	}
+	return nil
 }
 
 // wireVerdict is the JSON wire form of a Verdict.
@@ -303,6 +473,7 @@ type wireVerdict struct {
 	Attack         bool               `json:"attack"`
 	Score          float64            `json:"score"`
 	Final          bool               `json:"final"`
+	Degraded       bool               `json:"degraded,omitempty"`
 	Samples        int                `json:"samples"`
 	DurationS      float64            `json:"duration_s"`
 	VADActive      float64            `json:"vad_active"`
@@ -324,6 +495,7 @@ func writeVerdict(w io.Writer, v *Verdict) error {
 		Attack:         v.Attack,
 		Score:          finiteOr(v.Score, -1e308),
 		Final:          v.Final,
+		Degraded:       v.Degraded,
 		Samples:        v.Samples,
 		DurationS:      v.Duration,
 		VADActive:      v.ActiveFraction,

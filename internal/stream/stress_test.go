@@ -1,0 +1,34 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"time"
+
+	"inaudible/internal/defense"
+)
+
+func TestRandomSessionNeverHangs(t *testing.T) {
+	srv := NewServer(ServerConfig{Detector: defense.DemoThresholds(), MaxSessions: -1, Shards: 1, EmitEvery: 3})
+	rng := rand.New(rand.NewSource(1))
+	prefixes := [][]byte{[]byte("GRD1"), []byte("RIFF"), {}}
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(2000)
+		data := make([]byte, n)
+		rng.Read(data)
+		data = append(prefixes[rng.Intn(3)], data...)
+		done := make(chan struct{})
+		go func() {
+			var out bytes.Buffer
+			srv.ServeSession(bytes.NewReader(data), &out)
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("input %d hung: %s", i, hex.EncodeToString(data))
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// Handler exposes a registry over HTTP:
+//
+//	/metrics — Prometheus text exposition
+//	/varz    — JSON snapshot (histograms as count/mean/p50/p95/p99/max)
+//	/healthz — "ok" (the process is up and serving)
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/varz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// ListenAndServe binds addr and serves Handler(r) in a background
+// goroutine, returning the bound listener (useful with ":0") and the
+// server for shutdown. Serving errors after a successful bind are
+// dropped: metrics are best-effort and must never take the data plane
+// down with them.
+func ListenAndServe(addr string, r *Registry) (net.Listener, *http.Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(l)
+	return l, srv, nil
+}

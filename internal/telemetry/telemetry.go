@@ -1,0 +1,321 @@
+// Package telemetry provides the repository's serving-side metrics:
+// atomic counters, gauges and fixed-bucket latency histograms with a
+// registry that renders Prometheus text exposition and a JSON snapshot.
+//
+// The instruments are built for hot loops: Counter.Inc, Gauge.Set and
+// Histogram.Observe are single atomic operations with no allocation and
+// no locks, so a per-frame observation in the fleet's shard workers
+// costs nanoseconds and never serialises shards against each other.
+// Registration and rendering are cold paths and may lock.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous signed level (active sessions, queue depth).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the level by delta (use a negative delta to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution: bucket upper bounds are
+// frozen at construction, observations are two atomic adds plus a
+// binary search over the bounds, and quantiles are estimated by linear
+// interpolation inside the covering bucket. The implicit final bucket
+// catches everything above the last bound.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf implicit after the last
+	counts []atomic.Uint64 // len(bounds)+1
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	max    atomic.Uint64 // float64 bits of the largest observation
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds. It panics on empty or unsorted bounds — histogram shapes are
+// static configuration, not data.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("telemetry: histogram bounds must be ascending")
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// ExpBuckets returns n geometric bucket bounds start, start*factor, ...
+// — the usual shape for latency distributions.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("telemetry: ExpBuckets wants start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Observe records one value. NaN is ignored (it would poison sum and
+// quantiles); -Inf lands in the first bucket, +Inf in the overflow one.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	// sort.SearchFloat64s returns the first bound >= v's bucket; values
+	// above every bound index the implicit overflow bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Max returns the largest observation (0 before any).
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.max.Load()) }
+
+// Mean returns the average observation (0 before any).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear
+// interpolation inside the covering bucket. Observations in the
+// overflow bucket report the last bound (the histogram cannot see
+// further). Returns 0 before any observation.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank && c > 0 {
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / c
+			return h.clampToMax(lo + (hi-lo)*frac)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// clampToMax keeps interpolated quantiles from overshooting the largest
+// real observation (possible when a bucket is sparsely filled).
+func (h *Histogram) clampToMax(v float64) float64 {
+	if m := h.Max(); m > 0 && v > m {
+		return m
+	}
+	return v
+}
+
+// Metric is the registry-facing surface of an instrument.
+type Metric interface {
+	// promType is the Prometheus metric type keyword.
+	promType() string
+	// writeProm renders the sample lines (not the HELP/TYPE header).
+	writeProm(w io.Writer, name string)
+	// snapshot returns the JSON-friendly /varz value.
+	snapshot() interface{}
+}
+
+func (c *Counter) promType() string { return "counter" }
+func (c *Counter) writeProm(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %d\n", name, c.Value())
+}
+func (c *Counter) snapshot() interface{} { return c.Value() }
+
+func (g *Gauge) promType() string { return "gauge" }
+func (g *Gauge) writeProm(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %d\n", name, g.Value())
+}
+func (g *Gauge) snapshot() interface{} { return g.Value() }
+
+func (h *Histogram) promType() string { return "histogram" }
+func (h *Histogram) writeProm(w io.Writer, name string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+// histogramSnapshot is the /varz form of a histogram.
+type histogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+func (h *Histogram) snapshot() interface{} {
+	return histogramSnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+func formatBound(b float64) string {
+	if b == math.Trunc(b) && math.Abs(b) < 1e15 {
+		return fmt.Sprintf("%d", int64(b))
+	}
+	return fmt.Sprintf("%g", b)
+}
+
+// entry is one registered metric with its exposition metadata.
+type entry struct {
+	name, help string
+	m          Metric
+}
+
+// Registry is an ordered collection of named metrics. Names follow
+// Prometheus conventions (snake_case, _total suffix on counters, unit
+// suffix like _us on histograms) and must be unique.
+type Registry struct {
+	mu      sync.Mutex
+	entries []entry
+	names   map[string]bool
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// Add registers a metric under a unique name. It panics on a duplicate
+// name — metric wiring is static configuration.
+func (r *Registry) Add(name, help string, m Metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[name] {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	r.names[name] = true
+	r.entries = append(r.entries, entry{name: name, help: help, m: m})
+}
+
+// NewCounter registers and returns a fresh counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.Add(name, help, c)
+	return c
+}
+
+// NewGauge registers and returns a fresh gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.Add(name, help, g)
+	return g
+}
+
+// NewHistogram registers and returns a fresh histogram over bounds.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.Add(name, help, h)
+	return h
+}
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	entries := append([]entry(nil), r.entries...)
+	r.mu.Unlock()
+	for _, e := range entries {
+		fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.m.promType())
+		e.m.writeProm(w, e.name)
+	}
+}
+
+// Snapshot returns name -> current value for every registered metric
+// (histograms as {count, mean, p50, p95, p99, max}) — the /varz body.
+func (r *Registry) Snapshot() map[string]interface{} {
+	r.mu.Lock()
+	entries := append([]entry(nil), r.entries...)
+	r.mu.Unlock()
+	out := make(map[string]interface{}, len(entries))
+	for _, e := range entries {
+		out[e.name] = e.m.snapshot()
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 16)) // 1..32768
+	for v := 1.0; v <= 1000; v++ {
+		h.Observe(v)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", h.Count())
+	}
+	if got := h.Sum(); got != 500500 {
+		t.Fatalf("sum = %g, want 500500", got)
+	}
+	if got := h.Max(); got != 1000 {
+		t.Fatalf("max = %g, want 1000", got)
+	}
+	// With geometric buckets the interpolation is coarse; accept a
+	// factor-of-two window around the true quantiles.
+	checks := map[float64]float64{0.5: 500, 0.99: 990}
+	for q, want := range checks {
+		got := h.Quantile(q)
+		if got < want/2 || got > want*2 {
+			t.Errorf("q%g = %g, want within [%g, %g]", q, got, want/2, want*2)
+		}
+	}
+	h.Observe(math.NaN()) // must be ignored
+	if h.Count() != 1000 {
+		t.Fatalf("NaN observation counted")
+	}
+	// Overflow bucket: values above every bound report the last bound.
+	h.Observe(1e12)
+	if got := h.Quantile(1); got != 32768 {
+		t.Fatalf("overflow quantile = %g, want last bound 32768", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 4, 10))
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	want := float64(workers*per) * float64(workers*per-1) / 2
+	if h.Sum() != want {
+		t.Fatalf("sum = %g, want %g (lost CAS updates)", h.Sum(), want)
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("frames_total", "frames processed")
+	g := r.NewGauge("active_sessions", "sessions in flight")
+	h := r.NewHistogram("frame_latency_us", "per-frame latency", ExpBuckets(1, 2, 4))
+	c.Add(3)
+	g.Set(2)
+	h.Observe(3)
+
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE frames_total counter",
+		"frames_total 3",
+		"# TYPE active_sessions gauge",
+		"active_sessions 2",
+		"# TYPE frame_latency_us histogram",
+		`frame_latency_us_bucket{le="4"} 1`,
+		`frame_latency_us_bucket{le="+Inf"} 1`,
+		"frame_latency_us_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	snap := r.Snapshot()
+	if snap["frames_total"].(uint64) != 3 {
+		t.Fatalf("snapshot counter: %v", snap["frames_total"])
+	}
+	hs := snap["frame_latency_us"].(histogramSnapshot)
+	if hs.Count != 1 || hs.Max != 3 {
+		t.Fatalf("snapshot histogram: %+v", hs)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("frames_total", "dup")
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("hits_total", "hits").Add(9)
+	l, srv, err := ListenAndServe("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := fmt.Sprintf("http://%s", l.Addr())
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		b.ReadFrom(resp.Body)
+		return b.String(), resp.Header.Get("Content-Type")
+	}
+
+	if body, _ := get("/healthz"); body != "ok\n" {
+		t.Fatalf("/healthz = %q", body)
+	}
+	if body, ct := get("/metrics"); !strings.Contains(body, "hits_total 9") || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics = %q (%s)", body, ct)
+	}
+	body, ct := get("/varz")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/varz content type %s", ct)
+	}
+	var varz map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &varz); err != nil {
+		t.Fatalf("/varz not JSON: %v (%q)", err, body)
+	}
+	if varz["hits_total"].(float64) != 9 {
+		t.Fatalf("/varz hits_total = %v", varz["hits_total"])
+	}
+}
+
+func TestObserveNoAlloc(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 24))
+	var c Counter
+	var g Gauge
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(37)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot-path instruments allocated %v times per run, want 0", allocs)
+	}
+}

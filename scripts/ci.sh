@@ -21,15 +21,18 @@ go vet ./...
 echo "==> go test -race -short (runner + cache + kernel race coverage)"
 go test -race -short -timeout 20m ./...
 
-echo "==> go test -race (streaming guard: 8 concurrent sessions + server)"
-go test -race -timeout 20m ./internal/stream
+echo "==> go test -race (streaming guard + fleet: concurrent sessions, churn, SPSC ring)"
+go test -race -timeout 20m ./internal/stream ./internal/fleet ./internal/telemetry
 
 echo "==> go test (full suite, incl. E1-E13 golden cold/warm/parallel pins)"
 go test -timeout 40m ./...
 
-echo "==> fuzz smoke (WAV decoder + spec loader)"
+echo "==> fuzz smoke (WAV decoder + spec loader + GRD1 framing)"
 go test ./internal/audio -run '^$' -fuzz FuzzWAVReader -fuzztime 10s
 go test ./internal/sim -run '^$' -fuzz FuzzSpecLoader -fuzztime 10s
+# -fuzzminimizetime 100x: exec-bounded minimization; the default
+# time-based budget can eat the whole -fuzztime on a slow runner.
+go test ./internal/stream -run '^$' -fuzz FuzzGRD1Framing -fuzztime 10s -fuzzminimizetime 100x
 
 echo "==> short benchmarks (trial engine + sweep cache + FFT plan cache + stream guard + sim chain)"
 go test ./internal/experiment -run '^$' -bench 'E5Serial|E5Parallel' -benchtime 1x -timeout 30m
@@ -37,5 +40,13 @@ go test ./internal/experiment -run '^$' -bench 'SuiteAllWarmCache|SweepCell' -be
 go test ./internal/dsp -run '^$' -bench 'FFT4096|RFFT4096' -benchtime 100x
 go test . -run '^$' -bench 'StreamGuard|StreamFIRPush' -benchtime 200x -timeout 10m
 go test ./internal/sim -run '^$' -bench 'BenchmarkSimChain$' -benchtime 100x -timeout 10m
+
+echo "==> fleet benchmarks (0 allocs/frame gate: see allocs/op in the output)"
+go test ./internal/fleet -run '^$' -bench 'FleetCoreFrame' -benchtime 20000x -benchmem -timeout 10m
+go test ./internal/stream -run '^$' -bench 'FleetThroughput' -benchtime 5000x -benchmem -timeout 10m
+
+echo "==> loadgen smoke (in-process fleet server, cheap payloads, overload path)"
+go run ./cmd/loadgen -synth cheap -detector demo -sessions 4 -duration 2s -session-seconds 0.5 -quiet
+go run ./cmd/loadgen -synth cheap -detector demo -sessions 6 -max-sessions 2 -degrade -duration 2s -session-seconds 0.5 -quiet
 
 echo "CI gate passed."
