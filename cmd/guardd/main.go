@@ -24,6 +24,7 @@
 //	guardd -listen :7654 -metrics :8080     # + /metrics /varz /healthz
 //	guardd -detector threshold -quick       # fast start-up, threshold rule
 //	guardd -listen :7654 -max-sessions 64 -degrade
+//	guardd -listen :7654 -cascade                # two-tier triage cascade
 package main
 
 import (
@@ -54,6 +55,11 @@ func main() {
 		maxSessions = flag.Int("max-sessions", 0, "full-service session cap (0: -workers/GOMAXPROCS, -1: unlimited)")
 		shards      = flag.Int("shards", 0, "serving shards / worker goroutines (0: GOMAXPROCS)")
 		degrade     = flag.Bool("degrade", false, "beyond the cap, serve sessions degraded (VAD + trace band) instead of queueing")
+		cascade     = flag.Bool("cascade", false, "serve through the two-tier cascade: cheap triage always on, full analysis only around suspicious energy")
+		cascadeHot  = flag.Int("cascade-hot", 0, "hot-frame heat that engages the full analyzer (0: 3)")
+		cascadeCold = flag.Int("cascade-cold", 0, "consecutive cold frames that release it (0: 25, ~0.5s)")
+		cascadeDB   = flag.Float64("cascade-floor-db", 0, "frame-energy hot floor in dBFS (0: -55)")
+		cascadePre  = flag.Int("cascade-preroll", 0, "frames replayed into the analyzer on escalation (0: 16)")
 		ringFrames  = flag.Int("ring-frames", 0, "per-session frame ring depth (0: 16)")
 		emitEvery   = flag.Int("emit-every", 0, "interim verdict every N frames (0: final only)")
 		corrCap     = flag.Float64("corr-seconds", 0, "correlation memory cap per session in seconds (0: 60)")
@@ -75,15 +81,20 @@ func main() {
 
 	reg := telemetry.NewRegistry()
 	srv := stream.NewServer(stream.ServerConfig{
-		Detector:       det,
-		Workers:        *workers,
-		MaxSessions:    *maxSessions,
-		Shards:         *shards,
-		Degrade:        *degrade,
-		RingFrames:     *ringFrames,
-		EmitEvery:      *emitEvery,
-		MaxCorrSeconds: *corrCap,
-		Metrics:        reg,
+		Detector:          det,
+		Workers:           *workers,
+		MaxSessions:       *maxSessions,
+		Shards:            *shards,
+		Degrade:           *degrade,
+		Cascade:           *cascade,
+		CascadeHotFrames:  *cascadeHot,
+		CascadeColdFrames: *cascadeCold,
+		CascadeFloorDB:    *cascadeDB,
+		CascadePreroll:    *cascadePre,
+		RingFrames:        *ringFrames,
+		EmitEvery:         *emitEvery,
+		MaxCorrSeconds:    *corrCap,
+		Metrics:           reg,
 	})
 
 	if *metricsAddr != "" {

@@ -71,12 +71,17 @@ func main() {
 		shards      = flag.Int("shards", 0, "in-process server: fleet shards (0: GOMAXPROCS)")
 		maxSess     = flag.Int("max-sessions", -1, "in-process server: full-service cap (-1: unlimited)")
 		degrade     = flag.Bool("degrade", false, "in-process server: degrade beyond the cap instead of queueing")
+		cascade     = flag.Bool("cascade", false, "in-process server: serve through the two-tier detection cascade")
+		duty        = flag.Float64("duty", 1, "active-audio fraction per session (rest exact-zero silence; <1 exercises the cascade's cheap tier)")
 		capacity    = flag.Bool("capacity", false, "search max concurrency meeting the p99 SLO, then report capacity")
 		sloMS       = flag.Float64("slo-ms", 500, "p99 final-verdict latency SLO in milliseconds")
 		jsonPath    = flag.String("json", "", "write the JSON report to this path (\"-\": stdout)")
 		quiet       = flag.Bool("quiet", false, "suppress progress logging")
 	)
 	flag.Parse()
+	if *duty <= 0 || *duty > 1 {
+		*duty = 1
+	}
 
 	logf := func(format string, args ...interface{}) {
 		if !*quiet {
@@ -84,9 +89,9 @@ func main() {
 		}
 	}
 
-	logf("synthesizing %s payloads (%.1fs sessions, %.0f%% attack)...", *synth, *sessionSecs, 100**attackFrac)
+	logf("synthesizing %s payloads (%.1fs sessions, %.0f%% attack, %.0f%% duty)...", *synth, *sessionSecs, 100**attackFrac, 100**duty)
 	start := time.Now()
-	payloads, err := buildPayloads(*synth, *seed, *sessionSecs, *attackFrac)
+	payloads, err := buildPayloads(*synth, *seed, *sessionSecs, *attackFrac, *duty)
 	if err != nil {
 		fatal("synthesis: %v", err)
 	}
@@ -106,6 +111,7 @@ func main() {
 			MaxSessions: *maxSess,
 			Shards:      *shards,
 			Degrade:     *degrade,
+			Cascade:     *cascade,
 			EmitEvery:   *emitEvery,
 			Metrics:     reg,
 		})
@@ -141,6 +147,8 @@ func main() {
 			Proto:          *proto,
 			AttackFraction: *attackFrac,
 			SessionSeconds: *sessionSecs,
+			Duty:           *duty,
+			Cascade:        *cascade,
 			SLOP99MS:       *sloMS,
 			GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		},
@@ -194,7 +202,7 @@ type payload struct {
 // emission, air propagation, non-linear capture) and the benign ones
 // are voice deliveries over the same chain; cheap mode uses the
 // closed-form demodulation signature for fast smoke runs.
-func buildPayloads(synth string, seed int64, sessionSecs, attackFrac float64) ([]payload, error) {
+func buildPayloads(synth string, seed int64, sessionSecs, attackFrac, duty float64) ([]payload, error) {
 	const rate = 48000.0
 	const variants = 2 // distinct recordings per class
 	var attacks, benigns []*audio.Signal
@@ -222,7 +230,7 @@ func buildPayloads(synth string, seed int64, sessionSecs, attackFrac float64) ([
 	}
 
 	build := func(sig *audio.Signal, attack bool) (payload, error) {
-		tiled := tile(sig, sessionSecs)
+		tiled := dutyCycle(tile(sig, sessionSecs*duty), sessionSecs, duty)
 		var wav bytes.Buffer
 		if err := audio.WriteWAV(&wav, tiled); err != nil {
 			return payload{}, err
@@ -287,6 +295,30 @@ func tile(sig *audio.Signal, seconds float64) *audio.Signal {
 	for off := 0; off < want; off += sig.Len() {
 		copy(out[off:], sig.Samples)
 	}
+	return audio.FromSamples(sig.Rate, out)
+}
+
+// dutyCycle embeds the active audio in an exact-zero session of the
+// full length, starting about a third of the way in — silence before
+// and after, like a command spoken mid-session. Exact zeros keep the
+// cascade's triage tier cold (no VAD peak, no trace-band energy), so
+// sub-unit duty measures the two-tier capacity win. duty 1 is a no-op.
+//
+// Caveat: the misclass column is not meaningful under sub-unit duty —
+// the detector was trained on undiluted recordings, so zero-padding
+// shifts the feature distribution for cascade and non-cascade servers
+// alike (verdict parity between them is what the corpus FN gate pins).
+func dutyCycle(sig *audio.Signal, sessionSecs, duty float64) *audio.Signal {
+	if duty >= 1 {
+		return sig
+	}
+	total := int(sig.Rate * sessionSecs)
+	active := sig.Samples
+	if len(active) > total {
+		active = active[:total]
+	}
+	out := make([]float64, total)
+	copy(out[(total-len(active))/3:], active)
 	return audio.FromSamples(sig.Rate, out)
 }
 
@@ -649,6 +681,8 @@ type RunConfig struct {
 	Proto          string  `json:"proto"`
 	AttackFraction float64 `json:"attack_fraction"`
 	SessionSeconds float64 `json:"session_seconds"`
+	Duty           float64 `json:"duty,omitempty"`
+	Cascade        bool    `json:"cascade,omitempty"`
 	SLOP99MS       float64 `json:"slo_p99_ms"`
 	GOMAXPROCS     int     `json:"gomaxprocs"`
 }

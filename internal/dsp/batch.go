@@ -1,0 +1,93 @@
+package dsp
+
+import "math/cmplx"
+
+// RFFTPlan is a pre-resolved handle for repeated real-input transforms
+// of one size. RFFTInto/IRFFTInto look the half-length complex plan and
+// the split-twiddle table up in RWMutex-guarded maps on every call;
+// that is cheap for occasional transforms but measurable when a shard
+// worker runs Welch/STFT columns for many co-resident sessions
+// back-to-back. A plan handle resolves both lookups once and keeps the
+// per-column cost down to the arithmetic itself. The outputs are
+// bit-identical to RFFTInto/IRFFTInto.
+//
+// A plan is immutable after construction and safe for concurrent use;
+// the caller-owned dst/scratch buffers are not.
+type RFFTPlan struct {
+	n    int
+	half *fftPlan  // complex plan for the n/2-point transform
+	rp   *rfftPlan // split twiddles exp(-2πik/n)
+}
+
+// NewRFFTPlan builds a transform handle for real inputs of length n.
+// Like RFFTInto, it requires even n >= 4 (odd sizes have no half-length
+// decomposition; use RFFT's fallback for those).
+func NewRFFTPlan(n int) *RFFTPlan {
+	if n%2 != 0 || n < 4 {
+		panic("dsp: RFFTPlan requires even length >= 4")
+	}
+	return &RFFTPlan{n: n, half: planFor(n / 2), rp: rplanFor(n)}
+}
+
+// Size returns the real input length the plan was built for.
+func (p *RFFTPlan) Size() int { return p.n }
+
+// Transform computes the one-sided spectrum of x into dst, using
+// scratch (length n/2) as the half-length complex workspace. Buffer
+// contracts match RFFTInto exactly; the output is bit-identical.
+func (p *RFFTPlan) Transform(dst []complex128, x []float64, scratch []complex128) []complex128 {
+	h := p.n / 2
+	if len(x) != p.n {
+		panic("dsp: RFFTPlan.Transform input length mismatch")
+	}
+	if len(dst) != h+1 || len(scratch) != h {
+		panic("dsp: RFFTPlan.Transform needs len(dst) == n/2+1 and len(scratch) == n/2")
+	}
+	z := scratch
+	for j := 0; j < h; j++ {
+		z[j] = complex(x[2*j], x[2*j+1])
+	}
+	p.half.transform(z, false)
+	// X[k] = (Z[k]+conj(Z[h-k]))/2 - i*w[k]*(Z[k]-conj(Z[h-k]))/2
+	for k := 0; k <= h; k++ {
+		zk := z[k%h]
+		zc := cmplx.Conj(z[(h-k)%h])
+		even := (zk + zc) * 0.5
+		odd := (zk - zc) * 0.5
+		dst[k] = even + complex(0, -1)*p.rp.w[k]*odd
+	}
+	return dst
+}
+
+// Inverse reconstructs n real samples from a one-sided spectrum into
+// dst, using scratch (length n/2) as workspace. Buffer contracts match
+// IRFFTInto exactly; the output is bit-identical. spec must not alias
+// scratch and is not modified.
+func (p *RFFTPlan) Inverse(dst []float64, spec []complex128, scratch []complex128) []float64 {
+	h := p.n / 2
+	if len(dst) != p.n {
+		panic("dsp: RFFTPlan.Inverse output length mismatch")
+	}
+	if len(spec) != h+1 {
+		panic("dsp: RFFTPlan.Inverse spectrum length must be n/2+1")
+	}
+	if len(scratch) != h {
+		panic("dsp: RFFTPlan.Inverse needs len(scratch) == n/2")
+	}
+	z := scratch
+	// Z[k] = even[k] + i*conj(w[k])*odd[k], the exact inverse of the RFFT
+	// unpacking (note conj(w) because we fold back onto k = 0..h-1).
+	for k := 0; k < h; k++ {
+		xk := spec[k]
+		xc := cmplx.Conj(spec[h-k])
+		even := (xk + xc) * 0.5
+		odd := (xk - xc) * 0.5
+		z[k] = even + complex(0, 1)*cmplx.Conj(p.rp.w[k])*odd
+	}
+	p.half.transform(z, true)
+	for j := 0; j < h; j++ {
+		dst[2*j] = real(z[j])
+		dst[2*j+1] = imag(z[j])
+	}
+	return dst
+}

@@ -1,0 +1,78 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRFFTPlanBitIdentical pins the plan handle against the map-lookup
+// path: same bits out, both directions, across radix-2 and Bluestein
+// sizes.
+func TestRFFTPlanBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, n := range []int{4, 8, 64, 480, 960, 1024, 4096} {
+		p := NewRFFTPlan(n)
+		if p.Size() != n {
+			t.Fatalf("n=%d: Size() = %d", n, p.Size())
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		h := n / 2
+		scratch := make([]complex128, h)
+		got := p.Transform(make([]complex128, h+1), x, scratch)
+		want := RFFTInto(make([]complex128, h+1), x, make([]complex128, h))
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("n=%d bin %d: plan %v != RFFTInto %v", n, k, got[k], want[k])
+			}
+		}
+		gotInv := p.Inverse(make([]float64, n), got, scratch)
+		wantInv := IRFFTInto(make([]float64, n), want, make([]complex128, h))
+		for i := range wantInv {
+			if gotInv[i] != wantInv[i] {
+				t.Fatalf("n=%d sample %d: plan %v != IRFFTInto %v", n, i, gotInv[i], wantInv[i])
+			}
+		}
+		// And the round trip itself stays a faithful inverse.
+		for i := range x {
+			if math.Abs(gotInv[i]-x[i]) > 1e-9 {
+				t.Fatalf("n=%d sample %d: round trip %v != input %v", n, i, gotInv[i], x[i])
+			}
+		}
+	}
+}
+
+func TestRFFTPlanRejectsOddOrTiny(t *testing.T) {
+	for _, n := range []int{0, 2, 3, 5, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRFFTPlan(%d) did not panic", n)
+				}
+			}()
+			NewRFFTPlan(n)
+		}()
+	}
+}
+
+func TestRFFTPlanNoAlloc(t *testing.T) {
+	const n = 1024
+	p := NewRFFTPlan(n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i) * 0.01)
+	}
+	dst := make([]complex128, n/2+1)
+	out := make([]float64, n)
+	scratch := make([]complex128, n/2)
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Transform(dst, x, scratch)
+		p.Inverse(out, dst, scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("plan transforms allocated %v times per run, want 0", allocs)
+	}
+}

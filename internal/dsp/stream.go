@@ -10,9 +10,10 @@ import (
 // a rolling Goertzel band tracker. They process audio in fixed-size hops
 // with bounded per-session state and, after warm-up, zero allocations per
 // hop — the substrate of internal/stream's always-on guard. The FFT work
-// goes through the plan cache (plan.go) and the zero-alloc
+// goes through pre-resolved RFFTPlan handles (batch.go) over the shared
+// plan cache (plan.go), bit-identical to the zero-alloc
 // RFFTInto/IRFFTInto entry points, so streaming and batch paths share the
-// exact same transform kernels.
+// exact same transform kernels without per-column plan lookups.
 
 // StreamFIR applies an FIR filter to an unbounded sample stream by
 // overlap-save block convolution: each power-of-two segment is one RFFT,
@@ -30,6 +31,7 @@ type StreamFIR struct {
 	block int // fresh input samples consumed per segment (L)
 	n     int // FFT length = block + taps - 1, a power of two
 
+	plan  *RFFTPlan    // pre-resolved transform handle for length n
 	hspec []complex128 // RFFT of the zero-padded taps
 
 	seg     []float64    // [overlap (taps-1) | fresh (block)] window, length n
@@ -64,6 +66,7 @@ func NewStreamFIR(f *FIR, blockHint int) *StreamFIR {
 		delay:   (taps - 1) / 2,
 		block:   n - taps + 1,
 		n:       n,
+		plan:    NewRFFTPlan(n),
 		seg:     make([]float64, n),
 		spec:    make([]complex128, n/2+1),
 		scratch: make([]complex128, n/2),
@@ -144,11 +147,11 @@ func (s *StreamFIR) Reset() {
 // runSegment convolves the current window and appends the first want
 // valid outputs (want == block except for the final partial flush).
 func (s *StreamFIR) runSegment(want int) {
-	RFFTInto(s.spec, s.seg, s.scratch)
+	s.plan.Transform(s.spec, s.seg, s.scratch)
 	for i := range s.spec {
 		s.spec[i] *= s.hspec[i]
 	}
-	IRFFTInto(s.conv, s.spec, s.scratch)
+	s.plan.Inverse(s.conv, s.spec, s.scratch)
 	// Positions [taps-1, n) of the circular result are the valid linear
 	// convolution outputs; the head absorbed the wraparound.
 	v := s.conv[s.taps-1 : s.taps-1+want]
@@ -202,6 +205,7 @@ type STFTAccumulator struct {
 	fftSize, hop int
 	win          []float64
 	gain         float64
+	plan         *RFFTPlan
 
 	buf      []float64 // last < fftSize pending samples, contiguous at [0, buffered)
 	buffered int
@@ -231,6 +235,7 @@ func NewSTFTAccumulator(fftSize, hop int, onRow func([]float64)) *STFTAccumulato
 		hop:     hop,
 		win:     win,
 		gain:    WindowPowerGain(win) * float64(fftSize) * float64(fftSize),
+		plan:    NewRFFTPlan(fftSize),
 		buf:     make([]float64, fftSize),
 		frame:   make([]float64, fftSize),
 		spec:    make([]complex128, fftSize/2+1),
@@ -264,7 +269,7 @@ func (a *STFTAccumulator) emitRow() {
 	for i := 0; i < a.fftSize; i++ {
 		a.frame[i] = a.buf[i] * a.win[i]
 	}
-	RFFTInto(a.spec, a.frame, a.scratch)
+	a.plan.Transform(a.spec, a.frame, a.scratch)
 	for k := range a.row {
 		re, im := real(a.spec[k]), imag(a.spec[k])
 		p := (re*re + im*im) / a.gain
@@ -338,7 +343,7 @@ func (w *WelchAccumulator) PSD() []float64 {
 			}
 			a.frame[i] = v
 		}
-		RFFTInto(a.spec, a.frame, a.scratch)
+		a.plan.Transform(a.spec, a.frame, a.scratch)
 		for k := range out {
 			re, im := real(a.spec[k]), imag(a.spec[k])
 			p := (re*re + im*im) / a.gain

@@ -34,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -56,6 +57,33 @@ type Proc interface {
 	Finalize() interface{}
 	// Reset clears all per-session state so the Proc can be reused.
 	Reset()
+}
+
+// BatchProc is an optional Proc extension for processors whose frame
+// work splits into a cheap ingest step and a heavier analysis step. A
+// shard worker that sees a BatchProc runs its rounds in two phases:
+// first Stage for every ready frame across all of its sessions (cheap
+// copies and triage), then Advance for each staged session back-to-back
+// — so the heavy DSP for co-resident sessions runs with hot FFT plans
+// and caches instead of interleaving cold passes per session. All calls
+// stay on the owning shard goroutine; the SPSC contract is unchanged.
+//
+// Stage must be cheap and must not emit events; Advance performs the
+// deferred work for everything staged since the last Advance and may
+// return one event. Finalize must internally flush any staged frames,
+// so the shard's close path needs no special handling. Plain Push must
+// behave exactly like Stage immediately followed by Advance (the
+// standalone, non-batched contract).
+type BatchProc interface {
+	Proc
+	// Stage ingests one frame (1..FrameSamples samples) without running
+	// the deferred heavy analysis. It must not retain the slice. The
+	// return value reports whether the session owes an Advance this
+	// round — frames were staged, or a deferred event is pending.
+	Stage(frame []float64) bool
+	// Advance runs the deferred analysis over all frames staged since
+	// the previous Advance/Finalize and may return one event, or nil.
+	Advance() interface{}
 }
 
 // Errors surfaced by admission and the data path.
@@ -122,6 +150,7 @@ type Metrics struct {
 	ActiveFull       *telemetry.Gauge     // fleet_active_sessions
 	ActiveDegraded   *telemetry.Gauge     // fleet_active_degraded_sessions
 	FrameLatencyUS   *telemetry.Histogram // fleet_frame_latency_us
+	AdvanceLatencyUS *telemetry.Histogram // fleet_batch_advance_latency_us
 	VerdictLatencyUS *telemetry.Histogram // fleet_verdict_latency_us
 	RingOccupancy    *telemetry.Histogram // fleet_ring_occupancy_frames
 }
@@ -143,6 +172,7 @@ func newUnregisteredMetrics() *Metrics {
 		ActiveFull:       &telemetry.Gauge{},
 		ActiveDegraded:   &telemetry.Gauge{},
 		FrameLatencyUS:   telemetry.NewHistogram(frameLatencyBuckets()),
+		AdvanceLatencyUS: telemetry.NewHistogram(frameLatencyBuckets()),
 		VerdictLatencyUS: telemetry.NewHistogram(frameLatencyBuckets()),
 		RingOccupancy:    telemetry.NewHistogram(telemetry.ExpBuckets(1, 2, 10)),
 	}
@@ -163,6 +193,7 @@ func NewMetrics(r *telemetry.Registry) *Metrics {
 		ActiveFull:       r.NewGauge("fleet_active_sessions", "full-service sessions in flight"),
 		ActiveDegraded:   r.NewGauge("fleet_active_degraded_sessions", "degraded sessions in flight"),
 		FrameLatencyUS:   r.NewHistogram("fleet_frame_latency_us", "per-frame processing latency (microseconds)", frameLatencyBuckets()),
+		AdvanceLatencyUS: r.NewHistogram("fleet_batch_advance_latency_us", "per-session batched analysis (BatchProc.Advance) latency (microseconds)", frameLatencyBuckets()),
 		VerdictLatencyUS: r.NewHistogram("fleet_verdict_latency_us", "close-to-final-verdict latency (microseconds)", frameLatencyBuckets()),
 		RingOccupancy:    r.NewHistogram("fleet_ring_occupancy_frames", "frame-ring occupancy at publish (frames)", telemetry.ExpBuckets(1, 2, 10)),
 	}
@@ -171,10 +202,11 @@ func NewMetrics(r *telemetry.Registry) *Metrics {
 // Fleet is the sharded serving core. Open admits sessions, shard
 // workers drain them; Close drains and stops the fleet.
 type Fleet struct {
-	cfg    Config
-	m      *Metrics
-	shards []*shard
-	nextID atomic.Uint64
+	cfg          Config
+	m            *Metrics
+	shards       []*shard
+	degradeLimit int // total (full + degraded) cap when Degrade is set
+	nextID       atomic.Uint64
 
 	mu             sync.Mutex
 	cond           *sync.Cond
@@ -208,6 +240,14 @@ func New(cfg Config) *Fleet {
 		m = newUnregisteredMetrics()
 	}
 	f := &Fleet{cfg: cfg, m: m}
+	if cfg.MaxSessions > 0 {
+		// Round the degraded-admission headroom up: truncation would make
+		// Degrade silently inert whenever DegradeFactor*MaxSessions lands
+		// on or below MaxSessions (e.g. factor 1.5 with MaxSessions 1).
+		// With DegradeFactor > 1 and an integral MaxSessions the ceiling
+		// always exceeds MaxSessions, so at least one degraded slot exists.
+		f.degradeLimit = int(math.Ceil(cfg.DegradeFactor * float64(cfg.MaxSessions)))
+	}
 	f.cond = sync.NewCond(&f.mu)
 	f.shards = make([]*shard, cfg.Shards)
 	for i := range f.shards {
@@ -298,8 +338,7 @@ func (f *Fleet) admit() (degraded bool, err error) {
 			return false, nil
 		}
 		if f.cfg.Degrade {
-			limit := int(f.cfg.DegradeFactor * float64(f.cfg.MaxSessions))
-			if f.activeFull+f.activeDegraded < limit {
+			if f.activeFull+f.activeDegraded < f.degradeLimit {
 				f.activeDegraded++
 				f.m.AdmittedDegraded.Inc()
 				f.m.ActiveDegraded.Set(int64(f.activeDegraded))
@@ -340,22 +379,26 @@ func (f *Fleet) Close(ctx context.Context) error {
 	f.cond.Broadcast() // unblock WaitAdmission waiters into ErrClosed
 	f.mu.Unlock()
 
-	var err error
-drain:
-	for {
+	// Drain by waiting on the admission cond-var: release() broadcasts on
+	// every slot return, so the drain sleeps between session completions
+	// instead of burning CPU in a poll loop. A context watcher broadcasts
+	// too, bumping the wait so an expired deadline is noticed promptly.
+	stopWatch := context.AfterFunc(ctx, func() {
 		f.mu.Lock()
-		idle := f.activeFull+f.activeDegraded == 0
+		f.cond.Broadcast()
 		f.mu.Unlock()
-		if idle {
+	})
+	var err error
+	f.mu.Lock()
+	for f.activeFull+f.activeDegraded > 0 {
+		if ctx.Err() != nil {
+			err = ctx.Err()
 			break
 		}
-		select {
-		case <-ctx.Done():
-			err = ctx.Err()
-			break drain
-		case <-time.After(2 * time.Millisecond):
-		}
+		f.cond.Wait()
 	}
+	f.mu.Unlock()
+	stopWatch()
 
 	for _, sh := range f.shards {
 		sh.stopOnce.Do(func() { close(sh.stop) })

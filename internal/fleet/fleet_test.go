@@ -301,6 +301,169 @@ func TestFleetDegradeAndReject(t *testing.T) {
 	}
 }
 
+func TestFleetDegradeLimitRoundsUp(t *testing.T) {
+	// Regression: the degraded-admission cap used to truncate
+	// DegradeFactor*MaxSessions, so factor 1.5 with MaxSessions 1 gave
+	// limit 1 and Degrade was silently inert. The ceiling guarantees at
+	// least one degraded slot whenever Degrade is configured.
+	cfg := testConfig(0)
+	cfg.Shards = 1
+	cfg.MaxSessions = 1
+	cfg.Degrade = true
+	cfg.DegradeFactor = 1.5
+	f := New(cfg)
+	defer closeFleet(t, f)
+
+	s1, err := f.Open(48000)
+	if err != nil || s1.Degraded() {
+		t.Fatalf("first session: err=%v degraded=%v", err, s1.Degraded())
+	}
+	s2, err := f.Open(48000)
+	if err != nil {
+		t.Fatalf("second session must degrade (ceil(1.5*1) = 2 slots), got %v", err)
+	}
+	if !s2.Degraded() {
+		t.Fatalf("second session not degraded")
+	}
+	if _, err := f.Open(48000); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third session: err = %v, want ErrOverloaded", err)
+	}
+	if final, _ := runSession(t, s2, 3); final == nil {
+		t.Fatalf("degraded session lost its final")
+	}
+	if final, _ := runSession(t, s1, 3); final == nil {
+		t.Fatalf("full session lost its final")
+	}
+}
+
+// batchSumProc is sumProc's two-phase twin: Stage banks per-frame sums,
+// Advance folds them in. stages/advances are cumulative diagnostics
+// (not cleared by Reset) so tests can observe the split.
+type batchSumProc struct {
+	frame    int
+	staged   []float64
+	sum      float64
+	frames   int
+	stages   int
+	advances int
+}
+
+func (p *batchSumProc) FrameSamples() int { return p.frame }
+func (p *batchSumProc) Stage(fr []float64) bool {
+	var s float64
+	for _, v := range fr {
+		s += v
+	}
+	p.staged = append(p.staged, s)
+	p.stages++
+	return true
+}
+func (p *batchSumProc) flush() {
+	for _, s := range p.staged {
+		p.sum += s
+		p.frames++
+	}
+	p.staged = p.staged[:0]
+}
+func (p *batchSumProc) Advance() interface{} {
+	p.advances++
+	p.flush()
+	return &sumEvent{Sum: p.sum, Frames: p.frames}
+}
+func (p *batchSumProc) Push(fr []float64) interface{} {
+	p.Stage(fr)
+	return p.Advance()
+}
+func (p *batchSumProc) Finalize() interface{} {
+	p.flush()
+	return &sumEvent{Sum: p.sum, Frames: p.frames, Final: true}
+}
+func (p *batchSumProc) Reset() {
+	p.staged = p.staged[:0]
+	p.sum, p.frames = 0, 0
+}
+
+func TestFleetBatchProcStagesAndAdvances(t *testing.T) {
+	// A Proc that implements BatchProc takes the two-phase path: every
+	// frame goes through Stage, the deferred work through Advance, and
+	// Finalize flushes whatever is still staged — with the same final
+	// result as the plain Push path.
+	var mu sync.Mutex
+	var procs []*batchSumProc
+	cfg := Config{
+		Shards:   1,
+		FrameFor: func(rate float64) int { return 4 },
+		NewProc: func(rate float64, degraded bool) Proc {
+			p := &batchSumProc{frame: 4}
+			mu.Lock()
+			procs = append(procs, p)
+			mu.Unlock()
+			return p
+		},
+	}
+	f := New(cfg)
+	defer closeFleet(t, f)
+	s, err := f.Open(48000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 37
+	final, _ := runSession(t, s, frames)
+	if final == nil || final.Frames != frames || final.Sum != wantSum(frames) {
+		t.Fatalf("batch final = %+v, want frames=%d sum=%g", final, frames, wantSum(frames))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(procs) != 1 {
+		t.Fatalf("expected 1 proc, got %d", len(procs))
+	}
+	p := procs[0]
+	if p.stages != frames {
+		t.Fatalf("stages = %d, want %d (all frames must go through Stage)", p.stages, frames)
+	}
+	if p.advances == 0 {
+		t.Fatalf("Advance never ran")
+	}
+	if got := f.Metrics().AdvanceLatencyUS.Count(); got != uint64(p.advances) {
+		t.Fatalf("AdvanceLatencyUS count = %d, want %d", got, p.advances)
+	}
+}
+
+func TestFleetCloseDrainSignaled(t *testing.T) {
+	// Close's drain waits on the admission cond-var (signaled by release)
+	// rather than polling; it must return promptly once the last session
+	// finishes and must not hang when the drain starts mid-session.
+	cfg := testConfig(0)
+	cfg.Shards = 1
+	f := New(cfg)
+	s, err := f.Open(48000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		closed <- f.Close(ctx)
+	}()
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned %v with a session still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if final, _ := runSession(t, s, 5); final == nil {
+		t.Fatalf("session lost its final during drain")
+	}
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close = %v after drain", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Close did not return after the last session finished")
+	}
+}
+
 func TestFleetInterimDropsNeverFinal(t *testing.T) {
 	// A consumer that never drains until close: interim events beyond
 	// the buffer are dropped and counted, the final always arrives.

@@ -41,8 +41,11 @@ type Session struct {
 	closeSent bool
 	closedAt  time.Time // CloseSend time, for verdict latency
 
-	// attach-time state, owner: shard worker.
-	proc Proc
+	// attach-time state, owner: shard worker. batch is proc's BatchProc
+	// view when it has one (nil otherwise): those sessions take the
+	// two-phase stage/advance path in the shard round.
+	proc  Proc
+	batch BatchProc
 }
 
 // Key returns the session's shard-affinity key.

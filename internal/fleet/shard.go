@@ -45,6 +45,11 @@ type shard struct {
 
 	sessions []*Session
 	free     map[procKey][]Proc
+	// staged collects this round's sessions with frames ingested via
+	// BatchProc.Stage; phase 2 runs their Advance calls back-to-back so
+	// the heavy DSP for co-resident sessions shares hot FFT plans and
+	// caches. Worker-private scratch, reused across rounds.
+	staged []*Session
 }
 
 func newShard(id int, fl *Fleet) *shard {
@@ -80,10 +85,15 @@ func (sh *shard) run(wg *sync.WaitGroup) {
 	}
 	for {
 		progress := sh.drainAdmitq()
+		// Phase 1: ingest ready frames for every session (cheap staging
+		// for BatchProcs, full Push otherwise).
 		for i := 0; i < len(sh.sessions); i++ {
 			s := sh.sessions[i]
-			worked, finished := sh.serveSome(s)
+			worked, staged, finished := sh.serveSome(s)
 			progress = progress || worked
+			if staged && !finished {
+				sh.staged = append(sh.staged, s)
+			}
 			if finished {
 				last := len(sh.sessions) - 1
 				sh.sessions[i] = sh.sessions[last]
@@ -92,6 +102,17 @@ func (sh *shard) run(wg *sync.WaitGroup) {
 				i--
 			}
 		}
+		// Phase 2: run the deferred heavy analysis for all staged
+		// sessions back-to-back. Sessions that finished during phase 1
+		// were never appended (Finalize flushed their staging), and
+		// late aborts are skipped (finish will Reset the proc).
+		for i, s := range sh.staged {
+			sh.staged[i] = nil
+			if !s.aborted.Load() {
+				sh.advance(s)
+			}
+		}
+		sh.staged = sh.staged[:0]
 		select {
 		case <-sh.stop:
 			sh.shutdown()
@@ -145,25 +166,31 @@ func (sh *shard) attach(s *Session) {
 	if got := s.proc.FrameSamples(); got != s.frame {
 		panic(fmt.Sprintf("fleet: Proc frame %d disagrees with FrameFor %d at rate %g", got, s.frame, s.rate))
 	}
+	s.batch, _ = s.proc.(BatchProc)
 	sh.sessions = append(sh.sessions, s)
 }
 
 // serveSome advances one session by up to frameBudget frames. This is
-// the fleet's hot loop: peek, Push, pop, and two histogram observations
-// — no allocation, no locks, no cross-goroutine waits.
-func (sh *shard) serveSome(s *Session) (worked, finished bool) {
+// the fleet's hot loop: peek, Push (or Stage), pop, and two histogram
+// observations — no allocation, no locks, no cross-goroutine waits.
+// staged reports that frames were ingested via BatchProc.Stage and the
+// session owes an Advance in phase 2 of the round.
+func (sh *shard) serveSome(s *Session) (worked, staged, finished bool) {
 	if s.aborted.Load() {
 		sh.finish(s, true)
-		return true, true
+		return true, false, true
 	}
 	m := sh.fl.m
 	for k := 0; k < frameBudget; k++ {
 		sl := s.ring.peek()
 		if sl == nil {
-			return worked, false
+			return worked, staged, false
 		}
 		if sl.n == closeMark {
 			s.ring.pop()
+			// For a BatchProc, Finalize flushes any frames staged this
+			// round before producing the final event (its contract), so
+			// the close path is mode-agnostic.
 			ev := s.proc.Finalize()
 			if !s.closedAt.IsZero() {
 				m.VerdictLatencyUS.Observe(float64(time.Since(s.closedAt).Microseconds()))
@@ -172,10 +199,17 @@ func (sh *shard) serveSome(s *Session) (worked, finished bool) {
 				s.events <- ev // reserved final cell: cannot block
 			}
 			sh.finish(s, false)
-			return true, true
+			return true, false, true
 		}
 		start := time.Now()
-		ev := s.proc.Push(sl.buf[:sl.n])
+		var ev interface{}
+		if s.batch != nil {
+			if s.batch.Stage(sl.buf[:sl.n]) {
+				staged = true
+			}
+		} else {
+			ev = s.proc.Push(sl.buf[:sl.n])
+		}
 		m.FrameLatencyUS.Observe(float64(time.Since(start).Microseconds()))
 		s.ring.pop()
 		m.Frames.Inc()
@@ -191,7 +225,24 @@ func (sh *shard) serveSome(s *Session) (worked, finished bool) {
 			}
 		}
 	}
-	return worked, false
+	return worked, staged, false
+}
+
+// advance runs one staged session's deferred analysis (phase 2). At
+// most one event per round per session can surface here, so the
+// reserved-final-cell guarantee is identical to the Push path's.
+func (sh *shard) advance(s *Session) {
+	m := sh.fl.m
+	start := time.Now()
+	ev := s.batch.Advance()
+	m.AdvanceLatencyUS.Observe(float64(time.Since(start).Microseconds()))
+	if ev != nil {
+		if len(s.events) < cap(s.events)-1 {
+			s.events <- ev
+		} else {
+			m.InterimDrops.Inc()
+		}
+	}
 }
 
 // finish detaches a session: recycle its processor, release its
@@ -206,6 +257,7 @@ func (sh *shard) finish(s *Session, aborted bool) {
 			sh.free[key] = append(list, s.proc)
 		}
 		s.proc = nil
+		s.batch = nil
 	}
 	if aborted {
 		sh.fl.m.Aborted.Inc()

@@ -1,0 +1,489 @@
+package stream
+
+import (
+	"math"
+	"time"
+
+	"inaudible/internal/defense"
+	"inaudible/internal/dsp"
+	"inaudible/internal/fleet"
+	"inaudible/internal/telemetry"
+	"inaudible/internal/voice"
+)
+
+// This file implements the two-tier detection cascade. Tier 0 is the
+// always-on triage stage — the online VAD, the rolling trace-band
+// Goertzel monitor and a per-frame energy floor, promoted from the
+// overload-only DegradedGuard path to first-class service. Tier 1 is
+// the full streaming Analyzer, engaged only while tier 0 sees
+// suspicious energy. Most frames of a realistic session are silence, so
+// the expensive spectral path runs for a small fraction of the stream
+// and fleet capacity rises accordingly; the E9–E13 corpus parity test
+// pins the detection cost of the shortcut (zero added false negatives).
+//
+// Escalation uses hysteresis so an attacker cannot flap past the gate:
+// a leaky heat counter charges one unit per hot frame and leaks
+// cascadeHeatLeak per cold frame, engaging tier 1 at EngageHotFrames
+// units — an input alternating K-1 hot frames with single cold frames
+// still accumulates heat and escalates. Release requires
+// ReleaseColdFrames consecutive cold frames, so brief inter-word pauses
+// keep the analyzer engaged and an engaged attacker cannot slip out
+// mid-utterance. A preroll ring of recent raw frames is replayed into
+// the analyzer on engagement, so the onset that triggered the
+// escalation is analyzed, not lost.
+
+// cascadeHeatLeak is the heat drained per cold frame. Well under 1, so
+// sparse cold frames inside a hot burst do not defeat escalation.
+const cascadeHeatLeak = 0.125
+
+// CascadeInfo reports the cascade state carried on a Verdict.
+type CascadeInfo struct {
+	// Engaged reports whether tier 1 (full analysis) is currently live.
+	Engaged bool
+	// Tier0Frames and Tier1Frames count frames by the tier that served
+	// them on arrival (preroll replay does not recount).
+	Tier0Frames int
+	Tier1Frames int
+	// Escalations counts tier-0→tier-1 transitions this session.
+	Escalations int
+}
+
+// CascadeMetrics is the cascade instrument set, shared by every cascade
+// session of a server. Build with NewCascadeMetrics to register under
+// fleet_cascade_* names, or leave CascadeConfig.Metrics nil for
+// standalone instruments.
+type CascadeMetrics struct {
+	Tier1Sessions  *telemetry.Gauge     // fleet_cascade_tier1_sessions
+	Escalations    *telemetry.Counter   // fleet_cascade_escalations_total
+	Deescalations  *telemetry.Counter   // fleet_cascade_deescalations_total
+	Tier0Frames    *telemetry.Counter   // fleet_cascade_tier0_frames_total
+	Tier1Frames    *telemetry.Counter   // fleet_cascade_tier1_frames_total
+	EnergyMarginDB *telemetry.Histogram // fleet_cascade_energy_margin_db
+}
+
+// cascadeMarginBuckets spans -48..+48 dB linearly in 8 dB steps — a
+// signed distribution whose negative first bound relies on the
+// histogram's observed-min quantile interpolation.
+func cascadeMarginBuckets() []float64 {
+	b := make([]float64, 0, 13)
+	for v := -48.0; v <= 48; v += 8 {
+		b = append(b, v)
+	}
+	return b
+}
+
+// newUnregisteredCascadeMetrics builds instruments not tied to a registry.
+func newUnregisteredCascadeMetrics() *CascadeMetrics {
+	return &CascadeMetrics{
+		Tier1Sessions:  &telemetry.Gauge{},
+		Escalations:    &telemetry.Counter{},
+		Deescalations:  &telemetry.Counter{},
+		Tier0Frames:    &telemetry.Counter{},
+		Tier1Frames:    &telemetry.Counter{},
+		EnergyMarginDB: telemetry.NewHistogram(cascadeMarginBuckets()),
+	}
+}
+
+// NewCascadeMetrics builds the cascade instrument set registered under
+// fleet_cascade_* names in r.
+func NewCascadeMetrics(r *telemetry.Registry) *CascadeMetrics {
+	return &CascadeMetrics{
+		Tier1Sessions:  r.NewGauge("fleet_cascade_tier1_sessions", "sessions currently escalated to the full-analysis tier"),
+		Escalations:    r.NewCounter("fleet_cascade_escalations_total", "tier-0 to tier-1 escalations"),
+		Deescalations:  r.NewCounter("fleet_cascade_deescalations_total", "tier-1 to tier-0 releases after the cold hysteresis"),
+		Tier0Frames:    r.NewCounter("fleet_cascade_tier0_frames_total", "frames served by the triage tier only"),
+		Tier1Frames:    r.NewCounter("fleet_cascade_tier1_frames_total", "frames routed to the full analyzer"),
+		EnergyMarginDB: r.NewHistogram("fleet_cascade_energy_margin_db", "frame energy margin over the hot floor (dB)", cascadeMarginBuckets()),
+	}
+}
+
+// CascadeConfig wires one cascade session.
+type CascadeConfig struct {
+	// Guard configures the underlying detection session (rate, detector,
+	// hop, VAD threshold, emission cadence) exactly as for NewGuard.
+	Guard GuardConfig
+	// EngageHotFrames is the heat (in hot-frame units) that engages
+	// tier 1; <= 0 selects 3.
+	EngageHotFrames int
+	// ReleaseColdFrames is the consecutive-cold-frame run that releases
+	// tier 1; <= 0 selects 25 (~0.5 s at the 20 ms hop), long enough to
+	// ride through inter-word pauses.
+	ReleaseColdFrames int
+	// HotFloorDB is the frame-energy floor (dBFS, so negative) above
+	// which a frame counts hot; 0 selects -55. Trace-band power above
+	// the floor or an active VAD also marks a frame hot.
+	HotFloorDB float64
+	// PrerollFrames is the raw-frame history replayed into the analyzer
+	// on engagement; <= 0 selects 16, and it is raised to
+	// EngageHotFrames+1 so the escalating burst is always covered.
+	PrerollFrames int
+	// Metrics instruments the cascade; nil builds unregistered
+	// instruments (always safe to record into).
+	Metrics *CascadeMetrics
+}
+
+// CascadeGuard is a Guard with the two-tier cascade in front of the
+// analyzer: VAD, trace-band tracker and the energy triage run on every
+// frame; the Analyzer only sees audio while (or just before, via
+// preroll) tier 0 judges the stream suspicious. The work is split for
+// the fleet's two-phase batch loop: Stage is the cheap per-frame triage
+// and copy, Advance the deferred analyzer feed. Push chains both for
+// standalone use. Like Guard, a CascadeGuard is single-session state;
+// the Detector and CascadeMetrics behind it are shared.
+type CascadeGuard struct {
+	cfg     CascadeConfig
+	m       *CascadeMetrics
+	an      *Analyzer
+	vad     *voice.StreamVAD
+	tracker *dsp.BandTracker
+
+	lat     LatencyStats
+	samples int
+	frames  int
+
+	heat    float64
+	coldRun int
+	engaged bool
+	gaugeUp bool // Tier1Sessions owed a decrement (engage without release)
+
+	pr      [][]float64 // preroll ring of raw frames (fixed-cap slices)
+	prHead  int
+	prCount int
+	staging []float64 // frames owed to the analyzer at the next Advance
+
+	info    CascadeInfo
+	emitDue bool
+	done    bool
+}
+
+// NewCascadeGuard builds a cascade session.
+func NewCascadeGuard(cfg CascadeConfig) *CascadeGuard {
+	if cfg.Guard.Detector == nil {
+		panic("stream: CascadeConfig.Guard.Detector is required")
+	}
+	if cfg.Guard.FrameSamples <= 0 {
+		cfg.Guard.FrameSamples = int(0.020 * cfg.Guard.Rate)
+	}
+	if cfg.Guard.VADThreshDB <= 0 {
+		cfg.Guard.VADThreshDB = 30
+	}
+	if cfg.EngageHotFrames <= 0 {
+		cfg.EngageHotFrames = 3
+	}
+	if cfg.ReleaseColdFrames <= 0 {
+		cfg.ReleaseColdFrames = 25
+	}
+	if cfg.HotFloorDB == 0 {
+		cfg.HotFloorDB = -55
+	}
+	if cfg.PrerollFrames <= 0 {
+		cfg.PrerollFrames = 16
+	}
+	if cfg.PrerollFrames < cfg.EngageHotFrames+1 {
+		cfg.PrerollFrames = cfg.EngageHotFrames + 1
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = newUnregisteredCascadeMetrics()
+	}
+	b := defense.Bands()
+	probes := []float64{
+		b.TraceLo + (b.TraceHi-b.TraceLo)*0.1,
+		(b.TraceLo + b.TraceHi) / 2,
+		b.TraceHi - (b.TraceHi-b.TraceLo)*0.1,
+	}
+	pr := make([][]float64, cfg.PrerollFrames)
+	for i := range pr {
+		pr[i] = make([]float64, 0, cfg.Guard.FrameSamples)
+	}
+	return &CascadeGuard{
+		cfg:     cfg,
+		m:       m,
+		an:      NewAnalyzer(AnalyzerConfig{Rate: cfg.Guard.Rate, MaxCorrSeconds: cfg.Guard.MaxCorrSeconds}),
+		vad:     voice.NewStreamVAD(cfg.Guard.Rate, cfg.Guard.VADThreshDB),
+		tracker: dsp.NewBandTracker(cfg.Guard.Rate, probes, cfg.Guard.FrameSamples, 0.2),
+		pr:      pr,
+		staging: make([]float64, 0, (cfg.PrerollFrames+40)*cfg.Guard.FrameSamples),
+	}
+}
+
+// FrameSamples returns the processing hop in samples.
+func (c *CascadeGuard) FrameSamples() int { return c.cfg.Guard.FrameSamples }
+
+// Samples returns the number of samples consumed so far.
+func (c *CascadeGuard) Samples() int { return c.samples }
+
+// Latency returns the processing-time statistics so far.
+func (c *CascadeGuard) Latency() LatencyStats { return c.lat }
+
+// Engaged reports whether tier 1 is currently live.
+func (c *CascadeGuard) Engaged() bool { return c.engaged }
+
+// Info returns a snapshot of the cascade counters.
+func (c *CascadeGuard) Info() CascadeInfo {
+	info := c.info
+	info.Engaged = c.engaged
+	return info
+}
+
+// Stage runs tier-0 triage over the next chunk (the nominal frame is
+// FrameSamples; any size works standalone) and, while engaged, banks a
+// copy for the analyzer. No heavy DSP runs here. The return value
+// reports whether an Advance is owed — staged audio or a due interim
+// verdict — matching fleet.BatchProc's contract.
+func (c *CascadeGuard) Stage(x []float64) bool {
+	if c.done {
+		panic("stream: CascadeGuard.Stage after Finalize (Reset first)")
+	}
+	start := time.Now()
+	c.vad.Push(x)
+	c.tracker.Push(x)
+	framesBefore := c.frames
+	c.samples += len(x)
+	c.frames = c.samples / c.cfg.Guard.FrameSamples
+	hot := c.classify(x)
+	if hot {
+		c.heat++
+		c.coldRun = 0
+	} else {
+		c.heat -= cascadeHeatLeak
+		if c.heat < 0 {
+			c.heat = 0
+		}
+		c.coldRun++
+	}
+	if c.engaged {
+		c.staging = append(c.staging, x...)
+		c.info.Tier1Frames++
+		c.m.Tier1Frames.Inc()
+		if !hot && c.coldRun >= c.cfg.ReleaseColdFrames {
+			c.disengage()
+		}
+	} else {
+		c.pushPreroll(x)
+		if c.heat >= float64(c.cfg.EngageHotFrames) {
+			c.engage() // replays the preroll, current frame included
+			c.info.Tier1Frames++
+			c.m.Tier1Frames.Inc()
+		} else {
+			c.info.Tier0Frames++
+			c.m.Tier0Frames.Inc()
+		}
+	}
+	elapsed := time.Since(start)
+	c.lat.Pushes++
+	c.lat.Total += elapsed
+	c.lat.Frames = c.frames
+	if elapsed > c.lat.MaxPush {
+		c.lat.MaxPush = elapsed
+	}
+	if c.cfg.Guard.EmitEvery > 0 && c.frames/c.cfg.Guard.EmitEvery > framesBefore/c.cfg.Guard.EmitEvery {
+		c.emitDue = true
+	}
+	return len(c.staging) > 0 || c.emitDue
+}
+
+// Advance feeds everything staged since the last Advance to the
+// analyzer — the deferred heavy half of the frame work, batched by the
+// shard across its sessions — and returns the interim verdict that came
+// due during staging, if any.
+func (c *CascadeGuard) Advance() *Verdict {
+	if len(c.staging) > 0 {
+		start := time.Now()
+		c.an.Push(c.staging)
+		c.staging = c.staging[:0]
+		elapsed := time.Since(start)
+		c.lat.Total += elapsed
+		if elapsed > c.lat.MaxPush {
+			c.lat.MaxPush = elapsed
+		}
+	}
+	if c.emitDue {
+		c.emitDue = false
+		v := c.verdict(false)
+		return &v
+	}
+	return nil
+}
+
+// Push is the standalone (non-batched) entry point: Stage immediately
+// followed by Advance, mirroring Guard.Push's contract.
+func (c *CascadeGuard) Push(x []float64) *Verdict {
+	c.Stage(x)
+	return c.Advance()
+}
+
+// Finalize flushes any staged audio and the analyzer, and returns the
+// end-of-session verdict. A session that never engaged scores the
+// analyzer's empty (floor) feature vector — identical to a full Guard
+// fed pure silence. After Finalize, Stage panics until Reset.
+func (c *CascadeGuard) Finalize() Verdict {
+	if !c.done {
+		start := time.Now()
+		if len(c.staging) > 0 {
+			c.an.Push(c.staging)
+			c.staging = c.staging[:0]
+		}
+		c.an.Finalize()
+		c.lat.Total += time.Since(start)
+		c.done = true
+		c.emitDue = false
+		if c.gaugeUp {
+			c.m.Tier1Sessions.Add(-1)
+			c.gaugeUp = false
+		}
+	}
+	return c.verdict(true)
+}
+
+// Reset clears all per-session state for reuse.
+func (c *CascadeGuard) Reset() {
+	c.an.Reset()
+	c.vad.Reset()
+	c.tracker.Reset()
+	c.lat = LatencyStats{}
+	c.samples, c.frames = 0, 0
+	c.heat, c.coldRun = 0, 0
+	c.engaged = false
+	if c.gaugeUp {
+		// The fleet aborts sessions via Reset without Finalize; the
+		// occupancy gauge must come back down either way.
+		c.m.Tier1Sessions.Add(-1)
+		c.gaugeUp = false
+	}
+	c.prHead, c.prCount = 0, 0
+	c.staging = c.staging[:0]
+	c.info = CascadeInfo{}
+	c.emitDue = false
+	c.done = false
+}
+
+// classify judges one frame hot (suspicious energy) or cold: mean
+// square energy at or above the floor, trace-band power at or above the
+// floor, or an active VAD. The energy margin is recorded for the
+// fleet_cascade_energy_margin_db histogram.
+func (c *CascadeGuard) classify(x []float64) bool {
+	if len(x) == 0 {
+		return false
+	}
+	var sumSq float64
+	for _, v := range x {
+		sumSq += v * v
+	}
+	msq := sumSq / float64(len(x))
+	hot := false
+	if msq > 0 {
+		edb := 10 * math.Log10(msq)
+		c.m.EnergyMarginDB.Observe(edb - c.cfg.HotFloorDB)
+		hot = edb >= c.cfg.HotFloorDB
+	}
+	if !hot {
+		if tb := c.tracker.RollingTotal(); tb > 0 && 10*math.Log10(tb) >= c.cfg.HotFloorDB {
+			hot = true
+		}
+	}
+	return hot || c.vad.Active()
+}
+
+// pushPreroll banks a raw frame in the preroll ring (copy; the caller
+// owns x).
+func (c *CascadeGuard) pushPreroll(x []float64) {
+	slot := c.pr[c.prHead][:len(x)]
+	copy(slot, x)
+	c.pr[c.prHead] = slot
+	c.prHead = (c.prHead + 1) % len(c.pr)
+	if c.prCount < len(c.pr) {
+		c.prCount++
+	}
+}
+
+// engage escalates to tier 1, replaying the preroll ring (oldest first,
+// triggering frame last) into staging so the attack onset reaches the
+// analyzer.
+func (c *CascadeGuard) engage() {
+	c.engaged = true
+	c.info.Escalations++
+	c.m.Escalations.Inc()
+	if !c.gaugeUp {
+		c.m.Tier1Sessions.Add(1)
+		c.gaugeUp = true
+	}
+	n := len(c.pr)
+	first := (c.prHead - c.prCount + 2*n) % n
+	for i := 0; i < c.prCount; i++ {
+		c.staging = append(c.staging, c.pr[(first+i)%n]...)
+	}
+	c.prCount = 0
+}
+
+// disengage releases tier 1 after the cold hysteresis ran out.
+func (c *CascadeGuard) disengage() {
+	c.engaged = false
+	c.heat = 0
+	c.coldRun = 0
+	c.m.Deescalations.Inc()
+	if c.gaugeUp {
+		c.m.Tier1Sessions.Add(-1)
+		c.gaugeUp = false
+	}
+}
+
+// verdict scores the current feature snapshot, like Guard.verdict, with
+// the cascade state attached.
+func (c *CascadeGuard) verdict(final bool) Verdict {
+	var f defense.Features
+	if final {
+		f = c.an.Finalize() // idempotent once done
+	} else {
+		f = c.an.Features()
+	}
+	x := f.Vector()
+	info := c.Info()
+	return Verdict{
+		Attack:         c.cfg.Guard.Detector.Predict(x),
+		Score:          c.cfg.Guard.Detector.Score(x),
+		Features:       f,
+		Final:          final,
+		Samples:        c.samples,
+		Duration:       float64(c.samples) / c.cfg.Guard.Rate,
+		SpeechActive:   c.vad.Active(),
+		ActiveFraction: c.vad.ActiveFraction(),
+		TraceBandPower: c.tracker.RollingTotal(),
+		Latency:        c.lat,
+		Cascade:        &info,
+	}
+}
+
+// cascadeProc runs a CascadeGuard as a fleet batch processor: Stage on
+// every frame, Advance batched by the shard across co-resident
+// sessions.
+type cascadeProc struct {
+	g *CascadeGuard
+}
+
+func (p *cascadeProc) FrameSamples() int { return p.g.FrameSamples() }
+
+func (p *cascadeProc) Push(frame []float64) interface{} {
+	if v := p.g.Push(frame); v != nil {
+		return v
+	}
+	return nil
+}
+
+func (p *cascadeProc) Stage(frame []float64) bool { return p.g.Stage(frame) }
+
+func (p *cascadeProc) Advance() interface{} {
+	if v := p.g.Advance(); v != nil {
+		return v
+	}
+	return nil
+}
+
+func (p *cascadeProc) Finalize() interface{} {
+	v := p.g.Finalize()
+	return &v
+}
+
+func (p *cascadeProc) Reset() { p.g.Reset() }
+
+var _ fleet.BatchProc = (*cascadeProc)(nil)

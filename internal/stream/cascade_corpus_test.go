@@ -1,0 +1,59 @@
+package stream_test
+
+import (
+	"testing"
+
+	"inaudible/internal/core"
+	"inaudible/internal/experiment"
+	"inaudible/internal/stream"
+)
+
+// TestCascadeCorpusParity is the PR's false-negative budget gate: over
+// the E9-E13 style simulated corpus (quick grid), the cascade must not
+// miss any attack the always-on Guard catches — zero added false
+// negatives. Added false positives are reported but not gated (they are
+// a cost knob, not a security hole).
+//
+// This test lives in an external package because building the corpus
+// pulls in internal/core, which reaches back into stream via the sim
+// chain — an import cycle for an in-package test.
+func TestCascadeCorpusParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus simulation in -short mode")
+	}
+	cfg := experiment.QuickCorpusConfig(experiment.DefaultCorpusConfig(core.DefaultScenario()))
+	legit, err := experiment.BuildLegit(cfg)
+	if err != nil {
+		t.Fatalf("building legit corpus: %v", err)
+	}
+	attacks, err := experiment.BuildAttacks(cfg)
+	if err != nil {
+		t.Fatalf("building attack corpus: %v", err)
+	}
+	det := stream.TestDetectorForParity(t)
+
+	var addedFN, addedFP, checked int
+	for _, rec := range append(legit, attacks...) {
+		rate := rec.Signal.Rate
+		want := stream.GuardFinalForParity(det, rate, rec.Signal)
+		got := stream.CascadeFinalForParity(det, rate, rec.Signal, stream.CascadeConfig{})
+		checked++
+		if want.Attack && !got.Attack {
+			addedFN++
+			t.Errorf("added false negative on %s (guard score %+.3f, cascade score %+.3f, cascade %+v)",
+				rec.Label, want.Score, got.Score, *got.Cascade)
+		}
+		if !want.Attack && got.Attack {
+			addedFP++
+			t.Logf("added false positive on %s (guard score %+.3f, cascade score %+.3f)",
+				rec.Label, want.Score, got.Score)
+		}
+	}
+	if checked == 0 {
+		t.Fatalf("empty corpus")
+	}
+	t.Logf("corpus parity over %d recordings: %d added FN (budget 0), %d added FP", checked, addedFN, addedFP)
+	if addedFN != 0 {
+		t.Fatalf("cascade added %d false negatives over %d recordings; budget is zero", addedFN, checked)
+	}
+}

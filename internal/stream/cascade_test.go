@@ -1,0 +1,423 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/defense"
+)
+
+// feedCascade mirrors feedGuard: frame-sized pushes, then Finalize.
+func feedCascade(c *CascadeGuard, sig *audio.Signal) []Verdict {
+	var verdicts []Verdict
+	frame := c.FrameSamples()
+	for off := 0; off < len(sig.Samples); off += frame {
+		end := off + frame
+		if end > len(sig.Samples) {
+			end = len(sig.Samples)
+		}
+		if v := c.Push(sig.Samples[off:end]); v != nil {
+			verdicts = append(verdicts, *v)
+		}
+	}
+	verdicts = append(verdicts, c.Finalize())
+	return verdicts
+}
+
+// cascadeFinal runs sig through a fresh CascadeGuard and returns the
+// final verdict.
+func cascadeFinal(det defense.Detector, rate float64, sig *audio.Signal, cfg CascadeConfig) Verdict {
+	cfg.Guard.Rate = rate
+	cfg.Guard.Detector = det
+	c := NewCascadeGuard(cfg)
+	vs := feedCascade(c, sig)
+	return vs[len(vs)-1]
+}
+
+// guardFinal runs sig through a fresh plain Guard — the non-cascade
+// reference every cascade verdict is pinned against.
+func guardFinal(det defense.Detector, rate float64, sig *audio.Signal) Verdict {
+	g := NewGuard(GuardConfig{Rate: rate, Detector: det})
+	vs := feedGuard(g, sig)
+	return vs[len(vs)-1]
+}
+
+// silence returns n seconds of exact zeros.
+func silence(rate, seconds float64) *audio.Signal {
+	return &audio.Signal{Rate: rate, Samples: make([]float64, int(rate*seconds))}
+}
+
+// concat joins signals at a shared rate.
+func concat(rate float64, sigs ...*audio.Signal) *audio.Signal {
+	out := &audio.Signal{Rate: rate}
+	for _, s := range sigs {
+		out.Samples = append(out.Samples, s.Samples...)
+	}
+	return out
+}
+
+// TestCascadeMidAttackParity covers a session that starts mid-attack:
+// hot audio from the very first frame. The cascade must escalate and
+// reach the same final verdict as the always-on Guard.
+func TestCascadeMidAttackParity(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	sig := attackLike(rate, 2.0, 70)
+
+	want := guardFinal(det, rate, sig)
+	got := cascadeFinal(det, rate, sig, CascadeConfig{})
+
+	if got.Cascade == nil {
+		t.Fatalf("cascade verdict missing CascadeInfo")
+	}
+	if got.Attack != want.Attack {
+		t.Fatalf("mid-attack start: cascade attack=%v, guard attack=%v", got.Attack, want.Attack)
+	}
+	if got.Cascade.Escalations == 0 || got.Cascade.Tier1Frames == 0 {
+		t.Fatalf("hot-from-frame-0 session never escalated: %+v", *got.Cascade)
+	}
+	if got.Samples != sig.Len() {
+		t.Fatalf("final samples = %d, want %d", got.Samples, sig.Len())
+	}
+	// The preroll ring covers the few frames before the escalation, so
+	// the analyzer saw the identical sample stream: features must match
+	// the Guard's exactly, not just the thresholded verdict.
+	if got.Features != want.Features {
+		t.Fatalf("features diverged from guard:\n  cascade %v\n  guard   %v", got.Features, want.Features)
+	}
+}
+
+// TestCascadeStraddleParity covers an attack straddling the tier-0 →
+// tier-1 escalation: a silence prefix keeps the session parked in
+// tier 0, then the attack onset must escalate without losing the onset
+// (preroll replay) or the verdict.
+func TestCascadeStraddleParity(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	sig := concat(rate, silence(rate, 1.0), attackLike(rate, 1.5, 71))
+
+	want := guardFinal(det, rate, sig)
+	got := cascadeFinal(det, rate, sig, CascadeConfig{})
+
+	if got.Attack != want.Attack {
+		t.Fatalf("straddled attack: cascade attack=%v, guard attack=%v", got.Attack, want.Attack)
+	}
+	ci := got.Cascade
+	if ci == nil || ci.Escalations == 0 {
+		t.Fatalf("attack after silence never escalated: %+v", ci)
+	}
+	if ci.Tier0Frames == 0 {
+		t.Fatalf("silence prefix should have stayed in tier 0: %+v", *ci)
+	}
+	if ci.Tier1Frames == 0 {
+		t.Fatalf("attack tail should have run in tier 1: %+v", *ci)
+	}
+}
+
+// TestCascadeHysteresisResistsFlapping covers an attacker alternating
+// hot bursts with single cold frames to flap past the gate. The leaky
+// heat counter must still escalate, and the cold singles must never
+// release tier 1 (release needs a long consecutive cold run).
+func TestCascadeHysteresisResistsFlapping(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	sig := attackLike(rate, 2.0, 72)
+
+	// Zero out every third frame: 2 hot, 1 cold, repeating. A
+	// consecutive-K escalation rule with K=3 would never fire; the leaky
+	// counter (+1 hot, -1/8 cold) must.
+	frame := int(0.020 * rate)
+	for off := 0; off+frame <= len(sig.Samples); off += frame {
+		if (off/frame)%3 == 2 {
+			for i := off; i < off+frame; i++ {
+				sig.Samples[i] = 0
+			}
+		}
+	}
+
+	want := guardFinal(det, rate, sig)
+	got := cascadeFinal(det, rate, sig, CascadeConfig{})
+
+	ci := got.Cascade
+	if ci == nil || ci.Escalations == 0 {
+		t.Fatalf("flapping input never escalated: %+v", ci)
+	}
+	if ci.Escalations != 1 {
+		t.Fatalf("flapping input escalated %d times, want exactly 1 (hysteresis should hold tier 1)", ci.Escalations)
+	}
+	if got.Attack != want.Attack {
+		t.Fatalf("flapping attack: cascade attack=%v, guard attack=%v", got.Attack, want.Attack)
+	}
+}
+
+// TestCascadeSilenceStaysTier0 pins the capacity win: a pure-silence
+// session must never engage the analyzer, and its final verdict must
+// still agree with a full Guard fed the same silence (both score the
+// floor feature vector).
+func TestCascadeSilenceStaysTier0(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	sig := silence(rate, 2.0)
+
+	want := guardFinal(det, rate, sig)
+	got := cascadeFinal(det, rate, sig, CascadeConfig{})
+
+	ci := got.Cascade
+	if ci == nil {
+		t.Fatalf("cascade verdict missing CascadeInfo")
+	}
+	if ci.Engaged || ci.Escalations != 0 || ci.Tier1Frames != 0 {
+		t.Fatalf("silence reached tier 1: %+v", *ci)
+	}
+	if ci.Tier0Frames == 0 {
+		t.Fatalf("no frames accounted to tier 0: %+v", *ci)
+	}
+	if got.Attack != want.Attack || got.Features != want.Features {
+		t.Fatalf("silence verdict diverged from guard:\n  cascade %+v\n  guard   %+v", got, want)
+	}
+	if got.Samples != sig.Len() {
+		t.Fatalf("final samples = %d, want %d", got.Samples, sig.Len())
+	}
+}
+
+// TestCascadeReleaseAndReengage drives the full hysteresis cycle: an
+// attack burst, a cold gap longer than the release run, then a second
+// burst. Tier 1 must release exactly once and re-engage for the second
+// burst, and the verdict must still match the always-on Guard.
+func TestCascadeReleaseAndReengage(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	sig := concat(rate,
+		attackLike(rate, 0.8, 73),
+		silence(rate, 1.2), // 60 cold frames >> ReleaseColdFrames=25
+		attackLike(rate, 0.8, 74),
+	)
+
+	want := guardFinal(det, rate, sig)
+	got := cascadeFinal(det, rate, sig, CascadeConfig{})
+
+	ci := got.Cascade
+	if ci == nil || ci.Escalations != 2 {
+		t.Fatalf("burst-gap-burst should escalate exactly twice: %+v", ci)
+	}
+	if ci.Tier0Frames == 0 {
+		t.Fatalf("cold gap should have returned frames to tier 0: %+v", *ci)
+	}
+	if got.Attack != want.Attack {
+		t.Fatalf("re-engaged attack: cascade attack=%v, guard attack=%v", got.Attack, want.Attack)
+	}
+}
+
+// TestCascadeInterimWhileCold verifies that interim verdicts still
+// surface while the cascade is parked in tier 0 (the Stage return value
+// must report a due emission even with nothing staged).
+func TestCascadeInterimWhileCold(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	c := NewCascadeGuard(CascadeConfig{Guard: GuardConfig{Rate: rate, Detector: det, EmitEvery: 25}})
+	sig := silence(rate, 2.0)
+
+	vs := feedCascade(c, sig)
+	frames := sig.Len() / c.FrameSamples()
+	wantInterim := frames / 25
+	if len(vs) != wantInterim+1 {
+		t.Fatalf("got %d verdicts over cold stream, want %d interim + 1 final", len(vs), wantInterim)
+	}
+	for i, v := range vs[:len(vs)-1] {
+		if v.Final {
+			t.Fatalf("interim verdict %d marked final", i)
+		}
+		if v.Cascade == nil || v.Cascade.Engaged {
+			t.Fatalf("cold interim verdict %d reports engagement: %+v", i, v.Cascade)
+		}
+	}
+}
+
+// TestCascadeStageAdvanceSplit exercises the batched entry points the
+// fleet uses (Stage on every frame, Advance deferred) and pins them
+// against the chained Push path.
+func TestCascadeStageAdvanceSplit(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	sig := concat(rate, silence(rate, 0.5), attackLike(rate, 1.0, 75))
+
+	chained := cascadeFinal(det, rate, sig, CascadeConfig{})
+
+	c := NewCascadeGuard(CascadeConfig{Guard: GuardConfig{Rate: rate, Detector: det}})
+	frame := c.FrameSamples()
+	// Stage a whole "round" of frames before each Advance, like a shard
+	// serving this session alongside busy neighbours.
+	const roundFrames = 8
+	staged := false
+	for off, k := 0, 0; off < len(sig.Samples); off += frame {
+		end := off + frame
+		if end > len(sig.Samples) {
+			end = len(sig.Samples)
+		}
+		if c.Stage(sig.Samples[off:end]) {
+			staged = true
+		}
+		if k++; k == roundFrames {
+			if staged {
+				c.Advance()
+			}
+			staged, k = false, 0
+		}
+	}
+	split := c.Finalize()
+
+	if split.Attack != chained.Attack || split.Features != chained.Features {
+		t.Fatalf("batched Stage/Advance diverged from Push:\n  split   %+v\n  chained %+v", split, chained)
+	}
+	if split.Samples != chained.Samples {
+		t.Fatalf("split samples = %d, chained = %d", split.Samples, chained.Samples)
+	}
+}
+
+// TestCascadeReset verifies a reused cascade guard is indistinguishable
+// from a fresh one — the fleet recycles procs across sessions.
+func TestCascadeReset(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	sig := concat(rate, silence(rate, 0.3), attackLike(rate, 1.0, 76))
+
+	c := NewCascadeGuard(CascadeConfig{Guard: GuardConfig{Rate: rate, Detector: det}})
+	first := feedCascade(c, sig)
+	c.Reset()
+	if c.Samples() != 0 || c.Engaged() || c.Info() != (CascadeInfo{}) {
+		t.Fatalf("Reset left session state: samples=%d info=%+v", c.Samples(), c.Info())
+	}
+	second := feedCascade(c, sig)
+	f1, f2 := first[len(first)-1], second[len(second)-1]
+	if f1.Features != f2.Features || *f1.Cascade != *f2.Cascade {
+		t.Fatalf("reused cascade diverged:\n  first  %+v %+v\n  second %+v %+v", f1.Features, *f1.Cascade, f2.Features, *f2.Cascade)
+	}
+}
+
+// TestCascadeWireSession runs a cascade-enabled server end to end and
+// checks the cascade block rides the wire verdict — and stays absent
+// when the cascade is off (old clients see byte-identical JSON shape).
+func TestCascadeWireSession(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	sig := concat(rate, silence(rate, 0.5), attackLike(rate, 1.5, 77))
+	session := encodePCMSession(sig, 960)
+
+	srv := NewServer(ServerConfig{Detector: det, Workers: 1, Cascade: true})
+	var out bytes.Buffer
+	if err := srv.ServeSession(bytes.NewReader(session), &out); err != nil {
+		t.Fatalf("ServeSession: %v", err)
+	}
+	v := finalVerdict(t, out.Bytes())
+	if v.Cascade == nil {
+		t.Fatalf("cascade server verdict missing cascade block: %+v", v)
+	}
+	if v.Cascade.Escalations == 0 || v.Cascade.Tier1Frames == 0 {
+		t.Fatalf("cascade wire counters empty: %+v", *v.Cascade)
+	}
+	if v.Cascade.Tier0Frames == 0 {
+		t.Fatalf("silence prefix missing from tier-0 count: %+v", *v.Cascade)
+	}
+	if v.Samples != sig.Len() {
+		t.Fatalf("final samples = %d, want %d", v.Samples, sig.Len())
+	}
+
+	plain := NewServer(ServerConfig{Detector: det, Workers: 1})
+	out.Reset()
+	if err := plain.ServeSession(bytes.NewReader(session), &out); err != nil {
+		t.Fatalf("ServeSession (plain): %v", err)
+	}
+	if pv := finalVerdict(t, out.Bytes()); pv.Cascade != nil {
+		t.Fatalf("non-cascade server leaked cascade block: %+v", *pv.Cascade)
+	}
+	if bytes.Contains(out.Bytes(), []byte(`"cascade"`)) {
+		t.Fatalf("non-cascade wire output mentions cascade: %s", out.Bytes())
+	}
+}
+
+// TestCascadeMetricsWiring checks the shared fleet_cascade_* instrument
+// set: escalation/deescalation counts, tier frame totals, and that the
+// tier-1 occupancy gauge returns to zero however the session ends
+// (Finalize or fleet-style Reset-on-abort).
+func TestCascadeMetricsWiring(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	m := newUnregisteredCascadeMetrics()
+	mk := func() *CascadeGuard {
+		return NewCascadeGuard(CascadeConfig{Guard: GuardConfig{Rate: rate, Detector: det}, Metrics: m})
+	}
+	sig := concat(rate, silence(rate, 0.5), attackLike(rate, 1.0, 78))
+
+	feedCascade(mk(), sig)
+	if m.Escalations.Value() == 0 || m.Tier1Frames.Value() == 0 || m.Tier0Frames.Value() == 0 {
+		t.Fatalf("counters not advanced: esc=%d t0=%d t1=%d",
+			m.Escalations.Value(), m.Tier0Frames.Value(), m.Tier1Frames.Value())
+	}
+	if g := m.Tier1Sessions.Value(); g != 0 {
+		t.Fatalf("tier-1 gauge leaked after Finalize: %d", g)
+	}
+
+	// Abort path: the fleet resets a live proc without Finalize.
+	c := mk()
+	frame := c.FrameSamples()
+	atk := attackLike(rate, 0.5, 79)
+	for off := 0; off+frame <= len(atk.Samples); off += frame {
+		c.Stage(atk.Samples[off : off+frame])
+	}
+	if !c.Engaged() {
+		t.Fatalf("attack burst did not engage before abort")
+	}
+	c.Reset()
+	if g := m.Tier1Sessions.Value(); g != 0 {
+		t.Fatalf("tier-1 gauge leaked after Reset-on-abort: %d", g)
+	}
+
+	// The energy-margin histogram spans negative dB: the quantile must
+	// interpolate from the observed minimum, not a hardcoded zero.
+	if m.EnergyMarginDB.Count() == 0 {
+		t.Fatalf("energy margin histogram never observed")
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		v := m.EnergyMarginDB.Quantile(q)
+		if v < m.EnergyMarginDB.Min() || v > m.EnergyMarginDB.Max() {
+			t.Fatalf("margin q%.2f=%v outside observed [%v, %v]",
+				q, v, m.EnergyMarginDB.Min(), m.EnergyMarginDB.Max())
+		}
+	}
+}
+
+// TestCascadeFleetParity runs the same sessions through a cascade
+// fleet and standalone cascade guards: the two-phase shard batching
+// (Stage in phase 1, Advance in phase 2) must not change any verdict.
+func TestCascadeFleetParity(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	srv := NewServer(ServerConfig{Detector: det, Workers: 2, Cascade: true, EmitEvery: 25})
+
+	for i, sig := range []*audio.Signal{
+		concat(rate, silence(rate, 0.5), attackLike(rate, 1.5, 80)),
+		legitLike(rate, 2.0, 81),
+		silence(rate, 2.0),
+	} {
+		want := cascadeFinal(det, rate, sig, CascadeConfig{Guard: GuardConfig{EmitEvery: 25}})
+		var out bytes.Buffer
+		if err := srv.ServeSession(bytes.NewReader(encodePCMSession(sig, 960)), &out); err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		v := finalVerdict(t, out.Bytes())
+		if v.Attack != want.Attack {
+			t.Errorf("session %d: fleet attack=%v, standalone=%v", i, v.Attack, want.Attack)
+		}
+		if v.Cascade == nil {
+			t.Fatalf("session %d: fleet verdict missing cascade block", i)
+		}
+		wi := want.Cascade
+		gotInfo := fmt.Sprintf("t0=%d t1=%d esc=%d", v.Cascade.Tier0Frames, v.Cascade.Tier1Frames, v.Cascade.Escalations)
+		wantInfo := fmt.Sprintf("t0=%d t1=%d esc=%d", wi.Tier0Frames, wi.Tier1Frames, wi.Escalations)
+		if gotInfo != wantInfo {
+			t.Errorf("session %d: fleet cascade counters %s, standalone %s", i, gotInfo, wantInfo)
+		}
+	}
+}

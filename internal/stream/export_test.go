@@ -1,0 +1,10 @@
+package stream
+
+// Bridges for the external stream_test package (cascade_corpus_test.go),
+// which must live outside package stream because the corpus builder
+// (internal/experiment → internal/core → internal/sim) imports stream.
+var (
+	TestDetectorForParity = testDetector
+	GuardFinalForParity   = guardFinal
+	CascadeFinalForParity = cascadeFinal
+)

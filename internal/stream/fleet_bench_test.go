@@ -82,6 +82,83 @@ func BenchmarkFleetThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkCascadeFleetThroughput measures the capacity win of the
+// two-tier cascade on a realistic duty cycle: a 10 s session loop with
+// one 0.5 s hot burst and silence elsewhere (~5% hot duty, plus the
+// hysteresis tail). The "off" variant serves the same signal through
+// always-on Guards; "on" through the cascade. rt_sessions is the
+// acceptance metric (PR gate: cascade >= 3x the always-on baseline).
+func BenchmarkCascadeFleetThroughput(b *testing.B) {
+	const rate = 48000.0
+	const sessions = 4
+	det := testDetector(b)
+
+	// Duty-cycled source: exact zeros except one attack burst. Zeros keep
+	// the VAD running peak at zero and the trace band empty, so tier 0
+	// stays cold outside the burst and its hysteresis tail.
+	burst := attackLike(rate, 0.5, 99)
+	src := make([]float64, int(10*rate))
+	copy(src[int(0.6*rate):], burst.Samples)
+
+	for _, mode := range []struct {
+		name    string
+		cascade bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			fl := NewFleet(ServerConfig{Detector: det, MaxSessions: -1, Shards: 1, Cascade: mode.cascade})
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				if err := fl.Close(ctx); err != nil {
+					b.Fatalf("Close: %v", err)
+				}
+			}()
+			feeders := make([]*sessionFeeder, sessions)
+			for i := range feeders {
+				s, err := fl.Open(rate)
+				if err != nil {
+					b.Fatal(err)
+				}
+				feeders[i] = &sessionFeeder{s: s, src: src}
+			}
+			for i := 0; i < 300*sessions; i++ {
+				feeders[i%sessions].feed(b)
+			}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				feeders[i%sessions].feed(b)
+			}
+			for _, f := range feeders {
+				f.drain(b)
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+
+			framesPerSec := float64(b.N) / elapsed.Seconds()
+			b.ReportMetric(framesPerSec, "frames/sec")
+			b.ReportMetric(framesPerSec/50, "rt_sessions")
+
+			for _, f := range feeders {
+				if err := f.s.CloseSend(); err != nil {
+					b.Fatal(err)
+				}
+				sawFinal := false
+				for ev := range f.s.Events() {
+					if ev.(*Verdict).Final {
+						sawFinal = true
+					}
+				}
+				if !sawFinal {
+					b.Fatalf("session lost its final verdict")
+				}
+			}
+		})
+	}
+}
+
 // sessionFeeder pushes frames from a looped source signal.
 type sessionFeeder struct {
 	s   *fleet.Session

@@ -88,6 +88,9 @@ type Verdict struct {
 	TraceBandPower float64
 	// Latency reflects processing cost up to the emission.
 	Latency LatencyStats
+	// Cascade carries the two-tier cascade state when the verdict came
+	// from a CascadeGuard; nil for plain and degraded guards.
+	Cascade *CascadeInfo
 }
 
 // String implements fmt.Stringer.

@@ -92,9 +92,22 @@ type ServerConfig struct {
 	// MaxCorrSeconds bounds each session's correlation memory
 	// (see AnalyzerConfig).
 	MaxCorrSeconds float64
+	// Cascade serves full-service sessions through the two-tier
+	// CascadeGuard instead of the always-on Guard: cheap triage on every
+	// frame, the full analyzer only while tier 0 sees suspicious energy,
+	// heavy DSP batched per shard. Degraded sessions are unaffected.
+	Cascade bool
+	// CascadeHotFrames, CascadeColdFrames, CascadeFloorDB and
+	// CascadePreroll tune the cascade hysteresis (see CascadeConfig);
+	// zero values select the defaults.
+	CascadeHotFrames  int
+	CascadeColdFrames int
+	CascadeFloorDB    float64
+	CascadePreroll    int
 	// Metrics registers the fleet's instruments (admission, frame and
-	// verdict latency, ring occupancy, drops) in the given registry;
-	// nil serves without exposition but still counts internally.
+	// verdict latency, ring occupancy, drops — plus the fleet_cascade_*
+	// set when Cascade is on) in the given registry; nil serves without
+	// exposition but still counts internally.
 	Metrics *telemetry.Registry
 }
 
@@ -156,6 +169,16 @@ func NewFleet(cfg ServerConfig) *fleet.Fleet {
 	if cfg.Metrics != nil {
 		metrics = fleet.NewMetrics(cfg.Metrics)
 	}
+	var cascadeMetrics *CascadeMetrics
+	if cfg.Cascade {
+		// One shared instrument set across every cascade session of this
+		// fleet (the procs themselves are per-session).
+		if cfg.Metrics != nil {
+			cascadeMetrics = NewCascadeMetrics(cfg.Metrics)
+		} else {
+			cascadeMetrics = newUnregisteredCascadeMetrics()
+		}
+	}
 	return fleet.New(fleet.Config{
 		Shards:      cfg.Shards,
 		RingFrames:  ringFrames,
@@ -179,6 +202,16 @@ func NewFleet(cfg ServerConfig) *fleet.Fleet {
 			}
 			if degraded {
 				return &degradedProc{g: NewDegradedGuard(gc)}
+			}
+			if cfg.Cascade {
+				return &cascadeProc{g: NewCascadeGuard(CascadeConfig{
+					Guard:             gc,
+					EngageHotFrames:   cfg.CascadeHotFrames,
+					ReleaseColdFrames: cfg.CascadeColdFrames,
+					HotFloorDB:        cfg.CascadeFloorDB,
+					PrerollFrames:     cfg.CascadePreroll,
+					Metrics:           cascadeMetrics,
+				})}
 			}
 			return &guardProc{g: NewGuard(gc)}
 		},
@@ -481,6 +514,17 @@ type wireVerdict struct {
 	Features       map[string]float64 `json:"features"`
 	LatencyMeanUS  float64            `json:"latency_mean_us"`
 	LatencyMaxUS   float64            `json:"latency_max_us"`
+	Cascade        *wireCascade       `json:"cascade,omitempty"`
+}
+
+// wireCascade is the JSON wire form of CascadeInfo. The field is absent
+// for non-cascade sessions, so the cascade-off wire format is
+// byte-identical to previous releases.
+type wireCascade struct {
+	Engaged     bool `json:"engaged"`
+	Tier0Frames int  `json:"tier0_frames"`
+	Tier1Frames int  `json:"tier1_frames"`
+	Escalations int  `json:"escalations"`
 }
 
 // writeVerdict encodes one verdict line.
@@ -490,6 +534,15 @@ func writeVerdict(w io.Writer, v *Verdict) error {
 	feats := make(map[string]float64, len(names))
 	for i, n := range names {
 		feats[n] = vec[i]
+	}
+	var casc *wireCascade
+	if v.Cascade != nil {
+		casc = &wireCascade{
+			Engaged:     v.Cascade.Engaged,
+			Tier0Frames: v.Cascade.Tier0Frames,
+			Tier1Frames: v.Cascade.Tier1Frames,
+			Escalations: v.Cascade.Escalations,
+		}
 	}
 	return writeJSONLine(w, wireVerdict{
 		Attack:         v.Attack,
@@ -503,6 +556,7 @@ func writeVerdict(w io.Writer, v *Verdict) error {
 		Features:       feats,
 		LatencyMeanUS:  float64(v.Latency.MeanPerFrame().Microseconds()),
 		LatencyMaxUS:   float64(v.Latency.MaxPush.Microseconds()),
+		Cascade:        casc,
 	})
 }
 

@@ -56,8 +56,15 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
-	max    atomic.Uint64 // float64 bits of the largest observation
+	min    atomic.Uint64 // float64 bits of the smallest observation, unsetBits before any
+	max    atomic.Uint64 // float64 bits of the largest observation, unsetBits before any
 }
+
+// unsetBits marks the min/max atomics as "no observation yet". The NaN
+// bit pattern is unreachable from Observe (non-finite values are
+// dropped), and NaN compares false against everything, so the CAS loops
+// below replace it on the first real observation without a special case.
+var unsetBits = math.Float64bits(math.NaN())
 
 // NewHistogram builds a histogram over the given ascending upper
 // bounds. It panics on empty or unsorted bounds — histogram shapes are
@@ -70,7 +77,10 @@ func NewHistogram(bounds []float64) *Histogram {
 		panic("telemetry: histogram bounds must be ascending")
 	}
 	b := append([]float64(nil), bounds...)
-	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	h := &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	h.min.Store(unsetBits)
+	h.max.Store(unsetBits)
+	return h
 }
 
 // ExpBuckets returns n geometric bucket bounds start, start*factor, ...
@@ -88,10 +98,12 @@ func ExpBuckets(start, factor float64, n int) []float64 {
 	return out
 }
 
-// Observe records one value. NaN is ignored (it would poison sum and
-// quantiles); -Inf lands in the first bucket, +Inf in the overflow one.
+// Observe records one value. Non-finite values (NaN and ±Inf) are
+// ignored: a single ±Inf would otherwise poison sum — and with it
+// Mean() and the Prometheus _sum sample — irreversibly, and neither has
+// a meaningful bucket.
 func (h *Histogram) Observe(v float64) {
-	if math.IsNaN(v) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
 	// sort.SearchFloat64s returns the first bound >= v's bucket; values
@@ -103,6 +115,17 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	// The unset sentinel is NaN, which compares false against any v, so
+	// both extrema loops fall through to the CAS on first observation.
+	for {
+		old := h.min.Load()
+		if math.Float64frombits(old) <= v {
+			break
+		}
+		if h.min.CompareAndSwap(old, math.Float64bits(v)) {
 			break
 		}
 	}
@@ -123,8 +146,23 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of observations.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Min returns the smallest observation (0 before any).
+func (h *Histogram) Min() float64 {
+	b := h.min.Load()
+	if b == unsetBits {
+		return 0
+	}
+	return math.Float64frombits(b)
+}
+
 // Max returns the largest observation (0 before any).
-func (h *Histogram) Max() float64 { return math.Float64frombits(h.max.Load()) }
+func (h *Histogram) Max() float64 {
+	b := h.max.Load()
+	if b == unsetBits {
+		return 0
+	}
+	return math.Float64frombits(b)
+}
 
 // Mean returns the average observation (0 before any).
 func (h *Histogram) Mean() float64 {
@@ -157,23 +195,40 @@ func (h *Histogram) Quantile(q float64) float64 {
 			if i == len(h.bounds) {
 				return h.bounds[len(h.bounds)-1]
 			}
-			lo := 0.0
-			if i > 0 {
+			var lo float64
+			switch {
+			case i > 0:
 				lo = h.bounds[i-1]
+			case h.bounds[0] > 0:
+				// All-positive bounds: 0 is a sane implicit lower edge
+				// for the first bucket (latency-style histograms).
+				lo = 0
+			default:
+				// The first bound is <= 0 (dB-scaled margins and other
+				// signed distributions): 0 sits above the bucket, so
+				// interpolate up from the smallest real observation —
+				// count > 0 here guarantees min is set, and any
+				// observation landing in bucket 0 is <= bounds[0].
+				lo = h.Min()
 			}
 			hi := h.bounds[i]
 			frac := (rank - cum) / c
-			return h.clampToMax(lo + (hi-lo)*frac)
+			return h.clampToRange(lo + (hi-lo)*frac)
 		}
 		cum += c
 	}
 	return h.bounds[len(h.bounds)-1]
 }
 
-// clampToMax keeps interpolated quantiles from overshooting the largest
-// real observation (possible when a bucket is sparsely filled).
-func (h *Histogram) clampToMax(v float64) float64 {
-	if m := h.Max(); m > 0 && v > m {
+// clampToRange keeps interpolated quantiles inside the observed
+// [min, max] span (interpolation can over- or undershoot when a bucket
+// is sparsely filled). Unset extrema (NaN sentinel) compare false and
+// leave v untouched.
+func (h *Histogram) clampToRange(v float64) float64 {
+	if m := math.Float64frombits(h.min.Load()); v < m {
+		return m
+	}
+	if m := math.Float64frombits(h.max.Load()); v > m {
 		return m
 	}
 	return v

@@ -60,6 +60,67 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+func TestHistogramIgnoresNonFinite(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 8))
+	h.Observe(5)
+	h.Observe(10)
+	for _, v := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		h.Observe(v)
+		if h.Count() != 2 {
+			t.Fatalf("non-finite observation %g was counted", v)
+		}
+	}
+	// The real regression: a single +Inf used to make sum (and Mean, and
+	// the Prometheus _sum sample) +Inf forever.
+	if got := h.Sum(); got != 15 {
+		t.Fatalf("sum = %g, want 15 (non-finite values must not touch sum)", got)
+	}
+	if got := h.Mean(); got != 7.5 {
+		t.Fatalf("mean = %g, want 7.5", got)
+	}
+	if got := h.Max(); got != 10 {
+		t.Fatalf("max = %g, want 10", got)
+	}
+	if got := h.Min(); got != 5 {
+		t.Fatalf("min = %g, want 5", got)
+	}
+}
+
+func TestHistogramNegativeBounds(t *testing.T) {
+	// dB-scaled margins: the first bound is negative, so the old
+	// first-bucket interpolation from lo = 0.0 produced quantiles far
+	// outside the bucket, and the zero-initialised max atomic never
+	// recorded a negative maximum.
+	bounds := []float64{-48, -40, -32, -24, -16, -8, 0, 8, 16, 24, 32, 40, 48}
+	h := NewHistogram(bounds)
+	obs := []float64{-50, -49, -45, -41, -33, -20, -12}
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	if got := h.Min(); got != -50 {
+		t.Fatalf("min = %g, want -50", got)
+	}
+	if got := h.Max(); got != -12 {
+		t.Fatalf("max = %g, want -12 (negative maxima must be tracked)", got)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+		got := h.Quantile(q)
+		if got < -50 || got > -12 {
+			t.Errorf("q%g = %g, outside observed range [-50, -12]", q, got)
+		}
+	}
+	// The median observation is -41; its covering bucket is (-48, -40],
+	// so a correct interpolation stays inside that bucket.
+	if got := h.Quantile(0.5); got < -48 || got > -40 {
+		t.Errorf("q0.5 = %g, want within the covering bucket [-48, -40]", got)
+	}
+	// q=0 exercises the first bucket directly: interpolation must start
+	// from the observed minimum, not from 0.
+	if got := h.Quantile(0); got != -50 {
+		t.Errorf("q0 = %g, want the observed min -50", got)
+	}
+}
+
 func TestHistogramConcurrentObserve(t *testing.T) {
 	h := NewHistogram(ExpBuckets(1, 4, 10))
 	var wg sync.WaitGroup

@@ -41,12 +41,17 @@ go test ./internal/dsp -run '^$' -bench 'FFT4096|RFFT4096' -benchtime 100x
 go test . -run '^$' -bench 'StreamGuard|StreamFIRPush' -benchtime 200x -timeout 10m
 go test ./internal/sim -run '^$' -bench 'BenchmarkSimChain$' -benchtime 100x -timeout 10m
 
+echo "==> cascade parity / FN-budget gate (zero added false negatives vs always-on guard)"
+go test ./internal/stream -run 'TestCascadeCorpusParity' -count=1 -timeout 20m
+
 echo "==> fleet benchmarks (0 allocs/frame gate: see allocs/op in the output)"
 go test ./internal/fleet -run '^$' -bench 'FleetCoreFrame' -benchtime 20000x -benchmem -timeout 10m
 go test ./internal/stream -run '^$' -bench 'FleetThroughput' -benchtime 5000x -benchmem -timeout 10m
+go test ./internal/stream -run '^$' -bench 'CascadeFleetThroughput' -benchtime 5000x -benchmem -timeout 10m
 
 echo "==> loadgen smoke (in-process fleet server, cheap payloads, overload path)"
 go run ./cmd/loadgen -synth cheap -detector demo -sessions 4 -duration 2s -session-seconds 0.5 -quiet
 go run ./cmd/loadgen -synth cheap -detector demo -sessions 6 -max-sessions 2 -degrade -duration 2s -session-seconds 0.5 -quiet
+go run ./cmd/loadgen -synth cheap -detector demo -sessions 4 -duration 2s -cascade -duty 0.25 -quiet
 
 echo "CI gate passed."
