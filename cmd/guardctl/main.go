@@ -1,0 +1,134 @@
+// Command guardctl is the operator CLI for a running guardd: it talks
+// to the daemon's metrics/introspection port and prints the JSON the
+// introspection plane serves, or validates the whole plane in one shot.
+//
+// Usage:
+//
+//	guardctl [-base http://127.0.0.1:8080] <command>
+//
+//	fleet          fleet-wide snapshot (admission, wire, recorder)
+//	shards         per-shard worker counters
+//	sessions       flight-recorder listing (live + retained exemplars)
+//	session <id>   one session's full event trace
+//	drift          per-feature divergence vs the training distribution
+//	check          validate the plane: strict Prometheus conformance on
+//	               /metrics, JSON decode of every introspection endpoint
+//
+// check exits non-zero on the first violation, which makes it the CI
+// smoke gate: start guardd, push a burst of sessions, `guardctl check`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"inaudible/internal/telemetry"
+)
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:8080", "guardd metrics/introspection base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	c := &client{base: strings.TrimRight(*base, "/"), http: &http.Client{Timeout: 10 * time.Second}}
+
+	var err error
+	switch args[0] {
+	case "fleet":
+		err = c.printJSON("/fleet")
+	case "shards":
+		err = c.printJSON("/shards")
+	case "sessions":
+		err = c.printJSON("/sessions")
+	case "session":
+		if len(args) != 2 {
+			usage()
+		}
+		err = c.printJSON("/sessions/" + args[1])
+	case "drift":
+		err = c.printJSON("/drift")
+	case "check":
+		err = c.check()
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "guardctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) get(path string) (*http.Response, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return resp, nil
+}
+
+// printJSON relays an endpoint's body to stdout (already indented by
+// the server's encoder).
+func (c *client) printJSON(path string) error {
+	resp, err := c.get(path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+// check validates the whole observability plane: /metrics passes the
+// strict Prometheus exposition checker, and every introspection
+// endpoint both answers 200 and decodes as JSON. One line per probe; an
+// error on any probe fails the run.
+func (c *client) check() error {
+	resp, err := c.get("/metrics")
+	if err != nil {
+		return err
+	}
+	err = telemetry.CheckExposition(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("/metrics: %w", err)
+	}
+	fmt.Println("ok /metrics (strict exposition conformance)")
+
+	for _, path := range []string{"/varz", "/fleet", "/shards", "/sessions", "/drift"} {
+		resp, err := c.get(path)
+		if err != nil {
+			return err
+		}
+		var v interface{}
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("%s: not valid JSON: %w", path, err)
+		}
+		fmt.Printf("ok %s\n", path)
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: guardctl [-base url] fleet|shards|sessions|session <id>|drift|check")
+	os.Exit(2)
+}

@@ -12,6 +12,13 @@
 // the protocol note in internal/stream/serve.go and the README's
 // "Serving at scale" section.
 //
+// The -metrics port is also the introspection plane: alongside
+// /metrics, /varz and /healthz it serves the flight recorder
+// (/sessions, /sessions/{id}), the fleet snapshot (/shards, /fleet) and
+// drift telemetry (/drift); -pprof additionally mounts net/http/pprof
+// under /debug/pprof/. See the README's "Observability" section and
+// cmd/guardctl for the matching CLI.
+//
 // On SIGINT/SIGTERM the daemon shuts down gracefully: it stops
 // accepting connections, drains in-flight sessions (up to -drain),
 // flushes their final verdicts, and exits 0. A second signal, or the
@@ -21,10 +28,12 @@
 //
 //	guardd < session.wav                    # one stdin session
 //	guardd -listen :7654                    # one session per TCP connection
-//	guardd -listen :7654 -metrics :8080     # + /metrics /varz /healthz
+//	guardd -listen :7654 -metrics :8080     # + metrics and introspection
 //	guardd -detector threshold -quick       # fast start-up, threshold rule
+//	guardd -detector demo                   # no training at all (smoke runs)
 //	guardd -listen :7654 -max-sessions 64 -degrade
 //	guardd -listen :7654 -cascade                # two-tier triage cascade
+//	guardd -listen :7654 -metrics :8080 -pprof   # + /debug/pprof/
 package main
 
 import (
@@ -32,23 +41,29 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"syscall"
 	"time"
 
-	"inaudible"
+	"inaudible/internal/core"
+	"inaudible/internal/defense"
 	"inaudible/internal/experiment"
 	"inaudible/internal/stream"
 	"inaudible/internal/telemetry"
+	"inaudible/internal/trace"
 )
 
 func main() {
 	var (
 		listen      = flag.String("listen", "", "TCP address to serve (empty: one session on stdin)")
-		metricsAddr = flag.String("metrics", "", "HTTP address for /metrics, /varz and /healthz (empty: no exposition)")
-		detector    = flag.String("detector", "svm", "detector kind: "+strings.Join(experiment.DetectorKinds(), ", "))
+		metricsAddr = flag.String("metrics", "", "HTTP address for metrics and introspection (empty: no exposition)")
+		detector    = flag.String("detector", "svm", "detector kind: "+strings.Join(experiment.DetectorKinds(), ", ")+", or demo (hand-calibrated thresholds, no training)")
 		quick       = flag.Bool("quick", false, "train on the Quick-suite corpus (faster start-up, smaller grid)")
 		seed        = flag.Int64("seed", 1, "corpus and training seed")
 		workers     = flag.Int("workers", 0, "deprecated alias of -max-sessions (0: GOMAXPROCS)")
@@ -64,6 +79,9 @@ func main() {
 		emitEvery   = flag.Int("emit-every", 0, "interim verdict every N frames (0: final only)")
 		corrCap     = flag.Float64("corr-seconds", 0, "correlation memory cap per session in seconds (0: 60)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline for in-flight sessions")
+		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the metrics port")
+		traceExempl = flag.Int("trace-exemplars", 64, "completed sessions retained by the flight recorder (0: tracing off)")
+		sloMS       = flag.Int("slo-ms", 500, "final-verdict latency SLO; violating sessions are retained as notable (0: no SLO)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -71,15 +89,30 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Fprintf(os.Stderr, "guardd: training %s detector on simulated corpus (one-time)...\n", *detector)
-	start := time.Now()
-	det, err := inaudible.TrainDetector(*detector, *seed, *quick)
+	det, trainVecs, err := buildDetector(*detector, *seed, *quick)
 	if err != nil {
 		fatal("training: %v", err)
 	}
-	fmt.Fprintf(os.Stderr, "guardd: detector ready in %s\n", time.Since(start).Round(time.Millisecond))
 
 	reg := telemetry.NewRegistry()
+	registerBuildInfo(reg)
+
+	var rec *trace.Recorder
+	if *traceExempl > 0 {
+		rec = trace.NewRecorder(trace.Config{
+			Exemplars: *traceExempl,
+			SLO:       time.Duration(*sloMS) * time.Millisecond,
+		})
+	}
+	drift := trace.NewDriftMonitor(reg)
+	if trainVecs != nil {
+		drift.SetReference(trace.ReferenceFromVectors(trainVecs))
+	} else {
+		// Demo mode trains nothing; pin the quick-corpus reference so
+		// /drift still has a baseline to diverge from.
+		drift.SetReference(trace.DemoReference())
+	}
+
 	srv := stream.NewServer(stream.ServerConfig{
 		Detector:          det,
 		Workers:           *workers,
@@ -95,14 +128,25 @@ func main() {
 		EmitEvery:         *emitEvery,
 		MaxCorrSeconds:    *corrCap,
 		Metrics:           reg,
+		Trace:             rec,
+		Drift:             drift,
 	})
 
 	if *metricsAddr != "" {
-		ml, _, err := telemetry.ListenAndServe(*metricsAddr, reg)
+		mux := telemetry.Mux(reg)
+		srv.MountIntrospection(mux)
+		if *pprofOn {
+			mountPprof(mux)
+		}
+		ml, _, err := telemetry.ListenAndServeHandler(*metricsAddr, mux)
 		if err != nil {
 			fatal("metrics: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "guardd: metrics on http://%s/metrics (also /varz, /healthz)\n", ml.Addr())
+		extra := ""
+		if *pprofOn {
+			extra = ", /debug/pprof/"
+		}
+		fmt.Fprintf(os.Stderr, "guardd: metrics on http://%s/metrics (also /varz, /healthz, /sessions, /shards, /fleet, /drift%s)\n", ml.Addr(), extra)
 	}
 
 	if *listen == "" {
@@ -155,6 +199,63 @@ func main() {
 		fmt.Fprintf(os.Stderr, "guardd: drain incomplete: %v\n", err)
 	}
 	fmt.Fprintf(os.Stderr, "guardd: served %d sessions — bye\n", srv.Sessions())
+}
+
+// buildDetector resolves -detector: "demo" returns the hand-calibrated
+// thresholds instantly (no corpus, no training — smoke tests and CI);
+// anything else simulates the corpus and trains, returning the training
+// feature vectors so the caller can pin them as the drift reference.
+func buildDetector(kind string, seed int64, quick bool) (defense.Detector, [][]float64, error) {
+	if kind == "demo" {
+		fmt.Fprintln(os.Stderr, "guardd: demo detector (hand-calibrated thresholds, no training)")
+		return defense.DemoThresholds(), nil, nil
+	}
+	fmt.Fprintf(os.Stderr, "guardd: training %s detector on simulated corpus (one-time)...\n", kind)
+	start := time.Now()
+	sc := core.DefaultScenario()
+	sc.Seed = seed
+	cfg := experiment.DefaultCorpusConfig(sc)
+	if quick {
+		cfg = experiment.QuickCorpusConfig(cfg)
+	}
+	cfg.Runner = experiment.NewRunner(0)
+	det, samples, err := experiment.TrainDetectorWithSamples(kind, cfg, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	vecs := make([][]float64, len(samples))
+	for i, s := range samples {
+		vecs[i] = s.X
+	}
+	fmt.Fprintf(os.Stderr, "guardd: detector ready in %s (%d training samples pinned as drift reference)\n",
+		time.Since(start).Round(time.Millisecond), len(samples))
+	return det, vecs, nil
+}
+
+// registerBuildInfo exports the daemon's identity: a fleet_build_info
+// Info gauge carrying version labels and the start time for uptime
+// arithmetic (time() - fleet_start_time_seconds).
+func registerBuildInfo(reg *telemetry.Registry) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	reg.NewInfo("fleet_build_info", "build and runtime identity of the guardd process", map[string]string{
+		"version":    version,
+		"go_version": runtime.Version(),
+	})
+	reg.NewGauge("fleet_start_time_seconds", "unix time the daemon started").Set(time.Now().Unix())
+}
+
+// mountPprof wires the net/http/pprof handlers explicitly: guardd never
+// serves http.DefaultServeMux, so the package's init-time registrations
+// must be re-homed onto the telemetry mux.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 func capString(n int) string {

@@ -51,6 +51,7 @@ import (
 	"inaudible/internal/experiment"
 	"inaudible/internal/stream"
 	"inaudible/internal/telemetry"
+	"inaudible/internal/trace"
 	"inaudible/internal/voice"
 )
 
@@ -100,12 +101,14 @@ func main() {
 	target := *addr
 	var srv *stream.Server
 	var reg *telemetry.Registry
+	var rec *trace.Recorder
 	if target == "" {
 		reg = telemetry.NewRegistry()
 		det, err := buildDetector(*detector, *seed, *quick, logf)
 		if err != nil {
 			fatal("detector: %v", err)
 		}
+		rec = trace.NewRecorder(trace.Config{SLO: time.Duration(*sloMS * float64(time.Millisecond))})
 		srv = stream.NewServer(stream.ServerConfig{
 			Detector:    det,
 			MaxSessions: *maxSess,
@@ -114,6 +117,8 @@ func main() {
 			Cascade:     *cascade,
 			EmitEvery:   *emitEvery,
 			Metrics:     reg,
+			Trace:       rec,
+			Drift:       trace.NewDriftMonitor(reg),
 		})
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -170,6 +175,10 @@ func main() {
 
 	if srv != nil && reg != nil {
 		report.ServerMetrics = reg.Snapshot()
+	}
+	if rec != nil {
+		st := rec.Stats()
+		report.Recorder = &st
 	}
 	renderText(os.Stdout, &report)
 	if *jsonPath != "" {
@@ -432,6 +441,11 @@ type Epoch struct {
 	VerdictP95MS   float64 `json:"verdict_p95_ms"`
 	VerdictP99MS   float64 `json:"verdict_p99_ms"`
 	VerdictMaxMS   float64 `json:"verdict_max_ms"`
+	// VerdictHistogramUS is the full final-verdict latency distribution
+	// in microseconds — bucket bounds and per-bucket counts, so report
+	// consumers can recompute any quantile or overlay runs, rather than
+	// being limited to the point quantiles above.
+	VerdictHistogramUS *telemetry.HistogramDump `json:"verdict_histogram_us,omitempty"`
 }
 
 // session result counters shared across clients.
@@ -587,19 +601,21 @@ func (g *generator) useWAV(rng *rand.Rand) bool {
 }
 
 func (t *tally) epoch(elapsed time.Duration) Epoch {
+	dump := t.verdictUS.Dump()
 	return Epoch{
-		DurationS:      elapsed.Seconds(),
-		Completed:      t.completed.Load(),
-		Errors:         t.errors.Load(),
-		Rejected:       t.rejected.Load(),
-		Shed:           t.shed.Load(),
-		Degraded:       t.degraded.Load(),
-		Misclassified:  t.misclassified.Load(),
-		SessionsPerSec: float64(t.completed.Load()) / elapsed.Seconds(),
-		VerdictP50MS:   t.verdictUS.Quantile(0.50) / 1000,
-		VerdictP95MS:   t.verdictUS.Quantile(0.95) / 1000,
-		VerdictP99MS:   t.verdictUS.Quantile(0.99) / 1000,
-		VerdictMaxMS:   t.verdictUS.Max() / 1000,
+		VerdictHistogramUS: &dump,
+		DurationS:          elapsed.Seconds(),
+		Completed:          t.completed.Load(),
+		Errors:             t.errors.Load(),
+		Rejected:           t.rejected.Load(),
+		Shed:               t.shed.Load(),
+		Degraded:           t.degraded.Load(),
+		Misclassified:      t.misclassified.Load(),
+		SessionsPerSec:     float64(t.completed.Load()) / elapsed.Seconds(),
+		VerdictP50MS:       t.verdictUS.Quantile(0.50) / 1000,
+		VerdictP95MS:       t.verdictUS.Quantile(0.95) / 1000,
+		VerdictP99MS:       t.verdictUS.Quantile(0.99) / 1000,
+		VerdictMaxMS:       t.verdictUS.Max() / 1000,
 	}
 }
 
@@ -693,6 +709,10 @@ type Report struct {
 	Epochs        []Epoch                `json:"epochs,omitempty"`
 	Capacity      *CapacityResult        `json:"capacity,omitempty"`
 	ServerMetrics map[string]interface{} `json:"server_metrics,omitempty"`
+	// Recorder summarizes the in-process server's flight recorder after
+	// the run: how many sessions completed, aborted, were rejected, and
+	// how many were retained as notable exemplars.
+	Recorder *trace.Stats `json:"recorder,omitempty"`
 }
 
 func renderText(w io.Writer, r *Report) {
@@ -712,6 +732,10 @@ func renderText(w io.Writer, r *Report) {
 			fmt.Fprintf(w, "  => capacity: %d concurrent sessions, %.1f sessions/s (%.1f per core), p99 %.1f ms\n",
 				c.MaxSessions, c.SessionsPerSec, c.SessionsPerCoreSec, c.P99AtCapacityMS)
 		}
+	}
+	if r.Recorder != nil {
+		fmt.Fprintf(w, "flight recorder: %d completed, %d aborted, %d rejected; %d exemplars retained (%d notable)\n",
+			r.Recorder.Completed, r.Recorder.Aborted, r.Recorder.Rejected, r.Recorder.Retained, r.Recorder.Notable)
 	}
 	if len(r.ServerMetrics) > 0 {
 		keys := make([]string, 0, len(r.ServerMetrics))

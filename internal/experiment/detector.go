@@ -33,24 +33,37 @@ func QuickCorpusConfig(cfg CorpusConfig) CorpusConfig {
 // (cmd/defend, cmd/guardd, examples); hyper-parameters match the
 // E-suite's. The returned detector is safe for concurrent readers.
 func TrainDetector(kind string, cfg CorpusConfig, seed int64) (defense.Detector, error) {
+	det, _, err := TrainDetectorWithSamples(kind, cfg, seed)
+	return det, err
+}
+
+// TrainDetectorWithSamples is TrainDetector, additionally returning the
+// training samples the detector was fitted on — the training
+// distribution callers pin as the drift-telemetry reference.
+func TrainDetectorWithSamples(kind string, cfg CorpusConfig, seed int64) (defense.Detector, []defense.Sample, error) {
 	legit, err := BuildLegit(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("experiment: building legit corpus: %w", err)
+		return nil, nil, fmt.Errorf("experiment: building legit corpus: %w", err)
 	}
 	attacks, err := BuildAttacks(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("experiment: building attack corpus: %w", err)
+		return nil, nil, fmt.Errorf("experiment: building attack corpus: %w", err)
 	}
 	recs := append(legit, attacks...)
 	samples := extractSamples(cfg.runner(), recs)
+	var det defense.Detector
 	switch kind {
 	case "svm":
-		return defense.TrainSVM(samples, 0.01, 60, seed)
+		det, err = defense.TrainSVM(samples, 0.01, 60, seed)
 	case "logistic":
-		return defense.TrainLogistic(samples, 0.5, 400)
+		det, err = defense.TrainLogistic(samples, 0.5, 400)
 	case "threshold":
-		return defense.CalibrateThresholds(samples)
+		det, err = defense.CalibrateThresholds(samples)
 	default:
-		return nil, fmt.Errorf("experiment: unknown detector kind %q (want svm, logistic or threshold)", kind)
+		return nil, nil, fmt.Errorf("experiment: unknown detector kind %q (want svm, logistic or threshold)", kind)
 	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return det, samples, nil
 }

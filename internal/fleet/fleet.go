@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"inaudible/internal/telemetry"
+	"inaudible/internal/trace"
 )
 
 // Proc processes one session's frames on its owning shard worker. Every
@@ -57,6 +58,15 @@ type Proc interface {
 	Finalize() interface{}
 	// Reset clears all per-session state so the Proc can be reused.
 	Reset()
+}
+
+// TraceAware is an optional Proc extension for processors that emit
+// flight-recorder events (escalations, verdicts). The shard worker
+// hands the session's trace to the processor at attach time; SetTrace
+// is always called (with nil when the recorder is off), so a recycled
+// processor can never leak events into a previous session's trace.
+type TraceAware interface {
+	SetTrace(st *trace.SessionTrace)
 }
 
 // BatchProc is an optional Proc extension for processors whose frame
@@ -133,6 +143,11 @@ type Config struct {
 	// Metrics instruments the fleet; nil builds unregistered instruments
 	// (always safe to record into).
 	Metrics *Metrics
+	// Trace is the optional flight recorder. When set, every admission
+	// opens a per-session event trace (recorded lock-free on the shard
+	// worker) and rejections leave synthetic exemplar traces; nil keeps
+	// the fleet trace-free with zero overhead beyond one pointer check.
+	Trace *trace.Recorder
 }
 
 // Metrics is the fleet's instrument set. Build with NewMetrics to
@@ -207,6 +222,7 @@ type Fleet struct {
 	shards       []*shard
 	degradeLimit int // total (full + degraded) cap when Degrade is set
 	nextID       atomic.Uint64
+	created      time.Time
 
 	mu             sync.Mutex
 	cond           *sync.Cond
@@ -239,7 +255,7 @@ func New(cfg Config) *Fleet {
 	if m == nil {
 		m = newUnregisteredMetrics()
 	}
-	f := &Fleet{cfg: cfg, m: m}
+	f := &Fleet{cfg: cfg, m: m, created: time.Now()}
 	if cfg.MaxSessions > 0 {
 		// Round the degraded-admission headroom up: truncation would make
 		// Degrade silently inert whenever DegradeFactor*MaxSessions lands
@@ -303,6 +319,13 @@ func (f *Fleet) OpenKeyed(key uint64, rate float64) (*Session, error) {
 	degraded, err := f.admit()
 	if err != nil {
 		sh.handoffs.Add(-1)
+		if f.cfg.Trace != nil {
+			reason := 0.0 // overloaded
+			if errors.Is(err, ErrClosed) {
+				reason = 1
+			}
+			f.cfg.Trace.Rejected(key, rate, reason)
+		}
 		return nil, err
 	}
 
@@ -316,6 +339,12 @@ func (f *Fleet) OpenKeyed(key uint64, rate float64) (*Session, error) {
 		events:   make(chan interface{}, f.cfg.EventBuffer),
 	}
 	s.ring.init(f.cfg.RingFrames, frame)
+	// The admission event is recorded here, on the opening goroutine,
+	// before the handoff publishes the session to the worker — the trace
+	// stays single-writer because the worker cannot have attached yet.
+	if f.cfg.Trace != nil {
+		s.trace = f.cfg.Trace.Start(key, rate, sh.id, degraded, s.RingOccupancy)
+	}
 	sh.admitq <- s
 	sh.handoffs.Add(-1)
 	sh.wakeup()

@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"inaudible/internal/trace"
 )
 
 // Session is the producer-side handle of one admitted session. Exactly
@@ -46,6 +48,13 @@ type Session struct {
 	// two-phase stage/advance path in the shard round.
 	proc  Proc
 	batch BatchProc
+
+	// trace is the session's flight record (nil when the fleet has no
+	// recorder). Written by the admitting goroutine before handoff, then
+	// exclusively by the shard worker; traceHW is the worker-private
+	// ring-occupancy high-water already recorded.
+	trace   *trace.SessionTrace
+	traceHW int
 }
 
 // Key returns the session's shard-affinity key.
@@ -63,6 +72,10 @@ func (s *Session) Degraded() bool { return s.degraded }
 // RingOccupancy returns the published-but-unprocessed frame count —
 // the producer's view of how far ahead of its shard it is running.
 func (s *Session) RingOccupancy() int { return s.ring.occupancy() }
+
+// Trace returns the session's flight record, or nil when the fleet
+// runs without a recorder.
+func (s *Session) Trace() *trace.SessionTrace { return s.trace }
 
 // Events returns the session's ordered event stream. It is closed by
 // the fleet when the session finishes (after the final event) or

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"inaudible/internal/trace"
 )
 
 const (
@@ -42,6 +44,14 @@ type shard struct {
 	// it so a session can never be stranded between admission and
 	// attachment.
 	handoffs atomic.Int64
+
+	// introspection counters: written by the worker (or attach path),
+	// read by ShardStatus from HTTP goroutines.
+	attached      atomic.Int32  // sessions currently attached
+	frames        atomic.Uint64 // frames served
+	rounds        atomic.Uint64 // scheduling rounds with progress
+	lastBatch     atomic.Int32  // sessions advanced in the last batch phase
+	lastAdvanceUS atomic.Int64  // wall time of the last batch phase, µs
 
 	sessions []*Session
 	free     map[procKey][]Proc
@@ -106,13 +116,23 @@ func (sh *shard) run(wg *sync.WaitGroup) {
 		// sessions back-to-back. Sessions that finished during phase 1
 		// were never appended (Finalize flushed their staging), and
 		// late aborts are skipped (finish will Reset the proc).
-		for i, s := range sh.staged {
-			sh.staged[i] = nil
-			if !s.aborted.Load() {
-				sh.advance(s)
+		if len(sh.staged) > 0 {
+			batchStart := time.Now()
+			advanced := 0
+			for i, s := range sh.staged {
+				sh.staged[i] = nil
+				if !s.aborted.Load() {
+					sh.advance(s)
+					advanced++
+				}
 			}
+			sh.staged = sh.staged[:0]
+			sh.lastBatch.Store(int32(advanced))
+			sh.lastAdvanceUS.Store(time.Since(batchStart).Microseconds())
 		}
-		sh.staged = sh.staged[:0]
+		if progress {
+			sh.rounds.Add(1)
+		}
 		select {
 		case <-sh.stop:
 			sh.shutdown()
@@ -167,6 +187,12 @@ func (sh *shard) attach(s *Session) {
 		panic(fmt.Sprintf("fleet: Proc frame %d disagrees with FrameFor %d at rate %g", got, s.frame, s.rate))
 	}
 	s.batch, _ = s.proc.(BatchProc)
+	// Hand the processor the session's flight record (or clear a stale
+	// one on a recycled processor) before the first frame is served.
+	if ta, ok := s.proc.(TraceAware); ok {
+		ta.SetTrace(s.trace)
+	}
+	sh.attached.Add(1)
 	sh.sessions = append(sh.sessions, s)
 }
 
@@ -179,6 +205,15 @@ func (sh *shard) serveSome(s *Session) (worked, staged, finished bool) {
 	if s.aborted.Load() {
 		sh.finish(s, true)
 		return true, false, true
+	}
+	// Flight recorder: note a new ring-occupancy high-water before the
+	// round drains it. One occupancy probe per serveSome call, only when
+	// the session is traced — the per-frame loop below stays untouched.
+	if s.trace != nil {
+		if occ := s.ring.occupancy(); occ > s.traceHW {
+			s.traceHW = occ
+			s.trace.Record(trace.KindRingHighWater, float64(occ), 0)
+		}
 	}
 	m := sh.fl.m
 	for k := 0; k < frameBudget; k++ {
@@ -193,7 +228,9 @@ func (sh *shard) serveSome(s *Session) (worked, staged, finished bool) {
 			// the close path is mode-agnostic.
 			ev := s.proc.Finalize()
 			if !s.closedAt.IsZero() {
-				m.VerdictLatencyUS.Observe(float64(time.Since(s.closedAt).Microseconds()))
+				lat := time.Since(s.closedAt)
+				m.VerdictLatencyUS.Observe(float64(lat.Microseconds()))
+				s.trace.RecordFinalized(lat)
 			}
 			if ev != nil {
 				s.events <- ev // reserved final cell: cannot block
@@ -213,6 +250,7 @@ func (sh *shard) serveSome(s *Session) (worked, staged, finished bool) {
 		m.FrameLatencyUS.Observe(float64(time.Since(start).Microseconds()))
 		s.ring.pop()
 		m.Frames.Inc()
+		sh.frames.Add(1)
 		worked = true
 		if ev != nil {
 			// The worker is the only sender, so len can only shrink under
@@ -235,7 +273,9 @@ func (sh *shard) advance(s *Session) {
 	m := sh.fl.m
 	start := time.Now()
 	ev := s.batch.Advance()
-	m.AdvanceLatencyUS.Observe(float64(time.Since(start).Microseconds()))
+	dur := time.Since(start)
+	m.AdvanceLatencyUS.Observe(float64(dur.Microseconds()))
+	s.trace.RecordAdvance(dur)
 	if ev != nil {
 		if len(s.events) < cap(s.events)-1 {
 			s.events <- ev
@@ -250,6 +290,7 @@ func (sh *shard) advance(s *Session) {
 // so a producer that observes Events closed also observes the slot
 // freed and the session counted.
 func (sh *shard) finish(s *Session, aborted bool) {
+	wasAttached := s.proc != nil
 	if s.proc != nil {
 		s.proc.Reset()
 		key := procKey{rate: s.rate, degraded: s.degraded}
@@ -263,6 +304,10 @@ func (sh *shard) finish(s *Session, aborted bool) {
 		sh.fl.m.Aborted.Inc()
 	} else {
 		sh.fl.m.Finished.Inc()
+	}
+	sh.fl.cfg.Trace.End(s.trace, aborted)
+	if wasAttached {
+		sh.attached.Add(-1)
 	}
 	sh.fl.release(s.degraded)
 	s.done.Store(true)

@@ -1,0 +1,76 @@
+package fleet
+
+import "time"
+
+// ShardStatus is one shard's introspection snapshot, assembled from
+// worker-maintained atomics — reading it never touches the worker's
+// private state or takes its locks.
+type ShardStatus struct {
+	ID                 int    `json:"id"`
+	Sessions           int    `json:"sessions"`
+	FramesTotal        uint64 `json:"frames_total"`
+	RoundsTotal        uint64 `json:"rounds_total"`
+	QueuedAdmits       int    `json:"queued_admits"`
+	LastBatchSessions  int    `json:"last_batch_sessions"`
+	LastBatchAdvanceUS int64  `json:"last_batch_advance_us"`
+}
+
+// Status is the fleet-wide introspection snapshot for /fleet.
+type Status struct {
+	Shards         int           `json:"shards"`
+	RingFrames     int           `json:"ring_frames"`
+	MaxSessions    int           `json:"max_sessions"` // 0: unlimited
+	DegradeLimit   int           `json:"degrade_limit,omitempty"`
+	AdmissionMode  string        `json:"admission_mode"`
+	ActiveFull     int           `json:"active_full"`
+	ActiveDegraded int           `json:"active_degraded"`
+	Closed         bool          `json:"closed"`
+	UptimeSeconds  float64       `json:"uptime_seconds"`
+	ShardStates    []ShardStatus `json:"shard_states,omitempty"`
+}
+
+// ShardStatus snapshots every shard.
+func (f *Fleet) ShardStatus() []ShardStatus {
+	out := make([]ShardStatus, len(f.shards))
+	for i, sh := range f.shards {
+		out[i] = ShardStatus{
+			ID:                 sh.id,
+			Sessions:           int(sh.attached.Load()),
+			FramesTotal:        sh.frames.Load(),
+			RoundsTotal:        sh.rounds.Load(),
+			QueuedAdmits:       len(sh.admitq),
+			LastBatchSessions:  int(sh.lastBatch.Load()),
+			LastBatchAdvanceUS: sh.lastAdvanceUS.Load(),
+		}
+	}
+	return out
+}
+
+// Status snapshots the fleet: static wiring, admission state, and the
+// per-shard breakdown.
+func (f *Fleet) Status() Status {
+	mode := "reject"
+	switch {
+	case f.cfg.MaxSessions <= 0:
+		mode = "unlimited"
+	case f.cfg.Degrade:
+		mode = "degrade"
+	case f.cfg.WaitAdmission:
+		mode = "wait"
+	}
+	f.mu.Lock()
+	full, degraded, closed := f.activeFull, f.activeDegraded, f.closed
+	f.mu.Unlock()
+	return Status{
+		Shards:         len(f.shards),
+		RingFrames:     f.cfg.RingFrames,
+		MaxSessions:    f.MaxSessions(),
+		DegradeLimit:   f.degradeLimit,
+		AdmissionMode:  mode,
+		ActiveFull:     full,
+		ActiveDegraded: degraded,
+		Closed:         closed,
+		UptimeSeconds:  time.Since(f.created).Seconds(),
+		ShardStates:    f.ShardStatus(),
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"inaudible/internal/dsp"
 	"inaudible/internal/fleet"
 	"inaudible/internal/telemetry"
+	"inaudible/internal/trace"
 	"inaudible/internal/voice"
 )
 
@@ -146,6 +147,12 @@ type CascadeGuard struct {
 	engaged bool
 	gaugeUp bool // Tier1Sessions owed a decrement (engage without release)
 
+	// tr is the session flight record (nil when the fleet runs without a
+	// recorder); lastMargin is the most recent frame-energy margin over
+	// the hot floor in dB, carried onto the escalation event.
+	tr         *trace.SessionTrace
+	lastMargin float64
+
 	pr      [][]float64 // preroll ring of raw frames (fixed-cap slices)
 	prHead  int
 	prCount int
@@ -218,6 +225,9 @@ func (c *CascadeGuard) Latency() LatencyStats { return c.lat }
 
 // Engaged reports whether tier 1 is currently live.
 func (c *CascadeGuard) Engaged() bool { return c.engaged }
+
+// SetTrace attaches the session flight record (nil detaches it).
+func (c *CascadeGuard) SetTrace(st *trace.SessionTrace) { c.tr = st }
 
 // Info returns a snapshot of the cascade counters.
 func (c *CascadeGuard) Info() CascadeInfo {
@@ -345,6 +355,8 @@ func (c *CascadeGuard) Reset() {
 	c.samples, c.frames = 0, 0
 	c.heat, c.coldRun = 0, 0
 	c.engaged = false
+	c.tr = nil
+	c.lastMargin = 0
 	if c.gaugeUp {
 		// The fleet aborts sessions via Reset without Finalize; the
 		// occupancy gauge must come back down either way.
@@ -374,7 +386,8 @@ func (c *CascadeGuard) classify(x []float64) bool {
 	hot := false
 	if msq > 0 {
 		edb := 10 * math.Log10(msq)
-		c.m.EnergyMarginDB.Observe(edb - c.cfg.HotFloorDB)
+		c.lastMargin = edb - c.cfg.HotFloorDB
+		c.m.EnergyMarginDB.Observe(c.lastMargin)
 		hot = edb >= c.cfg.HotFloorDB
 	}
 	if !hot {
@@ -404,6 +417,10 @@ func (c *CascadeGuard) engage() {
 	c.engaged = true
 	c.info.Escalations++
 	c.m.Escalations.Inc()
+	if c.tr != nil {
+		c.tr.Record(trace.KindEscalated, c.heat, c.lastMargin)
+		c.tr.MarkNotable(trace.NotableEscalated)
+	}
 	if !c.gaugeUp {
 		c.m.Tier1Sessions.Add(1)
 		c.gaugeUp = true
@@ -418,6 +435,7 @@ func (c *CascadeGuard) engage() {
 
 // disengage releases tier 1 after the cold hysteresis ran out.
 func (c *CascadeGuard) disengage() {
+	c.tr.Record(trace.KindReleased, float64(c.coldRun), 0)
 	c.engaged = false
 	c.heat = 0
 	c.coldRun = 0
@@ -456,15 +474,20 @@ func (c *CascadeGuard) verdict(final bool) Verdict {
 
 // cascadeProc runs a CascadeGuard as a fleet batch processor: Stage on
 // every frame, Advance batched by the shard across co-resident
-// sessions.
+// sessions. The guard itself records escalation/release events; the
+// proc adds the verdict events and the drift observation.
 type cascadeProc struct {
-	g *CascadeGuard
+	g     *CascadeGuard
+	drift *trace.DriftMonitor
 }
 
 func (p *cascadeProc) FrameSamples() int { return p.g.FrameSamples() }
 
+func (p *cascadeProc) SetTrace(st *trace.SessionTrace) { p.g.SetTrace(st) }
+
 func (p *cascadeProc) Push(frame []float64) interface{} {
 	if v := p.g.Push(frame); v != nil {
+		p.g.tr.RecordVerdict(false, finiteOr(v.Score, -1e308), v.Attack)
 		return v
 	}
 	return nil
@@ -474,6 +497,7 @@ func (p *cascadeProc) Stage(frame []float64) bool { return p.g.Stage(frame) }
 
 func (p *cascadeProc) Advance() interface{} {
 	if v := p.g.Advance(); v != nil {
+		p.g.tr.RecordVerdict(false, finiteOr(v.Score, -1e308), v.Attack)
 		return v
 	}
 	return nil
@@ -481,6 +505,10 @@ func (p *cascadeProc) Advance() interface{} {
 
 func (p *cascadeProc) Finalize() interface{} {
 	v := p.g.Finalize()
+	p.g.tr.RecordVerdict(true, finiteOr(v.Score, -1e308), v.Attack)
+	if p.drift != nil {
+		p.drift.Observe(v.Features.Vector())
+	}
 	return &v
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"inaudible/internal/fleet"
+	"inaudible/internal/trace"
 )
 
 // BenchmarkFleetThroughput measures the fleet serving real guard
@@ -78,6 +79,78 @@ func BenchmarkFleetThroughput(b *testing.B) {
 		}
 		if !sawFinal {
 			b.Fatalf("session lost its final verdict")
+		}
+	}
+}
+
+// BenchmarkFleetThroughputTraced is BenchmarkFleetThroughput with the
+// full observability plane live: flight recorder (admission, advance
+// timing, high-water and verdict events) plus per-feature drift
+// telemetry. The acceptance gate is the same 0 allocs/op, within 5% of
+// the untraced ns/frame — the frame path must not notice the recorder.
+func BenchmarkFleetThroughputTraced(b *testing.B) {
+	const rate = 48000.0
+	const sessions = 4
+	det := testDetector(b)
+	fl := NewFleet(ServerConfig{
+		Detector:    det,
+		MaxSessions: -1,
+		Shards:      1,
+		Trace:       trace.NewRecorder(trace.Config{SLO: 500 * time.Millisecond}),
+		Drift:       trace.NewDriftMonitor(nil),
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := fl.Close(ctx); err != nil {
+			b.Fatalf("Close: %v", err)
+		}
+	}()
+
+	sig := attackLike(rate, 1.0, 99)
+	feeders := make([]*sessionFeeder, sessions)
+	for i := range feeders {
+		s, err := fl.Open(rate)
+		if err != nil {
+			b.Fatal(err)
+		}
+		feeders[i] = &sessionFeeder{s: s, src: sig.Samples}
+	}
+	for i := 0; i < 300*sessions; i++ {
+		feeders[i%sessions].feed(b)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		feeders[i%sessions].feed(b)
+	}
+	for _, f := range feeders {
+		f.drain(b)
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+
+	framesPerSec := float64(b.N) / elapsed.Seconds()
+	b.ReportMetric(framesPerSec, "frames/sec")
+	b.ReportMetric(framesPerSec/50, "rt_sessions")
+
+	for _, f := range feeders {
+		if err := f.s.CloseSend(); err != nil {
+			b.Fatal(err)
+		}
+		sawFinal := false
+		for ev := range f.s.Events() {
+			if ev.(*Verdict).Final {
+				sawFinal = true
+			}
+		}
+		if !sawFinal {
+			b.Fatalf("session lost its final verdict")
+		}
+		if f.s.Trace() == nil || len(f.s.Trace().Events()) == 0 {
+			b.Fatal("traced benchmark recorded no events")
 		}
 	}
 }

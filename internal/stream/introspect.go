@@ -1,0 +1,61 @@
+package stream
+
+import (
+	"net/http"
+
+	"inaudible/internal/fleet"
+	"inaudible/internal/telemetry"
+	"inaudible/internal/trace"
+)
+
+// The introspection plane: JSON endpoints mounted on the telemetry HTTP
+// port that answer "what is the fleet doing right now, and what did
+// that session see". Everything here reads atomics or cold-path
+// recorder state — mounting introspection never perturbs the serving
+// path.
+
+// FleetView is the /fleet response body: the serving core's snapshot
+// plus the wire layer's counters and the flight recorder's retention
+// stats.
+type FleetView struct {
+	fleet.Status
+	WireSessionsTotal  int64        `json:"wire_sessions_total"`
+	WireSessionsActive int64        `json:"wire_sessions_active"`
+	Recorder           *trace.Stats `json:"recorder,omitempty"`
+}
+
+// FleetView assembles the /fleet snapshot.
+func (s *Server) FleetView() FleetView {
+	v := FleetView{
+		Status:             s.fl.Status(),
+		WireSessionsTotal:  s.sessions.Load(),
+		WireSessionsActive: s.active.Load(),
+	}
+	if s.cfg.Trace != nil {
+		st := s.cfg.Trace.Stats()
+		v.Recorder = &st
+	}
+	return v
+}
+
+// MountIntrospection adds the fleet introspection endpoints to mux
+// (typically the telemetry mux already serving /metrics):
+//
+//	/sessions      — flight-recorder listing: live sessions plus
+//	                 retained exemplars (404 when tracing is off)
+//	/sessions/{id} — one session's full event trace
+//	/shards        — per-shard worker counters
+//	/fleet         — fleet-wide snapshot (admission, wire, recorder)
+//	/drift         — per-feature divergence vs the training
+//	                 distribution (404 when drift telemetry is off)
+func (s *Server) MountIntrospection(mux *http.ServeMux) {
+	mux.HandleFunc("/sessions", s.cfg.Trace.ServeSessions)
+	mux.HandleFunc("/sessions/", s.cfg.Trace.ServeSessions)
+	mux.HandleFunc("/shards", func(w http.ResponseWriter, req *http.Request) {
+		telemetry.WriteJSON(w, s.fl.ShardStatus())
+	})
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, req *http.Request) {
+		telemetry.WriteJSON(w, s.FleetView())
+	})
+	mux.HandleFunc("/drift", s.cfg.Drift.ServeDrift)
+}

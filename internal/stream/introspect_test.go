@@ -1,0 +1,358 @@
+package stream
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"inaudible/internal/telemetry"
+	"inaudible/internal/trace"
+)
+
+// driveSession feeds a signal through one fleet session of srv and
+// returns the final verdict (failing the test if none arrives).
+func driveSession(t *testing.T, srv *Server, rate float64, src []float64) *Verdict {
+	t.Helper()
+	sess, err := srv.Fleet().Open(rate)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for off := 0; off < len(src); {
+		buf, err := sess.NextFrame()
+		if err != nil {
+			t.Fatalf("NextFrame: %v", err)
+		}
+		n := copy(buf, src[off:])
+		sess.Publish(n)
+		off += n
+		// Keep the event channel drained so long sessions cannot stall.
+		for {
+			select {
+			case <-sess.Events():
+				continue
+			default:
+			}
+			break
+		}
+	}
+	if err := sess.CloseSend(); err != nil {
+		t.Fatalf("CloseSend: %v", err)
+	}
+	var final *Verdict
+	for ev := range sess.Events() {
+		if v := ev.(*Verdict); v.Final {
+			final = v
+		}
+	}
+	if final == nil {
+		t.Fatal("session ended without a final verdict")
+	}
+	return final
+}
+
+// getJSON fetches base+path and decodes it into out.
+func getJSON(t *testing.T, base, path string, out interface{}) *http.Response {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: decoding: %v", path, err)
+		}
+	}
+	return resp
+}
+
+// TestIntrospectionEndToEnd drives a session through admission →
+// cascade escalation → final verdict and asserts the flight recorder's
+// /sessions/{id} trace contains the expected event sequence, and that
+// /shards and /fleet reflect the work.
+func TestIntrospectionEndToEnd(t *testing.T) {
+	const rate = 48000.0
+	reg := telemetry.NewRegistry()
+	rec := trace.NewRecorder(trace.Config{})
+	drift := trace.NewDriftMonitor(reg)
+	srv := NewServer(ServerConfig{
+		Detector:    testDetector(t),
+		MaxSessions: -1,
+		Shards:      1,
+		Cascade:     true,
+		EmitEvery:   25,
+		Metrics:     reg,
+		Trace:       rec,
+		Drift:       drift,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	mux := telemetry.Mux(reg)
+	srv.MountIntrospection(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	final := driveSession(t, srv, rate, attackLike(rate, 2.5, 40).Samples)
+	if final.Cascade == nil || final.Cascade.Escalations == 0 {
+		t.Fatalf("attack session never escalated: %+v", final.Cascade)
+	}
+
+	var list trace.SessionList
+	getJSON(t, ts.URL, "/sessions", &list)
+	if len(list.Sessions) != 1 || list.Stats.Completed != 1 {
+		t.Fatalf("/sessions = %+v", list)
+	}
+	sum := list.Sessions[0]
+	if sum.State != "done" {
+		t.Fatalf("session state %q, want done", sum.State)
+	}
+	wantNotable := false
+	for _, r := range sum.Notable {
+		if r == "escalated" {
+			wantNotable = true
+		}
+	}
+	if !wantNotable {
+		t.Fatalf("escalated session not marked notable: %v", sum.Notable)
+	}
+
+	var view trace.SessionView
+	getJSON(t, ts.URL, "/sessions/"+itoa(sum.ID), &view)
+	order := map[string]int{}
+	for i, ev := range view.Events {
+		if _, seen := order[ev.Event]; !seen {
+			order[ev.Event] = i
+		}
+	}
+	if order["admitted"] != 0 {
+		t.Fatalf("trace does not open with admission: %+v", view.Events)
+	}
+	for _, seq := range [][2]string{
+		{"admitted", "escalated"},
+		{"escalated", "final_verdict"},
+		{"final_verdict", "finalized"},
+	} {
+		a, okA := order[seq[0]]
+		b, okB := order[seq[1]]
+		if !okA || !okB || a >= b {
+			t.Fatalf("event order violated (%s before %s): %+v", seq[0], seq[1], view.Events)
+		}
+	}
+	esc := view.Events[order["escalated"]]
+	if esc.Fields["heat"] <= 0 {
+		t.Fatalf("escalation event lacks heat: %+v", esc)
+	}
+	if _, ok := esc.Fields["energy_margin_db"]; !ok {
+		t.Fatalf("escalation event lacks energy margin: %+v", esc)
+	}
+	fin := view.Events[order["finalized"]]
+	if fin.Fields["verdict_latency_us"] <= 0 {
+		t.Fatalf("finalized event lacks verdict latency: %+v", fin)
+	}
+
+	var shards []map[string]interface{}
+	getJSON(t, ts.URL, "/shards", &shards)
+	if len(shards) != 1 {
+		t.Fatalf("/shards = %+v", shards)
+	}
+	if shards[0]["frames_total"].(float64) <= 0 || shards[0]["rounds_total"].(float64) <= 0 {
+		t.Fatalf("shard counters idle after a served session: %+v", shards[0])
+	}
+
+	var fleetView map[string]interface{}
+	getJSON(t, ts.URL, "/fleet", &fleetView)
+	if fleetView["shards"].(float64) != 1 || fleetView["admission_mode"] != "unlimited" {
+		t.Fatalf("/fleet = %+v", fleetView)
+	}
+	recStats := fleetView["recorder"].(map[string]interface{})
+	if recStats["completed_total"].(float64) != 1 {
+		t.Fatalf("/fleet recorder stats: %+v", recStats)
+	}
+}
+
+// TestIntrospectionAdmissionClasses pins the degraded and rejected
+// trace paths: beyond MaxSessions the next admission degrades (notable
+// "degraded"), beyond the degrade limit it is rejected and leaves a
+// synthetic notable trace.
+func TestIntrospectionAdmissionClasses(t *testing.T) {
+	const rate = 48000.0
+	rec := trace.NewRecorder(trace.Config{})
+	srv := NewServer(ServerConfig{
+		Detector:    testDetector(t),
+		MaxSessions: 1,
+		Degrade:     true,
+		Shards:      1,
+		Trace:       rec,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	full, err := srv.Fleet().Open(rate)
+	if err != nil {
+		t.Fatalf("full open: %v", err)
+	}
+	deg, err := srv.Fleet().Open(rate)
+	if err != nil {
+		t.Fatalf("degraded open: %v", err)
+	}
+	if !deg.Degraded() {
+		t.Fatal("second session not degraded")
+	}
+	if _, err := srv.Fleet().Open(rate); err == nil {
+		t.Fatal("third session admitted past the degrade limit")
+	}
+
+	if got := rec.Stats(); got.Live != 2 || got.Rejected != 1 {
+		t.Fatalf("recorder stats: %+v", got)
+	}
+	if n := deg.Trace().NotableReasons(); n&trace.NotableDegraded == 0 {
+		t.Fatalf("degraded session notable reasons: %v", n.Reasons())
+	}
+	sawRejected := false
+	for _, st := range rec.Sessions() {
+		if st.NotableReasons()&trace.NotableRejected != 0 {
+			sawRejected = true
+		}
+	}
+	if !sawRejected {
+		t.Fatal("rejection left no trace")
+	}
+
+	for _, s := range []interface{ Abort() }{full, deg} {
+		s.Abort()
+	}
+	for range full.Events() {
+	}
+	for range deg.Events() {
+	}
+	if got := rec.Stats(); got.Aborted != 2 {
+		t.Fatalf("aborted stats: %+v", got)
+	}
+}
+
+// TestDriftEndpointReflectsShift serves attack traffic against a
+// reference pinned from legitimate recordings and expects /drift to
+// report the distribution shift.
+func TestDriftEndpointReflectsShift(t *testing.T) {
+	const rate = 48000.0
+	reg := telemetry.NewRegistry()
+	drift := trace.NewDriftMonitor(reg)
+	// Reference: the feature distribution of legitimate recordings.
+	var legit [][]float64
+	for seed := int64(50); seed < 58; seed++ {
+		legit = append(legit, Extract(legitLike(rate, 2, seed), 960).Vector())
+	}
+	drift.SetReference(trace.ReferenceFromVectors(legit))
+
+	srv := NewServer(ServerConfig{
+		Detector:    testDetector(t),
+		MaxSessions: -1,
+		Shards:      1,
+		Metrics:     reg,
+		Drift:       drift,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	mux := telemetry.Mux(reg)
+	srv.MountIntrospection(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	for seed := int64(60); seed < 64; seed++ {
+		driveSession(t, srv, rate, attackLike(rate, 2, seed).Samples)
+	}
+
+	var rep trace.DriftReport
+	getJSON(t, ts.URL, "/drift", &rep)
+	if !rep.HasRef {
+		t.Fatalf("drift report lost its reference: %+v", rep)
+	}
+	if rep.Status == "ok" {
+		t.Fatalf("attack traffic vs legit reference reported no drift: max PSI %g", rep.MaxPSI)
+	}
+	for _, f := range rep.Features {
+		if f.Count == 0 {
+			t.Fatalf("feature %s never observed", f.Name)
+		}
+	}
+	// The PSI gauges registered for Prometheus exposition follow Report.
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "fleet_drift_psi_milli_") {
+		t.Fatal("drift PSI gauges not exported")
+	}
+}
+
+// TestGuarddRegistryConformance builds the full guardd-shaped registry
+// — fleet, cascade, drift, build info, start time — serves it over the
+// telemetry mux, and runs the strict exposition checker against the
+// scrape, exactly as `guardctl check` does against a live daemon.
+func TestGuarddRegistryConformance(t *testing.T) {
+	const rate = 48000.0
+	reg := telemetry.NewRegistry()
+	reg.NewInfo("fleet_build_info", "build identity", map[string]string{
+		"go_version": "go1.24.0",
+		"version":    `v0.0.0-test"quoted\`,
+	})
+	reg.NewGauge("fleet_start_time_seconds", "unix start time").Set(time.Now().Unix())
+	drift := trace.NewDriftMonitor(reg)
+	srv := NewServer(ServerConfig{
+		Detector:    testDetector(t),
+		MaxSessions: -1,
+		Shards:      1,
+		Cascade:     true,
+		Metrics:     reg,
+		Trace:       trace.NewRecorder(trace.Config{}),
+		Drift:       drift,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	// Populate every instrument family with real traffic.
+	driveSession(t, srv, rate, attackLike(rate, 1.5, 70).Samples)
+	drift.Report()
+
+	mux := telemetry.Mux(reg)
+	srv.MountIntrospection(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := telemetry.CheckExposition(resp.Body); err != nil {
+		t.Fatalf("live registry fails exposition conformance: %v", err)
+	}
+}
+
+// itoa avoids strconv churn in table asserts.
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

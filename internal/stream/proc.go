@@ -6,6 +6,7 @@ import (
 	"inaudible/internal/defense"
 	"inaudible/internal/dsp"
 	"inaudible/internal/fleet"
+	"inaudible/internal/trace"
 	"inaudible/internal/voice"
 )
 
@@ -15,15 +16,22 @@ import (
 // capacity. Both are fleet.Procs — single-goroutine state driven by the
 // owning shard worker.
 
-// guardProc runs a full Guard as a fleet processor.
+// guardProc runs a full Guard as a fleet processor. tr is the session
+// flight record handed over by the shard at attach (nil-safe); drift is
+// the fleet-shared feature-distribution monitor fed on final verdicts.
 type guardProc struct {
-	g *Guard
+	g     *Guard
+	tr    *trace.SessionTrace
+	drift *trace.DriftMonitor
 }
 
 func (p *guardProc) FrameSamples() int { return p.g.FrameSamples() }
 
+func (p *guardProc) SetTrace(st *trace.SessionTrace) { p.tr = st }
+
 func (p *guardProc) Push(frame []float64) interface{} {
 	if v := p.g.Push(frame); v != nil {
+		p.tr.RecordVerdict(false, finiteOr(v.Score, -1e308), v.Attack)
 		return v
 	}
 	return nil
@@ -31,10 +39,17 @@ func (p *guardProc) Push(frame []float64) interface{} {
 
 func (p *guardProc) Finalize() interface{} {
 	v := p.g.Finalize()
+	p.tr.RecordVerdict(true, finiteOr(v.Score, -1e308), v.Attack)
+	if p.drift != nil {
+		p.drift.Observe(v.Features.Vector())
+	}
 	return &v
 }
 
-func (p *guardProc) Reset() { p.g.Reset() }
+func (p *guardProc) Reset() {
+	p.g.Reset()
+	p.tr = nil
+}
 
 // DegradedGuard is the overload service class: online VAD plus the
 // rolling trace-band monitor, with the full feature analyzer (the
@@ -131,15 +146,21 @@ func (d *DegradedGuard) verdict(final bool) Verdict {
 	}
 }
 
-// degradedProc runs a DegradedGuard as a fleet processor.
+// degradedProc runs a DegradedGuard as a fleet processor. Degraded
+// verdicts never claim Attack and carry no full feature vector, so they
+// feed the flight recorder but not the drift monitor.
 type degradedProc struct {
-	g *DegradedGuard
+	g  *DegradedGuard
+	tr *trace.SessionTrace
 }
 
 func (p *degradedProc) FrameSamples() int { return p.g.FrameSamples() }
 
+func (p *degradedProc) SetTrace(st *trace.SessionTrace) { p.tr = st }
+
 func (p *degradedProc) Push(frame []float64) interface{} {
 	if v := p.g.Push(frame); v != nil {
+		p.tr.RecordVerdict(false, 0, false)
 		return v
 	}
 	return nil
@@ -147,12 +168,19 @@ func (p *degradedProc) Push(frame []float64) interface{} {
 
 func (p *degradedProc) Finalize() interface{} {
 	v := p.g.Finalize()
+	p.tr.RecordVerdict(true, 0, false)
 	return &v
 }
 
-func (p *degradedProc) Reset() { p.g.Reset() }
+func (p *degradedProc) Reset() {
+	p.g.Reset()
+	p.tr = nil
+}
 
 var (
-	_ fleet.Proc = (*guardProc)(nil)
-	_ fleet.Proc = (*degradedProc)(nil)
+	_ fleet.Proc       = (*guardProc)(nil)
+	_ fleet.Proc       = (*degradedProc)(nil)
+	_ fleet.TraceAware = (*guardProc)(nil)
+	_ fleet.TraceAware = (*degradedProc)(nil)
+	_ fleet.TraceAware = (*cascadeProc)(nil)
 )

@@ -18,6 +18,7 @@ import (
 	"inaudible/internal/defense"
 	"inaudible/internal/fleet"
 	"inaudible/internal/telemetry"
+	"inaudible/internal/trace"
 )
 
 // Wire protocol of the guard service. One connection (or one stdin run)
@@ -109,6 +110,14 @@ type ServerConfig struct {
 	// set when Cascade is on) in the given registry; nil serves without
 	// exposition but still counts internally.
 	Metrics *telemetry.Registry
+	// Trace is the optional flight recorder: every session gets a
+	// bounded per-session event trace, queryable via the /sessions
+	// introspection endpoints (see Server.MountIntrospection). Nil
+	// serves without tracing at zero per-frame cost.
+	Trace *trace.Recorder
+	// Drift is the optional feature-drift monitor fed the final feature
+	// vector of every fully-analyzed session, served at /drift.
+	Drift *trace.DriftMonitor
 }
 
 // Server runs guard sessions over byte streams on the sharded fleet
@@ -211,11 +220,12 @@ func NewFleet(cfg ServerConfig) *fleet.Fleet {
 					HotFloorDB:        cfg.CascadeFloorDB,
 					PrerollFrames:     cfg.CascadePreroll,
 					Metrics:           cascadeMetrics,
-				})}
+				}), drift: cfg.Drift}
 			}
-			return &guardProc{g: NewGuard(gc)}
+			return &guardProc{g: NewGuard(gc), drift: cfg.Drift}
 		},
 		Metrics: metrics,
+		Trace:   cfg.Trace,
 	})
 }
 

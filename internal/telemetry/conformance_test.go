@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRegistryDuplicates pins the explicit duplicate-name policy:
+// Add errors (never a silent overwrite), the NewX constructors are
+// idempotent for the same kind, and a kind collision panics.
+func TestRegistryDuplicates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("x_total", "first")
+	if err := r.Add("x_total", "second", &Counter{}); !errors.Is(err, ErrDuplicateMetric) {
+		t.Fatalf("Add on duplicate name: err = %v, want ErrDuplicateMetric", err)
+	}
+	// The failed Add must not have replaced the registration.
+	c.Add(7)
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "x_total 7") {
+		t.Fatalf("failed Add overwrote the original counter:\n%s", b.String())
+	}
+
+	if got := r.NewCounter("x_total", "again"); got != c {
+		t.Fatalf("NewCounter duplicate returned a fresh instrument")
+	}
+	g := r.NewGauge("g", "gauge")
+	if r.NewGauge("g", "again") != g {
+		t.Fatalf("NewGauge duplicate returned a fresh instrument")
+	}
+	h := r.NewHistogram("h_us", "hist", ExpBuckets(1, 2, 4))
+	h2 := r.NewHistogram("h_us", "again", ExpBuckets(1, 10, 2))
+	if h2 != h {
+		t.Fatalf("NewHistogram duplicate returned a fresh instrument")
+	}
+	if got := len(h2.Dump().Bounds); got != 4 {
+		t.Fatalf("duplicate NewHistogram changed bounds: %d, want original 4", got)
+	}
+	in := r.NewInfo("build_info", "identity", map[string]string{"v": "1"})
+	if r.NewInfo("build_info", "identity", map[string]string{"v": "2"}) != in {
+		t.Fatalf("NewInfo duplicate returned a fresh instrument")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("kind collision (counter name reused as gauge) did not panic")
+		}
+	}()
+	r.NewGauge("x_total", "wrong kind")
+}
+
+func TestInfoRendering(t *testing.T) {
+	r := NewRegistry()
+	r.NewInfo("fleet_build_info", "build identity", map[string]string{
+		"go_version": "go1.24.0",
+		"version":    `weird"quote\back` + "\nline",
+	})
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	text := b.String()
+	want := `fleet_build_info{go_version="go1.24.0",version="weird\"quote\\back\nline"} 1`
+	if !strings.Contains(text, want) {
+		t.Fatalf("info line wrong.\nwant %s\ngot:\n%s", want, text)
+	}
+	if err := CheckExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("escaped info line fails the checker: %v", err)
+	}
+	snap := r.Snapshot()
+	labels := snap["fleet_build_info"].(map[string]string)
+	if labels["go_version"] != "go1.24.0" {
+		t.Fatalf("snapshot labels: %v", labels)
+	}
+}
+
+func TestHistogramDump(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	d := h.Dump()
+	if len(d.Bounds) != 3 || len(d.Counts) != 4 {
+		t.Fatalf("dump shape: %d bounds, %d counts", len(d.Bounds), len(d.Counts))
+	}
+	wantCounts := []uint64{1, 2, 1, 1}
+	for i, w := range wantCounts {
+		if d.Counts[i] != w {
+			t.Fatalf("counts = %v, want %v", d.Counts, wantCounts)
+		}
+	}
+	if d.Count != 5 || d.Min != 0.5 || d.Max != 5000 || d.Sum != 5060.5 {
+		t.Fatalf("moments: %+v", d)
+	}
+}
+
+// TestCheckExposition covers the checker against good output and a
+// gallery of violations.
+func TestCheckExposition(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("a_total", "counter").Add(2)
+	r.NewGauge("b", "gauge").Set(-3)
+	h := r.NewHistogram("c_us", "hist", ExpBuckets(1, 2, 6))
+	h.Observe(3)
+	h.Observe(1e12)
+	r.NewInfo("d_info", "identity", map[string]string{"k": "v\\x\"y"})
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	if err := CheckExposition(bytes.NewReader(b.Bytes())); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+
+	bad := map[string]string{
+		"TYPE before HELP":      "# TYPE x counter\n# HELP x h\nx 1\n",
+		"no samples":            "# HELP x h\n# TYPE x counter\n# HELP y h\n# TYPE y counter\ny 1\n",
+		"missing +Inf":          "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"bucket count decrease": "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+		"+Inf vs _count":        "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+		"missing _sum":          "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n",
+		"raw quote in label":    "# HELP x h\n# TYPE x gauge\nx{l=\"a\"b\"} 1\n",
+		"bad escape":            "# HELP x h\n# TYPE x gauge\nx{l=\"a\\q\"} 1\n",
+		"negative counter":      "# HELP x h\n# TYPE x counter\nx -1\n",
+		"non-float value":       "# HELP x h\n# TYPE x gauge\nx one\n",
+		"duplicate family":      "# HELP x h\n# TYPE x counter\nx 1\n# HELP x h\n# TYPE x counter\nx 1\n",
+		"stray sample":          "loose_metric 1\n",
+		"foreign sample":        "# HELP x h\n# TYPE x counter\nx 1\nother 2\n",
+	}
+	for name, text := range bad {
+		if err := CheckExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: checker accepted invalid exposition:\n%s", name, text)
+		}
+	}
+}

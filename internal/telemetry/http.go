@@ -6,27 +6,40 @@ import (
 	"net/http"
 )
 
-// Handler exposes a registry over HTTP:
+// Mux returns a fresh ServeMux exposing a registry over HTTP:
 //
 //	/metrics — Prometheus text exposition
 //	/varz    — JSON snapshot (histograms as count/mean/p50/p95/p99/max)
 //	/healthz — "ok" (the process is up and serving)
-func Handler(r *Registry) http.Handler {
+//
+// Callers that serve more than metrics (the fleet introspection
+// endpoints, net/http/pprof) mount onto the returned mux before
+// serving it; Handler and ListenAndServe cover the metrics-only case.
+func Mux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		r.WritePrometheus(w)
 	})
 	mux.HandleFunc("/varz", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(r.Snapshot())
+		WriteJSON(w, r.Snapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
 	return mux
+}
+
+// Handler exposes a registry over HTTP (see Mux for the endpoints).
+func Handler(r *Registry) http.Handler { return Mux(r) }
+
+// WriteJSON renders v as indented JSON with the right content type —
+// the shared encoder of the /varz and introspection endpoints.
+func WriteJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }
 
 // ListenAndServe binds addr and serves Handler(r) in a background
@@ -35,11 +48,18 @@ func Handler(r *Registry) http.Handler {
 // dropped: metrics are best-effort and must never take the data plane
 // down with them.
 func ListenAndServe(addr string, r *Registry) (net.Listener, *http.Server, error) {
+	return ListenAndServeHandler(addr, Handler(r))
+}
+
+// ListenAndServeHandler is ListenAndServe for an arbitrary handler —
+// typically a Mux with introspection and pprof routes mounted on top of
+// the metrics endpoints.
+func ListenAndServeHandler(addr string, h http.Handler) (net.Listener, *http.Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := &http.Server{Handler: h}
 	go srv.Serve(l)
 	return l, srv, nil
 }

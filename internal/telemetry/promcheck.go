@@ -1,0 +1,292 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is a strict structural checker for the Prometheus text
+// exposition format (version 0.0.4) as WritePrometheus produces it. It
+// exists so exposition conformance is a testable contract instead of a
+// hope: the telemetry conformance test runs it over a guardd-shaped
+// registry, and `guardctl check` runs it against a live /metrics scrape
+// in the CI smoke gate.
+//
+// Checked per metric family:
+//
+//   - a # HELP line first, then a # TYPE line, then >= 1 sample lines
+//     (no interleaving, no TYPE-before-HELP, no family split across the
+//     output, no duplicate family names);
+//   - metric and label names match the Prometheus grammar; label values
+//     are correctly escaped (no raw '"' or '\n'; '\' only as \\ \" \n);
+//   - sample values parse as Go floats;
+//   - histogram families expose only _bucket/_sum/_count samples, with
+//     cumulative non-decreasing bucket counts, a final le="+Inf" bucket
+//     equal to _count, and exactly one _sum and one _count;
+//   - counter values are non-negative.
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// promFamily accumulates one family's lines during the scan.
+type promFamily struct {
+	name, typ string
+	samples   int
+	// histogram bookkeeping
+	lastBound    float64 // upper bound of the previous bucket
+	lastBucket   float64 // cumulative count of the previous bucket
+	bucketSeen   bool
+	infSeen      bool
+	infCount     float64
+	sums, counts int
+	countValue   float64
+}
+
+// CheckExposition validates Prometheus text exposition read from r and
+// returns the first structural violation found, or nil. Line numbers in
+// errors are 1-based.
+func CheckExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	seen := map[string]bool{} // closed families
+	var cur *promFamily
+	lineNo := 0
+
+	closeFamily := func() error {
+		if cur == nil {
+			return nil
+		}
+		if cur.samples == 0 {
+			return fmt.Errorf("family %q has HELP/TYPE but no samples", cur.name)
+		}
+		if cur.typ == "histogram" {
+			if !cur.infSeen {
+				return fmt.Errorf("histogram %q is missing its le=\"+Inf\" bucket", cur.name)
+			}
+			if cur.sums != 1 || cur.counts != 1 {
+				return fmt.Errorf("histogram %q has %d _sum and %d _count samples, want exactly 1 of each", cur.name, cur.sums, cur.counts)
+			}
+			if cur.infCount != cur.countValue {
+				return fmt.Errorf("histogram %q le=\"+Inf\" bucket %g disagrees with _count %g", cur.name, cur.infCount, cur.countValue)
+			}
+		}
+		seen[cur.name] = true
+		cur = nil
+		return nil
+	}
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fail := func(format string, args ...interface{}) error {
+			return fmt.Errorf("line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if err := closeFamily(); err != nil {
+				return fail("%v", err)
+			}
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !promNameRe.MatchString(name) {
+				return fail("malformed HELP line %q", line)
+			}
+			if seen[name] {
+				return fail("family %q appears twice", name)
+			}
+			cur = &promFamily{name: name}
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				return fail("malformed TYPE line %q", line)
+			}
+			name, typ := parts[0], parts[1]
+			if cur == nil || cur.name != name {
+				return fail("TYPE for %q without a preceding HELP for it", name)
+			}
+			if cur.typ != "" {
+				return fail("family %q has two TYPE lines", name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fail("unknown metric type %q", typ)
+			}
+			cur.typ = typ
+		case strings.HasPrefix(line, "#"):
+			return fail("unknown comment line %q (only # HELP and # TYPE)", line)
+		default:
+			if cur == nil || cur.typ == "" {
+				return fail("sample %q before its family's HELP and TYPE lines", line)
+			}
+			if err := checkSample(cur, line); err != nil {
+				return fail("%v", err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if cur != nil {
+		if err := closeFamily(); err != nil {
+			return fmt.Errorf("at EOF: %w", err)
+		}
+	}
+	if len(seen) == 0 {
+		return fmt.Errorf("no metric families found")
+	}
+	return nil
+}
+
+// checkSample validates one sample line against its family state.
+func checkSample(fam *promFamily, line string) error {
+	name, labels, value, err := splitSample(line)
+	if err != nil {
+		return err
+	}
+	suffix := strings.TrimPrefix(name, fam.name)
+	if !strings.HasPrefix(name, fam.name) ||
+		(fam.typ == "histogram" && suffix != "_bucket" && suffix != "_sum" && suffix != "_count") ||
+		(fam.typ != "histogram" && suffix != "") {
+		return fmt.Errorf("sample %q does not belong to family %q (%s)", name, fam.name, fam.typ)
+	}
+	v, err := strconv.ParseFloat(value, 64)
+	if err != nil {
+		return fmt.Errorf("sample %q value %q is not a float: %v", name, value, err)
+	}
+	fam.samples++
+	switch {
+	case fam.typ == "counter":
+		if v < 0 {
+			return fmt.Errorf("counter %q has negative value %g", name, v)
+		}
+	case fam.typ == "histogram" && suffix == "_bucket":
+		le, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("bucket sample %q has no le label", name)
+		}
+		if fam.infSeen {
+			return fmt.Errorf("histogram %q has buckets after le=\"+Inf\"", fam.name)
+		}
+		var bound float64
+		if le == "+Inf" {
+			fam.infSeen = true
+			fam.infCount = v
+			bound = math.Inf(1)
+		} else if bound, err = strconv.ParseFloat(le, 64); err != nil {
+			return fmt.Errorf("bucket le=%q is neither a float nor +Inf", le)
+		}
+		if fam.bucketSeen && bound <= fam.lastBound {
+			return fmt.Errorf("histogram %q bucket bounds not ascending (%g after %g)", fam.name, bound, fam.lastBound)
+		}
+		if fam.bucketSeen && v < fam.lastBucket {
+			return fmt.Errorf("histogram %q cumulative bucket counts decrease (%g after %g)", fam.name, v, fam.lastBucket)
+		}
+		fam.bucketSeen = true
+		fam.lastBound = bound
+		fam.lastBucket = v
+	case fam.typ == "histogram" && suffix == "_sum":
+		fam.sums++
+	case fam.typ == "histogram" && suffix == "_count":
+		fam.counts++
+		fam.countValue = v
+	}
+	return nil
+}
+
+// splitSample parses `name{label="value",...} value` (the label block
+// optional), enforcing name/label grammar and label-value escaping.
+func splitSample(line string) (name string, labels map[string]string, value string, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		rest = rest[brace+1:]
+		labels = map[string]string{}
+		for {
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return "", nil, "", fmt.Errorf("malformed label block in %q", line)
+			}
+			lname := rest[:eq]
+			if !promLabelRe.MatchString(lname) {
+				return "", nil, "", fmt.Errorf("bad label name %q", lname)
+			}
+			if rest[eq+1] != '"' {
+				return "", nil, "", fmt.Errorf("label %s value is not quoted", lname)
+			}
+			rest = rest[eq+2:]
+			var val strings.Builder
+			closed := false
+			for i := 0; i < len(rest); i++ {
+				c := rest[i]
+				if c == '\\' {
+					if i+1 >= len(rest) {
+						return "", nil, "", fmt.Errorf("dangling backslash in label %s", lname)
+					}
+					switch rest[i+1] {
+					case '\\', '"':
+						val.WriteByte(rest[i+1])
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, "", fmt.Errorf("invalid escape \\%c in label %s", rest[i+1], lname)
+					}
+					i++
+					continue
+				}
+				if c == '"' {
+					rest = rest[i+1:]
+					closed = true
+					break
+				}
+				if c == '\n' {
+					return "", nil, "", fmt.Errorf("raw newline in label %s", lname)
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return "", nil, "", fmt.Errorf("unterminated label value in %q", line)
+			}
+			if _, dup := labels[lname]; dup {
+				return "", nil, "", fmt.Errorf("duplicate label %q", lname)
+			}
+			labels[lname] = val.String()
+			if strings.HasPrefix(rest, ",") {
+				rest = rest[1:]
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			return "", nil, "", fmt.Errorf("malformed label separator in %q", line)
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", nil, "", fmt.Errorf("sample %q has no value", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !promNameRe.MatchString(name) {
+		return "", nil, "", fmt.Errorf("bad metric name %q", name)
+	}
+	value = strings.TrimSpace(rest)
+	if value == "" || strings.ContainsAny(value, " \t") {
+		return "", nil, "", fmt.Errorf("sample %q value field malformed", line)
+	}
+	return name, labels, value, nil
+}

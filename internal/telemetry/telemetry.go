@@ -10,10 +10,12 @@
 package telemetry
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -173,6 +175,38 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum() / float64(n)
 }
 
+// HistogramDump is the full bucket-level export of a histogram:
+// everything a report file needs to reconstruct the distribution shape
+// (not just point quantiles). Bounds are the configured upper bounds;
+// Counts has len(Bounds)+1 entries, the last being the implicit +Inf
+// overflow bucket. Counts are per-bucket (not cumulative).
+type HistogramDump struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+}
+
+// Dump exports the histogram's buckets and moments. The per-bucket
+// loads are not one atomic snapshot; concurrent observations may make
+// Count differ from the bucket total by the in-flight few.
+func (h *Histogram) Dump() HistogramDump {
+	d := HistogramDump{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+		Min:    h.Min(),
+		Max:    h.Max(),
+	}
+	for i := range h.counts {
+		d.Counts[i] = h.counts[i].Load()
+	}
+	return d
+}
+
 // Quantile estimates the q-quantile (q in [0, 1]) by linear
 // interpolation inside the covering bucket. Observations in the
 // overflow bucket report the last bound (the histogram cannot see
@@ -296,11 +330,82 @@ func formatBound(b float64) string {
 	return fmt.Sprintf("%g", b)
 }
 
+// Info is a constant identity metric: a gauge pinned at 1 whose labels
+// carry build/runtime identity strings (the fleet_build_info pattern —
+// scrapes join it against other series to correlate restarts and
+// versions). Labels are frozen at construction and rendered in sorted
+// key order with Prometheus label-value escaping.
+type Info struct {
+	labels [][2]string // sorted by key
+}
+
+// NewInfo builds an info metric over a copy of labels.
+func NewInfo(labels map[string]string) *Info {
+	in := &Info{labels: make([][2]string, 0, len(labels))}
+	for k, v := range labels {
+		in.labels = append(in.labels, [2]string{k, v})
+	}
+	sort.Slice(in.labels, func(i, j int) bool { return in.labels[i][0] < in.labels[j][0] })
+	return in
+}
+
+// NewInfo registers and returns an info metric (duplicate-name
+// semantics match NewCounter).
+func (r *Registry) NewInfo(name, help string, labels map[string]string) *Info {
+	return r.intern(name, help, NewInfo(labels)).(*Info)
+}
+
+func (in *Info) promType() string { return "gauge" }
+func (in *Info) writeProm(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s{", name)
+	for i, kv := range in.labels {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		fmt.Fprintf(w, "%s=\"%s\"", kv[0], EscapeLabelValue(kv[1]))
+	}
+	io.WriteString(w, "} 1\n")
+}
+func (in *Info) snapshot() interface{} {
+	m := make(map[string]string, len(in.labels))
+	for _, kv := range in.labels {
+		m[kv[0]] = kv[1]
+	}
+	return m
+}
+
+// EscapeLabelValue applies Prometheus text-exposition label-value
+// escaping: backslash, double-quote and newline must be escaped, in
+// that order of rules (backslash first so the others stay unambiguous).
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // entry is one registered metric with its exposition metadata.
 type entry struct {
 	name, help string
 	m          Metric
 }
+
+// ErrDuplicateMetric reports an Add of a name the registry already
+// holds.
+var ErrDuplicateMetric = errors.New("telemetry: duplicate metric name")
 
 // Registry is an ordered collection of named metrics. Names follow
 // Prometheus conventions (snake_case, _total suffix on counters, unit
@@ -308,45 +413,73 @@ type entry struct {
 type Registry struct {
 	mu      sync.Mutex
 	entries []entry
-	names   map[string]bool
+	names   map[string]Metric
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{names: make(map[string]bool)}
+	return &Registry{names: make(map[string]Metric)}
 }
 
-// Add registers a metric under a unique name. It panics on a duplicate
-// name — metric wiring is static configuration.
-func (r *Registry) Add(name, help string, m Metric) {
+// Add registers a metric under a unique name. A duplicate name is an
+// explicit error (wrapping ErrDuplicateMetric) and leaves the registry
+// unchanged — it never silently overwrites the prior registration.
+func (r *Registry) Add(name, help string, m Metric) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.names[name] {
-		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	if _, ok := r.names[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateMetric, name)
 	}
-	r.names[name] = true
+	r.names[name] = m
 	r.entries = append(r.entries, entry{name: name, help: help, m: m})
+	return nil
 }
 
-// NewCounter registers and returns a fresh counter.
+// Lookup returns the metric registered under name, if any.
+func (r *Registry) Lookup(name string) (Metric, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.names[name]
+	return m, ok
+}
+
+// intern implements the NewCounter-family duplicate policy: register
+// fresh, or return the instrument already held under the name when it
+// has the same concrete kind (so re-wiring an instrument set over one
+// registry is idempotent). A kind mismatch panics — two different
+// instruments claiming one name is a static wiring bug, and returning
+// either would silently mis-account one of them.
+func (r *Registry) intern(name, help string, fresh Metric) Metric {
+	if err := r.Add(name, help, fresh); err != nil {
+		prior, _ := r.Lookup(name)
+		if fmt.Sprintf("%T", prior) != fmt.Sprintf("%T", fresh) {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %T, already a %T", name, fresh, prior))
+		}
+		return prior
+	}
+	return fresh
+}
+
+// NewCounter registers and returns a fresh counter. If name is already
+// registered as a counter, the existing instrument is returned instead
+// (re-registration is idempotent); a different metric kind under the
+// same name panics.
 func (r *Registry) NewCounter(name, help string) *Counter {
-	c := &Counter{}
-	r.Add(name, help, c)
-	return c
+	return r.intern(name, help, &Counter{}).(*Counter)
 }
 
-// NewGauge registers and returns a fresh gauge.
+// NewGauge registers and returns a fresh gauge (duplicate-name
+// semantics match NewCounter).
 func (r *Registry) NewGauge(name, help string) *Gauge {
-	g := &Gauge{}
-	r.Add(name, help, g)
-	return g
+	return r.intern(name, help, &Gauge{}).(*Gauge)
 }
 
-// NewHistogram registers and returns a fresh histogram over bounds.
+// NewHistogram registers and returns a fresh histogram over bounds. If
+// name is already registered as a histogram, the existing instrument is
+// returned as-is — including its original bounds — and the given bounds
+// are ignored; a different metric kind under the same name panics.
 func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
-	h := NewHistogram(bounds)
-	r.Add(name, help, h)
-	return h
+	return r.intern(name, help, NewHistogram(bounds)).(*Histogram)
 }
 
 // WritePrometheus renders the registry in Prometheus text exposition

@@ -179,12 +179,11 @@ func TestRegistryExposition(t *testing.T) {
 		t.Fatalf("snapshot histogram: %+v", hs)
 	}
 
-	defer func() {
-		if recover() == nil {
-			t.Fatalf("duplicate registration did not panic")
-		}
-	}()
-	r.NewCounter("frames_total", "dup")
+	// Same-kind re-registration is idempotent (see TestRegistryDuplicates
+	// for the full duplicate-policy matrix).
+	if r.NewCounter("frames_total", "dup") != c {
+		t.Fatalf("same-kind duplicate did not return the existing counter")
+	}
 }
 
 func TestHTTPEndpoints(t *testing.T) {

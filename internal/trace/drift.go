@@ -1,0 +1,284 @@
+package trace
+
+import (
+	"math"
+	"strings"
+
+	"inaudible/internal/defense"
+	"inaudible/internal/telemetry"
+)
+
+// Drift telemetry: the live distribution of each defense feature,
+// compared against the training distribution the detector was fitted
+// on. The serving path observes the final feature vector of every
+// fully-analyzed session into per-feature histograms (exported via
+// internal/telemetry); the /drift endpoint folds those against pinned
+// reference summaries into a population-stability-index (PSI) report
+// per feature. A detector whose input distribution has walked away from
+// its training distribution is silently miscalibrated — this makes
+// that visible before the verdicts go wrong.
+
+// DriftBounds returns the shared histogram bucket bounds used for all
+// five defense features. Log-ratio features are floored at -6
+// (defense.FloorLog) and rarely exceed 1; the envelope correlation
+// lives in [0, 1]. 24 buckets at 0.375 width cover -6..3 with enough
+// resolution for a meaningful PSI.
+func DriftBounds() []float64 {
+	bounds := make([]float64, 0, 24)
+	for b := -6.0; b <= 3.0; b += 0.375 {
+		bounds = append(bounds, b)
+	}
+	return bounds
+}
+
+// Reference is a pinned summary of one feature's training distribution:
+// sample moments plus bucket probabilities over DriftBounds() (one more
+// entry than bounds — the overflow bucket).
+type Reference struct {
+	Count int       `json:"count"`
+	Mean  float64   `json:"mean"`
+	Std   float64   `json:"std"`
+	Probs []float64 `json:"probs"`
+}
+
+// ReferenceFromVectors summarizes a training corpus (one feature vector
+// per recording, defense.Features order) into per-feature references.
+func ReferenceFromVectors(vectors [][]float64) []Reference {
+	n := len(defense.FeatureNames())
+	refs := make([]Reference, n)
+	bounds := DriftBounds()
+	for f := 0; f < n; f++ {
+		counts := make([]float64, len(bounds)+1)
+		var sum, sumsq float64
+		total := 0
+		for _, vec := range vectors {
+			if f >= len(vec) {
+				continue
+			}
+			v := vec[f]
+			counts[bucketOf(bounds, v)]++
+			sum += v
+			sumsq += v * v
+			total++
+		}
+		r := Reference{Count: total, Probs: make([]float64, len(counts))}
+		if total > 0 {
+			r.Mean = sum / float64(total)
+			variance := sumsq/float64(total) - r.Mean*r.Mean
+			if variance > 0 {
+				r.Std = math.Sqrt(variance)
+			}
+			for i, c := range counts {
+				r.Probs[i] = c / float64(total)
+			}
+		}
+		refs[f] = r
+	}
+	return refs
+}
+
+func bucketOf(bounds []float64, v float64) int {
+	for i, b := range bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(bounds)
+}
+
+// PSI thresholds: the conventional 0.1 (investigate) / 0.25 (act)
+// break-points.
+const (
+	psiWarn  = 0.1
+	psiAlert = 0.25
+)
+
+// psi computes the population stability index between a live bucket
+// count vector and reference probabilities, with epsilon smoothing so
+// empty buckets do not blow up the logarithm.
+func psi(liveCounts []uint64, refProbs []float64) float64 {
+	const eps = 1e-4
+	var total float64
+	for _, c := range liveCounts {
+		total += float64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	var out float64
+	for i := range liveCounts {
+		p := (float64(liveCounts[i])/total + eps) / (1 + eps*float64(len(liveCounts)))
+		q := eps
+		if i < len(refProbs) {
+			q = (refProbs[i] + eps) / (1 + eps*float64(len(liveCounts)))
+		}
+		out += (p - q) * math.Log(p/q)
+	}
+	return out
+}
+
+func psiStatus(v float64) string {
+	switch {
+	case v >= psiAlert:
+		return "alert"
+	case v >= psiWarn:
+		return "drifting"
+	default:
+		return "ok"
+	}
+}
+
+// DriftMonitor accumulates the live distribution of the defense
+// features. Observe is called once per fully-analyzed session (never
+// per frame) with the final feature vector; it is concurrency-safe and
+// allocation-free.
+type DriftMonitor struct {
+	names  []string
+	hists  []*telemetry.Histogram
+	psiG   []*telemetry.Gauge // milli-PSI, refreshed on Report
+	refs   []Reference
+	hasRef bool
+}
+
+// metricName converts a feature name ("trace-snr") into a Prometheus
+// metric suffix ("trace_snr").
+func metricName(feature string) string {
+	return strings.ReplaceAll(feature, "-", "_")
+}
+
+// NewDriftMonitor builds the monitor and registers one
+// fleet_feature_<name> histogram and one fleet_drift_psi_milli_<name>
+// gauge per defense feature on reg (skipped when reg is nil).
+func NewDriftMonitor(reg *telemetry.Registry) *DriftMonitor {
+	names := defense.FeatureNames()
+	d := &DriftMonitor{
+		names: names,
+		hists: make([]*telemetry.Histogram, len(names)),
+		psiG:  make([]*telemetry.Gauge, len(names)),
+	}
+	bounds := DriftBounds()
+	for i, n := range names {
+		if reg != nil {
+			d.hists[i] = reg.NewHistogram("fleet_feature_"+metricName(n),
+				"live distribution of the "+n+" defense feature (final verdicts)", bounds)
+			d.psiG[i] = reg.NewGauge("fleet_drift_psi_milli_"+metricName(n),
+				"population stability index of "+n+" vs the training distribution, x1000")
+		} else {
+			d.hists[i] = telemetry.NewHistogram(bounds)
+			d.psiG[i] = &telemetry.Gauge{}
+		}
+	}
+	return d
+}
+
+// SetReference pins the training-distribution summaries (one per
+// feature, defense.Features order). A nil or short slice disables the
+// divergence computation for the missing features.
+func (d *DriftMonitor) SetReference(refs []Reference) {
+	if d == nil {
+		return
+	}
+	d.refs = refs
+	d.hasRef = len(refs) > 0
+}
+
+// Observe folds one final feature vector into the live distribution.
+// Nil-safe and allocation-free.
+func (d *DriftMonitor) Observe(vec []float64) {
+	if d == nil {
+		return
+	}
+	for i := range d.hists {
+		if i < len(vec) {
+			d.hists[i].Observe(vec[i])
+		}
+	}
+}
+
+// FeatureDrift is one feature's entry in the /drift report.
+type FeatureDrift struct {
+	Name   string     `json:"name"`
+	Count  uint64     `json:"count"`
+	Mean   float64    `json:"mean"`
+	Std    float64    `json:"std"`
+	PSI    float64    `json:"psi"`
+	Status string     `json:"status"`
+	Ref    *Reference `json:"reference,omitempty"`
+}
+
+// DriftReport is the /drift response body.
+type DriftReport struct {
+	Features []FeatureDrift `json:"features"`
+	MaxPSI   float64        `json:"max_psi"`
+	Status   string         `json:"status"`
+	HasRef   bool           `json:"has_reference"`
+}
+
+// Report computes the divergence of every feature's live distribution
+// from its reference and refreshes the exported PSI gauges.
+func (d *DriftMonitor) Report() DriftReport {
+	rep := DriftReport{Features: make([]FeatureDrift, 0, len(d.names)), HasRef: d.hasRef}
+	for i, n := range d.names {
+		dump := d.hists[i].Dump()
+		fd := FeatureDrift{Name: n, Count: dump.Count, Status: "ok"}
+		if dump.Count > 0 {
+			fd.Mean = dump.Sum / float64(dump.Count)
+			// Std from the bucketed distribution (midpoint approximation):
+			// good enough for an operator-facing drift signal.
+			fd.Std = bucketStd(dump, fd.Mean)
+		}
+		if d.hasRef && i < len(d.refs) {
+			ref := d.refs[i]
+			fd.Ref = &ref
+			fd.PSI = psi(dump.Counts, ref.Probs)
+			fd.Status = psiStatus(fd.PSI)
+			d.psiG[i].Set(int64(fd.PSI * 1000))
+			if fd.PSI > rep.MaxPSI {
+				rep.MaxPSI = fd.PSI
+			}
+		}
+		rep.Features = append(rep.Features, fd)
+	}
+	rep.Status = psiStatus(rep.MaxPSI)
+	if !d.hasRef {
+		rep.Status = "no_reference"
+	}
+	return rep
+}
+
+// bucketStd estimates the standard deviation from a histogram dump
+// using bucket midpoints (edge buckets use the min/max observations).
+func bucketStd(dump telemetry.HistogramDump, mean float64) float64 {
+	if dump.Count < 2 {
+		return 0
+	}
+	var sumsq float64
+	for i, c := range dump.Counts {
+		if c == 0 {
+			continue
+		}
+		mid := bucketMid(dump, i)
+		sumsq += float64(c) * (mid - mean) * (mid - mean)
+	}
+	return math.Sqrt(sumsq / float64(dump.Count))
+}
+
+func bucketMid(dump telemetry.HistogramDump, i int) float64 {
+	bounds := dump.Bounds
+	switch {
+	case i == 0:
+		lo := dump.Min
+		if lo > bounds[0] {
+			lo = bounds[0]
+		}
+		return (lo + bounds[0]) / 2
+	case i >= len(bounds):
+		hi := dump.Max
+		if hi < bounds[len(bounds)-1] {
+			hi = bounds[len(bounds)-1]
+		}
+		return (bounds[len(bounds)-1] + hi) / 2
+	default:
+		return (bounds[i-1] + bounds[i]) / 2
+	}
+}

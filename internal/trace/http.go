@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"inaudible/internal/telemetry"
+)
+
+// SessionList is the /sessions response body.
+type SessionList struct {
+	Stats    Stats            `json:"stats"`
+	Sessions []SessionSummary `json:"sessions"`
+}
+
+// ServeSessions handles /sessions (listing) and /sessions/{id} (full
+// trace). Mount it for both the exact path and the subtree.
+func (r *Recorder) ServeSessions(w http.ResponseWriter, req *http.Request) {
+	if r == nil {
+		http.Error(w, `{"error":"flight recorder disabled"}`, http.StatusNotFound)
+		return
+	}
+	rest := strings.Trim(strings.TrimPrefix(req.URL.Path, "/sessions"), "/")
+	if rest == "" {
+		traces := r.Sessions()
+		list := SessionList{Stats: r.Stats(), Sessions: make([]SessionSummary, 0, len(traces))}
+		for _, st := range traces {
+			list.Sessions = append(list.Sessions, st.Summary())
+		}
+		telemetry.WriteJSON(w, list)
+		return
+	}
+	id, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		http.Error(w, `{"error":"bad session id"}`, http.StatusBadRequest)
+		return
+	}
+	st := r.Lookup(id)
+	if st == nil {
+		http.Error(w, `{"error":"session not found or no longer retained"}`, http.StatusNotFound)
+		return
+	}
+	telemetry.WriteJSON(w, st.View())
+}
+
+// ServeDrift handles /drift: the per-feature divergence report.
+func (d *DriftMonitor) ServeDrift(w http.ResponseWriter, req *http.Request) {
+	if d == nil {
+		http.Error(w, `{"error":"drift telemetry disabled"}`, http.StatusNotFound)
+		return
+	}
+	telemetry.WriteJSON(w, d.Report())
+}

@@ -1,0 +1,26 @@
+package trace
+
+// DemoReference returns the pinned training-distribution reference used
+// when a daemon starts without training (guardd -detector demo): the
+// per-feature summaries of the Quick-suite corpus at seed 1 with 10
+// trials per grid point (60 samples, legit and attack pooled — the same
+// pooling TrainDetectorWithSamples hands a real training run). Feature
+// order matches defense.FeatureNames / Features.Vector.
+//
+// Regenerate by building the quick corpus and printing
+// ReferenceFromVectors over the sample vectors:
+//
+//	sc := core.DefaultScenario(); sc.Seed = 1
+//	cfg := experiment.QuickCorpusConfig(experiment.DefaultCorpusConfig(sc))
+//	cfg.Trials = 10
+//	cfg.Runner = experiment.NewRunner(0)
+//	_, samples, _ := experiment.TrainDetectorWithSamples("threshold", cfg, 1)
+func DemoReference() []Reference {
+	return []Reference{
+		{Count: 60, Mean: -4.29123, Std: 1.17465, Probs: []float64{0.233333, 0, 0.0333333, 0.05, 0.0833333, 0.116667, 0.0833333, 0.0666667, 0.2, 0.133333, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
+		{Count: 60, Mean: -3.9346, Std: 0.969272, Probs: []float64{0.0666667, 0, 0.0333333, 0.0333333, 0.116667, 0.0833333, 0.333333, 0, 0, 0.333333, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
+		{Count: 60, Mean: 0.1843, Std: 0.056752, Probs: []float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0}},
+		{Count: 60, Mean: -2.97272, Std: 0.401639, Probs: []float64{0, 0, 0, 0, 0, 0, 0, 0.333333, 0, 0.5, 0.166667, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
+		{Count: 60, Mean: -2.89196, Std: 0.362269, Probs: []float64{0, 0, 0, 0, 0, 0, 0, 0.333333, 0, 0.5, 0.166667, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
+	}
+}

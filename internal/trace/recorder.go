@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sizes the flight recorder. Zero values take the defaults.
+type Config struct {
+	// Events is the per-session event ring size (default 128). Older
+	// events are overwritten; the total count is still reported.
+	Events int
+	// Exemplars is how many completed sessions to retain regardless of
+	// outcome (default 32).
+	Exemplars int
+	// Notable is how many notable sessions (rejected, degraded,
+	// escalated, SLO-violating, attack-verdict, aborted) to retain in a
+	// separate ring so bursts of ordinary traffic cannot evict them
+	// (default 64).
+	Notable int
+	// SLO is the close-to-final-verdict latency above which a session
+	// is marked notable (0 disables the predicate).
+	SLO time.Duration
+	// SlowAdvance is the batched-analysis step duration at or above
+	// which a KindAdvance event is recorded (default 1ms; every Advance
+	// would flood the bounded ring at frame rate).
+	SlowAdvance time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Events <= 0 {
+		c.Events = 128
+	}
+	if c.Exemplars <= 0 {
+		c.Exemplars = 32
+	}
+	if c.Notable <= 0 {
+		c.Notable = 64
+	}
+	if c.SlowAdvance <= 0 {
+		c.SlowAdvance = time.Millisecond
+	}
+	return c
+}
+
+// Recorder owns the fleet's session traces: the live set plus two
+// bounded retention rings (recent completions and notable sessions).
+// Start/End/Rejected run on session open/close — cold paths — so a
+// plain mutex is fine; per-event recording never touches the Recorder.
+type Recorder struct {
+	cfg    Config
+	serial atomic.Uint64
+
+	mu       sync.Mutex
+	live     map[uint64]*SessionTrace
+	done     []*SessionTrace // recent-completions ring
+	doneNext int
+	notable  []*SessionTrace // notable ring
+	noteNext int
+
+	completed atomic.Uint64
+	aborted   atomic.Uint64
+	rejected  atomic.Uint64
+}
+
+// NewRecorder builds a flight recorder with the given retention config.
+func NewRecorder(cfg Config) *Recorder {
+	cfg = cfg.withDefaults()
+	return &Recorder{
+		cfg:     cfg,
+		live:    make(map[uint64]*SessionTrace),
+		done:    make([]*SessionTrace, 0, cfg.Exemplars),
+		notable: make([]*SessionTrace, 0, cfg.Notable),
+	}
+}
+
+// Start opens a trace for an admitted session and records its admission
+// event. occ, if non-nil, probes the live session's frame-ring
+// occupancy for introspection snapshots; it is dropped when the trace
+// ends. Nil-safe: a nil Recorder returns a nil trace, and a nil trace
+// records nothing.
+func (r *Recorder) Start(key uint64, rate float64, shard int, degraded bool, occ func() int) *SessionTrace {
+	if r == nil {
+		return nil
+	}
+	st := &SessionTrace{
+		id:       r.serial.Add(1),
+		key:      key,
+		rate:     rate,
+		shard:    shard,
+		degraded: degraded,
+		start:    time.Now(),
+		cells:    make([]cell, r.cfg.Events),
+		sloNS:    int64(r.cfg.SLO),
+		slowNS:   int64(r.cfg.SlowAdvance),
+	}
+	if occ != nil {
+		st.occ.Store(&occ)
+	}
+	adm := 0.0
+	if degraded {
+		adm = 1
+		st.MarkNotable(NotableDegraded)
+	}
+	st.Record(KindAdmitted, adm, float64(shard))
+	r.mu.Lock()
+	r.live[st.id] = st
+	r.mu.Unlock()
+	return st
+}
+
+// Rejected retains a synthetic single-event trace for a session the
+// fleet turned away; rejected sessions never reach a shard, so this is
+// their only record. reason is 0 for overload, 1 for fleet shutdown.
+func (r *Recorder) Rejected(key uint64, rate float64, reason float64) {
+	if r == nil {
+		return
+	}
+	st := &SessionTrace{
+		id:    r.serial.Add(1),
+		key:   key,
+		rate:  rate,
+		shard: -1,
+		start: time.Now(),
+		cells: make([]cell, 1),
+	}
+	st.Record(KindRejected, reason, 0)
+	st.MarkNotable(NotableRejected)
+	st.end(stateRejected)
+	r.rejected.Add(1)
+	r.mu.Lock()
+	r.retainLocked(st)
+	r.mu.Unlock()
+}
+
+// End seals a live trace and moves it into the retention rings.
+// aborted reports whether the session died without a final verdict.
+func (r *Recorder) End(st *SessionTrace, aborted bool) {
+	if r == nil || st == nil {
+		return
+	}
+	state := uint32(stateDone)
+	if aborted {
+		state = stateAborted
+		st.Record(KindAborted, 0, 0)
+		st.MarkNotable(NotableAborted)
+		r.aborted.Add(1)
+	} else {
+		r.completed.Add(1)
+	}
+	st.end(state)
+	r.mu.Lock()
+	delete(r.live, st.id)
+	r.retainLocked(st)
+	r.mu.Unlock()
+}
+
+// retainLocked places a finished trace in the recent ring and, when
+// notable, also in the notable ring. Caller holds r.mu.
+func (r *Recorder) retainLocked(st *SessionTrace) {
+	if len(r.done) < r.cfg.Exemplars {
+		r.done = append(r.done, st)
+	} else {
+		r.done[r.doneNext] = st
+		r.doneNext = (r.doneNext + 1) % r.cfg.Exemplars
+	}
+	if st.NotableReasons() == 0 {
+		return
+	}
+	if len(r.notable) < r.cfg.Notable {
+		r.notable = append(r.notable, st)
+	} else {
+		r.notable[r.noteNext] = st
+		r.noteNext = (r.noteNext + 1) % r.cfg.Notable
+	}
+}
+
+// Lookup finds a trace by session ID across the live set and both
+// retention rings.
+func (r *Recorder) Lookup(id uint64) *SessionTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st, ok := r.live[id]; ok {
+		return st
+	}
+	for _, st := range r.done {
+		if st.id == id {
+			return st
+		}
+	}
+	for _, st := range r.notable {
+		if st.id == id {
+			return st
+		}
+	}
+	return nil
+}
+
+// Sessions returns every retained trace — live first, then retained
+// exemplars — sorted by session ID descending (newest first), deduped
+// across the rings.
+func (r *Recorder) Sessions() []*SessionTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	seen := make(map[uint64]bool, len(r.live)+len(r.done)+len(r.notable))
+	out := make([]*SessionTrace, 0, len(r.live)+len(r.done)+len(r.notable))
+	for _, st := range r.live {
+		seen[st.id] = true
+		out = append(out, st)
+	}
+	for _, ring := range [][]*SessionTrace{r.done, r.notable} {
+		for _, st := range ring {
+			if !seen[st.id] {
+				seen[st.id] = true
+				out = append(out, st)
+			}
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id > out[j].id })
+	return out
+}
+
+// Stats summarizes recorder-side counts for the fleet status endpoint.
+type Stats struct {
+	Live      int    `json:"live"`
+	Retained  int    `json:"retained"`
+	Notable   int    `json:"notable"`
+	Completed uint64 `json:"completed_total"`
+	Aborted   uint64 `json:"aborted_total"`
+	Rejected  uint64 `json:"rejected_total"`
+}
+
+// Stats returns the recorder's retention counters.
+func (r *Recorder) Stats() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	r.mu.Lock()
+	s := Stats{Live: len(r.live), Retained: len(r.done), Notable: len(r.notable)}
+	r.mu.Unlock()
+	s.Completed = r.completed.Load()
+	s.Aborted = r.aborted.Load()
+	s.Rejected = r.rejected.Load()
+	return s
+}

@@ -1,0 +1,306 @@
+// Package trace is the fleet's flight recorder and introspection plane:
+// a bounded, allocation-free per-session event log plus the drift
+// telemetry that compares the live feature distribution against the
+// training distribution.
+//
+// Every admitted session gets a SessionTrace — a fixed ring of
+// structured events (admission, ring high-water, batched-advance
+// timing, cascade escalations, verdicts) written by whichever single
+// goroutine owns the session at that moment (the opening goroutine
+// before handoff, the shard worker after). Recording an event is a
+// handful of atomic stores into a preallocated cell: no locks, no
+// allocation, so it can sit on the serving path without disturbing the
+// fleet's 0 allocs/frame contract. Introspection readers (the /sessions
+// HTTP endpoints) snapshot rings concurrently with per-cell sequence
+// validation — a torn cell is skipped, never misreported.
+//
+// The Recorder retains completed sessions as exemplars: the last N
+// finished sessions plus any session that tripped a notable predicate
+// (rejected, degraded, escalated, SLO-violating, attack verdict,
+// aborted), so "show me the session that fired" still works after the
+// session is gone. Retention is bounded on both rings.
+package trace
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Kind identifies an event type. The zero Kind marks an empty cell.
+type Kind uint32
+
+const (
+	// KindAdmitted opens every trace: A = 1 for degraded admission,
+	// B = shard index.
+	KindAdmitted Kind = iota + 1
+	// KindRejected is the only event of a rejected session's synthetic
+	// trace: A = reason code (0 overloaded, 1 closed).
+	KindRejected
+	// KindRingHighWater marks a new session ring-occupancy maximum
+	// observed by the shard worker: A = occupancy in frames.
+	KindRingHighWater
+	// KindAdvance records a slow batched-analysis step (BatchProc
+	// .Advance beyond the recorder's threshold): A = duration µs.
+	KindAdvance
+	// KindEscalated marks a cascade tier-0→tier-1 transition:
+	// A = heat at engagement, B = last frame-energy margin in dB.
+	KindEscalated
+	// KindReleased marks the cascade release after cold hysteresis:
+	// A = consecutive cold frames.
+	KindReleased
+	// KindInterimVerdict is an interim detector emission: A = score,
+	// B = 1 for an attack verdict.
+	KindInterimVerdict
+	// KindFinalVerdict is the end-of-session detector emission:
+	// A = score, B = 1 for an attack verdict.
+	KindFinalVerdict
+	// KindFinalized is the fleet-side close: A = close-to-final-verdict
+	// latency in µs.
+	KindFinalized
+	// KindAborted ends a trace whose session was cut without a final
+	// verdict (producer abort or forced shutdown).
+	KindAborted
+)
+
+// String returns the event name used on the wire.
+func (k Kind) String() string {
+	switch k {
+	case KindAdmitted:
+		return "admitted"
+	case KindRejected:
+		return "rejected"
+	case KindRingHighWater:
+		return "ring_high_water"
+	case KindAdvance:
+		return "batch_advance"
+	case KindEscalated:
+		return "escalated"
+	case KindReleased:
+		return "released"
+	case KindInterimVerdict:
+		return "interim_verdict"
+	case KindFinalVerdict:
+		return "final_verdict"
+	case KindFinalized:
+		return "finalized"
+	case KindAborted:
+		return "aborted"
+	default:
+		return "unknown"
+	}
+}
+
+// Notable is the bitmask of exemplar-retention reasons.
+type Notable uint32
+
+const (
+	NotableRejected Notable = 1 << iota
+	NotableDegraded
+	NotableEscalated
+	NotableSLO
+	NotableAttack
+	NotableAborted
+)
+
+// Reasons expands the bitmask into wire names.
+func (n Notable) Reasons() []string {
+	if n == 0 {
+		return nil
+	}
+	var out []string
+	for _, r := range []struct {
+		bit  Notable
+		name string
+	}{
+		{NotableRejected, "rejected"},
+		{NotableDegraded, "degraded"},
+		{NotableEscalated, "escalated"},
+		{NotableSLO, "slo_violation"},
+		{NotableAttack, "attack_verdict"},
+		{NotableAborted, "aborted"},
+	} {
+		if n&r.bit != 0 {
+			out = append(out, r.name)
+		}
+	}
+	return out
+}
+
+// cell is one ring slot. seq is 0 while empty or mid-write and the
+// 1-based event serial once the cell is published; readers load seq
+// before and after the field loads and discard the cell on a mismatch
+// (a per-cell seqlock). All fields are atomics so concurrent snapshot
+// reads are race-free without a lock on the write side.
+type cell struct {
+	seq  atomic.Uint64
+	kind atomic.Uint32
+	at   atomic.Int64  // ns since trace start
+	a, b atomic.Uint64 // float64 bits
+}
+
+// Event is one decoded flight-recorder event.
+type Event struct {
+	Seq  uint64  // 1-based serial within the session
+	Kind Kind    //
+	At   int64   // ns since session start
+	A, B float64 // kind-specific payload (see the Kind docs)
+}
+
+// SessionTrace is one session's flight record. Record is single-writer
+// (the goroutine currently owning the session); every other method is
+// safe to call concurrently.
+type SessionTrace struct {
+	id       uint64
+	key      uint64
+	rate     float64
+	shard    int
+	degraded bool
+	start    time.Time
+
+	cells []cell
+	n     uint64        // writer-local event count
+	count atomic.Uint64 // published event count
+
+	notable atomic.Uint32
+	state   atomic.Uint32 // 0 live, 1 done, 2 aborted, 3 rejected
+	endNS   atomic.Int64  // ns since start at end
+
+	// occ probes the live session's ring occupancy; cleared at end so
+	// retained exemplars do not pin fleet session memory.
+	occ atomic.Pointer[func() int]
+
+	// thresholds stamped by the Recorder at Start.
+	sloNS  int64
+	slowNS int64
+}
+
+const (
+	stateLive = iota
+	stateDone
+	stateAborted
+	stateRejected
+)
+
+// ID returns the recorder-unique session serial.
+func (st *SessionTrace) ID() uint64 { return st.id }
+
+// Key returns the fleet affinity key.
+func (st *SessionTrace) Key() uint64 { return st.key }
+
+// Record appends one event. Single-writer; nil-safe (a nil trace
+// records nothing, so call sites need no recorder-enabled branch).
+func (st *SessionTrace) Record(k Kind, a, b float64) {
+	if st == nil {
+		return
+	}
+	n := st.n
+	c := &st.cells[n%uint64(len(st.cells))]
+	c.seq.Store(0) // invalidate while the fields change
+	c.kind.Store(uint32(k))
+	c.at.Store(int64(time.Since(st.start)))
+	c.a.Store(math.Float64bits(a))
+	c.b.Store(math.Float64bits(b))
+	c.seq.Store(n + 1) // publish
+	st.n = n + 1
+	st.count.Store(n + 1)
+}
+
+// MarkNotable tags the session for exemplar retention.
+func (st *SessionTrace) MarkNotable(reason Notable) {
+	if st == nil {
+		return
+	}
+	// CAS loop instead of atomic.Uint32.Or: the module targets go 1.22.
+	for {
+		old := st.notable.Load()
+		if old&uint32(reason) == uint32(reason) || st.notable.CompareAndSwap(old, old|uint32(reason)) {
+			return
+		}
+	}
+}
+
+// NotableReasons returns the accumulated retention reasons.
+func (st *SessionTrace) NotableReasons() Notable {
+	if st == nil {
+		return 0
+	}
+	return Notable(st.notable.Load())
+}
+
+// RecordAdvance records a batched-analysis step if it is slow enough to
+// matter (at or beyond the recorder's SlowAdvance threshold).
+func (st *SessionTrace) RecordAdvance(d time.Duration) {
+	if st == nil || int64(d) < st.slowNS {
+		return
+	}
+	st.Record(KindAdvance, float64(d.Microseconds()), 0)
+}
+
+// RecordFinalized records the fleet-side close with its
+// close-to-final-verdict latency and applies the SLO notable predicate.
+func (st *SessionTrace) RecordFinalized(verdictLatency time.Duration) {
+	if st == nil {
+		return
+	}
+	st.Record(KindFinalized, float64(verdictLatency.Microseconds()), 0)
+	if st.sloNS > 0 && int64(verdictLatency) > st.sloNS {
+		st.MarkNotable(NotableSLO)
+	}
+}
+
+// RecordVerdict records a detector emission and applies the
+// attack-verdict notable predicate.
+func (st *SessionTrace) RecordVerdict(final bool, score float64, attack bool) {
+	if st == nil {
+		return
+	}
+	k := KindInterimVerdict
+	if final {
+		k = KindFinalVerdict
+	}
+	b := 0.0
+	if attack {
+		b = 1
+		st.MarkNotable(NotableAttack)
+	}
+	st.Record(k, score, b)
+}
+
+// end seals the trace (called by the Recorder).
+func (st *SessionTrace) end(state uint32) {
+	st.endNS.Store(int64(time.Since(st.start)))
+	st.state.Store(state)
+	st.occ.Store(nil)
+}
+
+// Events returns a consistent decode of the retained ring: the latest
+// min(total, ring) events in order. Cells being overwritten mid-read
+// are skipped. Safe concurrently with the writer.
+func (st *SessionTrace) Events() []Event {
+	total := st.count.Load()
+	size := uint64(len(st.cells))
+	first := uint64(0)
+	if total > size {
+		first = total - size
+	}
+	out := make([]Event, 0, total-first)
+	for i := first; i < total; i++ {
+		c := &st.cells[i%size]
+		if c.seq.Load() != i+1 {
+			continue // overwritten or mid-write
+		}
+		ev := Event{
+			Seq:  i + 1,
+			Kind: Kind(c.kind.Load()),
+			At:   c.at.Load(),
+			A:    math.Float64frombits(c.a.Load()),
+			B:    math.Float64frombits(c.b.Load()),
+		}
+		if c.seq.Load() != i+1 {
+			continue // torn read: the writer lapped us mid-decode
+		}
+		out = append(out, ev)
+	}
+	return out
+}

@@ -1,0 +1,334 @@
+package trace
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingWrapKeepsLatest(t *testing.T) {
+	r := NewRecorder(Config{Events: 8})
+	st := Start(r, t)
+	for i := 0; i < 20; i++ {
+		st.Record(KindInterimVerdict, float64(i), 0)
+	}
+	evs := st.Events()
+	// 1 admitted event + 20 interims = 21 total; ring keeps the last 8.
+	if st.count.Load() != 21 {
+		t.Fatalf("events_total = %d, want 21", st.count.Load())
+	}
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want ring size 8", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(14 + i) // 21-8+1 .. 21
+		if ev.Seq != wantSeq {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+		if ev.Kind != KindInterimVerdict || ev.A != float64(wantSeq-2) {
+			t.Fatalf("event %d decoded wrong: %+v", i, ev)
+		}
+	}
+}
+
+// Start opens a plain trace for tests.
+func Start(r *Recorder, t *testing.T) *SessionTrace {
+	t.Helper()
+	st := r.Start(7, 16000, 0, false, nil)
+	if st == nil {
+		t.Fatal("Start returned nil trace")
+	}
+	return st
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	st := r.Start(1, 16000, 0, false, nil)
+	if st != nil {
+		t.Fatal("nil recorder produced a trace")
+	}
+	// All of these must be no-ops, not panics.
+	st.Record(KindAdmitted, 0, 0)
+	st.MarkNotable(NotableAttack)
+	st.RecordAdvance(time.Second)
+	st.RecordFinalized(time.Second)
+	st.RecordVerdict(true, 1, true)
+	r.End(st, false)
+	r.Rejected(1, 16000, 0)
+	if got := r.Sessions(); got != nil {
+		t.Fatalf("nil recorder sessions: %v", got)
+	}
+}
+
+func TestConcurrentSnapshotUnderWrites(t *testing.T) {
+	r := NewRecorder(Config{Events: 16})
+	st := Start(r, t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st.Record(KindInterimVerdict, float64(i), 1)
+		}
+	}()
+	// Readers must only ever see fully-published cells: seq, kind and
+	// payload consistent with each other.
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, ev := range st.Events() {
+			if ev.Seq == 0 {
+				t.Fatal("snapshot returned an unpublished cell")
+			}
+			if ev.Kind == KindInterimVerdict && ev.B != 1 {
+				t.Fatalf("torn event decode: %+v", ev)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRecorderRetention(t *testing.T) {
+	r := NewRecorder(Config{Exemplars: 4, Notable: 2})
+	// 6 ordinary completions: only the last 4 stay.
+	var ids []uint64
+	for i := 0; i < 6; i++ {
+		st := r.Start(uint64(i), 16000, 0, false, nil)
+		ids = append(ids, st.ID())
+		r.End(st, false)
+	}
+	if got := r.Stats(); got.Retained != 4 || got.Completed != 6 || got.Live != 0 {
+		t.Fatalf("stats after completions: %+v", got)
+	}
+	if r.Lookup(ids[0]) != nil || r.Lookup(ids[1]) != nil {
+		t.Fatal("evicted sessions still resolvable")
+	}
+	if r.Lookup(ids[5]) == nil {
+		t.Fatal("latest session not retained")
+	}
+
+	// Notable sessions survive in their own ring even when ordinary
+	// traffic churns the exemplar ring.
+	att := r.Start(100, 16000, 0, false, nil)
+	att.RecordVerdict(true, 2.5, true) // attack verdict => notable
+	r.End(att, false)
+	for i := 0; i < 8; i++ {
+		st := r.Start(uint64(200+i), 16000, 0, false, nil)
+		r.End(st, false)
+	}
+	got := r.Lookup(att.ID())
+	if got == nil {
+		t.Fatal("attack-verdict session evicted by ordinary churn")
+	}
+	if n := got.NotableReasons(); n&NotableAttack == 0 {
+		t.Fatalf("notable reasons = %v", n.Reasons())
+	}
+
+	// The notable ring itself is bounded.
+	for i := 0; i < 5; i++ {
+		st := r.Start(uint64(300+i), 16000, 0, true, nil) // degraded => notable
+		r.End(st, false)
+	}
+	if got := r.Stats(); got.Notable != 2 {
+		t.Fatalf("notable ring grew past its bound: %+v", got)
+	}
+}
+
+func TestRejectedAndAbortedTraces(t *testing.T) {
+	r := NewRecorder(Config{})
+	r.Rejected(42, 16000, 0)
+	sts := r.Sessions()
+	if len(sts) != 1 {
+		t.Fatalf("sessions after reject: %d", len(sts))
+	}
+	v := sts[0].View()
+	if v.State != "rejected" || len(v.Events) != 1 || v.Events[0].Event != "rejected" {
+		t.Fatalf("rejected view: %+v", v)
+	}
+
+	st := r.Start(43, 16000, 1, false, nil)
+	r.End(st, true)
+	v = st.View()
+	if v.State != "aborted" || v.Events[len(v.Events)-1].Event != "aborted" {
+		t.Fatalf("aborted view: %+v", v)
+	}
+	if got := r.Stats(); got.Aborted != 1 || got.Rejected != 1 {
+		t.Fatalf("stats: %+v", got)
+	}
+}
+
+func TestThresholdPredicates(t *testing.T) {
+	r := NewRecorder(Config{SLO: 10 * time.Millisecond, SlowAdvance: time.Millisecond})
+	st := Start(r, t)
+	st.RecordAdvance(500 * time.Microsecond) // below threshold: no event
+	st.RecordAdvance(2 * time.Millisecond)   // recorded
+	st.RecordFinalized(5 * time.Millisecond) // within SLO
+	if st.NotableReasons()&NotableSLO != 0 {
+		t.Fatal("SLO marked on a within-SLO session")
+	}
+	st.RecordFinalized(20 * time.Millisecond) // violates SLO
+	if st.NotableReasons()&NotableSLO == 0 {
+		t.Fatal("SLO violation not marked")
+	}
+	var advances int
+	for _, ev := range st.Events() {
+		if ev.Kind == KindAdvance {
+			advances++
+		}
+	}
+	if advances != 1 {
+		t.Fatalf("advance events = %d, want 1 (threshold filter)", advances)
+	}
+}
+
+func TestSessionsHandler(t *testing.T) {
+	r := NewRecorder(Config{})
+	st := r.Start(7, 16000, 2, false, func() int { return 5 })
+	st.RecordVerdict(false, -0.5, false)
+
+	get := func(path string) (*http.Response, []byte) {
+		req := httptest.NewRequest("GET", path, nil)
+		w := httptest.NewRecorder()
+		r.ServeSessions(w, req)
+		resp := w.Result()
+		return resp, w.Body.Bytes()
+	}
+	resp, body := get("/sessions")
+	if resp.StatusCode != 200 {
+		t.Fatalf("/sessions status %d", resp.StatusCode)
+	}
+	var list SessionList
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("/sessions not JSON: %v", err)
+	}
+	if len(list.Sessions) != 1 || list.Sessions[0].State != "live" {
+		t.Fatalf("/sessions = %+v", list)
+	}
+
+	resp, body = get("/sessions/1")
+	var view SessionView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatalf("/sessions/1 not JSON: %v", err)
+	}
+	if view.RingFrames != 5 {
+		t.Fatalf("live occupancy probe not used: %+v", view)
+	}
+	if len(view.Events) != 2 || view.Events[0].Event != "admitted" || view.Events[1].Event != "interim_verdict" {
+		t.Fatalf("/sessions/1 events: %+v", view.Events)
+	}
+
+	if resp, _ = get("/sessions/999"); resp.StatusCode != 404 {
+		t.Fatalf("missing session status %d, want 404", resp.StatusCode)
+	}
+	if resp, _ = get("/sessions/xyz"); resp.StatusCode != 400 {
+		t.Fatalf("bad id status %d, want 400", resp.StatusCode)
+	}
+
+	var nilRec *Recorder
+	w := httptest.NewRecorder()
+	nilRec.ServeSessions(w, httptest.NewRequest("GET", "/sessions", nil))
+	if w.Result().StatusCode != 404 {
+		t.Fatalf("nil recorder status %d, want 404", w.Result().StatusCode)
+	}
+}
+
+func TestDriftPSI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := func() float64 { return -3 + rng.NormFloat64()*0.5 }
+	var train [][]float64
+	for i := 0; i < 500; i++ {
+		v := make([]float64, 5)
+		for j := range v {
+			v[j] = base()
+		}
+		train = append(train, v)
+	}
+	refs := ReferenceFromVectors(train)
+	if len(refs) != 5 || refs[0].Count != 500 {
+		t.Fatalf("references: %d features, count %d", len(refs), refs[0].Count)
+	}
+
+	// Same-distribution live traffic: everything reads ok.
+	d := NewDriftMonitor(nil)
+	d.SetReference(refs)
+	for i := 0; i < 500; i++ {
+		v := make([]float64, 5)
+		for j := range v {
+			v[j] = base()
+		}
+		d.Observe(v)
+	}
+	rep := d.Report()
+	if rep.Status != "ok" || rep.MaxPSI >= psiWarn {
+		t.Fatalf("matched distribution reported drift: %+v", rep)
+	}
+
+	// Shift one feature hard: that feature (and the fleet status) must
+	// trip the alert threshold; untouched features stay ok.
+	d2 := NewDriftMonitor(nil)
+	d2.SetReference(refs)
+	for i := 0; i < 500; i++ {
+		v := make([]float64, 5)
+		for j := range v {
+			v[j] = base()
+		}
+		v[1] += 2.5 // high-snr walked up by 2.5 decades
+		d2.Observe(v)
+	}
+	rep = d2.Report()
+	if rep.Features[1].Status != "alert" {
+		t.Fatalf("shifted feature not alerted: %+v", rep.Features[1])
+	}
+	if rep.Features[0].Status != "ok" {
+		t.Fatalf("unshifted feature misreported: %+v", rep.Features[0])
+	}
+	if rep.Status != "alert" || rep.MaxPSI < psiAlert {
+		t.Fatalf("fleet drift status: %+v", rep)
+	}
+}
+
+func TestDriftNoReference(t *testing.T) {
+	d := NewDriftMonitor(nil)
+	d.Observe([]float64{-1, -2, 0.5, -3, -4})
+	rep := d.Report()
+	if rep.Status != "no_reference" || rep.HasRef {
+		t.Fatalf("report without reference: %+v", rep)
+	}
+	if rep.Features[0].Count != 1 {
+		t.Fatalf("observation not counted: %+v", rep.Features[0])
+	}
+	w := httptest.NewRecorder()
+	d.ServeDrift(w, httptest.NewRequest("GET", "/drift", nil))
+	var out DriftReport
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatalf("/drift not JSON: %v", err)
+	}
+	var nilD *DriftMonitor
+	w = httptest.NewRecorder()
+	nilD.ServeDrift(w, httptest.NewRequest("GET", "/drift", nil))
+	if w.Result().StatusCode != 404 {
+		t.Fatalf("nil drift monitor status %d, want 404", w.Result().StatusCode)
+	}
+}
+
+func TestRecordNoAlloc(t *testing.T) {
+	r := NewRecorder(Config{Events: 32})
+	st := r.Start(1, 16000, 0, false, nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		st.Record(KindInterimVerdict, 1.5, 0)
+		st.MarkNotable(NotableEscalated)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocated %v times per run, want 0", allocs)
+	}
+}

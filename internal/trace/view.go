@@ -1,0 +1,132 @@
+package trace
+
+import "time"
+
+// EventView is the wire form of one event: the kind name, a
+// milliseconds-since-start timestamp, and kind-specific named fields.
+// Field decoding happens here, at snapshot time, so the recording path
+// stays a pair of raw floats.
+type EventView struct {
+	Event  string             `json:"event"`
+	AtMS   float64            `json:"at_ms"`
+	Fields map[string]float64 `json:"fields,omitempty"`
+}
+
+// SessionView is the wire form of a session trace for the /sessions
+// endpoints.
+type SessionView struct {
+	ID          uint64      `json:"id"`
+	Key         uint64      `json:"key"`
+	RateHz      float64     `json:"rate_hz"`
+	Shard       int         `json:"shard"`
+	Degraded    bool        `json:"degraded"`
+	State       string      `json:"state"`
+	StartUnixMS int64       `json:"start_unix_ms"`
+	DurationMS  float64     `json:"duration_ms"`
+	Notable     []string    `json:"notable,omitempty"`
+	RingFrames  int         `json:"ring_occupancy,omitempty"` // live sessions only
+	EventsTotal uint64      `json:"events_total"`
+	Events      []EventView `json:"events,omitempty"`
+}
+
+// SessionSummary is SessionView without the event bodies, for listings.
+type SessionSummary struct {
+	ID          uint64   `json:"id"`
+	Key         uint64   `json:"key"`
+	Shard       int      `json:"shard"`
+	Degraded    bool     `json:"degraded"`
+	State       string   `json:"state"`
+	DurationMS  float64  `json:"duration_ms"`
+	Notable     []string `json:"notable,omitempty"`
+	EventsTotal uint64   `json:"events_total"`
+}
+
+func stateName(s uint32) string {
+	switch s {
+	case stateLive:
+		return "live"
+	case stateDone:
+		return "done"
+	case stateAborted:
+		return "aborted"
+	case stateRejected:
+		return "rejected"
+	default:
+		return "unknown"
+	}
+}
+
+// fields decodes the A/B payload into named JSON fields per kind.
+func (e Event) fields() map[string]float64 {
+	switch e.Kind {
+	case KindAdmitted:
+		return map[string]float64{"degraded": e.A, "shard": e.B}
+	case KindRejected:
+		return map[string]float64{"reason": e.A}
+	case KindRingHighWater:
+		return map[string]float64{"occupancy_frames": e.A}
+	case KindAdvance:
+		return map[string]float64{"duration_us": e.A}
+	case KindEscalated:
+		return map[string]float64{"heat": e.A, "energy_margin_db": e.B}
+	case KindReleased:
+		return map[string]float64{"cold_frames": e.A}
+	case KindInterimVerdict, KindFinalVerdict:
+		return map[string]float64{"score": e.A, "attack": e.B}
+	case KindFinalized:
+		return map[string]float64{"verdict_latency_us": e.A}
+	default:
+		return nil
+	}
+}
+
+// View decodes the trace into its wire form, including events.
+func (st *SessionTrace) View() SessionView {
+	v := SessionView{
+		ID:          st.id,
+		Key:         st.key,
+		RateHz:      st.rate,
+		Shard:       st.shard,
+		Degraded:    st.degraded,
+		State:       stateName(st.state.Load()),
+		StartUnixMS: st.start.UnixMilli(),
+		Notable:     Notable(st.notable.Load()).Reasons(),
+		EventsTotal: st.count.Load(),
+	}
+	if st.state.Load() == stateLive {
+		v.DurationMS = float64(time.Since(st.start)) / 1e6
+		if f := st.occ.Load(); f != nil {
+			v.RingFrames = (*f)()
+		}
+	} else {
+		v.DurationMS = float64(st.endNS.Load()) / 1e6
+	}
+	evs := st.Events()
+	v.Events = make([]EventView, 0, len(evs))
+	for _, e := range evs {
+		v.Events = append(v.Events, EventView{
+			Event:  e.Kind.String(),
+			AtMS:   float64(e.At) / 1e6,
+			Fields: e.fields(),
+		})
+	}
+	return v
+}
+
+// Summary decodes the trace's listing form (no event bodies).
+func (st *SessionTrace) Summary() SessionSummary {
+	dur := float64(st.endNS.Load()) / 1e6
+	if st.state.Load() == stateLive {
+		dur = float64(time.Since(st.start)) / 1e6
+	}
+	return SessionSummary{
+		ID:          st.id,
+		Key:         st.key,
+		Shard:       st.shard,
+		Degraded:    st.degraded,
+		State:       stateName(st.state.Load()),
+		DurationMS:  dur,
+		Notable:     Notable(st.notable.Load()).Reasons(),
+		EventsTotal: st.count.Load(),
+	}
+}

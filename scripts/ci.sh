@@ -46,12 +46,32 @@ go test ./internal/stream -run 'TestCascadeCorpusParity' -count=1 -timeout 20m
 
 echo "==> fleet benchmarks (0 allocs/frame gate: see allocs/op in the output)"
 go test ./internal/fleet -run '^$' -bench 'FleetCoreFrame' -benchtime 20000x -benchmem -timeout 10m
-go test ./internal/stream -run '^$' -bench 'FleetThroughput' -benchtime 5000x -benchmem -timeout 10m
+go test ./internal/stream -run '^$' -bench 'FleetThroughput$' -benchtime 5000x -benchmem -timeout 10m
+go test ./internal/stream -run '^$' -bench 'FleetThroughputTraced' -benchtime 5000x -benchmem -timeout 10m
 go test ./internal/stream -run '^$' -bench 'CascadeFleetThroughput' -benchtime 5000x -benchmem -timeout 10m
 
 echo "==> loadgen smoke (in-process fleet server, cheap payloads, overload path)"
 go run ./cmd/loadgen -synth cheap -detector demo -sessions 4 -duration 2s -session-seconds 0.5 -quiet
 go run ./cmd/loadgen -synth cheap -detector demo -sessions 6 -max-sessions 2 -degrade -duration 2s -session-seconds 0.5 -quiet
 go run ./cmd/loadgen -synth cheap -detector demo -sessions 4 -duration 2s -cascade -duty 0.25 -quiet
+
+echo "==> introspection smoke (live guardd: burst of sessions, then guardctl check)"
+go build -o /tmp/guardd-ci ./cmd/guardd
+go build -o /tmp/guardctl-ci ./cmd/guardctl
+/tmp/guardd-ci -detector demo -listen 127.0.0.1:7698 -metrics 127.0.0.1:7699 -cascade -emit-every 25 &
+GUARDD_PID=$!
+trap 'kill "$GUARDD_PID" 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+	if curl -fsS http://127.0.0.1:7699/healthz >/dev/null 2>&1; then break; fi
+	sleep 0.2
+done
+go run ./cmd/loadgen -addr 127.0.0.1:7698 -synth cheap -sessions 4 -duration 2s -session-seconds 0.5 -quiet >/dev/null
+/tmp/guardctl-ci -base http://127.0.0.1:7699 check
+# The flight recorder must have retained the burst's sessions.
+/tmp/guardctl-ci -base http://127.0.0.1:7699 fleet | grep -q '"completed_total"'
+kill "$GUARDD_PID" 2>/dev/null || true
+wait "$GUARDD_PID" 2>/dev/null || true
+trap - EXIT
+rm -f /tmp/guardd-ci /tmp/guardctl-ci
 
 echo "CI gate passed."
