@@ -73,8 +73,9 @@ func main() {
 		cascade     = flag.Bool("cascade", false, "serve through the two-tier cascade: cheap triage always on, full analysis only around suspicious energy")
 		cascadeHot  = flag.Int("cascade-hot", 0, "hot-frame heat that engages the full analyzer (0: 3)")
 		cascadeCold = flag.Int("cascade-cold", 0, "consecutive cold frames that release it (0: 25, ~0.5s)")
-		cascadeDB   = flag.Float64("cascade-floor-db", 0, "frame-energy hot floor in dBFS (0: -55)")
+		cascadeDB   = flag.String("cascade-floor-db", "0", "frame-energy hot floor in dBFS (0: -55), or \"auto\" to tune it from the fleet's energy-margin distribution")
 		cascadePre  = flag.Int("cascade-preroll", 0, "frames replayed into the analyzer on escalation (0: 16)")
+		cascadeT05  = flag.Bool("cascade-tier05", false, "tier-0.5 coarse spectral triage: demote energy-hot frames whose in-band share still sits below the floor")
 		ringFrames  = flag.Int("ring-frames", 0, "per-session frame ring depth (0: 16)")
 		emitEvery   = flag.Int("emit-every", 0, "interim verdict every N frames (0: final only)")
 		corrCap     = flag.Float64("corr-seconds", 0, "correlation memory cap per session in seconds (0: 60)")
@@ -87,6 +88,13 @@ func main() {
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: guardd [-listen addr] [-detector kind] [-quick] < session")
 		os.Exit(2)
+	}
+
+	floorDB, floorAuto := 0.0, false
+	if *cascadeDB == "auto" {
+		floorAuto = true
+	} else if _, err := fmt.Sscanf(*cascadeDB, "%g", &floorDB); err != nil {
+		fatal("-cascade-floor-db: %q is neither a dBFS value nor \"auto\"", *cascadeDB)
 	}
 
 	det, trainVecs, err := buildDetector(*detector, *seed, *quick)
@@ -122,8 +130,10 @@ func main() {
 		Cascade:           *cascade,
 		CascadeHotFrames:  *cascadeHot,
 		CascadeColdFrames: *cascadeCold,
-		CascadeFloorDB:    *cascadeDB,
+		CascadeFloorDB:    floorDB,
 		CascadePreroll:    *cascadePre,
+		CascadeTier05:     *cascadeT05,
+		CascadeFloorAuto:  floorAuto,
 		RingFrames:        *ringFrames,
 		EmitEvery:         *emitEvery,
 		MaxCorrSeconds:    *corrCap,

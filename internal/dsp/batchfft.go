@@ -1,0 +1,190 @@
+package dsp
+
+import "math/cmplx"
+
+// BatchedRFFT transforms N same-size real columns in one pass over a
+// caller-owned scratch arena. The shard worker stages the pending
+// Welch/STFT frames of every co-resident session, then runs a single
+// Transform: the bit-reversal swap table, each stage's twiddle slice and
+// the split-twiddle unpack table are walked once per stage across all
+// columns (stage-outer, column-inner) instead of once per session, so
+// the plan tables stay in cache across the whole batch.
+//
+// Per column the floating-point operation sequence is exactly the one
+// RFFTPlan.Transform performs — only work on *other* columns is
+// interleaved between stages — so every output column is bit-identical
+// to a standalone Transform of the same input. batchfft_test.go pins
+// this for every column count.
+//
+// The arena grows to the high-water column count and is then reused;
+// steady-state staging and transforming allocate nothing. A BatchedRFFT
+// is single-goroutine (shard-owned); the plan it wraps stays shareable.
+type BatchedRFFT struct {
+	p    *RFFTPlan
+	cols int
+	done bool // Transform run since the last Reset
+
+	data []float64    // staged real columns, column c at [c*n, (c+1)*n)
+	z    []complex128 // packed half-length workspace, column c at [c*h, (c+1)*h)
+	spec []complex128 // one-sided outputs, column c at [c*(h+1), (c+1)*(h+1))
+}
+
+// NewBatchedRFFT builds an empty batch engine over an existing plan.
+func NewBatchedRFFT(p *RFFTPlan) *BatchedRFFT {
+	return &BatchedRFFT{p: p}
+}
+
+// Size returns the real input length of each column.
+func (e *BatchedRFFT) Size() int { return e.p.n }
+
+// Columns returns the number of columns staged since the last Reset.
+func (e *BatchedRFFT) Columns() int { return e.cols }
+
+// Stage reserves the next column and returns its index plus the backing
+// slice for the caller to fill (all Size() samples must be written).
+// Panics if called after Transform without an intervening Reset.
+func (e *BatchedRFFT) Stage() (int, []float64) {
+	if e.done {
+		panic("dsp: BatchedRFFT.Stage after Transform (Reset first)")
+	}
+	n := e.p.n
+	idx := e.cols
+	need := (idx + 1) * n
+	if cap(e.data) < need {
+		// Double on growth: a shard draining a ring backlog stages many
+		// columns in one round, and column-at-a-time reallocation would
+		// cost O(columns^2) bytes before the high-water mark settles.
+		newCap := 2 * cap(e.data)
+		if newCap < need {
+			newCap = need
+		}
+		grown := make([]float64, need, newCap)
+		copy(grown, e.data[:idx*n])
+		e.data = grown
+	}
+	e.data = e.data[:need]
+	e.cols = idx + 1
+	return idx, e.data[idx*n : need]
+}
+
+// StageColumn copies x into the next column and returns its index.
+// len(x) must equal Size(); mismatched columns are rejected with a
+// panic rather than silently mixing transform sizes.
+func (e *BatchedRFFT) StageColumn(x []float64) int {
+	if len(x) != e.p.n {
+		panic("dsp: BatchedRFFT.StageColumn input length mismatch")
+	}
+	idx, col := e.Stage()
+	copy(col, x)
+	return idx
+}
+
+// Transform runs the batched forward transform over every staged
+// column. A no-op when nothing is staged; panics if run twice without a
+// Reset (the staged inputs have already been consumed).
+func (e *BatchedRFFT) Transform() {
+	if e.done {
+		panic("dsp: BatchedRFFT.Transform run twice (Reset first)")
+	}
+	e.done = true
+	cols := e.cols
+	if cols == 0 {
+		return
+	}
+	n := e.p.n
+	h := n / 2
+	e.z = growComplex(e.z, cols*h)
+	e.spec = growComplex(e.spec, cols*(h+1))
+
+	hp := e.p.half
+	if hp.pad != nil || cols < 4 {
+		// Per-column plan transforms (arena-staged, bit-identical by
+		// construction) when there is no shared-stage structure to
+		// exploit: Bluestein half-length kernels have none, and below a
+		// few columns the interleave costs more in loop overhead and
+		// split working sets than the twiddle-table reuse returns — the
+		// cross-column win only pays once the plan tables are walked
+		// many times per round.
+		for c := 0; c < cols; c++ {
+			e.p.Transform(e.spec[c*(h+1):(c+1)*(h+1)], e.data[c*n:(c+1)*n], e.z[c*h:(c+1)*h])
+		}
+		return
+	}
+
+	// Pack + bit-reversal per column (cheap linear walks).
+	for c := 0; c < cols; c++ {
+		x := e.data[c*n : (c+1)*n]
+		z := e.z[c*h : (c+1)*h]
+		for j := 0; j < h; j++ {
+			z[j] = complex(x[2*j], x[2*j+1])
+		}
+		for s := 0; s < len(hp.swaps); s += 2 {
+			i, j := hp.swaps[s], hp.swaps[s+1]
+			z[i], z[j] = z[j], z[i]
+		}
+	}
+	// Butterflies stage-outer, column-inner: one twiddle slice serves
+	// the whole batch before the next stage's slice is touched. The
+	// per-column operation order matches fftPlan.radix2 exactly.
+	for size := 2; size <= h; size <<= 1 {
+		half := size >> 1
+		stage := hp.twF[half-1 : half-1+half]
+		for c := 0; c < cols; c++ {
+			zc := e.z[c*h : (c+1)*h]
+			for start := 0; start < h; start += size {
+				lo := zc[start : start+half : start+half]
+				hi := zc[start+half : start+size : start+size]
+				for k := 0; k < half; k++ {
+					a := lo[k]
+					b := hi[k] * stage[k]
+					lo[k] = a + b
+					hi[k] = a - b
+				}
+			}
+		}
+	}
+	// Unpack to one-sided spectra with the shared split-twiddle table.
+	w := e.p.rp.w
+	for c := 0; c < cols; c++ {
+		z := e.z[c*h : (c+1)*h]
+		dst := e.spec[c*(h+1) : (c+1)*(h+1)]
+		for k := 0; k <= h; k++ {
+			zk := z[k%h]
+			zc := cmplx.Conj(z[(h-k)%h])
+			even := (zk + zc) * 0.5
+			odd := (zk - zc) * 0.5
+			dst[k] = even + complex(0, -1)*w[k]*odd
+		}
+	}
+}
+
+// Spectrum returns column idx's one-sided spectrum (Size()/2+1 bins).
+// Valid after Transform and until the next Transform reuses the arena.
+func (e *BatchedRFFT) Spectrum(idx int) []complex128 {
+	if idx < 0 || idx >= e.cols {
+		panic("dsp: BatchedRFFT.Spectrum column out of range")
+	}
+	h1 := e.p.n/2 + 1
+	return e.spec[idx*h1 : (idx+1)*h1]
+}
+
+// growComplex resizes s to n entries, doubling capacity on growth so
+// rising column counts reallocate O(log) times, not once per round.
+func growComplex(s []complex128, n int) []complex128 {
+	if cap(s) < n {
+		newCap := 2 * cap(s)
+		if newCap < n {
+			newCap = n
+		}
+		s = append(make([]complex128, 0, newCap), s...)
+	}
+	return s[:n]
+}
+
+// Reset forgets the staged columns, keeping the arena capacity for the
+// next round.
+func (e *BatchedRFFT) Reset() {
+	e.cols = 0
+	e.done = false
+	e.data = e.data[:0]
+}

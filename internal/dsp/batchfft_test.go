@@ -1,0 +1,224 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// batchInput builds a deterministic pseudo-random column.
+func batchInput(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestBatchedRFFTBitIdentical pins the core contract: every column of a
+// batched transform is bit-identical to a standalone RFFTPlan.Transform
+// of the same input, for one through many columns, power-of-two and
+// Bluestein-half sizes, across reuse rounds with ragged column counts.
+func TestBatchedRFFTBitIdentical(t *testing.T) {
+	for _, n := range []int{8, 64, 4096, 16384, 12, 360} { // 12, 360: Bluestein half
+		rng := rand.New(rand.NewSource(int64(n)))
+		p := NewRFFTPlan(n)
+		e := NewBatchedRFFT(p)
+		if e.Size() != n {
+			t.Fatalf("n=%d: Size() = %d", n, e.Size())
+		}
+		scratch := make([]complex128, n/2)
+		want := make([]complex128, n/2+1)
+		// Two rounds with different column counts exercise arena reuse
+		// (round 2 is smaller: a ragged last batch over warm buffers).
+		for round, cols := range []int{5, 3} {
+			inputs := make([][]float64, cols)
+			for c := range inputs {
+				inputs[c] = batchInput(rng, n)
+				var idx int
+				if c%2 == 0 {
+					idx = e.StageColumn(inputs[c])
+				} else {
+					var col []float64
+					idx, col = e.Stage()
+					copy(col, inputs[c])
+				}
+				if idx != c {
+					t.Fatalf("n=%d round=%d: column %d staged at %d", n, round, c, idx)
+				}
+			}
+			if e.Columns() != cols {
+				t.Fatalf("n=%d round=%d: Columns() = %d, want %d", n, round, e.Columns(), cols)
+			}
+			e.Transform()
+			for c := range inputs {
+				p.Transform(want, inputs[c], scratch)
+				got := e.Spectrum(c)
+				for k := range want {
+					if math.Float64bits(real(got[k])) != math.Float64bits(real(want[k])) ||
+						math.Float64bits(imag(got[k])) != math.Float64bits(imag(want[k])) {
+						t.Fatalf("n=%d round=%d col=%d bin=%d: got %v, want %v",
+							n, round, c, k, got[k], want[k])
+					}
+				}
+			}
+			e.Reset()
+		}
+	}
+}
+
+// TestBatchedRFFTEmptyAndMisuse covers the edge contracts: an empty
+// Transform is a no-op, mismatched column lengths are rejected, and
+// staging past a Transform without Reset panics.
+func TestBatchedRFFTEmptyAndMisuse(t *testing.T) {
+	e := NewBatchedRFFT(NewRFFTPlan(64))
+	e.Transform() // zero columns: must not panic
+	e.Reset()
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("size mismatch", func() { e.StageColumn(make([]float64, 63)) })
+	e.StageColumn(make([]float64, 64))
+	e.Transform()
+	mustPanic("stage after transform", func() { e.Stage() })
+	mustPanic("double transform", func() { e.Transform() })
+	e.Reset()
+	if e.Columns() != 0 {
+		t.Fatalf("Columns() after Reset = %d", e.Columns())
+	}
+}
+
+// TestSTFTStagedParity drives the same stream through Push and
+// PushStaged+FlushStaged (round boundaries at every chunk) and pins
+// byte-identical row sequences, including all-zero frames hitting the
+// memoized zero-row path.
+func TestSTFTStagedParity(t *testing.T) {
+	const fftSize, hop = 256, 128
+	rng := rand.New(rand.NewSource(7))
+	// Bursty input: noise, exact silence, noise again.
+	stream := make([]float64, 0, 6000)
+	stream = append(stream, batchInput(rng, 2000)...)
+	stream = append(stream, make([]float64, 2100)...)
+	stream = append(stream, batchInput(rng, 1900)...)
+
+	var direct, staged [][]float64
+	a1 := NewSTFTAccumulator(fftSize, hop, func(row []float64) {
+		direct = append(direct, append([]float64(nil), row...))
+	})
+	a2 := NewSTFTAccumulator(fftSize, hop, func(row []float64) {
+		staged = append(staged, append([]float64(nil), row...))
+	})
+	eng := NewBatchedRFFT(NewRFFTPlan(fftSize))
+
+	for off := 0; off < len(stream); {
+		take := 1 + rng.Intn(700)
+		if off+take > len(stream) {
+			take = len(stream) - off
+		}
+		chunk := stream[off : off+take]
+		off += take
+		a1.Push(chunk)
+		a2.PushStaged(chunk, eng)
+		eng.Transform()
+		a2.FlushStaged(eng)
+		eng.Reset()
+	}
+	if a1.Frames() != a2.Frames() || len(direct) != len(staged) {
+		t.Fatalf("frame counts diverge: %d/%d rows %d/%d", a1.Frames(), a2.Frames(), len(direct), len(staged))
+	}
+	for r := range direct {
+		for k := range direct[r] {
+			if math.Float64bits(direct[r][k]) != math.Float64bits(staged[r][k]) {
+				t.Fatalf("row %d bin %d: direct %v staged %v", r, k, direct[r][k], staged[r][k])
+			}
+		}
+	}
+}
+
+// FuzzBatchedRFFT fuzzes column count/size handling: derived sizes
+// (power-of-two and even non-power-of-two for the Bluestein half),
+// ragged reuse rounds, single columns, and plan-size mismatch
+// rejection, always pinning bit-identity against RFFTPlan.Transform.
+func FuzzBatchedRFFT(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(2), uint8(1))
+	f.Add(int64(2), uint8(0), uint8(1), uint8(0))
+	f.Add(int64(3), uint8(7), uint8(9), uint8(4))
+	f.Fuzz(func(t *testing.T, seed int64, sizeSel, cols1, cols2 uint8) {
+		sizes := []int{4, 8, 16, 64, 256, 1024, 6, 12, 20, 360}
+		n := sizes[int(sizeSel)%len(sizes)]
+		rng := rand.New(rand.NewSource(seed))
+		p := NewRFFTPlan(n)
+		e := NewBatchedRFFT(p)
+
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("n=%d: mismatched column accepted", n)
+				}
+			}()
+			e.StageColumn(make([]float64, n+1))
+		}()
+
+		scratch := make([]complex128, n/2)
+		want := make([]complex128, n/2+1)
+		for _, cols := range []int{int(cols1)%9 + 1, int(cols2) % 9} {
+			inputs := make([][]float64, cols)
+			for c := range inputs {
+				inputs[c] = batchInput(rng, n)
+				e.StageColumn(inputs[c])
+			}
+			e.Transform()
+			for c := range inputs {
+				p.Transform(want, inputs[c], scratch)
+				got := e.Spectrum(c)
+				for k := range want {
+					if math.Float64bits(real(got[k])) != math.Float64bits(real(want[k])) ||
+						math.Float64bits(imag(got[k])) != math.Float64bits(imag(want[k])) {
+						t.Fatalf("n=%d cols=%d col=%d bin=%d: got %v want %v", n, cols, c, k, got[k], want[k])
+					}
+				}
+			}
+			e.Reset()
+		}
+	})
+}
+
+// BenchmarkBatchedRFFT4096x8 measures the batched kernel against eight
+// sequential plan transforms of the same columns.
+func BenchmarkBatchedRFFT4096x8(b *testing.B) {
+	const n, cols = 4096, 8
+	rng := rand.New(rand.NewSource(1))
+	p := NewRFFTPlan(n)
+	e := NewBatchedRFFT(p)
+	inputs := make([][]float64, cols)
+	for c := range inputs {
+		inputs[c] = batchInput(rng, n)
+	}
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, in := range inputs {
+				e.StageColumn(in)
+			}
+			e.Transform()
+			e.Reset()
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		dst := make([]complex128, n/2+1)
+		scratch := make([]complex128, n/2)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, in := range inputs {
+				p.Transform(dst, in, scratch)
+			}
+		}
+	})
+}

@@ -43,6 +43,13 @@ type StreamFIR struct {
 	out     []float64    // returned output staging, reused across calls
 	zeros   []float64    // flush padding, length delay
 	flushed bool
+
+	// liveNZ tracks whether any sample of the current window (overlap or
+	// fresh) is nonzero; an all-zero window short-circuits to the
+	// memoized zeroConv instead of two FFTs. Long silent stretches are
+	// the common case for duty-cycled sessions.
+	liveNZ   bool
+	zeroConv []float64 // kernel output of the all-zero window, length n
 }
 
 // NewStreamFIR wraps f for streaming application. blockHint is the
@@ -77,6 +84,15 @@ func NewStreamFIR(f *FIR, blockHint int) *StreamFIR {
 	padded := make([]float64, n)
 	copy(padded, f.Taps)
 	s.hspec = RFFT(padded)
+	// Memoize the kernel's output for an all-zero window (seg is all
+	// zero here) so silent segments are a copy, not two FFTs. Built
+	// eagerly so the streaming path stays allocation-free.
+	s.plan.Transform(s.spec, s.seg, s.scratch)
+	for i := range s.spec {
+		s.spec[i] *= s.hspec[i]
+	}
+	s.plan.Inverse(s.conv, s.spec, s.scratch)
+	s.zeroConv = append([]float64(nil), s.conv...)
 	return s
 }
 
@@ -101,6 +117,14 @@ func (s *StreamFIR) Push(x []float64) []float64 {
 		take := s.block - s.fill
 		if take > len(x) {
 			take = len(x)
+		}
+		if !s.liveNZ {
+			for i := take - 1; i >= 0; i-- {
+				if x[i] != 0 {
+					s.liveNZ = true
+					break
+				}
+			}
 		}
 		copy(s.seg[s.taps-1+s.fill:], x[:take])
 		s.fill += take
@@ -142,11 +166,16 @@ func (s *StreamFIR) Reset() {
 	s.skip = s.delay
 	s.out = s.out[:0]
 	s.flushed = false
+	s.liveNZ = false
 }
 
 // runSegment convolves the current window and appends the first want
 // valid outputs (want == block except for the final partial flush).
 func (s *StreamFIR) runSegment(want int) {
+	if !s.liveNZ {
+		s.runZeroSegment(want)
+		return
+	}
 	s.plan.Transform(s.spec, s.seg, s.scratch)
 	for i := range s.spec {
 		s.spec[i] *= s.hspec[i]
@@ -165,6 +194,34 @@ func (s *StreamFIR) runSegment(want int) {
 	}
 	s.out = append(s.out, v...)
 	// The last taps-1 input samples become the next segment's overlap.
+	copy(s.seg[:s.taps-1], s.seg[s.n-s.taps+1:])
+	s.fill = 0
+	// The carried overlap is the only state the next window inherits;
+	// if it is all zero the next silence-only window can fast-path.
+	s.liveNZ = false
+	for i := s.taps - 2; i >= 0; i-- {
+		if s.seg[i] != 0 {
+			s.liveNZ = true
+			break
+		}
+	}
+}
+
+// runZeroSegment emits the memoized kernel output for an all-zero
+// window. The values and the state evolution (skip accounting, overlap
+// carry) are exactly the normal path's, so interleaving fast and slow
+// segments stays bit-identical to running the kernel every time.
+func (s *StreamFIR) runZeroSegment(want int) {
+	v := s.zeroConv[s.taps-1 : s.taps-1+want]
+	if s.skip > 0 {
+		drop := s.skip
+		if drop > len(v) {
+			drop = len(v)
+		}
+		v = v[drop:]
+		s.skip -= drop
+	}
+	s.out = append(s.out, v...)
 	copy(s.seg[:s.taps-1], s.seg[s.n-s.taps+1:])
 	s.fill = 0
 }
@@ -215,8 +272,24 @@ type STFTAccumulator struct {
 	row      []float64    // one-sided power row scratch, fftSize/2+1
 	frames   int
 
+	// Zero-frame fast path: absBase is the absolute stream index of
+	// buf[0] and lastNZ the absolute index of the last nonzero sample
+	// seen (-1 if none), so "frame is entirely zero" is one compare.
+	// zeroRow is the kernel's row for the all-zero frame, computed once
+	// at construction — bit-identical to transforming the zeros.
+	absBase int
+	lastNZ  int
+	zeroRow []float64
+
+	// pending queues deferred row emissions for the staged (batched
+	// transform) path: -1 marks an all-zero frame, any other value is a
+	// BatchedRFFT column index. Rows are emitted strictly in order by
+	// FlushStaged, so folding consumers see the same sequence as Push.
+	pending []int32
+
 	// OnRow receives each completed power row (len fftSize/2+1). The
-	// slice is reused for the next frame — fold it, don't retain it.
+	// slice is reused for the next frame (or aliases the shared
+	// zero-frame row) — fold it, don't retain or mutate it.
 	OnRow func(row []float64)
 }
 
@@ -230,7 +303,7 @@ func NewSTFTAccumulator(fftSize, hop int, onRow func([]float64)) *STFTAccumulato
 		panic("dsp: STFTAccumulator hop must be in [1, fftSize]")
 	}
 	win := Hann(fftSize)
-	return &STFTAccumulator{
+	a := &STFTAccumulator{
 		fftSize: fftSize,
 		hop:     hop,
 		win:     win,
@@ -241,7 +314,28 @@ func NewSTFTAccumulator(fftSize, hop int, onRow func([]float64)) *STFTAccumulato
 		spec:    make([]complex128, fftSize/2+1),
 		scratch: make([]complex128, fftSize/2),
 		row:     make([]float64, fftSize/2+1),
+		lastNZ:  -1,
 		OnRow:   onRow,
+	}
+	// Run the real kernel once on the all-zero frame and keep its row:
+	// silent frames then emit the memoized row without an FFT, and the
+	// result is the kernel's own output bit-for-bit.
+	a.plan.Transform(a.spec, a.frame, a.scratch)
+	a.zeroRow = make([]float64, fftSize/2+1)
+	a.convertRow(a.spec, a.zeroRow)
+	return a
+}
+
+// convertRow turns a one-sided spectrum into the calibrated power row
+// with the batch STFT's exact arithmetic.
+func (a *STFTAccumulator) convertRow(spec []complex128, row []float64) {
+	for k := range row {
+		re, im := real(spec[k]), imag(spec[k])
+		p := (re*re + im*im) / a.gain
+		if k != 0 && k != a.fftSize/2 {
+			p *= 2 // one-sided spectrum: fold negative frequencies in
+		}
+		row[k] = p
 	}
 }
 
@@ -252,36 +346,114 @@ func (a *STFTAccumulator) Push(x []float64) {
 		if take > len(x) {
 			take = len(x)
 		}
+		a.noteNonzero(x[:take])
 		copy(a.buf[a.buffered:], x[:take])
 		a.buffered += take
 		x = x[take:]
 		if a.buffered == a.fftSize {
 			a.emitRow()
-			copy(a.buf, a.buf[a.hop:])
-			a.buffered -= a.hop
+			a.slide()
 		}
 	}
 }
 
-// emitRow computes the calibrated one-sided power row of the current full
-// frame with the batch STFT's exact arithmetic.
-func (a *STFTAccumulator) emitRow() {
-	for i := 0; i < a.fftSize; i++ {
-		a.frame[i] = a.buf[i] * a.win[i]
+// PushStaged advances the accumulator like Push but defers each
+// completed frame's FFT to a shard-owned batched engine: the windowed
+// frame is staged as one engine column and the row emission is queued.
+// After eng.Transform(), FlushStaged emits the queued rows in order.
+// Interleaving Push and PushStaged is allowed at any granularity as
+// long as queued rows are flushed before the next direct emission.
+func (a *STFTAccumulator) PushStaged(x []float64, eng *BatchedRFFT) {
+	if eng.Size() != a.fftSize {
+		panic("dsp: STFTAccumulator.PushStaged engine size mismatch")
 	}
-	a.plan.Transform(a.spec, a.frame, a.scratch)
-	for k := range a.row {
-		re, im := real(a.spec[k]), imag(a.spec[k])
-		p := (re*re + im*im) / a.gain
-		if k != 0 && k != a.fftSize/2 {
-			p *= 2 // one-sided spectrum: fold negative frequencies in
+	for len(x) > 0 {
+		take := a.fftSize - a.buffered
+		if take > len(x) {
+			take = len(x)
 		}
-		a.row[k] = p
+		a.noteNonzero(x[:take])
+		copy(a.buf[a.buffered:], x[:take])
+		a.buffered += take
+		x = x[take:]
+		if a.buffered == a.fftSize {
+			a.stageRow(eng)
+			a.slide()
+		}
+	}
+}
+
+// FlushStaged emits every row queued by PushStaged, strictly in queue
+// order, converting the engine's transformed spectra with emitRow's
+// exact arithmetic. Call after eng.Transform() and before the engine's
+// arena is reused. No-op when nothing is queued.
+func (a *STFTAccumulator) FlushStaged(eng *BatchedRFFT) {
+	for _, idx := range a.pending {
+		row := a.row
+		if idx < 0 {
+			row = a.zeroRow
+		} else {
+			a.convertRow(eng.Spectrum(int(idx)), a.row)
+		}
+		a.frames++
+		if a.OnRow != nil {
+			a.OnRow(row)
+		}
+	}
+	a.pending = a.pending[:0]
+}
+
+// noteNonzero records the last nonzero sample of a chunk about to be
+// appended at buf[buffered]. Scans backwards: for live audio the last
+// sample is almost always nonzero, so this is O(1) per chunk.
+func (a *STFTAccumulator) noteNonzero(x []float64) {
+	for i := len(x) - 1; i >= 0; i-- {
+		if x[i] != 0 {
+			a.lastNZ = a.absBase + a.buffered + i
+			return
+		}
+	}
+}
+
+// slide advances the frame window by one hop.
+func (a *STFTAccumulator) slide() {
+	copy(a.buf, a.buf[a.hop:])
+	a.buffered -= a.hop
+	a.absBase += a.hop
+}
+
+// emitRow computes the calibrated one-sided power row of the current full
+// frame with the batch STFT's exact arithmetic. All-zero frames reuse
+// the memoized zero row (same bits, no FFT).
+func (a *STFTAccumulator) emitRow() {
+	row := a.row
+	if a.lastNZ < a.absBase {
+		row = a.zeroRow
+	} else {
+		for i := 0; i < a.fftSize; i++ {
+			a.frame[i] = a.buf[i] * a.win[i]
+		}
+		a.plan.Transform(a.spec, a.frame, a.scratch)
+		a.convertRow(a.spec, a.row)
 	}
 	a.frames++
 	if a.OnRow != nil {
-		a.OnRow(a.row)
+		a.OnRow(row)
 	}
+}
+
+// stageRow queues the current full frame: all-zero frames queue the
+// memoized row marker, others stage a windowed column on the engine.
+func (a *STFTAccumulator) stageRow(eng *BatchedRFFT) {
+	if a.lastNZ < a.absBase {
+		a.pending = append(a.pending, -1)
+		return
+	}
+	idx, col := eng.Stage()
+	for i := 0; i < a.fftSize; i++ {
+		col[i] = a.buf[i] * a.win[i]
+	}
+	a.pending = append(a.pending, int32(idx))
 }
 
 // Frames returns the number of completed frames.
@@ -295,6 +467,9 @@ func (a *STFTAccumulator) Pending() []float64 { return a.buf[:a.buffered] }
 func (a *STFTAccumulator) Reset() {
 	a.buffered = 0
 	a.frames = 0
+	a.absBase = 0
+	a.lastNZ = -1
+	a.pending = a.pending[:0]
 }
 
 // WelchAccumulator estimates a one-sided power spectral density
@@ -322,6 +497,14 @@ func NewWelchAccumulator(fftSize int) *WelchAccumulator {
 
 // Push appends samples to the stream. It does not allocate.
 func (w *WelchAccumulator) Push(x []float64) { w.stft.Push(x) }
+
+// PushStaged is Push with the frame FFTs deferred to a shard-owned
+// batched engine; see STFTAccumulator.PushStaged.
+func (w *WelchAccumulator) PushStaged(x []float64, eng *BatchedRFFT) { w.stft.PushStaged(x, eng) }
+
+// FlushStaged folds the queued rows from the engine's transformed
+// spectra, in order. PSD and Frames reflect only flushed rows.
+func (w *WelchAccumulator) FlushStaged(eng *BatchedRFFT) { w.stft.FlushStaged(eng) }
 
 // Frames returns the number of completed Welch frames.
 func (w *WelchAccumulator) Frames() int { return w.stft.Frames() }

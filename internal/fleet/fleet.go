@@ -93,7 +93,44 @@ type BatchProc interface {
 	Stage(frame []float64) bool
 	// Advance runs the deferred analysis over all frames staged since
 	// the previous Advance/Finalize and may return one event, or nil.
+	// Because a shard round can span several emission boundaries, an
+	// Advance with more than one pending event returns them wrapped in
+	// an Events bundle; the shard delivers the parts in order.
 	Advance() interface{}
+}
+
+// Events is an ordered bundle of events returned from a single
+// BatchProc.Advance covering multiple emission boundaries. The shard
+// unwraps it and delivers each part as if it had been emitted by a
+// consecutive Push call.
+type Events []interface{}
+
+// RoundBatcher is shard-owned cross-session scratch for one batch
+// round. The fleet stays processing-agnostic: it only sequences the
+// protocol — Collect on every staged ColumnBatcher, one Run, the
+// per-session Advances, then Reset — while the concrete type (built by
+// Config.NewRoundBatcher) is shared state only the procs understand.
+type RoundBatcher interface {
+	// Run executes all collected cross-session work in one pass.
+	Run()
+	// Reset clears collected state for the next round, keeping capacity.
+	Reset()
+}
+
+// ColumnBatcher is an optional BatchProc extension for processors that
+// can hand their deferred per-session transform columns to a
+// shard-level RoundBatcher: phase 2 of the round first Collects the
+// pending columns of every staged session, Runs the batcher once (one
+// cross-session batched pass with hot tables), then completes each
+// session's Advance from the precomputed results.
+type ColumnBatcher interface {
+	BatchProc
+	// Collect stages this round's deferred columns on the shard batcher
+	// and reports whether anything was staged. A proc may decline (e.g.
+	// when a pending emission needs exact per-boundary segmentation);
+	// Advance must therefore work both after a Collect — consuming the
+	// batcher's results — and without one (the per-session fallback).
+	Collect(rb RoundBatcher) bool
 }
 
 // Errors surfaced by admission and the data path.
@@ -140,6 +177,12 @@ type Config struct {
 	// NewProc builds a session processor. Required. Called on the shard
 	// worker, so construction cost does not block admission.
 	NewProc func(rate float64, degraded bool) Proc
+	// NewRoundBatcher builds the shard-level cross-session batch scratch
+	// handed to ColumnBatcher procs. Called lazily, on the shard worker,
+	// when the first ColumnBatcher session attaches (one batcher per
+	// shard). nil disables column batching: ColumnBatcher procs then
+	// advance per session like plain BatchProcs.
+	NewRoundBatcher func() RoundBatcher
 	// Metrics instruments the fleet; nil builds unregistered instruments
 	// (always safe to record into).
 	Metrics *Metrics
@@ -168,10 +211,20 @@ type Metrics struct {
 	AdvanceLatencyUS *telemetry.Histogram // fleet_batch_advance_latency_us
 	VerdictLatencyUS *telemetry.Histogram // fleet_verdict_latency_us
 	RingOccupancy    *telemetry.Histogram // fleet_ring_occupancy_frames
+	BatchRoundSize   *telemetry.Histogram // fleet_batch_round_sessions
 }
 
 // frameLatencyBuckets spans 1 µs .. ~8 s geometrically.
 func frameLatencyBuckets() []float64 { return telemetry.ExpBuckets(1, 2, 23) }
+
+// advanceLatencyBuckets spans 1 µs .. ~2 min geometrically: a batch
+// round amortises up to frameBudget frames across many sessions, so its
+// per-session share can sit well above single-frame latencies without
+// saturating the top bucket.
+func advanceLatencyBuckets() []float64 { return telemetry.ExpBuckets(1, 2, 27) }
+
+// batchRoundBuckets spans 1 .. 256 sessions per round.
+func batchRoundBuckets() []float64 { return telemetry.ExpBuckets(1, 2, 9) }
 
 // newUnregisteredMetrics builds instruments not tied to a registry.
 func newUnregisteredMetrics() *Metrics {
@@ -187,9 +240,10 @@ func newUnregisteredMetrics() *Metrics {
 		ActiveFull:       &telemetry.Gauge{},
 		ActiveDegraded:   &telemetry.Gauge{},
 		FrameLatencyUS:   telemetry.NewHistogram(frameLatencyBuckets()),
-		AdvanceLatencyUS: telemetry.NewHistogram(frameLatencyBuckets()),
+		AdvanceLatencyUS: telemetry.NewHistogram(advanceLatencyBuckets()),
 		VerdictLatencyUS: telemetry.NewHistogram(frameLatencyBuckets()),
 		RingOccupancy:    telemetry.NewHistogram(telemetry.ExpBuckets(1, 2, 10)),
+		BatchRoundSize:   telemetry.NewHistogram(batchRoundBuckets()),
 	}
 }
 
@@ -208,9 +262,10 @@ func NewMetrics(r *telemetry.Registry) *Metrics {
 		ActiveFull:       r.NewGauge("fleet_active_sessions", "full-service sessions in flight"),
 		ActiveDegraded:   r.NewGauge("fleet_active_degraded_sessions", "degraded sessions in flight"),
 		FrameLatencyUS:   r.NewHistogram("fleet_frame_latency_us", "per-frame processing latency (microseconds)", frameLatencyBuckets()),
-		AdvanceLatencyUS: r.NewHistogram("fleet_batch_advance_latency_us", "per-session batched analysis (BatchProc.Advance) latency (microseconds)", frameLatencyBuckets()),
+		AdvanceLatencyUS: r.NewHistogram("fleet_batch_advance_latency_us", "per-session share of the shard batch round (round duration / sessions advanced, microseconds)", advanceLatencyBuckets()),
 		VerdictLatencyUS: r.NewHistogram("fleet_verdict_latency_us", "close-to-final-verdict latency (microseconds)", frameLatencyBuckets()),
 		RingOccupancy:    r.NewHistogram("fleet_ring_occupancy_frames", "frame-ring occupancy at publish (frames)", telemetry.ExpBuckets(1, 2, 10)),
+		BatchRoundSize:   r.NewHistogram("fleet_batch_round_sessions", "sessions advanced per shard batch round", batchRoundBuckets()),
 	}
 }
 

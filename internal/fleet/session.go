@@ -45,9 +45,12 @@ type Session struct {
 
 	// attach-time state, owner: shard worker. batch is proc's BatchProc
 	// view when it has one (nil otherwise): those sessions take the
-	// two-phase stage/advance path in the shard round.
-	proc  Proc
-	batch BatchProc
+	// two-phase stage/advance path in the shard round. colBatch is the
+	// further ColumnBatcher view for procs that opt into the shard-level
+	// cross-session column batch.
+	proc     Proc
+	batch    BatchProc
+	colBatch ColumnBatcher
 
 	// trace is the session's flight record (nil when the fleet has no
 	// recorder). Written by the admitting goroutine before handoff, then

@@ -60,6 +60,11 @@ type shard struct {
 	// the heavy DSP for co-resident sessions shares hot FFT plans and
 	// caches. Worker-private scratch, reused across rounds.
 	staged []*Session
+	// batcher is the shard-level cross-session scratch for ColumnBatcher
+	// procs, built lazily from Config.NewRoundBatcher when the first
+	// such session attaches. Phase 2 then interposes one Collect/Run
+	// pass before the Advances. Worker-private.
+	batcher RoundBatcher
 }
 
 func newShard(id int, fl *Fleet) *shard {
@@ -118,17 +123,52 @@ func (sh *shard) run(wg *sync.WaitGroup) {
 		// late aborts are skipped (finish will Reset the proc).
 		if len(sh.staged) > 0 {
 			batchStart := time.Now()
+			// Phase 2a: collect every opted-in session's pending FFT
+			// columns and run them as one shard-level batched transform
+			// pass — the per-session Advances below then complete from
+			// precomputed spectra instead of transforming one at a time.
+			if sh.batcher != nil {
+				collected := false
+				for _, s := range sh.staged {
+					if s.colBatch != nil && !s.aborted.Load() && s.colBatch.Collect(sh.batcher) {
+						collected = true
+					}
+				}
+				if collected {
+					sh.batcher.Run()
+				}
+			}
 			advanced := 0
 			for i, s := range sh.staged {
 				sh.staged[i] = nil
-				if !s.aborted.Load() {
-					sh.advance(s)
-					advanced++
+				if s.aborted.Load() {
+					continue
 				}
+				sh.advance(s)
+				sh.staged[advanced] = s
+				advanced++
+			}
+			roundDur := time.Since(batchStart)
+			if advanced > 0 {
+				// Attribute each participant its share of the round —
+				// the batched pass works for all of them at once, so
+				// charging any one session the whole round would
+				// misreport per-session cost by the batch factor.
+				share := roundDur / time.Duration(advanced)
+				shareUS := float64(share.Microseconds())
+				for i := 0; i < advanced; i++ {
+					sh.fl.m.AdvanceLatencyUS.Observe(shareUS)
+					sh.staged[i].trace.RecordAdvance(share, advanced)
+					sh.staged[i] = nil
+				}
+				sh.fl.m.BatchRoundSize.Observe(float64(advanced))
 			}
 			sh.staged = sh.staged[:0]
+			if sh.batcher != nil {
+				sh.batcher.Reset()
+			}
 			sh.lastBatch.Store(int32(advanced))
-			sh.lastAdvanceUS.Store(time.Since(batchStart).Microseconds())
+			sh.lastAdvanceUS.Store(roundDur.Microseconds())
 		}
 		if progress {
 			sh.rounds.Add(1)
@@ -187,6 +227,10 @@ func (sh *shard) attach(s *Session) {
 		panic(fmt.Sprintf("fleet: Proc frame %d disagrees with FrameFor %d at rate %g", got, s.frame, s.rate))
 	}
 	s.batch, _ = s.proc.(BatchProc)
+	s.colBatch, _ = s.proc.(ColumnBatcher)
+	if s.colBatch != nil && sh.batcher == nil && sh.fl.cfg.NewRoundBatcher != nil {
+		sh.batcher = sh.fl.cfg.NewRoundBatcher()
+	}
 	// Hand the processor the session's flight record (or clear a stale
 	// one on a recycled processor) before the first frame is served.
 	if ta, ok := s.proc.(TraceAware); ok {
@@ -223,9 +267,21 @@ func (sh *shard) serveSome(s *Session) (worked, staged, finished bool) {
 		}
 		if sl.n == closeMark {
 			s.ring.pop()
-			// For a BatchProc, Finalize flushes any frames staged this
-			// round before producing the final event (its contract), so
-			// the close path is mode-agnostic.
+			// Frames staged earlier in this same round may owe interim
+			// emissions; surface them through a pending Advance before
+			// Finalize so the event sequence matches the per-Push path
+			// (Finalize still flushes whatever remains, so the close
+			// path stays mode-agnostic for procs without staged work).
+			if s.batch != nil && staged {
+				advStart := time.Now()
+				ev := s.batch.Advance()
+				advDur := time.Since(advStart)
+				m.AdvanceLatencyUS.Observe(float64(advDur.Microseconds()))
+				s.trace.RecordAdvance(advDur, 1) // a round of one
+				if ev != nil {
+					sh.deliver(s, ev)
+				}
+			}
 			ev := s.proc.Finalize()
 			if !s.closedAt.IsZero() {
 				lat := time.Since(s.closedAt)
@@ -253,35 +309,40 @@ func (sh *shard) serveSome(s *Session) (worked, staged, finished bool) {
 		sh.frames.Add(1)
 		worked = true
 		if ev != nil {
-			// The worker is the only sender, so len can only shrink under
-			// us: a cell observed free stays free. Keeping one cell in
-			// reserve guarantees the final event always has room.
-			if len(s.events) < cap(s.events)-1 {
-				s.events <- ev
-			} else {
-				m.InterimDrops.Inc()
-			}
+			sh.deliver(s, ev)
 		}
 	}
 	return worked, staged, false
 }
 
-// advance runs one staged session's deferred analysis (phase 2). At
-// most one event per round per session can surface here, so the
-// reserved-final-cell guarantee is identical to the Push path's.
+// advance runs one staged session's deferred analysis (phase 2).
+// Timing and trace attribution happen at the round level: the batched
+// transform pass works for every participant at once, so per-session
+// cost is the round's share, not this call's wall time.
 func (sh *shard) advance(s *Session) {
-	m := sh.fl.m
-	start := time.Now()
-	ev := s.batch.Advance()
-	dur := time.Since(start)
-	m.AdvanceLatencyUS.Observe(float64(dur.Microseconds()))
-	s.trace.RecordAdvance(dur)
-	if ev != nil {
-		if len(s.events) < cap(s.events)-1 {
-			s.events <- ev
-		} else {
-			m.InterimDrops.Inc()
+	if ev := s.batch.Advance(); ev != nil {
+		sh.deliver(s, ev)
+	}
+}
+
+// deliver sends a proc-emitted event to the session's channel,
+// unwrapping an Events bundle into its ordered parts. The worker is the
+// only sender, so len can only shrink under us: a cell observed free
+// stays free. Keeping one cell in reserve guarantees the final event
+// always has room; interim events beyond that are dropped and counted.
+func (sh *shard) deliver(s *Session, ev interface{}) {
+	if bundle, ok := ev.(Events); ok {
+		for _, e := range bundle {
+			if e != nil {
+				sh.deliver(s, e)
+			}
 		}
+		return
+	}
+	if len(s.events) < cap(s.events)-1 {
+		s.events <- ev
+	} else {
+		sh.fl.m.InterimDrops.Inc()
 	}
 }
 
@@ -299,6 +360,7 @@ func (sh *shard) finish(s *Session, aborted bool) {
 		}
 		s.proc = nil
 		s.batch = nil
+		s.colBatch = nil
 	}
 	if aborted {
 		sh.fl.m.Aborted.Inc()

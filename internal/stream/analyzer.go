@@ -216,6 +216,42 @@ func (a *Analyzer) Push(x []float64) {
 	}
 }
 
+// PushStaged is the column-batched twin of Push: the Welch and STFT
+// accumulators stage their FFT columns into ce instead of transforming
+// inline, and the accumulation completes in CompleteStaged after the
+// shard has run one batched transform per size across every session.
+// The FIR correlation chains still run inline — vb -> Hilbert ->
+// envelope is a sequential data dependency (each filter's input is the
+// previous one's output within the same chunk), so their segments can
+// never be known ahead of the batched pass. PushStaged(x, ce) followed
+// by ce.Run() and CompleteStaged(ce) is bit-identical to Push(x).
+func (a *Analyzer) PushStaged(x []float64, ce *ColumnEngines) {
+	if a.finalized {
+		panic("stream: Analyzer.PushStaged after Finalize (Reset first)")
+	}
+	for _, v := range x {
+		a.energy += v * v
+	}
+	a.total += len(x)
+	a.welch.PushStaged(x, ce.Engine(defense.ExtractFFTSize))
+	a.stft.PushStaged(x, ce.Engine(defense.FrameFFTSize))
+	if !a.corrDone {
+		a.foldLow(a.lowFIR.Push(x))
+		a.pushEnvChain(a.vbFIR.Push(x))
+		if len(a.lowD) >= a.corrCap && len(a.envD) >= a.corrCap {
+			a.corrDone = true
+		}
+	}
+}
+
+// CompleteStaged folds the spectra computed by the batched pass into
+// the accumulators, finishing every PushStaged since the last
+// CompleteStaged. ce must be the same engine set, already Run.
+func (a *Analyzer) CompleteStaged(ce *ColumnEngines) {
+	a.welch.FlushStaged(ce.Engine(defense.ExtractFFTSize))
+	a.stft.FlushStaged(ce.Engine(defense.FrameFFTSize))
+}
+
 // foldLow decimates freshly-available trace-band samples into lowD.
 func (a *Analyzer) foldLow(y []float64) {
 	for _, v := range y {

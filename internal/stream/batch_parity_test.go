@@ -1,0 +1,292 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"inaudible/internal/audio"
+)
+
+// verdictKey serializes every wire-visible field of a verdict except
+// the timing-dependent latency block — the byte-parity unit for the
+// batched-path comparisons. %v on float64 prints the shortest string
+// that round-trips, so two keys match iff the floats are bit-identical
+// (modulo -0 vs +0, which the DSP never produces).
+func verdictKey(v Verdict) string {
+	s := fmt.Sprintf("attack=%v score=%v feat=%v final=%v samples=%d dur=%v vad=%v af=%v tb=%v",
+		v.Attack, v.Score, v.Features, v.Final, v.Samples, v.Duration,
+		v.SpeechActive, v.ActiveFraction, v.TraceBandPower)
+	if v.Cascade != nil {
+		s += fmt.Sprintf(" cascade=%+v", *v.Cascade)
+	}
+	return s
+}
+
+// burstySignal splices attack, legit, and silence segments so cascade
+// sessions engage and release mid-stream at rng-chosen offsets.
+func burstySignal(rate float64, rng *rand.Rand) *audio.Signal {
+	out := &audio.Signal{Rate: rate}
+	segs := 3 + rng.Intn(3)
+	for i := 0; i < segs; i++ {
+		var seg *audio.Signal
+		switch rng.Intn(3) {
+		case 0:
+			seg = attackLike(rate, 0.3+0.3*rng.Float64(), rng.Int63())
+		case 1:
+			seg = legitLike(rate, 0.3+0.3*rng.Float64(), rng.Int63())
+		default:
+			seg = silence(rate, 0.2+0.3*rng.Float64())
+		}
+		out.Samples = append(out.Samples, seg.Samples...)
+	}
+	return out
+}
+
+// frameSchedule is one trial's deterministic replay plan: per-session
+// frame slices plus per-round stage counts, so every serving mode
+// observes the identical interleaving.
+type frameSchedule struct {
+	frames [][][]float64 // [session][frame] -> samples
+	rounds [][]int       // [round][session] -> frames staged that round
+}
+
+func makeSchedule(rng *rand.Rand, sigs []*audio.Signal, frame int) frameSchedule {
+	var sc frameSchedule
+	for _, sig := range sigs {
+		var fs [][]float64
+		for off := 0; off < len(sig.Samples); off += frame {
+			end := off + frame
+			if end > len(sig.Samples) {
+				end = len(sig.Samples)
+			}
+			fs = append(fs, sig.Samples[off:end])
+		}
+		sc.frames = append(sc.frames, fs)
+	}
+	next := make([]int, len(sigs))
+	for {
+		row := make([]int, len(sigs))
+		any, progress := false, false
+		for s := range sigs {
+			rem := len(sc.frames[s]) - next[s]
+			if rem > 0 {
+				any = true
+			}
+			k := rng.Intn(4)
+			if k > rem {
+				k = rem
+			}
+			row[s] = k
+			next[s] += k
+			if k > 0 {
+				progress = true
+			}
+		}
+		if !any {
+			break
+		}
+		if !progress {
+			// Force progress so the schedule terminates: stage one frame
+			// from the first session with audio remaining.
+			for s := range sigs {
+				if next[s] < len(sc.frames[s]) {
+					row[s], next[s] = 1, next[s]+1
+					break
+				}
+			}
+		}
+		sc.rounds = append(sc.rounds, row)
+	}
+	return sc
+}
+
+// TestColumnBatchParity drives the same frame schedules through the
+// three serving shapes — chained Push, per-session Stage+Advance
+// rounds, and column-batched rounds sharing one ColumnEngines per the
+// fleet protocol (Collect every session, one Run, then Advance each) —
+// across randomized engage/release interleavings of 2-8 co-resident
+// sessions. Plain-Guard verdict lines must be byte-identical across
+// all three modes; cascade lines are byte-identical between the two
+// round modes, with finals pinned across all three (round mode folds
+// multiple chained-mode emit boundaries into one interim, a PR 6
+// semantic this test inherits).
+func TestColumnBatchParity(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+	rng := rand.New(rand.NewSource(0x5eed8))
+
+	for trial, emitEvery := range []int{0, 10, 0, 25} {
+		n := 2 + rng.Intn(7)
+		sigs := make([]*audio.Signal, n)
+		for i := range sigs {
+			sigs[i] = burstySignal(rate, rng)
+		}
+		gcfg := GuardConfig{Rate: rate, Detector: det, EmitEvery: emitEvery}
+		frame := NewGuard(gcfg).FrameSamples()
+		sc := makeSchedule(rng, sigs, frame)
+
+		// --- plain guards ---
+		chained := make([][]string, n)
+		for s := 0; s < n; s++ {
+			g := NewGuard(gcfg)
+			for _, f := range sc.frames[s] {
+				if v := g.Push(f); v != nil {
+					chained[s] = append(chained[s], verdictKey(*v))
+				}
+			}
+			fin := g.Finalize()
+			chained[s] = append(chained[s], verdictKey(fin))
+		}
+		runRounds := func(batched bool) [][]string {
+			out := make([][]string, n)
+			guards := make([]*Guard, n)
+			for s := range guards {
+				guards[s] = NewGuard(gcfg)
+			}
+			ce := NewColumnEngines()
+			next := make([]int, n)
+			staged := make([]bool, n)
+			for _, row := range sc.rounds {
+				for s, k := range row {
+					staged[s] = false
+					for j := 0; j < k; j++ {
+						if guards[s].Stage(sc.frames[s][next[s]]) {
+							staged[s] = true
+						}
+						next[s]++
+					}
+				}
+				if batched {
+					any := false
+					for s := range guards {
+						if staged[s] && guards[s].CollectColumns(ce) {
+							any = true
+						}
+					}
+					if any {
+						ce.Run()
+					}
+				}
+				for s := range guards {
+					if staged[s] {
+						for _, v := range guards[s].Advance() {
+							out[s] = append(out[s], verdictKey(*v))
+						}
+					}
+				}
+				ce.Reset()
+			}
+			for s := range guards {
+				out[s] = append(out[s], verdictKey(guards[s].Finalize()))
+			}
+			return out
+		}
+		rounds, columns := runRounds(false), runRounds(true)
+		for s := 0; s < n; s++ {
+			if got, want := fmt.Sprint(rounds[s]), fmt.Sprint(chained[s]); got != want {
+				t.Fatalf("trial %d session %d: Stage+Advance diverged from chained Push:\n  rounds  %s\n  chained %s", trial, s, got, want)
+			}
+			if got, want := fmt.Sprint(columns[s]), fmt.Sprint(chained[s]); got != want {
+				t.Fatalf("trial %d session %d: column-batched diverged from chained Push:\n  columns %s\n  chained %s", trial, s, got, want)
+			}
+		}
+
+		// --- cascade guards over the same schedule ---
+		ccfg := CascadeConfig{Guard: gcfg}
+		cChained := make([]string, n)
+		for s := 0; s < n; s++ {
+			c := NewCascadeGuard(ccfg)
+			for _, f := range sc.frames[s] {
+				c.Push(f)
+			}
+			cChained[s] = verdictKey(c.Finalize())
+		}
+		runCascade := func(batched bool) (lines [][]string, finals []string) {
+			lines, finals = make([][]string, n), make([]string, n)
+			guards := make([]*CascadeGuard, n)
+			for s := range guards {
+				guards[s] = NewCascadeGuard(ccfg)
+			}
+			ce := NewColumnEngines()
+			next := make([]int, n)
+			staged := make([]bool, n)
+			for _, row := range sc.rounds {
+				for s, k := range row {
+					staged[s] = false
+					for j := 0; j < k; j++ {
+						if guards[s].Stage(sc.frames[s][next[s]]) {
+							staged[s] = true
+						}
+						next[s]++
+					}
+				}
+				if batched {
+					any := false
+					for s := range guards {
+						if staged[s] && guards[s].CollectColumns(ce) {
+							any = true
+						}
+					}
+					if any {
+						ce.Run()
+					}
+				}
+				for s := range guards {
+					if staged[s] {
+						if v := guards[s].Advance(); v != nil {
+							lines[s] = append(lines[s], verdictKey(*v))
+						}
+					}
+				}
+				ce.Reset()
+			}
+			for s := range guards {
+				fin := verdictKey(guards[s].Finalize())
+				lines[s] = append(lines[s], fin)
+				finals[s] = fin
+			}
+			return lines, finals
+		}
+		cRounds, cRoundFinals := runCascade(false)
+		cColumns, cColumnFinals := runCascade(true)
+		for s := 0; s < n; s++ {
+			if got, want := fmt.Sprint(cColumns[s]), fmt.Sprint(cRounds[s]); got != want {
+				t.Fatalf("trial %d session %d: column-batched cascade diverged from Stage+Advance:\n  columns %s\n  rounds  %s", trial, s, got, want)
+			}
+			if cRoundFinals[s] != cChained[s] {
+				t.Fatalf("trial %d session %d: cascade round final diverged from chained:\n  round   %s\n  chained %s", trial, s, cRoundFinals[s], cChained[s])
+			}
+			if cColumnFinals[s] != cChained[s] {
+				t.Fatalf("trial %d session %d: cascade column final diverged from chained:\n  columns %s\n  chained %s", trial, s, cColumnFinals[s], cChained[s])
+			}
+		}
+	}
+}
+
+// TestBatchedPathZeroAllocs gates the steady-state column-batched
+// analysis cycle (PushStaged, Run, CompleteStaged, Reset) at zero
+// allocations per frame, the same budget the inline Push path holds.
+// The warmup drives past the correlation cap and the stat-frame cap so
+// every lazily-grown buffer has reached steady state.
+func TestBatchedPathZeroAllocs(t *testing.T) {
+	a := NewAnalyzer(AnalyzerConfig{Rate: 48000, MaxCorrSeconds: 1, MaxStatSeconds: 3})
+	ce := NewColumnEngines()
+	chunk := make([]float64, 960)
+	for i := range chunk {
+		chunk[i] = 0.1 * math.Sin(2*math.Pi*440*float64(i)/48000)
+	}
+	cycle := func() {
+		a.PushStaged(chunk, ce)
+		ce.Run()
+		a.CompleteStaged(ce)
+		ce.Reset()
+	}
+	for i := 0; i < 300; i++ { // 6 s of audio
+		cycle()
+	}
+	if n := testing.AllocsPerRun(100, cycle); n != 0 {
+		t.Fatalf("batched path allocates %.1f per frame in steady state, want 0", n)
+	}
+}

@@ -47,6 +47,9 @@ type CascadeInfo struct {
 	Tier1Frames int
 	// Escalations counts tier-0→tier-1 transitions this session.
 	Escalations int
+	// Tier05Vetoes counts energy-hot frames the tier-0.5 coarse
+	// spectral triage demoted back to cold (zero unless Tier05 is on).
+	Tier05Vetoes int
 }
 
 // CascadeMetrics is the cascade instrument set, shared by every cascade
@@ -59,6 +62,7 @@ type CascadeMetrics struct {
 	Deescalations  *telemetry.Counter   // fleet_cascade_deescalations_total
 	Tier0Frames    *telemetry.Counter   // fleet_cascade_tier0_frames_total
 	Tier1Frames    *telemetry.Counter   // fleet_cascade_tier1_frames_total
+	Tier05Vetoes   *telemetry.Counter   // fleet_cascade_tier05_vetoes_total
 	EnergyMarginDB *telemetry.Histogram // fleet_cascade_energy_margin_db
 }
 
@@ -81,6 +85,7 @@ func newUnregisteredCascadeMetrics() *CascadeMetrics {
 		Deescalations:  &telemetry.Counter{},
 		Tier0Frames:    &telemetry.Counter{},
 		Tier1Frames:    &telemetry.Counter{},
+		Tier05Vetoes:   &telemetry.Counter{},
 		EnergyMarginDB: telemetry.NewHistogram(cascadeMarginBuckets()),
 	}
 }
@@ -94,6 +99,7 @@ func NewCascadeMetrics(r *telemetry.Registry) *CascadeMetrics {
 		Deescalations:  r.NewCounter("fleet_cascade_deescalations_total", "tier-1 to tier-0 releases after the cold hysteresis"),
 		Tier0Frames:    r.NewCounter("fleet_cascade_tier0_frames_total", "frames served by the triage tier only"),
 		Tier1Frames:    r.NewCounter("fleet_cascade_tier1_frames_total", "frames routed to the full analyzer"),
+		Tier05Vetoes:   r.NewCounter("fleet_cascade_tier05_vetoes_total", "energy-hot frames demoted to cold by the tier-0.5 coarse spectral triage"),
 		EnergyMarginDB: r.NewHistogram("fleet_cascade_energy_margin_db", "frame energy margin over the hot floor (dB)", cascadeMarginBuckets()),
 	}
 }
@@ -121,6 +127,21 @@ type CascadeConfig struct {
 	// Metrics instruments the cascade; nil builds unregistered
 	// instruments (always safe to record into).
 	Metrics *CascadeMetrics
+	// Tier05 enables the tier-0.5 coarse spectral triage: a hot frame
+	// in the cold tier (tier 1 not yet engaged) gets a short FFT over
+	// its mean-removed 4x-decimated samples, and is demoted back to
+	// cold when the in-band (trace + voice) share of its AC energy
+	// still sits below the hot floor. The only energy the check ever
+	// discounts is the frame mean — DC offset and sub-trace infrasound,
+	// which carry no feature information but leak into all three tier-0
+	// hot signals at the 20 ms frame scale. Zero-mean audio (all real
+	// speech and attack content) keeps its full energy in-band, so the
+	// veto can suppress offset/rumble escalations but never hides
+	// in-band energy above the floor (fail-open by construction).
+	Tier05 bool
+	// Floor supplies a dynamically tuned hot floor; nil pins the floor
+	// at HotFloorDB for the whole session.
+	Floor *FloorController
 }
 
 // CascadeGuard is a Guard with the two-tier cascade in front of the
@@ -158,10 +179,27 @@ type CascadeGuard struct {
 	prCount int
 	staging []float64 // frames owed to the analyzer at the next Advance
 
+	// ce is the shard column-engine set the staged audio was collected
+	// into; non-nil between CollectColumns and the Advance that
+	// completes the accumulation from the batched spectra.
+	ce *ColumnEngines
+
+	// Tier-0.5 coarse-triage state (nil/empty unless cfg.Tier05): a
+	// small dedicated RFFT plan over the zero-padded 4x-decimated
+	// frame, plus the analysis-band bin ranges at the decimated rate.
+	t05plan        *dsp.RFFTPlan
+	t05buf         []float64
+	t05spec, t05sc []complex128
+	t05k0t, t05k1t int
+	t05k0v, t05k1v int
+
 	info    CascadeInfo
 	emitDue bool
 	done    bool
 }
+
+// tier05Dec is the tier-0.5 decimation factor.
+const tier05Dec = 4
 
 // NewCascadeGuard builds a cascade session.
 func NewCascadeGuard(cfg CascadeConfig) *CascadeGuard {
@@ -203,7 +241,7 @@ func NewCascadeGuard(cfg CascadeConfig) *CascadeGuard {
 	for i := range pr {
 		pr[i] = make([]float64, 0, cfg.Guard.FrameSamples)
 	}
-	return &CascadeGuard{
+	c := &CascadeGuard{
 		cfg:     cfg,
 		m:       m,
 		an:      NewAnalyzer(AnalyzerConfig{Rate: cfg.Guard.Rate, MaxCorrSeconds: cfg.Guard.MaxCorrSeconds}),
@@ -212,6 +250,27 @@ func NewCascadeGuard(cfg CascadeConfig) *CascadeGuard {
 		pr:      pr,
 		staging: make([]float64, 0, (cfg.PrerollFrames+40)*cfg.Guard.FrameSamples),
 	}
+	if cfg.Tier05 {
+		decRate := cfg.Guard.Rate / tier05Dec
+		decLen := (cfg.Guard.FrameSamples + tier05Dec - 1) / tier05Dec
+		n := 64
+		for n < decLen {
+			n <<= 1
+		}
+		c.t05plan = dsp.NewRFFTPlan(n)
+		c.t05buf = make([]float64, n)
+		c.t05spec = make([]complex128, n/2+1)
+		c.t05sc = make([]complex128, n/2)
+		c.t05k0t = dsp.FrequencyBin(b.TraceLo, n, decRate)
+		c.t05k1t = dsp.FrequencyBin(b.TraceHi, n, decRate)
+		c.t05k0v = dsp.FrequencyBin(b.VoiceLo, n, decRate)
+		hiv := b.VoiceHi
+		if hiv > decRate/2 {
+			hiv = decRate / 2
+		}
+		c.t05k1v = dsp.FrequencyBin(hiv, n, decRate)
+	}
+	return c
 }
 
 // FrameSamples returns the processing hop in samples.
@@ -293,14 +352,66 @@ func (c *CascadeGuard) Stage(x []float64) bool {
 	return len(c.staging) > 0 || c.emitDue
 }
 
+// CollectColumns stages any audio owed to the analyzer into the
+// shard-level column engines instead of transforming it inline: the
+// FIR correlation chains run now, the Welch/STFT columns wait for the
+// shard's one batched FFT pass. It reports whether the session joined
+// the batch; the matching Advance (after ce.Run) completes the
+// accumulation from the precomputed spectra. Calling Advance without
+// an intervening CollectColumns keeps the inline path — the result is
+// bit-identical either way.
+func (c *CascadeGuard) CollectColumns(ce *ColumnEngines) bool {
+	if c.done || len(c.staging) == 0 {
+		return false
+	}
+	start := time.Now()
+	// Cache-sized blocks: the analyzer's FIR chains run inline here, and
+	// a backlog round's staging buffer is far bigger than cache — see
+	// feedCacheFrames.
+	step := feedCacheFrames * c.cfg.Guard.FrameSamples
+	for off := 0; off < len(c.staging); off += step {
+		end := off + step
+		if end > len(c.staging) {
+			end = len(c.staging)
+		}
+		c.an.PushStaged(c.staging[off:end], ce)
+	}
+	c.staging = c.staging[:0]
+	elapsed := time.Since(start)
+	c.lat.Total += elapsed
+	if elapsed > c.lat.MaxPush {
+		c.lat.MaxPush = elapsed
+	}
+	c.ce = ce
+	return true
+}
+
 // Advance feeds everything staged since the last Advance to the
 // analyzer — the deferred heavy half of the frame work, batched by the
 // shard across its sessions — and returns the interim verdict that came
-// due during staging, if any.
+// due during staging, if any. When CollectColumns ran first, the
+// staged audio is already in the column engines and Advance only folds
+// the batched spectra back in.
 func (c *CascadeGuard) Advance() *Verdict {
-	if len(c.staging) > 0 {
+	if c.ce != nil {
 		start := time.Now()
-		c.an.Push(c.staging)
+		c.an.CompleteStaged(c.ce)
+		c.ce = nil
+		elapsed := time.Since(start)
+		c.lat.Total += elapsed
+		if elapsed > c.lat.MaxPush {
+			c.lat.MaxPush = elapsed
+		}
+	} else if len(c.staging) > 0 {
+		start := time.Now()
+		step := feedCacheFrames * c.cfg.Guard.FrameSamples
+		for off := 0; off < len(c.staging); off += step {
+			end := off + step
+			if end > len(c.staging) {
+				end = len(c.staging)
+			}
+			c.an.Push(c.staging[off:end])
+		}
 		c.staging = c.staging[:0]
 		elapsed := time.Since(start)
 		c.lat.Total += elapsed
@@ -329,6 +440,9 @@ func (c *CascadeGuard) Push(x []float64) *Verdict {
 // fed pure silence. After Finalize, Stage panics until Reset.
 func (c *CascadeGuard) Finalize() Verdict {
 	if !c.done {
+		if c.ce != nil {
+			panic("stream: CascadeGuard.Finalize with an uncompleted column batch (Advance first)")
+		}
 		start := time.Now()
 		if len(c.staging) > 0 {
 			c.an.Push(c.staging)
@@ -365,6 +479,7 @@ func (c *CascadeGuard) Reset() {
 	}
 	c.prHead, c.prCount = 0, 0
 	c.staging = c.staging[:0]
+	c.ce = nil
 	c.info = CascadeInfo{}
 	c.emitDue = false
 	c.done = false
@@ -373,29 +488,102 @@ func (c *CascadeGuard) Reset() {
 // classify judges one frame hot (suspicious energy) or cold: mean
 // square energy at or above the floor, trace-band power at or above the
 // floor, or an active VAD. The energy margin is recorded for the
-// fleet_cascade_energy_margin_db histogram.
+// fleet_cascade_energy_margin_db histogram. With Tier05 enabled, a
+// frame hot solely by raw energy (the weakest signal) gets the coarse
+// spectral second look before it may charge the escalation heat.
 func (c *CascadeGuard) classify(x []float64) bool {
 	if len(x) == 0 {
 		return false
+	}
+	floor := c.cfg.HotFloorDB
+	if c.cfg.Floor != nil {
+		floor = c.cfg.Floor.FloorDB()
 	}
 	var sumSq float64
 	for _, v := range x {
 		sumSq += v * v
 	}
 	msq := sumSq / float64(len(x))
-	hot := false
+	energyHot := false
 	if msq > 0 {
 		edb := 10 * math.Log10(msq)
-		c.lastMargin = edb - c.cfg.HotFloorDB
+		c.lastMargin = edb - floor
 		c.m.EnergyMarginDB.Observe(c.lastMargin)
-		hot = edb >= c.cfg.HotFloorDB
+		energyHot = edb >= floor
 	}
-	if !hot {
-		if tb := c.tracker.RollingTotal(); tb > 0 && 10*math.Log10(tb) >= c.cfg.HotFloorDB {
-			hot = true
+	otherHot := c.vad.Active()
+	if !otherHot {
+		if tb := c.tracker.RollingTotal(); tb > 0 && 10*math.Log10(tb) >= floor {
+			otherHot = true
 		}
 	}
-	return hot || c.vad.Active()
+	hot := energyHot || otherHot
+	// Tier-0.5 gates escalation only — it never runs while engaged
+	// (the release hysteresis keeps its own timing). It may overrule
+	// any of the three tier-0 hot signals, because at the 20 ms frame
+	// scale all three are loudness measures a frame mean contaminates:
+	// the energy floor integrates the offset directly, the VAD is a
+	// broadband peak-relative RMS gate, and the trace-band Goertzel
+	// probes sit at fractional cycles per frame, passing DC almost
+	// unattenuated. The veto's evidence — in-band AC power below the
+	// floor — is exactly the quantity each of those gates was meant to
+	// approximate, so demoting on it corrects their shared leakage
+	// failure mode without hiding any zero-mean (real audio) energy.
+	if hot && !c.engaged && c.t05plan != nil && c.tier05Veto(x, msq, floor) {
+		c.info.Tier05Vetoes++
+		c.m.Tier05Vetoes.Inc()
+		hot = false
+	}
+	return hot
+}
+
+// tier05Veto is the tier-0.5 coarse triage: a short FFT over the
+// mean-removed, zero-padded 4x-decimated frame estimates what fraction
+// of the frame's AC energy sits in the analysis bands (trace 16-60 Hz
+// plus the voice band), and the frame is demoted when that in-band
+// power still sits below the hot floor.
+//
+// The frame mean is removed before staging and excluded from the
+// estimate: at 20 ms frame scale, mic DC offset and sub-trace
+// infrasound (<16 Hz handling noise, wind, HVAC rumble) are
+// indistinguishable from a constant, carry no feature information, and
+// would otherwise smear across every bin through the zero-pad step.
+// The mean is also the ONLY energy ever discounted — all AC power
+// lands in bins the analysis bands cover (naive decimation only ever
+// aliases out-of-Nyquist energy INTO those bins), so for zero-mean
+// audio inBand ≈ msq and a frame above the floor can never be vetoed:
+// the triage is fail-open.
+func (c *CascadeGuard) tier05Veto(x []float64, msq, floor float64) bool {
+	var sum float64
+	for _, v := range x {
+		sum += v
+	}
+	mean := sum / float64(len(x))
+	acVar := msq - mean*mean
+	if acVar < 0 {
+		acVar = 0 // float cancellation on a pure-offset frame
+	}
+	buf := c.t05buf
+	for i := range buf {
+		buf[i] = 0
+	}
+	for i, n := 0, 0; i < len(x) && n < len(buf); i, n = i+tier05Dec, n+1 {
+		buf[n] = x[i] - mean
+	}
+	c.t05plan.Transform(c.t05spec, buf, c.t05sc)
+	var tot, band float64
+	for k, z := range c.t05spec {
+		p := real(z)*real(z) + imag(z)*imag(z)
+		tot += p
+		if k > 0 && ((k >= c.t05k0t && k <= c.t05k1t) || (k >= c.t05k0v && k <= c.t05k1v)) {
+			band += p
+		}
+	}
+	inBand := acVar
+	if tot > 0 {
+		inBand = acVar * (band / tot)
+	}
+	return 10*math.Log10(inBand+1e-30) < floor
 }
 
 // pushPreroll banks a raw frame in the preroll ring (copy; the caller
@@ -495,6 +683,17 @@ func (p *cascadeProc) Push(frame []float64) interface{} {
 
 func (p *cascadeProc) Stage(frame []float64) bool { return p.g.Stage(frame) }
 
+// Collect opts the session into the shard-level column batch when the
+// round batcher is the stream package's ColumnEngines (fleet keeps the
+// batcher type opaque, so other batchers are simply declined).
+func (p *cascadeProc) Collect(rb fleet.RoundBatcher) bool {
+	ce, ok := rb.(*ColumnEngines)
+	if !ok {
+		return false
+	}
+	return p.g.CollectColumns(ce)
+}
+
 func (p *cascadeProc) Advance() interface{} {
 	if v := p.g.Advance(); v != nil {
 		p.g.tr.RecordVerdict(false, finiteOr(v.Score, -1e308), v.Attack)
@@ -514,4 +713,7 @@ func (p *cascadeProc) Finalize() interface{} {
 
 func (p *cascadeProc) Reset() { p.g.Reset() }
 
-var _ fleet.BatchProc = (*cascadeProc)(nil)
+var (
+	_ fleet.BatchProc     = (*cascadeProc)(nil)
+	_ fleet.ColumnBatcher = (*cascadeProc)(nil)
+)

@@ -8,11 +8,15 @@ import (
 	"inaudible/internal/stream"
 )
 
-// TestCascadeCorpusParity is the PR's false-negative budget gate: over
-// the E9-E13 style simulated corpus (quick grid), the cascade must not
+// TestCascadeCorpusParity is the false-negative budget gate: over the
+// E9-E13 style simulated corpus (quick grid), the cascade must not
 // miss any attack the always-on Guard catches — zero added false
-// negatives. Added false positives are reported but not gated (they are
-// a cost knob, not a security hole).
+// negatives. Added false positives are reported but not gated (they
+// are a cost knob, not a security hole). The tier05 subtest holds the
+// tier-0.5 decimated coarse triage (PR 8) to the same zero-FN budget:
+// the aliasing of its naive decimator folds out-of-band energy INTO
+// the analysis bands, so the veto is fail-open by construction, and
+// this gate pins that on real corpus audio.
 //
 // This test lives in an external package because building the corpus
 // pulls in internal/core, which reaches back into stream via the sim
@@ -30,30 +34,43 @@ func TestCascadeCorpusParity(t *testing.T) {
 	if err != nil {
 		t.Fatalf("building attack corpus: %v", err)
 	}
+	recs := append(legit, attacks...)
 	det := stream.TestDetectorForParity(t)
 
-	var addedFN, addedFP, checked int
-	for _, rec := range append(legit, attacks...) {
-		rate := rec.Signal.Rate
-		want := stream.GuardFinalForParity(det, rate, rec.Signal)
-		got := stream.CascadeFinalForParity(det, rate, rec.Signal, stream.CascadeConfig{})
-		checked++
-		if want.Attack && !got.Attack {
-			addedFN++
-			t.Errorf("added false negative on %s (guard score %+.3f, cascade score %+.3f, cascade %+v)",
-				rec.Label, want.Score, got.Score, *got.Cascade)
-		}
-		if !want.Attack && got.Attack {
-			addedFP++
-			t.Logf("added false positive on %s (guard score %+.3f, cascade score %+.3f)",
-				rec.Label, want.Score, got.Score)
-		}
-	}
-	if checked == 0 {
-		t.Fatalf("empty corpus")
-	}
-	t.Logf("corpus parity over %d recordings: %d added FN (budget 0), %d added FP", checked, addedFN, addedFP)
-	if addedFN != 0 {
-		t.Fatalf("cascade added %d false negatives over %d recordings; budget is zero", addedFN, checked)
+	for _, tc := range []struct {
+		name string
+		cfg  stream.CascadeConfig
+	}{
+		{"base", stream.CascadeConfig{}},
+		{"tier05", stream.CascadeConfig{Tier05: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var addedFN, addedFP, checked, vetoes int
+			for _, rec := range recs {
+				rate := rec.Signal.Rate
+				want := stream.GuardFinalForParity(det, rate, rec.Signal)
+				got := stream.CascadeFinalForParity(det, rate, rec.Signal, tc.cfg)
+				checked++
+				vetoes += got.Cascade.Tier05Vetoes
+				if want.Attack && !got.Attack {
+					addedFN++
+					t.Errorf("added false negative on %s (guard score %+.3f, cascade score %+.3f, cascade %+v)",
+						rec.Label, want.Score, got.Score, *got.Cascade)
+				}
+				if !want.Attack && got.Attack {
+					addedFP++
+					t.Logf("added false positive on %s (guard score %+.3f, cascade score %+.3f)",
+						rec.Label, want.Score, got.Score)
+				}
+			}
+			if checked == 0 {
+				t.Fatalf("empty corpus")
+			}
+			t.Logf("corpus parity over %d recordings: %d added FN (budget 0), %d added FP, %d tier-0.5 vetoes",
+				checked, addedFN, addedFP, vetoes)
+			if addedFN != 0 {
+				t.Fatalf("cascade added %d false negatives over %d recordings; budget is zero", addedFN, checked)
+			}
+		})
 	}
 }

@@ -3,6 +3,7 @@ package stream
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"testing"
 
 	"inaudible/internal/audio"
@@ -419,5 +420,60 @@ func TestCascadeFleetParity(t *testing.T) {
 		if gotInfo != wantInfo {
 			t.Errorf("session %d: fleet cascade counters %s, standalone %s", i, gotInfo, wantInfo)
 		}
+	}
+}
+
+// TestCascadeTier05VetoesRumble pins the tier-0.5 coarse triage from
+// both sides. An infrasonic offset wander (2 Hz at -40 dBFS — mic bias
+// drift, handling pressure) crosses the -55 dB hot floor on most
+// frames and leaks into the VAD and the trace-band probes, yet its
+// within-frame AC power sits below the floor: with Tier05 on it must
+// be demoted frame by frame and never escalate, while the same stream
+// without Tier05 escalates on the leaked loudness — the
+// false-escalation cost the triage removes. A voice-band tone must
+// never be vetoed, and an attack burst must escalate identically with
+// the triage on.
+func TestCascadeTier05VetoesRumble(t *testing.T) {
+	const rate = 48000.0
+	det := testDetector(t)
+
+	rumble := &audio.Signal{Rate: rate, Samples: make([]float64, int(rate)*2)}
+	for i := range rumble.Samples {
+		rumble.Samples[i] = 0.01 * math.Sin(2*math.Pi*2*float64(i)/rate)
+	}
+
+	hot := cascadeFinal(det, rate, rumble, CascadeConfig{})
+	if hot.Cascade.Escalations == 0 {
+		t.Fatalf("control: rumble did not escalate without tier-0.5 (test signal too cold): %+v", *hot.Cascade)
+	}
+	cold := cascadeFinal(det, rate, rumble, CascadeConfig{Tier05: true})
+	if cold.Cascade.Tier05Vetoes == 0 {
+		t.Fatalf("tier-0.5 never vetoed an offset/rumble frame: %+v", *cold.Cascade)
+	}
+	if cold.Cascade.Escalations != 0 || cold.Cascade.Tier1Frames != 0 {
+		t.Fatalf("band-free rumble still escalated with tier-0.5 on: %+v", *cold.Cascade)
+	}
+
+	tone := &audio.Signal{Rate: rate, Samples: make([]float64, int(rate)*2)}
+	for i := range tone.Samples {
+		tone.Samples[i] = 0.27 * math.Sin(2*math.Pi*440*float64(i)/rate)
+	}
+	tv := cascadeFinal(det, rate, tone, CascadeConfig{Tier05: true})
+	if tv.Cascade.Tier05Vetoes != 0 {
+		t.Fatalf("tier-0.5 vetoed voice-band frames: %+v", *tv.Cascade)
+	}
+	if tv.Cascade.Escalations == 0 {
+		t.Fatalf("voice-band tone did not escalate with tier-0.5 on: %+v", *tv.Cascade)
+	}
+
+	atk := attackLike(rate, 1.5, 82)
+	base := cascadeFinal(det, rate, atk, CascadeConfig{})
+	with := cascadeFinal(det, rate, atk, CascadeConfig{Tier05: true})
+	if with.Attack != base.Attack || with.Features != base.Features {
+		t.Fatalf("tier-0.5 changed an attack verdict:\n  with    %+v\n  without %+v", with.Features, base.Features)
+	}
+	if with.Cascade.Escalations != base.Cascade.Escalations {
+		t.Fatalf("tier-0.5 changed attack escalation count: with=%d without=%d",
+			with.Cascade.Escalations, base.Cascade.Escalations)
 	}
 }

@@ -1,0 +1,58 @@
+package stream
+
+import (
+	"inaudible/internal/dsp"
+	"inaudible/internal/fleet"
+)
+
+// ColumnEngines is the shard-level FFT column batcher: one
+// dsp.BatchedRFFT per transform size, shared by every co-resident
+// session of a shard round. Sessions stage their pending Welch/STFT
+// columns into the engines during the collect half of the round, the
+// shard runs one Transform per size over all columns at once (keeping
+// each plan's twiddle/bit-reversal/window tables hot across sessions),
+// and each session then completes its analysis from the precomputed
+// spectra. A ColumnEngines is single-goroutine state owned by one
+// shard worker; it implements fleet.RoundBatcher.
+type ColumnEngines struct {
+	engines []*dsp.BatchedRFFT
+}
+
+// NewColumnEngines builds an empty engine set. Engines are created on
+// first demand per size; the streaming analyzer uses exactly two
+// (defense.ExtractFFTSize and defense.FrameFFTSize), so the linear
+// scan in Engine is effectively free.
+func NewColumnEngines() *ColumnEngines {
+	return &ColumnEngines{}
+}
+
+// Engine returns the batched engine for transform size n, creating it
+// (and its plan) on first use.
+func (ce *ColumnEngines) Engine(n int) *dsp.BatchedRFFT {
+	for _, e := range ce.engines {
+		if e.Size() == n {
+			return e
+		}
+	}
+	e := dsp.NewBatchedRFFT(dsp.NewRFFTPlan(n))
+	ce.engines = append(ce.engines, e)
+	return e
+}
+
+// Run transforms every staged column of every engine in one batched
+// pass per size (fleet.RoundBatcher).
+func (ce *ColumnEngines) Run() {
+	for _, e := range ce.engines {
+		e.Transform()
+	}
+}
+
+// Reset recycles the engines' arenas for the next round
+// (fleet.RoundBatcher).
+func (ce *ColumnEngines) Reset() {
+	for _, e := range ce.engines {
+		e.Reset()
+	}
+}
+
+var _ fleet.RoundBatcher = (*ColumnEngines)(nil)

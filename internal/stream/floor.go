@@ -1,0 +1,171 @@
+package stream
+
+import (
+	"math"
+	"sync/atomic"
+
+	"inaudible/internal/telemetry"
+)
+
+// FloorController auto-tunes the cascade hot floor from the observed
+// frame-energy margin distribution (the fleet_cascade_energy_margin_db
+// histogram every cascade session records into). The controller chases
+// a setpoint where the fleet's median frame sits HeadroomDB below the
+// floor — typical ambience stays in tier 0, while anything unusually
+// energetic still clears the floor and escalates. Each Retune looks
+// only at the margins observed since the previous Retune (an interval
+// delta over the histogram's cumulative buckets, so stale margins
+// recorded against long-gone floor values cannot steer the loop),
+// moves the floor at most StepDB, and clamps it to [MinDB, MaxDB] so a
+// pathological interval can neither blind the cascade nor force it
+// permanently hot. FloorDB is a single atomic load, safe to call from
+// every shard worker on every frame; Retune is single-caller (the
+// server's tuner goroutine).
+type FloorController struct {
+	cfg  FloorControllerConfig
+	bits atomic.Uint64 // float64 bits of the current floor
+	prev []uint64      // margin bucket counts at the last Retune
+}
+
+// FloorControllerConfig wires a floor controller.
+type FloorControllerConfig struct {
+	// InitialDB is the starting floor (dBFS, negative); 0 selects -55.
+	InitialDB float64
+	// MinDB and MaxDB clamp the tuned floor; 0 selects -70 and -40.
+	MinDB, MaxDB float64
+	// StepDB bounds the per-Retune movement; <= 0 selects 1 dB. With
+	// the server's retune cadence this is the slew-rate limit.
+	StepDB float64
+	// HeadroomDB is the target distance of the median frame below the
+	// floor; <= 0 selects 6 dB.
+	HeadroomDB float64
+	// MinSamples is the minimum number of margin observations an
+	// interval needs before it may move the floor; <= 0 selects 200.
+	MinSamples uint64
+	// Margins is the shared margin histogram the cascades record into
+	// (required).
+	Margins *telemetry.Histogram
+	// Gauge, when non-nil, exports the current floor
+	// (fleet_cascade_floor_db).
+	Gauge *telemetry.FloatGauge
+}
+
+// NewFloorController builds a controller pinned at InitialDB until the
+// first effective Retune.
+func NewFloorController(cfg FloorControllerConfig) *FloorController {
+	if cfg.Margins == nil {
+		panic("stream: FloorControllerConfig.Margins is required")
+	}
+	if cfg.InitialDB == 0 {
+		cfg.InitialDB = -55
+	}
+	if cfg.MinDB == 0 {
+		cfg.MinDB = -70
+	}
+	if cfg.MaxDB == 0 {
+		cfg.MaxDB = -40
+	}
+	if cfg.StepDB <= 0 {
+		cfg.StepDB = 1
+	}
+	if cfg.HeadroomDB <= 0 {
+		cfg.HeadroomDB = 6
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 200
+	}
+	fc := &FloorController{cfg: cfg}
+	d := cfg.Margins.Dump()
+	fc.prev = make([]uint64, len(d.Counts))
+	copy(fc.prev, d.Counts)
+	fc.set(cfg.InitialDB)
+	return fc
+}
+
+// FloorDB returns the current hot floor (dBFS).
+func (fc *FloorController) FloorDB() float64 {
+	return math.Float64frombits(fc.bits.Load())
+}
+
+func (fc *FloorController) set(v float64) {
+	if v < fc.cfg.MinDB {
+		v = fc.cfg.MinDB
+	}
+	if v > fc.cfg.MaxDB {
+		v = fc.cfg.MaxDB
+	}
+	fc.bits.Store(math.Float64bits(v))
+	if fc.cfg.Gauge != nil {
+		fc.cfg.Gauge.Set(v)
+	}
+}
+
+// Retune inspects the margins observed since the last Retune and moves
+// the floor toward the headroom setpoint, rate-limited to StepDB and
+// clamped to [MinDB, MaxDB]. Intervals with fewer than MinSamples
+// observations leave the floor untouched. It returns the floor now in
+// effect.
+func (fc *FloorController) Retune() float64 {
+	d := fc.cfg.Margins.Dump()
+	if len(fc.prev) != len(d.Counts) {
+		fc.prev = make([]uint64, len(d.Counts))
+	}
+	delta := make([]uint64, len(d.Counts))
+	var n uint64
+	for i, c := range d.Counts {
+		delta[i] = c - fc.prev[i]
+		n += delta[i]
+	}
+	copy(fc.prev, d.Counts)
+	if n < fc.cfg.MinSamples {
+		return fc.FloorDB()
+	}
+	// p50 of the interval's margins, by the same covering-bucket
+	// interpolation Histogram.Quantile uses (signed bounds: the first
+	// bucket interpolates up from the histogram's observed minimum).
+	p50 := intervalQuantile(d.Bounds, delta, n, 0.5, d.Min)
+	// The margin is energy minus the floor in effect when it was
+	// observed; the setpoint puts the median HeadroomDB below the
+	// floor, i.e. p50 == -HeadroomDB. A hotter-than-target median
+	// raises the floor by the (rate-limited) error, a colder one
+	// lowers it.
+	err := p50 + fc.cfg.HeadroomDB
+	if err > fc.cfg.StepDB {
+		err = fc.cfg.StepDB
+	}
+	if err < -fc.cfg.StepDB {
+		err = -fc.cfg.StepDB
+	}
+	fc.set(fc.FloorDB() + err)
+	return fc.FloorDB()
+}
+
+// intervalQuantile interpolates the q-quantile of one interval's
+// per-bucket counts (len(bounds)+1 entries, the last the +Inf overflow
+// bucket). obsMin anchors the lower edge of the first bucket when the
+// bounds are signed.
+func intervalQuantile(bounds []float64, counts []uint64, total uint64, q, obsMin float64) float64 {
+	rank := q * float64(total)
+	var cum float64
+	for i := range counts {
+		c := float64(counts[i])
+		if cum+c >= rank && c > 0 {
+			if i == len(bounds) {
+				return bounds[len(bounds)-1]
+			}
+			var lo float64
+			switch {
+			case i > 0:
+				lo = bounds[i-1]
+			case bounds[0] > 0:
+				lo = 0
+			default:
+				lo = obsMin
+			}
+			hi := bounds[i]
+			return lo + (hi-lo)*(rank-cum)/c
+		}
+		cum += c
+	}
+	return bounds[len(bounds)-1]
+}

@@ -1,0 +1,71 @@
+package stream
+
+import (
+	"testing"
+
+	"inaudible/internal/telemetry"
+)
+
+// TestFloorControllerRetune pins the auto-floor control loop: the
+// setpoint chase direction, the per-Retune slew limit, the MinSamples
+// gate, the interval-delta isolation (old margins cannot steer later
+// retunes), the clamp range, and the gauge export.
+func TestFloorControllerRetune(t *testing.T) {
+	h := telemetry.NewHistogram(cascadeMarginBuckets())
+	g := &telemetry.FloatGauge{}
+	fc := NewFloorController(FloorControllerConfig{
+		InitialDB: -55, MinDB: -58, MaxDB: -52,
+		StepDB: 1, HeadroomDB: 6, MinSamples: 200,
+		Margins: h, Gauge: g,
+	})
+	if got := fc.FloorDB(); got != -55 {
+		t.Fatalf("initial floor = %v, want -55", got)
+	}
+	if got := g.Value(); got != -55 {
+		t.Fatalf("gauge not primed: %v", got)
+	}
+
+	// Below MinSamples: the interval must not move the floor.
+	for i := 0; i < 100; i++ {
+		h.Observe(-2)
+	}
+	if got := fc.Retune(); got != -55 {
+		t.Fatalf("floor moved on a %d-sample interval: %v", 100, got)
+	}
+
+	// Hot interval (median margin -2 dB, target -6): the error is +4 dB
+	// but the slew limit caps the move at +1 dB per Retune. The 100
+	// stale observations above join this interval (they were never
+	// consumed), which only reinforces the hot median.
+	for i := 0; i < 300; i++ {
+		h.Observe(-2)
+	}
+	if got := fc.Retune(); got != -54 {
+		t.Fatalf("hot interval: floor = %v, want -54 (slew-limited +1)", got)
+	}
+
+	// Cold interval (median -20): errors are clamped to -1 dB per
+	// Retune; the hot samples from the previous interval are consumed
+	// and must not steer this one.
+	for i := 0; i < 300; i++ {
+		h.Observe(-20)
+	}
+	if got := fc.Retune(); got != -55 {
+		t.Fatalf("cold interval: floor = %v, want -55", got)
+	}
+
+	// Sustained cold intervals walk the floor down 1 dB at a time until
+	// the MinDB clamp holds it.
+	for r := 0; r < 6; r++ {
+		for i := 0; i < 300; i++ {
+			h.Observe(-20)
+		}
+		fc.Retune()
+	}
+	if got := fc.FloorDB(); got != -58 {
+		t.Fatalf("clamp: floor = %v, want MinDB -58", got)
+	}
+	if got := g.Value(); got != -58 {
+		t.Fatalf("gauge out of sync: %v", got)
+	}
+}

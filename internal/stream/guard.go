@@ -112,14 +112,32 @@ func (v Verdict) String() string {
 // events with per-frame latency statistics. A Guard is single-session
 // state — one per connection/stream — while the Detector behind it is
 // shared. Use Reset to reuse a guard (and its buffers) across sessions.
+//
+// Like CascadeGuard, the work is split for the fleet's two-phase batch
+// loop: Stage banks the chunk and the emission bookkeeping, Advance
+// runs the deferred DSP (optionally from spectra precomputed by the
+// shard's column batch, via CollectColumns). Push chains both for
+// standalone use and is bit-identical to the pre-split behavior.
 type Guard struct {
 	cfg     GuardConfig
 	an      *Analyzer
 	vad     *voice.StreamVAD
 	tracker *dsp.BandTracker
 	lat     LatencyStats
+	samples int
 	frames  int
-	done    bool
+
+	// Deferred-work state: audio owed to the DSP chains, the staging
+	// offsets at which an interim verdict came due (each Stage records
+	// at most one, at its chunk end, preserving Push's one-verdict-per-
+	// call contract), and the column-engine set holding staged spectra
+	// between CollectColumns and Advance.
+	staging []float64
+	emits   []int
+	ce      *ColumnEngines
+	vout    []*Verdict // reused Advance result buffer
+
+	done bool
 }
 
 // NewGuard builds a streaming guard session.
@@ -146,32 +164,37 @@ func NewGuard(cfg GuardConfig) *Guard {
 		an:      NewAnalyzer(AnalyzerConfig{Rate: cfg.Rate, MaxCorrSeconds: cfg.MaxCorrSeconds}),
 		vad:     voice.NewStreamVAD(cfg.Rate, cfg.VADThreshDB),
 		tracker: dsp.NewBandTracker(cfg.Rate, probes, cfg.FrameSamples, 0.2),
+		staging: make([]float64, 0, 40*cfg.FrameSamples),
+		emits:   make([]int, 0, 8),
+		vout:    make([]*Verdict, 0, 8),
 	}
 }
 
 // FrameSamples returns the processing hop in samples.
 func (g *Guard) FrameSamples() int { return g.cfg.FrameSamples }
 
-// Samples returns the number of samples consumed so far.
-func (g *Guard) Samples() int { return g.an.Samples() }
+// Samples returns the number of samples consumed so far (including
+// audio staged but not yet advanced).
+func (g *Guard) Samples() int { return g.samples }
 
 // Latency returns the processing-time statistics so far.
 func (g *Guard) Latency() LatencyStats { return g.lat }
 
-// Push feeds the next chunk of session audio (any size; the nominal
-// frame is FrameSamples). It returns a non-nil interim Verdict when the
-// session crossed an EmitEvery frame boundary, else nil. The hop path
-// allocates nothing after warm-up.
-func (g *Guard) Push(x []float64) *Verdict {
+// Stage banks the next chunk of session audio and the interim-verdict
+// bookkeeping; no heavy DSP runs here. The return value reports
+// whether an Advance is owed, matching fleet.BatchProc's contract.
+func (g *Guard) Stage(x []float64) bool {
 	if g.done {
-		panic("stream: Guard.Push after Finalize (Reset first)")
+		panic("stream: Guard.Stage after Finalize (Reset first)")
 	}
 	start := time.Now()
-	g.an.Push(x)
-	g.vad.Push(x)
-	g.tracker.Push(x)
+	g.staging = append(g.staging, x...)
 	framesBefore := g.frames
-	g.frames = g.an.Samples() / g.cfg.FrameSamples
+	g.samples += len(x)
+	g.frames = g.samples / g.cfg.FrameSamples
+	if g.cfg.EmitEvery > 0 && g.frames/g.cfg.EmitEvery > framesBefore/g.cfg.EmitEvery {
+		g.emits = append(g.emits, len(g.staging))
+	}
 	elapsed := time.Since(start)
 	g.lat.Pushes++
 	g.lat.Total += elapsed
@@ -179,19 +202,131 @@ func (g *Guard) Push(x []float64) *Verdict {
 	if elapsed > g.lat.MaxPush {
 		g.lat.MaxPush = elapsed
 	}
-	if g.cfg.EmitEvery > 0 && g.frames/g.cfg.EmitEvery > framesBefore/g.cfg.EmitEvery {
-		v := g.verdict(false)
-		return &v
-	}
-	return nil
+	return len(g.staging) > 0 || len(g.emits) > 0
 }
 
-// Finalize flushes the analyzer and returns the end-of-session verdict
-// (the one with full batch-extractor parity). After Finalize, Push
-// panics until Reset.
+// feedCacheFrames bounds how much staged audio each DSP pass consumes
+// at a time. A shard draining a backlog can stage hundreds of frames
+// in one round; streaming the whole round through the analyzer, then
+// the VAD, then the tracker would pull every byte from memory three
+// times. Blocks of a few frames stay cache-hot across all three
+// chains, and every chain is chunk-invariant, so the block size is
+// purely a locality knob.
+const feedCacheFrames = 4
+
+// feed drives one staged segment through the DSP chains in
+// cache-sized blocks.
+func (g *Guard) feed(seg []float64) {
+	step := feedCacheFrames * g.cfg.FrameSamples
+	for off := 0; off < len(seg); off += step {
+		end := off + step
+		if end > len(seg) {
+			end = len(seg)
+		}
+		g.an.Push(seg[off:end])
+		g.vad.Push(seg[off:end])
+		g.tracker.Push(seg[off:end])
+	}
+}
+
+// CollectColumns stages the banked audio's Welch/STFT columns into the
+// shard-level column engines (see CascadeGuard.CollectColumns). It
+// declines while an interim verdict is owed: the verdict must observe
+// the DSP state at exactly its emission offset, which only the
+// segmented Advance path reproduces. Every chain here is
+// chunk-invariant (the VAD and band tracker are per-sample
+// recurrences, the accumulators frame-aligned), so the round is fed in
+// cache-sized blocks: a backlog round can span hundreds of frames, and
+// one block through all three chains beats three cold passes over the
+// whole buffer.
+func (g *Guard) CollectColumns(ce *ColumnEngines) bool {
+	if g.done || len(g.emits) > 0 || len(g.staging) == 0 {
+		return false
+	}
+	start := time.Now()
+	step := feedCacheFrames * g.cfg.FrameSamples
+	for off := 0; off < len(g.staging); off += step {
+		end := off + step
+		if end > len(g.staging) {
+			end = len(g.staging)
+		}
+		g.an.PushStaged(g.staging[off:end], ce)
+		g.vad.Push(g.staging[off:end])
+		g.tracker.Push(g.staging[off:end])
+	}
+	g.staging = g.staging[:0]
+	elapsed := time.Since(start)
+	g.lat.Total += elapsed
+	if elapsed > g.lat.MaxPush {
+		g.lat.MaxPush = elapsed
+	}
+	g.ce = ce
+	return true
+}
+
+// Advance runs the deferred DSP over everything staged since the last
+// Advance, splitting the feed at each owed emission offset so interim
+// verdicts observe exactly the state they would have seen under
+// chained Push calls. The returned slice (valid until the next
+// Advance) carries the verdicts in emission order; it is empty on
+// rounds with no boundary crossing. When CollectColumns ran first, the
+// staged audio is already in the column engines and Advance only folds
+// the batched spectra back in.
+func (g *Guard) Advance() []*Verdict {
+	g.vout = g.vout[:0]
+	start := time.Now()
+	if g.ce != nil {
+		g.an.CompleteStaged(g.ce)
+		g.ce = nil
+	} else {
+		off := 0
+		for _, e := range g.emits {
+			g.feed(g.staging[off:e])
+			off = e
+			v := g.verdict(false)
+			g.vout = append(g.vout, &v)
+		}
+		g.feed(g.staging[off:])
+		g.staging = g.staging[:0]
+		g.emits = g.emits[:0]
+	}
+	elapsed := time.Since(start)
+	g.lat.Total += elapsed
+	if elapsed > g.lat.MaxPush {
+		g.lat.MaxPush = elapsed
+	}
+	return g.vout
+}
+
+// Push feeds the next chunk of session audio (any size; the nominal
+// frame is FrameSamples). It returns a non-nil interim Verdict when the
+// session crossed an EmitEvery frame boundary, else nil. The hop path
+// allocates nothing after warm-up. Push is Stage immediately followed
+// by Advance — bit-identical to the historical inline implementation.
+func (g *Guard) Push(x []float64) *Verdict {
+	g.Stage(x)
+	vs := g.Advance()
+	if len(vs) == 0 {
+		return nil
+	}
+	return vs[len(vs)-1]
+}
+
+// Finalize flushes any staged audio and the analyzer, and returns the
+// end-of-session verdict (the one with full batch-extractor parity).
+// Interim verdicts still owed at Finalize are dropped — the final
+// supersedes them. After Finalize, Push panics until Reset.
 func (g *Guard) Finalize() Verdict {
 	if !g.done {
+		if g.ce != nil {
+			panic("stream: Guard.Finalize with an uncompleted column batch (Advance first)")
+		}
 		start := time.Now()
+		if len(g.staging) > 0 {
+			g.feed(g.staging)
+			g.staging = g.staging[:0]
+		}
+		g.emits = g.emits[:0]
 		g.an.Finalize()
 		g.lat.Total += time.Since(start)
 		g.done = true
@@ -205,7 +340,12 @@ func (g *Guard) Reset() {
 	g.vad.Reset()
 	g.tracker.Reset()
 	g.lat = LatencyStats{}
+	g.samples = 0
 	g.frames = 0
+	g.staging = g.staging[:0]
+	g.emits = g.emits[:0]
+	g.ce = nil
+	g.vout = g.vout[:0]
 	g.done = false
 }
 

@@ -16,13 +16,16 @@ import (
 // capacity. Both are fleet.Procs — single-goroutine state driven by the
 // owning shard worker.
 
-// guardProc runs a full Guard as a fleet processor. tr is the session
-// flight record handed over by the shard at attach (nil-safe); drift is
-// the fleet-shared feature-distribution monitor fed on final verdicts.
+// guardProc runs a full Guard as a fleet batch processor: Stage on
+// every frame, Advance batched by the shard, with the shard-level
+// column batch opt-in. tr is the session flight record handed over by
+// the shard at attach (nil-safe); drift is the fleet-shared
+// feature-distribution monitor fed on final verdicts.
 type guardProc struct {
 	g     *Guard
 	tr    *trace.SessionTrace
 	drift *trace.DriftMonitor
+	evs   fleet.Events // reused multi-verdict bundle
 }
 
 func (p *guardProc) FrameSamples() int { return p.g.FrameSamples() }
@@ -37,6 +40,37 @@ func (p *guardProc) Push(frame []float64) interface{} {
 	return nil
 }
 
+func (p *guardProc) Stage(frame []float64) bool { return p.g.Stage(frame) }
+
+// Collect opts the session into the shard-level column batch when the
+// round batcher is the stream package's ColumnEngines.
+func (p *guardProc) Collect(rb fleet.RoundBatcher) bool {
+	ce, ok := rb.(*ColumnEngines)
+	if !ok {
+		return false
+	}
+	return p.g.CollectColumns(ce)
+}
+
+func (p *guardProc) Advance() interface{} {
+	vs := p.g.Advance()
+	switch len(vs) {
+	case 0:
+		return nil
+	case 1:
+		p.tr.RecordVerdict(false, finiteOr(vs[0].Score, -1e308), vs[0].Attack)
+		return vs[0]
+	}
+	// A round spanning several emit boundaries yields several interim
+	// verdicts; bundle them so the shard delivers each in order.
+	p.evs = p.evs[:0]
+	for _, v := range vs {
+		p.tr.RecordVerdict(false, finiteOr(v.Score, -1e308), v.Attack)
+		p.evs = append(p.evs, v)
+	}
+	return p.evs
+}
+
 func (p *guardProc) Finalize() interface{} {
 	v := p.g.Finalize()
 	p.tr.RecordVerdict(true, finiteOr(v.Score, -1e308), v.Attack)
@@ -49,6 +83,7 @@ func (p *guardProc) Finalize() interface{} {
 func (p *guardProc) Reset() {
 	p.g.Reset()
 	p.tr = nil
+	p.evs = p.evs[:0]
 }
 
 // DegradedGuard is the overload service class: online VAD plus the
@@ -178,9 +213,10 @@ func (p *degradedProc) Reset() {
 }
 
 var (
-	_ fleet.Proc       = (*guardProc)(nil)
-	_ fleet.Proc       = (*degradedProc)(nil)
-	_ fleet.TraceAware = (*guardProc)(nil)
-	_ fleet.TraceAware = (*degradedProc)(nil)
-	_ fleet.TraceAware = (*cascadeProc)(nil)
+	_ fleet.BatchProc     = (*guardProc)(nil)
+	_ fleet.ColumnBatcher = (*guardProc)(nil)
+	_ fleet.Proc          = (*degradedProc)(nil)
+	_ fleet.TraceAware    = (*guardProc)(nil)
+	_ fleet.TraceAware    = (*degradedProc)(nil)
+	_ fleet.TraceAware    = (*cascadeProc)(nil)
 )

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"inaudible/internal/audio"
 	"inaudible/internal/defense"
@@ -105,6 +106,14 @@ type ServerConfig struct {
 	CascadeColdFrames int
 	CascadeFloorDB    float64
 	CascadePreroll    int
+	// CascadeTier05 enables the tier-0.5 coarse spectral triage on
+	// cascade sessions (see CascadeConfig.Tier05).
+	CascadeTier05 bool
+	// CascadeFloorAuto auto-tunes the cascade hot floor from the
+	// fleet-wide energy-margin distribution: a FloorController retuned
+	// every few seconds by the server, seeded at CascadeFloorDB,
+	// exported as fleet_cascade_floor_db. Only meaningful with Cascade.
+	CascadeFloorAuto bool
 	// Metrics registers the fleet's instruments (admission, frame and
 	// verdict latency, ring occupancy, drops — plus the fleet_cascade_*
 	// set when Cascade is on) in the given registry; nil serves without
@@ -133,6 +142,13 @@ type Server struct {
 	sessions atomic.Int64
 	active   atomic.Int64
 
+	// floor is the auto-tuned cascade hot floor (nil unless
+	// CascadeFloorAuto); the tuner goroutine retunes it until Shutdown.
+	floor     *FloorController
+	tunerStop chan struct{}
+	tunerDone chan struct{}
+	tunerOnce sync.Once
+
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 }
@@ -144,15 +160,50 @@ type sessionScratch struct {
 	bw  *bufio.Writer
 }
 
+// floorRetuneInterval is the cadence of the server's floor-tuner
+// goroutine; with FloorControllerConfig.StepDB it bounds the floor's
+// slew rate (1 dB per interval by default).
+const floorRetuneInterval = 5 * time.Second
+
 // NewServer builds a guard service around a trained detector.
 func NewServer(cfg ServerConfig) *Server {
-	return &Server{cfg: cfg, fl: NewFleet(cfg)}
+	fl, fc := newFleet(cfg)
+	s := &Server{cfg: cfg, fl: fl, floor: fc}
+	if fc != nil {
+		s.tunerStop = make(chan struct{})
+		s.tunerDone = make(chan struct{})
+		go func() {
+			defer close(s.tunerDone)
+			t := time.NewTicker(floorRetuneInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					fc.Retune()
+				case <-s.tunerStop:
+					return
+				}
+			}
+		}()
+	}
+	return s
 }
+
+// CascadeFloor returns the auto-tuned floor controller, or nil when
+// the server runs with a fixed floor.
+func (s *Server) CascadeFloor() *FloorController { return s.floor }
 
 // NewFleet builds the sharded serving core a Server runs on, exposed
 // for in-process load generation and benchmarks that want the fleet
 // without the wire framing.
 func NewFleet(cfg ServerConfig) *fleet.Fleet {
+	fl, _ := newFleet(cfg)
+	return fl
+}
+
+// newFleet builds the fleet plus the floor controller the server's
+// tuner drives (nil unless Cascade and CascadeFloorAuto).
+func newFleet(cfg ServerConfig) (*fleet.Fleet, *FloorController) {
 	if cfg.Detector == nil {
 		panic("stream: ServerConfig.Detector is required")
 	}
@@ -179,6 +230,7 @@ func NewFleet(cfg ServerConfig) *fleet.Fleet {
 		metrics = fleet.NewMetrics(cfg.Metrics)
 	}
 	var cascadeMetrics *CascadeMetrics
+	var floor *FloorController
 	if cfg.Cascade {
 		// One shared instrument set across every cascade session of this
 		// fleet (the procs themselves are per-session).
@@ -186,6 +238,17 @@ func NewFleet(cfg ServerConfig) *fleet.Fleet {
 			cascadeMetrics = NewCascadeMetrics(cfg.Metrics)
 		} else {
 			cascadeMetrics = newUnregisteredCascadeMetrics()
+		}
+		if cfg.CascadeFloorAuto {
+			gauge := &telemetry.FloatGauge{}
+			if cfg.Metrics != nil {
+				gauge = cfg.Metrics.NewFloatGauge("fleet_cascade_floor_db", "cascade hot floor currently in effect (dBFS; auto-tuned)")
+			}
+			floor = NewFloorController(FloorControllerConfig{
+				InitialDB: cfg.CascadeFloorDB,
+				Margins:   cascadeMetrics.EnergyMarginDB,
+				Gauge:     gauge,
+			})
 		}
 	}
 	return fleet.New(fleet.Config{
@@ -220,13 +283,19 @@ func NewFleet(cfg ServerConfig) *fleet.Fleet {
 					HotFloorDB:        cfg.CascadeFloorDB,
 					PrerollFrames:     cfg.CascadePreroll,
 					Metrics:           cascadeMetrics,
+					Tier05:            cfg.CascadeTier05,
+					Floor:             floor,
 				}), drift: cfg.Drift}
 			}
 			return &guardProc{g: NewGuard(gc), drift: cfg.Drift}
 		},
-		Metrics: metrics,
-		Trace:   cfg.Trace,
-	})
+		// One FFT column batch per shard round: co-resident sessions'
+		// Welch/STFT columns transform in a single pass over shared,
+		// cache-hot plan tables (see ColumnEngines).
+		NewRoundBatcher: func() fleet.RoundBatcher { return NewColumnEngines() },
+		Metrics:         metrics,
+		Trace:           cfg.Trace,
+	}), floor
 }
 
 // Sessions returns the number of sessions served (including failed).
@@ -247,6 +316,10 @@ func (s *Server) Fleet() *fleet.Fleet { return s.fl }
 // readers stalled on idle peers), so ServeListener always returns.
 // Close the listener before calling it so no new connections arrive.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.tunerStop != nil {
+		s.tunerOnce.Do(func() { close(s.tunerStop) })
+		<-s.tunerDone
+	}
 	err := s.fl.Close(ctx)
 	if err != nil {
 		s.connMu.Lock()
@@ -531,10 +604,11 @@ type wireVerdict struct {
 // for non-cascade sessions, so the cascade-off wire format is
 // byte-identical to previous releases.
 type wireCascade struct {
-	Engaged     bool `json:"engaged"`
-	Tier0Frames int  `json:"tier0_frames"`
-	Tier1Frames int  `json:"tier1_frames"`
-	Escalations int  `json:"escalations"`
+	Engaged      bool `json:"engaged"`
+	Tier0Frames  int  `json:"tier0_frames"`
+	Tier1Frames  int  `json:"tier1_frames"`
+	Escalations  int  `json:"escalations"`
+	Tier05Vetoes int  `json:"tier05_vetoes,omitempty"`
 }
 
 // writeVerdict encodes one verdict line.
@@ -548,10 +622,11 @@ func writeVerdict(w io.Writer, v *Verdict) error {
 	var casc *wireCascade
 	if v.Cascade != nil {
 		casc = &wireCascade{
-			Engaged:     v.Cascade.Engaged,
-			Tier0Frames: v.Cascade.Tier0Frames,
-			Tier1Frames: v.Cascade.Tier1Frames,
-			Escalations: v.Cascade.Escalations,
+			Engaged:      v.Cascade.Engaged,
+			Tier0Frames:  v.Cascade.Tier0Frames,
+			Tier1Frames:  v.Cascade.Tier1Frames,
+			Escalations:  v.Cascade.Escalations,
+			Tier05Vetoes: v.Cascade.Tier05Vetoes,
 		}
 	}
 	return writeJSONLine(w, wireVerdict{

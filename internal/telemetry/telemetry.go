@@ -48,6 +48,19 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current level.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is an instantaneous real-valued level (a tuned threshold,
+// a ratio). Set and Value are single atomic operations on the float's
+// bit pattern, so it is as hot-loop-safe as Gauge.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the level.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current level.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // Histogram is a fixed-bucket distribution: bucket upper bounds are
 // frozen at construction, observations are two atomic adds plus a
 // binary search over the bounds, and quantiles are estimated by linear
@@ -290,6 +303,12 @@ func (g *Gauge) writeProm(w io.Writer, name string) {
 }
 func (g *Gauge) snapshot() interface{} { return g.Value() }
 
+func (g *FloatGauge) promType() string { return "gauge" }
+func (g *FloatGauge) writeProm(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %g\n", name, g.Value())
+}
+func (g *FloatGauge) snapshot() interface{} { return g.Value() }
+
 func (h *Histogram) promType() string { return "histogram" }
 func (h *Histogram) writeProm(w io.Writer, name string) {
 	var cum uint64
@@ -472,6 +491,12 @@ func (r *Registry) NewCounter(name, help string) *Counter {
 // semantics match NewCounter).
 func (r *Registry) NewGauge(name, help string) *Gauge {
 	return r.intern(name, help, &Gauge{}).(*Gauge)
+}
+
+// NewFloatGauge registers and returns a fresh real-valued gauge
+// (duplicate-name semantics match NewCounter).
+func (r *Registry) NewFloatGauge(name, help string) *FloatGauge {
+	return r.intern(name, help, &FloatGauge{}).(*FloatGauge)
 }
 
 // NewHistogram registers and returns a fresh histogram over bounds. If

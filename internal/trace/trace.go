@@ -40,8 +40,10 @@ const (
 	// KindRingHighWater marks a new session ring-occupancy maximum
 	// observed by the shard worker: A = occupancy in frames.
 	KindRingHighWater
-	// KindAdvance records a slow batched-analysis step (BatchProc
-	// .Advance beyond the recorder's threshold): A = duration µs.
+	// KindAdvance records a slow batched-analysis step (the session's
+	// share of a shard batch round beyond the recorder's threshold):
+	// A = attributed duration µs (round duration / participants),
+	// B = sessions advanced in the round.
 	KindAdvance
 	// KindEscalated marks a cascade tier-0→tier-1 transition:
 	// A = heat at engagement, B = last frame-energy margin in dB.
@@ -229,12 +231,16 @@ func (st *SessionTrace) NotableReasons() Notable {
 }
 
 // RecordAdvance records a batched-analysis step if it is slow enough to
-// matter (at or beyond the recorder's SlowAdvance threshold).
-func (st *SessionTrace) RecordAdvance(d time.Duration) {
+// matter (at or beyond the recorder's SlowAdvance threshold). d is the
+// session's attributed share of the shard batch round — round duration
+// divided by participants, not the whole round — and roundSize is how
+// many sessions the round advanced, so /sessions/{id} stays truthful
+// about amortized cost under shard-level batching.
+func (st *SessionTrace) RecordAdvance(d time.Duration, roundSize int) {
 	if st == nil || int64(d) < st.slowNS {
 		return
 	}
-	st.Record(KindAdvance, float64(d.Microseconds()), 0)
+	st.Record(KindAdvance, float64(d.Microseconds()), float64(roundSize))
 }
 
 // RecordFinalized records the fleet-side close with its

@@ -54,7 +54,7 @@ func TestNilSafety(t *testing.T) {
 	// All of these must be no-ops, not panics.
 	st.Record(KindAdmitted, 0, 0)
 	st.MarkNotable(NotableAttack)
-	st.RecordAdvance(time.Second)
+	st.RecordAdvance(time.Second, 1)
 	st.RecordFinalized(time.Second)
 	st.RecordVerdict(true, 1, true)
 	r.End(st, false)
@@ -170,9 +170,9 @@ func TestRejectedAndAbortedTraces(t *testing.T) {
 func TestThresholdPredicates(t *testing.T) {
 	r := NewRecorder(Config{SLO: 10 * time.Millisecond, SlowAdvance: time.Millisecond})
 	st := Start(r, t)
-	st.RecordAdvance(500 * time.Microsecond) // below threshold: no event
-	st.RecordAdvance(2 * time.Millisecond)   // recorded
-	st.RecordFinalized(5 * time.Millisecond) // within SLO
+	st.RecordAdvance(500*time.Microsecond, 3) // below threshold: no event
+	st.RecordAdvance(2*time.Millisecond, 3)   // recorded
+	st.RecordFinalized(5 * time.Millisecond)  // within SLO
 	if st.NotableReasons()&NotableSLO != 0 {
 		t.Fatal("SLO marked on a within-SLO session")
 	}

@@ -66,7 +66,7 @@ func (e Event) fields() map[string]float64 {
 	case KindRingHighWater:
 		return map[string]float64{"occupancy_frames": e.A}
 	case KindAdvance:
-		return map[string]float64{"duration_us": e.A}
+		return map[string]float64{"duration_us": e.A, "round_sessions": e.B}
 	case KindEscalated:
 		return map[string]float64{"heat": e.A, "energy_margin_db": e.B}
 	case KindReleased:

@@ -33,6 +33,7 @@ go test ./internal/sim -run '^$' -fuzz FuzzSpecLoader -fuzztime 10s
 # -fuzzminimizetime 100x: exec-bounded minimization; the default
 # time-based budget can eat the whole -fuzztime on a slow runner.
 go test ./internal/stream -run '^$' -fuzz FuzzGRD1Framing -fuzztime 10s -fuzzminimizetime 100x
+go test ./internal/dsp -run '^$' -fuzz FuzzBatchedRFFT -fuzztime 10s -fuzzminimizetime 100x
 
 echo "==> short benchmarks (trial engine + sweep cache + FFT plan cache + stream guard + sim chain)"
 go test ./internal/experiment -run '^$' -bench 'E5Serial|E5Parallel' -benchtime 1x -timeout 30m
@@ -41,8 +42,11 @@ go test ./internal/dsp -run '^$' -bench 'FFT4096|RFFT4096' -benchtime 100x
 go test . -run '^$' -bench 'StreamGuard|StreamFIRPush' -benchtime 200x -timeout 10m
 go test ./internal/sim -run '^$' -bench 'BenchmarkSimChain$' -benchtime 100x -timeout 10m
 
-echo "==> cascade parity / FN-budget gate (zero added false negatives vs always-on guard)"
+echo "==> cascade parity / FN-budget gate (base + tier-0.5: zero added false negatives vs always-on guard)"
 go test ./internal/stream -run 'TestCascadeCorpusParity' -count=1 -timeout 20m
+
+echo "==> batched-path gates (column-batch verdict parity + 0 allocs/frame on the staged cycle)"
+go test ./internal/stream -run 'TestColumnBatchParity|TestBatchedPathZeroAllocs' -count=1 -timeout 20m
 
 echo "==> fleet benchmarks (0 allocs/frame gate: see allocs/op in the output)"
 go test ./internal/fleet -run '^$' -bench 'FleetCoreFrame' -benchtime 20000x -benchmem -timeout 10m
