@@ -6,16 +6,22 @@
 //
 //	guardctl [-base http://127.0.0.1:8080] <command>
 //
-//	fleet          fleet-wide snapshot (admission, wire, recorder)
-//	shards         per-shard worker counters
-//	sessions       flight-recorder listing (live + retained exemplars)
-//	session <id>   one session's full event trace
-//	drift          per-feature divergence vs the training distribution
-//	check          validate the plane: strict Prometheus conformance on
-//	               /metrics, JSON decode of every introspection endpoint
+//	fleet           fleet-wide snapshot (admission, wire, recorder)
+//	shards          per-shard worker counters
+//	sessions        flight-recorder listing (live + retained exemplars)
+//	session <id>    one session's full event trace
+//	drift           per-feature divergence vs the training distribution
+//	cluster         router control plane: per-node occupancy, health, drain
+//	drain <node>    take a backend out of the routing rotation
+//	undrain <node>  return it to the rotation
+//	check           validate the plane: strict Prometheus conformance on
+//	                /metrics, JSON decode of every introspection endpoint
 //
 // check exits non-zero on the first violation, which makes it the CI
 // smoke gate: start guardd, push a burst of sessions, `guardctl check`.
+// It adapts to the target's role: endpoints the process does not mount
+// (404) are skipped, but the target must serve at least one of /fleet
+// (a serving node) or /cluster (a router).
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"strings"
 	"time"
@@ -55,6 +62,13 @@ func main() {
 		err = c.printJSON("/sessions/" + args[1])
 	case "drift":
 		err = c.printJSON("/drift")
+	case "cluster":
+		err = c.printJSON("/cluster")
+	case "drain", "undrain":
+		if len(args) != 2 {
+			usage()
+		}
+		err = c.setDrain(args[0], args[1])
 	case "check":
 		err = c.check()
 	default:
@@ -96,10 +110,29 @@ func (c *client) printJSON(path string) error {
 	return err
 }
 
+// setDrain drives the router's drain control for one backend node and
+// echoes the resulting cluster view.
+func (c *client) setDrain(verb, node string) error {
+	resp, err := c.http.Post(c.base+"/cluster/"+verb+"?node="+url.QueryEscape(node), "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s %s: %s: %s", verb, node, resp.Status, strings.TrimSpace(string(body)))
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
 // check validates the whole observability plane: /metrics passes the
 // strict Prometheus exposition checker, and every introspection
-// endpoint both answers 200 and decodes as JSON. One line per probe; an
-// error on any probe fails the run.
+// endpoint the target mounts answers 200 and decodes as JSON (a 404
+// means the endpoint is not part of this role's plane and is skipped —
+// routers have no /fleet, nodes no /cluster — but at least one of the
+// two must answer). One line per probe; an error on any probe fails
+// the run.
 func (c *client) check() error {
 	resp, err := c.get("/metrics")
 	if err != nil {
@@ -112,10 +145,21 @@ func (c *client) check() error {
 	}
 	fmt.Println("ok /metrics (strict exposition conformance)")
 
-	for _, path := range []string{"/varz", "/fleet", "/shards", "/sessions", "/drift"} {
-		resp, err := c.get(path)
+	served := map[string]bool{}
+	for _, path := range []string{"/varz", "/fleet", "/shards", "/sessions", "/drift", "/cluster"} {
+		resp, err := c.http.Get(c.base + path)
 		if err != nil {
 			return err
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			resp.Body.Close()
+			fmt.Printf("skip %s (not mounted on this role)\n", path)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			return fmt.Errorf("GET %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
 		}
 		var v interface{}
 		err = json.NewDecoder(resp.Body).Decode(&v)
@@ -123,12 +167,16 @@ func (c *client) check() error {
 		if err != nil {
 			return fmt.Errorf("%s: not valid JSON: %w", path, err)
 		}
+		served[path] = true
 		fmt.Printf("ok %s\n", path)
+	}
+	if !served["/fleet"] && !served["/cluster"] {
+		return fmt.Errorf("target serves neither /fleet (node) nor /cluster (router)")
 	}
 	return nil
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: guardctl [-base url] fleet|shards|sessions|session <id>|drift|check")
+	fmt.Fprintln(os.Stderr, "usage: guardctl [-base url] fleet|shards|sessions|session <id>|drift|cluster|drain <node>|undrain <node>|check")
 	os.Exit(2)
 }

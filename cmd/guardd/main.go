@@ -24,6 +24,15 @@
 // flushes their final verdicts, and exits 0. A second signal, or the
 // drain deadline, force-aborts what remains.
 //
+// guardd also scales horizontally (see internal/cluster and the
+// README's "Serving at scale"): -cluster-node additionally serves the
+// inter-node transport so a router can forward sessions here, and
+// -route turns the process into a pure front-end router (no detector,
+// no training) that rendezvous-routes each client session to one of a
+// static backend list and relays verdict bytes untouched. The router's
+// metrics port serves the /cluster control plane (per-node occupancy,
+// health, drain) driven by guardctl cluster / drain / undrain.
+//
 // Usage:
 //
 //	guardd < session.wav                    # one stdin session
@@ -34,6 +43,8 @@
 //	guardd -listen :7654 -max-sessions 64 -degrade
 //	guardd -listen :7654 -cascade                # two-tier triage cascade
 //	guardd -listen :7654 -metrics :8080 -pprof   # + /debug/pprof/
+//	guardd -listen :7654 -cluster-node :7700 -node n1   # routable backend
+//	guardd -listen :7654 -route n1:7700,n2:7700         # front-end router
 package main
 
 import (
@@ -45,12 +56,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
-	"runtime"
-	"runtime/debug"
 	"strings"
 	"syscall"
 	"time"
 
+	"inaudible/internal/cluster"
 	"inaudible/internal/core"
 	"inaudible/internal/defense"
 	"inaudible/internal/experiment"
@@ -83,11 +93,22 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the metrics port")
 		traceExempl = flag.Int("trace-exemplars", 64, "completed sessions retained by the flight recorder (0: tracing off)")
 		sloMS       = flag.Int("slo-ms", 500, "final-verdict latency SLO; violating sessions are retained as notable (0: no SLO)")
+		nodeName    = flag.String("node", "", "cluster identity of this process (labels /fleet, traces and fleet_build_info)")
+		clusterNode = flag.String("cluster-node", "", "also serve the inter-node transport on this TCP address (backend mode, routable by -route)")
+		route       = flag.String("route", "", "comma-separated backend transport addresses: run as a front-end router (no detector)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: guardd [-listen addr] [-detector kind] [-quick] < session")
 		os.Exit(2)
+	}
+
+	if *route != "" {
+		if *clusterNode != "" {
+			fatal("-route and -cluster-node are mutually exclusive (a process is a router or a backend)")
+		}
+		runRouter(*listen, *metricsAddr, *route, *nodeName, *drain)
+		return
 	}
 
 	floorDB, floorAuto := 0.0, false
@@ -103,13 +124,14 @@ func main() {
 	}
 
 	reg := telemetry.NewRegistry()
-	registerBuildInfo(reg)
+	telemetry.RegisterBuildInfo(reg, *nodeName, "node")
 
 	var rec *trace.Recorder
 	if *traceExempl > 0 {
 		rec = trace.NewRecorder(trace.Config{
 			Exemplars: *traceExempl,
 			SLO:       time.Duration(*sloMS) * time.Millisecond,
+			Node:      *nodeName,
 		})
 	}
 	drift := trace.NewDriftMonitor(reg)
@@ -140,6 +162,7 @@ func main() {
 		Metrics:           reg,
 		Trace:             rec,
 		Drift:             drift,
+		Node:              *nodeName,
 	})
 
 	if *metricsAddr != "" {
@@ -159,38 +182,69 @@ func main() {
 		fmt.Fprintf(os.Stderr, "guardd: metrics on http://%s/metrics (also /varz, /healthz, /sessions, /shards, /fleet, /drift%s)\n", ml.Addr(), extra)
 	}
 
-	if *listen == "" {
+	if *listen == "" && *clusterNode == "" {
 		if err := srv.ServeSession(os.Stdin, os.Stdout); err != nil {
 			fatal("session: %v", err)
 		}
 		return
 	}
-	l, err := net.Listen("tcp", *listen)
-	if err != nil {
-		fatal("listen: %v", err)
+
+	// Backend mode: the inter-node transport listener, alongside (or
+	// instead of) the direct client listener.
+	var backend *cluster.Backend
+	var bl net.Listener
+	if *clusterNode != "" {
+		var err error
+		bl, err = net.Listen("tcp", *clusterNode)
+		if err != nil {
+			fatal("cluster-node listen: %v", err)
+		}
+		backend = cluster.NewBackend(srv, 0)
+		go backend.Serve(bl)
+		fmt.Fprintf(os.Stderr, "guardd: cluster transport on %s (node %q)\n", bl.Addr(), *nodeName)
 	}
-	fmt.Fprintf(os.Stderr, "guardd: serving on %s (%d shards, cap %s, degrade %v)\n",
-		l.Addr(), srv.Fleet().Shards(), capString(srv.Workers()), *degrade)
 
-	// Graceful shutdown: the first signal closes the listener, after
-	// which ServeListener returns once in-flight sessions drain. The
-	// drain deadline, or a second signal, force-aborts what remains
-	// (fleet sessions cut, stalled connections closed) so the daemon
-	// always exits promptly and cleanly.
+	var l net.Listener
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- srv.ServeListener(l) }()
+	if *listen != "" {
+		var err error
+		l, err = net.Listen("tcp", *listen)
+		if err != nil {
+			fatal("listen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "guardd: serving on %s (%d shards, cap %s, degrade %v)\n",
+			l.Addr(), srv.Fleet().Shards(), capString(srv.Workers()), *degrade)
+		go func() { serveDone <- srv.ServeListener(l) }()
+	}
 
+	// Graceful shutdown: the first signal closes the listeners (and, in
+	// backend mode, flips the fleet to draining so routers' new opens
+	// refuse explicitly), after which in-flight sessions drain and
+	// flush their final verdicts. The drain deadline, or a second
+	// signal, force-aborts what remains (fleet sessions cut, stalled
+	// connections closed) so the daemon always exits promptly.
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	forceAbort := func() {
 		ctx, cancel := context.WithCancel(context.Background())
 		cancel() // already expired: Shutdown force-aborts immediately
 		srv.Shutdown(ctx)
+		if backend != nil {
+			backend.Close()
+		}
 	}
 	go func() {
 		sig := <-sigc
 		fmt.Fprintf(os.Stderr, "guardd: %s — draining in-flight sessions (deadline %s)...\n", sig, *drain)
-		l.Close()
+		if l != nil {
+			l.Close()
+		} else {
+			serveDone <- nil
+		}
+		if bl != nil {
+			bl.Close()
+			srv.SetDraining(true)
+		}
 		timer := time.AfterFunc(*drain, forceAbort)
 		defer timer.Stop()
 		sig = <-sigc
@@ -201,14 +255,89 @@ func main() {
 	if err := <-serveDone; err != nil {
 		fatal("serve: %v", err)
 	}
-	// Normal path: sessions drained while ServeListener waited; this
-	// stops the shard workers (idempotent after a force-abort).
-	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	// Normal path: direct sessions drained while ServeListener waited;
+	// Shutdown additionally drains transport-fed sessions up to the
+	// deadline, then stops the shard workers (idempotent after a
+	// force-abort).
+	shutdownWait := time.Second
+	if backend != nil {
+		shutdownWait = *drain
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownWait)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "guardd: drain incomplete: %v\n", err)
 	}
+	if backend != nil {
+		backend.Close()
+	}
 	fmt.Fprintf(os.Stderr, "guardd: served %d sessions — bye\n", srv.Sessions())
+}
+
+// runRouter is -route: the process fronts a static backend list,
+// owning client connections and relaying sessions over the inter-node
+// transport. No detector, no training — start-up is instant.
+func runRouter(listen, metricsAddr, nodesCSV, nodeName string, drain time.Duration) {
+	var nodes []string
+	for _, n := range strings.Split(nodesCSV, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	if listen == "" {
+		fatal("-route needs -listen (the client-facing address)")
+	}
+
+	reg := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(reg, nodeName, "router")
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Nodes: nodes, Node: nodeName, Metrics: reg})
+	if err != nil {
+		fatal("router: %v", err)
+	}
+
+	if metricsAddr != "" {
+		mux := telemetry.Mux(reg)
+		rt.MountControl(mux)
+		ml, _, err := telemetry.ListenAndServeHandler(metricsAddr, mux)
+		if err != nil {
+			fatal("metrics: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "guardd: router metrics on http://%s/metrics (also /varz, /healthz, /cluster)\n", ml.Addr())
+	}
+
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "guardd: routing sessions on %s across %d nodes: %s\n",
+		l.Addr(), len(nodes), strings.Join(nodes, ", "))
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- rt.ServeListener(l) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "guardd: %s — draining in-flight relays (deadline %s)...\n", sig, drain)
+		l.Close()
+	}()
+
+	if err := <-serveDone; err != nil {
+		fatal("serve: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "guardd: signal again — aborting remaining relays")
+		cancel()
+	}()
+	if err := rt.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "guardd: relay drain incomplete: %v\n", err)
+	}
+	v := rt.View()
+	fmt.Fprintf(os.Stderr, "guardd: routed %d sessions — bye\n", v.SessionsTotal)
 }
 
 // buildDetector resolves -detector: "demo" returns the hand-calibrated
@@ -240,21 +369,6 @@ func buildDetector(kind string, seed int64, quick bool) (defense.Detector, [][]f
 	fmt.Fprintf(os.Stderr, "guardd: detector ready in %s (%d training samples pinned as drift reference)\n",
 		time.Since(start).Round(time.Millisecond), len(samples))
 	return det, vecs, nil
-}
-
-// registerBuildInfo exports the daemon's identity: a fleet_build_info
-// Info gauge carrying version labels and the start time for uptime
-// arithmetic (time() - fleet_start_time_seconds).
-func registerBuildInfo(reg *telemetry.Registry) {
-	version := "unknown"
-	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
-		version = bi.Main.Version
-	}
-	reg.NewInfo("fleet_build_info", "build and runtime identity of the guardd process", map[string]string{
-		"version":    version,
-		"go_version": runtime.Version(),
-	})
-	reg.NewGauge("fleet_start_time_seconds", "unix time the daemon started").Set(time.Now().Unix())
 }
 
 // mountPprof wires the net/http/pprof handlers explicitly: guardd never

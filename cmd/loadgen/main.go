@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"inaudible/internal/audio"
+	"inaudible/internal/cluster"
 	"inaudible/internal/core"
 	"inaudible/internal/defense"
 	"inaudible/internal/experiment"
@@ -433,6 +434,7 @@ type Epoch struct {
 	Completed      int64   `json:"completed"`
 	Errors         int64   `json:"errors"`
 	Rejected       int64   `json:"rejected"`
+	DialRetries    int64   `json:"dial_retries,omitempty"`
 	Shed           int64   `json:"shed,omitempty"`
 	Degraded       int64   `json:"degraded"`
 	Misclassified  int64   `json:"misclassified"`
@@ -451,6 +453,7 @@ type Epoch struct {
 // session result counters shared across clients.
 type tally struct {
 	completed, errors, rejected, shed, degraded, misclassified atomic.Int64
+	dialRetries                                                atomic.Int64
 	verdictUS                                                  *telemetry.Histogram
 }
 
@@ -459,11 +462,36 @@ func newTally() *tally {
 	return &tally{verdictUS: telemetry.NewHistogram(telemetry.ExpBuckets(10, 1.8, 27))}
 }
 
+// dialRetryAttempts bounds the per-session dial retry loop: enough to
+// ride out a router or node restart (~2s of backoff), small enough
+// that a dead target still fails the session promptly.
+const dialRetryAttempts = 4
+
+// dial connects to the target, retrying transient dial failures with
+// the same jittered exponential backoff the cluster transport uses to
+// redial its nodes (cluster.BackoffDelay). Retries are tallied into
+// the report so a run that leaned on them says so.
+func (g *generator) dial(t *tally) (net.Conn, error) {
+	var err error
+	for attempt := 0; ; attempt++ {
+		var conn net.Conn
+		conn, err = net.Dial("tcp", g.target)
+		if err == nil {
+			return conn, nil
+		}
+		if attempt == dialRetryAttempts {
+			return nil, err
+		}
+		t.dialRetries.Add(1)
+		time.Sleep(cluster.BackoffDelay(attempt, rand.Float64()))
+	}
+}
+
 // runOne plays a single session and records its outcome. Verdict
 // latency is measured from send-complete (half-close) to the final
 // verdict line.
 func (g *generator) runOne(t *tally, p payload, useWAV bool) {
-	conn, err := net.Dial("tcp", g.target)
+	conn, err := g.dial(t)
 	if err != nil {
 		t.errors.Add(1)
 		return
@@ -503,7 +531,11 @@ func (g *generator) runOne(t *tally, p payload, useWAV bool) {
 		return
 	}
 	if v.Error != nil {
-		if strings.Contains(*v.Error, "overloaded") || strings.Contains(*v.Error, "closed") {
+		// Explicit admission refusals (overload, shutdown, node drain,
+		// routerless cluster) are rejections — an accounted outcome, not
+		// a failure of the harness.
+		if strings.Contains(*v.Error, "overloaded") || strings.Contains(*v.Error, "closed") ||
+			strings.Contains(*v.Error, "draining") || strings.Contains(*v.Error, "no backend") {
 			t.rejected.Add(1)
 		} else {
 			t.errors.Add(1)
@@ -608,6 +640,7 @@ func (t *tally) epoch(elapsed time.Duration) Epoch {
 		Completed:          t.completed.Load(),
 		Errors:             t.errors.Load(),
 		Rejected:           t.rejected.Load(),
+		DialRetries:        t.dialRetries.Load(),
 		Shed:               t.shed.Load(),
 		Degraded:           t.degraded.Load(),
 		Misclassified:      t.misclassified.Load(),
@@ -759,6 +792,9 @@ func printEpoch(w io.Writer, ep Epoch) {
 	shed := ""
 	if ep.Shed > 0 {
 		shed = fmt.Sprintf(" shed=%d", ep.Shed)
+	}
+	if ep.DialRetries > 0 {
+		shed += fmt.Sprintf(" redial=%d", ep.DialRetries)
 	}
 	fmt.Fprintf(w, "  %-12s %6.1fs: %5d ok (%6.1f/s) err=%d rej=%d%s degraded=%d misclass=%d | verdict p50 %.1f p95 %.1f p99 %.1f max %.1f ms\n",
 		head, ep.DurationS, ep.Completed, ep.SessionsPerSec, ep.Errors, ep.Rejected, shed, ep.Degraded,

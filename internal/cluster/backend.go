@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// SessionServer is the node-side service a Backend bridges transport
+// streams into — implemented by stream.Server. Kept as an interface so
+// the transport can be tested against fakes and never imports the
+// serving stack.
+type SessionServer interface {
+	// ServeSessionKeyed runs one session from r under the given affinity
+	// key, writing verdict lines to w.
+	ServeSessionKeyed(key uint64, r io.Reader, w io.Writer) error
+	// SetDraining flips the node's admission drain state.
+	SetDraining(v bool)
+}
+
+// Backend serves the inter-node transport on a guardd backend: each
+// accepted connection (one per router) carries many multiplexed
+// session streams, each bridged into srv.ServeSessionKeyed with the
+// router's affinity key. Verdict bytes flow back as frames, relayed by
+// the router to the client untouched — so a session served through the
+// cluster emits byte-identical verdict lines to one served directly.
+type Backend struct {
+	srv        SessionServer
+	maxPending int
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+}
+
+// NewBackend wraps a session server for transport serving.
+// maxPendingBytes caps each stream's elastic audio buffer (<= 0:
+// DefaultMaxPending).
+func NewBackend(srv SessionServer, maxPendingBytes int) *Backend {
+	return &Backend{
+		srv:        srv,
+		maxPending: maxPendingBytes,
+		listeners:  make(map[net.Listener]struct{}),
+		conns:      make(map[net.Conn]struct{}),
+	}
+}
+
+// errBackendClosed fails streams cut off by Backend.Close.
+var errBackendClosed = errors.New("cluster: backend closed")
+
+// Serve accepts router connections until the listener closes (or
+// Close is called) and demultiplexes their session streams. Like
+// stream.Server.ServeListener it returns nil on a closed listener.
+func (b *Backend) Serve(l net.Listener) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		l.Close()
+		return errBackendClosed
+	}
+	b.listeners[l] = struct{}{}
+	b.mu.Unlock()
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		b.conns[conn] = struct{}{}
+		b.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.serveConn(conn)
+			b.mu.Lock()
+			delete(b.conns, conn)
+			b.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting and severs live router connections; in-flight
+// sessions fail fast on their routers (explicit verdict-stream error)
+// instead of hanging.
+func (b *Backend) Close() {
+	b.mu.Lock()
+	b.closed = true
+	for l := range b.listeners {
+		l.Close()
+	}
+	for c := range b.conns {
+		c.Close()
+	}
+	b.mu.Unlock()
+}
+
+// backendStream is one in-flight session on a router connection.
+type backendStream struct {
+	q *byteQueue
+}
+
+// serveConn demultiplexes one router connection: open spawns a serving
+// goroutine bridged through an elastic queue (so a slow or stalled
+// session can never block its connection-mates' frames), data/close
+// feed it, and the goroutine answers with verdict frames and a final
+// end frame.
+func (b *Backend) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	if err := readPreamble(br); err != nil {
+		return
+	}
+	fw := newFrameWriter(conn)
+	fr := &frameReader{r: br}
+	// streams is shared between this demux loop and the serving
+	// goroutines' completion cleanup; the lock is per open/data/end,
+	// never per audio sample, so it is cold next to the session work.
+	var smu sync.Mutex
+	streams := make(map[uint32]*backendStream)
+	var wg sync.WaitGroup
+	defer func() {
+		// Connection gone: fail every open stream so its serving
+		// goroutine unblocks (its verdict writes already fail fast
+		// through the poisoned frameWriter), then wait them out.
+		fw.fail(errBackendClosed)
+		smu.Lock()
+		for _, st := range streams {
+			st.q.fail(errBackendClosed)
+		}
+		smu.Unlock()
+		wg.Wait()
+	}()
+	lookup := func(id uint32) *backendStream {
+		smu.Lock()
+		defer smu.Unlock()
+		return streams[id]
+	}
+	for {
+		t, id, payload, err := fr.read()
+		if err != nil {
+			return
+		}
+		switch t {
+		case frameOpen:
+			if len(payload) != 8 || id == 0 || lookup(id) != nil {
+				return // protocol violation: drop the connection
+			}
+			key := binary.LittleEndian.Uint64(payload)
+			st := &backendStream{q: newByteQueue(b.maxPending)}
+			smu.Lock()
+			streams[id] = st
+			smu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b.srv.ServeSessionKeyed(key, st.q, &verdictRelay{fw: fw, id: id})
+				fw.writeFrame(frameEnd, id, nil)
+				smu.Lock()
+				delete(streams, id)
+				smu.Unlock()
+			}()
+		case frameData:
+			if st := lookup(id); st != nil {
+				st.q.write(payload)
+			}
+		case frameCloseSend:
+			if st := lookup(id); st != nil {
+				st.q.closeEOF()
+			}
+		case frameAbort:
+			if st := lookup(id); st != nil {
+				st.q.fail(fmt.Errorf("cluster: session aborted by router"))
+			}
+		case frameDrain:
+			b.srv.SetDraining(true)
+		case frameUndrain:
+			b.srv.SetDraining(false)
+		default:
+			return
+		}
+	}
+}
+
+// verdictRelay turns a session's verdict writes into verdict frames.
+// It is handed to stream.Server as the session's io.Writer; the
+// server's own bufio layer already batches tiny writes into line-sized
+// chunks.
+type verdictRelay struct {
+	fw *frameWriter
+	id uint32
+}
+
+func (v *verdictRelay) Write(p []byte) (int, error) {
+	for off := 0; off < len(p); off += MaxFramePayload {
+		end := off + MaxFramePayload
+		if end > len(p) {
+			end = len(p)
+		}
+		if err := v.fw.writeFrame(frameVerdict, v.id, p[off:end]); err != nil {
+			return off, err
+		}
+	}
+	return len(p), nil
+}

@@ -1,0 +1,346 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrNodeDown reports a backend the router currently has no live
+// transport connection to — sessions fail fast instead of queueing
+// behind a redial.
+var ErrNodeDown = errors.New("cluster: node is down")
+
+// NodeClient is the router's persistent transport to one backend node:
+// a single TCP connection carrying every session routed there, redialed
+// with jittered exponential backoff whenever it drops. When the
+// connection dies, every in-flight stream on it fails immediately with
+// ErrNodeDown (surfaced to the client as an explicit verdict-stream
+// error) and the node leaves the eligible routing set until the redial
+// lands.
+type NodeClient struct {
+	addr        string
+	seed        uint64
+	maxPending  int
+	dialTimeout time.Duration
+
+	mu      sync.Mutex
+	conn    net.Conn
+	fw      *frameWriter
+	streams map[uint32]*RoutedStream
+	nextID  uint32
+
+	healthy  atomic.Bool
+	draining atomic.Bool
+
+	// introspection counters for /cluster and the router metrics.
+	redials        atomic.Uint64
+	opened         atomic.Uint64
+	finished       atomic.Uint64
+	failed         atomic.Uint64
+	active         atomic.Int64
+	connectedSince atomic.Int64 // unix seconds; 0 while down
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// newNodeClient builds and starts the redial loop for one backend.
+func newNodeClient(addr string, maxPending int, dialTimeout time.Duration) *NodeClient {
+	if dialTimeout <= 0 {
+		dialTimeout = 3 * time.Second
+	}
+	nc := &NodeClient{
+		addr:        addr,
+		seed:        NodeSeed(addr),
+		maxPending:  maxPending,
+		dialTimeout: dialTimeout,
+		streams:     make(map[uint32]*RoutedStream),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	go nc.run()
+	return nc
+}
+
+// Addr returns the backend's address (its node name).
+func (nc *NodeClient) Addr() string { return nc.addr }
+
+// Healthy reports a live transport connection.
+func (nc *NodeClient) Healthy() bool { return nc.healthy.Load() }
+
+// Draining reports whether the node is out of the routing rotation.
+func (nc *NodeClient) Draining() bool { return nc.draining.Load() }
+
+// Active returns the in-flight session count on this node.
+func (nc *NodeClient) Active() int64 { return nc.active.Load() }
+
+// run is the connection lifecycle: dial, serve until the connection
+// dies, fail its streams, back off, redial — forever, until close.
+func (nc *NodeClient) run() {
+	defer close(nc.done)
+	rng := rand.New(rand.NewSource(int64(nc.seed)))
+	attempt := 0
+	for {
+		select {
+		case <-nc.stop:
+			return
+		default:
+		}
+		conn, err := net.DialTimeout("tcp", nc.addr, nc.dialTimeout)
+		if err == nil {
+			err = writePreamble(conn)
+			if err != nil {
+				conn.Close()
+			}
+		}
+		if err != nil {
+			attempt++
+			nc.redials.Add(1)
+			select {
+			case <-nc.stop:
+				return
+			case <-time.After(BackoffDelay(attempt, rng.Float64())):
+			}
+			continue
+		}
+		attempt = 0
+		nc.attachConn(conn)
+		nc.readLoop(conn)
+		nc.detachConn(ErrNodeDown)
+		// The next dial starts immediately (the common case is a node
+		// restart that is already listening again); failures from here
+		// re-enter the backoff ladder.
+	}
+}
+
+// attachConn installs a fresh connection and replays sticky state (the
+// drain flag survives reconnects: a drained node stays drained until
+// an operator undrains it).
+func (nc *NodeClient) attachConn(conn net.Conn) {
+	fw := newFrameWriter(conn)
+	nc.mu.Lock()
+	nc.conn = conn
+	nc.fw = fw
+	nc.mu.Unlock()
+	nc.connectedSince.Store(time.Now().Unix())
+	nc.healthy.Store(true)
+	if nc.draining.Load() {
+		fw.writeFrame(frameDrain, 0, nil)
+	}
+}
+
+// detachConn tears down the current connection, failing every stream
+// that was in flight on it.
+func (nc *NodeClient) detachConn(cause error) {
+	nc.healthy.Store(false)
+	nc.connectedSince.Store(0)
+	nc.mu.Lock()
+	conn, fw := nc.conn, nc.fw
+	nc.conn, nc.fw = nil, nil
+	orphans := nc.streams
+	nc.streams = make(map[uint32]*RoutedStream)
+	nc.mu.Unlock()
+	if fw != nil {
+		fw.fail(cause)
+	}
+	if conn != nil {
+		conn.Close()
+	}
+	for _, st := range orphans {
+		st.q.fail(fmt.Errorf("%w: %s failed mid-session", cause, nc.addr))
+		nc.failed.Add(1)
+		nc.active.Add(-1)
+	}
+}
+
+// readLoop demultiplexes node->router frames until the connection
+// errors.
+func (nc *NodeClient) readLoop(conn net.Conn) {
+	fr := &frameReader{r: bufio.NewReaderSize(conn, 64<<10)}
+	for {
+		t, id, payload, err := fr.read()
+		if err != nil {
+			return
+		}
+		switch t {
+		case frameVerdict:
+			nc.mu.Lock()
+			st := nc.streams[id]
+			nc.mu.Unlock()
+			if st != nil {
+				st.q.write(payload)
+			}
+		case frameEnd:
+			nc.mu.Lock()
+			st := nc.streams[id]
+			delete(nc.streams, id)
+			nc.mu.Unlock()
+			if st != nil {
+				st.q.closeEOF()
+				nc.finished.Add(1)
+				nc.active.Add(-1)
+			}
+		default:
+			return // protocol violation: force a reconnect
+		}
+	}
+}
+
+// OpenStream starts a session stream under the given affinity key. It
+// fails fast with ErrNodeDown when no transport connection is live.
+func (nc *NodeClient) OpenStream(key uint64) (*RoutedStream, error) {
+	nc.mu.Lock()
+	if nc.fw == nil {
+		nc.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNodeDown, nc.addr)
+	}
+	nc.nextID++
+	if nc.nextID == 0 {
+		nc.nextID = 1
+	}
+	id := nc.nextID
+	st := &RoutedStream{nc: nc, id: id, q: newByteQueue(nc.maxPending)}
+	nc.streams[id] = st
+	fw := nc.fw
+	nc.mu.Unlock()
+
+	var keyb [8]byte
+	binary.LittleEndian.PutUint64(keyb[:], key)
+	if err := fw.writeFrame(frameOpen, id, keyb[:]); err != nil {
+		nc.mu.Lock()
+		delete(nc.streams, id)
+		nc.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s: %v", ErrNodeDown, nc.addr, err)
+	}
+	nc.opened.Add(1)
+	nc.active.Add(1)
+	return st, nil
+}
+
+// setDraining flips the node's rotation state and mirrors it onto the
+// node's own fleet admission (best effort while disconnected — the
+// flag replays on reconnect).
+func (nc *NodeClient) setDraining(v bool) {
+	nc.draining.Store(v)
+	nc.mu.Lock()
+	fw := nc.fw
+	nc.mu.Unlock()
+	if fw != nil {
+		t := byte(frameUndrain)
+		if v {
+			t = frameDrain
+		}
+		fw.writeFrame(t, 0, nil)
+	}
+}
+
+// close stops the redial loop and severs the connection.
+func (nc *NodeClient) close() {
+	nc.stopOnce.Do(func() { close(nc.stop) })
+	nc.detachConn(ErrNodeDown)
+	<-nc.done
+}
+
+// NodeView is one backend's row in the /cluster control-plane
+// response.
+type NodeView struct {
+	Addr               string `json:"addr"`
+	Healthy            bool   `json:"healthy"`
+	Draining           bool   `json:"draining,omitempty"`
+	ActiveSessions     int64  `json:"active_sessions"`
+	SessionsTotal      uint64 `json:"sessions_total"`
+	FinishedTotal      uint64 `json:"finished_total"`
+	FailedTotal        uint64 `json:"failed_total"`
+	RedialsTotal       uint64 `json:"redials_total"`
+	ConnectedSinceUnix int64  `json:"connected_since_unix,omitempty"`
+}
+
+// View snapshots the node for the control plane.
+func (nc *NodeClient) View() NodeView {
+	return NodeView{
+		Addr:               nc.addr,
+		Healthy:            nc.healthy.Load(),
+		Draining:           nc.draining.Load(),
+		ActiveSessions:     nc.active.Load(),
+		SessionsTotal:      nc.opened.Load(),
+		FinishedTotal:      nc.finished.Load(),
+		FailedTotal:        nc.failed.Load(),
+		RedialsTotal:       nc.redials.Load(),
+		ConnectedSinceUnix: nc.connectedSince.Load(),
+	}
+}
+
+// RoutedStream is the router-side handle of one in-flight session:
+// Write feeds the client's raw session bytes to the node, Read drains
+// the node's verdict bytes (io.EOF on clean completion, an error when
+// the node died mid-session).
+type RoutedStream struct {
+	nc *NodeClient
+	id uint32
+	q  *byteQueue
+}
+
+// Write relays session bytes to the node.
+func (st *RoutedStream) Write(p []byte) (int, error) {
+	fw := st.writer()
+	if fw == nil {
+		return 0, fmt.Errorf("%w: %s", ErrNodeDown, st.nc.addr)
+	}
+	for off := 0; off < len(p); off += MaxFramePayload {
+		end := off + MaxFramePayload
+		if end > len(p) {
+			end = len(p)
+		}
+		if err := fw.writeFrame(frameData, st.id, p[off:end]); err != nil {
+			return off, err
+		}
+	}
+	return len(p), nil
+}
+
+// CloseSend half-closes the session: its audio is complete, verdicts
+// keep flowing.
+func (st *RoutedStream) CloseSend() error {
+	fw := st.writer()
+	if fw == nil {
+		return fmt.Errorf("%w: %s", ErrNodeDown, st.nc.addr)
+	}
+	return fw.writeFrame(frameCloseSend, st.id, nil)
+}
+
+// Abort tells the node the client vanished; the node aborts the
+// session and still answers with an end frame, which retires the id.
+func (st *RoutedStream) Abort() {
+	if fw := st.writer(); fw != nil {
+		fw.writeFrame(frameAbort, st.id, nil)
+	}
+	st.q.fail(errAborted)
+}
+
+// Read drains verdict bytes (see RoutedStream doc).
+func (st *RoutedStream) Read(p []byte) (int, error) { return st.q.Read(p) }
+
+// writer returns the frame writer the stream was opened on, or nil if
+// the connection already turned over (the stream is dead either way:
+// detachConn failed its queue).
+func (st *RoutedStream) writer() *frameWriter {
+	st.nc.mu.Lock()
+	defer st.nc.mu.Unlock()
+	if st.nc.streams[st.id] != st {
+		return nil
+	}
+	return st.nc.fw
+}
+
+// errAborted marks streams the router itself abandoned (client went
+// away); the relay loop treats it as a silent close, not a node
+// failure.
+var errAborted = errors.New("cluster: session aborted, client gone")

@@ -1,0 +1,97 @@
+// Package cluster makes N guardd processes behave as one fleet: a
+// front-end router owns the client connections and forwards each
+// GRD1/WAV session, unmodified, to one of a static set of backend
+// nodes over a lightweight multiplexing transport.
+//
+// The hot path is pure routing — guard sessions are conflict-free by
+// construction (all state is per-session, pinned to one shard worker
+// on its node), so the cluster layer never coordinates: it picks a
+// node, relays bytes, and gets out of the way. Scaling is therefore
+// near-linear in nodes until the router's relay loop saturates.
+//
+// Routing is rendezvous (highest-random-weight) hashing over the
+// session's affinity key, extending the fleet's splitmix64 shard
+// affinity one level up: each (key, node) pair gets an independent
+// pseudo-random score and the session goes to the highest-scoring
+// eligible node. Node join/leave therefore remaps only the ~1/N
+// sessions whose top choice changed — every other session's score
+// order is untouched — and the same key always lands on the same node
+// while the node set is stable.
+//
+// The transport (one persistent TCP connection per node, redialed with
+// jittered exponential backoff) multiplexes sessions as length-prefixed
+// frames; in-flight sessions on a dead node fail fast with an explicit
+// error line on the verdict stream rather than hanging. Draining a node
+// takes it out of the routing set without touching its in-flight
+// sessions: they finish on their node (the PR 5 graceful-shutdown
+// machinery), only new sessions reroute.
+package cluster
+
+import "time"
+
+// mix64 is the splitmix64 finalizer — the same mixing step the fleet
+// uses for shard affinity, reused so the cluster and shard layers share
+// one hashing story.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NodeSeed derives a node's rendezvous seed from its name (FNV-1a 64
+// finished with mix64, so visually similar addresses still get
+// independent score streams).
+func NodeSeed(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// RendezvousPick returns the index of the eligible node with the
+// highest score for key, or -1 when no node is eligible. A nil
+// eligible accepts every node. Scores depend only on (key, seed), so
+// removing a node never changes the relative order of the survivors —
+// the rendezvous-hashing minimal-remap property.
+func RendezvousPick(key uint64, seeds []uint64, eligible func(i int) bool) int {
+	best, bestScore := -1, uint64(0)
+	for i, seed := range seeds {
+		if eligible != nil && !eligible(i) {
+			continue
+		}
+		score := mix64(key ^ seed)
+		if best == -1 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// Redial/retry backoff shared by the inter-node transport and loadgen's
+// dial retries.
+const (
+	backoffBase = 50 * time.Millisecond
+	backoffCap  = 2 * time.Second
+)
+
+// BackoffDelay returns the delay before retry number attempt (0-based):
+// exponential from 50ms to a 2s cap, scaled by (0.5 + jitter) so
+// concurrent retriers spread out instead of thundering together.
+// jitter must be in [0, 1) — pass the caller's rng.Float64().
+func BackoffDelay(attempt int, jitter float64) time.Duration {
+	d := backoffBase << uint(min(attempt, 8))
+	if d > backoffCap {
+		d = backoffCap
+	}
+	return time.Duration(float64(d) * (0.5 + jitter))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// DefaultMaxPending bounds one stream's elastic queue (16 MiB — two
+// orders of magnitude above a typical session's audio, so only a
+// pathological peer trips it).
+const DefaultMaxPending = 16 << 20
+
+// byteQueue is the elastic per-stream buffer between the connection's
+// demux goroutine and a stream's consumer. Writes never block — the
+// demux loop must keep draining the shared connection no matter how
+// slow any one consumer is (no head-of-line blocking across sessions)
+// — so the queue grows elastically up to max and then fails the stream
+// explicitly instead of stalling its shard-mates. Reads block until
+// data, EOF, or failure.
+type byteQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	buf  []byte
+	off  int
+	max  int
+	eof  bool
+	err  error
+}
+
+func newByteQueue(max int) *byteQueue {
+	if max <= 0 {
+		max = DefaultMaxPending
+	}
+	q := &byteQueue{max: max}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// write appends p (copied). On overflow the queue fails with an
+// explicit error — the consumer sees it on its next Read.
+func (q *byteQueue) write(p []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err != nil {
+		return q.err
+	}
+	if q.eof {
+		return io.ErrClosedPipe
+	}
+	if len(q.buf)-q.off+len(p) > q.max {
+		q.err = fmt.Errorf("cluster: stream buffer exceeded %d bytes", q.max)
+		q.cond.Broadcast()
+		return q.err
+	}
+	q.buf = append(q.buf, p...)
+	q.cond.Broadcast()
+	return nil
+}
+
+// Read blocks for data; it drains buffered bytes before surfacing EOF
+// or a failure, so verdicts delivered ahead of a clean end are never
+// lost.
+func (q *byteQueue) Read(p []byte) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.buf) == q.off && !q.eof && q.err == nil {
+		q.cond.Wait()
+	}
+	if len(q.buf) > q.off {
+		n := copy(p, q.buf[q.off:])
+		q.off += n
+		if q.off == len(q.buf) {
+			q.buf, q.off = q.buf[:0], 0
+		}
+		return n, nil
+	}
+	if q.err != nil {
+		return 0, q.err
+	}
+	return 0, io.EOF
+}
+
+// closeEOF marks a clean end of stream: buffered bytes still drain.
+func (q *byteQueue) closeEOF() {
+	q.mu.Lock()
+	q.eof = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// fail poisons the queue: buffered bytes still drain, then Read
+// returns err. The first failure wins.
+func (q *byteQueue) fail(err error) {
+	q.mu.Lock()
+	if q.err == nil && !q.eof {
+		q.err = err
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

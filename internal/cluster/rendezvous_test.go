@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// syntheticKeys builds the 1k-session id population used by the
+// routing property tests, mixed the same way the router assigns keys
+// (a fixed epoch in the high bits keeps the draw deterministic).
+func syntheticKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = mix64(1<<32 | uint64(i+1))
+	}
+	return keys
+}
+
+func nodeSeeds(n int) []uint64 {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = NodeSeed(fmt.Sprintf("10.0.0.%d:9101", i+1))
+	}
+	return seeds
+}
+
+func TestRendezvousBalance(t *testing.T) {
+	// Load balance: across 1k synthetic session ids, every node's share
+	// stays within 15% of ideal for each cluster size the bench sweeps.
+	keys := syntheticKeys(1000)
+	for _, n := range []int{2, 3, 5, 8} {
+		seeds := nodeSeeds(n)
+		counts := make([]int, n)
+		for _, k := range keys {
+			i := RendezvousPick(k, seeds, nil)
+			if i < 0 {
+				t.Fatalf("n=%d: no node picked", n)
+			}
+			counts[i]++
+		}
+		ideal := float64(len(keys)) / float64(n)
+		for i, c := range counts {
+			dev := (float64(c) - ideal) / ideal
+			if dev < -0.15 || dev > 0.15 {
+				t.Errorf("n=%d node %d: %d sessions, %.1f%% from ideal %.0f (counts %v)",
+					n, i, c, 100*dev, ideal, counts)
+			}
+		}
+	}
+}
+
+func TestRendezvousStableAndDeterministic(t *testing.T) {
+	// The same key always lands on the same node while the node set is
+	// stable — affinity is a pure function of (key, seeds).
+	keys := syntheticKeys(100)
+	seeds := nodeSeeds(5)
+	for _, k := range keys {
+		a := RendezvousPick(k, seeds, nil)
+		for trial := 0; trial < 3; trial++ {
+			if b := RendezvousPick(k, seeds, nil); b != a {
+				t.Fatalf("key %#x moved: %d then %d", k, a, b)
+			}
+		}
+	}
+	if RendezvousPick(42, seeds, func(int) bool { return false }) != -1 {
+		t.Fatalf("pick with no eligible nodes did not return -1")
+	}
+}
+
+func TestRendezvousLeaveRemapsMinimally(t *testing.T) {
+	// Node leave: only the departed node's sessions move (survivors keep
+	// their score order), so the remap count is its occupancy — within
+	// the balance bound ceil(S/N) + 15% slack.
+	keys := syntheticKeys(1000)
+	for _, n := range []int{2, 3, 5, 8} {
+		seeds := nodeSeeds(n)
+		before := make([]int, len(keys))
+		for j, k := range keys {
+			before[j] = RendezvousPick(k, seeds, nil)
+		}
+		for down := 0; down < n; down++ {
+			remapped := 0
+			for j, k := range keys {
+				after := RendezvousPick(k, seeds, func(i int) bool { return i != down })
+				moved := after != before[j]
+				if moved != (before[j] == down) {
+					t.Fatalf("n=%d down=%d key %#x: moved=%v but before=%d", n, down, k, moved, before[j])
+				}
+				if moved {
+					remapped++
+				}
+			}
+			bound := (len(keys)+n-1)/n + len(keys)*15/(100*n)
+			if remapped > bound {
+				t.Errorf("n=%d down=%d: %d sessions remapped, bound %d", n, down, remapped, bound)
+			}
+		}
+	}
+}
+
+func TestRendezvousJoinRemapsMinimally(t *testing.T) {
+	// Node join: the only sessions that move are those claimed by the
+	// new node — ≤ ceil(S/(N+1)) + slack — and they all land on it.
+	keys := syntheticKeys(1000)
+	for _, n := range []int{2, 3, 5, 8} {
+		grown := nodeSeeds(n + 1)
+		old := grown[:n] // join = the (n+1)th node appearing
+		remapped := 0
+		for _, k := range keys {
+			before := RendezvousPick(k, old, nil)
+			after := RendezvousPick(k, grown, nil)
+			if after != before {
+				if after != n {
+					t.Fatalf("n=%d key %#x: moved %d -> %d, not to the joining node", n, k, before, after)
+				}
+				remapped++
+			}
+		}
+		bound := (len(keys)+n)/(n+1) + len(keys)*15/(100*(n+1))
+		if remapped > bound {
+			t.Errorf("n=%d join: %d sessions remapped, bound %d", n, remapped, bound)
+		}
+		if remapped == 0 {
+			t.Errorf("n=%d join: new node claimed nothing", n)
+		}
+	}
+}
+
+func TestNodeSeedSpreadsSimilarNames(t *testing.T) {
+	seen := make(map[uint64]string)
+	for i := 0; i < 64; i++ {
+		name := fmt.Sprintf("127.0.0.1:%d", 9000+i)
+		s := NodeSeed(name)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision: %q and %q -> %#x", prev, name, s)
+		}
+		seen[s] = name
+	}
+}
+
+func TestBackoffDelay(t *testing.T) {
+	// Exponential from 50ms, capped at 2s, jitter scaling in [0.5, 1.5).
+	for attempt := 0; attempt < 12; attempt++ {
+		lo := BackoffDelay(attempt, 0)
+		hi := BackoffDelay(attempt, 0.999)
+		if lo <= 0 || hi < lo {
+			t.Fatalf("attempt %d: lo=%v hi=%v", attempt, lo, hi)
+		}
+		if hi >= 3*time.Second {
+			t.Fatalf("attempt %d: %v exceeds jittered cap", attempt, hi)
+		}
+	}
+	if d := BackoffDelay(0, 0.5); d != 50*time.Millisecond {
+		t.Fatalf("first retry midpoint = %v, want 50ms", d)
+	}
+	if d := BackoffDelay(20, 0.5); d != 2*time.Second {
+		t.Fatalf("deep retry midpoint = %v, want the 2s cap", d)
+	}
+}

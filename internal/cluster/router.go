@@ -1,0 +1,367 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inaudible/internal/telemetry"
+)
+
+// RouterConfig wires a Router.
+type RouterConfig struct {
+	// Nodes is the static backend list (host:port transport addresses).
+	// At least one is required.
+	Nodes []string
+	// Node is the router's own cluster identity (for /cluster and
+	// fleet_build_info); optional.
+	Node string
+	// Metrics registers the cluster_* instrument set when non-nil.
+	Metrics *telemetry.Registry
+	// MaxPendingBytes caps each routed session's elastic verdict buffer
+	// (<= 0: DefaultMaxPending).
+	MaxPendingBytes int
+	// DialTimeout bounds each backend dial attempt (<= 0: 3s).
+	DialTimeout time.Duration
+}
+
+// RouterMetrics is the cluster_* instrument set.
+type RouterMetrics struct {
+	Sessions     *telemetry.Counter // cluster_sessions_total
+	Active       *telemetry.Gauge   // cluster_active_sessions
+	NoBackend    *telemetry.Counter // cluster_no_backend_total
+	NodeFailures *telemetry.Counter // cluster_node_failures_total
+}
+
+// NewRouterMetrics registers the router instrument set in r.
+func NewRouterMetrics(r *telemetry.Registry) *RouterMetrics {
+	return &RouterMetrics{
+		Sessions:     r.NewCounter("cluster_sessions_total", "sessions accepted and routed to a backend node"),
+		Active:       r.NewGauge("cluster_active_sessions", "sessions currently relayed through the router"),
+		NoBackend:    r.NewCounter("cluster_no_backend_total", "sessions refused because no backend node was eligible"),
+		NodeFailures: r.NewCounter("cluster_node_failures_total", "sessions failed by a backend dying mid-session"),
+	}
+}
+
+func newUnregisteredRouterMetrics() *RouterMetrics {
+	return &RouterMetrics{
+		Sessions:     &telemetry.Counter{},
+		Active:       &telemetry.Gauge{},
+		NoBackend:    &telemetry.Counter{},
+		NodeFailures: &telemetry.Counter{},
+	}
+}
+
+// Router owns the client-facing listener of a guard cluster: it
+// accepts ordinary GRD1/WAV connections, assigns each an affinity key,
+// rendezvous-routes it to a backend node, and relays bytes both ways
+// without parsing either direction. Clients cannot tell a router from
+// a single guardd — verdict lines arrive byte-identical — except that
+// a backend dying mid-session surfaces as an explicit {"error":...}
+// line instead of a silent hang.
+type Router struct {
+	cfg   RouterConfig
+	nodes []*NodeClient
+	seeds []uint64
+	m     *RouterMetrics
+	seq   atomic.Uint64
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewRouter starts node clients (and their redial loops) for every
+// backend and returns the router. It does not wait for any backend to
+// be reachable — sessions route as nodes come up.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: router needs at least one backend node")
+	}
+	seen := make(map[string]bool, len(cfg.Nodes))
+	for _, n := range cfg.Nodes {
+		if n == "" {
+			return nil, errors.New("cluster: empty backend node address")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate backend node %q", n)
+		}
+		seen[n] = true
+	}
+	m := newUnregisteredRouterMetrics()
+	if cfg.Metrics != nil {
+		m = NewRouterMetrics(cfg.Metrics)
+	}
+	rt := &Router{
+		cfg:       cfg,
+		m:         m,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	for _, addr := range cfg.Nodes {
+		nc := newNodeClient(addr, cfg.MaxPendingBytes, cfg.DialTimeout)
+		rt.nodes = append(rt.nodes, nc)
+		rt.seeds = append(rt.seeds, nc.seed)
+	}
+	return rt, nil
+}
+
+// sessionKey assigns a fresh nonzero affinity key. Keys are mixed so
+// they spread across both the rendezvous scores and the node's shard
+// index, exactly like a direct session's fleet-assigned key.
+func (rt *Router) sessionKey() uint64 {
+	for {
+		k := mix64(rt.seq.Add(1))
+		if k != 0 {
+			return k
+		}
+	}
+}
+
+// route picks the best eligible node for key and opens its stream,
+// demoting nodes that fail at open time (a lost race with a
+// disconnect) and retrying over the survivors.
+func (rt *Router) route(key uint64) (*NodeClient, *RoutedStream, error) {
+	down := make([]bool, len(rt.nodes))
+	for {
+		i := RendezvousPick(key, rt.seeds, func(i int) bool {
+			nc := rt.nodes[i]
+			return !down[i] && nc.Healthy() && !nc.Draining()
+		})
+		if i < 0 {
+			return nil, nil, errors.New("cluster: no backend node available")
+		}
+		st, err := rt.nodes[i].OpenStream(key)
+		if err != nil {
+			down[i] = true
+			continue
+		}
+		return rt.nodes[i], st, nil
+	}
+}
+
+// ServeListener accepts client sessions until the listener closes (nil
+// return, matching stream.Server) or Shutdown is called.
+func (rt *Router) ServeListener(l net.Listener) error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		l.Close()
+		return errors.New("cluster: router is shut down")
+	}
+	rt.listeners[l] = struct{}{}
+	rt.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		rt.mu.Lock()
+		if rt.closed {
+			rt.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		rt.conns[conn] = struct{}{}
+		rt.wg.Add(1)
+		rt.mu.Unlock()
+		go func() {
+			defer rt.wg.Done()
+			rt.handleConn(conn)
+			rt.mu.Lock()
+			delete(rt.conns, conn)
+			rt.mu.Unlock()
+		}()
+	}
+}
+
+// handleConn relays one client session through its routed node.
+func (rt *Router) handleConn(conn net.Conn) {
+	defer conn.Close()
+	key := rt.sessionKey()
+	_, st, err := rt.route(key)
+	if err != nil {
+		rt.m.NoBackend.Inc()
+		writeErrLine(conn, err)
+		drainClient(conn)
+		return
+	}
+	rt.m.Sessions.Inc()
+	rt.m.Active.Add(1)
+	defer rt.m.Active.Add(-1)
+
+	// Uplink: client bytes to the node, opaque. EOF half-closes the
+	// session; an abrupt client error aborts it on the node.
+	go func() {
+		if _, cerr := io.Copy(st, conn); cerr == nil {
+			st.CloseSend()
+		} else {
+			st.Abort()
+		}
+	}()
+
+	// Downlink: verdict bytes to the client, opaque. A clean end frame
+	// surfaces as EOF; a node death surfaces here as the queue's error.
+	if _, derr := io.Copy(conn, st); derr != nil && !errors.Is(derr, errAborted) {
+		rt.m.NodeFailures.Inc()
+		writeErrLine(conn, derr)
+		drainClient(conn)
+	}
+}
+
+// drainClient half-closes the write side and swallows the rest of the
+// client's upload (bounded) so closing the connection cannot RST away
+// an error line the client has not read yet.
+func drainClient(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	io.Copy(io.Discard, conn)
+}
+
+// writeErrLine emits the router's explicit failure verdict: the same
+// one-line {"error":...} shape the node itself uses for malformed
+// sessions, so clients have exactly one error grammar.
+func writeErrLine(w io.Writer, err error) {
+	line, _ := json.Marshal(map[string]string{"error": err.Error()})
+	w.Write(append(line, '\n'))
+}
+
+// node returns the client for addr, or nil.
+func (rt *Router) node(addr string) *NodeClient {
+	for _, nc := range rt.nodes {
+		if nc.addr == addr {
+			return nc
+		}
+	}
+	return nil
+}
+
+// Drain removes a node from the routing rotation: new sessions rendezvous
+// among the survivors while the node's in-flight sessions finish
+// undisturbed. The node's own fleet admission drains too, so direct
+// clients are also refused while it is out of rotation.
+func (rt *Router) Drain(addr string) error {
+	nc := rt.node(addr)
+	if nc == nil {
+		return fmt.Errorf("cluster: unknown node %q", addr)
+	}
+	nc.setDraining(true)
+	return nil
+}
+
+// Undrain returns a drained node to the rotation.
+func (rt *Router) Undrain(addr string) error {
+	nc := rt.node(addr)
+	if nc == nil {
+		return fmt.Errorf("cluster: unknown node %q", addr)
+	}
+	nc.setDraining(false)
+	return nil
+}
+
+// ClusterView is the /cluster response body.
+type ClusterView struct {
+	// Node is the router's own identity (empty when unnamed).
+	Node string `json:"node,omitempty"`
+	// Nodes is the per-backend occupancy/health/drain table.
+	Nodes []NodeView `json:"nodes"`
+	// Router-level counters.
+	SessionsTotal     uint64 `json:"sessions_total"`
+	ActiveSessions    int64  `json:"active_sessions"`
+	NoBackendTotal    uint64 `json:"no_backend_total"`
+	NodeFailuresTotal uint64 `json:"node_failures_total"`
+}
+
+// View snapshots the cluster for the control plane.
+func (rt *Router) View() ClusterView {
+	v := ClusterView{
+		Node:              rt.cfg.Node,
+		Nodes:             make([]NodeView, 0, len(rt.nodes)),
+		SessionsTotal:     rt.m.Sessions.Value(),
+		ActiveSessions:    rt.m.Active.Value(),
+		NoBackendTotal:    rt.m.NoBackend.Value(),
+		NodeFailuresTotal: rt.m.NodeFailures.Value(),
+	}
+	for _, nc := range rt.nodes {
+		v.Nodes = append(v.Nodes, nc.View())
+	}
+	return v
+}
+
+// MountControl adds the cluster control plane to mux (typically the
+// telemetry mux already serving /metrics):
+//
+//	GET  /cluster                      — per-node occupancy, health,
+//	                                     drain state, and router counters
+//	POST /cluster/drain?node=ADDR      — take a node out of rotation
+//	POST /cluster/undrain?node=ADDR    — return it to rotation
+func (rt *Router) MountControl(mux *http.ServeMux) {
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, req *http.Request) {
+		telemetry.WriteJSON(w, rt.View())
+	})
+	setDrain := func(drain bool) http.HandlerFunc {
+		return func(w http.ResponseWriter, req *http.Request) {
+			if req.Method != http.MethodPost {
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			addr := req.URL.Query().Get("node")
+			var err error
+			if drain {
+				err = rt.Drain(addr)
+			} else {
+				err = rt.Undrain(addr)
+			}
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			telemetry.WriteJSON(w, rt.View())
+		}
+	}
+	mux.HandleFunc("/cluster/drain", setDrain(true))
+	mux.HandleFunc("/cluster/undrain", setDrain(false))
+}
+
+// Shutdown stops accepting, waits for in-flight relays up to ctx, then
+// severs the node transports.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	rt.mu.Lock()
+	rt.closed = true
+	for l := range rt.listeners {
+		l.Close()
+	}
+	rt.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { rt.wg.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		rt.mu.Lock()
+		for c := range rt.conns {
+			c.Close()
+		}
+		rt.mu.Unlock()
+	}
+	for _, nc := range rt.nodes {
+		nc.close()
+	}
+	return err
+}

@@ -1,0 +1,450 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"inaudible/internal/audio"
+	"inaudible/internal/cluster"
+	"inaudible/internal/defense"
+	"inaudible/internal/stream"
+)
+
+// The end-to-end routing gates: a session served through router+node
+// is byte-identical to one served directly (modulo the wall-clock
+// latency fields), draining a node strands nothing, and a node dying
+// mid-session fails fast with an explicit error line.
+
+const e2eRate = 48000.0
+
+// attackSig mirrors the stream package's synthetic attack signal:
+// speech-band content with the quadratic m(t)^2 copy in the trace and
+// super-voice bands.
+func attackSig(seconds float64, seed int64) *audio.Signal {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(e2eRate * seconds)
+	x := make([]float64, n)
+	for i := range x {
+		t := float64(i) / e2eRate
+		gate := 0.0
+		if math.Sin(2*math.Pi*3*t) > -0.3 {
+			gate = 1
+		}
+		env := gate * (0.6 + 0.4*math.Sin(2*math.Pi*5*t))
+		m := env * (math.Sin(2*math.Pi*300*t) + 0.5*math.Sin(2*math.Pi*1100*t))
+		x[i] = 0.5*m + 0.25*m*m + 0.002*(rng.Float64()*2-1)
+	}
+	return audio.FromSamples(e2eRate, x)
+}
+
+// legitSig is speech-band content without the quadratic copy.
+func legitSig(seconds float64, seed int64) *audio.Signal {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(e2eRate * seconds)
+	x := make([]float64, n)
+	for i := range x {
+		t := float64(i) / e2eRate
+		gate := 0.0
+		if math.Sin(2*math.Pi*2.5*t+0.7) > -0.2 {
+			gate = 1
+		}
+		env := gate * (0.5 + 0.5*math.Abs(math.Sin(2*math.Pi*4*t)))
+		m := env * (math.Sin(2*math.Pi*220*t) + 0.4*math.Sin(2*math.Pi*900*t+0.3))
+		x[i] = 0.6*m + 0.004*(rng.Float64()*2-1)
+	}
+	return audio.FromSamples(e2eRate, x)
+}
+
+func e2eDetector(t testing.TB) defense.Detector {
+	t.Helper()
+	var samples []defense.Sample
+	for seed := int64(20); seed < 23; seed++ {
+		samples = append(samples,
+			defense.Sample{X: stream.Extract(attackSig(2, seed), 960).Vector(), Attack: true},
+			defense.Sample{X: stream.Extract(legitSig(2, seed), 960).Vector(), Attack: false},
+		)
+	}
+	det, err := defense.CalibrateThresholds(samples)
+	if err != nil {
+		t.Fatalf("calibrating detector: %v", err)
+	}
+	return det
+}
+
+// encodePCM frames sig in the GRD1 protocol.
+func encodePCM(sig *audio.Signal, chunkSamples int) []byte {
+	var b bytes.Buffer
+	b.WriteString(stream.Magic)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(sig.Rate))
+	b.Write(u32[:])
+	for off := 0; off < len(sig.Samples); off += chunkSamples {
+		end := off + chunkSamples
+		if end > len(sig.Samples) {
+			end = len(sig.Samples)
+		}
+		chunk := sig.Samples[off:end]
+		binary.LittleEndian.PutUint32(u32[:], uint32(2*len(chunk)))
+		b.Write(u32[:])
+		for _, v := range chunk {
+			if v > 1 {
+				v = 1
+			} else if v < -1 {
+				v = -1
+			}
+			var s [2]byte
+			binary.LittleEndian.PutUint16(s[:], uint16(int16(v*32767)))
+			b.Write(s[:])
+		}
+	}
+	binary.LittleEndian.PutUint32(u32[:], 0)
+	b.Write(u32[:])
+	return b.Bytes()
+}
+
+// latencyTail and canonEq mirror the stream package's parity
+// canonicalization: latency fields are the only measurement (not
+// verdict) content on a line.
+var latencyTail = regexp.MustCompile(`,"latency_mean_us":[0-9eE.+-]+,"latency_max_us":[0-9eE.+-]+\}$`)
+
+func canonLines(t *testing.T, raw []byte) []string {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	for i, ln := range lines {
+		if !latencyTail.MatchString(ln) {
+			t.Fatalf("verdict line %d has no latency tail: %q", i, ln)
+		}
+		lines[i] = latencyTail.ReplaceAllString(ln, "}")
+	}
+	return lines
+}
+
+// guardNode is one backend: a real stream.Server behind the transport.
+type guardNode struct {
+	srv     *stream.Server
+	backend *cluster.Backend
+	addr    string
+}
+
+func startNode(t *testing.T, det defense.Detector, name string) *guardNode {
+	t.Helper()
+	srv := stream.NewServer(stream.ServerConfig{Detector: det, EmitEvery: 25, Shards: 2, Node: name})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := cluster.NewBackend(srv, 0)
+	go b.Serve(l)
+	n := &guardNode{srv: srv, backend: b, addr: l.Addr().String()}
+	t.Cleanup(func() {
+		b.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return n
+}
+
+// startRouter fronts the given nodes and returns the router plus its
+// client-facing address.
+func startRouter(t *testing.T, nodes ...*guardNode) (*cluster.Router, string) {
+	t.Helper()
+	addrs := make([]string, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = n.addr
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Nodes: addrs, Node: "router0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rt.ServeListener(l)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		rt.Shutdown(ctx)
+	})
+	waitCond(t, "all nodes healthy", func() bool {
+		for _, nv := range rt.View().Nodes {
+			if !nv.Healthy {
+				return false
+			}
+		}
+		return true
+	})
+	return rt, l.Addr().String()
+}
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// routeSession runs one complete session through the router over TCP
+// and returns the verdict bytes.
+func routeSession(t *testing.T, addr string, session []byte) []byte {
+	t.Helper()
+	out, err := tryRouteSession(addr, session)
+	if err != nil {
+		t.Fatalf("routed session: %v", err)
+	}
+	return out
+}
+
+func tryRouteSession(addr string, session []byte) ([]byte, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if _, err := conn.Write(session); err != nil {
+		return nil, fmt.Errorf("write: %w", err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	}
+	return io.ReadAll(conn)
+}
+
+func TestRouterParityWithDirect(t *testing.T) {
+	// The cluster acceptance pin: verdict lines through router+transport+
+	// node are byte-identical to a direct in-process session (modulo
+	// wall-clock latency fields).
+	det := e2eDetector(t)
+	node := startNode(t, det, "n1")
+	_, addr := startRouter(t, node)
+
+	direct := stream.NewServer(stream.ServerConfig{Detector: det, EmitEvery: 25, Shards: 2})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		direct.Shutdown(ctx)
+	}()
+
+	cases := map[string][]byte{
+		"attack": encodePCM(attackSig(1.5, 80), 960),
+		"legit":  encodePCM(legitSig(1.5, 81), 1001),
+	}
+	for name, session := range cases {
+		t.Run(name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := direct.ServeSession(bytes.NewReader(session), &out); err != nil {
+				t.Fatalf("direct session: %v", err)
+			}
+			want := canonLines(t, out.Bytes())
+			got := canonLines(t, routeSession(t, addr, session))
+			if len(got) != len(want) {
+				t.Fatalf("routed path wrote %d lines, direct %d:\nrouted: %v", len(got), len(want), got)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("line %d diverged:\nrouted: %s\ndirect: %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestRouterSpreadsAcrossNodes(t *testing.T) {
+	det := e2eDetector(t)
+	n1 := startNode(t, det, "n1")
+	n2 := startNode(t, det, "n2")
+	rt, addr := startRouter(t, n1, n2)
+
+	session := encodePCM(legitSig(0.5, 82), 960)
+	for i := 0; i < 16; i++ {
+		routeSession(t, addr, session)
+	}
+	v := rt.View()
+	if v.SessionsTotal != 16 {
+		t.Fatalf("sessions_total = %d, want 16", v.SessionsTotal)
+	}
+	for _, nv := range v.Nodes {
+		if nv.SessionsTotal == 0 {
+			t.Fatalf("node %s served nothing: %+v", nv.Addr, v.Nodes)
+		}
+		if nv.FinishedTotal != nv.SessionsTotal {
+			t.Fatalf("node %s: %d opened but %d finished", nv.Addr, nv.SessionsTotal, nv.FinishedTotal)
+		}
+	}
+}
+
+func TestRouterDrainMidSession(t *testing.T) {
+	// Drain with a session in flight: the drained session finishes on
+	// its node with full parity, new sessions route to the survivor
+	// only, direct admission on the drained node refuses, and undrain
+	// restores it.
+	det := e2eDetector(t)
+	n1 := startNode(t, det, "n1")
+	n2 := startNode(t, det, "n2")
+	rt, addr := startRouter(t, n1, n2)
+	nodeByAddr := map[string]*guardNode{n1.addr: n1, n2.addr: n2}
+
+	session := encodePCM(attackSig(1.2, 83), 960)
+	var direct bytes.Buffer
+	ds := stream.NewServer(stream.ServerConfig{Detector: det, EmitEvery: 25, Shards: 2})
+	if err := ds.ServeSession(bytes.NewReader(session), &direct); err != nil {
+		t.Fatalf("direct reference: %v", err)
+	}
+	want := canonLines(t, direct.Bytes())
+
+	// Hold a session open mid-stream through the router.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(session[:len(session)/2]); err != nil {
+		t.Fatal(err)
+	}
+	var held string
+	waitCond(t, "held session visible", func() bool {
+		for _, nv := range rt.View().Nodes {
+			if nv.ActiveSessions == 1 {
+				held = nv.Addr
+				return true
+			}
+		}
+		return false
+	})
+	heldSessions := func() uint64 {
+		for _, nv := range rt.View().Nodes {
+			if nv.Addr == held {
+				return nv.SessionsTotal
+			}
+		}
+		return 0
+	}
+	beforeDrain := heldSessions()
+
+	if err := rt.Drain(held); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	waitCond(t, "node fleet draining", func() bool {
+		return nodeByAddr[held].srv.Fleet().Draining()
+	})
+
+	// New sessions reroute to the survivor; the drained node's session
+	// count must not move.
+	for i := 0; i < 6; i++ {
+		out := routeSession(t, addr, session)
+		if got := canonLines(t, out); got[len(got)-1] != want[len(want)-1] {
+			t.Fatalf("rerouted session %d final line diverged:\n%s\n%s", i, got[len(got)-1], want[len(want)-1])
+		}
+	}
+	if got := heldSessions(); got != beforeDrain {
+		t.Fatalf("drained node admitted new sessions: %d -> %d", beforeDrain, got)
+	}
+
+	// Direct admission on the drained node refuses explicitly.
+	var rejected bytes.Buffer
+	if err := nodeByAddr[held].srv.ServeSession(bytes.NewReader(session), &rejected); err == nil {
+		t.Fatalf("drained node admitted a direct session")
+	}
+	if !strings.Contains(rejected.String(), "draining") {
+		t.Fatalf("drained rejection line: %q", rejected.String())
+	}
+
+	// The held session still finishes on its node, verdicts intact.
+	if _, err := conn.Write(session[len(session)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.(*net.TCPConn).CloseWrite()
+	out, err := io.ReadAll(conn)
+	if err != nil {
+		t.Fatalf("held session read: %v", err)
+	}
+	got := canonLines(t, out)
+	if len(got) != len(want) {
+		t.Fatalf("held session wrote %d lines, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("held session line %d diverged:\n%s\n%s", i, got[i], want[i])
+		}
+	}
+
+	// Undrain restores rotation and direct admission.
+	if err := rt.Undrain(held); err != nil {
+		t.Fatalf("Undrain: %v", err)
+	}
+	waitCond(t, "node fleet undrained", func() bool {
+		return !nodeByAddr[held].srv.Fleet().Draining()
+	})
+	for i := 0; i < 20 && heldSessions() == beforeDrain+1; i++ {
+		routeSession(t, addr, session)
+	}
+	if heldSessions() == beforeDrain+1 {
+		t.Fatalf("undrained node never rejoined the rotation")
+	}
+}
+
+func TestRouterFailsFastWhenNodeDies(t *testing.T) {
+	// A node dying mid-session: the client promptly gets an explicit
+	// {"error":"cluster: ..."} line, not a hang; the router stays up and
+	// refuses new sessions with the same grammar while nothing listens.
+	det := e2eDetector(t)
+	node := startNode(t, det, "n1")
+	rt, addr := startRouter(t, node)
+
+	session := encodePCM(legitSig(1.0, 84), 960)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(session[:len(session)/2]); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "session in flight", func() bool { return rt.View().ActiveSessions == 1 })
+
+	node.backend.Close()
+
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	raw, _ := io.ReadAll(conn)
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	last := lines[len(lines)-1]
+	var errLine struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(last), &errLine); err != nil {
+		t.Fatalf("last line not JSON: %q", last)
+	}
+	if !strings.Contains(errLine.Error, "cluster:") {
+		t.Fatalf("dead-node error line not explicit: %q", last)
+	}
+	waitCond(t, "failure counted", func() bool { return rt.View().NodeFailuresTotal == 1 })
+
+	// With the only node down, new sessions refuse explicitly too.
+	waitCond(t, "node marked down", func() bool { return !rt.View().Nodes[0].Healthy })
+	out, err := tryRouteSession(addr, session)
+	if err != nil {
+		t.Fatalf("refused session transport error: %v", err)
+	}
+	if !strings.Contains(string(out), "no backend node available") {
+		t.Fatalf("no-backend refusal line: %q", out)
+	}
+	if rt.View().NoBackendTotal == 0 {
+		t.Fatalf("no-backend refusal not counted")
+	}
+}

@@ -1,0 +1,363 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestByteQueueDrainsBeforeEOF(t *testing.T) {
+	q := newByteQueue(0)
+	q.write([]byte("hello "))
+	q.write([]byte("world"))
+	q.closeEOF()
+	got, err := io.ReadAll(q)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestByteQueueDrainsBeforeFailure(t *testing.T) {
+	q := newByteQueue(0)
+	q.write([]byte("partial"))
+	boom := errors.New("boom")
+	q.fail(boom)
+	buf := make([]byte, 16)
+	n, err := q.Read(buf)
+	if n != 7 || err != nil {
+		t.Fatalf("buffered read: n=%d err=%v", n, err)
+	}
+	if _, err := q.Read(buf); !errors.Is(err, boom) {
+		t.Fatalf("post-drain read: %v, want boom", err)
+	}
+	// First failure wins; EOF after failure is a no-op.
+	q.fail(errors.New("later"))
+	q.closeEOF()
+	if _, err := q.Read(buf); !errors.Is(err, boom) {
+		t.Fatalf("failure not sticky: %v", err)
+	}
+}
+
+func TestByteQueueOverflowFailsExplicitly(t *testing.T) {
+	q := newByteQueue(8)
+	if err := q.write(make([]byte, 6)); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	err := q.write(make([]byte, 6))
+	if err == nil || !strings.Contains(err.Error(), "buffer exceeded") {
+		t.Fatalf("overflow error: %v", err)
+	}
+	// The consumer still drains what made it in, then sees the failure.
+	got := make([]byte, 16)
+	if n, rerr := q.Read(got); n != 6 || rerr != nil {
+		t.Fatalf("drain after overflow: n=%d err=%v", n, rerr)
+	}
+	if _, rerr := q.Read(got); rerr == nil || !strings.Contains(rerr.Error(), "buffer exceeded") {
+		t.Fatalf("overflow not surfaced to reader: %v", rerr)
+	}
+}
+
+func TestByteQueueBlocksUntilData(t *testing.T) {
+	q := newByteQueue(0)
+	done := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 8)
+		n, _ := q.Read(buf)
+		done <- string(buf[:n])
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.write([]byte("late"))
+	select {
+	case got := <-done:
+		if got != "late" {
+			t.Fatalf("got %q", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader never woke")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	fw := newFrameWriter(client)
+	fr := &frameReader{r: bufio.NewReader(server)}
+	payload := bytes.Repeat([]byte{0xAB}, 300)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := fw.writeFrame(frameData, 7, payload); err != nil {
+			t.Errorf("writeFrame: %v", err)
+		}
+		if err := fw.writeFrame(frameEnd, 7, nil); err != nil {
+			t.Errorf("writeFrame end: %v", err)
+		}
+	}()
+
+	typ, id, got, err := fr.read()
+	if err != nil || typ != frameData || id != 7 || !bytes.Equal(got, payload) {
+		t.Fatalf("frame 1: type=%d id=%d len=%d err=%v", typ, id, len(got), err)
+	}
+	typ, id, got, err = fr.read()
+	if err != nil || typ != frameEnd || id != 7 || len(got) != 0 {
+		t.Fatalf("frame 2: type=%d id=%d len=%d err=%v", typ, id, len(got), err)
+	}
+	wg.Wait()
+
+	if err := fw.writeFrame(frameData, 1, make([]byte, MaxFramePayload+1)); !errors.Is(err, ErrTransport) {
+		t.Fatalf("oversized payload: %v", err)
+	}
+	fw.fail(errors.New("poisoned"))
+	if err := fw.writeFrame(frameData, 1, nil); err == nil || err.Error() != "poisoned" {
+		t.Fatalf("poisoned writer still writes: %v", err)
+	}
+}
+
+func TestFrameReaderRejectsCorruptLength(t *testing.T) {
+	var b bytes.Buffer
+	b.Write([]byte{frameData, 1, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	fr := &frameReader{r: &b}
+	if _, _, _, err := fr.read(); !errors.Is(err, ErrTransport) {
+		t.Fatalf("corrupt length accepted: %v", err)
+	}
+}
+
+func TestPreamble(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go writePreamble(client)
+	if err := readPreamble(server); err != nil {
+		t.Fatalf("good preamble rejected: %v", err)
+	}
+	if err := readPreamble(strings.NewReader("GRD1x")); !errors.Is(err, ErrTransport) {
+		t.Fatalf("bad magic accepted: %v", err)
+	}
+	if err := readPreamble(strings.NewReader(TransportMagic + "\x09")); !errors.Is(err, ErrTransport) {
+		t.Fatalf("bad version accepted: %v", err)
+	}
+}
+
+// echoSession is a SessionServer fake: it records keys and drain flips
+// and answers each session with one line echoing the bytes it read.
+type echoSession struct {
+	mu       sync.Mutex
+	keys     []uint64
+	draining bool
+	block    chan struct{} // non-nil: sessions park here before replying
+}
+
+func (e *echoSession) ServeSessionKeyed(key uint64, r io.Reader, w io.Writer) error {
+	e.mu.Lock()
+	e.keys = append(e.keys, key)
+	block := e.block
+	e.mu.Unlock()
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	if block != nil {
+		<-block
+	}
+	_, err = w.Write([]byte("echo:" + string(body) + "\n"))
+	return err
+}
+
+func (e *echoSession) SetDraining(v bool) {
+	e.mu.Lock()
+	e.draining = v
+	e.mu.Unlock()
+}
+
+func (e *echoSession) isDraining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.draining
+}
+
+// startBackend serves an echoSession backend on a loopback listener.
+func startBackend(t *testing.T, srv SessionServer) (*Backend, string) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBackend(srv, 0)
+	go b.Serve(l)
+	t.Cleanup(b.Close)
+	return b, l.Addr().String()
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestNodeClientSessionRoundTrip(t *testing.T) {
+	echo := &echoSession{}
+	_, addr := startBackend(t, echo)
+	nc := newNodeClient(addr, 0, 0)
+	defer nc.close()
+	waitUntil(t, "node healthy", nc.Healthy)
+
+	st, err := nc.OpenStream(0xBEEF)
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	if _, err := st.Write([]byte("ping")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := st.CloseSend(); err != nil {
+		t.Fatalf("CloseSend: %v", err)
+	}
+	got, err := io.ReadAll(st)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if string(got) != "echo:ping\n" {
+		t.Fatalf("got %q", got)
+	}
+	echo.mu.Lock()
+	keys := append([]uint64(nil), echo.keys...)
+	echo.mu.Unlock()
+	if len(keys) != 1 || keys[0] != 0xBEEF {
+		t.Fatalf("affinity key not delivered: %v", keys)
+	}
+	v := nc.View()
+	if v.SessionsTotal != 1 || v.FinishedTotal != 1 || v.ActiveSessions != 0 {
+		t.Fatalf("counters: %+v", v)
+	}
+}
+
+func TestNodeClientRedialsAndRecovers(t *testing.T) {
+	// Router comes up first: dials fail and back off until the backend
+	// appears, then sessions flow with no intervention.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close() // reserve the address, then free it: nothing listens yet
+
+	nc := newNodeClient(addr, 0, time.Second)
+	defer nc.close()
+	waitUntil(t, "redial attempts", func() bool { return nc.View().RedialsTotal >= 1 })
+	if nc.Healthy() {
+		t.Fatal("healthy with no backend listening")
+	}
+	if _, err := nc.OpenStream(1); !errors.Is(err, ErrNodeDown) {
+		t.Fatalf("open against down node: %v, want ErrNodeDown", err)
+	}
+
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	b := NewBackend(&echoSession{}, 0)
+	go b.Serve(l2)
+	defer b.Close()
+
+	waitUntil(t, "recovery", nc.Healthy)
+	st, err := nc.OpenStream(2)
+	if err != nil {
+		t.Fatalf("OpenStream after recovery: %v", err)
+	}
+	st.Write([]byte("back"))
+	st.CloseSend()
+	if got, err := io.ReadAll(st); err != nil || string(got) != "echo:back\n" {
+		t.Fatalf("post-recovery session: %q, %v", got, err)
+	}
+}
+
+func TestDeadNodeFailsInFlightFast(t *testing.T) {
+	// A backend dying mid-session: the stream fails with an explicit
+	// error naming the node, promptly — never a hang.
+	echo := &echoSession{block: make(chan struct{})}
+	b, addr := startBackend(t, echo)
+	nc := newNodeClient(addr, 0, 0)
+	defer nc.close()
+	waitUntil(t, "node healthy", nc.Healthy)
+
+	st, err := nc.OpenStream(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Write([]byte("doomed"))
+	st.CloseSend()
+	waitUntil(t, "session in flight", func() bool {
+		echo.mu.Lock()
+		defer echo.mu.Unlock()
+		return len(echo.keys) == 1
+	})
+
+	b.Close() // node dies while the session is parked
+
+	readDone := make(chan error, 1)
+	go func() {
+		_, err := io.ReadAll(st)
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		if !errors.Is(err, ErrNodeDown) {
+			t.Fatalf("in-flight failure: %v, want ErrNodeDown", err)
+		}
+		if !strings.Contains(err.Error(), addr) {
+			t.Fatalf("failure does not name the node: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight session hung on a dead node")
+	}
+	if v := nc.View(); v.FailedTotal != 1 || v.ActiveSessions != 0 {
+		t.Fatalf("failure accounting: %+v", v)
+	}
+	close(echo.block)
+}
+
+func TestDrainPropagatesAndSurvivesReconnect(t *testing.T) {
+	echo := &echoSession{}
+	b, addr := startBackend(t, echo)
+	nc := newNodeClient(addr, 0, 0)
+	defer nc.close()
+	waitUntil(t, "node healthy", nc.Healthy)
+
+	nc.setDraining(true)
+	waitUntil(t, "drain delivered", echo.isDraining)
+
+	// Kill the transport connection; the replacement must replay the
+	// drain state without operator help.
+	echo.SetDraining(false)
+	b.Close()
+	waitUntil(t, "disconnect observed", func() bool { return !nc.Healthy() })
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	b2 := NewBackend(echo, 0)
+	go b2.Serve(l2)
+	defer b2.Close()
+	waitUntil(t, "reconnect", nc.Healthy)
+	waitUntil(t, "drain replayed", echo.isDraining)
+
+	nc.setDraining(false)
+	waitUntil(t, "undrain delivered", func() bool { return !echo.isDraining() })
+}

@@ -140,6 +140,10 @@ var (
 	ErrOverloaded = errors.New("fleet: overloaded, session rejected")
 	// ErrClosed rejects sessions opened after Close.
 	ErrClosed = errors.New("fleet: closed")
+	// ErrDraining rejects sessions opened while the fleet is draining
+	// (node leaving a cluster): in-flight sessions finish normally, new
+	// ones must go elsewhere.
+	ErrDraining = errors.New("fleet: draining, new sessions refused")
 	// ErrSessionDone reports producer calls on a session the fleet has
 	// already finished (shutdown force-abort or producer Abort).
 	ErrSessionDone = errors.New("fleet: session is done")
@@ -284,6 +288,7 @@ type Fleet struct {
 	activeFull     int
 	activeDegraded int
 	closed         bool
+	draining       bool
 
 	wg sync.WaitGroup
 }
@@ -350,6 +355,26 @@ func (f *Fleet) Active() (full, degraded int) {
 	return f.activeFull, f.activeDegraded
 }
 
+// SetDraining flips the fleet's drain state: while draining, new
+// sessions are refused with ErrDraining (including WaitAdmission
+// waiters, which are woken to observe it) but in-flight sessions run to
+// their final verdicts on their shards — the cluster node-leave
+// protocol. SetDraining(false) resumes normal admission.
+func (f *Fleet) SetDraining(v bool) {
+	f.mu.Lock()
+	f.draining = v
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// Draining reports whether the fleet is refusing new sessions while
+// draining in-flight ones.
+func (f *Fleet) Draining() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.draining
+}
+
 // Open admits a session at the given sample rate, assigning it a fresh
 // affinity key. See OpenKeyed.
 func (f *Fleet) Open(rate float64) (*Session, error) {
@@ -376,8 +401,11 @@ func (f *Fleet) OpenKeyed(key uint64, rate float64) (*Session, error) {
 		sh.handoffs.Add(-1)
 		if f.cfg.Trace != nil {
 			reason := 0.0 // overloaded
-			if errors.Is(err, ErrClosed) {
+			switch {
+			case errors.Is(err, ErrClosed):
 				reason = 1
+			case errors.Is(err, ErrDraining):
+				reason = 2
 			}
 			f.cfg.Trace.Rejected(key, rate, reason)
 		}
@@ -414,6 +442,10 @@ func (f *Fleet) admit() (degraded bool, err error) {
 		if f.closed {
 			f.m.Rejected.Inc()
 			return false, ErrClosed
+		}
+		if f.draining {
+			f.m.Rejected.Inc()
+			return false, ErrDraining
 		}
 		if f.cfg.MaxSessions <= 0 || f.activeFull < f.cfg.MaxSessions {
 			f.activeFull++

@@ -25,6 +25,7 @@ type Status struct {
 	ActiveFull     int           `json:"active_full"`
 	ActiveDegraded int           `json:"active_degraded"`
 	Closed         bool          `json:"closed"`
+	Draining       bool          `json:"draining,omitempty"`
 	UptimeSeconds  float64       `json:"uptime_seconds"`
 	ShardStates    []ShardStatus `json:"shard_states,omitempty"`
 }
@@ -59,7 +60,7 @@ func (f *Fleet) Status() Status {
 		mode = "wait"
 	}
 	f.mu.Lock()
-	full, degraded, closed := f.activeFull, f.activeDegraded, f.closed
+	full, degraded, closed, draining := f.activeFull, f.activeDegraded, f.closed, f.draining
 	f.mu.Unlock()
 	return Status{
 		Shards:         len(f.shards),
@@ -70,6 +71,7 @@ func (f *Fleet) Status() Status {
 		ActiveFull:     full,
 		ActiveDegraded: degraded,
 		Closed:         closed,
+		Draining:       draining,
 		UptimeSeconds:  time.Since(f.created).Seconds(),
 		ShardStates:    f.ShardStatus(),
 	}

@@ -18,6 +18,10 @@ import (
 // plus the wire layer's counters and the flight recorder's retention
 // stats.
 type FleetView struct {
+	// Node is the serving process's cluster identity (empty when
+	// standalone) so /fleet snapshots from several nodes can sit side by
+	// side without ambiguity.
+	Node string `json:"node,omitempty"`
 	fleet.Status
 	WireSessionsTotal  int64        `json:"wire_sessions_total"`
 	WireSessionsActive int64        `json:"wire_sessions_active"`
@@ -27,6 +31,7 @@ type FleetView struct {
 // FleetView assembles the /fleet snapshot.
 func (s *Server) FleetView() FleetView {
 	v := FleetView{
+		Node:               s.cfg.Node,
 		Status:             s.fl.Status(),
 		WireSessionsTotal:  s.sessions.Load(),
 		WireSessionsActive: s.active.Load(),

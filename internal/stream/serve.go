@@ -127,6 +127,10 @@ type ServerConfig struct {
 	// Drift is the optional feature-drift monitor fed the final feature
 	// vector of every fully-analyzed session, served at /drift.
 	Drift *trace.DriftMonitor
+	// Node is this server's identity in a multi-node deployment, echoed
+	// by the /fleet introspection endpoint so side-by-side node
+	// snapshots are distinguishable. Empty for standalone servers.
+	Node string
 }
 
 // Server runs guard sessions over byte streams on the sharded fleet
@@ -376,11 +380,31 @@ func (s *Server) ServeListener(l net.Listener) error {
 // the stdin/stdout entry point. It is subject to admission control like
 // a connection is.
 func (s *Server) ServeSession(r io.Reader, w io.Writer) error {
-	return s.serve(r, w)
+	return s.serveKeyed(0, r, w)
 }
+
+// ServeSessionKeyed is ServeSession with a caller-supplied affinity
+// key (0 selects a fresh one): a cluster router forwards its own
+// session key so shard placement and the flight-recorder identity line
+// up across the router and the node serving the session.
+func (s *Server) ServeSessionKeyed(key uint64, r io.Reader, w io.Writer) error {
+	return s.serveKeyed(key, r, w)
+}
+
+// SetDraining flips the serving fleet's drain state (see
+// fleet.SetDraining): a draining node finishes in-flight sessions but
+// refuses new ones, so a cluster router can take it out of rotation
+// without dropping a single final verdict.
+func (s *Server) SetDraining(v bool) { s.fl.SetDraining(v) }
 
 // serve decodes one session and streams verdicts.
 func (s *Server) serve(r io.Reader, w io.Writer) error {
+	return s.serveKeyed(0, r, w)
+}
+
+// serveKeyed decodes one session, admitted under the given affinity
+// key (0: fresh), and streams verdicts.
+func (s *Server) serveKeyed(key uint64, r io.Reader, w io.Writer) error {
 	s.sessions.Add(1)
 	s.active.Add(1)
 	defer s.active.Add(-1)
@@ -400,7 +424,7 @@ func (s *Server) serve(r io.Reader, w io.Writer) error {
 		s.scratch.Put(sc)
 	}()
 
-	err := s.serveDecoded(sc)
+	err := s.serveDecoded(key, sc)
 	if err != nil {
 		writeJSONLine(sc.bw, map[string]string{"error": err.Error()})
 	}
@@ -411,7 +435,7 @@ func (s *Server) serve(r io.Reader, w io.Writer) error {
 }
 
 // serveDecoded dispatches on the session magic and runs the guard.
-func (s *Server) serveDecoded(sc *sessionScratch) error {
+func (s *Server) serveDecoded(key uint64, sc *sessionScratch) error {
 	magic, err := sc.br.Peek(4)
 	if err != nil {
 		return fmt.Errorf("%w: reading magic: %v", ErrProtocol, err)
@@ -422,7 +446,7 @@ func (s *Server) serveDecoded(sc *sessionScratch) error {
 		if err != nil {
 			return err
 		}
-		return s.runSession(sc, wr.Rate(), func(dst []float64) (int, error) { return wr.Read(dst) })
+		return s.runSession(key, sc, wr.Rate(), func(dst []float64) (int, error) { return wr.Read(dst) })
 	case Magic:
 		if _, err := sc.br.Discard(4); err != nil {
 			return err
@@ -433,7 +457,7 @@ func (s *Server) serveDecoded(sc *sessionScratch) error {
 		}
 		rate := float64(binary.LittleEndian.Uint32(rateBuf[:]))
 		pcm := &pcmChunkReader{br: sc.br, buf: sc.pcm}
-		err := s.runSession(sc, rate, pcm.read)
+		err := s.runSession(key, sc, rate, pcm.read)
 		sc.pcm = pcm.buf // keep a buffer grown for large chunks pooled
 		return err
 	default:
@@ -502,11 +526,17 @@ func (p *pcmChunkReader) read(dst []float64) (int, error) {
 // runSession admits a fleet session, streams frames from next into its
 // ring, and relays verdict events to the wire. The session's Guard runs
 // on its shard worker; this goroutine only moves bytes.
-func (s *Server) runSession(sc *sessionScratch, rate float64, next func([]float64) (int, error)) error {
+func (s *Server) runSession(key uint64, sc *sessionScratch, rate float64, next func([]float64) (int, error)) error {
 	if err := validateRate(rate); err != nil {
 		return err
 	}
-	sess, err := s.fl.Open(rate)
+	var sess *fleet.Session
+	var err error
+	if key != 0 {
+		sess, err = s.fl.OpenKeyed(key, rate)
+	} else {
+		sess, err = s.fl.Open(rate)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,35 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// RegisterBuildInfo exports a serving process's identity: a
+// fleet_build_info Info gauge carrying version/runtime labels plus the
+// process's cluster node name and role, and fleet_start_time_seconds
+// for uptime arithmetic (time() - fleet_start_time_seconds).
+//
+// The node label is the multi-node scrape story: every process keeps
+// the plain fleet_* metric names (a Prometheus scrape distinguishes
+// targets by instance), and dashboards join human-friendly node names
+// onto any series via fleet_build_info{node="..."} — no per-metric
+// prefixing, no name collisions. node may be empty for standalone
+// processes; role names what the process does (e.g. "node", "router").
+func RegisterBuildInfo(r *Registry, node, role string) {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	labels := map[string]string{
+		"version":    version,
+		"go_version": runtime.Version(),
+		"role":       role,
+	}
+	if node != "" {
+		labels["node"] = node
+	}
+	r.NewInfo("fleet_build_info", "build and runtime identity of the serving process", labels)
+	r.NewGauge("fleet_start_time_seconds", "unix time the process started").Set(time.Now().Unix())
+}

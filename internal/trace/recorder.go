@@ -27,6 +27,10 @@ type Config struct {
 	// which a KindAdvance event is recorded (default 1ms; every Advance
 	// would flood the bounded ring at frame rate).
 	SlowAdvance time.Duration
+	// Node is the recording process's cluster identity, echoed in Stats
+	// so flight-recorder snapshots from several nodes are
+	// distinguishable side by side. Empty for standalone processes.
+	Node string
 }
 
 func (c Config) withDefaults() Config {
@@ -113,7 +117,8 @@ func (r *Recorder) Start(key uint64, rate float64, shard int, degraded bool, occ
 
 // Rejected retains a synthetic single-event trace for a session the
 // fleet turned away; rejected sessions never reach a shard, so this is
-// their only record. reason is 0 for overload, 1 for fleet shutdown.
+// their only record. reason is 0 for overload, 1 for fleet shutdown,
+// 2 for a draining node refusing new sessions.
 func (r *Recorder) Rejected(key uint64, rate float64, reason float64) {
 	if r == nil {
 		return
@@ -230,6 +235,7 @@ func (r *Recorder) Sessions() []*SessionTrace {
 
 // Stats summarizes recorder-side counts for the fleet status endpoint.
 type Stats struct {
+	Node      string `json:"node,omitempty"`
 	Live      int    `json:"live"`
 	Retained  int    `json:"retained"`
 	Notable   int    `json:"notable"`
@@ -244,7 +250,7 @@ func (r *Recorder) Stats() Stats {
 		return Stats{}
 	}
 	r.mu.Lock()
-	s := Stats{Live: len(r.live), Retained: len(r.done), Notable: len(r.notable)}
+	s := Stats{Node: r.cfg.Node, Live: len(r.live), Retained: len(r.done), Notable: len(r.notable)}
 	r.mu.Unlock()
 	s.Completed = r.completed.Load()
 	s.Aborted = r.aborted.Load()

@@ -13,12 +13,24 @@
 # smallest benchtime we have found to be stable on a 1-core container.
 # Notes and acceptance verdicts are left for a human: numbers without
 # the workload context are not a snapshot.
+#
+# The cluster section (CLUSTER=0 to skip, CLUSTER_ONLY=1 to run just
+# it) measures end-to-end sessions/sec over real TCP with loadgen:
+# direct single node, then router in front of 1, 2 and 4 backends,
+# recording the scaling curve, per-node occupancy, and the router
+# overhead — and enforces the PR 9 gate (router-over-1-node within 10%
+# of direct) as an exit code.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PR="${1:-0}"
 BENCHTIME="${BENCHTIME:-20000x}"
 COUNT="${COUNT:-2}"
+CLUSTER="${CLUSTER:-1}"
+CLUSTER_ONLY="${CLUSTER_ONLY:-0}"
+CLUSTER_EPOCH="${CLUSTER_EPOCH:-6s}"
+CLUSTER_CLIENTS="${CLUSTER_CLIENTS:-4}"
+CLUSTER_RUNS="${CLUSTER_RUNS:-3}"
 
 host="$(go env GOHOSTARCH) $(go version | awk '{print $3}')"
 if [ -r /proc/cpuinfo ]; then
@@ -27,25 +39,140 @@ if [ -r /proc/cpuinfo ]; then
 fi
 
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+tmpd=$(mktemp -d)
+grd_pids=()
+cleanup() {
+	for p in "${grd_pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+	wait 2>/dev/null || true
+	rm -rf "$raw" "$tmpd"
+}
+trap cleanup EXIT
 
 run_bench() { # pkg, bench regex
 	go test "$1" -run '^$' -bench "$2" -benchtime "$BENCHTIME" -benchmem -timeout 30m -count "$COUNT" 2>&1 | tee -a "$raw" >&2
 }
 
-echo "==> running benchmarks at -benchtime $BENCHTIME -count $COUNT" >&2
-run_bench ./internal/fleet 'BenchmarkFleetCoreFrame$'
-run_bench ./internal/stream 'BenchmarkFleetThroughput$'
-run_bench ./internal/stream 'BenchmarkFleetThroughputTraced$'
-run_bench ./internal/stream 'BenchmarkCascadeFleetThroughput'
-run_bench ./internal/dsp 'BenchmarkBatchedRFFT'
+if [ "$CLUSTER_ONLY" != 1 ]; then
+	echo "==> running benchmarks at -benchtime $BENCHTIME -count $COUNT" >&2
+	run_bench ./internal/fleet 'BenchmarkFleetCoreFrame$'
+	run_bench ./internal/stream 'BenchmarkFleetThroughput$'
+	run_bench ./internal/stream 'BenchmarkFleetThroughputTraced$'
+	run_bench ./internal/stream 'BenchmarkCascadeFleetThroughput'
+	run_bench ./internal/dsp 'BenchmarkBatchedRFFT'
+fi
+
+# --- cluster scaling: loadgen over real TCP against direct node vs
+# --- router-fronted 1/2/4 backends (CLUSTER=0 skips). Best-of-runs
+# --- sessions/sec per topology; every run must finish with zero
+# --- loadgen errors (no dropped verdicts).
+cluster_json=""
+if [ "$CLUSTER" = 1 ]; then
+	cluster_json="$tmpd/cluster.json"
+	echo "==> cluster scaling sweep (epoch $CLUSTER_EPOCH x$CLUSTER_RUNS, $CLUSTER_CLIENTS clients)" >&2
+	go build -o "$tmpd/" ./cmd/guardd ./cmd/loadgen
+
+	wait_healthz() { # metrics base url
+		for _ in $(seq 1 100); do
+			curl -sf "$1/healthz" >/dev/null 2>&1 && return 0
+			sleep 0.1
+		done
+		echo "timed out waiting for $1/healthz" >&2
+		return 1
+	}
+
+	measure() { # session addr -> "best sessions/sec" and "that run's p99 ms"
+		local addr=$1 best=0 bp99=0 s p99
+		for _ in $(seq 1 "$CLUSTER_RUNS"); do
+			"$tmpd/loadgen" -addr "$addr" -synth cheap -session-seconds 0.5 \
+				-sessions "$CLUSTER_CLIENTS" -duration "$CLUSTER_EPOCH" \
+				-quiet -json "$tmpd/lg.json" >/dev/null
+			read -r s p99 <<<"$(python3 -c 'import json,sys
+ep = json.load(open(sys.argv[1]))["epochs"][0]
+assert ep["errors"] == 0, "loadgen epoch had errors: %r" % ep
+print(ep["sessions_per_sec"], ep["verdict_p99_ms"])' "$tmpd/lg.json")"
+			if python3 -c "import sys; sys.exit(0 if $s > $best else 1)"; then
+				best=$s bp99=$p99
+			fi
+		done
+		echo "$best $bp99"
+	}
+
+	# Four backends, up for the whole sweep; idle ones cost nothing.
+	# n1 also serves GRD1 directly on :17701 for the baseline.
+	for i in 1 2 3 4; do
+		"$tmpd/guardd" -detector demo -listen "127.0.0.1:$((17700 + i))" \
+			-cluster-node "127.0.0.1:$((17800 + i))" \
+			-metrics "127.0.0.1:$((17900 + i))" -node "n$i" -drain 5s \
+			>"$tmpd/n$i.log" 2>&1 &
+		grd_pids+=($!)
+	done
+	for i in 1 2 3 4; do wait_healthz "http://127.0.0.1:$((17900 + i))"; done
+
+	read -r direct direct_p99 <<<"$(measure "127.0.0.1:17701")"
+	echo "    direct 1 node: $direct sessions/sec (p99 ${direct_p99}ms)" >&2
+
+	declare -A routed routed_p99
+	for n in 1 2 4; do
+		nodes="127.0.0.1:17801"
+		[ "$n" -ge 2 ] && nodes="$nodes,127.0.0.1:17802"
+		[ "$n" -ge 4 ] && nodes="$nodes,127.0.0.1:17803,127.0.0.1:17804"
+		"$tmpd/guardd" -route "$nodes" -listen 127.0.0.1:17650 \
+			-metrics 127.0.0.1:17651 -node rt -drain 5s \
+			>"$tmpd/rt$n.log" 2>&1 &
+		rt_pid=$!
+		grd_pids+=($rt_pid)
+		wait_healthz "http://127.0.0.1:17651"
+		read -r "routed[$n]" "routed_p99[$n]" <<<"$(measure "127.0.0.1:17650")"
+		echo "    router -> $n node(s): ${routed[$n]} sessions/sec (p99 ${routed_p99[$n]}ms)" >&2
+		curl -s "http://127.0.0.1:17651/cluster" >"$tmpd/occupancy$n.json"
+		kill "$rt_pid" && wait "$rt_pid" 2>/dev/null || true
+	done
+
+	gate=0
+	python3 - "$cluster_json" "$direct" "$direct_p99" \
+		"${routed[1]}" "${routed_p99[1]}" "${routed[2]}" "${routed_p99[2]}" \
+		"${routed[4]}" "${routed_p99[4]}" "$tmpd" <<'EOF' || gate=$?
+import json, sys
+
+out_path = sys.argv[1]
+direct, dp99, r1, p1, r2, p2, r4, p4 = (float(x) for x in sys.argv[2:10])
+tmpd = sys.argv[10]
+overhead = (direct - r1) / direct
+
+def occupancy(n):
+    view = json.load(open(f"{tmpd}/occupancy{n}.json"))
+    return {nd["addr"]: nd["finished_total"] for nd in view["nodes"]}
+
+frag = {
+    "workload": "loadgen -synth cheap -session-seconds 0.5, best-of-runs sessions/sec, zero errors required",
+    "direct_1node_sessions_per_sec": direct,
+    "router_sessions_per_sec": {"1": r1, "2": r2, "4": r4},
+    "router_overhead_frac_vs_direct": round(overhead, 4),
+    "verdict_p99_ms": {"direct": dp99, "1": p1, "2": p2, "4": p4},
+    "router_p99_added_ms_vs_direct": round(p1 - dp99, 2),
+    "scaling_vs_router_1node": {"2": round(r2 / r1, 3), "4": round(r4 / r1, 3)},
+    "occupancy_sessions_finished": {str(n): occupancy(n) for n in (1, 2, 4)},
+}
+json.dump(frag, open(out_path, "w"), indent=2)
+print(f"    router overhead vs direct: {overhead:+.1%} (gate: <= 10%)", file=sys.stderr)
+sys.exit(0 if overhead <= 0.10 else 3)
+EOF
+	for p in "${grd_pids[@]}"; do kill "$p" 2>/dev/null || true; done
+	wait 2>/dev/null || true
+	grd_pids=()
+	if [ "$gate" -ne 0 ]; then
+		echo "FAIL: router overhead above the 10% gate" >&2
+		exit 1
+	fi
+fi
 
 # Best-of-count per benchmark (min ns/op: least scheduler noise on a
-# shared host), keyed by the trimmed benchmark name.
-python3 - "$raw" "$PR" "$host" <<'EOF'
-import json, re, sys
+# shared host), keyed by the trimmed benchmark name. The cluster
+# fragment, when measured, is embedded under "cluster".
+python3 - "$raw" "$PR" "$host" "$cluster_json" <<'EOF'
+import json, os, re, sys
 
-raw, pr, host = open(sys.argv[1]).read(), int(sys.argv[2]), sys.argv[3]
+raw, pr, host, cluster_path = open(sys.argv[1]).read(), int(sys.argv[2]), sys.argv[3], sys.argv[4]
 best = {}
 for line in raw.splitlines():
     m = re.match(r'^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)', line)
@@ -71,6 +198,8 @@ out = {
     "benchmarks": best,
     "acceptance": {"FILL_ME": "per-PR gate verdicts"},
 }
+if cluster_path and os.path.exists(cluster_path):
+    out["cluster"] = json.load(open(cluster_path))
 json.dump(out, sys.stdout, indent=2)
 print()
 EOF

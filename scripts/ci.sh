@@ -76,6 +76,50 @@ go run ./cmd/loadgen -addr 127.0.0.1:7698 -synth cheap -sessions 4 -duration 2s 
 kill "$GUARDD_PID" 2>/dev/null || true
 wait "$GUARDD_PID" 2>/dev/null || true
 trap - EXIT
-rm -f /tmp/guardd-ci /tmp/guardctl-ci
+
+echo "==> multi-node smoke (2 backends + router: burst, per-role check, drain, zero dropped verdicts)"
+go build -o /tmp/loadgen-ci ./cmd/loadgen
+CI_SMOKE_PIDS=()
+/tmp/guardd-ci -detector demo -cluster-node 127.0.0.1:7711 -metrics 127.0.0.1:7712 -node n1 -drain 5s &
+CI_SMOKE_PIDS+=($!)
+/tmp/guardd-ci -detector demo -cluster-node 127.0.0.1:7721 -metrics 127.0.0.1:7722 -node n2 -drain 5s &
+CI_SMOKE_PIDS+=($!)
+/tmp/guardd-ci -route 127.0.0.1:7711,127.0.0.1:7721 -listen 127.0.0.1:7730 -metrics 127.0.0.1:7731 -node rt -drain 5s &
+CI_SMOKE_PIDS+=($!)
+trap 'for p in "${CI_SMOKE_PIDS[@]}"; do kill "$p" 2>/dev/null || true; done' EXIT
+for port in 7712 7722 7731; do
+	for i in $(seq 1 50); do
+		if curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then break; fi
+		sleep 0.2
+	done
+done
+/tmp/loadgen-ci -addr 127.0.0.1:7730 -synth cheap -sessions 4 -duration 2s -session-seconds 0.5 -quiet -json /tmp/lg-cluster-ci.json >/dev/null
+python3 -c 'import json; ep = json.load(open("/tmp/lg-cluster-ci.json"))["epochs"][0]; assert ep["errors"] == 0 and ep["completed"] > 0, ep'
+# The observability plane must validate on every role: both backend
+# nodes and the router (guardctl check adapts to what each mounts).
+/tmp/guardctl-ci -base http://127.0.0.1:7712 check
+/tmp/guardctl-ci -base http://127.0.0.1:7722 check
+/tmp/guardctl-ci -base http://127.0.0.1:7731 check
+/tmp/guardctl-ci -base http://127.0.0.1:7731 cluster >/tmp/cluster-view-ci.json
+# Drain n1, push a second burst: every session must still get a final
+# verdict (zero errors), with the drained node frozen out of rotation.
+/tmp/guardctl-ci -base http://127.0.0.1:7731 drain 127.0.0.1:7711 >/dev/null
+/tmp/loadgen-ci -addr 127.0.0.1:7730 -synth cheap -sessions 4 -duration 2s -session-seconds 0.5 -quiet -json /tmp/lg-cluster-ci.json >/dev/null
+/tmp/guardctl-ci -base http://127.0.0.1:7731 cluster >/tmp/cluster-view-ci-drained.json
+python3 - <<'EOF'
+import json
+ep = json.load(open("/tmp/lg-cluster-ci.json"))["epochs"][0]
+assert ep["errors"] == 0 and ep["completed"] > 0, ep
+before = {n["addr"]: n for n in json.load(open("/tmp/cluster-view-ci.json"))["nodes"]}
+after = {n["addr"]: n for n in json.load(open("/tmp/cluster-view-ci-drained.json"))["nodes"]}
+drained, other = after["127.0.0.1:7711"], after["127.0.0.1:7721"]
+assert drained.get("draining"), "drain did not take"
+assert drained["sessions_total"] == before["127.0.0.1:7711"]["sessions_total"], "drained node got new sessions"
+assert other["finished_total"] > before["127.0.0.1:7721"]["finished_total"], "survivor took no sessions"
+EOF
+for p in "${CI_SMOKE_PIDS[@]}"; do kill "$p" 2>/dev/null || true; done
+for p in "${CI_SMOKE_PIDS[@]}"; do wait "$p" 2>/dev/null || true; done
+trap - EXIT
+rm -f /tmp/guardd-ci /tmp/guardctl-ci /tmp/loadgen-ci /tmp/lg-cluster-ci.json /tmp/cluster-view-ci.json /tmp/cluster-view-ci-drained.json
 
 echo "CI gate passed."
