@@ -11,11 +11,15 @@
 //	sessions        flight-recorder listing (live + retained exemplars)
 //	session <id>    one session's full event trace
 //	drift           per-feature divergence vs the training distribution
+//	journal         durable-journal listing + WAL health stats
+//	journal <seq>   one journaled session: events + feature frames
 //	cluster         router control plane: per-node occupancy, health, drain
 //	drain <node>    take a backend out of the routing rotation
 //	undrain <node>  return it to the rotation
 //	check           validate the plane: strict Prometheus conformance on
-//	                /metrics, JSON decode of every introspection endpoint
+//	                /metrics, JSON decode of every introspection endpoint,
+//	                and journal integrity (zero corrupt records, sampled
+//	                record decode) when the target journals
 //
 // check exits non-zero on the first violation, which makes it the CI
 // smoke gate: start guardd, push a burst of sessions, `guardctl check`.
@@ -62,6 +66,15 @@ func main() {
 		err = c.printJSON("/sessions/" + args[1])
 	case "drift":
 		err = c.printJSON("/drift")
+	case "journal":
+		if len(args) > 2 {
+			usage()
+		}
+		if len(args) == 2 {
+			err = c.printJSON("/journal/" + args[1])
+		} else {
+			err = c.printJSON("/journal")
+		}
 	case "cluster":
 		err = c.printJSON("/cluster")
 	case "drain", "undrain":
@@ -146,7 +159,7 @@ func (c *client) check() error {
 	fmt.Println("ok /metrics (strict exposition conformance)")
 
 	served := map[string]bool{}
-	for _, path := range []string{"/varz", "/fleet", "/shards", "/sessions", "/drift", "/cluster"} {
+	for _, path := range []string{"/varz", "/fleet", "/shards", "/sessions", "/drift", "/journal", "/cluster"} {
 		resp, err := c.http.Get(c.base + path)
 		if err != nil {
 			return err
@@ -173,10 +186,69 @@ func (c *client) check() error {
 	if !served["/fleet"] && !served["/cluster"] {
 		return fmt.Errorf("target serves neither /fleet (node) nor /cluster (router)")
 	}
+	if served["/journal"] {
+		if err := c.checkJournal(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkJournal is the durability leg of check: the /journal stats must
+// report zero corrupt records, and a sample of the newest records must
+// fetch and decode — each /journal/{seq} GET CRC-verifies the record
+// on the daemon side, so a decode failure here means WAL damage.
+func (c *client) checkJournal() error {
+	resp, err := c.get("/journal")
+	if err != nil {
+		return err
+	}
+	var list struct {
+		Stats struct {
+			Corrupt   uint64 `json:"corrupt_records_total"`
+			TornTails uint64 `json:"torn_tails_truncated_total"`
+			Retained  int    `json:"retained"`
+		} `json:"stats"`
+		Sessions []struct {
+			Seq uint64 `json:"seq"`
+		} `json:"sessions"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("/journal: not valid JSON: %w", err)
+	}
+	if list.Stats.Corrupt != 0 {
+		return fmt.Errorf("/journal: %d corrupt records (WAL integrity violated)", list.Stats.Corrupt)
+	}
+	sample := len(list.Sessions)
+	if sample > 3 {
+		sample = 3
+	}
+	for i := 0; i < sample; i++ {
+		path := fmt.Sprintf("/journal/%d", list.Sessions[i].Seq)
+		resp, err := c.get(path)
+		if err != nil {
+			return err
+		}
+		var entry struct {
+			Seq    uint64        `json:"seq"`
+			Events []interface{} `json:"events"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&entry)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("%s: not valid JSON: %w", path, err)
+		}
+		if entry.Seq != list.Sessions[i].Seq || len(entry.Events) == 0 {
+			return fmt.Errorf("%s: record incomplete (seq %d, %d events)", path, entry.Seq, len(entry.Events))
+		}
+	}
+	fmt.Printf("ok /journal integrity (%d retained, 0 corrupt, %d records decoded)\n", list.Stats.Retained, sample)
 	return nil
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: guardctl [-base url] fleet|shards|sessions|session <id>|drift|cluster|drain <node>|undrain <node>|check")
+	fmt.Fprintln(os.Stderr, "usage: guardctl [-base url] fleet|shards|sessions|session <id>|drift|journal [seq]|cluster|drain <node>|undrain <node>|check")
 	os.Exit(2)
 }

@@ -60,10 +60,13 @@ import (
 	"syscall"
 	"time"
 
+	"runtime/debug"
+
 	"inaudible/internal/cluster"
 	"inaudible/internal/core"
 	"inaudible/internal/defense"
 	"inaudible/internal/experiment"
+	"inaudible/internal/journal"
 	"inaudible/internal/stream"
 	"inaudible/internal/telemetry"
 	"inaudible/internal/trace"
@@ -94,6 +97,11 @@ func main() {
 		traceExempl = flag.Int("trace-exemplars", 64, "completed sessions retained by the flight recorder (0: tracing off)")
 		sloMS       = flag.Int("slo-ms", 500, "final-verdict latency SLO; violating sessions are retained as notable (0: no SLO)")
 		nodeName    = flag.String("node", "", "cluster identity of this process (labels /fleet, traces and fleet_build_info)")
+		journalDir  = flag.String("journal", "", "directory for the durable session journal (empty: journaling off)")
+		journalSeg  = flag.Int("journal-segment-mb", 4, "journal segment size in MiB before rotation")
+		journalMax  = flag.Int("journal-max-mb", 256, "journal byte-retention cap in MiB (oldest segments deleted)")
+		journalAge  = flag.Duration("journal-max-age", 0, "journal age-retention cap (0: unlimited)")
+		journalFeat = flag.Int("journal-features", 32, "feature frames captured per session for replay (0: privacy mode, verdicts only)")
 		clusterNode = flag.String("cluster-node", "", "also serve the inter-node transport on this TCP address (backend mode, routable by -route)")
 		route       = flag.String("route", "", "comma-separated backend transport addresses: run as a front-end router (no detector)")
 	)
@@ -128,11 +136,42 @@ func main() {
 
 	var rec *trace.Recorder
 	if *traceExempl > 0 {
+		feat := *journalFeat
+		if feat <= 0 {
+			feat = -1 // privacy mode: record verdicts, never vectors
+		}
 		rec = trace.NewRecorder(trace.Config{
-			Exemplars: *traceExempl,
-			SLO:       time.Duration(*sloMS) * time.Millisecond,
-			Node:      *nodeName,
+			Exemplars:     *traceExempl,
+			SLO:           time.Duration(*sloMS) * time.Millisecond,
+			Node:          *nodeName,
+			FeatureFrames: feat,
+			Evicted: reg.NewCounterVec("fleet_trace_evicted_total",
+				"Flight-recorder exemplars lost to retention pressure by ring.",
+				"ring", "recent", "notable"),
 		})
+	}
+
+	var jnl *journal.Journal
+	if *journalDir != "" {
+		if rec == nil {
+			fatal("-journal records sealed session traces: it needs the flight recorder (-trace-exemplars > 0)")
+		}
+		var err error
+		jnl, err = journal.Open(journal.Config{
+			Dir:          *journalDir,
+			SegmentBytes: int64(*journalSeg) << 20,
+			MaxBytes:     int64(*journalMax) << 20,
+			MaxAge:       *journalAge,
+			Node:         *nodeName,
+			Model:        modelString(*detector, *seed, *quick),
+			Build:        buildString(),
+			Metrics:      reg,
+		})
+		if err != nil {
+			fatal("journal: %v", err)
+		}
+		defer jnl.Close()
+		fmt.Fprintf(os.Stderr, "guardd: journaling sessions to %s (%d recovered)\n", *journalDir, jnl.Stats().Recovered)
 	}
 	drift := trace.NewDriftMonitor(reg)
 	if trainVecs != nil {
@@ -162,6 +201,7 @@ func main() {
 		Metrics:           reg,
 		Trace:             rec,
 		Drift:             drift,
+		Journal:           jnl,
 		Node:              *nodeName,
 	})
 
@@ -179,13 +219,15 @@ func main() {
 		if *pprofOn {
 			extra = ", /debug/pprof/"
 		}
-		fmt.Fprintf(os.Stderr, "guardd: metrics on http://%s/metrics (also /varz, /healthz, /sessions, /shards, /fleet, /drift%s)\n", ml.Addr(), extra)
+		fmt.Fprintf(os.Stderr, "guardd: metrics on http://%s/metrics (also /varz, /healthz, /sessions, /shards, /fleet, /drift, /journal%s)\n", ml.Addr(), extra)
 	}
 
 	if *listen == "" && *clusterNode == "" {
 		if err := srv.ServeSession(os.Stdin, os.Stdout); err != nil {
+			jnl.Close()
 			fatal("session: %v", err)
 		}
+		jnl.Close()
 		return
 	}
 
@@ -271,7 +313,46 @@ func main() {
 	if backend != nil {
 		backend.Close()
 	}
+	// After Shutdown every shard has finished its sessions; closing the
+	// journal drains the handoff rings so the last verdicts are durable
+	// before exit.
+	jnl.Close()
 	fmt.Fprintf(os.Stderr, "guardd: served %d sessions — bye\n", srv.Sessions())
+}
+
+// modelString stamps journal records with enough detector provenance
+// to tell replays apart: kind, training seed and corpus tier.
+func modelString(kind string, seed int64, quick bool) string {
+	if kind == "demo" {
+		return "demo"
+	}
+	tier := "full"
+	if quick {
+		tier = "quick"
+	}
+	return fmt.Sprintf("%s/seed=%d/%s", kind, seed, tier)
+}
+
+// buildString stamps journal records with the serving binary's version
+// (module version or VCS revision when the build recorded one).
+func buildString() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	rev := ""
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" {
+			rev = kv.Value
+		}
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" {
+		return rev
+	}
+	return bi.Main.Version
 }
 
 // runRouter is -route: the process fronts a static backend list,

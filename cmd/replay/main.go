@@ -1,0 +1,150 @@
+// Command replay is the regression-replay harness for the durable
+// session journal (see internal/journal and guardd's -journal flag):
+// it opens a journal directory read-only, re-serves every stored
+// feature frame through a detector, and diffs the detector's verdicts
+// against the ones guardd recorded live.
+//
+// Two modes:
+//
+//   - Parity check (-verify): replay with the SAME detector
+//     configuration that served the traffic. Scores are stored as raw
+//     IEEE-754 bits and the detectors are deterministic, so the replay
+//     must reproduce every recorded verdict bit-for-bit; any
+//     divergence exits non-zero. This is the CI gate that proves the
+//     journal is a faithful record.
+//
+//   - Candidate diff: replay with a DIFFERENT detector (new kind, new
+//     seed, retrained corpus) and read the structured report — how
+//     many verdicts flip, the worst score delta, and an itemized diff
+//     of the first divergent sessions. This answers "what would the
+//     new model have said about last week's traffic" without
+//     re-serving a single byte of audio.
+//
+// The journal is opened read-only: a live guardd can keep appending to
+// the same directory while replay runs (the torn tail, if any, is
+// skipped, never truncated).
+//
+// Usage:
+//
+//	replay -journal /var/lib/guardd/journal -detector demo -verify
+//	replay -journal ./j -detector svm -seed 2 -quick        # candidate diff
+//	replay -journal ./j -detector logistic -json | jq .
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"inaudible/internal/core"
+	"inaudible/internal/defense"
+	"inaudible/internal/experiment"
+	"inaudible/internal/journal"
+)
+
+func main() {
+	var (
+		dir      = flag.String("journal", "", "journal directory to replay (required)")
+		detector = flag.String("detector", "demo", "candidate detector kind: demo, or one of the trained kinds")
+		seed     = flag.Int64("seed", 1, "corpus and training seed for trained detectors")
+		quick    = flag.Bool("quick", false, "train the candidate on the Quick-suite corpus")
+		limit    = flag.Int("limit", 0, "replay only the newest N sessions (0: all retained)")
+		jsonOut  = flag.Bool("json", false, "print the full report as JSON (default: summary lines)")
+		verify   = flag.Bool("verify", false, "parity mode: exit non-zero unless replay is bit-identical to the recording")
+	)
+	flag.Parse()
+	if *dir == "" || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: replay -journal DIR [-detector kind] [-seed n] [-quick] [-limit n] [-json] [-verify]")
+		os.Exit(2)
+	}
+
+	det, err := buildDetector(*detector, *seed, *quick)
+	if err != nil {
+		fatal("detector: %v", err)
+	}
+
+	j, err := journal.Open(journal.Config{Dir: *dir, ReadOnly: true})
+	if err != nil {
+		fatal("open: %v", err)
+	}
+	defer j.Close()
+	st := j.Stats()
+	fmt.Fprintf(os.Stderr, "replay: %d sessions retained in %s (%d segments, %d corrupt skipped)\n",
+		st.Retained, *dir, st.Segments, st.Corrupt)
+
+	rep, err := j.Replay(det, journal.ReplayOptions{Limit: *limit})
+	if err != nil {
+		fatal("replay: %v", err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal("encoding report: %v", err)
+		}
+	} else {
+		printSummary(rep)
+	}
+
+	if *verify && !rep.Identical {
+		fmt.Fprintf(os.Stderr, "replay: FAIL — %d score mismatches, %d attack flips (max score delta %g)\n",
+			rep.ScoreMismatch, rep.AttackFlips, rep.MaxScoreDelta)
+		os.Exit(1)
+	}
+	if *verify {
+		fmt.Fprintf(os.Stderr, "replay: PASS — %d verdicts across %d sessions reproduced bit-identically\n",
+			rep.Verdicts, rep.Replayed)
+	}
+}
+
+// printSummary renders the report for humans: the aggregate counters,
+// then one line per itemized diff.
+func printSummary(rep *journal.Report) {
+	fmt.Printf("sessions %d  replayed %d  skipped-no-features %d  read-errors %d\n",
+		rep.Sessions, rep.Replayed, rep.SkippedNoFrame, rep.ReadErrors)
+	fmt.Printf("verdicts %d (%d final)  score-mismatches %d  attack-flips %d (%d final)  max-score-delta %g\n",
+		rep.Verdicts, rep.FinalVerdicts, rep.ScoreMismatch, rep.AttackFlips, rep.FinalFlips, rep.MaxScoreDelta)
+	if rep.Identical {
+		fmt.Println("identical: candidate reproduces the recording bit-for-bit")
+		return
+	}
+	for _, d := range rep.Diffs {
+		kind := "interim"
+		if d.Final {
+			kind = "final"
+		}
+		fmt.Printf("diff seq=%d session=%d %s verdict#%d: recorded score=%g attack=%v, replay score=%g attack=%v\n",
+			d.Seq, d.Session, kind, d.Verdict, d.RecordedScore, d.RecordedAttack, d.ReplayScore, d.ReplayAttack)
+	}
+}
+
+// buildDetector mirrors guardd's -detector resolution so a parity run
+// can reconstruct exactly the detector that served the traffic.
+func buildDetector(kind string, seed int64, quick bool) (defense.Detector, error) {
+	if kind == "demo" {
+		return defense.DemoThresholds(), nil
+	}
+	fmt.Fprintf(os.Stderr, "replay: training candidate %s detector (seed %d)...\n", kind, seed)
+	start := time.Now()
+	sc := core.DefaultScenario()
+	sc.Seed = seed
+	cfg := experiment.DefaultCorpusConfig(sc)
+	if quick {
+		cfg = experiment.QuickCorpusConfig(cfg)
+	}
+	cfg.Runner = experiment.NewRunner(0)
+	det, _, err := experiment.TrainDetectorWithSamples(kind, cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "replay: candidate ready in %s\n", time.Since(start).Round(time.Millisecond))
+	return det, nil
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "replay: "+format+"\n", args...)
+	os.Exit(1)
+}

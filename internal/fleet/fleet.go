@@ -195,6 +195,24 @@ type Config struct {
 	// worker) and rejections leave synthetic exemplar traces; nil keeps
 	// the fleet trace-free with zero overhead beyond one pointer check.
 	Trace *trace.Recorder
+	// NewSessionSink builds the per-shard consumer of sealed session
+	// traces (the durable journal's SPSC handoff). Called once per
+	// shard at construction; the sink's Record runs on the shard worker
+	// right after the trace is sealed, so implementations must be
+	// lock-free and allocation-free. nil disables the handoff. Requires
+	// Trace — without a recorder there is no trace to hand over.
+	NewSessionSink func(shard int) SessionSink
+	// RejectSink receives the synthetic traces of rejected sessions,
+	// which never reach a shard; it may be called from any goroutine
+	// that refuses an admission. nil discards them.
+	RejectSink SessionSink
+}
+
+// SessionSink consumes sealed session traces at end of life. The fleet
+// calls Record exactly once per traced session, after the recorder has
+// sealed the trace, on the goroutine that owned the session last.
+type SessionSink interface {
+	Record(st *trace.SessionTrace, aborted bool)
 }
 
 // Metrics is the fleet's instrument set. Build with NewMetrics to
@@ -407,7 +425,10 @@ func (f *Fleet) OpenKeyed(key uint64, rate float64) (*Session, error) {
 			case errors.Is(err, ErrDraining):
 				reason = 2
 			}
-			f.cfg.Trace.Rejected(key, rate, reason)
+			st := f.cfg.Trace.Rejected(key, rate, reason)
+			if f.cfg.RejectSink != nil && st != nil {
+				f.cfg.RejectSink.Record(st, false)
+			}
 		}
 		return nil, err
 	}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"inaudible/internal/trace"
 )
 
 // sumProc is a deterministic test processor: it sums its samples and
@@ -610,4 +612,93 @@ func waitDrained(t testing.TB, r *frameRing) {
 		}
 		runtime.Gosched()
 	}
+}
+
+// recordingSink captures every sealed trace the fleet hands over, so
+// the journal handoff contract (exactly one Record per traced session,
+// after sealing) is pinned without importing the journal package.
+type recordingSink struct {
+	mu     sync.Mutex
+	traces []*trace.SessionTrace
+	states []string
+}
+
+func (s *recordingSink) Record(st *trace.SessionTrace, aborted bool) {
+	s.mu.Lock()
+	s.traces = append(s.traces, st)
+	s.states = append(s.states, st.StateName())
+	s.mu.Unlock()
+}
+
+func (s *recordingSink) snapshot() ([]*trace.SessionTrace, []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*trace.SessionTrace(nil), s.traces...), append([]string(nil), s.states...)
+}
+
+func TestSessionSinkReceivesSealedTraces(t *testing.T) {
+	sink := &recordingSink{}
+	rejects := &recordingSink{}
+	cfg := testConfig(0)
+	cfg.Shards = 2
+	cfg.MaxSessions = 1
+	cfg.Trace = trace.NewRecorder(trace.Config{})
+	cfg.NewSessionSink = func(shard int) SessionSink { return sink }
+	cfg.RejectSink = rejects
+	f := New(cfg)
+
+	s, err := f.Open(48000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second session is rejected (MaxSessions=1): its synthetic trace
+	// must reach the reject sink already sealed.
+	if _, err := f.Open(48000); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second open: %v", err)
+	}
+	if _, states := rejects.snapshot(); len(states) != 1 || states[0] != "rejected" {
+		t.Fatalf("reject sink saw %v", states)
+	}
+
+	if final, _ := runSession(t, s, 8); final == nil {
+		t.Fatal("no final event")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		traces, states := sink.snapshot()
+		if len(traces) == 1 {
+			if states[0] != "done" {
+				t.Fatalf("sink got an unsealed trace: state %q", states[0])
+			}
+			if traces[0].ID() == 0 {
+				t.Fatalf("sink trace has no identity")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sink never saw the completed session (%d)", len(traces))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// An aborted session reaches the sink sealed as aborted.
+	s2, err := f.Open(48000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Abort()
+	for {
+		_, states := sink.snapshot()
+		if len(states) == 2 {
+			if states[1] != "aborted" {
+				t.Fatalf("aborted session sealed as %q", states[1])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sink never saw the aborted session")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	closeFleet(t, f)
 }

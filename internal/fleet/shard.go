@@ -65,10 +65,13 @@ type shard struct {
 	// such session attaches. Phase 2 then interposes one Collect/Run
 	// pass before the Advances. Worker-private.
 	batcher RoundBatcher
+	// sink receives each session's sealed trace at finish (the durable
+	// journal's per-shard SPSC handoff); nil when journaling is off.
+	sink SessionSink
 }
 
 func newShard(id int, fl *Fleet) *shard {
-	return &shard{
+	sh := &shard{
 		id:     id,
 		fl:     fl,
 		admitq: make(chan *Session, admitBacklog),
@@ -76,6 +79,10 @@ func newShard(id int, fl *Fleet) *shard {
 		stop:   make(chan struct{}),
 		free:   make(map[procKey][]Proc),
 	}
+	if fl.cfg.NewSessionSink != nil {
+		sh.sink = fl.cfg.NewSessionSink(id)
+	}
+	return sh
 }
 
 // wakeup nudges the worker; it never blocks (the cap-1 channel absorbs
@@ -368,6 +375,9 @@ func (sh *shard) finish(s *Session, aborted bool) {
 		sh.fl.m.Finished.Inc()
 	}
 	sh.fl.cfg.Trace.End(s.trace, aborted)
+	if sh.sink != nil && s.trace != nil {
+		sh.sink.Record(s.trace, aborted)
+	}
 	if wasAttached {
 		sh.attached.Add(-1)
 	}

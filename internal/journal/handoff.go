@@ -1,0 +1,108 @@
+package journal
+
+import (
+	"sync/atomic"
+
+	"inaudible/internal/trace"
+)
+
+// ShardSink is the lock-free SPSC handoff from one shard worker to the
+// journal writer. Record is the producer side and is what the fleet
+// calls on session close: one atomic pointer store plus a non-blocking
+// wake — no locks, no allocation, so journaling never perturbs the
+// shard's 0 allocs/frame contract. pop is the consumer side, owned by
+// the writer goroutine.
+type ShardSink struct {
+	j     *Journal
+	cells []atomic.Pointer[trace.SessionTrace]
+	mask  uint64
+	head  atomic.Uint64 // consumer cursor
+	tail  atomic.Uint64 // producer cursor
+}
+
+// ShardSink returns a fresh handoff ring for one shard worker. Called
+// once per shard at fleet construction (cold path).
+func (j *Journal) ShardSink(shard int) *ShardSink {
+	if j == nil {
+		return nil
+	}
+	depth := 1
+	for depth < j.cfg.QueueDepth {
+		depth <<= 1
+	}
+	s := &ShardSink{
+		j:     j,
+		cells: make([]atomic.Pointer[trace.SessionTrace], depth),
+		mask:  uint64(depth - 1),
+	}
+	j.sinkMu.Lock()
+	j.sinks = append(j.sinks, s)
+	j.sinkMu.Unlock()
+	return s
+}
+
+// Record hands a sealed trace to the journal writer. A full ring drops
+// the record (counted) rather than ever blocking the shard worker.
+// Single producer: the shard worker goroutine. The aborted flag is
+// accepted for the fleet's SessionSink shape; the sealed trace already
+// carries its state.
+func (s *ShardSink) Record(st *trace.SessionTrace, aborted bool) {
+	if s == nil || st == nil {
+		return
+	}
+	t := s.tail.Load()
+	if t-s.head.Load() > s.mask {
+		s.j.dropped.Inc()
+		return
+	}
+	s.cells[t&s.mask].Store(st)
+	s.tail.Store(t + 1)
+	s.j.nudge()
+}
+
+// pop removes the oldest queued trace, or nil. Single consumer: the
+// writer goroutine.
+func (s *ShardSink) pop() *trace.SessionTrace {
+	h := s.head.Load()
+	if h == s.tail.Load() {
+		return nil
+	}
+	c := &s.cells[h&s.mask]
+	st := c.Load()
+	c.Store(nil)
+	s.head.Store(h + 1)
+	return st
+}
+
+// SharedSink journals traces that never reach a shard (rejected
+// sessions, recorded on whichever goroutine refused admission). The
+// admission path already locks and allocates, so a small mutex queue
+// is the honest fit; it is bounded like the SPSC rings.
+type SharedSink struct {
+	j *Journal
+}
+
+// SharedSink returns the multi-producer sink for off-shard traces.
+func (j *Journal) SharedSink() *SharedSink {
+	if j == nil {
+		return nil
+	}
+	return &SharedSink{j: j}
+}
+
+// Record enqueues one sealed trace; a full queue drops it (counted).
+func (s *SharedSink) Record(st *trace.SessionTrace, aborted bool) {
+	if s == nil || st == nil {
+		return
+	}
+	j := s.j
+	j.sharedMu.Lock()
+	if len(j.shared) < j.cfg.QueueDepth {
+		j.shared = append(j.shared, st)
+		j.sharedMu.Unlock()
+		j.nudge()
+		return
+	}
+	j.sharedMu.Unlock()
+	j.dropped.Inc()
+}

@@ -1,0 +1,100 @@
+package journal
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+
+	"inaudible/internal/telemetry"
+	"inaudible/internal/trace"
+)
+
+// ListResponse is the /journal body: health stats plus a newest-first
+// page of record summaries, chained by next_after like /sessions.
+type ListResponse struct {
+	Stats     Stats     `json:"stats"`
+	Sessions  []Summary `json:"sessions"`
+	NextAfter uint64    `json:"next_after,omitempty"`
+}
+
+// FrameView is one captured feature frame with the ordinal of the
+// verdict it fed.
+type FrameView struct {
+	Verdict uint32    `json:"verdict"`
+	Vector  []float64 `json:"vector"`
+}
+
+// EntryView is the /journal/{seq} body: the summary plus the decoded
+// event log (rendered with the same field names as the live /sessions
+// plane) and any captured feature frames.
+type EntryView struct {
+	Summary
+	RateHz       float64           `json:"rate_hz"`
+	EventsTotal  uint64            `json:"events_total"`
+	Node         string            `json:"node,omitempty"`
+	Build        string            `json:"build,omitempty"`
+	Events       []trace.EventView `json:"events"`
+	FeatureWidth int               `json:"feature_width,omitempty"`
+	FrameViews   []FrameView       `json:"feature_frames_detail,omitempty"`
+}
+
+// View renders an entry for the forensic query plane.
+func (e *Entry) View() EntryView {
+	v := EntryView{
+		Summary:      summarize(e),
+		RateHz:       e.RateHz,
+		EventsTotal:  e.EventsTotal,
+		Node:         e.Node,
+		Build:        e.Build,
+		Events:       make([]trace.EventView, 0, len(e.Events)),
+		FeatureWidth: e.FeatureWidth,
+	}
+	for _, ev := range e.Events {
+		v.Events = append(v.Events, trace.EventView{
+			Event:  ev.Kind.String(),
+			AtMS:   float64(ev.At) / 1e6,
+			Fields: ev.FieldMap(),
+		})
+	}
+	w := e.FeatureWidth
+	for i, idx := range e.FrameIdx {
+		v.FrameViews = append(v.FrameViews, FrameView{Verdict: idx, Vector: e.Frames[i*w : (i+1)*w]})
+	}
+	return v
+}
+
+// ServeJournal handles /journal (paginated listing) and
+// /journal/{seq} (one verified record). Nil-safe: a journal-disabled
+// process answers 404, matching the recorder's convention, so the
+// introspection mux can mount it unconditionally.
+func (j *Journal) ServeJournal(w http.ResponseWriter, req *http.Request) {
+	if j == nil {
+		http.Error(w, `{"error":"journal disabled"}`, http.StatusNotFound)
+		return
+	}
+	rest := strings.Trim(strings.TrimPrefix(req.URL.Path, "/journal"), "/")
+	if rest == "" {
+		limit, after, err := trace.PageParams(req)
+		if err != nil {
+			http.Error(w, `{"error":"bad limit or after parameter"}`, http.StatusBadRequest)
+			return
+		}
+		sums, next := j.List(limit, after)
+		if sums == nil {
+			sums = []Summary{}
+		}
+		telemetry.WriteJSON(w, ListResponse{Stats: j.Stats(), Sessions: sums, NextAfter: next})
+		return
+	}
+	seq, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		http.Error(w, `{"error":"bad journal sequence number"}`, http.StatusBadRequest)
+		return
+	}
+	e, err := j.Get(seq)
+	if err != nil {
+		http.Error(w, `{"error":`+strconv.Quote(err.Error())+`}`, http.StatusNotFound)
+		return
+	}
+	telemetry.WriteJSON(w, e.View())
+}

@@ -1,0 +1,650 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"inaudible/internal/telemetry"
+	"inaudible/internal/trace"
+)
+
+// Config shapes a journal. Zero values take the defaults.
+type Config struct {
+	// Dir is the journal directory (created if missing in write mode).
+	Dir string
+	// SegmentBytes is the rotation threshold (default 4 MiB).
+	SegmentBytes int64
+	// MaxBytes bounds total on-disk size; the oldest sealed segments
+	// are deleted to stay under it (default 256 MiB).
+	MaxBytes int64
+	// MaxAge, when positive, deletes sealed segments whose newest
+	// record is older than this.
+	MaxAge time.Duration
+	// QueueDepth is the per-shard SPSC handoff ring depth (default 256,
+	// rounded up to a power of two). A full ring drops the session's
+	// journal record — counted, never blocking the shard worker.
+	QueueDepth int
+	// Node, Model and Build identify the writing process; they are
+	// stamped into every record so a replayed verdict can be matched to
+	// the detector and binary that produced it.
+	Node, Model, Build string
+	// Sync fsyncs after every write batch. Off by default: the page
+	// cache survives a kill -9 (the crash-safety target); Sync is for
+	// surviving kernel panics and power loss at a latency cost.
+	Sync bool
+	// ReadOnly opens without a writer and never truncates a torn tail
+	// (cmd/replay uses this to read a live daemon's journal safely).
+	ReadOnly bool
+	// Metrics, when non-nil, receives the journal_* instruments.
+	Metrics *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 4 << 20
+	}
+	if c.SegmentBytes < 64<<10 {
+		c.SegmentBytes = 64 << 10
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 256 << 20
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// segment is one on-disk segment's index entry.
+type segment struct {
+	path      string
+	first     uint64 // seqs spanned (0,0 while empty)
+	last      uint64
+	size      int64
+	records   int
+	lastWrite time.Time // age-retention clock
+}
+
+// recLoc locates one record.
+type recLoc struct {
+	seg  *segment
+	off  int64
+	size int64
+}
+
+// Journal is the durable session journal. One writer goroutine owns
+// all file I/O; HTTP readers and Get/List share the index under a
+// mutex; shard workers touch only their SPSC sinks.
+type Journal struct {
+	cfg Config
+
+	mu    sync.Mutex
+	index map[uint64]recLoc
+	sums  []Summary // ascending seq
+	segs  []*segment
+	next  uint64 // next seq to assign
+
+	sinkMu sync.Mutex
+	sinks  []*ShardSink
+
+	sharedMu sync.Mutex
+	shared   []*trace.SessionTrace
+
+	active     *os.File
+	activeSize int64
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	records   *telemetry.Counter
+	dropped   *telemetry.Counter
+	corrupt   *telemetry.Counter
+	truncated *telemetry.Counter
+	deleted   *telemetry.Counter
+	bytesG    *telemetry.Gauge
+	segsG     *telemetry.Gauge
+
+	recovered int // records recovered at open
+}
+
+// Open opens (write mode: creating, recovering, then appending) a
+// journal directory and starts the writer goroutine. In ReadOnly mode
+// it only scans: no directory creation, no truncation, no writer.
+func Open(cfg Config) (*Journal, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("journal: Config.Dir is required")
+	}
+	j := &Journal{
+		cfg:   cfg,
+		index: make(map[uint64]recLoc),
+		next:  1,
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	j.records = reg.NewCounter("journal_records_total", "session records appended to the durable journal")
+	j.dropped = reg.NewCounter("journal_dropped_total", "session records dropped because a handoff queue was full")
+	j.corrupt = reg.NewCounter("journal_corrupt_records_total", "CRC or decode failures while reading journal records")
+	j.truncated = reg.NewCounter("journal_torn_tails_truncated_total", "torn segment tails truncated during crash recovery")
+	j.deleted = reg.NewCounter("journal_segments_deleted_total", "sealed segments deleted by byte/age retention")
+	j.bytesG = reg.NewGauge("journal_bytes", "total on-disk journal size")
+	j.segsG = reg.NewGauge("journal_segments", "journal segment count, including the active one")
+
+	if !cfg.ReadOnly {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+	}
+	if err := j.recover(); err != nil {
+		return nil, err
+	}
+	if cfg.ReadOnly {
+		close(j.done)
+		return j, nil
+	}
+	if err := j.openActive(); err != nil {
+		return nil, err
+	}
+	j.publishGauges()
+	go j.run()
+	return j, nil
+}
+
+// recover scans every segment in the directory, builds the in-memory
+// index, and (write mode) truncates a torn tail in the newest segment.
+// A CRC break in an older, sealed segment is bitrot, not a crash
+// artifact: everything after it in that segment is counted corrupt and
+// skipped, never truncated away.
+func (j *Journal) recover() error {
+	names, err := filepath.Glob(filepath.Join(j.cfg.Dir, segFilePrefix+"*"+segFileSuffix))
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		st, _ := os.Stat(name)
+		seg := &segment{path: name, size: int64(len(data))}
+		if st != nil {
+			seg.lastWrite = st.ModTime()
+		}
+		recs, validLen, tail, scanErr := scanSegment(data)
+		last := i == len(names)-1
+		switch {
+		case scanErr != nil:
+			// Unreadable header: nothing to serve from this file. Leave
+			// it on disk (write mode never destroys evidence beyond the
+			// torn tail) but count it.
+			j.corrupt.Inc()
+			continue
+		case tail > 0 && last && !j.cfg.ReadOnly:
+			// Crash artifact: drop the torn tail so appends resume at
+			// the last valid record.
+			if err := os.Truncate(name, validLen); err != nil {
+				return fmt.Errorf("journal: truncating torn tail: %w", err)
+			}
+			seg.size = validLen
+			j.truncated.Inc()
+		case tail > 0 && last:
+			seg.size = validLen // read-only: ignore, do not touch
+		case tail > 0:
+			// Sealed segment with a bad region: records past it are
+			// unreachable (no resync marker). Count, serve the prefix.
+			j.corrupt.Inc()
+		}
+		for _, r := range recs {
+			e := r.entry
+			j.index[e.Seq] = recLoc{seg: seg, off: r.off, size: r.size}
+			j.sums = append(j.sums, summarize(e))
+			if seg.first == 0 {
+				seg.first = e.Seq
+			}
+			seg.last = e.Seq
+			seg.records++
+			if e.Seq >= j.next {
+				j.next = e.Seq + 1
+			}
+		}
+		j.segs = append(j.segs, seg)
+	}
+	// Serve the global listing in seq order even if segment file names
+	// ever interleave.
+	sort.Slice(j.sums, func(a, b int) bool { return j.sums[a].Seq < j.sums[b].Seq })
+	j.recovered = len(j.sums)
+	return nil
+}
+
+// openActive resumes appending to the newest segment when it has room,
+// or starts a fresh one.
+func (j *Journal) openActive() error {
+	if n := len(j.segs); n > 0 && j.segs[n-1].size < j.cfg.SegmentBytes {
+		seg := j.segs[n-1]
+		f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		j.active = f
+		j.activeSize = seg.size
+		return nil
+	}
+	return j.rotate()
+}
+
+// rotate seals the active segment and opens a new one named by the
+// next sequence number it will hold.
+func (j *Journal) rotate() error {
+	if j.active != nil {
+		j.active.Close()
+		j.active = nil
+	}
+	name := filepath.Join(j.cfg.Dir, fmt.Sprintf("%s%016d%s", segFilePrefix, j.next, segFileSuffix))
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Write(segmentHeader()); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	seg := &segment{path: name, size: segHeaderLen, lastWrite: time.Now()}
+	j.mu.Lock()
+	j.segs = append(j.segs, seg)
+	j.mu.Unlock()
+	j.active = f
+	j.activeSize = segHeaderLen
+	return nil
+}
+
+// nudge wakes the writer without blocking or allocating (hot path).
+func (j *Journal) nudge() {
+	select {
+	case j.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the writer goroutine: drain the handoff queues, append,
+// rotate, enforce retention, sleep on the wake channel.
+func (j *Journal) run() {
+	defer close(j.done)
+	var buf []byte
+	for {
+		n := j.drain(&buf)
+		if n > 0 {
+			if j.cfg.Sync && j.active != nil {
+				j.active.Sync()
+			}
+			j.enforceRetention()
+			j.publishGauges()
+			continue
+		}
+		select {
+		case <-j.wake:
+		case <-j.stop:
+			j.drain(&buf)
+			if j.active != nil {
+				if j.cfg.Sync {
+					j.active.Sync()
+				}
+				j.active.Close()
+				j.active = nil
+			}
+			j.publishGauges()
+			return
+		}
+	}
+}
+
+// drain consumes every queued trace once and appends it. Returns how
+// many records were written.
+func (j *Journal) drain(buf *[]byte) int {
+	n := 0
+	j.sinkMu.Lock()
+	sinks := j.sinks
+	j.sinkMu.Unlock()
+	for _, s := range sinks {
+		for {
+			st := s.pop()
+			if st == nil {
+				break
+			}
+			j.append(st, buf)
+			n++
+		}
+	}
+	j.sharedMu.Lock()
+	shared := j.shared
+	j.shared = nil
+	j.sharedMu.Unlock()
+	for _, st := range shared {
+		j.append(st, buf)
+		n++
+	}
+	return n
+}
+
+// append encodes one sealed trace as the next record in the journal.
+func (j *Journal) append(st *trace.SessionTrace, buf *[]byte) {
+	if j.activeSize >= j.cfg.SegmentBytes {
+		if err := j.rotate(); err != nil {
+			j.dropped.Inc()
+			return
+		}
+	}
+	e := j.entryFrom(st)
+	e.Seq = j.next
+
+	*buf = (*buf)[:0]
+	payload := appendEntry(*buf, e)
+	*buf = payload
+	if len(payload) > MaxRecordBytes {
+		j.dropped.Inc() // unreachable within the decode caps; belt and braces
+		return
+	}
+	frame := appendRecord(make([]byte, 0, recHeaderLen+len(payload)), payload)
+	if _, err := j.active.Write(frame); err != nil {
+		j.dropped.Inc()
+		return
+	}
+	seg := j.segs[len(j.segs)-1]
+	loc := recLoc{seg: seg, off: j.activeSize, size: int64(len(frame))}
+	j.activeSize += int64(len(frame))
+
+	j.mu.Lock()
+	seg.size = j.activeSize
+	seg.lastWrite = time.Now()
+	if seg.first == 0 {
+		seg.first = e.Seq
+	}
+	seg.last = e.Seq
+	seg.records++
+	j.index[e.Seq] = loc
+	j.sums = append(j.sums, summarize(e))
+	j.next++
+	j.mu.Unlock()
+	j.records.Inc()
+}
+
+// entryFrom builds the durable record for a sealed trace. Runs on the
+// writer goroutine only — the trace is sealed, so plain reads are
+// safe.
+func (j *Journal) entryFrom(st *trace.SessionTrace) *Entry {
+	e := &Entry{
+		Session:     st.ID(),
+		Key:         st.Key(),
+		RateHz:      st.RateHz(),
+		Shard:       int32(st.Shard()),
+		State:       st.StateName(),
+		Degraded:    st.Degraded(),
+		Notable:     st.NotableReasons(),
+		StartUnixNS: st.Start().UnixNano(),
+		DurationNS:  st.EndNanos(),
+		EventsTotal: st.EventsTotal(),
+		Node:        j.cfg.Node,
+		Model:       j.cfg.Model,
+		Build:       j.cfg.Build,
+		Events:      st.Events(),
+	}
+	e.FeatureWidth, e.FrameIdx, e.Frames = st.FeatureFrames()
+	return e
+}
+
+// enforceRetention deletes sealed segments (never the active one)
+// oldest-first while the journal exceeds MaxBytes, then applies the
+// MaxAge bound.
+func (j *Journal) enforceRetention() {
+	for {
+		j.mu.Lock()
+		var victim *segment
+		total := int64(0)
+		for _, s := range j.segs {
+			total += s.size
+		}
+		if len(j.segs) > 1 {
+			old := j.segs[0]
+			over := total > j.cfg.MaxBytes
+			aged := j.cfg.MaxAge > 0 && !old.lastWrite.IsZero() && time.Since(old.lastWrite) > j.cfg.MaxAge
+			if over || aged {
+				victim = old
+				j.segs = j.segs[1:]
+				j.dropSegmentLocked(victim)
+			}
+		}
+		j.mu.Unlock()
+		if victim == nil {
+			return
+		}
+		os.Remove(victim.path)
+		j.deleted.Inc()
+	}
+}
+
+// dropSegmentLocked removes a segment's records from the index.
+// Caller holds j.mu.
+func (j *Journal) dropSegmentLocked(seg *segment) {
+	for seq := seg.first; seq != 0 && seq <= seg.last; seq++ {
+		if loc, ok := j.index[seq]; ok && loc.seg == seg {
+			delete(j.index, seq)
+		}
+	}
+	keep := j.sums[:0]
+	for _, s := range j.sums {
+		if _, ok := j.index[s.Seq]; ok {
+			keep = append(keep, s)
+		}
+	}
+	j.sums = keep
+}
+
+func (j *Journal) publishGauges() {
+	j.mu.Lock()
+	total := int64(0)
+	for _, s := range j.segs {
+		total += s.size
+	}
+	n := len(j.segs)
+	j.mu.Unlock()
+	j.bytesG.Set(total)
+	j.segsG.Set(int64(n))
+}
+
+// Close drains the queues, seals the active segment and stops the
+// writer. Idempotent.
+func (j *Journal) Close() {
+	if j == nil {
+		return
+	}
+	j.once.Do(func() {
+		if j.cfg.ReadOnly {
+			return
+		}
+		close(j.stop)
+		<-j.done
+	})
+}
+
+// Get reads and verifies one record by sequence number. A CRC or
+// decode failure (bitrot since the scan) counts as corrupt and errors.
+func (j *Journal) Get(seq uint64) (*Entry, error) {
+	if j == nil {
+		return nil, fmt.Errorf("journal: disabled")
+	}
+	j.mu.Lock()
+	loc, ok := j.index[seq]
+	j.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("journal: no record %d (never written, dropped, or expired)", seq)
+	}
+	f, err := os.Open(loc.seg.path)
+	if err != nil {
+		j.corrupt.Inc()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	frame := make([]byte, loc.size)
+	if _, err := f.ReadAt(frame, loc.off); err != nil {
+		j.corrupt.Inc()
+		return nil, fmt.Errorf("journal: record %d: %w", seq, err)
+	}
+	recs, _, _, scanErr := scanRecordAt(frame)
+	if scanErr != nil || len(recs) != 1 || recs[0].entry.Seq != seq {
+		j.corrupt.Inc()
+		return nil, fmt.Errorf("journal: record %d failed CRC or decode", seq)
+	}
+	return recs[0].entry, nil
+}
+
+// scanRecordAt validates a single framed record image (no segment
+// header) using the same total decoder as the segment scan.
+func scanRecordAt(frame []byte) ([]scanned, int64, int64, error) {
+	img := append(segmentHeader(), frame...)
+	recs, valid, tail, err := scanSegment(img)
+	if err == nil && (tail != 0 || valid != int64(len(img))) {
+		err = fmt.Errorf("journal: partial record")
+	}
+	return recs, valid, tail, err
+}
+
+// Seqs returns every retained sequence number in ascending order.
+func (j *Journal) Seqs() []uint64 {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]uint64, len(j.sums))
+	for i, s := range j.sums {
+		out[i] = s.Seq
+	}
+	return out
+}
+
+// List returns up to limit summaries newest-first, restricted to
+// seq < after when after > 0 (the same cursor contract as /sessions).
+// limit <= 0 means unbounded. nextAfter is the cursor for the next
+// page, 0 when the listing is exhausted.
+func (j *Journal) List(limit int, after uint64) (out []Summary, nextAfter uint64) {
+	if j == nil {
+		return nil, 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for i := len(j.sums) - 1; i >= 0; i-- {
+		s := j.sums[i]
+		if after > 0 && s.Seq >= after {
+			continue
+		}
+		if limit > 0 && len(out) == limit {
+			return out, out[len(out)-1].Seq
+		}
+		out = append(out, s)
+	}
+	return out, 0
+}
+
+// Stats is the journal health summary served under /journal and
+// checked by guardctl (corrupt must stay 0).
+type Stats struct {
+	Node      string `json:"node,omitempty"`
+	Dir       string `json:"dir"`
+	Records   uint64 `json:"records_total"`
+	Dropped   uint64 `json:"dropped_total"`
+	Corrupt   uint64 `json:"corrupt_records_total"`
+	TornTails uint64 `json:"torn_tails_truncated_total"`
+	Deleted   uint64 `json:"segments_deleted_total"`
+	Segments  int    `json:"segments"`
+	Bytes     int64  `json:"bytes"`
+	Retained  int    `json:"retained"`
+	Recovered int    `json:"recovered_records"`
+	OldestSeq uint64 `json:"oldest_seq,omitempty"`
+	NewestSeq uint64 `json:"newest_seq,omitempty"`
+}
+
+// Stats snapshots the journal's counters and retention state.
+func (j *Journal) Stats() Stats {
+	if j == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Node:      j.cfg.Node,
+		Dir:       j.cfg.Dir,
+		Records:   j.records.Value(),
+		Dropped:   j.dropped.Value(),
+		Corrupt:   j.corrupt.Value(),
+		TornTails: j.truncated.Value(),
+		Deleted:   j.deleted.Value(),
+		Recovered: j.recovered,
+	}
+	j.mu.Lock()
+	s.Retained = len(j.sums)
+	s.Segments = len(j.segs)
+	for _, seg := range j.segs {
+		s.Bytes += seg.size
+	}
+	if len(j.sums) > 0 {
+		s.OldestSeq = j.sums[0].Seq
+		s.NewestSeq = j.sums[len(j.sums)-1].Seq
+	}
+	j.mu.Unlock()
+	return s
+}
+
+// Summary is one record's listing form.
+type Summary struct {
+	Seq         uint64   `json:"seq"`
+	Session     uint64   `json:"session"`
+	Key         uint64   `json:"key"`
+	Shard       int      `json:"shard"`
+	State       string   `json:"state"`
+	Degraded    bool     `json:"degraded,omitempty"`
+	Notable     []string `json:"notable,omitempty"`
+	StartUnixMS int64    `json:"start_unix_ms"`
+	DurationMS  float64  `json:"duration_ms"`
+	Verdicts    int      `json:"verdicts"`
+	FinalScore  float64  `json:"final_score"`
+	FinalAttack bool     `json:"final_attack"`
+	Frames      int      `json:"feature_frames"`
+	Model       string   `json:"model,omitempty"`
+}
+
+// summarize derives the listing form from a full entry.
+func summarize(e *Entry) Summary {
+	s := Summary{
+		Seq:         e.Seq,
+		Session:     e.Session,
+		Key:         e.Key,
+		Shard:       int(e.Shard),
+		State:       e.State,
+		Degraded:    e.Degraded,
+		Notable:     e.Notable.Reasons(),
+		StartUnixMS: e.StartUnixNS / 1e6,
+		DurationMS:  float64(e.DurationNS) / 1e6,
+		Frames:      len(e.FrameIdx),
+		Model:       e.Model,
+	}
+	for _, ev := range e.Events {
+		switch ev.Kind {
+		case trace.KindInterimVerdict:
+			s.Verdicts++
+		case trace.KindFinalVerdict:
+			s.Verdicts++
+			s.FinalScore = ev.A
+			s.FinalAttack = ev.B == 1
+		}
+	}
+	return s
+}

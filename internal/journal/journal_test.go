@@ -1,0 +1,442 @@
+package journal
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"inaudible/internal/defense"
+	"inaudible/internal/trace"
+)
+
+// waitRecords blocks until the journal has appended n records (the
+// writer is asynchronous) or fails the test.
+func waitRecords(t *testing.T, j *Journal, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for j.records.Value() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("journal stuck at %d records, want %d (dropped=%d)", j.records.Value(), n, j.dropped.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// endSession runs one synthetic session through a recorder and hands
+// the sealed trace to sink.
+func endSession(rec *trace.Recorder, sink *ShardSink, key uint64, score float64, attack bool) *trace.SessionTrace {
+	st := rec.Start(key, 48000, 0, false, nil)
+	st.RecordVerdict(false, score/2, false)
+	st.RecordFeatures(false, []float64{score / 2, 1, 2, 3, 4})
+	st.RecordVerdict(true, score, attack)
+	st.RecordFeatures(true, []float64{score, 1, 2, 3, 4})
+	st.RecordFinalized(2 * time.Millisecond)
+	rec.End(st, false)
+	sink.Record(st, false)
+	return st
+}
+
+func TestEntryRoundTrip(t *testing.T) {
+	e := &Entry{
+		Seq:         42,
+		Session:     7,
+		Key:         0xdeadbeef,
+		RateHz:      48000,
+		Shard:       3,
+		State:       "done",
+		Degraded:    true,
+		Notable:     trace.NotableAttack | trace.NotableDegraded,
+		StartUnixNS: 1700000000123456789,
+		DurationNS:  987654321,
+		EventsTotal: 12,
+		Node:        "n1",
+		Model:       "svm/seed=1/quick=true",
+		Build:       "v0.10.0",
+		Events: []trace.Event{
+			{Seq: 1, Kind: trace.KindAdmitted, At: 10, A: 1, B: 3},
+			{Seq: 2, Kind: trace.KindFinalVerdict, At: 2000, A: math.Pi, B: 1},
+		},
+		FeatureWidth: 2,
+		FrameIdx:     []uint32{0, 5},
+		Frames:       []float64{1.5, -2.5, math.Inf(1), math.SmallestNonzeroFloat64},
+	}
+	payload := appendEntry(nil, e)
+	got, err := decodeEntry(payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(e, got) {
+		t.Fatalf("round trip mismatch:\nin  %+v\nout %+v", e, got)
+	}
+	// Truncation at every byte boundary must error, never panic.
+	for i := 0; i < len(payload); i++ {
+		if _, err := decodeEntry(payload[:i]); err == nil {
+			t.Fatalf("decode of %d-byte prefix succeeded", i)
+		}
+	}
+}
+
+func TestAppendReopenAndOrder(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(Config{Dir: dir, Node: "n1", Model: "m", Build: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(trace.Config{})
+	sink := j.ShardSink(0)
+	for i := 0; i < 10; i++ {
+		endSession(rec, sink, uint64(i), float64(i)-5, i%2 == 0)
+	}
+	waitRecords(t, j, 10)
+	j.Close()
+
+	j2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	s := j2.Stats()
+	if s.Retained != 10 || s.Corrupt != 0 || s.TornTails != 0 || s.Recovered != 10 {
+		t.Fatalf("reopen stats: %+v", s)
+	}
+	seqs := j2.Seqs()
+	if len(seqs) != 10 || !sort.SliceIsSorted(seqs, func(a, b int) bool { return seqs[a] < seqs[b] }) {
+		t.Fatalf("seqs not ascending: %v", seqs)
+	}
+	e, err := j2.Get(seqs[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Node != "n1" || e.Model != "m" || e.Build != "b" || e.State != "done" {
+		t.Fatalf("identity lost: %+v", e)
+	}
+	if e.FeatureWidth != 5 || len(e.FrameIdx) != 2 {
+		t.Fatalf("frames lost: %+v", e)
+	}
+	// Appends continue after the recovered tail.
+	rec2 := trace.NewRecorder(trace.Config{})
+	endSession(rec2, j2.ShardSink(0), 99, 1, true)
+	waitRecords(t, j2, 1)
+	got := j2.Seqs()
+	if got[len(got)-1] != seqs[len(seqs)-1]+1 {
+		t.Fatalf("post-recovery seq not contiguous: %v", got)
+	}
+}
+
+// TestTornTailRecovery pins the crash-safety contract: a reopened
+// journal loses at most the torn tail record and never serves a
+// corrupt or out-of-order record.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(Config{Dir: dir})
+	rec := trace.NewRecorder(trace.Config{})
+	sink := j.ShardSink(0)
+	for i := 0; i < 5; i++ {
+		endSession(rec, sink, uint64(i), 1, false)
+	}
+	waitRecords(t, j, 5)
+	j.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "journal-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("segments: %v", segs)
+	}
+	// Simulate a crash mid-append: chop the last 7 bytes.
+	data, _ := os.ReadFile(segs[0])
+	if err := os.WriteFile(segs[0], data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := j2.Stats()
+	if s.Retained != 4 || s.TornTails != 1 || s.Corrupt != 0 {
+		t.Fatalf("torn-tail stats: %+v", s)
+	}
+	for _, seq := range j2.Seqs() {
+		if _, err := j2.Get(seq); err != nil {
+			t.Fatalf("recovered record %d unreadable: %v", seq, err)
+		}
+	}
+	// The truncated file must hold exactly the 4 valid records.
+	rec2 := trace.NewRecorder(trace.Config{})
+	endSession(rec2, j2.ShardSink(0), 9, 1, false)
+	waitRecords(t, j2, 1)
+	j2.Close()
+	j3, _ := Open(Config{Dir: dir, ReadOnly: true})
+	if s := j3.Stats(); s.Retained != 5 || s.Corrupt != 0 || s.TornTails != 0 {
+		t.Fatalf("post-truncate append stats: %+v", s)
+	}
+}
+
+// TestSealedSegmentCorruption: bitrot inside an older segment is
+// counted, the valid prefix stays served, and nothing is truncated.
+func TestSealedSegmentCorruption(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation (floor is 64 KiB, so use many
+	// records — feature frames make each ~400B; instead write enough).
+	j, _ := Open(Config{Dir: dir, SegmentBytes: 64 << 10})
+	rec := trace.NewRecorder(trace.Config{})
+	sink := j.ShardSink(0)
+	const n = 400
+	for i := 0; i < n; i++ {
+		endSession(rec, sink, uint64(i), 1, false)
+		if i%64 == 0 {
+			waitRecords(t, j, uint64(i+1)) // keep the ring ahead of the writer
+		}
+	}
+	waitRecords(t, j, n)
+	j.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "journal-*.seg"))
+	sort.Strings(segs)
+	if len(segs) < 2 {
+		t.Skipf("only %d segments, cannot test sealed corruption", len(segs))
+	}
+	data, _ := os.ReadFile(segs[0])
+	size := len(data)
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	s := j2.Stats()
+	if s.Corrupt == 0 || s.TornTails != 0 {
+		t.Fatalf("sealed corruption stats: %+v", s)
+	}
+	if s.Retained == n || s.Retained == 0 {
+		t.Fatalf("retained %d of %d: want a partial set", s.Retained, n)
+	}
+	if st, _ := os.Stat(segs[0]); int(st.Size()) != size {
+		t.Fatalf("sealed segment was truncated: %d -> %d", size, st.Size())
+	}
+	seqs := j2.Seqs()
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("out-of-order seqs after corruption: %v", seqs[i-1:i+1])
+		}
+	}
+}
+
+func TestRotationAndByteRetention(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(Config{Dir: dir, SegmentBytes: 64 << 10, MaxBytes: 160 << 10})
+	defer j.Close()
+	rec := trace.NewRecorder(trace.Config{})
+	sink := j.ShardSink(0)
+	const n = 1200
+	for i := 0; i < n; i++ {
+		endSession(rec, sink, uint64(i), 1, false)
+		if i%64 == 0 {
+			waitRecords(t, j, uint64(i+1)) // keep the 256-deep ring ahead of the writer
+		}
+	}
+	waitRecords(t, j, n)
+	s := j.Stats()
+	if s.Deleted == 0 {
+		t.Fatalf("no segments deleted under byte pressure: %+v", s)
+	}
+	if s.Bytes > (160<<10)+(64<<10) {
+		t.Fatalf("retention did not bound bytes: %+v", s)
+	}
+	if s.Retained == n {
+		t.Fatalf("index kept expired records: %+v", s)
+	}
+	// Oldest retained records must still be readable; expired ones 404.
+	seqs := j.Seqs()
+	if _, err := j.Get(seqs[0]); err != nil {
+		t.Fatalf("oldest retained record unreadable: %v", err)
+	}
+	if _, err := j.Get(1); err == nil && seqs[0] > 1 {
+		t.Fatal("expired record still served")
+	}
+}
+
+// TestSinkDropWhenFullAndZeroAlloc pins the handoff contract: a full
+// ring drops (counted) instead of blocking, and Record never
+// allocates — on the store path or the drop path — so journaling
+// cannot disturb the shard worker's 0 allocs/frame budget.
+func TestSinkDropWhenFullAndZeroAlloc(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(Config{Dir: dir, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close() // stop the writer so the ring fills deterministically
+	rec := trace.NewRecorder(trace.Config{})
+	st := rec.Start(1, 48000, 0, false, nil)
+	rec.End(st, false)
+
+	s := j.ShardSink(0)
+	for i := 0; i < 8; i++ {
+		s.Record(st, false)
+	}
+	if j.dropped.Value() != 0 {
+		t.Fatalf("drops before the ring was full: %d", j.dropped.Value())
+	}
+	s.Record(st, false)
+	if j.dropped.Value() != 1 {
+		t.Fatalf("full ring did not drop: %d", j.dropped.Value())
+	}
+
+	if allocs := testing.AllocsPerRun(200, func() { s.Record(st, false) }); allocs != 0 {
+		t.Fatalf("drop-path Record allocates %v/op", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		s.pop()
+		s.Record(st, false)
+	}); allocs != 0 {
+		t.Fatalf("store-path Record allocates %v/op", allocs)
+	}
+}
+
+// TestJournalHTTPAndPagination drives the forensic query plane over a
+// populated journal: paged listing chained by next_after, a full entry
+// view, and the 404/400 edges.
+func TestJournalHTTPAndPagination(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(Config{Dir: dir, Node: "n1"})
+	defer j.Close()
+	rec := trace.NewRecorder(trace.Config{})
+	sink := j.ShardSink(0)
+	for i := 0; i < 10; i++ {
+		endSession(rec, sink, uint64(i), float64(i), i == 7)
+	}
+	waitRecords(t, j, 10)
+
+	get := func(path string) (int, []byte) {
+		w := httptest.NewRecorder()
+		j.ServeJournal(w, httptest.NewRequest("GET", path, nil))
+		return w.Result().StatusCode, w.Body.Bytes()
+	}
+	var got []uint64
+	q := "/journal?limit=4"
+	for pages := 0; ; pages++ {
+		if pages > 5 {
+			t.Fatal("pagination did not terminate")
+		}
+		code, body := get(q)
+		if code != 200 {
+			t.Fatalf("%s -> %d", q, code)
+		}
+		var list ListResponse
+		if err := json.Unmarshal(body, &list); err != nil {
+			t.Fatalf("list decode: %v", err)
+		}
+		if list.Stats.Corrupt != 0 {
+			t.Fatalf("corrupt records reported: %+v", list.Stats)
+		}
+		for _, s := range list.Sessions {
+			got = append(got, s.Seq)
+		}
+		if list.NextAfter == 0 {
+			break
+		}
+		q = "/journal?limit=4&after=" + strconv.FormatUint(list.NextAfter, 10)
+	}
+	if len(got) != 10 {
+		t.Fatalf("paged walk saw %d records: %v", len(got), got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] >= got[i-1] {
+			t.Fatalf("pages not newest-first: %v", got)
+		}
+	}
+
+	code, body := get("/journal/" + strconv.FormatUint(got[0], 10))
+	if code != 200 {
+		t.Fatalf("entry fetch -> %d", code)
+	}
+	var view EntryView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatalf("entry decode: %v", err)
+	}
+	if len(view.Events) == 0 || view.Node != "n1" || len(view.FrameViews) != 2 {
+		t.Fatalf("entry view: %+v", view)
+	}
+	if code, _ := get("/journal/999999"); code != 404 {
+		t.Fatalf("missing record -> %d, want 404", code)
+	}
+	if code, _ := get("/journal/xyz"); code != 400 {
+		t.Fatalf("bad seq -> %d, want 400", code)
+	}
+	var nilJ *Journal
+	w := httptest.NewRecorder()
+	nilJ.ServeJournal(w, httptest.NewRequest("GET", "/journal", nil))
+	if w.Result().StatusCode != 404 {
+		t.Fatalf("nil journal -> %d, want 404", w.Result().StatusCode)
+	}
+}
+
+// TestReplayParityAndDiff pins the replay contract: the recording
+// detector reproduces every stored verdict bit-identically; a
+// candidate detector yields a structured, countable diff.
+func TestReplayParityAndDiff(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(Config{Dir: dir, Model: "threshold"})
+	rec := trace.NewRecorder(trace.Config{})
+	sink := j.ShardSink(0)
+	det := &defense.ThresholdDetector{
+		Thresholds: []float64{0, 0, 0, 0, 0},
+		AttackHigh: []bool{true, true, true, true, true},
+		Valid:      []bool{true, false, false, false, false},
+	}
+
+	// Sessions scored exactly as the serving path does: Score/Predict
+	// on the feature vector, vector captured alongside the verdict.
+	for i := 0; i < 12; i++ {
+		st := rec.Start(uint64(i), 48000, 0, false, nil)
+		vec := []float64{float64(i) - 6, 1, 0.5, 2, 3}
+		st.RecordVerdict(false, det.Score(vec), det.Predict(vec))
+		st.RecordFeatures(false, vec)
+		fvec := []float64{float64(i) - 5.5, 1, 0.5, 2, 3}
+		st.RecordVerdict(true, det.Score(fvec), det.Predict(fvec))
+		st.RecordFeatures(true, fvec)
+		rec.End(st, false)
+		sink.Record(st, false)
+	}
+	waitRecords(t, j, 12)
+
+	same, err := j.Replay(det, ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same.Identical || same.Replayed != 12 || same.Verdicts != 24 || same.FinalVerdicts != 12 {
+		t.Fatalf("same-detector replay not identical: %+v", same)
+	}
+
+	cand := &defense.ThresholdDetector{ // shifted threshold: every score moves
+		Thresholds: []float64{100, 0, 0, 0, 0},
+		AttackHigh: []bool{true, true, true, true, true},
+		Valid:      []bool{true, false, false, false, false},
+	}
+	diff, err := j.Replay(cand, ReplayOptions{MaxDiffs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Identical || diff.ScoreMismatch != 24 || diff.AttackFlips == 0 {
+		t.Fatalf("candidate replay reported no divergence: %+v", diff)
+	}
+	if len(diff.Diffs) != 5 {
+		t.Fatalf("diff cap not applied: %d", len(diff.Diffs))
+	}
+	d := diff.Diffs[0]
+	if d.RecordedScore == d.ReplayScore || d.Session == 0 && d.Seq == 0 {
+		t.Fatalf("diff not structured: %+v", d)
+	}
+	j.Close()
+}

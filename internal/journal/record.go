@@ -1,0 +1,289 @@
+// Package journal is the fleet's durable session journal: an
+// append-only, CRC-framed, segment-rotated WAL that records every
+// session's lifecycle — admission, cascade escalations, interim and
+// final verdicts, finalization latency, and (for sessions within the
+// bounded capture budget) the feature frames that fed the detector —
+// so forensic queries and regression replay survive process restarts.
+//
+// The write path is built not to disturb the fleet's 0 allocs/frame
+// contract: shard workers hand sealed *trace.SessionTrace pointers to
+// the journal over lock-free SPSC rings (one per shard), and a single
+// writer goroutine does all encoding, file I/O, rotation and
+// retention. Sessions are journaled at close, never per frame, so the
+// hot path cost is one ring store.
+//
+// On disk a journal is a directory of segments. Each segment starts
+// with a 16-byte header and holds length-prefixed, CRC-framed records
+// in strictly increasing sequence order. Recovery scans every segment,
+// truncates a torn tail at the last valid record (crash mid-append),
+// and refuses to serve anything past a CRC mismatch — a reopened
+// journal loses at most the torn tail, never yields a corrupt or
+// out-of-order record.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"inaudible/internal/trace"
+)
+
+// Decode caps: a record claiming more than these is corrupt by
+// definition, which keeps the decoder total on fuzzed input and bounds
+// what one record can make the reader allocate. They comfortably
+// exceed anything the bounded capture budgets can produce.
+const (
+	entryVersion   = 1
+	maxEvents      = 4096
+	maxStringLen   = 1024
+	maxFrames      = 4096
+	maxFrameWidth  = 64
+	MaxRecordBytes = 1 << 20
+)
+
+// Entry is one journaled session record — the durable form of a sealed
+// flight-recorder trace plus the identity of the process that wrote
+// it.
+type Entry struct {
+	Seq         uint64 // journal-wide sequence number, assigned at append
+	Session     uint64 // recorder session serial
+	Key         uint64 // fleet affinity key
+	RateHz      float64
+	Shard       int32 // -1 for rejected sessions
+	State       string
+	Degraded    bool
+	Notable     trace.Notable // retention-reason bitmask
+	StartUnixNS int64
+	DurationNS  int64
+	EventsTotal uint64 // events recorded (the ring may retain fewer)
+	Node        string
+	Model       string // detector identity (kind/seed/quick)
+	Build       string // build version of the writing process
+
+	Events []trace.Event
+
+	// Feature frames: detector-input vectors tagged with the ordinal of
+	// the verdict they fed. Frames is flat, len(FrameIdx)*FeatureWidth.
+	FeatureWidth int
+	FrameIdx     []uint32
+	Frames       []float64
+}
+
+// session states on the wire (trace state names, frozen as codes).
+var stateCodes = map[string]uint8{"done": 1, "aborted": 2, "rejected": 3, "live": 4}
+var stateNames = map[uint8]string{1: "done", 2: "aborted", 3: "rejected", 4: "live"}
+
+// appendEntry encodes e's payload (without the record frame) onto dst.
+// All integers are little-endian; floats are raw IEEE-754 bits, so a
+// decoded score replays bit-identically.
+func appendEntry(dst []byte, e *Entry) []byte {
+	dst = appendU16(dst, entryVersion)
+	dst = appendU64(dst, e.Seq)
+	dst = appendU64(dst, e.Session)
+	dst = appendU64(dst, e.Key)
+	dst = appendF64(dst, e.RateHz)
+	dst = appendU32(dst, uint32(e.Shard))
+	var flags uint8
+	if e.Degraded {
+		flags |= 1
+	}
+	dst = append(dst, flags, stateCodes[e.State])
+	dst = appendU32(dst, uint32(e.Notable))
+	dst = appendU64(dst, uint64(e.StartUnixNS))
+	dst = appendU64(dst, uint64(e.DurationNS))
+	dst = appendU64(dst, e.EventsTotal)
+	dst = appendStr(dst, e.Node)
+	dst = appendStr(dst, e.Model)
+	dst = appendStr(dst, e.Build)
+
+	nev := len(e.Events)
+	if nev > maxEvents {
+		nev = maxEvents
+	}
+	dst = appendU32(dst, uint32(nev))
+	for _, ev := range e.Events[:nev] {
+		dst = appendU64(dst, ev.Seq)
+		dst = appendU32(dst, uint32(ev.Kind))
+		dst = appendU64(dst, uint64(ev.At))
+		dst = appendF64(dst, ev.A)
+		dst = appendF64(dst, ev.B)
+	}
+
+	w, nfr := e.FeatureWidth, len(e.FrameIdx)
+	if w <= 0 || w > maxFrameWidth || nfr*w != len(e.Frames) {
+		w, nfr = 0, 0
+	}
+	if nfr > maxFrames {
+		nfr = maxFrames
+	}
+	dst = appendU16(dst, uint16(w))
+	dst = appendU32(dst, uint32(nfr))
+	for i := 0; i < nfr; i++ {
+		dst = appendU32(dst, e.FrameIdx[i])
+		for _, v := range e.Frames[i*w : (i+1)*w] {
+			dst = appendF64(dst, v)
+		}
+	}
+	return dst
+}
+
+var errTruncated = errors.New("journal: truncated entry payload")
+
+// decodeEntry decodes one record payload. It is total: any input
+// either yields an entry or an error, within the package decode caps.
+func decodeEntry(p []byte) (*Entry, error) {
+	d := &decoder{p: p}
+	if v := d.u16(); v != entryVersion {
+		if d.err == nil {
+			return nil, fmt.Errorf("journal: unknown entry version %d", v)
+		}
+		return nil, d.err
+	}
+	e := &Entry{
+		Seq:     d.u64(),
+		Session: d.u64(),
+		Key:     d.u64(),
+		RateHz:  d.f64(),
+		Shard:   int32(d.u32()),
+	}
+	flags := d.u8()
+	e.Degraded = flags&1 != 0
+	state := d.u8()
+	e.Notable = trace.Notable(d.u32())
+	e.StartUnixNS = int64(d.u64())
+	e.DurationNS = int64(d.u64())
+	e.EventsTotal = d.u64()
+	e.Node = d.str()
+	e.Model = d.str()
+	e.Build = d.str()
+
+	nev := d.u32()
+	if d.err == nil && nev > maxEvents {
+		return nil, fmt.Errorf("journal: entry claims %d events (cap %d)", nev, maxEvents)
+	}
+	if d.err == nil {
+		e.Events = make([]trace.Event, 0, nev)
+		for i := uint32(0); i < nev && d.err == nil; i++ {
+			e.Events = append(e.Events, trace.Event{
+				Seq:  d.u64(),
+				Kind: trace.Kind(d.u32()),
+				At:   int64(d.u64()),
+				A:    d.f64(),
+				B:    d.f64(),
+			})
+		}
+	}
+
+	w := int(d.u16())
+	nfr := d.u32()
+	if d.err == nil && (w > maxFrameWidth || nfr > maxFrames) {
+		return nil, fmt.Errorf("journal: entry claims %d frames of width %d", nfr, w)
+	}
+	if d.err == nil && nfr > 0 && w > 0 {
+		e.FeatureWidth = w
+		e.FrameIdx = make([]uint32, 0, nfr)
+		e.Frames = make([]float64, 0, int(nfr)*w)
+		for i := uint32(0); i < nfr && d.err == nil; i++ {
+			e.FrameIdx = append(e.FrameIdx, d.u32())
+			for k := 0; k < w; k++ {
+				e.Frames = append(e.Frames, d.f64())
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.p) != d.off {
+		return nil, fmt.Errorf("journal: %d trailing bytes after entry", len(d.p)-d.off)
+	}
+	if name, ok := stateNames[state]; ok {
+		e.State = name
+	} else {
+		e.State = "unknown"
+	}
+	return e, nil
+}
+
+// decoder is a bounds-checked little-endian cursor; the first overrun
+// latches err and zeroes every later read.
+type decoder struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil || d.off+n > len(d.p) {
+		if d.err == nil {
+			d.err = errTruncated
+		}
+		return nil
+	}
+	b := d.p[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	if d.err == nil && n > maxStringLen {
+		d.err = fmt.Errorf("journal: string length %d (cap %d)", n, maxStringLen)
+		return ""
+	}
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendStr(b []byte, s string) []byte {
+	if len(s) > maxStringLen {
+		s = s[:maxStringLen]
+	}
+	b = appendU16(b, uint16(len(s)))
+	return append(b, s...)
+}

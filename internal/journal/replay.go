@@ -1,0 +1,132 @@
+package journal
+
+import (
+	"math"
+
+	"inaudible/internal/defense"
+	"inaudible/internal/trace"
+)
+
+// ReplayOptions tunes a replay pass.
+type ReplayOptions struct {
+	// Limit caps how many sessions are replayed (0 = all retained).
+	Limit int
+	// MaxDiffs caps how many per-verdict diffs the report itemizes
+	// (default 100); the aggregate counters always cover everything.
+	MaxDiffs int
+}
+
+// VerdictDiff is one divergent verdict: the recorded detector decision
+// against the candidate's on the identical feature vector.
+type VerdictDiff struct {
+	Seq            uint64  `json:"seq"`
+	Session        uint64  `json:"session"`
+	Verdict        uint32  `json:"verdict"` // ordinal within the session
+	Final          bool    `json:"final"`
+	RecordedScore  float64 `json:"recorded_score"`
+	ReplayScore    float64 `json:"replay_score"`
+	RecordedAttack bool    `json:"recorded_attack"`
+	ReplayAttack   bool    `json:"replay_attack"`
+}
+
+// Report is the structured outcome of a replay pass. With the same
+// detector that produced the journal, Identical must hold: scores are
+// stored as raw IEEE-754 bits and Score is deterministic, so replay
+// reproduces them bit-for-bit (wall-clock latency fields are the only
+// thing a journal cannot replay).
+type Report struct {
+	Sessions       int           `json:"sessions"`
+	Replayed       int           `json:"replayed"`
+	SkippedNoFrame int           `json:"skipped_no_features"`
+	ReadErrors     int           `json:"read_errors"`
+	Verdicts       int           `json:"verdicts_compared"`
+	FinalVerdicts  int           `json:"final_verdicts_compared"`
+	ScoreMismatch  int           `json:"score_mismatches"`
+	AttackFlips    int           `json:"attack_flips"`
+	FinalFlips     int           `json:"final_attack_flips"`
+	MaxScoreDelta  float64       `json:"max_score_delta"`
+	Identical      bool          `json:"identical"`
+	Diffs          []VerdictDiff `json:"diffs,omitempty"`
+}
+
+// Replay re-scores every stored feature frame through det and diffs
+// the candidate's verdicts against the recorded ones. Frames are
+// matched to verdict events by the stored verdict ordinal, so a
+// bounded capture (fewer frames than verdicts) still compares exactly
+// the verdicts it kept.
+func (j *Journal) Replay(det defense.Detector, opt ReplayOptions) (*Report, error) {
+	if opt.MaxDiffs <= 0 {
+		opt.MaxDiffs = 100
+	}
+	rep := &Report{}
+	for _, seq := range j.Seqs() {
+		if opt.Limit > 0 && rep.Sessions == opt.Limit {
+			break
+		}
+		rep.Sessions++
+		e, err := j.Get(seq)
+		if err != nil {
+			rep.ReadErrors++
+			continue
+		}
+		if len(e.FrameIdx) == 0 {
+			rep.SkippedNoFrame++
+			continue
+		}
+		// Verdict events in emission order; frame ordinals index this.
+		var verdicts []trace.Event
+		for _, ev := range e.Events {
+			if ev.Kind == trace.KindInterimVerdict || ev.Kind == trace.KindFinalVerdict {
+				verdicts = append(verdicts, ev)
+			}
+		}
+		replayed := false
+		w := e.FeatureWidth
+		for i, ord := range e.FrameIdx {
+			if int(ord) >= len(verdicts) {
+				continue // verdict event rotated out of the bounded ring
+			}
+			ev := verdicts[ord]
+			vec := e.Frames[i*w : (i+1)*w]
+			score := det.Score(vec)
+			attack := det.Predict(vec)
+			recAttack := ev.B == 1
+			final := ev.Kind == trace.KindFinalVerdict
+			replayed = true
+			rep.Verdicts++
+			if final {
+				rep.FinalVerdicts++
+			}
+			mismatch := math.Float64bits(score) != math.Float64bits(ev.A)
+			if mismatch {
+				rep.ScoreMismatch++
+				if d := math.Abs(score - ev.A); d > rep.MaxScoreDelta {
+					rep.MaxScoreDelta = d
+				}
+			}
+			if attack != recAttack {
+				rep.AttackFlips++
+				if final {
+					rep.FinalFlips++
+				}
+			}
+			if (mismatch || attack != recAttack) && len(rep.Diffs) < opt.MaxDiffs {
+				rep.Diffs = append(rep.Diffs, VerdictDiff{
+					Seq:            e.Seq,
+					Session:        e.Session,
+					Verdict:        ord,
+					Final:          final,
+					RecordedScore:  ev.A,
+					ReplayScore:    score,
+					RecordedAttack: recAttack,
+					ReplayAttack:   attack,
+				})
+			}
+		}
+		if replayed {
+			rep.Replayed++
+		}
+	}
+	rep.Identical = rep.ScoreMismatch == 0 && rep.AttackFlips == 0 && rep.ReadErrors == 0
+	return rep, nil
+}

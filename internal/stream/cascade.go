@@ -676,6 +676,7 @@ func (p *cascadeProc) SetTrace(st *trace.SessionTrace) { p.g.SetTrace(st) }
 func (p *cascadeProc) Push(frame []float64) interface{} {
 	if v := p.g.Push(frame); v != nil {
 		p.g.tr.RecordVerdict(false, finiteOr(v.Score, -1e308), v.Attack)
+		p.g.tr.RecordFeatures(false, v.Features.Vector())
 		return v
 	}
 	return nil
@@ -697,6 +698,7 @@ func (p *cascadeProc) Collect(rb fleet.RoundBatcher) bool {
 func (p *cascadeProc) Advance() interface{} {
 	if v := p.g.Advance(); v != nil {
 		p.g.tr.RecordVerdict(false, finiteOr(v.Score, -1e308), v.Attack)
+		p.g.tr.RecordFeatures(false, v.Features.Vector())
 		return v
 	}
 	return nil
@@ -705,6 +707,7 @@ func (p *cascadeProc) Advance() interface{} {
 func (p *cascadeProc) Finalize() interface{} {
 	v := p.g.Finalize()
 	p.g.tr.RecordVerdict(true, finiteOr(v.Score, -1e308), v.Attack)
+	p.g.tr.RecordFeatures(true, v.Features.Vector())
 	if p.drift != nil {
 		p.drift.Observe(v.Features.Vector())
 	}

@@ -4,6 +4,7 @@ import (
 	"net/http"
 
 	"inaudible/internal/fleet"
+	"inaudible/internal/journal"
 	"inaudible/internal/telemetry"
 	"inaudible/internal/trace"
 )
@@ -23,9 +24,10 @@ type FleetView struct {
 	// side without ambiguity.
 	Node string `json:"node,omitempty"`
 	fleet.Status
-	WireSessionsTotal  int64        `json:"wire_sessions_total"`
-	WireSessionsActive int64        `json:"wire_sessions_active"`
-	Recorder           *trace.Stats `json:"recorder,omitempty"`
+	WireSessionsTotal  int64          `json:"wire_sessions_total"`
+	WireSessionsActive int64          `json:"wire_sessions_active"`
+	Recorder           *trace.Stats   `json:"recorder,omitempty"`
+	Journal            *journal.Stats `json:"journal,omitempty"`
 }
 
 // FleetView assembles the /fleet snapshot.
@@ -40,6 +42,10 @@ func (s *Server) FleetView() FleetView {
 		st := s.cfg.Trace.Stats()
 		v.Recorder = &st
 	}
+	if s.cfg.Journal != nil {
+		js := s.cfg.Journal.Stats()
+		v.Journal = &js
+	}
 	return v
 }
 
@@ -53,6 +59,10 @@ func (s *Server) FleetView() FleetView {
 //	/fleet         — fleet-wide snapshot (admission, wire, recorder)
 //	/drift         — per-feature divergence vs the training
 //	                 distribution (404 when drift telemetry is off)
+//	/journal       — durable journal listing + health stats (404 when
+//	                 journaling is off); paginated like /sessions
+//	/journal/{seq} — one CRC-verified journal record with its event
+//	                 log and captured feature frames
 func (s *Server) MountIntrospection(mux *http.ServeMux) {
 	mux.HandleFunc("/sessions", s.cfg.Trace.ServeSessions)
 	mux.HandleFunc("/sessions/", s.cfg.Trace.ServeSessions)
@@ -63,4 +73,6 @@ func (s *Server) MountIntrospection(mux *http.ServeMux) {
 		telemetry.WriteJSON(w, s.FleetView())
 	})
 	mux.HandleFunc("/drift", s.cfg.Drift.ServeDrift)
+	mux.HandleFunc("/journal", s.cfg.Journal.ServeJournal)
+	mux.HandleFunc("/journal/", s.cfg.Journal.ServeJournal)
 }

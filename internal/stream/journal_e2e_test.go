@@ -1,0 +1,122 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"inaudible/internal/journal"
+	"inaudible/internal/telemetry"
+	"inaudible/internal/trace"
+)
+
+// TestJournaledSessionEndToEnd drives real sessions through a
+// journaled server and asserts the full durability loop: sealed traces
+// reach the WAL over the shard sinks, the /journal forensic plane
+// serves them, /fleet carries the journal health block, and a
+// read-only reopen replays the stored feature frames through the same
+// detector to bit-identical verdicts.
+func TestJournaledSessionEndToEnd(t *testing.T) {
+	const rate = 48000.0
+	const sessions = 3
+	dir := t.TempDir()
+	det := testDetector(t)
+	reg := telemetry.NewRegistry()
+	j, err := journal.Open(journal.Config{
+		Dir: dir, Node: "n0", Model: "test-detector", Build: "test",
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatalf("Open journal: %v", err)
+	}
+	srv := NewServer(ServerConfig{
+		Detector:    det,
+		MaxSessions: -1,
+		Shards:      2,
+		Cascade:     true,
+		EmitEvery:   25,
+		Metrics:     reg,
+		Trace:       trace.NewRecorder(trace.Config{}),
+		Journal:     j,
+		Node:        "n0",
+	})
+	mux := telemetry.Mux(reg)
+	srv.MountIntrospection(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	for i := 0; i < sessions; i++ {
+		driveSession(t, srv, rate, attackLike(rate, 1.0, int64(40+i)).Samples)
+	}
+
+	// The journal writer is asynchronous to the frame path; wait for the
+	// handoff rings to drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for j.Stats().Records < sessions {
+		if time.Now().After(deadline) {
+			t.Fatalf("journal holds %d records, want %d", j.Stats().Records, sessions)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	var list journal.ListResponse
+	getJSON(t, ts.URL, "/journal", &list)
+	if len(list.Sessions) != sessions {
+		t.Fatalf("/journal lists %d sessions, want %d", len(list.Sessions), sessions)
+	}
+	if list.Stats.Corrupt != 0 || list.Stats.Dropped != 0 {
+		t.Fatalf("journal not clean: %+v", list.Stats)
+	}
+	top := list.Sessions[0]
+	if top.State != "done" || top.Verdicts == 0 || top.Frames == 0 {
+		t.Fatalf("listed session incomplete: %+v", top)
+	}
+
+	var ev journal.EntryView
+	resp := getJSON(t, ts.URL, fmt.Sprintf("/journal/%d", top.Seq), &ev)
+	if resp.StatusCode != 200 {
+		t.Fatalf("/journal/%d: status %d", top.Seq, resp.StatusCode)
+	}
+	if ev.Node != "n0" || ev.Model != "test-detector" {
+		t.Fatalf("entry not stamped: node=%q model=%q", ev.Node, ev.Model)
+	}
+	if len(ev.Events) == 0 || len(ev.FrameViews) == 0 {
+		t.Fatalf("entry missing events (%d) or frames (%d)", len(ev.Events), len(ev.FrameViews))
+	}
+	// The final verdict's vector must be the last captured frame.
+	last := ev.FrameViews[len(ev.FrameViews)-1]
+	if int(last.Verdict) != top.Verdicts-1 {
+		t.Fatalf("last frame feeds verdict %d, want final ordinal %d", last.Verdict, top.Verdicts-1)
+	}
+
+	var fv FleetView
+	getJSON(t, ts.URL, "/fleet", &fv)
+	if fv.Journal == nil || fv.Journal.Records < sessions {
+		t.Fatalf("/fleet journal block = %+v", fv.Journal)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+	j.Close()
+
+	// Reopen read-only (the cmd/replay path) and replay with the same
+	// detector: every stored verdict must reproduce bit-for-bit.
+	ro, err := journal.Open(journal.Config{Dir: dir, ReadOnly: true})
+	if err != nil {
+		t.Fatalf("reopen read-only: %v", err)
+	}
+	defer ro.Close()
+	rep, err := ro.Replay(det, journal.ReplayOptions{})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !rep.Identical || rep.FinalVerdicts != sessions || rep.ScoreMismatch != 0 {
+		t.Fatalf("replay with recording detector diverged: %+v", rep)
+	}
+	if rep.Verdicts == 0 {
+		t.Fatal("replay compared no verdicts")
+	}
+}

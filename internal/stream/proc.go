@@ -35,6 +35,7 @@ func (p *guardProc) SetTrace(st *trace.SessionTrace) { p.tr = st }
 func (p *guardProc) Push(frame []float64) interface{} {
 	if v := p.g.Push(frame); v != nil {
 		p.tr.RecordVerdict(false, finiteOr(v.Score, -1e308), v.Attack)
+		p.tr.RecordFeatures(false, v.Features.Vector())
 		return v
 	}
 	return nil
@@ -59,6 +60,7 @@ func (p *guardProc) Advance() interface{} {
 		return nil
 	case 1:
 		p.tr.RecordVerdict(false, finiteOr(vs[0].Score, -1e308), vs[0].Attack)
+		p.tr.RecordFeatures(false, vs[0].Features.Vector())
 		return vs[0]
 	}
 	// A round spanning several emit boundaries yields several interim
@@ -66,6 +68,7 @@ func (p *guardProc) Advance() interface{} {
 	p.evs = p.evs[:0]
 	for _, v := range vs {
 		p.tr.RecordVerdict(false, finiteOr(v.Score, -1e308), v.Attack)
+		p.tr.RecordFeatures(false, v.Features.Vector())
 		p.evs = append(p.evs, v)
 	}
 	return p.evs
@@ -74,6 +77,7 @@ func (p *guardProc) Advance() interface{} {
 func (p *guardProc) Finalize() interface{} {
 	v := p.g.Finalize()
 	p.tr.RecordVerdict(true, finiteOr(v.Score, -1e308), v.Attack)
+	p.tr.RecordFeatures(true, v.Features.Vector())
 	if p.drift != nil {
 		p.drift.Observe(v.Features.Vector())
 	}

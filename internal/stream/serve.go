@@ -18,6 +18,7 @@ import (
 	"inaudible/internal/audio"
 	"inaudible/internal/defense"
 	"inaudible/internal/fleet"
+	"inaudible/internal/journal"
 	"inaudible/internal/telemetry"
 	"inaudible/internal/trace"
 )
@@ -127,6 +128,12 @@ type ServerConfig struct {
 	// Drift is the optional feature-drift monitor fed the final feature
 	// vector of every fully-analyzed session, served at /drift.
 	Drift *trace.DriftMonitor
+	// Journal is the optional durable session journal: every sealed
+	// trace is handed to it over per-shard SPSC rings and appended to
+	// the crash-safe WAL, queryable via the /journal endpoints and
+	// replayable with cmd/replay. Requires Trace (the journal records
+	// sealed traces; without a recorder there is nothing to record).
+	Journal *journal.Journal
 	// Node is this server's identity in a multi-node deployment, echoed
 	// by the /fleet introspection endpoint so side-by-side node
 	// snapshots are distinguishable. Empty for standalone servers.
@@ -210,6 +217,9 @@ func NewFleet(cfg ServerConfig) *fleet.Fleet {
 func newFleet(cfg ServerConfig) (*fleet.Fleet, *FloorController) {
 	if cfg.Detector == nil {
 		panic("stream: ServerConfig.Detector is required")
+	}
+	if cfg.Journal != nil && cfg.Trace == nil {
+		panic("stream: ServerConfig.Journal requires Trace (the journal records sealed traces)")
 	}
 	maxSessions := cfg.MaxSessions
 	switch {
@@ -299,7 +309,26 @@ func newFleet(cfg ServerConfig) (*fleet.Fleet, *FloorController) {
 		NewRoundBatcher: func() fleet.RoundBatcher { return NewColumnEngines() },
 		Metrics:         metrics,
 		Trace:           cfg.Trace,
+		NewSessionSink:  sessionSinks(cfg.Journal),
+		RejectSink:      rejectSink(cfg.Journal),
 	}), floor
+}
+
+// sessionSinks adapts the journal's per-shard SPSC handoff to the
+// fleet's SessionSink factory; a nil journal disables the handoff.
+func sessionSinks(j *journal.Journal) func(shard int) fleet.SessionSink {
+	if j == nil {
+		return nil
+	}
+	return func(shard int) fleet.SessionSink { return j.ShardSink(shard) }
+}
+
+// rejectSink routes rejected sessions' synthetic traces to the journal.
+func rejectSink(j *journal.Journal) fleet.SessionSink {
+	if j == nil {
+		return nil
+	}
+	return j.SharedSink()
 }
 
 // Sessions returns the number of sessions served (including failed).

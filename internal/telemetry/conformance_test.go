@@ -75,6 +75,47 @@ func TestInfoRendering(t *testing.T) {
 	}
 }
 
+// TestCounterVec pins the labeled counter family: children render as
+// labeled samples of the family name (which the strict checker must
+// accept), With is stable, unknown values panic, and re-registration is
+// idempotent like every other instrument.
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("evicted_total", "retention evictions", "ring", "recent", "notable")
+	v.With("recent").Add(3)
+	v.With("notable").Inc()
+	if v.With("recent") != v.With("recent") {
+		t.Fatalf("With is not stable")
+	}
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	text := b.String()
+	for _, want := range []string{
+		`evicted_total{ring="recent"} 3`,
+		`evicted_total{ring="notable"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+	if err := CheckExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("labeled counter fails the strict checker: %v", err)
+	}
+	snap := r.Snapshot()["evicted_total"].(map[string]uint64)
+	if snap["recent"] != 3 || snap["notable"] != 1 {
+		t.Fatalf("snapshot: %v", snap)
+	}
+	if r.NewCounterVec("evicted_total", "again", "ring", "recent", "notable") != v {
+		t.Fatalf("NewCounterVec duplicate returned a fresh instrument")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("unknown label value did not panic")
+		}
+	}()
+	v.With("bogus")
+}
+
 func TestHistogramDump(t *testing.T) {
 	h := NewHistogram([]float64{1, 10, 100})
 	for _, v := range []float64{0.5, 5, 5, 50, 5000} {

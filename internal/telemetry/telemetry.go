@@ -393,6 +393,70 @@ func (in *Info) snapshot() interface{} {
 	return m
 }
 
+// CounterVec is a family of counters split by one label with a fixed,
+// construction-time set of values (the evicted{ring="recent|notable"}
+// pattern). Children are plain Counters, so the hot-path cost of an
+// increment is identical to an unlabeled counter; the label join happens
+// only at exposition time. The value set is static configuration — an
+// unknown value in With panics rather than minting unbounded series.
+type CounterVec struct {
+	label    string
+	values   []string // declaration order, frozen
+	children []Counter
+}
+
+// NewCounterVec builds a counter family over label with the given value
+// set. It panics on an empty value set or a duplicate value.
+func NewCounterVec(label string, values ...string) *CounterVec {
+	if label == "" || len(values) == 0 {
+		panic("telemetry: CounterVec needs a label name and at least one value")
+	}
+	seen := make(map[string]bool, len(values))
+	for _, v := range values {
+		if seen[v] {
+			panic(fmt.Sprintf("telemetry: CounterVec duplicate label value %q", v))
+		}
+		seen[v] = true
+	}
+	return &CounterVec{
+		label:    label,
+		values:   append([]string(nil), values...),
+		children: make([]Counter, len(values)),
+	}
+}
+
+// NewCounterVec registers and returns a counter family (duplicate-name
+// semantics match NewCounter).
+func (r *Registry) NewCounterVec(name, help, label string, values ...string) *CounterVec {
+	return r.intern(name, help, NewCounterVec(label, values...)).(*CounterVec)
+}
+
+// With returns the child counter for one label value. Unknown values
+// panic: the set was declared at construction, so a miss is a wiring
+// bug, not data.
+func (v *CounterVec) With(value string) *Counter {
+	for i, lv := range v.values {
+		if lv == value {
+			return &v.children[i]
+		}
+	}
+	panic(fmt.Sprintf("telemetry: CounterVec label %s has no value %q", v.label, value))
+}
+
+func (v *CounterVec) promType() string { return "counter" }
+func (v *CounterVec) writeProm(w io.Writer, name string) {
+	for i, lv := range v.values {
+		fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", name, v.label, EscapeLabelValue(lv), v.children[i].Value())
+	}
+}
+func (v *CounterVec) snapshot() interface{} {
+	m := make(map[string]uint64, len(v.values))
+	for i, lv := range v.values {
+		m[lv] = v.children[i].Value()
+	}
+	return m
+}
+
 // EscapeLabelValue applies Prometheus text-exposition label-value
 // escaping: backslash, double-quote and newline must be escaped, in
 // that order of rules (backslash first so the others stay unambiguous).

@@ -8,14 +8,44 @@ import (
 	"inaudible/internal/telemetry"
 )
 
-// SessionList is the /sessions response body.
+// SessionList is the /sessions response body. When a page fills,
+// NextAfter carries the cursor for the next one: repeat the request
+// with ?after=<next_after> to continue the descending-ID walk.
 type SessionList struct {
-	Stats    Stats            `json:"stats"`
-	Sessions []SessionSummary `json:"sessions"`
+	Stats     Stats            `json:"stats"`
+	Sessions  []SessionSummary `json:"sessions"`
+	NextAfter uint64           `json:"next_after,omitempty"`
 }
 
-// ServeSessions handles /sessions (listing) and /sessions/{id} (full
-// trace). Mount it for both the exact path and the subtree.
+// DefaultPageLimit bounds one introspection listing page when the
+// request names no ?limit= — the dump used to be O(retained sessions)
+// per scrape.
+const DefaultPageLimit = 256
+
+// PageParams decodes the shared ?limit=/?after= pagination query
+// parameters (also used by the journal's list endpoint). limit <= 0
+// means unbounded; after > 0 restricts the listing to IDs strictly
+// below it (listings are newest-first).
+func PageParams(req *http.Request) (limit int, after uint64, err error) {
+	limit = DefaultPageLimit
+	if s := req.URL.Query().Get("limit"); s != "" {
+		limit, err = strconv.Atoi(s)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	if s := req.URL.Query().Get("after"); s != "" {
+		after, err = strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return limit, after, nil
+}
+
+// ServeSessions handles /sessions (listing, paginated by
+// ?limit=/?after=) and /sessions/{id} (full trace). Mount it for both
+// the exact path and the subtree.
 func (r *Recorder) ServeSessions(w http.ResponseWriter, req *http.Request) {
 	if r == nil {
 		http.Error(w, `{"error":"flight recorder disabled"}`, http.StatusNotFound)
@@ -23,9 +53,21 @@ func (r *Recorder) ServeSessions(w http.ResponseWriter, req *http.Request) {
 	}
 	rest := strings.Trim(strings.TrimPrefix(req.URL.Path, "/sessions"), "/")
 	if rest == "" {
+		limit, after, err := PageParams(req)
+		if err != nil {
+			http.Error(w, `{"error":"bad limit or after parameter"}`, http.StatusBadRequest)
+			return
+		}
 		traces := r.Sessions()
 		list := SessionList{Stats: r.Stats(), Sessions: make([]SessionSummary, 0, len(traces))}
 		for _, st := range traces {
+			if after > 0 && st.ID() >= after {
+				continue
+			}
+			if limit > 0 && len(list.Sessions) == limit {
+				list.NextAfter = list.Sessions[len(list.Sessions)-1].ID
+				break
+			}
 			list.Sessions = append(list.Sessions, st.Summary())
 		}
 		telemetry.WriteJSON(w, list)

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"inaudible/internal/telemetry"
 )
 
 // Config sizes the flight recorder. Zero values take the defaults.
@@ -31,6 +33,16 @@ type Config struct {
 	// so flight-recorder snapshots from several nodes are
 	// distinguishable side by side. Empty for standalone processes.
 	Node string
+	// FeatureFrames bounds how many detector-input vectors a session may
+	// retain for the durable journal (default 32, mirroring the
+	// analyzer's bounded-budget discipline). Negative disables capture —
+	// the journal's privacy knob.
+	FeatureFrames int
+	// Evicted counts exemplars lost to retention pressure, split by the
+	// "ring" label (recent|notable). Pass a registry-owned CounterVec to
+	// export it as fleet_trace_evicted_total; nil gets a private,
+	// unexported family so call sites stay unconditional.
+	Evicted *telemetry.CounterVec
 }
 
 func (c Config) withDefaults() Config {
@@ -45,6 +57,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SlowAdvance <= 0 {
 		c.SlowAdvance = time.Millisecond
+	}
+	if c.FeatureFrames == 0 {
+		c.FeatureFrames = 32
+	}
+	if c.Evicted == nil {
+		c.Evicted = telemetry.NewCounterVec("ring", "recent", "notable")
 	}
 	return c
 }
@@ -67,16 +85,21 @@ type Recorder struct {
 	completed atomic.Uint64
 	aborted   atomic.Uint64
 	rejected  atomic.Uint64
+
+	evictedRecent  *telemetry.Counter
+	evictedNotable *telemetry.Counter
 }
 
 // NewRecorder builds a flight recorder with the given retention config.
 func NewRecorder(cfg Config) *Recorder {
 	cfg = cfg.withDefaults()
 	return &Recorder{
-		cfg:     cfg,
-		live:    make(map[uint64]*SessionTrace),
-		done:    make([]*SessionTrace, 0, cfg.Exemplars),
-		notable: make([]*SessionTrace, 0, cfg.Notable),
+		cfg:            cfg,
+		live:           make(map[uint64]*SessionTrace),
+		done:           make([]*SessionTrace, 0, cfg.Exemplars),
+		notable:        make([]*SessionTrace, 0, cfg.Notable),
+		evictedRecent:  cfg.Evicted.With("recent"),
+		evictedNotable: cfg.Evicted.With("notable"),
 	}
 }
 
@@ -99,6 +122,7 @@ func (r *Recorder) Start(key uint64, rate float64, shard int, degraded bool, occ
 		cells:    make([]cell, r.cfg.Events),
 		sloNS:    int64(r.cfg.SLO),
 		slowNS:   int64(r.cfg.SlowAdvance),
+		featCap:  r.cfg.FeatureFrames,
 	}
 	if occ != nil {
 		st.occ.Store(&occ)
@@ -118,10 +142,11 @@ func (r *Recorder) Start(key uint64, rate float64, shard int, degraded bool, occ
 // Rejected retains a synthetic single-event trace for a session the
 // fleet turned away; rejected sessions never reach a shard, so this is
 // their only record. reason is 0 for overload, 1 for fleet shutdown,
-// 2 for a draining node refusing new sessions.
-func (r *Recorder) Rejected(key uint64, rate float64, reason float64) {
+// 2 for a draining node refusing new sessions. The sealed trace is
+// returned so the durable journal can record the rejection too.
+func (r *Recorder) Rejected(key uint64, rate float64, reason float64) *SessionTrace {
 	if r == nil {
-		return
+		return nil
 	}
 	st := &SessionTrace{
 		id:    r.serial.Add(1),
@@ -138,6 +163,7 @@ func (r *Recorder) Rejected(key uint64, rate float64, reason float64) {
 	r.mu.Lock()
 	r.retainLocked(st)
 	r.mu.Unlock()
+	return st
 }
 
 // End seals a live trace and moves it into the retention rings.
@@ -163,11 +189,15 @@ func (r *Recorder) End(st *SessionTrace, aborted bool) {
 }
 
 // retainLocked places a finished trace in the recent ring and, when
-// notable, also in the notable ring. Caller holds r.mu.
+// notable, also in the notable ring, counting whatever each overwrite
+// evicts — silent exemplar loss under churn is exactly what the
+// fleet_trace_evicted_total counters exist to surface. Caller holds
+// r.mu.
 func (r *Recorder) retainLocked(st *SessionTrace) {
 	if len(r.done) < r.cfg.Exemplars {
 		r.done = append(r.done, st)
 	} else {
+		r.evictedRecent.Inc()
 		r.done[r.doneNext] = st
 		r.doneNext = (r.doneNext + 1) % r.cfg.Exemplars
 	}
@@ -177,6 +207,7 @@ func (r *Recorder) retainLocked(st *SessionTrace) {
 	if len(r.notable) < r.cfg.Notable {
 		r.notable = append(r.notable, st)
 	} else {
+		r.evictedNotable.Inc()
 		r.notable[r.noteNext] = st
 		r.noteNext = (r.noteNext + 1) % r.cfg.Notable
 	}
@@ -235,13 +266,15 @@ func (r *Recorder) Sessions() []*SessionTrace {
 
 // Stats summarizes recorder-side counts for the fleet status endpoint.
 type Stats struct {
-	Node      string `json:"node,omitempty"`
-	Live      int    `json:"live"`
-	Retained  int    `json:"retained"`
-	Notable   int    `json:"notable"`
-	Completed uint64 `json:"completed_total"`
-	Aborted   uint64 `json:"aborted_total"`
-	Rejected  uint64 `json:"rejected_total"`
+	Node           string `json:"node,omitempty"`
+	Live           int    `json:"live"`
+	Retained       int    `json:"retained"`
+	Notable        int    `json:"notable"`
+	Completed      uint64 `json:"completed_total"`
+	Aborted        uint64 `json:"aborted_total"`
+	Rejected       uint64 `json:"rejected_total"`
+	EvictedRecent  uint64 `json:"evicted_recent_total"`
+	EvictedNotable uint64 `json:"evicted_notable_total"`
 }
 
 // Stats returns the recorder's retention counters.
@@ -255,5 +288,7 @@ func (r *Recorder) Stats() Stats {
 	s.Completed = r.completed.Load()
 	s.Aborted = r.aborted.Load()
 	s.Rejected = r.rejected.Load()
+	s.EvictedRecent = r.evictedRecent.Value()
+	s.EvictedNotable = r.evictedNotable.Value()
 	return s
 }

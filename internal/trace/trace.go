@@ -175,6 +175,17 @@ type SessionTrace struct {
 	// thresholds stamped by the Recorder at Start.
 	sloNS  int64
 	slowNS int64
+
+	// Bounded feature-frame capture for the durable journal: the
+	// detector-input vectors behind verdict emissions, tagged with the
+	// ordinal of the verdict they fed. Written only by the session's
+	// single owning goroutine (like Record) and read only after the
+	// trace is sealed, so no atomics are needed.
+	featCap  int       // max retained frames; <= 0 disables capture
+	featW    int       // vector width, frozen at first capture
+	verdicts uint32    // verdict emissions so far (interim + final)
+	featIdx  []uint32  // per-frame verdict ordinal (0-based)
+	feat     []float64 // flat frame storage, len(featIdx)*featW
 }
 
 const (
@@ -189,6 +200,30 @@ func (st *SessionTrace) ID() uint64 { return st.id }
 
 // Key returns the fleet affinity key.
 func (st *SessionTrace) Key() uint64 { return st.key }
+
+// RateHz returns the session's sample rate.
+func (st *SessionTrace) RateHz() float64 { return st.rate }
+
+// Shard returns the owning shard index (-1 for rejected sessions).
+func (st *SessionTrace) Shard() int { return st.shard }
+
+// Degraded reports a degraded-mode admission.
+func (st *SessionTrace) Degraded() bool { return st.degraded }
+
+// Start returns the session's admission time.
+func (st *SessionTrace) Start() time.Time { return st.start }
+
+// EndNanos returns the sealed trace's duration in ns since start
+// (0 while live).
+func (st *SessionTrace) EndNanos() int64 { return st.endNS.Load() }
+
+// StateName returns the trace state as its wire name
+// (live/done/aborted/rejected).
+func (st *SessionTrace) StateName() string { return stateName(st.state.Load()) }
+
+// EventsTotal returns the number of events recorded (the ring may
+// retain fewer).
+func (st *SessionTrace) EventsTotal() uint64 { return st.count.Load() }
 
 // Record appends one event. Single-writer; nil-safe (a nil trace
 // records nothing, so call sites need no recorder-enabled branch).
@@ -271,6 +306,58 @@ func (st *SessionTrace) RecordVerdict(final bool, score float64, attack bool) {
 		st.MarkNotable(NotableAttack)
 	}
 	st.Record(k, score, b)
+	st.verdicts++
+}
+
+// RecordFeatures captures the detector-input vector behind the verdict
+// just recorded (call immediately after RecordVerdict). Retention is
+// bounded by the recorder's per-session budget; when the budget is
+// full, only a final verdict's frame is still stored — it overwrites
+// the last retained frame, because the final vector is the one replay
+// must never lose. Single-writer, like Record; nil-safe.
+func (st *SessionTrace) RecordFeatures(final bool, vec []float64) {
+	if st == nil || st.featCap <= 0 || len(vec) == 0 || st.verdicts == 0 {
+		return
+	}
+	if st.featW == 0 {
+		st.featW = len(vec)
+		st.featIdx = make([]uint32, 0, st.featCap)
+		st.feat = make([]float64, 0, st.featCap*st.featW)
+	}
+	if len(vec) != st.featW {
+		return // width changed mid-session: drop rather than misalign
+	}
+	idx := st.verdicts - 1
+	if len(st.featIdx) < st.featCap {
+		st.featIdx = append(st.featIdx, idx)
+		st.feat = append(st.feat, vec...)
+		return
+	}
+	if !final {
+		return
+	}
+	last := len(st.featIdx) - 1
+	st.featIdx[last] = idx
+	copy(st.feat[last*st.featW:], vec)
+}
+
+// FeatureFrames returns the captured detector-input frames: the vector
+// width, each frame's verdict ordinal, and the flat frame storage
+// (len(idx)*width). Valid only once the trace is sealed — the journal
+// reads it after End; live introspection must not.
+func (st *SessionTrace) FeatureFrames() (width int, idx []uint32, flat []float64) {
+	if st == nil {
+		return 0, nil, nil
+	}
+	return st.featW, st.featIdx, st.feat
+}
+
+// VerdictCount returns how many verdict emissions the trace recorded.
+func (st *SessionTrace) VerdictCount() uint32 {
+	if st == nil {
+		return 0
+	}
+	return st.verdicts
 }
 
 // end seals the trace (called by the Recorder).

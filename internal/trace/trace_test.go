@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -330,5 +331,125 @@ func TestRecordNoAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("Record allocated %v times per run, want 0", allocs)
+	}
+}
+
+// TestEvictionCounters pins the fleet_trace_evicted_total semantics:
+// every ring overwrite counts toward the matching ring label, and
+// filling below capacity counts nothing.
+func TestEvictionCounters(t *testing.T) {
+	r := NewRecorder(Config{Exemplars: 3, Notable: 2})
+	for i := 0; i < 3; i++ {
+		r.End(r.Start(uint64(i), 16000, 0, false, nil), false)
+	}
+	if s := r.Stats(); s.EvictedRecent != 0 || s.EvictedNotable != 0 {
+		t.Fatalf("evictions counted before any overwrite: %+v", s)
+	}
+	for i := 0; i < 5; i++ {
+		r.End(r.Start(uint64(10+i), 16000, 0, false, nil), false)
+	}
+	if s := r.Stats(); s.EvictedRecent != 5 || s.EvictedNotable != 0 {
+		t.Fatalf("recent evictions: %+v", s)
+	}
+	// Degraded admissions are notable; 5 into a 2-deep ring leaves 3
+	// notable evictions (plus more recent-ring churn).
+	for i := 0; i < 5; i++ {
+		r.End(r.Start(uint64(20+i), 16000, 0, true, nil), false)
+	}
+	if s := r.Stats(); s.EvictedNotable != 3 {
+		t.Fatalf("notable evictions: %+v", s)
+	}
+}
+
+// TestFeatureFrameCapture pins the journal's bounded feature capture:
+// frames tag the verdict ordinal they fed, the budget caps interim
+// frames, and a final verdict's frame always survives by overwriting
+// the last retained slot.
+func TestFeatureFrameCapture(t *testing.T) {
+	r := NewRecorder(Config{FeatureFrames: 3})
+	st := r.Start(1, 16000, 0, false, nil)
+	for i := 0; i < 5; i++ {
+		st.RecordVerdict(false, float64(i), false)
+		st.RecordFeatures(false, []float64{float64(i), 10 + float64(i)})
+	}
+	st.RecordVerdict(true, 99, true)
+	st.RecordFeatures(true, []float64{99, 100})
+	r.End(st, false)
+
+	w, idx, flat := st.FeatureFrames()
+	if w != 2 || len(idx) != 3 || len(flat) != 6 {
+		t.Fatalf("capture shape: w=%d idx=%v flat=%v", w, idx, flat)
+	}
+	if idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("interim ordinals: %v", idx)
+	}
+	// The final frame (ordinal 5) displaced the last interim one.
+	if idx[2] != 5 || flat[4] != 99 || flat[5] != 100 {
+		t.Fatalf("final frame not preserved: idx=%v flat=%v", idx, flat)
+	}
+	if st.VerdictCount() != 6 {
+		t.Fatalf("verdict count = %d", st.VerdictCount())
+	}
+
+	// Capture disabled: no frames, no allocation of the buffers.
+	r2 := NewRecorder(Config{FeatureFrames: -1})
+	st2 := r2.Start(2, 16000, 0, false, nil)
+	st2.RecordVerdict(true, 1, false)
+	st2.RecordFeatures(true, []float64{1, 2})
+	if w, idx, _ := st2.FeatureFrames(); w != 0 || len(idx) != 0 {
+		t.Fatalf("disabled capture stored frames: w=%d idx=%v", w, idx)
+	}
+}
+
+// TestSessionsPagination drives ?limit=/?after= over a populated
+// recorder: pages are newest-first, disjoint, and chained by
+// next_after until exhausted.
+func TestSessionsPagination(t *testing.T) {
+	r := NewRecorder(Config{Exemplars: 32})
+	for i := 0; i < 10; i++ {
+		r.End(r.Start(uint64(i), 16000, 0, false, nil), false)
+	}
+	page := func(q string) SessionList {
+		w := httptest.NewRecorder()
+		r.ServeSessions(w, httptest.NewRequest("GET", "/sessions"+q, nil))
+		if w.Result().StatusCode != 200 {
+			t.Fatalf("%s status %d", q, w.Result().StatusCode)
+		}
+		var list SessionList
+		if err := json.Unmarshal(w.Body.Bytes(), &list); err != nil {
+			t.Fatalf("%s not JSON: %v", q, err)
+		}
+		return list
+	}
+	var got []uint64
+	q := "?limit=4"
+	for pages := 0; ; pages++ {
+		if pages > 5 {
+			t.Fatal("pagination did not terminate")
+		}
+		list := page(q)
+		for _, s := range list.Sessions {
+			got = append(got, s.ID)
+		}
+		if list.NextAfter == 0 {
+			break
+		}
+		q = "?limit=4&after=" + strconv.FormatUint(list.NextAfter, 10)
+	}
+	if len(got) != 10 {
+		t.Fatalf("paged walk returned %d sessions: %v", len(got), got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] >= got[i-1] {
+			t.Fatalf("pages not strictly descending: %v", got)
+		}
+	}
+	if full := page(""); len(full.Sessions) != 10 || full.NextAfter != 0 {
+		t.Fatalf("default page truncated a small listing: %d sessions", len(full.Sessions))
+	}
+	w := httptest.NewRecorder()
+	r.ServeSessions(w, httptest.NewRequest("GET", "/sessions?limit=x", nil))
+	if w.Result().StatusCode != 400 {
+		t.Fatalf("bad limit status %d, want 400", w.Result().StatusCode)
 	}
 }

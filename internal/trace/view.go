@@ -56,8 +56,10 @@ func stateName(s uint32) string {
 	}
 }
 
-// fields decodes the A/B payload into named JSON fields per kind.
-func (e Event) fields() map[string]float64 {
+// FieldMap decodes the A/B payload into named JSON fields per kind
+// (shared by the live introspection views and the journal's entry
+// views, so one event renders identically on both planes).
+func (e Event) FieldMap() map[string]float64 {
 	switch e.Kind {
 	case KindAdmitted:
 		return map[string]float64{"degraded": e.A, "shard": e.B}
@@ -107,7 +109,7 @@ func (st *SessionTrace) View() SessionView {
 		v.Events = append(v.Events, EventView{
 			Event:  e.Kind.String(),
 			AtMS:   float64(e.At) / 1e6,
-			Fields: e.fields(),
+			Fields: e.FieldMap(),
 		})
 	}
 	return v

@@ -34,6 +34,7 @@ go test ./internal/sim -run '^$' -fuzz FuzzSpecLoader -fuzztime 10s
 # time-based budget can eat the whole -fuzztime on a slow runner.
 go test ./internal/stream -run '^$' -fuzz FuzzGRD1Framing -fuzztime 10s -fuzzminimizetime 100x
 go test ./internal/dsp -run '^$' -fuzz FuzzBatchedRFFT -fuzztime 10s -fuzzminimizetime 100x
+go test ./internal/journal -run '^$' -fuzz FuzzJournalSegmentDecoder -fuzztime 10s -fuzzminimizetime 100x
 
 echo "==> short benchmarks (trial engine + sweep cache + FFT plan cache + stream guard + sim chain)"
 go test ./internal/experiment -run '^$' -bench 'E5Serial|E5Parallel' -benchtime 1x -timeout 30m
@@ -48,10 +49,15 @@ go test ./internal/stream -run 'TestCascadeCorpusParity' -count=1 -timeout 20m
 echo "==> batched-path gates (column-batch verdict parity + 0 allocs/frame on the staged cycle)"
 go test ./internal/stream -run 'TestColumnBatchParity|TestBatchedPathZeroAllocs' -count=1 -timeout 20m
 
+echo "==> journal gates (zero-alloc SPSC handoff + crash recovery + replay parity)"
+go test ./internal/journal -run 'TestSinkDropWhenFullAndZeroAlloc|TestTornTailRecovery|TestReplayParityAndDiff' -count=1 -timeout 10m
+go test ./internal/stream -run 'TestJournaledSessionEndToEnd' -count=1 -timeout 10m
+
 echo "==> fleet benchmarks (0 allocs/frame gate: see allocs/op in the output)"
 go test ./internal/fleet -run '^$' -bench 'FleetCoreFrame' -benchtime 20000x -benchmem -timeout 10m
 go test ./internal/stream -run '^$' -bench 'FleetThroughput$' -benchtime 5000x -benchmem -timeout 10m
 go test ./internal/stream -run '^$' -bench 'FleetThroughputTraced' -benchtime 5000x -benchmem -timeout 10m
+go test ./internal/stream -run '^$' -bench 'FleetThroughputJournaled' -benchtime 5000x -benchmem -timeout 10m
 go test ./internal/stream -run '^$' -bench 'CascadeFleetThroughput' -benchtime 5000x -benchmem -timeout 10m
 
 echo "==> loadgen smoke (in-process fleet server, cheap payloads, overload path)"
@@ -76,6 +82,50 @@ go run ./cmd/loadgen -addr 127.0.0.1:7698 -synth cheap -sessions 4 -duration 2s 
 kill "$GUARDD_PID" 2>/dev/null || true
 wait "$GUARDD_PID" 2>/dev/null || true
 trap - EXIT
+
+echo "==> journal crash smoke (kill -9 mid-traffic: recover, zero corrupt records, bit-identical replay)"
+go build -o /tmp/replay-ci ./cmd/replay
+JDIR=$(mktemp -d /tmp/journal-ci.XXXXXX)
+/tmp/guardd-ci -detector demo -listen 127.0.0.1:7741 -metrics 127.0.0.1:7742 -journal "$JDIR" -emit-every 25 &
+GUARDD_PID=$!
+trap 'kill -9 "$GUARDD_PID" 2>/dev/null || true; rm -rf "$JDIR"' EXIT
+for i in $(seq 1 50); do
+	if curl -fsS http://127.0.0.1:7742/healthz >/dev/null 2>&1; then break; fi
+	sleep 0.2
+done
+# Burst in the background and kill -9 the daemon mid-traffic: the WAL
+# may lose at most the torn tail, never a corrupt or out-of-order record.
+go run ./cmd/loadgen -addr 127.0.0.1:7741 -synth cheap -sessions 4 -duration 4s -session-seconds 0.5 -quiet >/dev/null 2>&1 &
+LOADGEN_PID=$!
+sleep 2
+kill -9 "$GUARDD_PID" 2>/dev/null || true
+wait "$LOADGEN_PID" 2>/dev/null || true
+/tmp/guardd-ci -detector demo -listen 127.0.0.1:7741 -metrics 127.0.0.1:7742 -journal "$JDIR" -emit-every 25 &
+GUARDD_PID=$!
+for i in $(seq 1 50); do
+	if curl -fsS http://127.0.0.1:7742/healthz >/dev/null 2>&1; then break; fi
+	sleep 0.2
+done
+# check now includes the journal-integrity leg: zero corrupt records
+# and a sampled record decode, or it exits non-zero.
+/tmp/guardctl-ci -base http://127.0.0.1:7742 check
+# The restarted daemon must serve the pre-crash sessions.
+/tmp/guardctl-ci -base http://127.0.0.1:7742 journal | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+st = d["stats"]
+assert st["corrupt_records_total"] == 0, st
+assert st["recovered_records"] > 0 and len(d["sessions"]) > 0, st
+seqs = [s["seq"] for s in d["sessions"]]
+assert seqs == sorted(seqs, reverse=True), "listing out of order"
+'
+kill "$GUARDD_PID" 2>/dev/null || true
+wait "$GUARDD_PID" 2>/dev/null || true
+trap - EXIT
+# Replay the recovered journal through the same demo detector: every
+# surviving verdict must reproduce bit-for-bit.
+/tmp/replay-ci -journal "$JDIR" -detector demo -verify
+rm -rf "$JDIR" /tmp/replay-ci
 
 echo "==> multi-node smoke (2 backends + router: burst, per-role check, drain, zero dropped verdicts)"
 go build -o /tmp/loadgen-ci ./cmd/loadgen
